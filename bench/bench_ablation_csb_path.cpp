@@ -1,0 +1,93 @@
+// Ablation B: cost of the tightly coupled configuration path.
+//
+// Microbenchmarks (google-benchmark) of single register writes/reads
+// through the full AHB-Lite -> APB -> CSB chain, plus a modelled sweep of
+// bridge latencies showing how a loosely coupled config path would inflate
+// the per-layer programming cost that the bare-metal flow pays ~50-250
+// times per hardware layer.
+#include <benchmark/benchmark.h>
+
+#include "bus/bridges.hpp"
+#include "mem/dram.hpp"
+#include "nvdla/engine.hpp"
+#include "nvdla/regmap.hpp"
+#include "vp/virtual_platform.hpp"
+
+using namespace nvsoc;
+
+namespace {
+
+struct CsbPathFixture {
+  Dram dram{1 << 20};
+
+  class RawAxi final : public AxiTarget {
+   public:
+    explicit RawAxi(Dram& dram) : dram_(dram) {}
+    AxiBurstResponse burst(const AxiBurstRequest& req) override {
+      if (req.is_write) dram_.write_bytes(req.addr, req.wdata);
+      else dram_.read_bytes(req.addr, req.rbuf);
+      return {Status::ok(), req.start + 1};
+    }
+    std::string_view name() const override { return "raw"; }
+    Dram& dram_;
+  } axi{dram};
+
+  nvdla::Nvdla engine{nvdla::NvdlaConfig::small(), axi};
+  ApbToCsbAdapter apb2csb{engine};
+  AhbToApbBridge bridge{apb2csb};
+};
+
+void BM_CsbRegisterWrite(benchmark::State& state) {
+  CsbPathFixture f;
+  Cycle now = 0;
+  for (auto _ : state) {
+    BusRequest req{.addr = nvdla::unit_base(nvdla::Unit::kCdma) +
+                           nvdla::cdma::kDainAddr,
+                   .is_write = true, .wdata = 0x1234, .byte_enable = 0xF,
+                   .start = now};
+    const auto rsp = f.bridge.access(req);
+    benchmark::DoNotOptimize(rsp.rdata);
+    now = rsp.complete;
+  }
+  state.counters["bus_cycles_per_write"] = static_cast<double>(
+      csb_write_path_cycles(BridgeTiming{}));
+}
+BENCHMARK(BM_CsbRegisterWrite);
+
+void BM_CsbRegisterRead(benchmark::State& state) {
+  CsbPathFixture f;
+  Cycle now = 0;
+  for (auto _ : state) {
+    BusRequest req{.addr = nvdla::glb::kIntrStatus, .is_write = false,
+                   .wdata = 0, .byte_enable = 0xF, .start = now};
+    const auto rsp = f.bridge.access(req);
+    benchmark::DoNotOptimize(rsp.rdata);
+    now = rsp.complete;
+  }
+  state.counters["bus_cycles_per_read"] =
+      static_cast<double>(csb_read_path_cycles(BridgeTiming{}));
+}
+BENCHMARK(BM_CsbRegisterRead);
+
+/// Sweep the APB access latency (a loosely coupled bridge, e.g. across an
+/// interconnect hop, costs several more cycles per phase) and report the
+/// config-programming cost of one LeNet-5 inference's 235 register writes.
+void BM_ConfigPathLatencySweep(benchmark::State& state) {
+  const Cycle apb_extra = static_cast<Cycle>(state.range(0));
+  BridgeTiming timing;
+  timing.apb_setup += apb_extra;
+  timing.apb_access += apb_extra;
+  const Cycle per_write = csb_write_path_cycles(timing);
+  constexpr std::uint64_t kLenetWrites = 235;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(per_write * kLenetWrites);
+  }
+  state.counters["cycles_per_write"] = static_cast<double>(per_write);
+  state.counters["lenet_config_cycles"] =
+      static_cast<double>(per_write * kLenetWrites);
+}
+BENCHMARK(BM_ConfigPathLatencySweep)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

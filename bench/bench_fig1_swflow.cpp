@@ -1,0 +1,78 @@
+// Regenerates Fig. 1 (the software generation flow) as a stage-by-stage
+// walk-through: Caffe-style model -> compiler -> virtual platform ->
+// interface traces -> configuration file + weight file -> RISC-V assembly
+// -> machine code. Prints the artifact produced by every stage with its
+// size, for LeNet-5 and ResNet-18.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/bare_metal_flow.hpp"
+#include "models/models.hpp"
+
+using namespace nvsoc;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void run_flow(const models::ModelInfo& info) {
+  std::printf("\n--- %s ---\n", info.name.c_str());
+  const auto net = info.build();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::printf("[1] Caffe model          : %zu layers, %llu parameters "
+              "(%.2f MB fp32)\n",
+              net.layer_count(),
+              static_cast<unsigned long long>(net.parameter_count()),
+              net.model_size_bytes() / 1e6);
+
+  core::FlowConfig config;
+  const auto prepared = core::prepare_model(net, config);
+
+  std::printf("[2] NVDLA compiler       : %zu hardware layers, %.2f MB "
+              "packed weights, INT8 calibration table (%zu blobs)\n",
+              prepared.loadable.ops.size(),
+              prepared.loadable.weight_blob.size() / 1e6,
+              prepared.calibration.all().size());
+  std::printf("[3] Virtual platform     : %llu NVDLA cycles; trace: %zu CSB "
+              "records, %zu DBB bursts\n",
+              static_cast<unsigned long long>(prepared.vp.total_cycles),
+              prepared.vp.trace.csb.size(), prepared.vp.trace.dbb.size());
+  std::printf("[4] Configuration file   : %zu commands (%zu write_reg, "
+              "%zu read_reg)\n",
+              prepared.config_file.commands.size(),
+              prepared.config_file.write_count(),
+              prepared.config_file.read_count());
+  std::printf("[5] Weight file (.bin)   : %.2f MB in %zu chunks "
+              "(weights + bias tables + input image)\n",
+              prepared.vp.weights.total_bytes() / 1e6,
+              prepared.vp.weights.chunks.size());
+  std::printf("[6] RISC-V assembly      : %zu lines, %zu polling loops\n",
+              std::count(prepared.program.assembly.begin(),
+                         prepared.program.assembly.end(), '\n'),
+              prepared.program.poll_loops);
+  std::printf("[7] Machine code (.mem)  : %zu instructions, %zu bytes\n",
+              prepared.program.image.size_words(),
+              prepared.program.image.bytes.size());
+  std::printf("    offline flow wall time: %.0f ms (one-time, per model)\n",
+              ms_since(t0));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 1: the proposed system and software development flow");
+  run_flow(models::nv_small_zoo()[0]);  // LeNet-5
+  run_flow(models::nv_small_zoo()[1]);  // ResNet-18
+  bench::print_footer_note(
+      "The flow is model-specific and executed once, offline (Sec. III); "
+      "its outputs (machine code + weight file) are what the FPGA set-up "
+      "consumes.");
+  return 0;
+}

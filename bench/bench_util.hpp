@@ -1,0 +1,20 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace nvsoc::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_footer_note(const std::string& note) {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("%s\n", note.c_str());
+}
+
+}  // namespace nvsoc::bench

@@ -1,0 +1,17 @@
+#include "baseline/linux_baseline.hpp"
+
+namespace nvsoc::baseline {
+
+LinuxRunEstimate LinuxDriverBaseline::estimate(
+    const compiler::Loadable& loadable, Cycle accelerator_cycles) const {
+  LinuxRunEstimate est;
+  est.hw_cycles = accelerator_cycles;
+  est.overhead_cycles =
+      config_.runtime_init_cycles +
+      config_.per_layer_submit_cycles * loadable.ops.size();
+  est.total_cycles = est.hw_cycles + est.overhead_cycles;
+  est.ms = cycles_to_ms(est.total_cycles, config_.clock);
+  return est;
+}
+
+}  // namespace nvsoc::baseline

@@ -1,0 +1,38 @@
+#include "bus/arbiter.hpp"
+
+#include <bit>
+
+namespace nvsoc {
+
+const char* master_name(MasterId id) {
+  switch (id) {
+    case MasterId::kCpu: return "ahb_master(cpu)";
+    case MasterId::kNvdlaDbb: return "dbb_master(nvdla)";
+  }
+  return "unknown_master";
+}
+
+BusResponse DramArbiter::arbitrate(MasterId id, const BusRequest& req) {
+  auto& mstats = stats_[static_cast<std::size_t>(id)];
+
+  // Mutual exclusion: a request issued while the downstream port is busy is
+  // held in the request phase until grant.
+  const Cycle grant = req.start < busy_until_ ? busy_until_ : req.start;
+  mstats.wait_cycles += grant - req.start;
+  ++mstats.grants;
+
+  BusRequest granted = req;
+  granted.start = grant;
+  BusResponse rsp = memory_.access(granted);
+  if (rsp.status.is_ok()) {
+    mstats.bytes += req.is_write
+                        ? static_cast<std::uint64_t>(
+                              std::popcount(req.byte_enable))
+                        : 4u;
+    busy_until_ = rsp.complete;
+    last_granted_ = id;
+  }
+  return rsp;
+}
+
+}  // namespace nvsoc

@@ -1,0 +1,81 @@
+// DRAM arbiter (Fig. 2): coordinates shared data-memory access between the
+// NVDLA DBB interface and the µRISC-V AHB interface, guaranteeing mutual
+// exclusion. Transaction-level model: the arbiter keeps the cycle at which
+// the memory port frees up; a request arriving while the port is busy is
+// stalled until grant. Round-robin tie-break between masters, matching the
+// fair arbitration logic of the paper's system bus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bus/bus_types.hpp"
+
+namespace nvsoc {
+
+/// Identifies the requesting master for arbitration accounting.
+enum class MasterId : std::uint8_t { kCpu = 0, kNvdlaDbb = 1 };
+
+inline constexpr std::size_t kNumMasters = 2;
+
+const char* master_name(MasterId id);
+
+/// Per-master arbitration statistics for the Fig. 2 census bench.
+struct ArbiterMasterStats {
+  std::uint64_t grants = 0;
+  std::uint64_t wait_cycles = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Arbitrates a single downstream 32-bit memory port between two masters.
+/// Each master gets its own facade (`port(MasterId)`) implementing BusTarget
+/// so upstream components stay master-agnostic.
+class DramArbiter {
+ public:
+  explicit DramArbiter(BusTarget& memory) : memory_(memory) {
+    ports_[0].emplace(*this, MasterId::kCpu);
+    ports_[1].emplace(*this, MasterId::kNvdlaDbb);
+  }
+
+  BusTarget& port(MasterId id) {
+    return *ports_[static_cast<std::size_t>(id)];
+  }
+
+  const ArbiterMasterStats& master_stats(MasterId id) const {
+    return stats_[static_cast<std::size_t>(id)];
+  }
+
+  /// Cycle at which the downstream memory port becomes idle again.
+  Cycle busy_until() const { return busy_until_; }
+
+  /// Total cycles any master spent waiting for grant.
+  std::uint64_t total_wait_cycles() const {
+    return stats_[0].wait_cycles + stats_[1].wait_cycles;
+  }
+
+ private:
+  class Port final : public BusTarget {
+   public:
+    Port(DramArbiter& owner, MasterId id) : owner_(owner), id_(id) {}
+    BusResponse access(const BusRequest& req) override {
+      return owner_.arbitrate(id_, req);
+    }
+    std::string_view name() const override { return master_name(id_); }
+
+   private:
+    DramArbiter& owner_;
+    MasterId id_;
+  };
+
+  BusResponse arbitrate(MasterId id, const BusRequest& req);
+
+  BusTarget& memory_;
+  std::array<std::optional<Port>, kNumMasters> ports_;
+  std::array<ArbiterMasterStats, kNumMasters> stats_{};
+  Cycle busy_until_ = 0;
+  MasterId last_granted_ = MasterId::kNvdlaDbb;  // so CPU wins the first tie
+};
+
+}  // namespace nvsoc

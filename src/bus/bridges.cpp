@@ -1,0 +1,60 @@
+#include "bus/bridges.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc {
+
+BusResponse AhbToApbBridge::access(const BusRequest& req) {
+  // AHB address phase, then APB SETUP; the downstream target models the
+  // ACCESS phase onwards.
+  BusRequest downstream = req;
+  downstream.start = req.start + timing_.ahb_address_phase + timing_.apb_setup;
+  BusResponse rsp = apb_.access(downstream);
+  // The AHB data phase completes one cycle after the APB access returns.
+  rsp.complete += 1;
+  stats_.note(req, rsp, timing_.ahb_address_phase + timing_.apb_setup + 2);
+  return rsp;
+}
+
+BusResponse ApbToCsbAdapter::access(const BusRequest& req) {
+  if ((req.addr & 0x3u) != 0) {
+    BusResponse rsp{Status(StatusCode::kUnaligned,
+                           strfmt("CSB access at {:#x} not word-aligned",
+                                       req.addr)),
+                    0, req.start + 1};
+    stats_.note(req, rsp, 1);
+    return rsp;
+  }
+  CsbRequest csb_req{.addr = req.addr,
+                     .is_write = req.is_write,
+                     .wdata = req.wdata,
+                     .start = req.start + timing_.apb_access +
+                              timing_.csb_request};
+  CsbResponse csb_rsp = csb_.csb_access(csb_req);
+  BusResponse rsp{csb_rsp.status, csb_rsp.rdata,
+                  csb_rsp.complete +
+                      (req.is_write ? 0 : timing_.csb_response)};
+  stats_.note(req, rsp, timing_.apb_access + timing_.csb_request);
+  return rsp;
+}
+
+BusResponse AhbToAxiBridge::access(const BusRequest& req) {
+  BusRequest downstream = req;
+  downstream.start = req.start + timing_.axi_conversion;
+  BusResponse rsp = axi_.access(downstream);
+  stats_.note(req, rsp, timing_.axi_conversion + 1);
+  return rsp;
+}
+
+Cycle csb_write_path_cycles(const BridgeTiming& t) {
+  // store -> AHB addr phase -> APB setup -> APB access -> CSB request queue
+  // -> (posted write retires) -> AHB data phase.
+  return t.ahb_address_phase + t.apb_setup + t.apb_access + t.csb_request + 1;
+}
+
+Cycle csb_read_path_cycles(const BridgeTiming& t) {
+  return t.ahb_address_phase + t.apb_setup + t.apb_access + t.csb_request +
+         t.csb_response + 1;
+}
+
+}  // namespace nvsoc

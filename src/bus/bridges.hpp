@@ -1,0 +1,95 @@
+// Interface bridges of the NVDLA wrapper (Fig. 2):
+//
+//   AhbToApbBridge : the open-source ARM AHB-Lite -> APB bridge the paper
+//                    reuses. Every APB transfer costs a setup phase plus an
+//                    access phase (2 PCLK cycles minimum) on top of the AHB
+//                    address/data phases.
+//   ApbToCsbAdapter: the apb2csb adapter shipped with the NVDLA package.
+//                    Converts APB byte addresses to CSB word addresses and
+//                    carries the request/response handshake.
+//   AhbToAxiBridge : connects the core's AHB-Lite data port to AXI-compliant
+//                    data memory; single-beat transfers with a fixed
+//                    protocol-conversion cost.
+//
+// Together with the system-bus decoder these make NVDLA registers plain
+// load/store targets — the mechanism that lets the paper drop the Linux
+// driver stack entirely.
+#pragma once
+
+#include "bus/bus_types.hpp"
+
+namespace nvsoc {
+
+/// Latency knobs for the bridge models. Defaults follow the ARM APB3
+/// protocol (setup + access) and single-stage synchronisers; the ablation
+/// bench sweeps these to show the cost of a less tightly coupled config path.
+struct BridgeTiming {
+  Cycle ahb_address_phase = 1;  ///< AHB address phase
+  Cycle apb_setup = 1;          ///< APB SETUP state
+  Cycle apb_access = 1;         ///< APB ACCESS state (minimum, no wait states)
+  Cycle csb_request = 1;        ///< CSB request queue stage
+  Cycle csb_response = 1;       ///< CSB read-data return stage
+  Cycle axi_conversion = 2;     ///< AHB->AXI protocol conversion overhead
+};
+
+/// AHB-Lite slave that forwards to an APB (32-bit) target.
+class AhbToApbBridge final : public BusTarget {
+ public:
+  AhbToApbBridge(BusTarget& apb_target, BridgeTiming timing = {})
+      : apb_(apb_target), timing_(timing) {}
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "ahb2apb_bridge"; }
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  BusTarget& apb_;
+  BridgeTiming timing_;
+  BusStats stats_;
+};
+
+/// APB slave that drives the NVDLA CSB. Mirrors nvdla/apb2csb: the APB byte
+/// address is translated to the CSB's 32-bit word addressing; reads block
+/// until the CSB returns read data.
+class ApbToCsbAdapter final : public BusTarget {
+ public:
+  ApbToCsbAdapter(CsbTarget& csb, BridgeTiming timing = {})
+      : csb_(csb), timing_(timing) {}
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "apb2csb_adapter"; }
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  CsbTarget& csb_;
+  BridgeTiming timing_;
+  BusStats stats_;
+};
+
+/// AHB-Lite slave that forwards single-beat transfers to an AXI target of
+/// 32-bit width (the AXI-compliant data-memory path of Fig. 2).
+class AhbToAxiBridge final : public BusTarget {
+ public:
+  AhbToAxiBridge(BusTarget& axi_target, BridgeTiming timing = {})
+      : axi_(axi_target), timing_(timing) {}
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "ahb2axi_bridge"; }
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  BusTarget& axi_;
+  BridgeTiming timing_;
+  BusStats stats_;
+};
+
+/// End-to-end CSB register path cost with the given timing, in CPU cycles:
+/// the cost of one bare-metal register write as seen by the µRISC-V store
+/// instruction. Used by the analytic layer-time model and the ablation bench.
+Cycle csb_write_path_cycles(const BridgeTiming& timing);
+Cycle csb_read_path_cycles(const BridgeTiming& timing);
+
+}  // namespace nvsoc

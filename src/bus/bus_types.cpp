@@ -1,0 +1,47 @@
+#include "bus/bus_types.hpp"
+
+#include <bit>
+
+namespace nvsoc {
+
+namespace {
+std::uint64_t active_bytes(std::uint8_t byte_enable) {
+  return static_cast<std::uint64_t>(std::popcount(byte_enable));
+}
+}  // namespace
+
+void BusStats::note(const BusRequest& req, const BusResponse& rsp,
+                    Cycle min_latency) {
+  if (!rsp.status.is_ok()) {
+    ++errors;
+    return;
+  }
+  if (req.is_write) {
+    ++writes;
+    bytes_written += active_bytes(req.byte_enable);
+  } else {
+    ++reads;
+    bytes_read += 4;
+  }
+  const Cycle latency = rsp.complete - req.start;
+  if (latency > min_latency) stall_cycles += latency - min_latency;
+}
+
+void BusStats::note_axi(const AxiBurstRequest& req, const AxiBurstResponse& rsp,
+                        Cycle min_latency) {
+  if (!rsp.status.is_ok()) {
+    ++errors;
+    return;
+  }
+  if (req.is_write) {
+    ++writes;
+    bytes_written += req.wdata.size();
+  } else {
+    ++reads;
+    bytes_read += req.rbuf.size();
+  }
+  const Cycle latency = rsp.complete - req.start;
+  if (latency > min_latency) stall_cycles += latency - min_latency;
+}
+
+}  // namespace nvsoc

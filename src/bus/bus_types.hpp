@@ -1,0 +1,116 @@
+// Transaction-level bus vocabulary.
+//
+// The simulator is transaction-level with explicit timestamps: a master
+// issues a request stamped with its current cycle, and the slave returns the
+// absolute cycle at which the response completes. Every fabric component
+// (bridge, decoder, arbiter, converter) forwards the request downstream and
+// adds its own protocol latency, so end-to-end path costs (e.g. the
+// AHB-Lite -> APB -> CSB register-write path central to the paper's
+// bare-metal flow) are the sum of per-hop costs, exactly as in the RTL.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace nvsoc {
+
+/// A single-beat transfer on a 32-bit bus (AHB-Lite or APB data phase).
+struct BusRequest {
+  Addr addr = 0;
+  bool is_write = false;
+  Word wdata = 0;
+  /// Active byte lanes within the 32-bit word (bit i covers byte i).
+  std::uint8_t byte_enable = 0xF;
+  /// Master-side cycle at which the transfer is issued.
+  Cycle start = 0;
+};
+
+struct BusResponse {
+  Status status;
+  Word rdata = 0;
+  /// Absolute cycle at which the transfer completes at the master.
+  Cycle complete = 0;
+};
+
+/// Memory-mapped slave on a 32-bit bus.
+class BusTarget {
+ public:
+  virtual ~BusTarget() = default;
+  virtual BusResponse access(const BusRequest& req) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// A burst transfer on the 64-bit AXI data backbone (NVDLA DBB).
+/// `data` covers the full burst; length must be a multiple of 8 bytes.
+struct AxiBurstRequest {
+  Addr addr = 0;
+  bool is_write = false;
+  std::span<const std::uint8_t> wdata;  ///< valid when is_write
+  std::span<std::uint8_t> rbuf;         ///< valid when !is_write
+  Cycle start = 0;
+
+  std::size_t size_bytes() const {
+    return is_write ? wdata.size() : rbuf.size();
+  }
+};
+
+struct AxiBurstResponse {
+  Status status;
+  Cycle complete = 0;
+};
+
+/// Slave on the 64-bit AXI backbone.
+class AxiTarget {
+ public:
+  virtual ~AxiTarget() = default;
+  virtual AxiBurstResponse burst(const AxiBurstRequest& req) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// NVDLA configuration-space-bus request. The CSB is the register interface
+/// exposed by the NVDLA core; its native addressing is in 32-bit words, but
+/// we carry byte addresses end-to-end and convert at the APB->CSB adapter,
+/// matching the NVDLA package's apb2csb RTL.
+struct CsbRequest {
+  Addr addr = 0;  ///< byte address within the NVDLA register space
+  bool is_write = false;
+  Word wdata = 0;
+  Cycle start = 0;
+};
+
+struct CsbResponse {
+  Status status;
+  Word rdata = 0;
+  Cycle complete = 0;
+};
+
+/// The NVDLA core's register interface.
+class CsbTarget {
+ public:
+  virtual ~CsbTarget() = default;
+  virtual CsbResponse csb_access(const CsbRequest& req) = 0;
+};
+
+/// Aggregate transaction counters kept by every fabric component so the
+/// Fig. 2 / Fig. 4 benches can print a per-component traffic census.
+struct BusStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t errors = 0;
+
+  std::uint64_t transfers() const { return reads + writes; }
+  std::uint64_t bytes() const { return bytes_read + bytes_written; }
+
+  void note(const BusRequest& req, const BusResponse& rsp, Cycle min_latency);
+  void note_axi(const AxiBurstRequest& req, const AxiBurstResponse& rsp,
+                Cycle min_latency);
+};
+
+}  // namespace nvsoc

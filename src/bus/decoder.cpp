@@ -1,0 +1,55 @@
+#include "bus/decoder.hpp"
+
+#include "common/strfmt.hpp"
+#include <stdexcept>
+
+namespace nvsoc {
+
+void SystemBusDecoder::add_region(DecoderRegion region) {
+  if (region.target == nullptr) {
+    throw std::runtime_error("decoder region '" + region.label +
+                             "' has no target");
+  }
+  if (region.last < region.base) {
+    throw std::runtime_error("decoder region '" + region.label +
+                             "' has last < base");
+  }
+  for (const auto& existing : regions_) {
+    const bool overlaps =
+        region.base <= existing.last && existing.base <= region.last;
+    if (overlaps) {
+      throw std::runtime_error(
+          strfmt("decoder region '{}' [{:#x},{:#x}] overlaps '{}' "
+                      "[{:#x},{:#x}]",
+                      region.label, region.base, region.last, existing.label,
+                      existing.base, existing.last));
+    }
+  }
+  regions_.push_back(std::move(region));
+}
+
+const DecoderRegion* SystemBusDecoder::find_region(Addr addr) const {
+  for (const auto& region : regions_) {
+    if (addr >= region.base && addr <= region.last) return &region;
+  }
+  return nullptr;
+}
+
+BusResponse SystemBusDecoder::access(const BusRequest& req) {
+  const DecoderRegion* region = find_region(req.addr);
+  if (region == nullptr) {
+    BusResponse rsp{Status(StatusCode::kBusError,
+                           strfmt("decode error at {:#x}", req.addr)),
+                    0, req.start + 1};
+    stats_.note(req, rsp, 1);
+    return rsp;
+  }
+  BusRequest downstream = req;
+  downstream.start = req.start + decode_cycles_;
+  if (region->relative_addressing) downstream.addr = req.addr - region->base;
+  BusResponse rsp = region->target->access(downstream);
+  stats_.note(req, rsp, decode_cycles_ + 1);
+  return rsp;
+}
+
+}  // namespace nvsoc

@@ -1,0 +1,63 @@
+// System-bus decoder (Fig. 2): assigns distinct address spaces to each slave
+// device so the µRISC-V core can program NVDLA with plain load/store
+// instructions. The paper's map:
+//   NVDLA : 0x000000 -- 0x0FFFFF   (all CSB configuration registers)
+//   DRAM  : 0x100000 -- 0x200FFFFF (512 MB data memory)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/bus_types.hpp"
+
+namespace nvsoc {
+
+/// One decoded slave region. Addresses are inclusive. Downstream targets see
+/// addresses relative to `base` when `relative_addressing` is set (the NVDLA
+/// wrapper expects register offsets, DRAM expects absolute SoC addresses).
+struct DecoderRegion {
+  Addr base = 0;
+  Addr last = 0;
+  BusTarget* target = nullptr;
+  bool relative_addressing = false;
+  std::string label;
+};
+
+class SystemBusDecoder final : public BusTarget {
+ public:
+  /// `decode_cycles`: combinational decode modelled as zero by default; a
+  /// registered decoder (timing closure variant) costs one cycle per access.
+  explicit SystemBusDecoder(Cycle decode_cycles = 0)
+      : decode_cycles_(decode_cycles) {}
+
+  /// Registers a region. Throws std::runtime_error on overlap with an
+  /// existing region — overlapping decode is a design error in the RTL too.
+  void add_region(DecoderRegion region);
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "system_bus_decoder"; }
+
+  /// Region lookup for tests and the address-map bench.
+  const DecoderRegion* find_region(Addr addr) const;
+  const std::vector<DecoderRegion>& regions() const { return regions_; }
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  Cycle decode_cycles_;
+  std::vector<DecoderRegion> regions_;
+  BusStats stats_;
+};
+
+/// The paper's SoC address map constants.
+namespace addrmap {
+inline constexpr Addr kNvdlaBase = 0x0;
+inline constexpr Addr kNvdlaLast = 0xFFFFF;
+inline constexpr Addr kDramBase = 0x100000;
+inline constexpr Addr kDramLast = 0x200FFFFF;
+inline constexpr std::uint64_t kDramBytes = kDramLast - kDramBase + 1;
+static_assert(kDramBytes == 512ull * 1024 * 1024,
+              "paper maps exactly 512 MB of DRAM data memory");
+}  // namespace addrmap
+
+}  // namespace nvsoc

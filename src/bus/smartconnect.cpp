@@ -1,0 +1,52 @@
+#include "bus/smartconnect.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace nvsoc {
+
+BusResponse AxiSmartConnect::route(SmartConnectSelect from,
+                                   const BusRequest& req) {
+  if (from != selected_) {
+    ++blocked_;
+    return BusResponse{
+        Status(StatusCode::kBusError,
+               "smartconnect: access through deselected port"),
+        0, req.start + 1};
+  }
+  // SmartConnect adds one cycle of routing latency per transfer.
+  BusRequest downstream = req;
+  downstream.start = req.start + 1;
+  return ddr_.access(downstream);
+}
+
+Cycle AxiInterconnectCdc::slow_to_fast(Cycle slow_cycles) const {
+  return ceil_div<Cycle>(slow_cycles * fast_clock_, slow_clock_);
+}
+
+Cycle AxiInterconnectCdc::fast_to_slow(Cycle fast_cycles) const {
+  return ceil_div<Cycle>(fast_cycles * slow_clock_, fast_clock_);
+}
+
+BusResponse AxiInterconnectCdc::access(const BusRequest& req) {
+  // Back-to-back transfers ride the asynchronous FIFOs already primed by
+  // the previous beat and stream at the slow domain's beat rate; an idle
+  // restart pays the full two-flop synchroniser in each direction.
+  const bool streaming =
+      req.start <= last_fast_complete_ + slow_to_fast(1) + 1;
+  const Cycle slow_start =
+      fast_to_slow(req.start) + (streaming ? 0 : sync_stages_);
+  BusRequest downstream = req;
+  downstream.start = slow_start;
+  BusResponse slow_rsp = slow_.access(downstream);
+
+  // Response crosses back into the fast domain.
+  BusResponse rsp = slow_rsp;
+  rsp.complete =
+      slow_to_fast(slow_rsp.complete + (streaming ? 0 : sync_stages_));
+  if (rsp.complete <= req.start) rsp.complete = req.start + 1;
+  if (rsp.status.is_ok()) last_fast_complete_ = rsp.complete;
+  stats_.note(req, rsp, 1);
+  return rsp;
+}
+
+}  // namespace nvsoc

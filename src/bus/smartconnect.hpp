@@ -1,0 +1,102 @@
+// AXI SmartConnect mux and AXI Interconnect clock-domain crossing models for
+// the overall system set-up (Fig. 4).
+//
+// On the ZCU102 the DRAM is connected either to the Zynq PS (to preload
+// weights and input image) or to the SoC (to run inference) — never both.
+// The SmartConnect functions as a multiplexer between the two masters.
+// An AXI Interconnect between the SoC (300 MHz) and the MIG DDR4 (100 MHz)
+// reconciles the frequency mismatch; crossing the domains costs
+// synchroniser latency and converts cycle counts between the two clocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "bus/bus_types.hpp"
+
+namespace nvsoc {
+
+enum class SmartConnectSelect : std::uint8_t { kZynqPs = 0, kSoc = 1 };
+
+/// Exclusive two-master mux in front of the DDR4 memory. Accessing through
+/// the deselected port is a design error (the paper flips the mux between
+/// the preload and run phases), reported as a bus error.
+class AxiSmartConnect {
+ public:
+  explicit AxiSmartConnect(BusTarget& ddr_port) : ddr_(ddr_port) {
+    zynq_port_.emplace(*this, SmartConnectSelect::kZynqPs);
+    soc_port_.emplace(*this, SmartConnectSelect::kSoc);
+  }
+
+  void select(SmartConnectSelect sel) { selected_ = sel; }
+  SmartConnectSelect selected() const { return selected_; }
+
+  BusTarget& zynq_port() { return *zynq_port_; }
+  BusTarget& soc_port() { return *soc_port_; }
+
+  std::uint64_t blocked_accesses() const { return blocked_; }
+
+ private:
+  class Port final : public BusTarget {
+   public:
+    Port(AxiSmartConnect& owner, SmartConnectSelect id)
+        : owner_(owner), id_(id) {}
+    BusResponse access(const BusRequest& req) override {
+      return owner_.route(id_, req);
+    }
+    std::string_view name() const override {
+      return id_ == SmartConnectSelect::kZynqPs ? "smartconnect.zynq_port"
+                                                : "smartconnect.soc_port";
+    }
+
+   private:
+    AxiSmartConnect& owner_;
+    SmartConnectSelect id_;
+  };
+
+  BusResponse route(SmartConnectSelect from, const BusRequest& req);
+
+  BusTarget& ddr_;
+  std::optional<Port> zynq_port_;
+  std::optional<Port> soc_port_;
+  SmartConnectSelect selected_ = SmartConnectSelect::kZynqPs;
+  std::uint64_t blocked_ = 0;
+};
+
+/// AXI Interconnect with asynchronous clock-domain crossing. Requests arrive
+/// stamped in the fast (SoC) domain; the downstream target runs in the slow
+/// (memory) domain. Cycle counts are rescaled by the clock ratio and each
+/// crossing pays a two-flop synchroniser in the destination domain.
+class AxiInterconnectCdc final : public BusTarget {
+ public:
+  AxiInterconnectCdc(BusTarget& slow_side, Hertz fast_clock, Hertz slow_clock,
+                     Cycle sync_stages = 2)
+      : slow_(slow_side),
+        fast_clock_(fast_clock),
+        slow_clock_(slow_clock),
+        sync_stages_(sync_stages) {
+    if (fast_clock == 0 || slow_clock == 0) {
+      throw std::runtime_error("CDC clocks must be nonzero");
+    }
+  }
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "axi_interconnect_cdc"; }
+
+  const BusStats& stats() const { return stats_; }
+
+  /// Fast-domain cycles consumed by one slow-domain cycle (ceil).
+  Cycle slow_to_fast(Cycle slow_cycles) const;
+  Cycle fast_to_slow(Cycle fast_cycles) const;
+
+ private:
+  BusTarget& slow_;
+  Hertz fast_clock_;
+  Hertz slow_clock_;
+  Cycle sync_stages_;
+  Cycle last_fast_complete_ = 0;
+  BusStats stats_;
+};
+
+}  // namespace nvsoc

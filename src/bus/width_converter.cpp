@@ -1,0 +1,49 @@
+#include "bus/width_converter.hpp"
+
+#include <cstring>
+#include "common/strfmt.hpp"
+
+namespace nvsoc {
+
+AxiBurstResponse AxiWidthConverter::burst(const AxiBurstRequest& req) {
+  const std::size_t size = req.size_bytes();
+  if (size == 0 || (size % 4) != 0 || (req.addr % 4) != 0) {
+    AxiBurstResponse rsp{
+        Status(StatusCode::kUnaligned,
+               strfmt("DBB burst addr={:#x} size={} not 32-bit aligned",
+                           req.addr, size)),
+        req.start + 1};
+    stats_.note_axi(req, rsp, 1);
+    return rsp;
+  }
+
+  Cycle now = req.start + conversion_cycles_;
+  for (std::size_t offset = 0; offset < size; offset += 4) {
+    BusRequest beat{.addr = req.addr + offset,
+                    .is_write = req.is_write,
+                    .wdata = 0,
+                    .byte_enable = 0xF,
+                    .start = now};
+    if (req.is_write) {
+      Word w = 0;
+      std::memcpy(&w, req.wdata.data() + offset, 4);
+      beat.wdata = w;
+    }
+    BusResponse beat_rsp = downstream_.access(beat);
+    if (!beat_rsp.status.is_ok()) {
+      AxiBurstResponse rsp{beat_rsp.status, beat_rsp.complete};
+      stats_.note_axi(req, rsp, 1);
+      return rsp;
+    }
+    if (!req.is_write) {
+      std::memcpy(req.rbuf.data() + offset, &beat_rsp.rdata, 4);
+    }
+    now = beat_rsp.complete;
+  }
+
+  AxiBurstResponse rsp{Status::ok(), now};
+  stats_.note_axi(req, rsp, conversion_cycles_ + size / 4);
+  return rsp;
+}
+
+}  // namespace nvsoc

@@ -1,0 +1,32 @@
+// AXI data-width converter (Fig. 2): adapts the NVDLA 64-bit data backbone
+// (DBB) to the SoC's 32-bit data memory. Every 64-bit beat is split into two
+// 32-bit transfers on the downstream port; bursts are cracked beat by beat.
+// This is the component that makes nv_small's modest DBB width workable on
+// the paper's 32-bit system bus — and the reason DBB traffic costs twice the
+// beats it would on a native 64-bit memory (quantified by the Fig. 2 bench).
+#pragma once
+
+#include "bus/bus_types.hpp"
+
+namespace nvsoc {
+
+class AxiWidthConverter final : public AxiTarget {
+ public:
+  /// `downstream` is the 32-bit memory-side port (typically the arbiter's
+  /// DBB facade). `conversion_cycles` is the packing/unpacking pipeline
+  /// latency added once per burst.
+  AxiWidthConverter(BusTarget& downstream, Cycle conversion_cycles = 1)
+      : downstream_(downstream), conversion_cycles_(conversion_cycles) {}
+
+  AxiBurstResponse burst(const AxiBurstRequest& req) override;
+  std::string_view name() const override { return "axi_dwidth_converter"; }
+
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  BusTarget& downstream_;
+  Cycle conversion_cycles_;
+  BusStats stats_;
+};
+
+}  // namespace nvsoc

@@ -1,0 +1,68 @@
+// Bit- and alignment-manipulation helpers used by bus models, the RISC-V
+// decoder and the NVDLA register file.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace nvsoc {
+
+/// True when `value` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Round `value` up to the next multiple of `align` (align must be pow2).
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Round `value` down to the previous multiple of `align` (align pow2).
+constexpr std::uint64_t align_down(std::uint64_t value, std::uint64_t align) {
+  return value & ~(align - 1);
+}
+
+/// True when `value` is a multiple of `align` (align must be pow2).
+constexpr bool is_aligned(std::uint64_t value, std::uint64_t align) {
+  return (value & (align - 1)) == 0;
+}
+
+/// Extract bits [lo, lo+width) of `value`.
+constexpr std::uint32_t bits(std::uint32_t value, unsigned lo, unsigned width) {
+  return (value >> lo) & ((width >= 32) ? ~0u : ((1u << width) - 1u));
+}
+
+/// Extract the single bit `pos` of `value`.
+constexpr std::uint32_t bit(std::uint32_t value, unsigned pos) {
+  return (value >> pos) & 1u;
+}
+
+/// Sign-extend the low `width` bits of `value` to a signed 32-bit integer.
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned width) {
+  const unsigned shift = 32 - width;
+  return static_cast<std::int32_t>(value << shift) >> shift;
+}
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+/// Saturate a wide integer into the signed 8-bit range (NVDLA INT8 output).
+constexpr std::int8_t saturate_i8(std::int64_t v) {
+  if (v > 127) return 127;
+  if (v < -128) return -128;
+  return static_cast<std::int8_t>(v);
+}
+
+/// Saturate a wide integer into the signed 32-bit range (NVDLA accumulator).
+constexpr std::int32_t saturate_i32(std::int64_t v) {
+  if (v > INT32_MAX) return INT32_MAX;
+  if (v < INT32_MIN) return INT32_MIN;
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace nvsoc

@@ -1,0 +1,75 @@
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace nvsoc {
+
+std::uint16_t float_to_half_bits(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((f >> 23) & 0xFF) - 127;
+  std::uint32_t mant = f & 0x007FFFFFu;
+
+  if (exp == 128) {  // Inf or NaN
+    if (mant != 0) return static_cast<std::uint16_t>(sign | 0x7E00u);  // qNaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u);                 // Inf
+  }
+  if (exp > 15) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal half
+    // Round mantissa from 23 to 10 bits, round-to-nearest-even.
+    std::uint32_t half_exp = static_cast<std::uint32_t>(exp + 15);
+    std::uint32_t rounded = mant + 0x00000FFFu + ((mant >> 13) & 1u);
+    if (rounded & 0x00800000u) {  // mantissa overflow bumps exponent
+      rounded = 0;
+      ++half_exp;
+      if (half_exp >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    return static_cast<std::uint16_t>(sign | (half_exp << 10) |
+                                      (rounded >> 13));
+  }
+  if (exp >= -25) {  // denormal half
+    mant |= 0x00800000u;  // implicit leading 1
+    const unsigned shift = static_cast<unsigned>(-exp - 14 + 13);
+    std::uint32_t denorm = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    const std::uint32_t rem_mask = (1u << shift) - 1u;
+    const std::uint32_t rem = mant & rem_mask;
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (denorm & 1u))) ++denorm;
+    return static_cast<std::uint16_t>(sign | denorm);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+float half_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u)
+                             << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // zero
+    } else {
+      // Denormal: normalise.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((m & 0x03FFu) << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace nvsoc

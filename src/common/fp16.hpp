@@ -1,0 +1,41 @@
+// IEEE-754 binary16 ("half") support for the nv_full NVDLA datapath.
+// Storage-only type: arithmetic is performed in float and converted back,
+// matching how the NVDLA CMAC FP16 pipeline accumulates in higher precision.
+#pragma once
+
+#include <cstdint>
+
+namespace nvsoc {
+
+/// Convert a float to its nearest binary16 bit pattern (round-to-nearest-even,
+/// with overflow to infinity and denormal support).
+std::uint16_t float_to_half_bits(float value);
+
+/// Convert a binary16 bit pattern to float (exact).
+float half_bits_to_float(std::uint16_t bits);
+
+/// A binary16 value. Trivially copyable; 2 bytes, layout-compatible with the
+/// NVDLA FP16 memory format.
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float value) : bits_(float_to_half_bits(value)) {}
+
+  static Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  std::uint16_t bits() const { return bits_; }
+  float to_float() const { return half_bits_to_float(bits_); }
+
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2);
+
+}  // namespace nvsoc

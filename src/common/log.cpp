@@ -1,0 +1,25 @@
+#include "common/log.hpp"
+
+namespace nvsoc {
+
+LogConfig& LogConfig::instance() {
+  static LogConfig config;
+  return config;
+}
+
+void LogConfig::emit(LogLevel level, std::string_view component,
+                     std::string_view message) {
+  if (sink_) {
+    sink_(level, component, message);
+    return;
+  }
+  if (level < level_) return;
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n",
+               kNames[static_cast<int>(level)],
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace nvsoc

@@ -1,0 +1,83 @@
+// Minimal leveled logger. Components log through a named Logger so traces
+// can be filtered per subsystem (e.g. "nvdla.csb_adaptor", which the
+// toolflow's VP-log parser keys on).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration: level threshold and an optional sink override
+/// (used by the virtual platform to capture adaptor traces into a file).
+class LogConfig {
+ public:
+  static LogConfig& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  /// Replace the stderr sink. Pass nullptr to restore the default.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  bool sink_installed() const { return static_cast<bool>(sink_); }
+
+  void emit(LogLevel level, std::string_view component,
+            std::string_view message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Named logger handle; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  const std::string& component() const { return component_; }
+
+  template <typename... Args>
+  void trace(std::string_view fmt, const Args&... args) const {
+    log(LogLevel::kTrace, fmt, args...);
+  }
+  template <typename... Args>
+  void debug(std::string_view fmt, const Args&... args) const {
+    log(LogLevel::kDebug, fmt, args...);
+  }
+  template <typename... Args>
+  void info(std::string_view fmt, const Args&... args) const {
+    log(LogLevel::kInfo, fmt, args...);
+  }
+  template <typename... Args>
+  void warn(std::string_view fmt, const Args&... args) const {
+    log(LogLevel::kWarn, fmt, args...);
+  }
+  template <typename... Args>
+  void error(std::string_view fmt, const Args&... args) const {
+    log(LogLevel::kError, fmt, args...);
+  }
+
+ private:
+  template <typename... Args>
+  void log(LogLevel level, std::string_view fmt, const Args&... args) const {
+    auto& cfg = LogConfig::instance();
+    // When a sink is installed it must observe every line (the VP trace
+    // capture keys on adaptor lines regardless of the console threshold).
+    if (level < cfg.level() && !cfg.sink_installed()) return;
+    cfg.emit(level, component_, strfmt(fmt, args...));
+  }
+
+  std::string component_;
+};
+
+}  // namespace nvsoc

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random generator (SplitMix64 + xoshiro256**) used for
+// synthetic weights, test vectors and property sweeps. Deterministic across
+// platforms so EXPERIMENTS.md numbers are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace nvsoc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Roughly normal (sum of uniforms), mean 0, std ~1. Good enough for
+  /// synthetic weight tensors.
+  float next_gaussian() {
+    float s = 0.0f;
+    for (int i = 0; i < 12; ++i) s += next_float();
+    return s - 6.0f;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace nvsoc

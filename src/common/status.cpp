@@ -1,0 +1,36 @@
+#include "common/status.hpp"
+
+namespace nvsoc {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnaligned: return "UNALIGNED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kBusError: return "BUS_ERROR";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void Status::expect_ok(const char* context) const {
+  if (is_ok()) return;
+  throw std::runtime_error(std::string(context) + ": " + to_string());
+}
+
+}  // namespace nvsoc

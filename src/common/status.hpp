@@ -1,0 +1,84 @@
+// Lightweight Status / Expected vocabulary for recoverable failures on
+// simulator hot paths, where exceptions would distort the timing model's
+// structure. Configuration/programmer errors still throw std::runtime_error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nvsoc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kUnaligned,
+  kNotFound,
+  kAlreadyExists,
+  kUnsupported,
+  kBusError,
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name of a status code.
+const char* status_code_name(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+  /// Throws std::runtime_error when not OK; for callers where failure is a
+  /// programming error rather than a modelled condition.
+  void expect_ok(const char* context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result-or-status. A minimal expected<T, Status>.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}           // NOLINT implicit
+  Result(Status status) : storage_(std::move(status)) {}    // NOLINT implicit
+  Result(StatusCode code, std::string message)
+      : storage_(Status(code, std::move(message))) {}
+
+  bool is_ok() const { return std::holds_alternative<T>(storage_); }
+
+  const T& value() const& {
+    if (!is_ok()) throw std::runtime_error("Result::value on error: " +
+                                           std::get<Status>(storage_).to_string());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    if (!is_ok()) throw std::runtime_error("Result::value on error: " +
+                                           std::get<Status>(storage_).to_string());
+    return std::get<T>(std::move(storage_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(storage_);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace nvsoc

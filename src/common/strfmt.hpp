@@ -1,0 +1,154 @@
+// Minimal {}-style string formatter (subset of std::format, which libstdc++
+// 12 does not ship). Supports positional-free "{}" placeholders with specs:
+//   {}        default formatting
+//   {:x} {:X} hex
+//   {:#x}     hex with 0x prefix
+//   {:08x}    zero-fill to width 8, hex
+//   {:d}      decimal
+//   {:.3f}    fixed floating point
+// "{{" and "}}" escape literal braces.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nvsoc {
+
+namespace fmt_detail {
+
+inline void apply_spec(std::ostream& os, std::string_view spec) {
+  // spec grammar (subset): [0][width][.precision][type]  |  [#][0][width][type]
+  std::size_t i = 0;
+  bool alt = false;
+  if (i < spec.size() && spec[i] == '#') {
+    alt = true;
+    ++i;
+  }
+  if (i < spec.size() && spec[i] == '0') {
+    os << std::setfill('0');
+    ++i;
+  }
+  std::size_t width = 0;
+  while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+    width = width * 10 + static_cast<std::size_t>(spec[i] - '0');
+    ++i;
+  }
+  if (width > 0) os << std::setw(static_cast<int>(width));
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    std::size_t precision = 0;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+      precision = precision * 10 + static_cast<std::size_t>(spec[i] - '0');
+      ++i;
+    }
+    os << std::fixed << std::setprecision(static_cast<int>(precision));
+  }
+  if (i < spec.size()) {
+    switch (spec[i]) {
+      case 'x':
+        if (alt) os << "0x";
+        os << std::hex;
+        break;
+      case 'X':
+        if (alt) os << "0x";
+        os << std::hex << std::uppercase;
+        break;
+      case 'd':
+        os << std::dec;
+        break;
+      case 'f':
+        os << std::fixed;
+        break;
+      default:
+        break;  // unknown type chars are ignored
+    }
+  }
+}
+
+template <typename T>
+void emit_value(std::ostream& os, std::string_view spec, const T& value) {
+  std::ostringstream tmp;
+  apply_spec(tmp, spec);
+  if constexpr (std::is_same_v<T, bool>) {
+    tmp << (value ? "true" : "false");
+  } else if constexpr (std::is_same_v<T, char> ||
+                       std::is_same_v<T, signed char> ||
+                       std::is_same_v<T, unsigned char>) {
+    // Hex/decimal specs print chars numerically; default prints the char.
+    if (!spec.empty()) {
+      tmp << static_cast<int>(value);
+    } else {
+      tmp << value;
+    }
+  } else {
+    tmp << value;
+  }
+  os << tmp.str();
+}
+
+inline void format_rest(std::ostream& os, std::string_view fmt) {
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      os << '{';
+      i += 2;
+    } else if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      os << '}';
+      i += 2;
+    } else if (fmt[i] == '{') {
+      throw std::runtime_error("strfmt: more placeholders than arguments: " +
+                               std::string(fmt));
+    } else {
+      os << fmt[i];
+      ++i;
+    }
+  }
+}
+
+template <typename T, typename... Rest>
+void format_rest(std::ostream& os, std::string_view fmt, const T& value,
+                 const Rest&... rest) {
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      os << '{';
+      i += 2;
+      continue;
+    }
+    if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      os << '}';
+      i += 2;
+      continue;
+    }
+    if (fmt[i] == '{') {
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::runtime_error("strfmt: unterminated placeholder");
+      }
+      std::string_view spec = fmt.substr(i + 1, close - i - 1);
+      if (!spec.empty() && spec.front() == ':') spec.remove_prefix(1);
+      emit_value(os, spec, value);
+      format_rest(os, fmt.substr(close + 1), rest...);
+      return;
+    }
+    os << fmt[i];
+    ++i;
+  }
+  // Extra arguments beyond the placeholders are ignored (matches common
+  // logging practice and keeps call sites resilient).
+}
+
+}  // namespace fmt_detail
+
+template <typename... Args>
+std::string strfmt(std::string_view fmt, const Args&... args) {
+  std::ostringstream os;
+  fmt_detail::format_rest(os, fmt, args...);
+  return os.str();
+}
+
+}  // namespace nvsoc

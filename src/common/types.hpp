@@ -1,0 +1,37 @@
+// Fundamental type aliases shared by every nvsoc module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace nvsoc {
+
+/// Simulation time in clock cycles of the component's own clock domain.
+using Cycle = std::uint64_t;
+
+/// Byte address on any bus in the system (32-bit physical address space,
+/// widened to 64 bits so intermediate arithmetic cannot overflow).
+using Addr = std::uint64_t;
+
+/// 32-bit bus word (AHB-Lite data width of the µRISC-V core).
+using Word = std::uint32_t;
+
+/// 64-bit bus word (NVDLA DBB native width).
+using DWord = std::uint64_t;
+
+/// Frequency in Hz, used to convert cycle counts into wall-clock time.
+using Hertz = std::uint64_t;
+
+inline constexpr Hertz kMHz = 1'000'000;
+
+/// Convert a cycle count at `clock` into seconds.
+constexpr double cycles_to_seconds(Cycle cycles, Hertz clock) {
+  return static_cast<double>(cycles) / static_cast<double>(clock);
+}
+
+/// Convert a cycle count at `clock` into milliseconds.
+constexpr double cycles_to_ms(Cycle cycles, Hertz clock) {
+  return cycles_to_seconds(cycles, clock) * 1e3;
+}
+
+}  // namespace nvsoc

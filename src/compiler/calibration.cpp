@@ -1,0 +1,119 @@
+#include "compiler/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "compiler/reference.hpp"
+
+namespace nvsoc::compiler {
+
+namespace {
+constexpr float kMinScale = 1e-6f;
+}
+
+float CalibrationTable::blob_scale(const std::string& blob) const {
+  const auto it = scales_.find(blob);
+  if (it == scales_.end()) {
+    throw std::runtime_error("calibration table has no blob " + blob);
+  }
+  return it->second;
+}
+
+void CalibrationTable::set_blob_scale(const std::string& blob, float scale) {
+  scales_[blob] = std::max(scale, kMinScale);
+}
+
+std::string CalibrationTable::to_text() const {
+  std::ostringstream os;
+  os << "# nvsoc INT8 calibration table: blob max-abs/127 scales\n";
+  for (const auto& [blob, scale] : scales_) {
+    os << blob << ' ' << scale << '\n';
+  }
+  return os.str();
+}
+
+CalibrationTable CalibrationTable::from_text(const std::string& text) {
+  CalibrationTable table;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string blob;
+    float scale = 0.0f;
+    if (!(ls >> blob >> scale)) {
+      throw std::runtime_error("bad calibration line: " + line);
+    }
+    table.set_blob_scale(blob, scale);
+  }
+  return table;
+}
+
+CalibrationTable calibrate(const Network& network, const NetWeights& weights,
+                           std::span<const std::vector<float>> inputs) {
+  if (inputs.empty()) {
+    throw std::runtime_error("calibration needs at least one input");
+  }
+  ReferenceExecutor reference(network, weights);
+
+  std::map<std::string, float> max_abs;
+  for (const auto& input : inputs) {
+    const auto blobs = reference.run(input);
+    for (const auto& [name, tensor] : blobs) {
+      float m = max_abs.contains(name) ? max_abs[name] : 0.0f;
+      for (const float v : tensor) m = std::max(m, std::fabs(v));
+      max_abs[name] = m;
+    }
+  }
+
+  CalibrationTable table;
+  for (const auto& [name, m] : max_abs) {
+    table.set_blob_scale(name, m / 127.0f);
+  }
+
+  // Unify scale groups: element-wise operands and their result share one
+  // arithmetic domain; concat inputs share the output cube. A following
+  // in-place ReLU stores into the same domain, so it joins its bottom's
+  // group. Iterate to a fixed point (groups can chain through ReLUs).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& layer : network.layers()) {
+      std::vector<std::string> group;
+      if (layer.kind == LayerKind::kEltwise ||
+          layer.kind == LayerKind::kConcat) {
+        group = layer.bottoms;
+        group.push_back(layer.top);
+      } else if (layer.kind == LayerKind::kReLU) {
+        const auto producer = network.producer_of(layer.bottoms[0]);
+        if (producer &&
+            network.layer(*producer).kind == LayerKind::kEltwise) {
+          group = {layer.bottoms[0], layer.top};
+        }
+      }
+      if (group.empty()) continue;
+      float unified = 0.0f;
+      for (const auto& blob : group) {
+        unified = std::max(unified, table.blob_scale(blob));
+      }
+      for (const auto& blob : group) {
+        if (table.blob_scale(blob) != unified) {
+          table.set_blob_scale(blob, unified);
+          changed = true;
+        }
+      }
+    }
+  }
+  return table;
+}
+
+CalibrationTable calibrate(const Network& network, const NetWeights& weights,
+                           std::span<const float> input) {
+  std::vector<std::vector<float>> inputs;
+  inputs.emplace_back(input.begin(), input.end());
+  return calibrate(network, weights, inputs);
+}
+
+}  // namespace nvsoc::compiler

@@ -1,0 +1,620 @@
+#include "compiler/compile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+#include "common/fp16.hpp"
+#include "common/strfmt.hpp"
+
+namespace nvsoc::compiler {
+
+namespace {
+
+/// A not-yet-materialised op accumulating fusable layers.
+struct Pending {
+  bool is_conv = true;       ///< false: standalone SDP
+  std::string fused_names;   ///< "conv1+bn1+relu1" for diagnostics
+
+  // Convolution part (is_conv).
+  std::string input_blob;
+  ConvParams conv;
+  std::vector<float> weights;  ///< folded, [k][c/g][kh][kw]
+  std::vector<float> bias;     ///< folded, [k]
+
+  // Standalone-SDP part (!is_conv).
+  std::string src_blob;
+
+  bool relu = false;
+  bool eltwise = false;
+  std::string eltwise_blob;
+
+  std::string top;  ///< current output blob name
+
+  /// Destination forced by a Concat consumer (channel-offset view).
+  std::optional<nvdla::SurfaceDesc> forced_dst;
+};
+
+class Compiler {
+ public:
+  Compiler(const Network& net, const NetWeights& weights,
+           const CalibrationTable* calib, CompileOptions opts)
+      : net_(net), weights_(weights), calib_(calib), opts_(opts) {
+    if (opts_.precision == nvdla::Precision::kInt8 && calib_ == nullptr) {
+      throw std::runtime_error(
+          "INT8 compilation requires a calibration table (see "
+          "compiler/calibration.hpp)");
+    }
+  }
+
+  Loadable run();
+
+ private:
+  // --- scales ---------------------------------------------------------------
+  float scale_of(const std::string& blob) {
+    if (opts_.precision == nvdla::Precision::kFp16) return 1.0f;
+    const auto it = scale_override_.find(blob);
+    if (it != scale_override_.end()) return it->second;
+    return calib_->blob_scale(blob);
+  }
+  void set_scale(const std::string& blob, float scale) {
+    scale_override_[blob] = scale;
+  }
+
+  // --- placement -------------------------------------------------------------
+  Addr alloc(std::uint64_t bytes) {
+    const Addr at = cursor_;
+    cursor_ = align_up(cursor_ + bytes, 64);
+    return at;
+  }
+  nvdla::SurfaceDesc alloc_surface(const BlobShape& shape) {
+    nvdla::SurfaceDesc d = nvdla::SurfaceDesc::packed(
+        0, {shape.w, shape.h, shape.c}, opts_.precision, opts_.atom_bytes);
+    d.base = alloc(d.span_bytes());
+    return d;
+  }
+  const nvdla::SurfaceDesc& surface_of(const std::string& blob) {
+    flush_blob(blob);
+    const auto it = blob_surface_.find(blob);
+    if (it == blob_surface_.end()) {
+      throw std::runtime_error("compile: blob never materialised: " + blob);
+    }
+    return it->second;
+  }
+
+  /// Append raw bytes to the weight blob; returns the blob-relative offset.
+  std::uint64_t append_weight_bytes(std::span<const std::uint8_t> bytes) {
+    const std::uint64_t at = align_up(loadable_.weight_blob.size(), 64);
+    loadable_.weight_blob.resize(at);
+    loadable_.weight_blob.insert(loadable_.weight_blob.end(), bytes.begin(),
+                                 bytes.end());
+    return at;
+  }
+
+  // --- pendings ---------------------------------------------------------------
+  Pending* pending_of(const std::string& blob) {
+    const auto it = pending_.find(blob);
+    return it == pending_.end() ? nullptr : &it->second;
+  }
+  void rename_pending(const std::string& old_top, const std::string& new_top,
+                      const std::string& fused_layer) {
+    auto node = pending_.extract(old_top);
+    node.key() = new_top;
+    node.mapped().top = new_top;
+    node.mapped().fused_names += "+" + fused_layer;
+    pending_.insert(std::move(node));
+  }
+  void flush_blob(const std::string& blob) {
+    if (auto* p = pending_of(blob)) {
+      flush(*p);
+      pending_.erase(blob);
+    }
+  }
+  void flush(Pending& p);
+  void flush_conv(Pending& p, const nvdla::SurfaceDesc& dst);
+  void flush_sdp(Pending& p, const nvdla::SurfaceDesc& dst);
+
+  /// Select the SDP output converter for multiplier M = s_in*s_w/s_out.
+  static void select_cvt(double m, std::int32_t& scale, std::uint32_t& shift);
+
+  // --- layer handlers -----------------------------------------------------
+  void on_conv(const Layer& layer);
+  void on_inner_product(const Layer& layer);
+  void on_batch_norm(const Layer& layer);
+  void on_scale(const Layer& layer);
+  void on_relu(const Layer& layer);
+  void on_eltwise(const Layer& layer);
+  void on_pool(const Layer& layer);
+  void on_lrn(const Layer& layer);
+  void on_concat(const Layer& layer);
+  void on_softmax(const Layer& layer);
+
+  const Network& net_;
+  const NetWeights& weights_;
+  const CalibrationTable* calib_;
+  CompileOptions opts_;
+
+  Loadable loadable_;
+  Addr cursor_ = 0;
+  std::map<std::string, nvdla::SurfaceDesc> blob_surface_;
+  std::map<std::string, float> scale_override_;
+  std::map<std::string, Pending> pending_;
+  /// Conv ops whose weight_addr and bias_addr are weight-blob-relative and
+  /// need the final weight_base added.
+  std::vector<std::size_t> weight_fixups_;
+  std::string final_blob_;
+};
+
+void Compiler::select_cvt(double m, std::int32_t& scale,
+                          std::uint32_t& shift) {
+  if (m <= 0.0) {
+    scale = 1;
+    shift = 0;
+    return;
+  }
+  // Normalise the multiplier into [2^10, 2^14) so the int16 multiplier keeps
+  // >=10 bits of precision without overflowing intermediate products.
+  shift = 0;
+  double scaled = m;
+  while (scaled < (1 << 10) && shift < 30) {
+    scaled *= 2.0;
+    ++shift;
+  }
+  while (scaled >= (1 << 14) && shift > 0) {
+    scaled /= 2.0;
+    --shift;
+  }
+  scale = static_cast<std::int32_t>(std::lround(scaled));
+  scale = std::clamp(scale, 1, 32767);
+}
+
+void Compiler::on_conv(const Layer& layer) {
+  flush_blob(layer.bottoms[0]);
+  Pending p;
+  p.is_conv = true;
+  p.fused_names = layer.name;
+  p.input_blob = layer.bottoms[0];
+  p.conv = layer.conv;
+  const auto& lw = weights_.at(layer.name);
+  p.weights = lw.weights;
+  p.bias = lw.bias;
+  if (p.bias.empty()) p.bias.assign(layer.conv.num_output, 0.0f);
+  p.top = layer.top;
+  pending_.emplace(layer.top, std::move(p));
+}
+
+void Compiler::on_inner_product(const Layer& layer) {
+  flush_blob(layer.bottoms[0]);
+  const BlobShape& in = net_.blob_shape(layer.bottoms[0]);
+  Pending p;
+  p.is_conv = true;
+  p.fused_names = layer.name;
+  p.input_blob = layer.bottoms[0];
+  // InnerProduct == convolution whose kernel covers the whole input plane.
+  p.conv.num_output = layer.conv.num_output;
+  p.conv.kernel_h = in.h;
+  p.conv.kernel_w = in.w;
+  p.conv.stride_h = p.conv.stride_w = 1;
+  p.conv.pad_h = p.conv.pad_w = 0;
+  p.conv.groups = 1;
+  p.conv.bias_term = layer.conv.bias_term;
+  const auto& lw = weights_.at(layer.name);
+  p.weights = lw.weights;  // [k][c*h*w] == [k][c][h][w] row-major
+  p.bias = lw.bias;
+  if (p.bias.empty()) p.bias.assign(layer.conv.num_output, 0.0f);
+  p.top = layer.top;
+  pending_.emplace(layer.top, std::move(p));
+}
+
+void Compiler::on_batch_norm(const Layer& layer) {
+  Pending* p = pending_of(layer.bottoms[0]);
+  if (p == nullptr || !p->is_conv || p->relu || p->eltwise) {
+    throw std::runtime_error(
+        strfmt("layer '{}': BatchNorm must directly follow a convolution "
+               "(NVDLA lowering constraint)",
+               layer.name));
+  }
+  const auto& lw = weights_.at(layer.name);  // mean / variance
+  const std::uint32_t k_count = p->conv.num_output;
+  const std::size_t per_k = p->weights.size() / k_count;
+  for (std::uint32_t k = 0; k < k_count; ++k) {
+    const float inv_std = 1.0f / std::sqrt(lw.bias[k] + layer.bn_epsilon);
+    for (std::size_t i = 0; i < per_k; ++i) {
+      p->weights[k * per_k + i] *= inv_std;
+    }
+    p->bias[k] = (p->bias[k] - lw.weights[k]) * inv_std;
+  }
+  rename_pending(layer.bottoms[0], layer.top, layer.name);
+}
+
+void Compiler::on_scale(const Layer& layer) {
+  Pending* p = pending_of(layer.bottoms[0]);
+  if (p == nullptr || !p->is_conv || p->relu || p->eltwise) {
+    throw std::runtime_error(
+        strfmt("layer '{}': Scale must directly follow a convolution/"
+               "BatchNorm (NVDLA lowering constraint)",
+               layer.name));
+  }
+  const auto& lw = weights_.at(layer.name);  // gamma / beta
+  const std::uint32_t k_count = p->conv.num_output;
+  const std::size_t per_k = p->weights.size() / k_count;
+  for (std::uint32_t k = 0; k < k_count; ++k) {
+    for (std::size_t i = 0; i < per_k; ++i) {
+      p->weights[k * per_k + i] *= lw.weights[k];
+    }
+    p->bias[k] = p->bias[k] * lw.weights[k] + lw.bias[k];
+  }
+  rename_pending(layer.bottoms[0], layer.top, layer.name);
+}
+
+void Compiler::on_relu(const Layer& layer) {
+  Pending* p = pending_of(layer.bottoms[0]);
+  if (p != nullptr && !p->relu) {
+    p->relu = true;
+    rename_pending(layer.bottoms[0], layer.top, layer.name);
+    return;
+  }
+  // Standalone ReLU over a materialised blob (e.g. after pooling).
+  Pending sdp;
+  sdp.is_conv = false;
+  sdp.fused_names = layer.name;
+  sdp.src_blob = layer.bottoms[0];
+  sdp.relu = true;
+  sdp.top = layer.top;
+  surface_of(layer.bottoms[0]);  // force materialisation
+  pending_.emplace(layer.top, std::move(sdp));
+}
+
+void Compiler::on_eltwise(const Layer& layer) {
+  const std::string& a = layer.bottoms[0];
+  const std::string& b = layer.bottoms[1];
+  // The first operand must be in memory; the second is the candidate for
+  // fusion into its producing convolution's SDP tail.
+  flush_blob(a);
+  Pending* p = pending_of(b);
+  if (p != nullptr && p->is_conv && !p->eltwise && !p->relu) {
+    p->eltwise = true;
+    p->eltwise_blob = a;
+    rename_pending(b, layer.top, layer.name);
+    return;
+  }
+  flush_blob(b);
+  Pending sdp;
+  sdp.is_conv = false;
+  sdp.fused_names = layer.name;
+  sdp.src_blob = b;
+  sdp.eltwise = true;
+  sdp.eltwise_blob = a;
+  sdp.top = layer.top;
+  pending_.emplace(layer.top, std::move(sdp));
+}
+
+void Compiler::on_pool(const Layer& layer) {
+  const nvdla::SurfaceDesc src = surface_of(layer.bottoms[0]);
+  const BlobShape& in = net_.blob_shape(layer.bottoms[0]);
+  const BlobShape& out = net_.blob_shape(layer.top);
+  nvdla::SurfaceDesc dst = alloc_surface(out);
+
+  HwOp op;
+  op.kind = HwOpKind::kPdp;
+  op.name = layer.name;
+  op.pdp.precision = opts_.precision;
+  op.pdp.src = src;
+  op.pdp.dst = dst;
+  PoolParams pp = layer.pool;
+  if (pp.global) {
+    pp.kernel_h = in.h;
+    pp.kernel_w = in.w;
+    pp.stride_h = pp.stride_w = 1;
+    pp.pad_h = pp.pad_w = 0;
+  }
+  op.pdp.kernel_w = pp.kernel_w;
+  op.pdp.kernel_h = pp.kernel_h;
+  op.pdp.stride_x = pp.stride_w;
+  op.pdp.stride_y = pp.stride_h;
+  op.pdp.pad_left = pp.pad_w;
+  op.pdp.pad_top = pp.pad_h;
+  op.pdp.pad_right = pp.pad_w;
+  op.pdp.pad_bottom = pp.pad_h;
+  op.pdp.average = pp.method == PoolParams::Method::kAve;
+  loadable_.ops.push_back(std::move(op));
+
+  blob_surface_[layer.top] = dst;
+  set_scale(layer.top, scale_of(layer.bottoms[0]));  // pooling keeps scale
+}
+
+void Compiler::on_lrn(const Layer& layer) {
+  const nvdla::SurfaceDesc src = surface_of(layer.bottoms[0]);
+  const BlobShape& out = net_.blob_shape(layer.top);
+  nvdla::SurfaceDesc dst = alloc_surface(out);
+
+  HwOp op;
+  op.kind = HwOpKind::kCdp;
+  op.name = layer.name;
+  op.cdp.precision = opts_.precision;
+  op.cdp.src = src;
+  op.cdp.dst = dst;
+  op.cdp.local_size = layer.lrn.local_size;
+  op.cdp.alpha_q16 =
+      static_cast<std::uint32_t>(std::lround(layer.lrn.alpha * 65536.0));
+  op.cdp.beta_q16 =
+      static_cast<std::uint32_t>(std::lround(layer.lrn.beta * 65536.0));
+  op.cdp.k_q16 =
+      static_cast<std::uint32_t>(std::lround(layer.lrn.k * 65536.0));
+  op.cdp.in_scale_q16 = static_cast<std::uint32_t>(
+      std::lround(static_cast<double>(scale_of(layer.bottoms[0])) * 65536.0));
+  loadable_.ops.push_back(std::move(op));
+
+  blob_surface_[layer.top] = dst;
+  set_scale(layer.top, scale_of(layer.bottoms[0]));  // CDP requants in place
+}
+
+void Compiler::on_concat(const Layer& layer) {
+  const BlobShape& out = net_.blob_shape(layer.top);
+  const nvdla::SurfaceDesc dst = alloc_surface(out);
+  const std::uint32_t cpa = dst.channels_per_atom();
+
+  std::uint32_t c_off = 0;
+  for (const auto& bottom : layer.bottoms) {
+    const BlobShape& bin = net_.blob_shape(bottom);
+    if (c_off % cpa != 0 || bin.c % cpa != 0) {
+      throw std::runtime_error(
+          strfmt("layer '{}': concat channel offsets must be multiples of "
+                 "the atom ({} channels); got offset {} size {}",
+                 layer.name, cpa, c_off, bin.c));
+    }
+    nvdla::SurfaceDesc view = dst;
+    view.base = dst.base + (c_off / cpa) * static_cast<Addr>(dst.surf_stride);
+    view.dims = {bin.w, bin.h, bin.c};
+
+    if (Pending* p = pending_of(bottom)) {
+      p->forced_dst = view;
+      flush(*p);
+      pending_.erase(bottom);
+    } else if (blob_surface_.contains(bottom)) {
+      // Already materialised elsewhere: BDMA it into the concat cube.
+      const nvdla::SurfaceDesc& src = blob_surface_.at(bottom);
+      HwOp op;
+      op.kind = HwOpKind::kBdma;
+      op.name = layer.name + ":" + bottom;
+      op.bdma.src_addr = src.base;
+      op.bdma.dst_addr = view.base;
+      op.bdma.line_size = static_cast<std::uint32_t>(src.span_bytes());
+      op.bdma.line_repeat = 1;
+      loadable_.ops.push_back(std::move(op));
+      blob_surface_[bottom] = view;
+    } else {
+      throw std::runtime_error("concat bottom neither pending nor "
+                               "materialised: " + bottom);
+    }
+    c_off += bin.c;
+  }
+  blob_surface_[layer.top] = dst;
+  set_scale(layer.top, scale_of(layer.top));
+}
+
+void Compiler::on_softmax(const Layer& layer) {
+  surface_of(layer.bottoms[0]);  // materialise logits
+  if (layer.top != net_.layers().back().top) {
+    throw std::runtime_error("Softmax is only supported as the final layer "
+                             "(it runs on the CPU)");
+  }
+  loadable_.softmax_on_cpu = true;
+  final_blob_ = layer.bottoms[0];
+}
+
+void Compiler::flush(Pending& p) {
+  nvdla::SurfaceDesc dst;
+  if (p.forced_dst) {
+    dst = *p.forced_dst;
+  } else {
+    dst = alloc_surface(net_.blob_shape(p.top));
+  }
+  if (p.is_conv) {
+    flush_conv(p, dst);
+  } else {
+    flush_sdp(p, dst);
+  }
+  blob_surface_[p.top] = dst;
+}
+
+void Compiler::flush_conv(Pending& p, const nvdla::SurfaceDesc& dst) {
+  const BlobShape& in_shape = net_.blob_shape(p.input_blob);
+  const BlobShape& out_shape = net_.blob_shape(p.top);
+  const nvdla::SurfaceDesc input = surface_of(p.input_blob);
+  const bool int8 = opts_.precision == nvdla::Precision::kInt8;
+
+  const float s_in = scale_of(p.input_blob);
+  // The arithmetic domain of the output: for fused element-wise adds it is
+  // the (calibration-unified) operand scale; otherwise the top blob's.
+  const float s_out = p.eltwise ? scale_of(p.eltwise_blob) : scale_of(p.top);
+
+  // --- weights -------------------------------------------------------------
+  float s_w = 1.0f;
+  std::vector<std::uint8_t> packed;
+  if (int8) {
+    float max_abs = 0.0f;
+    for (float w : p.weights) max_abs = std::max(max_abs, std::fabs(w));
+    s_w = std::max(max_abs / 127.0f, 1e-6f);
+    packed.resize(p.weights.size());
+    for (std::size_t i = 0; i < p.weights.size(); ++i) {
+      packed[i] = static_cast<std::uint8_t>(saturate_i8(
+          static_cast<std::int64_t>(std::lround(p.weights[i] / s_w))));
+    }
+  } else {
+    packed.resize(p.weights.size() * 2);
+    for (std::size_t i = 0; i < p.weights.size(); ++i) {
+      const std::uint16_t bits = float_to_half_bits(p.weights[i]);
+      packed[2 * i] = static_cast<std::uint8_t>(bits);
+      packed[2 * i + 1] = static_cast<std::uint8_t>(bits >> 8);
+    }
+  }
+  const std::uint64_t weight_off = append_weight_bytes(packed);
+
+  // --- bias table -----------------------------------------------------------
+  std::vector<std::uint8_t> bias_bytes(p.bias.size() * 4);
+  if (int8) {
+    const double acc_scale = static_cast<double>(s_in) * s_w;
+    for (std::size_t k = 0; k < p.bias.size(); ++k) {
+      const std::int32_t q = saturate_i32(
+          static_cast<std::int64_t>(std::llround(p.bias[k] / acc_scale)));
+      std::memcpy(bias_bytes.data() + 4 * k, &q, 4);
+    }
+  } else {
+    for (std::size_t k = 0; k < p.bias.size(); ++k) {
+      std::memcpy(bias_bytes.data() + 4 * k, &p.bias[k], 4);
+    }
+  }
+  const std::uint64_t bias_off = append_weight_bytes(bias_bytes);
+
+  // --- descriptor -------------------------------------------------------------
+  HwOp op;
+  op.kind = HwOpKind::kConv;
+  op.name = p.fused_names;
+  op.conv.precision = opts_.precision;
+  op.conv.input = input;
+  op.conv.weight_addr = weight_off;  // fixed up to weight_base later
+  op.conv.weight_bytes = static_cast<std::uint32_t>(packed.size());
+  op.conv.kernel_w = p.conv.kernel_w;
+  op.conv.kernel_h = p.conv.kernel_h;
+  op.conv.kernel_c = in_shape.c / p.conv.groups;
+  op.conv.kernel_k = p.conv.num_output;
+  op.conv.groups = p.conv.groups;
+  op.conv.pad_left = p.conv.pad_w;
+  op.conv.pad_top = p.conv.pad_h;
+  op.conv.pad_right = p.conv.pad_w;
+  op.conv.pad_bottom = p.conv.pad_h;
+  op.conv.stride_x = p.conv.stride_w;
+  op.conv.stride_y = p.conv.stride_h;
+  op.conv.pad_value = 0;
+  op.conv.out_w = out_shape.w;
+  op.conv.out_h = out_shape.h;
+
+  op.sdp.in_precision = opts_.precision;
+  op.sdp.out_precision = opts_.precision;
+  op.sdp.dims = {out_shape.w, out_shape.h, out_shape.c};
+  op.sdp.src = nvdla::SurfaceDesc{};  // flying mode (base 0)
+  op.sdp.dst = dst;
+  op.sdp.bias_enable = true;
+  op.sdp.relu_enable = p.relu;
+  op.sdp.eltwise_enable = p.eltwise;
+  op.sdp.bias_addr = bias_off;  // weight-blob relative; fixed up later
+  if (int8) {
+    const double m =
+        static_cast<double>(s_in) * s_w / static_cast<double>(s_out);
+    std::int32_t cvt_scale;
+    std::uint32_t cvt_shift;
+    select_cvt(m, cvt_scale, cvt_shift);
+    op.sdp.cvt_scale = cvt_scale;
+    op.sdp.cvt_shift = cvt_shift;
+  } else {
+    op.sdp.cvt_scale = 1;
+    op.sdp.cvt_shift = 0;
+  }
+
+  if (p.eltwise) {
+    // X1 channel: the residual operand cube (already in memory at the
+    // calibration-unified scale, so the post-CVT add is scale-consistent).
+    const nvdla::SurfaceDesc& elt = surface_of(p.eltwise_blob);
+    op.sdp.operand_addr = elt.base;
+    op.sdp.operand_line_stride = elt.line_stride;
+    op.sdp.operand_surf_stride = elt.surf_stride;
+    op.sdp.operand_per_element = true;
+  }
+  weight_fixups_.push_back(loadable_.ops.size());
+  loadable_.ops.push_back(std::move(op));
+  set_scale(p.top, s_out);
+}
+
+void Compiler::flush_sdp(Pending& p, const nvdla::SurfaceDesc& dst) {
+  const nvdla::SurfaceDesc src = surface_of(p.src_blob);
+  HwOp op;
+  op.kind = HwOpKind::kSdp;
+  op.name = p.fused_names;
+  op.sdp.in_precision = opts_.precision;
+  op.sdp.out_precision = opts_.precision;
+  op.sdp.dims = src.dims;
+  op.sdp.src = src;
+  op.sdp.dst = dst;
+  op.sdp.bias_enable = false;
+  op.sdp.relu_enable = p.relu;
+  op.sdp.eltwise_enable = p.eltwise;
+  op.sdp.cvt_scale = 1;
+  op.sdp.cvt_shift = 0;
+  if (p.eltwise) {
+    const nvdla::SurfaceDesc& elt = surface_of(p.eltwise_blob);
+    op.sdp.operand_addr = elt.base;
+    op.sdp.operand_line_stride = elt.line_stride;
+    op.sdp.operand_surf_stride = elt.surf_stride;
+    op.sdp.operand_per_element = true;
+  }
+  loadable_.ops.push_back(std::move(op));
+  set_scale(p.top, scale_of(p.src_blob));
+}
+
+Loadable Compiler::run() {
+  loadable_.network_name = net_.name();
+  loadable_.precision = opts_.precision;
+  loadable_.atom_bytes = opts_.atom_bytes;
+  cursor_ = opts_.arena_base;
+
+  // Input cube placement.
+  const BlobShape& in_shape = net_.input_shape();
+  loadable_.input_surface = alloc_surface(in_shape);
+  blob_surface_[net_.input_blob()] = loadable_.input_surface;
+  loadable_.input_scale = scale_of(net_.input_blob());
+
+  final_blob_ = net_.layers().empty() ? net_.input_blob()
+                                      : net_.layers().back().top;
+  for (const auto& layer : net_.layers()) {
+    switch (layer.kind) {
+      case LayerKind::kInput: break;
+      case LayerKind::kConvolution: on_conv(layer); break;
+      case LayerKind::kInnerProduct: on_inner_product(layer); break;
+      case LayerKind::kBatchNorm: on_batch_norm(layer); break;
+      case LayerKind::kScale: on_scale(layer); break;
+      case LayerKind::kReLU: on_relu(layer); break;
+      case LayerKind::kEltwise: on_eltwise(layer); break;
+      case LayerKind::kPooling: on_pool(layer); break;
+      case LayerKind::kLrn: on_lrn(layer); break;
+      case LayerKind::kConcat: on_concat(layer); break;
+      case LayerKind::kSoftmax: on_softmax(layer); break;
+    }
+  }
+  // Materialise whatever is still pending (normally just the final layer).
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    flush(it->second);
+    pending_.erase(it);
+  }
+
+  const std::string output_blob =
+      loadable_.softmax_on_cpu ? final_blob_ : net_.layers().back().top;
+  loadable_.output_surface = surface_of(output_blob);
+  loadable_.output_scale = scale_of(output_blob);
+
+  // Place the weight blob after all activations and fix up offsets.
+  loadable_.weight_base = cursor_;
+  cursor_ = align_up(cursor_ + loadable_.weight_blob.size(), 64);
+  loadable_.arena_end = cursor_;
+  for (const std::size_t index : weight_fixups_) {
+    HwOp& op = loadable_.ops[index];
+    op.conv.weight_addr += loadable_.weight_base;
+    op.sdp.bias_addr += loadable_.weight_base;
+  }
+  return loadable_;
+}
+
+}  // namespace
+
+Loadable compile(const Network& network, const NetWeights& weights,
+                 const CalibrationTable* calibration,
+                 CompileOptions options) {
+  Compiler compiler(network, weights, calibration, options);
+  return compiler.run();
+}
+
+}  // namespace nvsoc::compiler

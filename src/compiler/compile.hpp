@@ -1,0 +1,44 @@
+// The NVDLA compiler: lowers a Caffe-style network into a Loadable.
+//
+// Responsibilities (mirroring the real nvdla_compiler the paper's flow
+// invokes):
+//   * graph fusion: BatchNorm/Scale folded into the preceding convolution's
+//     weights, ReLU fused into the SDP tail, residual element-wise adds
+//     fused as the SDP X-operand, InnerProduct lowered to a full-spatial
+//     convolution, Concat lowered to channel-offset destination aliasing;
+//   * INT8 quantisation from a calibration table (symmetric per-tensor),
+//     per-layer weight scales and SDP output-converter (scale, shift)
+//     selection, int32 bias tables; or the FP16 path for nv_full;
+//   * DRAM placement of the input cube, every activation cube and the
+//     packed parameter blob.
+#pragma once
+
+#include "compiler/calibration.hpp"
+#include "compiler/loadable.hpp"
+#include "compiler/network.hpp"
+#include "compiler/weights.hpp"
+#include "nvdla/config.hpp"
+
+namespace nvsoc::compiler {
+
+struct CompileOptions {
+  nvdla::Precision precision = nvdla::Precision::kInt8;
+  std::uint32_t atom_bytes = 8;  ///< from the target NvdlaConfig
+  Addr arena_base = 0;           ///< DRAM-relative base of all placements
+
+  static CompileOptions for_config(const nvdla::NvdlaConfig& config,
+                                   nvdla::Precision precision) {
+    CompileOptions o;
+    o.precision = precision;
+    o.atom_bytes = config.atom_bytes;
+    return o;
+  }
+};
+
+/// Compile `network` for NVDLA. `calibration` is required for the INT8
+/// path and ignored for FP16. Throws std::runtime_error on unsupported
+/// graph patterns (e.g. standalone BatchNorm with no preceding conv).
+Loadable compile(const Network& network, const NetWeights& weights,
+                 const CalibrationTable* calibration, CompileOptions options);
+
+}  // namespace nvsoc::compiler

@@ -1,0 +1,344 @@
+#include "compiler/loadable.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+#include "nvdla/tensor.hpp"
+
+namespace nvsoc::compiler {
+
+const char* hw_op_kind_name(HwOpKind kind) {
+  switch (kind) {
+    case HwOpKind::kConv: return "conv";
+    case HwOpKind::kSdp: return "sdp";
+    case HwOpKind::kPdp: return "pdp";
+    case HwOpKind::kCdp: return "cdp";
+    case HwOpKind::kBdma: return "bdma";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> Loadable::pack_input(
+    std::span<const float> image) const {
+  const auto& dims = input_surface.dims;
+  if (image.size() != dims.elements()) {
+    throw std::runtime_error("pack_input: image size mismatch");
+  }
+  nvdla::CubeBuffer cube(input_surface);
+  std::size_t i = 0;
+  for (std::uint32_t c = 0; c < dims.c; ++c) {
+    for (std::uint32_t h = 0; h < dims.h; ++h) {
+      for (std::uint32_t w = 0; w < dims.w; ++w, ++i) {
+        if (precision == nvdla::Precision::kInt8) {
+          cube.set_i8(c, h, w,
+                      saturate_i8(static_cast<std::int64_t>(
+                          std::lround(image[i] / input_scale))));
+        } else {
+          cube.set(c, h, w, image[i]);
+        }
+      }
+    }
+  }
+  return std::vector<std::uint8_t>(cube.bytes().begin(), cube.bytes().end());
+}
+
+std::vector<float> Loadable::unpack_output(
+    std::span<const std::uint8_t> raw) const {
+  nvdla::CubeBuffer cube(output_surface);
+  if (raw.size() < cube.bytes().size()) {
+    throw std::runtime_error("unpack_output: raw bytes too small");
+  }
+  std::memcpy(cube.bytes().data(), raw.data(), cube.bytes().size());
+  const auto& dims = output_surface.dims;
+  std::vector<float> out(dims.elements());
+  std::size_t i = 0;
+  for (std::uint32_t c = 0; c < dims.c; ++c) {
+    for (std::uint32_t h = 0; h < dims.h; ++h) {
+      for (std::uint32_t w = 0; w < dims.w; ++w, ++i) {
+        float v = cube.get(c, h, w);
+        if (precision == nvdla::Precision::kInt8) v *= output_scale;
+        out[i] = v;
+      }
+    }
+  }
+  if (softmax_on_cpu) {
+    float maxv = out[0];
+    for (float v : out) maxv = std::max(maxv, v);
+    float sum = 0.0f;
+    for (auto& v : out) {
+      v = std::exp(v - maxv);
+      sum += v;
+    }
+    for (auto& v : out) v /= sum;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation: simple tagged binary format, little endian, magic "NVSL".
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C53564Eu;  // "NVSL"
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void put(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("loadable: truncated stream");
+  return value;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get<std::uint32_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("loadable: truncated string");
+  return s;
+}
+
+void put_surface(std::ostream& os, const nvdla::SurfaceDesc& d) {
+  put(os, d.base);
+  put(os, d.dims.w);
+  put(os, d.dims.h);
+  put(os, d.dims.c);
+  put(os, d.line_stride);
+  put(os, d.surf_stride);
+  put<std::uint8_t>(os, static_cast<std::uint8_t>(d.precision));
+  put(os, d.atom_bytes);
+}
+
+nvdla::SurfaceDesc get_surface(std::istream& is) {
+  nvdla::SurfaceDesc d;
+  d.base = get<Addr>(is);
+  d.dims.w = get<std::uint32_t>(is);
+  d.dims.h = get<std::uint32_t>(is);
+  d.dims.c = get<std::uint32_t>(is);
+  d.line_stride = get<std::uint32_t>(is);
+  d.surf_stride = get<std::uint32_t>(is);
+  d.precision = static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+  d.atom_bytes = get<std::uint32_t>(is);
+  return d;
+}
+
+}  // namespace
+
+void Loadable::serialize(std::ostream& os) const {
+  put(os, kMagic);
+  put(os, kVersion);
+  put_string(os, network_name);
+  put<std::uint8_t>(os, static_cast<std::uint8_t>(precision));
+  put(os, atom_bytes);
+  put(os, weight_base);
+  put(os, input_scale);
+  put(os, output_scale);
+  put<std::uint8_t>(os, softmax_on_cpu ? 1 : 0);
+  put(os, arena_end);
+  put_surface(os, input_surface);
+  put_surface(os, output_surface);
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(weight_blob.size()));
+  os.write(reinterpret_cast<const char*>(weight_blob.data()),
+           static_cast<std::streamsize>(weight_blob.size()));
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(ops.size()));
+  for (const auto& op : ops) {
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(op.kind));
+    put_string(os, op.name);
+    // ConvOp
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(op.conv.precision));
+    put_surface(os, op.conv.input);
+    put(os, op.conv.weight_addr);
+    put(os, op.conv.weight_bytes);
+    put(os, op.conv.kernel_w);
+    put(os, op.conv.kernel_h);
+    put(os, op.conv.kernel_c);
+    put(os, op.conv.kernel_k);
+    put(os, op.conv.groups);
+    put(os, op.conv.pad_left);
+    put(os, op.conv.pad_top);
+    put(os, op.conv.pad_right);
+    put(os, op.conv.pad_bottom);
+    put(os, op.conv.stride_x);
+    put(os, op.conv.stride_y);
+    put(os, op.conv.pad_value);
+    put(os, op.conv.out_w);
+    put(os, op.conv.out_h);
+    // SdpOp
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(op.sdp.in_precision));
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(op.sdp.out_precision));
+    put(os, op.sdp.dims.w);
+    put(os, op.sdp.dims.h);
+    put(os, op.sdp.dims.c);
+    put_surface(os, op.sdp.src);
+    put_surface(os, op.sdp.dst);
+    put<std::uint8_t>(os, op.sdp.bias_enable ? 1 : 0);
+    put<std::uint8_t>(os, op.sdp.relu_enable ? 1 : 0);
+    put<std::uint8_t>(os, op.sdp.eltwise_enable ? 1 : 0);
+    put(os, op.sdp.bias_addr);
+    put(os, op.sdp.operand_addr);
+    put(os, op.sdp.operand_line_stride);
+    put(os, op.sdp.operand_surf_stride);
+    put<std::uint8_t>(os, op.sdp.operand_per_element ? 1 : 0);
+    put(os, op.sdp.cvt_scale);
+    put(os, op.sdp.cvt_shift);
+    // PdpOp
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(op.pdp.precision));
+    put_surface(os, op.pdp.src);
+    put_surface(os, op.pdp.dst);
+    put(os, op.pdp.kernel_w);
+    put(os, op.pdp.kernel_h);
+    put(os, op.pdp.stride_x);
+    put(os, op.pdp.stride_y);
+    put(os, op.pdp.pad_left);
+    put(os, op.pdp.pad_top);
+    put(os, op.pdp.pad_right);
+    put(os, op.pdp.pad_bottom);
+    put<std::uint8_t>(os, op.pdp.average ? 1 : 0);
+    // CdpOp
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(op.cdp.precision));
+    put_surface(os, op.cdp.src);
+    put_surface(os, op.cdp.dst);
+    put(os, op.cdp.local_size);
+    put(os, op.cdp.alpha_q16);
+    put(os, op.cdp.beta_q16);
+    put(os, op.cdp.k_q16);
+    put(os, op.cdp.in_scale_q16);
+    // BdmaOp
+    put(os, op.bdma.src_addr);
+    put(os, op.bdma.dst_addr);
+    put(os, op.bdma.line_size);
+    put(os, op.bdma.line_repeat);
+    put(os, op.bdma.src_stride);
+    put(os, op.bdma.dst_stride);
+  }
+}
+
+Loadable Loadable::deserialize(std::istream& is) {
+  if (get<std::uint32_t>(is) != kMagic) {
+    throw std::runtime_error("loadable: bad magic");
+  }
+  if (get<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("loadable: version mismatch");
+  }
+  Loadable l;
+  l.network_name = get_string(is);
+  l.precision = static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+  l.atom_bytes = get<std::uint32_t>(is);
+  l.weight_base = get<Addr>(is);
+  l.input_scale = get<float>(is);
+  l.output_scale = get<float>(is);
+  l.softmax_on_cpu = get<std::uint8_t>(is) != 0;
+  l.arena_end = get<std::uint64_t>(is);
+  l.input_surface = get_surface(is);
+  l.output_surface = get_surface(is);
+
+  const auto blob_size = get<std::uint32_t>(is);
+  l.weight_blob.resize(blob_size);
+  is.read(reinterpret_cast<char*>(l.weight_blob.data()), blob_size);
+  if (!is) throw std::runtime_error("loadable: truncated weight blob");
+
+  const auto num_ops = get<std::uint32_t>(is);
+  l.ops.resize(num_ops);
+  for (auto& op : l.ops) {
+    op.kind = static_cast<HwOpKind>(get<std::uint8_t>(is));
+    op.name = get_string(is);
+    op.conv.precision = static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+    op.conv.input = get_surface(is);
+    op.conv.weight_addr = get<Addr>(is);
+    op.conv.weight_bytes = get<std::uint32_t>(is);
+    op.conv.kernel_w = get<std::uint32_t>(is);
+    op.conv.kernel_h = get<std::uint32_t>(is);
+    op.conv.kernel_c = get<std::uint32_t>(is);
+    op.conv.kernel_k = get<std::uint32_t>(is);
+    op.conv.groups = get<std::uint32_t>(is);
+    op.conv.pad_left = get<std::uint32_t>(is);
+    op.conv.pad_top = get<std::uint32_t>(is);
+    op.conv.pad_right = get<std::uint32_t>(is);
+    op.conv.pad_bottom = get<std::uint32_t>(is);
+    op.conv.stride_x = get<std::uint32_t>(is);
+    op.conv.stride_y = get<std::uint32_t>(is);
+    op.conv.pad_value = get<std::int32_t>(is);
+    op.conv.out_w = get<std::uint32_t>(is);
+    op.conv.out_h = get<std::uint32_t>(is);
+    op.sdp.in_precision = static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+    op.sdp.out_precision =
+        static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+    op.sdp.dims.w = get<std::uint32_t>(is);
+    op.sdp.dims.h = get<std::uint32_t>(is);
+    op.sdp.dims.c = get<std::uint32_t>(is);
+    op.sdp.src = get_surface(is);
+    op.sdp.dst = get_surface(is);
+    op.sdp.bias_enable = get<std::uint8_t>(is) != 0;
+    op.sdp.relu_enable = get<std::uint8_t>(is) != 0;
+    op.sdp.eltwise_enable = get<std::uint8_t>(is) != 0;
+    op.sdp.bias_addr = get<Addr>(is);
+    op.sdp.operand_addr = get<Addr>(is);
+    op.sdp.operand_line_stride = get<std::uint32_t>(is);
+    op.sdp.operand_surf_stride = get<std::uint32_t>(is);
+    op.sdp.operand_per_element = get<std::uint8_t>(is) != 0;
+    op.sdp.cvt_scale = get<std::int32_t>(is);
+    op.sdp.cvt_shift = get<std::uint32_t>(is);
+    op.pdp.precision = static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+    op.pdp.src = get_surface(is);
+    op.pdp.dst = get_surface(is);
+    op.pdp.kernel_w = get<std::uint32_t>(is);
+    op.pdp.kernel_h = get<std::uint32_t>(is);
+    op.pdp.stride_x = get<std::uint32_t>(is);
+    op.pdp.stride_y = get<std::uint32_t>(is);
+    op.pdp.pad_left = get<std::uint32_t>(is);
+    op.pdp.pad_top = get<std::uint32_t>(is);
+    op.pdp.pad_right = get<std::uint32_t>(is);
+    op.pdp.pad_bottom = get<std::uint32_t>(is);
+    op.pdp.average = get<std::uint8_t>(is) != 0;
+    op.cdp.precision = static_cast<nvdla::Precision>(get<std::uint8_t>(is));
+    op.cdp.src = get_surface(is);
+    op.cdp.dst = get_surface(is);
+    op.cdp.local_size = get<std::uint32_t>(is);
+    op.cdp.alpha_q16 = get<std::uint32_t>(is);
+    op.cdp.beta_q16 = get<std::uint32_t>(is);
+    op.cdp.k_q16 = get<std::uint32_t>(is);
+    op.cdp.in_scale_q16 = get<std::uint32_t>(is);
+    op.bdma.src_addr = get<Addr>(is);
+    op.bdma.dst_addr = get<Addr>(is);
+    op.bdma.line_size = get<std::uint32_t>(is);
+    op.bdma.line_repeat = get<std::uint32_t>(is);
+    op.bdma.src_stride = get<std::uint32_t>(is);
+    op.bdma.dst_stride = get<std::uint32_t>(is);
+  }
+  return l;
+}
+
+std::vector<std::uint8_t> Loadable::to_bytes() const {
+  std::ostringstream os(std::ios::binary);
+  serialize(os);
+  const std::string s = os.str();
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+Loadable Loadable::from_bytes(std::span<const std::uint8_t> bytes) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
+  return deserialize(is);
+}
+
+}  // namespace nvsoc::compiler

@@ -1,0 +1,454 @@
+#include "compiler/prototxt.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc::compiler {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer for the protobuf text format subset Caffe uses.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kString, kNumber, kColon, kLBrace, kRBrace, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= text_.size()) return tok;  // kEnd
+    const char c = text_[pos_];
+    if (c == ':') { ++pos_; tok.kind = TokKind::kColon; return tok; }
+    if (c == '{') { ++pos_; tok.kind = TokKind::kLBrace; return tok; }
+    if (c == '}') { ++pos_; tok.kind = TokKind::kRBrace; return tok; }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        tok.text.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        throw PrototxtError(strfmt("line {}: unterminated string", line_));
+      }
+      ++pos_;
+      tok.kind = TokKind::kString;
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+' || c == '.') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      tok.text = text_.substr(start, pos_ - start);
+      try {
+        tok.number = std::stod(tok.text);
+      } catch (const std::exception&) {
+        throw PrototxtError(strfmt("line {}: bad number '{}'", line_,
+                                   tok.text));
+      }
+      tok.kind = TokKind::kNumber;
+      return tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.text = text_.substr(start, pos_ - start);
+      tok.kind = TokKind::kIdent;
+      return tok;
+    }
+    throw PrototxtError(strfmt("line {}: unexpected character '{}'", line_, c));
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') { ++line_; ++pos_; continue; }
+      if (std::isspace(static_cast<unsigned char>(c))) { ++pos_; continue; }
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Generic message tree (field -> scalar values and sub-messages).
+// ---------------------------------------------------------------------------
+
+struct Message {
+  std::multimap<std::string, std::string> scalars;  // strings/idents/numbers
+  std::multimap<std::string, Message> children;
+  std::size_t line = 0;
+
+  std::optional<std::string> scalar(const std::string& key) const {
+    const auto it = scalars.find(key);
+    if (it == scalars.end()) return std::nullopt;
+    return it->second;
+  }
+  std::vector<std::string> all(const std::string& key) const {
+    std::vector<std::string> out;
+    const auto [lo, hi] = scalars.equal_range(key);
+    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+    return out;
+  }
+  const Message* child(const std::string& key) const {
+    const auto it = children.find(key);
+    return it == children.end() ? nullptr : &it->second;
+  }
+  std::uint32_t u32(const std::string& key, std::uint32_t fallback) const {
+    const auto v = scalar(key);
+    return v ? static_cast<std::uint32_t>(std::stoul(*v)) : fallback;
+  }
+  float f32(const std::string& key, float fallback) const {
+    const auto v = scalar(key);
+    return v ? std::stof(*v) : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+
+  Message parse_top() {
+    Message top;
+    while (current_.kind != TokKind::kEnd) parse_field(top);
+    return top;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  void expect(TokKind kind, const char* what) {
+    if (current_.kind != kind) {
+      throw PrototxtError(strfmt("line {}: expected {}", current_.line, what));
+    }
+  }
+
+  void parse_field(Message& into) {
+    expect(TokKind::kIdent, "field name");
+    const std::string key = current_.text;
+    const std::size_t line = current_.line;
+    advance();
+    if (current_.kind == TokKind::kColon) {
+      advance();
+      if (current_.kind == TokKind::kLBrace) {  // `field: { ... }` form
+        Message child = parse_message();
+        child.line = line;
+        into.children.emplace(key, std::move(child));
+        return;
+      }
+      if (current_.kind != TokKind::kString &&
+          current_.kind != TokKind::kNumber &&
+          current_.kind != TokKind::kIdent) {
+        throw PrototxtError(strfmt("line {}: expected value for '{}'",
+                                   current_.line, key));
+      }
+      into.scalars.emplace(key, current_.text);
+      advance();
+      return;
+    }
+    expect(TokKind::kLBrace, "':' or '{'");
+    Message child = parse_message();
+    child.line = line;
+    into.children.emplace(key, std::move(child));
+  }
+
+  Message parse_message() {
+    expect(TokKind::kLBrace, "'{'");
+    advance();
+    Message msg;
+    while (current_.kind != TokKind::kRBrace) {
+      if (current_.kind == TokKind::kEnd) {
+        throw PrototxtError("unexpected end of input inside message");
+      }
+      parse_field(msg);
+    }
+    advance();  // consume '}'
+    return msg;
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Message tree -> Network
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void fail_layer(const Message& layer, const std::string& msg) {
+  throw PrototxtError(strfmt("line {}: {}", layer.line, msg));
+}
+
+BlobShape input_shape_of(const Message& top) {
+  // Form 1: `input_shape { dim: 1 dim: 3 dim: 224 dim: 224 }`
+  // (possibly inside an explicit Input layer's input_param).
+  const auto dims_from = [](const Message& shape) {
+    const auto dims = shape.all("dim");
+    if (dims.size() != 4) {
+      throw PrototxtError("input_shape must have 4 dims (N C H W)");
+    }
+    return BlobShape{static_cast<std::uint32_t>(std::stoul(dims[1])),
+                     static_cast<std::uint32_t>(std::stoul(dims[2])),
+                     static_cast<std::uint32_t>(std::stoul(dims[3]))};
+  };
+  if (const Message* shape = top.child("input_shape")) {
+    return dims_from(*shape);
+  }
+  // Form 2: top-level `input_dim:` repeated 4 times.
+  const auto dims = top.all("input_dim");
+  if (dims.size() == 4) {
+    return BlobShape{static_cast<std::uint32_t>(std::stoul(dims[1])),
+                     static_cast<std::uint32_t>(std::stoul(dims[2])),
+                     static_cast<std::uint32_t>(std::stoul(dims[3]))};
+  }
+  // Form 3: a layer { type: "Input" input_param { shape { dim... } } }.
+  const auto [lo, hi] = top.children.equal_range("layer");
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.scalar("type").value_or("") != "Input") continue;
+    if (const Message* param = it->second.child("input_param")) {
+      if (const Message* shape = param->child("shape")) {
+        return dims_from(*shape);
+      }
+    }
+  }
+  throw PrototxtError(
+      "no input declaration found (input_shape / input_dim / Input layer)");
+}
+
+std::string input_blob_of(const Message& top) {
+  if (const auto name = top.scalar("input")) return *name;
+  const auto [lo, hi] = top.children.equal_range("layer");
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.scalar("type").value_or("") == "Input") {
+      return it->second.scalar("top").value_or("data");
+    }
+  }
+  return "data";
+}
+
+}  // namespace
+
+Network parse_prototxt(const std::string& text) {
+  Parser parser(text);
+  const Message top = parser.parse_top();
+
+  Network net(top.scalar("name").value_or("network"), input_shape_of(top),
+              input_blob_of(top));
+
+  // Caffe allows in-place layers (top == bottom) and deploy-time no-ops
+  // (Dropout); `alias` maps prototxt blob names to IR blob names.
+  std::map<std::string, std::string> alias;
+  const auto resolve = [&](const std::string& blob) {
+    const auto it = alias.find(blob);
+    return it == alias.end() ? blob : it->second;
+  };
+
+  const auto [lo, hi] = top.children.equal_range("layer");
+  for (auto it = lo; it != hi; ++it) {
+    const Message& layer = it->second;
+    const std::string type = layer.scalar("type").value_or("");
+    const std::string name =
+        layer.scalar("name").value_or(strfmt("layer_{}", layer.line));
+    if (type == "Input") continue;
+
+    std::vector<std::string> bottoms;
+    for (const auto& b : layer.all("bottom")) bottoms.push_back(resolve(b));
+    const std::string top_blob = layer.scalar("top").value_or(name);
+
+    // Deploy-time no-ops: alias the top to the (resolved) bottom.
+    if (type == "Dropout" || type == "Split") {
+      if (bottoms.empty()) fail_layer(layer, type + " needs a bottom");
+      alias[top_blob] = bottoms[0];
+      continue;
+    }
+    if (bottoms.empty() && type != "Input") {
+      fail_layer(layer, "layer '" + name + "' has no bottom");
+    }
+
+    std::string produced;
+    if (type == "Convolution") {
+      const Message* p = layer.child("convolution_param");
+      if (p == nullptr) fail_layer(layer, "missing convolution_param");
+      ConvParams conv;
+      conv.num_output = p->u32("num_output", 0);
+      const std::uint32_t k = p->u32("kernel_size", 1);
+      conv.kernel_h = p->u32("kernel_h", k);
+      conv.kernel_w = p->u32("kernel_w", k);
+      const std::uint32_t s = p->u32("stride", 1);
+      conv.stride_h = p->u32("stride_h", s);
+      conv.stride_w = p->u32("stride_w", s);
+      const std::uint32_t pad = p->u32("pad", 0);
+      conv.pad_h = p->u32("pad_h", pad);
+      conv.pad_w = p->u32("pad_w", pad);
+      conv.groups = p->u32("group", 1);
+      conv.bias_term = p->scalar("bias_term").value_or("true") != "false";
+      produced = net.add_conv(name, bottoms.at(0), conv);
+    } else if (type == "InnerProduct") {
+      const Message* p = layer.child("inner_product_param");
+      if (p == nullptr) fail_layer(layer, "missing inner_product_param");
+      const bool bias = p->scalar("bias_term").value_or("true") != "false";
+      produced = net.add_inner_product(name, bottoms.at(0),
+                                       p->u32("num_output", 0), bias);
+    } else if (type == "Pooling") {
+      const Message* p = layer.child("pooling_param");
+      if (p == nullptr) fail_layer(layer, "missing pooling_param");
+      PoolParams pool;
+      const std::string method = p->scalar("pool").value_or("MAX");
+      if (method == "MAX") pool.method = PoolParams::Method::kMax;
+      else if (method == "AVE") pool.method = PoolParams::Method::kAve;
+      else fail_layer(layer, "unsupported pooling method " + method);
+      pool.global = p->scalar("global_pooling").value_or("false") == "true";
+      const std::uint32_t k = p->u32("kernel_size", 2);
+      pool.kernel_h = p->u32("kernel_h", k);
+      pool.kernel_w = p->u32("kernel_w", k);
+      const std::uint32_t s = p->u32("stride", 1);
+      pool.stride_h = p->u32("stride_h", s);
+      pool.stride_w = p->u32("stride_w", s);
+      const std::uint32_t pad = p->u32("pad", 0);
+      pool.pad_h = p->u32("pad_h", pad);
+      pool.pad_w = p->u32("pad_w", pad);
+      produced = net.add_pool(name, bottoms.at(0), pool);
+    } else if (type == "ReLU") {
+      produced = net.add_relu(name, bottoms.at(0));
+    } else if (type == "BatchNorm") {
+      produced = net.add_batch_norm(name, bottoms.at(0));
+    } else if (type == "Scale") {
+      produced = net.add_scale(name, bottoms.at(0));
+    } else if (type == "Eltwise") {
+      if (const Message* p = layer.child("eltwise_param")) {
+        const std::string op = p->scalar("operation").value_or("SUM");
+        if (op != "SUM") fail_layer(layer, "only Eltwise SUM is supported");
+      }
+      if (bottoms.size() != 2) {
+        fail_layer(layer, "Eltwise needs exactly 2 bottoms");
+      }
+      produced = net.add_eltwise_sum(name, bottoms[0], bottoms[1]);
+    } else if (type == "Concat") {
+      produced = net.add_concat(name, bottoms);
+    } else if (type == "LRN") {
+      LrnParams lrn;
+      if (const Message* p = layer.child("lrn_param")) {
+        lrn.local_size = p->u32("local_size", 5);
+        lrn.alpha = p->f32("alpha", 1e-4f);
+        lrn.beta = p->f32("beta", 0.75f);
+        lrn.k = p->f32("k", 1.0f);
+      }
+      produced = net.add_lrn(name, bottoms.at(0), lrn);
+    } else if (type == "Softmax") {
+      produced = net.add_softmax(name, bottoms.at(0));
+    } else {
+      fail_layer(layer, "unsupported layer type '" + type + "'");
+    }
+
+    // In-place or renamed tops: future references to `top_blob` must see
+    // the IR blob this layer produced.
+    if (top_blob != produced) alias[top_blob] = produced;
+  }
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// Network -> prototxt text
+// ---------------------------------------------------------------------------
+
+std::string write_prototxt(const Network& net) {
+  std::ostringstream os;
+  os << "name: \"" << net.name() << "\"\n";
+  os << "input: \"" << net.input_blob() << "\"\n";
+  os << "input_shape { dim: 1 dim: " << net.input_shape().c << " dim: "
+     << net.input_shape().h << " dim: " << net.input_shape().w << " }\n";
+
+  for (const auto& layer : net.layers()) {
+    os << "layer {\n";
+    os << "  name: \"" << layer.name << "\"\n";
+    os << "  type: \"" << layer_kind_name(layer.kind) << "\"\n";
+    for (const auto& bottom : layer.bottoms) {
+      os << "  bottom: \"" << bottom << "\"\n";
+    }
+    os << "  top: \"" << layer.top << "\"\n";
+    switch (layer.kind) {
+      case LayerKind::kConvolution:
+        os << "  convolution_param {\n";
+        os << "    num_output: " << layer.conv.num_output << "\n";
+        os << "    kernel_h: " << layer.conv.kernel_h << "\n";
+        os << "    kernel_w: " << layer.conv.kernel_w << "\n";
+        os << "    stride_h: " << layer.conv.stride_h << "\n";
+        os << "    stride_w: " << layer.conv.stride_w << "\n";
+        os << "    pad_h: " << layer.conv.pad_h << "\n";
+        os << "    pad_w: " << layer.conv.pad_w << "\n";
+        if (layer.conv.groups > 1) {
+          os << "    group: " << layer.conv.groups << "\n";
+        }
+        if (!layer.conv.bias_term) os << "    bias_term: false\n";
+        os << "  }\n";
+        break;
+      case LayerKind::kInnerProduct:
+        os << "  inner_product_param { num_output: "
+           << layer.conv.num_output;
+        if (!layer.conv.bias_term) os << " bias_term: false";
+        os << " }\n";
+        break;
+      case LayerKind::kPooling:
+        os << "  pooling_param { pool: "
+           << (layer.pool.method == PoolParams::Method::kMax ? "MAX" : "AVE");
+        if (layer.pool.global) {
+          os << " global_pooling: true";
+        } else {
+          os << " kernel_h: " << layer.pool.kernel_h << " kernel_w: "
+             << layer.pool.kernel_w << " stride_h: " << layer.pool.stride_h
+             << " stride_w: " << layer.pool.stride_w;
+          if (layer.pool.pad_h || layer.pool.pad_w) {
+            os << " pad_h: " << layer.pool.pad_h << " pad_w: "
+               << layer.pool.pad_w;
+          }
+        }
+        os << " }\n";
+        break;
+      case LayerKind::kEltwise:
+        os << "  eltwise_param { operation: SUM }\n";
+        break;
+      case LayerKind::kLrn:
+        os << "  lrn_param { local_size: " << layer.lrn.local_size
+           << " alpha: " << layer.lrn.alpha << " beta: " << layer.lrn.beta
+           << " k: " << layer.lrn.k << " }\n";
+        break;
+      default:
+        break;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace nvsoc::compiler

@@ -1,0 +1,251 @@
+#include "compiler/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvsoc::compiler {
+
+namespace {
+
+using Tensor = std::vector<float>;
+
+std::size_t idx(const BlobShape& s, std::uint32_t c, std::uint32_t h,
+                std::uint32_t w) {
+  return (static_cast<std::size_t>(c) * s.h + h) * s.w + w;
+}
+
+Tensor conv_forward(const Layer& layer, const BlobShape& in_shape,
+                    const BlobShape& out_shape, const Tensor& in,
+                    const LayerWeights& lw) {
+  const auto& p = layer.conv;
+  const std::uint32_t cg = in_shape.c / p.groups;
+  const std::uint32_t kg = p.num_output / p.groups;
+  Tensor out(out_shape.elements(), 0.0f);
+  for (std::uint32_t k = 0; k < p.num_output; ++k) {
+    const std::uint32_t g = k / kg;
+    for (std::uint32_t oy = 0; oy < out_shape.h; ++oy) {
+      for (std::uint32_t ox = 0; ox < out_shape.w; ++ox) {
+        float sum = p.bias_term ? lw.bias[k] : 0.0f;
+        for (std::uint32_t c = 0; c < cg; ++c) {
+          for (std::uint32_t r = 0; r < p.kernel_h; ++r) {
+            const std::int64_t iy =
+                static_cast<std::int64_t>(oy) * p.stride_h - p.pad_h + r;
+            if (iy < 0 || iy >= in_shape.h) continue;
+            for (std::uint32_t s = 0; s < p.kernel_w; ++s) {
+              const std::int64_t ix =
+                  static_cast<std::int64_t>(ox) * p.stride_w - p.pad_w + s;
+              if (ix < 0 || ix >= in_shape.w) continue;
+              const float v = in[idx(in_shape, g * cg + c,
+                                     static_cast<std::uint32_t>(iy),
+                                     static_cast<std::uint32_t>(ix))];
+              const float wt =
+                  lw.weights[((static_cast<std::size_t>(k) * cg + c) *
+                                  p.kernel_h + r) * p.kernel_w + s];
+              sum += v * wt;
+            }
+          }
+        }
+        out[idx(out_shape, k, oy, ox)] = sum;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor inner_product_forward(const Layer& layer, const BlobShape& in_shape,
+                             const Tensor& in, const LayerWeights& lw) {
+  const std::uint32_t k_count = layer.conv.num_output;
+  const std::size_t fan_in = in_shape.elements();
+  Tensor out(k_count, 0.0f);
+  for (std::uint32_t k = 0; k < k_count; ++k) {
+    float sum = layer.conv.bias_term ? lw.bias[k] : 0.0f;
+    const float* row = lw.weights.data() + static_cast<std::size_t>(k) * fan_in;
+    for (std::size_t i = 0; i < fan_in; ++i) sum += row[i] * in[i];
+    out[k] = sum;
+  }
+  return out;
+}
+
+Tensor pool_forward(const Layer& layer, const BlobShape& in_shape,
+                    const BlobShape& out_shape, const Tensor& in) {
+  PoolParams p = layer.pool;
+  if (p.global) {
+    p.kernel_h = in_shape.h;
+    p.kernel_w = in_shape.w;
+    p.stride_h = p.stride_w = 1;
+    p.pad_h = p.pad_w = 0;
+  }
+  Tensor out(out_shape.elements(), 0.0f);
+  for (std::uint32_t c = 0; c < out_shape.c; ++c) {
+    for (std::uint32_t oy = 0; oy < out_shape.h; ++oy) {
+      for (std::uint32_t ox = 0; ox < out_shape.w; ++ox) {
+        float agg = p.method == PoolParams::Method::kMax
+                        ? -std::numeric_limits<float>::max()
+                        : 0.0f;
+        std::uint32_t count = 0;
+        for (std::uint32_t r = 0; r < p.kernel_h; ++r) {
+          for (std::uint32_t s = 0; s < p.kernel_w; ++s) {
+            const std::int64_t iy =
+                static_cast<std::int64_t>(oy) * p.stride_h - p.pad_h + r;
+            const std::int64_t ix =
+                static_cast<std::int64_t>(ox) * p.stride_w - p.pad_w + s;
+            if (iy < 0 || iy >= in_shape.h || ix < 0 || ix >= in_shape.w) {
+              continue;
+            }
+            const float v = in[idx(in_shape, c, static_cast<std::uint32_t>(iy),
+                                   static_cast<std::uint32_t>(ix))];
+            if (p.method == PoolParams::Method::kMax) {
+              agg = std::max(agg, v);
+            } else {
+              agg += v;
+            }
+            ++count;
+          }
+        }
+        out[idx(out_shape, c, oy, ox)] =
+            count == 0 ? 0.0f
+                       : (p.method == PoolParams::Method::kMax ? agg
+                                                               : agg / count);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor lrn_forward(const Layer& layer, const BlobShape& shape,
+                   const Tensor& in) {
+  const auto& p = layer.lrn;
+  const int half = static_cast<int>(p.local_size / 2);
+  Tensor out(in.size());
+  for (std::uint32_t c = 0; c < shape.c; ++c) {
+    for (std::uint32_t y = 0; y < shape.h; ++y) {
+      for (std::uint32_t x = 0; x < shape.w; ++x) {
+        float sumsq = 0.0f;
+        for (int dc = -half; dc <= half; ++dc) {
+          const int cc = static_cast<int>(c) + dc;
+          if (cc < 0 || cc >= static_cast<int>(shape.c)) continue;
+          const float v = in[idx(shape, static_cast<std::uint32_t>(cc), y, x)];
+          sumsq += v * v;
+        }
+        const float denom =
+            std::pow(p.k + p.alpha / static_cast<float>(p.local_size) * sumsq,
+                     p.beta);
+        out[idx(shape, c, y, x)] = in[idx(shape, c, y, x)] / denom;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::vector<float>> ReferenceExecutor::run(
+    std::span<const float> input) const {
+  if (input.size() != network_.input_shape().elements()) {
+    throw std::runtime_error("reference: input size mismatch");
+  }
+  std::map<std::string, Tensor> blobs;
+  blobs[network_.input_blob()] = Tensor(input.begin(), input.end());
+
+  for (const auto& layer : network_.layers()) {
+    const BlobShape& out_shape = network_.blob_shape(layer.top);
+    const Tensor& in0 = blobs.at(layer.bottoms.at(0));
+    const BlobShape& in_shape = network_.blob_shape(layer.bottoms.at(0));
+    Tensor out;
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        out = in0;
+        break;
+      case LayerKind::kConvolution:
+        out = conv_forward(layer, in_shape, out_shape, in0,
+                           weights_.at(layer.name));
+        break;
+      case LayerKind::kInnerProduct:
+        out = inner_product_forward(layer, in_shape, in0,
+                                    weights_.at(layer.name));
+        break;
+      case LayerKind::kPooling:
+        out = pool_forward(layer, in_shape, out_shape, in0);
+        break;
+      case LayerKind::kReLU:
+        out = in0;
+        for (auto& v : out) v = std::max(v, 0.0f);
+        break;
+      case LayerKind::kBatchNorm: {
+        const auto& lw = weights_.at(layer.name);
+        out.resize(in0.size());
+        for (std::uint32_t c = 0; c < in_shape.c; ++c) {
+          const float mean = lw.weights[c];
+          const float inv_std =
+              1.0f / std::sqrt(lw.bias[c] + layer.bn_epsilon);
+          for (std::uint32_t y = 0; y < in_shape.h; ++y) {
+            for (std::uint32_t x = 0; x < in_shape.w; ++x) {
+              const std::size_t i = idx(in_shape, c, y, x);
+              out[i] = (in0[i] - mean) * inv_std;
+            }
+          }
+        }
+        break;
+      }
+      case LayerKind::kScale: {
+        const auto& lw = weights_.at(layer.name);
+        out.resize(in0.size());
+        for (std::uint32_t c = 0; c < in_shape.c; ++c) {
+          for (std::uint32_t y = 0; y < in_shape.h; ++y) {
+            for (std::uint32_t x = 0; x < in_shape.w; ++x) {
+              const std::size_t i = idx(in_shape, c, y, x);
+              out[i] = in0[i] * lw.weights[c] + lw.bias[c];
+            }
+          }
+        }
+        break;
+      }
+      case LayerKind::kEltwise: {
+        const Tensor& in1 = blobs.at(layer.bottoms.at(1));
+        out.resize(in0.size());
+        for (std::size_t i = 0; i < in0.size(); ++i) out[i] = in0[i] + in1[i];
+        break;
+      }
+      case LayerKind::kConcat: {
+        out.reserve(out_shape.elements());
+        for (const auto& bottom : layer.bottoms) {
+          const Tensor& t = blobs.at(bottom);
+          out.insert(out.end(), t.begin(), t.end());
+        }
+        break;
+      }
+      case LayerKind::kLrn:
+        out = lrn_forward(layer, in_shape, in0);
+        break;
+      case LayerKind::kSoftmax: {
+        out = in0;
+        const float maxv = *std::max_element(out.begin(), out.end());
+        float sum = 0.0f;
+        for (auto& v : out) {
+          v = std::exp(v - maxv);
+          sum += v;
+        }
+        for (auto& v : out) v /= sum;
+        break;
+      }
+    }
+    blobs[layer.top] = std::move(out);
+  }
+  return blobs;
+}
+
+std::vector<float> ReferenceExecutor::run_to(std::span<const float> input,
+                                             const std::string& blob) const {
+  auto blobs = run(input);
+  const std::string target =
+      blob.empty() ? network_.layers().back().top : blob;
+  return std::move(blobs.at(target));
+}
+
+std::size_t argmax(std::span<const float> values) {
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace nvsoc::compiler

@@ -1,0 +1,43 @@
+// FP32 reference executor over the network IR.
+//
+// Serves three roles:
+//   * ground truth when validating NVDLA INT8/FP16 output,
+//   * activation-range provider for INT8 calibration (future-work feature
+//     §1 of the paper),
+//   * the "golden model" examples compare against.
+// Tensors are planar [c][h][w] float vectors.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compiler/network.hpp"
+#include "compiler/weights.hpp"
+
+namespace nvsoc::compiler {
+
+class ReferenceExecutor {
+ public:
+  ReferenceExecutor(const Network& network, const NetWeights& weights)
+      : network_(network), weights_(weights) {}
+
+  /// Run the whole network; returns every blob's activation tensor
+  /// (including the input blob).
+  std::map<std::string, std::vector<float>> run(
+      std::span<const float> input) const;
+
+  /// Convenience: just the named blob (default: last layer's top).
+  std::vector<float> run_to(std::span<const float> input,
+                            const std::string& blob = "") const;
+
+ private:
+  const Network& network_;
+  const NetWeights& weights_;
+};
+
+/// Index of the maximum element (classification result).
+std::size_t argmax(std::span<const float> values);
+
+}  // namespace nvsoc::compiler

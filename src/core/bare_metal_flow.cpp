@@ -1,0 +1,127 @@
+#include "core/bare_metal_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvsoc::core {
+
+PreparedModel prepare_model(const compiler::Network& network,
+                            const FlowConfig& config) {
+  PreparedModel prepared;
+  prepared.model_name = network.name();
+
+  // 1. Parameters and calibration input (stand-ins for the trained Caffe
+  //    model and test image, per DESIGN.md substitutions).
+  prepared.weights =
+      compiler::NetWeights::synthetic(network, config.weight_seed);
+  prepared.input =
+      compiler::synthetic_input(network.input_shape(), config.input_seed);
+
+  // 2. FP32 golden output + INT8 calibration table (future work §1).
+  compiler::ReferenceExecutor reference(network, prepared.weights);
+  prepared.reference_output = reference.run_to(prepared.input);
+  if (config.precision == nvdla::Precision::kInt8) {
+    prepared.calibration = compiler::calibrate(
+        network, prepared.weights, std::span<const float>(prepared.input));
+  }
+
+  // 3. NVDLA compilation.
+  prepared.loadable = compiler::compile(
+      network, prepared.weights,
+      config.precision == nvdla::Precision::kInt8 ? &prepared.calibration
+                                                  : nullptr,
+      compiler::CompileOptions::for_config(config.nvdla, config.precision));
+
+  // 4. Virtual-platform execution with interface tracing (Fig. 3).
+  vp::VirtualPlatform platform(config.nvdla);
+  prepared.vp = platform.run(prepared.loadable, prepared.input);
+
+  // 5. Trace -> configuration file -> assembly -> machine code (Fig. 1).
+  prepared.config_file =
+      toolflow::ConfigFile::from_trace(prepared.vp.trace);
+  toolflow::AsmOptions asm_options;
+  asm_options.wait_mode = config.wait_mode;
+  prepared.program =
+      toolflow::generate_program(prepared.config_file, asm_options);
+  return prepared;
+}
+
+namespace {
+
+SocExecution finish_execution(soc::Soc& soc, Dram& dram,
+                              const PreparedModel& prepared,
+                              const rv::RunResult& cpu_result) {
+  if (cpu_result.reason != rv::HaltReason::kEbreak) {
+    throw std::runtime_error(
+        std::string("SoC program did not reach ebreak: ") +
+        rv::halt_reason_name(cpu_result.reason) + " " + cpu_result.detail);
+  }
+  SocExecution exec;
+  exec.cpu = cpu_result;
+  exec.cycles = cpu_result.cycles;
+  exec.ms = soc.cycles_to_ms(cpu_result.cycles);
+
+  std::vector<std::uint8_t> raw(prepared.loadable.output_surface.span_bytes());
+  dram.read_bytes(prepared.loadable.output_surface.base, raw);
+  exec.output = prepared.loadable.unpack_output(raw);
+  exec.predicted_class = compiler::argmax(exec.output);
+  exec.census = soc.bus_census();
+  exec.engine_stats = soc.nvdla().stats();
+  exec.cpu_stats = soc.cpu().stats();
+  return exec;
+}
+
+}  // namespace
+
+SocExecution execute_on_soc(const PreparedModel& prepared,
+                            const FlowConfig& config) {
+  soc::SocConfig soc_config;
+  soc_config.clock = config.soc_clock;
+  soc_config.nvdla = config.nvdla;
+  soc::Soc soc(soc_config);
+
+  // Program memory <- .mem image; DRAM <- weight file + input image.
+  soc.program_memory().load_mem_text(prepared.program.mem_text);
+  for (const auto& chunk : prepared.vp.weights.chunks) {
+    soc.dram().write_bytes(chunk.addr, chunk.bytes);
+  }
+  const auto input_bytes = prepared.loadable.pack_input(prepared.input);
+  soc.dram().write_bytes(prepared.loadable.input_surface.base, input_bytes);
+
+  const rv::RunResult result = soc.run();
+  return finish_execution(soc, soc.dram(), prepared, result);
+}
+
+SocExecution execute_on_system_top(const PreparedModel& prepared,
+                                   const FlowConfig& config) {
+  soc::SystemTopConfig top_config;
+  top_config.soc.clock = config.soc_clock;
+  top_config.soc.nvdla = config.nvdla;
+  soc::SystemTop top(top_config);
+
+  // Phase 1: the Zynq PS owns the DDR and preloads weights + input.
+  top.switch_to_ps();
+  top.ps_preload_weight_file(prepared.vp.weights);
+  const auto input_bytes = prepared.loadable.pack_input(prepared.input);
+  top.ps_preload_backdoor(prepared.loadable.input_surface.base, input_bytes);
+
+  // Phase 2: flip the SmartConnect and run the SoC.
+  top.switch_to_soc();
+  top.soc().program_memory().load_mem_text(prepared.program.mem_text);
+  const rv::RunResult result = top.soc().run();
+  return finish_execution(top.soc(), top.ddr(), prepared, result);
+}
+
+float max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::runtime_error("max_abs_diff: size mismatch");
+  }
+  float max_err = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(a[i] - b[i]));
+  }
+  return max_err;
+}
+
+}  // namespace nvsoc::core

@@ -1,0 +1,84 @@
+// Public facade over the complete paper flow.
+//
+// Offline (Fig. 1): network -> synthetic/trained weights -> INT8
+// calibration -> NVDLA compiler -> virtual-platform execution with CSB/DBB
+// tracing -> configuration file -> RISC-V assembly -> machine code + weight
+// file.
+//
+// Online (Fig. 2/4): preload DRAM with the weight file and input image,
+// load program memory with the machine code, release the µRISC-V core, and
+// read the result cube back when it hits ebreak.
+//
+// This is the API the examples and benches program against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/calibration.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/network.hpp"
+#include "compiler/reference.hpp"
+#include "compiler/weights.hpp"
+#include "soc/soc.hpp"
+#include "soc/system_top.hpp"
+#include "toolflow/asm_emitter.hpp"
+#include "toolflow/config_file.hpp"
+#include "vp/virtual_platform.hpp"
+
+namespace nvsoc::core {
+
+struct FlowConfig {
+  nvdla::NvdlaConfig nvdla = nvdla::NvdlaConfig::small();
+  nvdla::Precision precision = nvdla::Precision::kInt8;
+  std::uint64_t weight_seed = 42;
+  std::uint64_t input_seed = 7;
+  Hertz soc_clock = 100 * kMHz;  ///< Table II operating point
+  /// How the generated program waits for layer completion: busy-polling
+  /// (the paper's flow) or WFI + the NVDLA interrupt line (extension).
+  toolflow::WaitMode wait_mode = toolflow::WaitMode::kPoll;
+};
+
+/// Everything the offline flow produces for one network + input.
+struct PreparedModel {
+  std::string model_name;
+  compiler::NetWeights weights;
+  compiler::CalibrationTable calibration;
+  compiler::Loadable loadable;
+  std::vector<float> input;             ///< planar float image
+  std::vector<float> reference_output;  ///< FP32 golden output
+
+  vp::VpRunResult vp;                   ///< VP execution + traces
+  toolflow::ConfigFile config_file;
+  toolflow::BareMetalProgram program;   ///< assembly + machine code
+};
+
+/// Run the offline generation flow (Fig. 1) end to end.
+PreparedModel prepare_model(const compiler::Network& network,
+                            const FlowConfig& config);
+
+/// Result of running the bare-metal program on the SoC model.
+struct SocExecution {
+  rv::RunResult cpu;
+  Cycle cycles = 0;
+  double ms = 0.0;
+  std::vector<float> output;
+  std::size_t predicted_class = 0;
+  soc::SocBusCensus census;
+  nvdla::EngineStats engine_stats;
+  rv::CpuStats cpu_stats;
+};
+
+/// Execute on the standalone SoC (Fig. 2, internal DRAM model).
+SocExecution execute_on_soc(const PreparedModel& prepared,
+                            const FlowConfig& config);
+
+/// Execute on the full board set-up (Fig. 4: Zynq-PS preload through the
+/// SmartConnect, CDC to the MIG DDR4, then the SoC runs).
+SocExecution execute_on_system_top(const PreparedModel& prepared,
+                                   const FlowConfig& config);
+
+/// Maximum |a-b| between two tensors (validation helper).
+float max_abs_diff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace nvsoc::core

@@ -1,0 +1,89 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc::core {
+
+std::vector<LayerProfile> ExecutionProfile::hotspots(
+    std::size_t top_n) const {
+  std::vector<LayerProfile> sorted = layers;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const LayerProfile& a, const LayerProfile& b) {
+                     return a.duration > b.duration;
+                   });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+  return sorted;
+}
+
+double ExecutionProfile::compute_bound_fraction() const {
+  Cycle bound = 0, total = 0;
+  for (const auto& layer : layers) {
+    total += layer.duration;
+    if (layer.compute_bound) bound += layer.duration;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(bound) / total;
+}
+
+std::uint64_t ExecutionProfile::total_traffic_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& layer : layers) total += layer.traffic_bytes;
+  return total;
+}
+
+ExecutionProfile build_profile(
+    const compiler::Loadable& loadable,
+    const std::vector<nvdla::OpRecord>& records) {
+  ExecutionProfile profile;
+  const std::size_t n = std::min(loadable.ops.size(), records.size());
+  profile.layers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& op = loadable.ops[i];
+    const auto& record = records[i];
+    LayerProfile layer;
+    layer.name = op.name;
+    layer.kind = op.kind;
+    layer.launch = record.launch;
+    layer.complete = record.complete;
+    layer.duration = record.duration();
+    layer.traffic_bytes = record.cost.traffic_bytes;
+    layer.compute_bound =
+        record.cost.compute_cycles >= record.cost.dbb_cycles;
+    profile.total_cycles =
+        std::max(profile.total_cycles, record.complete);
+    profile.layers.push_back(std::move(layer));
+  }
+  return profile;
+}
+
+std::string format_profile(const ExecutionProfile& profile, Hertz clock,
+                           std::size_t max_rows) {
+  std::ostringstream os;
+  os << strfmt("{:<40} {:>6} {:>12} {:>10} {:>10} {:>7}\n", "layer", "kind",
+               "cycles", "time_us", "KB_moved", "bound");
+  std::size_t rows = 0;
+  for (const auto& layer : profile.layers) {
+    if (max_rows != 0 && rows++ >= max_rows) {
+      os << strfmt("... ({} more layers)\n", profile.layers.size() - max_rows);
+      break;
+    }
+    os << strfmt("{:<40} {:>6} {:>12} {:>10.1f} {:>10.1f} {:>7}\n",
+                 layer.name.size() > 40 ? layer.name.substr(0, 40)
+                                        : layer.name,
+                 compiler::hw_op_kind_name(layer.kind), layer.duration,
+                 cycles_to_seconds(layer.duration, clock) * 1e6,
+                 layer.traffic_bytes / 1024.0,
+                 layer.compute_bound ? "MAC" : "DBB");
+  }
+  os << strfmt("total: {} cycles = {:.3f} ms; {:.1f} MB moved; {:.0f}% of "
+               "layer time MAC-bound\n",
+               profile.total_cycles,
+               cycles_to_ms(profile.total_cycles, clock),
+               profile.total_traffic_bytes() / 1e6,
+               profile.compute_bound_fraction() * 100.0);
+  return os.str();
+}
+
+}  // namespace nvsoc::core

@@ -1,0 +1,45 @@
+// Per-layer execution report: joins the compiled loadable's hardware-layer
+// descriptors with the engine's OpRecords into a human-readable profile
+// (per-layer cycles, compute-vs-DBB boundedness, traffic), the tool an
+// integrator uses to find where an inference's time goes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/loadable.hpp"
+#include "nvdla/engine.hpp"
+
+namespace nvsoc::core {
+
+struct LayerProfile {
+  std::string name;          ///< fused IR layer names
+  compiler::HwOpKind kind = compiler::HwOpKind::kConv;
+  Cycle launch = 0;
+  Cycle complete = 0;
+  Cycle duration = 0;
+  std::uint64_t traffic_bytes = 0;
+  bool compute_bound = false;  ///< MAC-bound (vs DBB-bound)
+};
+
+struct ExecutionProfile {
+  std::vector<LayerProfile> layers;
+  Cycle total_cycles = 0;
+
+  /// The `top_n` slowest layers, by duration.
+  std::vector<LayerProfile> hotspots(std::size_t top_n) const;
+  /// Fraction of total time spent in compute-bound layers.
+  double compute_bound_fraction() const;
+  std::uint64_t total_traffic_bytes() const;
+};
+
+/// Join descriptors and records (must be index-aligned: the engine records
+/// ops in launch order, which is the loadable's op order).
+ExecutionProfile build_profile(const compiler::Loadable& loadable,
+                               const std::vector<nvdla::OpRecord>& records);
+
+/// Render as an aligned text table (markdown-flavoured).
+std::string format_profile(const ExecutionProfile& profile, Hertz clock,
+                           std::size_t max_rows = 0);
+
+}  // namespace nvsoc::core

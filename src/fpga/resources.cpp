@@ -1,0 +1,120 @@
+#include "fpga/resources.hpp"
+
+#include <algorithm>
+
+namespace nvsoc::fpga {
+
+Resources& Resources::operator+=(const Resources& other) {
+  luts += other.luts;
+  regs += other.regs;
+  carry8 += other.carry8;
+  f7_muxes += other.f7_muxes;
+  f8_muxes += other.f8_muxes;
+  clbs += other.clbs;
+  bram_tiles += other.bram_tiles;
+  dsps += other.dsps;
+  return *this;
+}
+
+Resources zcu102_capacity() {
+  return {274080, 548160, 34260, 137040, 68520, 34260, 912, 2520};
+}
+
+Resources estimate_nvdla(const nvdla::NvdlaConfig& config) {
+  // Scaling model calibrated on the synthesised nv_small row of Table I
+  // (64 MACs, 128 KiB CBUF, 64-bit DBB -> 74575 LUTs, 79567 regs, 1569
+  // CARRY8, 3091 F7, 1048 F8, 15734 CLBs, 66 BRAM, 32 DSPs):
+  //   * datapath resources scale with the MAC count (each INT8 MAC costs
+  //     LUT fabric for the multiplier partial products and the adder tree,
+  //     plus pipeline registers) — DSP packing fits two INT8 MACs per DSP
+  //     but the NVDLA RTL maps most multipliers to fabric, which is exactly
+  //     why nv_full over-utilises LUTs on the ZCU102;
+  //   * CBUF maps to BRAM tiles (36 Kb each) plus control overhead;
+  //   * fixed cost covers CDMA/SDP/PDP/CDP control and the CSB fabric.
+  const double macs = config.num_macs();
+  const double cbuf_kib = config.cbuf_kib;
+  const double dbb_bytes = config.dbb_width_bits / 8.0;
+
+  Resources r;
+  r.luts = 35663.0 + 580.0 * macs + 8.0 * cbuf_kib + 96.0 * dbb_bytes;
+  r.regs = 43887.0 + 520.0 * macs + 10.0 * cbuf_kib + 140.0 * dbb_bytes;
+  r.carry8 = 791.4 + 11.0 * macs + 0.2 * cbuf_kib + 6.0 * dbb_bytes;
+  r.f7_muxes = 1174.2 + 28.0 * macs + 0.6 * cbuf_kib + 6.0 * dbb_bytes;
+  r.f8_muxes = 400.0 + 9.5 * macs + 0.2 * cbuf_kib + 1.8 * dbb_bytes;
+  r.clbs = 7230.0 + 126.0 * macs + 2.5 * cbuf_kib + 15.0 * dbb_bytes;
+  r.bram_tiles = 30.0 + cbuf_kib / 4.0 + dbb_bytes / 2.0;
+  r.dsps = macs / 2.0;
+  return r;
+}
+
+Resources urisc_v_core() {
+  return {6346, 2767, 173, 419, 67, 1297, 0, 4};
+}
+
+Resources program_memory() {
+  return {241, 6, 0, 45, 18, 148, 232, 0};
+}
+
+Resources soc_glue() {
+  // Bridges, decoder, arbiter and the width converter: the SoC row of
+  // Table I minus its three explicit components. The negative CLB delta is
+  // real Vivado behaviour — glue logic packs into CLBs already counted
+  // against the larger components.
+  return {824, 1319, 20, 0, 0, -154, 0, 0};
+}
+
+Resources mig_ddr4() {
+  return {8651, 10260, 56, 164, 0, 1754, 25.5, 3};
+}
+
+Resources axi_smartconnect() {
+  return {5546, 7860, 0, 0, 0, 1137, 0, 0};
+}
+
+Resources board_glue() {
+  // Overall set-up minus SoC, MIG and SmartConnect (AXI interconnect CDC,
+  // resets, Zynq PS interface logic).
+  return {550, 1044, 7, 0, 0, -18, 0, 0};
+}
+
+Resources our_soc(const nvdla::NvdlaConfig& config) {
+  return estimate_nvdla(config) + urisc_v_core() + program_memory() +
+         soc_glue();
+}
+
+Resources overall_system(const nvdla::NvdlaConfig& config) {
+  return our_soc(config) + mig_ddr4() + axi_smartconnect() + board_glue();
+}
+
+std::vector<UtilizationRow> table1_rows(const nvdla::NvdlaConfig& config) {
+  return {
+      {"Overall System Set-up (Fig. 4)", overall_system(config)},
+      {"MIG DDR4", mig_ddr4()},
+      {"AXI SmartConnect", axi_smartconnect()},
+      {"Our SoC (Fig. 2)", our_soc(config)},
+      {config.name + " NVDLA", estimate_nvdla(config)},
+      {"uRISC_V core", urisc_v_core()},
+      {"Program Memory", program_memory()},
+  };
+}
+
+bool fits(const Resources& used, const Resources& capacity) {
+  return used.luts <= capacity.luts && used.regs <= capacity.regs &&
+         used.carry8 <= capacity.carry8 &&
+         used.f7_muxes <= capacity.f7_muxes &&
+         used.f8_muxes <= capacity.f8_muxes && used.clbs <= capacity.clbs &&
+         used.bram_tiles <= capacity.bram_tiles && used.dsps <= capacity.dsps;
+}
+
+double peak_utilization(const Resources& used, const Resources& capacity) {
+  double peak = 0.0;
+  const double ratios[] = {
+      used.luts / capacity.luts,          used.regs / capacity.regs,
+      used.carry8 / capacity.carry8,      used.f7_muxes / capacity.f7_muxes,
+      used.f8_muxes / capacity.f8_muxes,  used.clbs / capacity.clbs,
+      used.bram_tiles / capacity.bram_tiles, used.dsps / capacity.dsps};
+  for (const double r : ratios) peak = std::max(peak, r);
+  return peak * 100.0;
+}
+
+}  // namespace nvsoc::fpga

@@ -1,0 +1,67 @@
+// FPGA resource-utilisation model (Table I).
+//
+// Substitution for Vivado synthesis on the ZCU102: a parametric estimator
+// per component. Fixed-function blocks (µRISC-V core, program memory, MIG
+// DDR4, AXI SmartConnect, bus glue) carry their synthesised footprints from
+// Table I directly; the NVDLA estimate scales with the hardware parameters
+// (MAC count, CBUF capacity, DBB width) and is calibrated so nv_small
+// reproduces the published row exactly. The same scaling predicts the
+// nv_full LUT over-utilisation the paper reports during synthesis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nvdla/config.hpp"
+
+namespace nvsoc::fpga {
+
+struct Resources {
+  double luts = 0;
+  double regs = 0;
+  double carry8 = 0;
+  double f7_muxes = 0;
+  double f8_muxes = 0;
+  double clbs = 0;
+  double bram_tiles = 0;
+  double dsps = 0;
+
+  Resources& operator+=(const Resources& other);
+  friend Resources operator+(Resources a, const Resources& b) {
+    a += b;
+    return a;
+  }
+};
+
+/// ZCU102 (XCZU9EG) device capacity — the header row of Table I.
+Resources zcu102_capacity();
+
+// --- per-component estimates -------------------------------------------------
+Resources estimate_nvdla(const nvdla::NvdlaConfig& config);
+Resources urisc_v_core();
+Resources program_memory();
+Resources soc_glue();          ///< bridges, decoder, arbiter, converter
+Resources mig_ddr4();
+Resources axi_smartconnect();
+Resources board_glue();        ///< AXI interconnect, resets, misc
+
+/// The paper's aggregate rows.
+Resources our_soc(const nvdla::NvdlaConfig& config);
+Resources overall_system(const nvdla::NvdlaConfig& config);
+
+/// A named utilisation row for report printing.
+struct UtilizationRow {
+  std::string component;
+  Resources used;
+};
+
+/// Full Table I as rows (overall, MIG, SmartConnect, SoC, NVDLA, core, PM).
+std::vector<UtilizationRow> table1_rows(const nvdla::NvdlaConfig& config);
+
+/// True when every resource class fits the device.
+bool fits(const Resources& used, const Resources& capacity);
+
+/// Utilisation percentage of the scarcest resource class.
+double peak_utilization(const Resources& used, const Resources& capacity);
+
+}  // namespace nvsoc::fpga

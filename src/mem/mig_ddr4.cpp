@@ -1,0 +1,30 @@
+#include "mem/mig_ddr4.hpp"
+
+namespace nvsoc {
+
+Cycle MigDdr4::defer_for_refresh(Cycle t) const {
+  // Refresh occupies [k*tREFI, k*tREFI + tRFC) for every positive integer k.
+  if (timing_.refresh_interval == 0) return t;
+  const Cycle phase = t % timing_.refresh_interval;
+  if (t >= timing_.refresh_interval && phase < timing_.refresh_duration) {
+    return t + (timing_.refresh_duration - phase);
+  }
+  return t;
+}
+
+BusResponse MigDdr4::access(const BusRequest& req) {
+  const bool streaming =
+      last_complete_ > 0 && req.start <= last_complete_ + timing_.streaming_gap;
+  Cycle issue = req.start + (streaming ? 0 : timing_.queue_latency);
+  const Cycle deferred = defer_for_refresh(issue);
+  refresh_stalls_ += deferred - issue;
+
+  BusRequest downstream = req;
+  downstream.start = deferred;
+  BusResponse rsp = dram_.access(downstream);
+  if (rsp.status.is_ok()) last_complete_ = rsp.complete;
+  stats_.note(req, rsp, timing_.queue_latency + 1);
+  return rsp;
+}
+
+}  // namespace nvsoc

@@ -1,0 +1,43 @@
+// MIG DDR4 memory-controller front-end (Fig. 4). Wraps the raw DRAM array
+// with controller behaviour visible at the AXI boundary: a fixed
+// command-queue latency per request and periodic refresh windows during
+// which the controller stalls new requests (tREFI / tRFC, scaled to the
+// 100 MHz user-interface clock of the paper's set-up).
+#pragma once
+
+#include "bus/bus_types.hpp"
+#include "mem/dram.hpp"
+
+namespace nvsoc {
+
+struct MigTiming {
+  Cycle queue_latency = 6;     ///< controller command path (first of a burst)
+  Cycle refresh_interval = 780;  ///< tREFI at 100 MHz UI clock (7.8 us)
+  Cycle refresh_duration = 35;   ///< tRFC
+  /// A request arriving within this window of the previous completion rides
+  /// the already-open command pipeline and skips the queue latency.
+  Cycle streaming_gap = 2;
+};
+
+class MigDdr4 final : public BusTarget {
+ public:
+  MigDdr4(Dram& dram, MigTiming timing = {}) : dram_(dram), timing_(timing) {}
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "mig_ddr4"; }
+
+  const BusStats& stats() const { return stats_; }
+  std::uint64_t refresh_stall_cycles() const { return refresh_stalls_; }
+
+ private:
+  /// If `t` lands inside a refresh window, returns the end of that window.
+  Cycle defer_for_refresh(Cycle t) const;
+
+  Dram& dram_;
+  MigTiming timing_;
+  BusStats stats_;
+  Cycle last_complete_ = 0;
+  std::uint64_t refresh_stalls_ = 0;
+};
+
+}  // namespace nvsoc

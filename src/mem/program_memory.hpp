@@ -1,0 +1,42 @@
+// RISC-V program memory, implemented on the FPGA with block RAMs and loaded
+// with machine code generated from the configuration file in .mem format
+// (one 32-bit hex word per line, the Vivado $readmemh convention).
+// Single-cycle access, as for true dual-port BRAM at the core clock.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bus/bus_types.hpp"
+
+namespace nvsoc {
+
+class ProgramMemory final : public BusTarget {
+ public:
+  explicit ProgramMemory(std::uint64_t size_bytes);
+
+  BusResponse access(const BusRequest& req) override;
+  std::string_view name() const override { return "program_memory"; }
+
+  /// Load a binary image at `base` (backdoor, zero simulated time).
+  void load_image(Addr base, std::span<const std::uint8_t> image);
+
+  /// Load a Vivado-style .mem file: '//' comments, optional `@addr` records,
+  /// one 32-bit hex word per line. Returns the number of words loaded.
+  std::size_t load_mem_file(const std::filesystem::path& path);
+
+  /// Parse .mem text directly (used by the toolflow round-trip tests).
+  std::size_t load_mem_text(const std::string& text);
+
+  Word word_at(Addr addr) const;
+  std::uint64_t size_bytes() const { return data_.size(); }
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  BusStats stats_;
+};
+
+}  // namespace nvsoc

@@ -1,0 +1,333 @@
+#include "models/models.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc::models {
+
+using compiler::BlobShape;
+using compiler::ConvParams;
+using compiler::LrnParams;
+using compiler::Network;
+using compiler::PoolParams;
+
+namespace {
+
+ConvParams conv_p(std::uint32_t k, std::uint32_t kernel, std::uint32_t stride,
+                  std::uint32_t pad, std::uint32_t groups = 1,
+                  bool bias = true) {
+  ConvParams p;
+  p.num_output = k;
+  p.kernel_h = p.kernel_w = kernel;
+  p.stride_h = p.stride_w = stride;
+  p.pad_h = p.pad_w = pad;
+  p.groups = groups;
+  p.bias_term = bias;
+  return p;
+}
+
+PoolParams max_pool(std::uint32_t kernel, std::uint32_t stride,
+                    std::uint32_t pad = 0) {
+  PoolParams p;
+  p.method = PoolParams::Method::kMax;
+  p.kernel_h = p.kernel_w = kernel;
+  p.stride_h = p.stride_w = stride;
+  p.pad_h = p.pad_w = pad;
+  return p;
+}
+
+PoolParams ave_pool(std::uint32_t kernel, std::uint32_t stride,
+                    std::uint32_t pad = 0) {
+  PoolParams p;
+  p.method = PoolParams::Method::kAve;
+  p.kernel_h = p.kernel_w = kernel;
+  p.stride_h = p.stride_w = stride;
+  p.pad_h = p.pad_w = pad;
+  return p;
+}
+
+PoolParams global_ave_pool() {
+  PoolParams p;
+  p.method = PoolParams::Method::kAve;
+  p.global = true;
+  return p;
+}
+
+/// conv -> BN -> Scale (-> ReLU): the Caffe ResNet/MobileNet idiom.
+std::string conv_bn(Network& net, const std::string& name,
+                    const std::string& bottom, ConvParams params,
+                    bool relu = true) {
+  params.bias_term = false;  // BN/Scale provide the affine term
+  std::string top = net.add_conv(name, bottom, params);
+  top = net.add_batch_norm("bn_" + name, top);
+  top = net.add_scale("scale_" + name, top);
+  if (relu) top = net.add_relu(name + "_relu", top);
+  return top;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LeNet-5: the standard Caffe MNIST network; 9 layers including data,
+// 431k parameters (~1.7 MB as fp32 .caffemodel).
+// ---------------------------------------------------------------------------
+compiler::Network lenet5() {
+  Network net("lenet5", BlobShape{1, 28, 28});
+  std::string t = net.add_conv("conv1", "data", conv_p(20, 5, 1, 0));
+  t = net.add_pool("pool1", t, max_pool(2, 2));
+  t = net.add_conv("conv2", t, conv_p(50, 5, 1, 0));
+  t = net.add_pool("pool2", t, max_pool(2, 2));
+  t = net.add_inner_product("ip1", t, 500);
+  t = net.add_relu("relu1", t);
+  t = net.add_inner_product("ip2", t, 10);
+  net.add_softmax("prob", t);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// ResNet-18 (CIFAR variant): 3x32x32 input, basic blocks [2,2,2,2] with
+// widths 16/32/64/128 -> ~0.7M parameters (~0.8 MB quantised to INT8, the
+// precision the nv_small flow deploys), matching the paper's reported
+// input and model size.
+// ---------------------------------------------------------------------------
+compiler::Network resnet18_cifar() {
+  Network net("resnet18", BlobShape{3, 32, 32});
+  const std::uint32_t widths[4] = {16, 32, 64, 128};
+
+  std::string t = conv_bn(net, "conv1", "data", conv_p(widths[0], 3, 1, 1));
+
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::uint32_t w = widths[stage];
+    for (int block = 0; block < 2; ++block) {
+      const std::string id = strfmt("res{}{}", stage + 2,
+                                    block == 0 ? "a" : "b");
+      const std::uint32_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      std::string shortcut = t;
+      if (block == 0 && stage > 0) {
+        // Projection shortcut (1x1, stride 2, BN+Scale, no ReLU).
+        shortcut = conv_bn(net, id + "_branch1", t, conv_p(w, 1, stride, 0),
+                           /*relu=*/false);
+      }
+      std::string b = conv_bn(net, id + "_branch2a", t,
+                              conv_p(w, 3, stride, 1));
+      b = conv_bn(net, id + "_branch2b", b, conv_p(w, 3, 1, 1),
+                  /*relu=*/false);
+      t = net.add_eltwise_sum(id, shortcut, b);
+      t = net.add_relu(id + "_relu", t);
+    }
+  }
+  t = net.add_pool("pool5", t, global_ave_pool());
+  t = net.add_inner_product("fc10", t, 10);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// ResNet-50: the standard Caffe prototxt; 228 layers including data,
+// 25.5M parameters (~102.5 MB fp32).
+// ---------------------------------------------------------------------------
+compiler::Network resnet50() {
+  Network net("resnet50", BlobShape{3, 224, 224});
+
+  std::string t = conv_bn(net, "conv1", "data", conv_p(64, 7, 2, 3));
+  t = net.add_pool("pool1", t, max_pool(3, 2));
+
+  const struct {
+    int blocks;
+    std::uint32_t mid, out;
+  } stages[4] = {{3, 64, 256}, {4, 128, 512}, {6, 256, 1024}, {3, 512, 2048}};
+
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < stages[stage].blocks; ++block) {
+      const std::string id =
+          strfmt("res{}{}", stage + 2, static_cast<char>('a' + block));
+      const std::uint32_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      std::string shortcut = t;
+      if (block == 0) {
+        shortcut = conv_bn(net, id + "_branch1", t,
+                           conv_p(stages[stage].out, 1, stride, 0),
+                           /*relu=*/false);
+      }
+      std::string b = conv_bn(net, id + "_branch2a", t,
+                              conv_p(stages[stage].mid, 1, stride, 0));
+      b = conv_bn(net, id + "_branch2b", b, conv_p(stages[stage].mid, 3, 1, 1));
+      b = conv_bn(net, id + "_branch2c", b, conv_p(stages[stage].out, 1, 1, 0),
+                  /*relu=*/false);
+      t = net.add_eltwise_sum(id, shortcut, b);
+      t = net.add_relu(id + "_relu", t);
+    }
+  }
+  t = net.add_pool("pool5", t, global_ave_pool());
+  t = net.add_inner_product("fc1000", t, 1000);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// MobileNet v1: depthwise-separable pairs; 4.2M parameters (~17 MB fp32).
+// Depthwise convolutions use groups == channels (the compiler lowers them
+// as channel-sliced NVDLA convolutions).
+// ---------------------------------------------------------------------------
+compiler::Network mobilenet() {
+  Network net("mobilenet", BlobShape{3, 224, 224});
+
+  std::string t = conv_bn(net, "conv1", "data", conv_p(32, 3, 2, 1));
+
+  const struct {
+    std::uint32_t out;
+    std::uint32_t stride;
+  } blocks[13] = {{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                  {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                  {512, 1}, {1024, 2}, {1024, 1}};
+
+  std::uint32_t channels = 32;
+  for (int i = 0; i < 13; ++i) {
+    const std::string dw = strfmt("conv{}_dw", i + 2);
+    const std::string pw = strfmt("conv{}_pw", i + 2);
+    ConvParams dw_params = conv_p(channels, 3, blocks[i].stride, 1, channels);
+    t = conv_bn(net, dw, t, dw_params);
+    t = conv_bn(net, pw, t, conv_p(blocks[i].out, 1, 1, 0));
+    channels = blocks[i].out;
+  }
+  t = net.add_pool("pool6", t, global_ave_pool());
+  t = net.add_inner_product("fc7", t, 1000);
+  net.add_softmax("prob", t);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// GoogleNet (Inception v1): 13.4M parameters (~53.5 MB fp32), LRN layers
+// and nine inception modules with channel concatenation.
+// ---------------------------------------------------------------------------
+namespace {
+
+std::string inception(Network& net, const std::string& id,
+                      const std::string& bottom, std::uint32_t c1,
+                      std::uint32_t c3r, std::uint32_t c3, std::uint32_t c5r,
+                      std::uint32_t c5, std::uint32_t pp) {
+  const std::string p = "inception_" + id;
+  std::string b1 = net.add_conv(p + "/1x1", bottom, conv_p(c1, 1, 1, 0));
+  b1 = net.add_relu(p + "/relu_1x1", b1);
+
+  std::string b2 = net.add_conv(p + "/3x3_reduce", bottom,
+                                conv_p(c3r, 1, 1, 0));
+  b2 = net.add_relu(p + "/relu_3x3_reduce", b2);
+  b2 = net.add_conv(p + "/3x3", b2, conv_p(c3, 3, 1, 1));
+  b2 = net.add_relu(p + "/relu_3x3", b2);
+
+  std::string b3 = net.add_conv(p + "/5x5_reduce", bottom,
+                                conv_p(c5r, 1, 1, 0));
+  b3 = net.add_relu(p + "/relu_5x5_reduce", b3);
+  b3 = net.add_conv(p + "/5x5", b3, conv_p(c5, 5, 1, 2));
+  b3 = net.add_relu(p + "/relu_5x5", b3);
+
+  std::string b4 = net.add_pool(p + "/pool", bottom, max_pool(3, 1, 1));
+  b4 = net.add_conv(p + "/pool_proj", b4, conv_p(pp, 1, 1, 0));
+  b4 = net.add_relu(p + "/relu_pool_proj", b4);
+
+  return net.add_concat(p + "/output", {b1, b2, b3, b4});
+}
+
+}  // namespace
+
+compiler::Network googlenet() {
+  Network net("googlenet", BlobShape{3, 224, 224});
+
+  std::string t = net.add_conv("conv1/7x7_s2", "data", conv_p(64, 7, 2, 3));
+  t = net.add_relu("conv1/relu_7x7", t);
+  t = net.add_pool("pool1/3x3_s2", t, max_pool(3, 2));
+  t = net.add_lrn("pool1/norm1", t, LrnParams{5, 1e-4f, 0.75f, 1.0f});
+  t = net.add_conv("conv2/3x3_reduce", t, conv_p(64, 1, 1, 0));
+  t = net.add_relu("conv2/relu_3x3_reduce", t);
+  t = net.add_conv("conv2/3x3", t, conv_p(192, 3, 1, 1));
+  t = net.add_relu("conv2/relu_3x3", t);
+  t = net.add_lrn("conv2/norm2", t, LrnParams{5, 1e-4f, 0.75f, 1.0f});
+  t = net.add_pool("pool2/3x3_s2", t, max_pool(3, 2));
+
+  t = inception(net, "3a", t, 64, 96, 128, 16, 32, 32);
+  t = inception(net, "3b", t, 128, 128, 192, 32, 96, 64);
+  t = net.add_pool("pool3/3x3_s2", t, max_pool(3, 2));
+  t = inception(net, "4a", t, 192, 96, 208, 16, 48, 64);
+
+  // Auxiliary classifier 1 (training head; kept in the .caffemodel, which
+  // is why GoogleNet weighs 53.5 MB — Table III's model-size column).
+  {
+    std::string a = net.add_pool("loss1/ave_pool", t, ave_pool(5, 3));
+    a = net.add_conv("loss1/conv", a, conv_p(128, 1, 1, 0));
+    a = net.add_relu("loss1/relu_conv", a);
+    a = net.add_inner_product("loss1/fc", a, 1024);
+    a = net.add_relu("loss1/relu_fc", a);
+    net.add_inner_product("loss1/classifier", a, 1000);
+  }
+
+  t = inception(net, "4b", t, 160, 112, 224, 24, 64, 64);
+  t = inception(net, "4c", t, 128, 128, 256, 24, 64, 64);
+  t = inception(net, "4d", t, 112, 144, 288, 32, 64, 64);
+
+  // Auxiliary classifier 2.
+  {
+    std::string a = net.add_pool("loss2/ave_pool", t, ave_pool(5, 3));
+    a = net.add_conv("loss2/conv", a, conv_p(128, 1, 1, 0));
+    a = net.add_relu("loss2/relu_conv", a);
+    a = net.add_inner_product("loss2/fc", a, 1024);
+    a = net.add_relu("loss2/relu_fc", a);
+    net.add_inner_product("loss2/classifier", a, 1000);
+  }
+
+  t = inception(net, "4e", t, 256, 160, 320, 32, 128, 128);
+  t = net.add_pool("pool4/3x3_s2", t, max_pool(3, 2));
+  t = inception(net, "5a", t, 256, 160, 320, 32, 128, 128);
+  t = inception(net, "5b", t, 384, 192, 384, 48, 128, 128);
+
+  t = net.add_pool("pool5/7x7_s1", t, ave_pool(7, 1));
+  t = net.add_inner_product("loss3/classifier", t, 1000);
+  net.add_softmax("prob", t);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// AlexNet: 61M parameters (~243.9 MB fp32), LRN after conv1/conv2 and
+// grouped convolutions (groups=2) in conv2/conv4/conv5.
+// ---------------------------------------------------------------------------
+compiler::Network alexnet() {
+  Network net("alexnet", BlobShape{3, 227, 227});
+  std::string t = net.add_conv("conv1", "data", conv_p(96, 11, 4, 0));
+  t = net.add_relu("relu1", t);
+  t = net.add_lrn("norm1", t, LrnParams{5, 1e-4f, 0.75f, 1.0f});
+  t = net.add_pool("pool1", t, max_pool(3, 2));
+  t = net.add_conv("conv2", t, conv_p(256, 5, 1, 2, 2));
+  t = net.add_relu("relu2", t);
+  t = net.add_lrn("norm2", t, LrnParams{5, 1e-4f, 0.75f, 1.0f});
+  t = net.add_pool("pool2", t, max_pool(3, 2));
+  t = net.add_conv("conv3", t, conv_p(384, 3, 1, 1));
+  t = net.add_relu("relu3", t);
+  t = net.add_conv("conv4", t, conv_p(384, 3, 1, 1, 2));
+  t = net.add_relu("relu4", t);
+  t = net.add_conv("conv5", t, conv_p(256, 3, 1, 1, 2));
+  t = net.add_relu("relu5", t);
+  t = net.add_pool("pool5", t, max_pool(3, 2));
+  t = net.add_inner_product("fc6", t, 4096);
+  t = net.add_relu("relu6", t);
+  t = net.add_inner_product("fc7", t, 4096);
+  t = net.add_relu("relu7", t);
+  t = net.add_inner_product("fc8", t, 1000);
+  net.add_softmax("prob", t);
+  return net;
+}
+
+const std::vector<ModelInfo>& model_zoo() {
+  static const std::vector<ModelInfo> zoo = {
+      {"LeNet-5", lenet5},       {"ResNet-18", resnet18_cifar},
+      {"ResNet-50", resnet50},   {"MobileNet", mobilenet},
+      {"GoogleNet", googlenet},  {"AlexNet", alexnet},
+  };
+  return zoo;
+}
+
+const std::vector<ModelInfo>& nv_small_zoo() {
+  static const std::vector<ModelInfo> zoo = {
+      {"LeNet-5", lenet5},
+      {"ResNet-18", resnet18_cifar},
+      {"ResNet-50", resnet50},
+  };
+  return zoo;
+}
+
+}  // namespace nvsoc::models

@@ -1,0 +1,42 @@
+// Model zoo: the six Caffe networks the paper evaluates.
+//
+//   Table II (nv_small FPGA):  LeNet-5 (1x28x28), ResNet-18 (3x32x32),
+//                              ResNet-50 (3x224x224)
+//   Table III (nv_full sim):   + MobileNet, GoogleNet (3x224x224),
+//                              AlexNet (3x227x227)
+//
+// Structures follow the public Caffe prototxts (conv/BN/Scale/ReLU layer
+// granularity, grouped convolutions in AlexNet, depthwise pairs in
+// MobileNet, LRN in AlexNet/GoogleNet, inception concats in GoogleNet).
+// ResNet-18 is the CIFAR-width variant matching the paper's 3x32x32 input
+// and ~0.8 MB model size.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/network.hpp"
+
+namespace nvsoc::models {
+
+compiler::Network lenet5();
+compiler::Network resnet18_cifar();
+compiler::Network resnet50();
+compiler::Network mobilenet();
+compiler::Network googlenet();
+compiler::Network alexnet();
+
+/// Registry entry for benches and examples.
+struct ModelInfo {
+  std::string name;                       ///< paper's row label
+  std::function<compiler::Network()> build;
+};
+
+/// All six models in the order of Table III.
+const std::vector<ModelInfo>& model_zoo();
+
+/// The Table II subset (nv_small FPGA evaluation).
+const std::vector<ModelInfo>& nv_small_zoo();
+
+}  // namespace nvsoc::models

@@ -1,0 +1,34 @@
+#include "nvdla/config.hpp"
+
+namespace nvsoc::nvdla {
+
+NvdlaConfig NvdlaConfig::small() {
+  NvdlaConfig c;
+  c.name = "nv_small";
+  c.atomic_c = 8;
+  c.atomic_k = 8;
+  c.cbuf_kib = 128;
+  c.dbb_width_bits = 64;
+  c.supports_fp16 = false;
+  c.atom_bytes = 8;
+  return c;
+}
+
+NvdlaConfig NvdlaConfig::full() {
+  NvdlaConfig c;
+  c.name = "nv_full";
+  c.atomic_c = 64;
+  c.atomic_k = 16;
+  c.cbuf_kib = 512;
+  c.dbb_width_bits = 512;
+  c.supports_fp16 = true;
+  c.atom_bytes = 32;
+  // nv_full calibration (Table III): the wide CBUF/DBB amortise per-layer
+  // reconfiguration, and the FP16 datapath sustains a lower MAC efficiency.
+  c.timing.op_overhead = 4'000;
+  c.timing.mac_efficiency = 0.40;
+  c.timing.dbb_efficiency = 0.50;
+  return c;
+}
+
+}  // namespace nvsoc::nvdla

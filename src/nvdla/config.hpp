@@ -1,0 +1,88 @@
+// NVDLA hardware configurations.
+//
+// The NVDLA hardware tree is parameterised; the paper uses the two standard
+// released configurations:
+//   nv_small : 8x8 = 64 INT8 MACs, 128 KiB CBUF, 64-bit DBB, INT8 only
+//   nv_full  : 64x16 = 1024 INT8 MACs (FP16 at half rate), 512 KiB CBUF,
+//              512-bit DBB, INT8 + FP16
+// plus the ability to generate custom parameterisations, which the scaling
+// ablation bench exercises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nvsoc::nvdla {
+
+enum class Precision : std::uint8_t { kInt8 = 0, kFp16 = 1 };
+
+inline constexpr std::uint32_t elem_size_bytes(Precision p) {
+  return p == Precision::kInt8 ? 1 : 2;
+}
+
+/// Timing knobs of the analytic cycle model. Defaults carry the nv_small
+/// calibration against Table II; NvdlaConfig::full() overrides with the
+/// nv_full calibration against Table III. See DESIGN.md §5 for the model
+/// and EXPERIMENTS.md for paper-vs-measured.
+struct NvdlaTiming {
+  /// CSB register file pipeline depth (request to retire).
+  Cycle csb_internal = 1;
+  /// Fixed per-hardware-layer cost: descriptor latch, CDMA reconfiguration,
+  /// CBUF fill/drain and status propagation. Dominant for small layers —
+  /// this is what makes LeNet-5 overhead-bound on nv_small (Table II) and
+  /// nv_full (Table III's 143k cycles for trivial compute).
+  Cycle op_overhead = 25'000;
+  /// DMA latency charged once per burst.
+  Cycle burst_latency = 12;
+  /// Burst granule used by the DMA engines.
+  std::uint32_t burst_bytes = 256;
+  /// Fraction of theoretical MAC throughput sustained inside a tile
+  /// (accounts for CSC scheduling gaps and partial-sum turnaround).
+  double mac_efficiency = 0.70;
+  /// Fraction of theoretical DBB bandwidth sustained on streaming traffic.
+  double dbb_efficiency = 0.65;
+  /// CDP (LRN) serial LUT-interpolation cost per element. The CDP walks its
+  /// exponent LUT per output element; this serial path is why the
+  /// LRN-bearing networks (AlexNet, GoogleNet) dominate Table III despite
+  /// modest MAC counts.
+  Cycle cdp_cycles_per_element = 32;
+  /// Channel groups the CSC packs side by side into one atomic-C slice for
+  /// grouped/depthwise convolution (partial mitigation of the padding
+  /// waste; 1 = no packing).
+  std::uint32_t grouped_channel_packing = 2;
+};
+
+/// A generated NVDLA hardware configuration.
+struct NvdlaConfig {
+  std::string name = "nv_small";
+  /// MAC array input-channel dimension (atomic-C).
+  std::uint32_t atomic_c = 8;
+  /// MAC array output-kernel dimension (atomic-K).
+  std::uint32_t atomic_k = 8;
+  /// Convolution buffer capacity.
+  std::uint32_t cbuf_kib = 128;
+  /// Data backbone width.
+  std::uint32_t dbb_width_bits = 64;
+  /// FP16 datapath present (nv_full only).
+  bool supports_fp16 = false;
+  /// Memory atom: channels are packed into atoms of this many bytes
+  /// (the Cx-packed surface format of the NVDLA memory interface).
+  std::uint32_t atom_bytes = 8;
+
+  NvdlaTiming timing;
+
+  std::uint32_t num_macs() const { return atomic_c * atomic_k; }
+  std::uint32_t dbb_bytes_per_cycle() const { return dbb_width_bits / 8; }
+
+  /// Hardware-version word exposed through GLB (readable sanity marker).
+  std::uint32_t hw_version() const {
+    return supports_fp16 ? 0x00010003u : 0x00010002u;
+  }
+
+  static NvdlaConfig small();
+  static NvdlaConfig full();
+};
+
+}  // namespace nvsoc::nvdla

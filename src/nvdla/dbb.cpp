@@ -1,0 +1,56 @@
+#include "nvdla/dbb.hpp"
+
+#include <algorithm>
+
+namespace nvsoc::nvdla {
+
+Cycle DbbMaster::read(Addr addr, std::span<std::uint8_t> out, Cycle start) {
+  Cycle now = start;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(config_.timing.burst_bytes, out.size() - done);
+    AxiBurstRequest req{.addr = addr + done,
+                        .is_write = false,
+                        .wdata = {},
+                        .rbuf = out.subspan(done, chunk),
+                        .start = now + config_.timing.burst_latency};
+    const AxiBurstResponse rsp = port_.burst(req);
+    rsp.status.expect_ok("DBB read");
+    now = rsp.complete;
+    if (observer_) {
+      observer_(false, addr + done, out.subspan(done, chunk));
+    }
+    done += chunk;
+    ++stats_.bursts;
+  }
+  stats_.bytes_read += out.size();
+  return now;
+}
+
+Cycle DbbMaster::write(Addr addr, std::span<const std::uint8_t> data,
+                       Cycle start) {
+  Cycle now = start;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(config_.timing.burst_bytes, data.size() - done);
+    AxiBurstRequest req{.addr = addr + done,
+                        .is_write = true,
+                        .wdata = data.subspan(done, chunk),
+                        .rbuf = {},
+                        .start = now + config_.timing.burst_latency};
+    const AxiBurstResponse rsp = port_.burst(req);
+    rsp.status.expect_ok("DBB write");
+    now = rsp.complete;
+    if (observer_) {
+      observer_(true, addr + done, data.subspan(done, chunk));
+    }
+    done += chunk;
+    ++stats_.bursts;
+  }
+  stats_.bytes_written += data.size();
+  return now;
+}
+
+}  // namespace nvsoc::nvdla

@@ -1,0 +1,48 @@
+// NVDLA data-backbone (DBB) master port.
+//
+// All functional tensor traffic goes through an AxiTarget (in the SoC this
+// is the 64->32 width converter feeding the DRAM arbiter; in the virtual
+// platform a direct AXI port on the VP memory), chunked into bursts of the
+// configured granule. Every transfer is reported to an optional observer —
+// the VP's dbb_adaptor trace hook.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "bus/bus_types.hpp"
+#include "nvdla/config.hpp"
+
+namespace nvsoc::nvdla {
+
+struct DbbStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bursts = 0;
+};
+
+class DbbMaster {
+ public:
+  /// Observer signature: (is_write, addr, data). Data spans the burst.
+  using Observer = std::function<void(bool is_write, Addr addr,
+                                      std::span<const std::uint8_t> data)>;
+
+  DbbMaster(AxiTarget& port, const NvdlaConfig& config)
+      : port_(port), config_(config) {}
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Timed burst read/write; returns the completion cycle.
+  Cycle read(Addr addr, std::span<std::uint8_t> out, Cycle start);
+  Cycle write(Addr addr, std::span<const std::uint8_t> data, Cycle start);
+
+  const DbbStats& stats() const { return stats_; }
+
+ private:
+  AxiTarget& port_;
+  const NvdlaConfig& config_;
+  Observer observer_;
+  DbbStats stats_;
+};
+
+}  // namespace nvsoc::nvdla

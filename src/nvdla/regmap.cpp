@@ -1,0 +1,145 @@
+#include "nvdla/regmap.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc::nvdla {
+
+std::optional<Unit> unit_for_address(Addr addr) {
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    const Unit unit = static_cast<Unit>(i);
+    const Addr base = unit_base(unit);
+    if (addr >= base && addr < base + kUnitPage) return unit;
+  }
+  return std::nullopt;
+}
+
+std::string_view unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kGlb: return "glb";
+    case Unit::kMcif: return "mcif";
+    case Unit::kBdma: return "bdma";
+    case Unit::kCdma: return "cdma";
+    case Unit::kCsc: return "csc";
+    case Unit::kCmac: return "cmac";
+    case Unit::kCacc: return "cacc";
+    case Unit::kSdpRdma: return "sdp_rdma";
+    case Unit::kSdp: return "sdp";
+    case Unit::kPdp: return "pdp";
+    case Unit::kCdp: return "cdp";
+    case Unit::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct NamedReg {
+  Unit unit;
+  Addr offset;
+  const char* name;
+};
+
+constexpr NamedReg kNamedRegs[] = {
+    {Unit::kGlb, glb::kHwVersion, "hw_version"},
+    {Unit::kGlb, glb::kIntrMask, "s_intr_mask"},
+    {Unit::kGlb, glb::kIntrSet, "s_intr_set"},
+    {Unit::kGlb, glb::kIntrStatus, "s_intr_status"},
+    {Unit::kCdma, cdma::kDatainFormat, "d_datain_format"},
+    {Unit::kCdma, cdma::kDatainSize0, "d_datain_size_0"},
+    {Unit::kCdma, cdma::kDatainSize1, "d_datain_size_1"},
+    {Unit::kCdma, cdma::kDainAddr, "d_dain_addr"},
+    {Unit::kCdma, cdma::kDainLineStride, "d_dain_line_stride"},
+    {Unit::kCdma, cdma::kDainSurfStride, "d_dain_surf_stride"},
+    {Unit::kCdma, cdma::kWeightAddr, "d_weight_addr"},
+    {Unit::kCdma, cdma::kWeightBytes, "d_weight_bytes"},
+    {Unit::kCdma, cdma::kZeroPadding, "d_zero_padding"},
+    {Unit::kCdma, cdma::kConvStride, "d_conv_stride"},
+    {Unit::kCdma, cdma::kPadValue, "d_pad_value"},
+    {Unit::kCsc, csc::kKernelSize, "d_kernel_size"},
+    {Unit::kCsc, csc::kKernelChannels, "d_kernel_channels"},
+    {Unit::kCsc, csc::kKernelNumber, "d_kernel_number"},
+    {Unit::kCsc, csc::kKernelGroups, "d_kernel_groups"},
+    {Unit::kCmac, cmac::kMiscCfg, "d_misc_cfg"},
+    {Unit::kCacc, cacc::kDataoutSize0, "d_dataout_size_0"},
+    {Unit::kCacc, cacc::kDataoutSize1, "d_dataout_size_1"},
+    {Unit::kCacc, cacc::kClipTruncate, "d_clip_truncate"},
+    {Unit::kSdpRdma, sdp_rdma::kBrdmaAddr, "d_brdma_addr"},
+    {Unit::kSdpRdma, sdp_rdma::kBrdmaLineStride, "d_brdma_line_stride"},
+    {Unit::kSdpRdma, sdp_rdma::kBrdmaSurfStride, "d_brdma_surf_stride"},
+    {Unit::kSdpRdma, sdp_rdma::kBrdmaMode, "d_brdma_mode"},
+    {Unit::kSdpRdma, sdp_rdma::kBrdmaPrecision, "d_brdma_precision"},
+    {Unit::kSdpRdma, sdp_rdma::kBsAddr, "d_bs_base_addr"},
+    {Unit::kSdp, sdp::kCubeWidth, "d_data_cube_width"},
+    {Unit::kSdp, sdp::kCubeHeight, "d_data_cube_height"},
+    {Unit::kSdp, sdp::kCubeChannel, "d_data_cube_channel"},
+    {Unit::kSdp, sdp::kSrcBaseAddr, "d_src_base_addr"},
+    {Unit::kSdp, sdp::kSrcLineStride, "d_src_line_stride"},
+    {Unit::kSdp, sdp::kSrcSurfStride, "d_src_surf_stride"},
+    {Unit::kSdp, sdp::kDstBaseAddr, "d_dst_base_addr"},
+    {Unit::kSdp, sdp::kDstLineStride, "d_dst_line_stride"},
+    {Unit::kSdp, sdp::kDstSurfStride, "d_dst_surf_stride"},
+    {Unit::kSdp, sdp::kOpCfg, "d_op_cfg"},
+    {Unit::kSdp, sdp::kCvtScale, "d_cvt_scale"},
+    {Unit::kSdp, sdp::kCvtShift, "d_cvt_shift"},
+    {Unit::kSdp, sdp::kOutPrecision, "d_out_precision"},
+    {Unit::kPdp, pdp::kCubeInWidth, "d_data_cube_in_width"},
+    {Unit::kPdp, pdp::kCubeInHeight, "d_data_cube_in_height"},
+    {Unit::kPdp, pdp::kCubeInChannel, "d_data_cube_in_channel"},
+    {Unit::kPdp, pdp::kCubeOutWidth, "d_data_cube_out_width"},
+    {Unit::kPdp, pdp::kCubeOutHeight, "d_data_cube_out_height"},
+    {Unit::kPdp, pdp::kKernelCfg, "d_pooling_kernel_cfg"},
+    {Unit::kPdp, pdp::kPaddingCfg, "d_pooling_padding_cfg"},
+    {Unit::kPdp, pdp::kSrcBaseAddr, "d_src_base_addr"},
+    {Unit::kPdp, pdp::kSrcLineStride, "d_src_line_stride"},
+    {Unit::kPdp, pdp::kSrcSurfStride, "d_src_surf_stride"},
+    {Unit::kPdp, pdp::kDstBaseAddr, "d_dst_base_addr"},
+    {Unit::kPdp, pdp::kDstLineStride, "d_dst_line_stride"},
+    {Unit::kPdp, pdp::kDstSurfStride, "d_dst_surf_stride"},
+    {Unit::kPdp, pdp::kPrecision, "d_precision"},
+    {Unit::kCdp, cdp::kCubeWidth, "d_data_cube_width"},
+    {Unit::kCdp, cdp::kCubeHeight, "d_data_cube_height"},
+    {Unit::kCdp, cdp::kCubeChannel, "d_data_cube_channel"},
+    {Unit::kCdp, cdp::kSrcBaseAddr, "d_src_base_addr"},
+    {Unit::kCdp, cdp::kSrcLineStride, "d_src_line_stride"},
+    {Unit::kCdp, cdp::kSrcSurfStride, "d_src_surf_stride"},
+    {Unit::kCdp, cdp::kDstBaseAddr, "d_dst_base_addr"},
+    {Unit::kCdp, cdp::kDstLineStride, "d_dst_line_stride"},
+    {Unit::kCdp, cdp::kDstSurfStride, "d_dst_surf_stride"},
+    {Unit::kCdp, cdp::kLocalSize, "d_lrn_local_size"},
+    {Unit::kCdp, cdp::kAlphaQ16, "d_lrn_alpha"},
+    {Unit::kCdp, cdp::kBetaQ16, "d_lrn_beta"},
+    {Unit::kCdp, cdp::kKQ16, "d_lrn_k"},
+    {Unit::kCdp, cdp::kInScaleQ16, "d_in_scale"},
+    {Unit::kCdp, cdp::kPrecision, "d_precision"},
+    {Unit::kBdma, bdma::kSrcAddr, "d_src_addr"},
+    {Unit::kBdma, bdma::kDstAddr, "d_dst_addr"},
+    {Unit::kBdma, bdma::kLineSize, "d_line_size"},
+    {Unit::kBdma, bdma::kLineRepeat, "d_line_repeat"},
+    {Unit::kBdma, bdma::kSrcStride, "d_src_stride"},
+    {Unit::kBdma, bdma::kDstStride, "d_dst_stride"},
+};
+
+}  // namespace
+
+std::string register_name(Addr csb_addr) {
+  const auto unit = unit_for_address(csb_addr);
+  if (!unit) return strfmt("unmapped.{:#x}", csb_addr);
+  const Addr offset = csb_addr - unit_base(*unit);
+  if (offset == ctrl::kStatus) {
+    return strfmt("{}.s_status", unit_name(*unit));
+  }
+  if (offset == ctrl::kPointer) {
+    return strfmt("{}.s_pointer", unit_name(*unit));
+  }
+  if (offset == ctrl::kOpEnable) {
+    return strfmt("{}.d_op_enable", unit_name(*unit));
+  }
+  for (const auto& reg : kNamedRegs) {
+    if (reg.unit == *unit && reg.offset == offset) {
+      return strfmt("{}.{}", unit_name(*unit), reg.name);
+    }
+  }
+  return strfmt("{}.+{:#x}", unit_name(*unit), offset);
+}
+
+}  // namespace nvsoc::nvdla

@@ -1,0 +1,126 @@
+// NVDLA memory-surface layout.
+//
+// Feature cubes live in DRAM in the NVDLA packed-atom format: channels are
+// grouped into atoms of `atom_bytes` (8 B on nv_small, 32 B on nv_full); a
+// surface holds one atom-group of channels for the whole HxW plane, lines
+// are `line_stride` bytes apart and surfaces `surf_stride` bytes apart.
+// Element (c, h, w) lives at
+//   base + (c / cpa) * surf_stride + h * line_stride + w * atom_bytes
+//        + (c % cpa) * elem_size
+// with cpa = atom_bytes / elem_size. Both the compiler (address/stride
+// generation) and the engine (functional execution) use this one class, so
+// layout agreement is by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/fp16.hpp"
+#include "common/types.hpp"
+#include "nvdla/config.hpp"
+
+namespace nvsoc::nvdla {
+
+struct CubeDims {
+  std::uint32_t w = 0;
+  std::uint32_t h = 0;
+  std::uint32_t c = 0;
+
+  std::uint64_t elements() const {
+    return static_cast<std::uint64_t>(w) * h * c;
+  }
+  friend bool operator==(const CubeDims&, const CubeDims&) = default;
+};
+
+/// Descriptor of a cube stored in DRAM in packed-atom surface format.
+struct SurfaceDesc {
+  Addr base = 0;
+  CubeDims dims;
+  std::uint32_t line_stride = 0;  ///< bytes between successive lines
+  std::uint32_t surf_stride = 0;  ///< bytes between successive surfaces
+  Precision precision = Precision::kInt8;
+  std::uint32_t atom_bytes = 8;
+
+  std::uint32_t elem_size() const { return elem_size_bytes(precision); }
+  std::uint32_t channels_per_atom() const { return atom_bytes / elem_size(); }
+  std::uint32_t num_surfaces() const {
+    return ceil_div(dims.c, channels_per_atom());
+  }
+  /// Total bytes spanned in memory (last surface included).
+  std::uint64_t span_bytes() const {
+    return static_cast<std::uint64_t>(num_surfaces()) * surf_stride;
+  }
+
+  /// Byte offset of element (c, h, w) from `base`.
+  std::uint64_t offset_of(std::uint32_t c, std::uint32_t h,
+                          std::uint32_t w) const {
+    const std::uint32_t cpa = channels_per_atom();
+    return static_cast<std::uint64_t>(c / cpa) * surf_stride +
+           static_cast<std::uint64_t>(h) * line_stride +
+           static_cast<std::uint64_t>(w) * atom_bytes + (c % cpa) * elem_size();
+  }
+
+  /// Canonical dense layout: line_stride = w*atom, surf_stride = line*h.
+  static SurfaceDesc packed(Addr base, CubeDims dims, Precision precision,
+                            std::uint32_t atom_bytes) {
+    SurfaceDesc d;
+    d.base = base;
+    d.dims = dims;
+    d.precision = precision;
+    d.atom_bytes = atom_bytes;
+    d.line_stride = dims.w * atom_bytes;
+    d.surf_stride = d.line_stride * dims.h;
+    return d;
+  }
+};
+
+/// Host-side staging buffer for one cube: the engine DMAs the full surface
+/// span into it, operates element-wise, and DMAs it back.
+class CubeBuffer {
+ public:
+  explicit CubeBuffer(const SurfaceDesc& desc)
+      : desc_(desc), bytes_(desc.span_bytes(), 0) {}
+
+  const SurfaceDesc& desc() const { return desc_; }
+  std::span<std::uint8_t> bytes() { return bytes_; }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+  std::int8_t get_i8(std::uint32_t c, std::uint32_t h, std::uint32_t w) const {
+    return static_cast<std::int8_t>(bytes_[desc_.offset_of(c, h, w)]);
+  }
+  void set_i8(std::uint32_t c, std::uint32_t h, std::uint32_t w,
+              std::int8_t v) {
+    bytes_[desc_.offset_of(c, h, w)] = static_cast<std::uint8_t>(v);
+  }
+
+  /// Generic accessors: INT8 cubes yield the raw integer as float; FP16
+  /// cubes decode the half value.
+  float get(std::uint32_t c, std::uint32_t h, std::uint32_t w) const {
+    const std::uint64_t off = desc_.offset_of(c, h, w);
+    if (desc_.precision == Precision::kInt8) {
+      return static_cast<float>(static_cast<std::int8_t>(bytes_[off]));
+    }
+    const std::uint16_t raw = static_cast<std::uint16_t>(
+        bytes_[off] | (bytes_[off + 1] << 8));
+    return half_bits_to_float(raw);
+  }
+  void set(std::uint32_t c, std::uint32_t h, std::uint32_t w, float v) {
+    const std::uint64_t off = desc_.offset_of(c, h, w);
+    if (desc_.precision == Precision::kInt8) {
+      bytes_[off] = static_cast<std::uint8_t>(
+          saturate_i8(static_cast<std::int64_t>(v)));
+      return;
+    }
+    const std::uint16_t raw = float_to_half_bits(v);
+    bytes_[off] = static_cast<std::uint8_t>(raw);
+    bytes_[off + 1] = static_cast<std::uint8_t>(raw >> 8);
+  }
+
+ private:
+  SurfaceDesc desc_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace nvsoc::nvdla

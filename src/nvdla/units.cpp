@@ -1,0 +1,474 @@
+// Functional models and cycle estimators for the NVDLA execution units.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bitutil.hpp"
+#include "common/fp16.hpp"
+#include "common/strfmt.hpp"
+#include "nvdla/ops.hpp"
+
+namespace nvsoc::nvdla {
+
+namespace {
+
+/// Unpack a staged cube into a planar [c][h][w] array so that convolution
+/// inner loops are straight array walks (the packed-atom offset arithmetic
+/// would otherwise dominate runtime on ResNet-scale layers).
+template <typename T>
+std::vector<T> unpack_planar(const CubeBuffer& cube) {
+  const auto& d = cube.desc();
+  std::vector<T> out(d.dims.elements());
+  std::size_t i = 0;
+  for (std::uint32_t c = 0; c < d.dims.c; ++c) {
+    for (std::uint32_t h = 0; h < d.dims.h; ++h) {
+      for (std::uint32_t w = 0; w < d.dims.w; ++w, ++i) {
+        if constexpr (std::is_same_v<T, std::int8_t>) {
+          out[i] = cube.get_i8(c, h, w);
+        } else {
+          out[i] = cube.get(c, h, w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Convolution (CDMA/CBUF/CSC/CMAC/CACC)
+// ---------------------------------------------------------------------------
+
+ConvAccumulators conv_execute(const ConvOp& op, const CubeBuffer& input,
+                              std::span<const std::uint8_t> weights) {
+  const std::uint32_t C = op.kernel_c;  // channels per group
+  const std::uint32_t R = op.kernel_h;
+  const std::uint32_t S = op.kernel_w;
+  const std::uint32_t K = op.kernel_k;
+  const std::uint32_t G = std::max(1u, op.groups);
+  const std::uint32_t in_h = input.desc().dims.h;
+  const std::uint32_t in_w = input.desc().dims.w;
+  const std::uint32_t k_per_group = K / G;
+
+  if (input.desc().dims.c != C * G) {
+    throw std::runtime_error(
+        strfmt("conv: input channels {} != kernel channels {} x groups {}",
+               input.desc().dims.c, C, G));
+  }
+  if (K % G != 0) {
+    throw std::runtime_error(
+        strfmt("conv: kernels {} not divisible by groups {}", K, G));
+  }
+  const std::size_t want =
+      static_cast<std::size_t>(K) * C * R * S * elem_size_bytes(op.precision);
+  if (weights.size() < want) {
+    throw std::runtime_error(strfmt("conv: weight blob {} < required {}",
+                                    weights.size(), want));
+  }
+
+  ConvAccumulators acc;
+  acc.k = K;
+  acc.h = op.out_h;
+  acc.w = op.out_w;
+
+  const auto in_index = [&](std::uint32_t c, std::uint32_t y,
+                            std::uint32_t x) {
+    return (static_cast<std::size_t>(c) * in_h + y) * in_w + x;
+  };
+  const auto w_index = [&](std::uint32_t k, std::uint32_t c, std::uint32_t r,
+                           std::uint32_t s) {
+    return ((static_cast<std::size_t>(k) * C + c) * R + r) * S + s;
+  };
+
+  if (op.precision == Precision::kInt8) {
+    const std::vector<std::int8_t> in = unpack_planar<std::int8_t>(input);
+    const auto* wt = reinterpret_cast<const std::int8_t*>(weights.data());
+    acc.i32.assign(static_cast<std::size_t>(K) * op.out_h * op.out_w, 0);
+    for (std::uint32_t k = 0; k < K; ++k) {
+      const std::uint32_t c_base = (k / k_per_group) * C;
+      for (std::uint32_t oy = 0; oy < op.out_h; ++oy) {
+        const std::int64_t iy0 =
+            static_cast<std::int64_t>(oy) * op.stride_y - op.pad_top;
+        for (std::uint32_t ox = 0; ox < op.out_w; ++ox) {
+          const std::int64_t ix0 =
+              static_cast<std::int64_t>(ox) * op.stride_x - op.pad_left;
+          std::int64_t sum = 0;
+          for (std::uint32_t c = 0; c < C; ++c) {
+            for (std::uint32_t r = 0; r < R; ++r) {
+              const std::int64_t iy = iy0 + r;
+              if (iy < 0 || iy >= in_h) {
+                if (op.pad_value != 0) {
+                  for (std::uint32_t s = 0; s < S; ++s) {
+                    sum += static_cast<std::int64_t>(op.pad_value) *
+                           wt[w_index(k, c, r, s)];
+                  }
+                }
+                continue;
+              }
+              const std::int8_t* in_row =
+                  in.data() +
+                  in_index(c_base + c, static_cast<std::uint32_t>(iy), 0);
+              const std::int8_t* w_row = wt + w_index(k, c, r, 0);
+              for (std::uint32_t s = 0; s < S; ++s) {
+                const std::int64_t ix = ix0 + s;
+                if (ix < 0 || ix >= in_w) {
+                  sum += static_cast<std::int64_t>(op.pad_value) * w_row[s];
+                  continue;
+                }
+                sum += static_cast<std::int64_t>(in_row[ix]) * w_row[s];
+              }
+            }
+          }
+          acc.i32[acc.index(k, oy, ox)] = saturate_i32(sum);
+        }
+      }
+    }
+  } else {
+    const std::vector<float> in = unpack_planar<float>(input);
+    const auto* wt_raw = reinterpret_cast<const std::uint16_t*>(weights.data());
+    // Pre-decode the fp16 weights once.
+    std::vector<float> wt(static_cast<std::size_t>(K) * C * R * S);
+    for (std::size_t i = 0; i < wt.size(); ++i) {
+      wt[i] = half_bits_to_float(wt_raw[i]);
+    }
+    const float padf = static_cast<float>(op.pad_value);
+    acc.f32.assign(static_cast<std::size_t>(K) * op.out_h * op.out_w, 0.0f);
+    for (std::uint32_t k = 0; k < K; ++k) {
+      const std::uint32_t c_base = (k / k_per_group) * C;
+      for (std::uint32_t oy = 0; oy < op.out_h; ++oy) {
+        const std::int64_t iy0 =
+            static_cast<std::int64_t>(oy) * op.stride_y - op.pad_top;
+        for (std::uint32_t ox = 0; ox < op.out_w; ++ox) {
+          const std::int64_t ix0 =
+              static_cast<std::int64_t>(ox) * op.stride_x - op.pad_left;
+          float sum = 0.0f;
+          for (std::uint32_t c = 0; c < C; ++c) {
+            for (std::uint32_t r = 0; r < R; ++r) {
+              const std::int64_t iy = iy0 + r;
+              for (std::uint32_t s = 0; s < S; ++s) {
+                const std::int64_t ix = ix0 + s;
+                const float v =
+                    (iy < 0 || iy >= in_h || ix < 0 || ix >= in_w)
+                        ? padf
+                        : in[in_index(c_base + c,
+                                      static_cast<std::uint32_t>(iy),
+                                      static_cast<std::uint32_t>(ix))];
+                sum += v * wt[w_index(k, c, r, s)];
+              }
+            }
+          }
+          acc.f32[acc.index(k, oy, ox)] = sum;
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// SDP
+// ---------------------------------------------------------------------------
+
+void sdp_execute(const SdpOp& op, const ConvAccumulators* acc,
+                 const CubeBuffer* src,
+                 std::span<const std::uint8_t> bias_table,
+                 std::span<const std::uint8_t> eltwise, CubeBuffer& out) {
+  const bool int8_path = op.out_precision == Precision::kInt8;
+  const std::uint32_t K = op.dims.c;
+
+  // BS channel: per-kernel bias table.
+  const std::int32_t* bias_i32 = nullptr;
+  const float* bias_f32 = nullptr;
+  if (op.bias_enable && !bias_table.empty()) {
+    if (int8_path) {
+      bias_i32 = reinterpret_cast<const std::int32_t*>(bias_table.data());
+    } else {
+      bias_f32 = reinterpret_cast<const float*>(bias_table.data());
+    }
+  }
+  // X1 channel: per-element operand cube, same layout as dst, based at 0
+  // within the fetched blob.
+  SurfaceDesc elt_desc = op.dst;
+  elt_desc.base = 0;
+  elt_desc.line_stride = op.operand_line_stride;
+  elt_desc.surf_stride = op.operand_surf_stride;
+
+  for (std::uint32_t k = 0; k < K; ++k) {
+    for (std::uint32_t y = 0; y < op.dims.h; ++y) {
+      for (std::uint32_t x = 0; x < op.dims.w; ++x) {
+        if (int8_path) {
+          // Value in accumulator domain (int32).
+          std::int64_t value;
+          if (acc != nullptr) {
+            value = acc->i32[acc->index(k, y, x)];
+          } else {
+            value = src->get_i8(k, y, x);
+          }
+          if (op.bias_enable && bias_i32 != nullptr) {
+            value += bias_i32[k];
+          }
+          // Output converter into the INT8 output scale, with rounding.
+          if (op.cvt_shift > 0) {
+            const std::int64_t scaled = value * op.cvt_scale;
+            const std::int64_t rounding = 1ll << (op.cvt_shift - 1);
+            value = (scaled + (scaled >= 0 ? rounding : -rounding)) >>
+                    op.cvt_shift;
+          } else {
+            value *= op.cvt_scale;
+          }
+          if (op.eltwise_enable) {
+            const std::uint64_t off = elt_desc.offset_of(k, y, x);
+            value += static_cast<std::int8_t>(eltwise[off]);
+          }
+          if (op.relu_enable && value < 0) value = 0;
+          out.set_i8(k, y, x, saturate_i8(value));
+        } else {
+          float value;
+          if (acc != nullptr) {
+            value = acc->f32[acc->index(k, y, x)];
+          } else {
+            value = src->get(k, y, x);
+          }
+          if (op.bias_enable && bias_f32 != nullptr) value += bias_f32[k];
+          if (op.eltwise_enable) {
+            const std::uint64_t off = elt_desc.offset_of(k, y, x);
+            const std::uint16_t raw = static_cast<std::uint16_t>(
+                eltwise[off] | (eltwise[off + 1] << 8));
+            value += half_bits_to_float(raw);
+          }
+          if (op.relu_enable && value < 0.0f) value = 0.0f;
+          out.set(k, y, x, value);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PDP
+// ---------------------------------------------------------------------------
+
+void pdp_execute(const PdpOp& op, const CubeBuffer& src, CubeBuffer& out) {
+  const auto& in_dims = src.desc().dims;
+  const auto& out_dims = out.desc().dims;
+  const bool int8_path = op.precision == Precision::kInt8;
+
+  for (std::uint32_t c = 0; c < out_dims.c; ++c) {
+    for (std::uint32_t oy = 0; oy < out_dims.h; ++oy) {
+      for (std::uint32_t ox = 0; ox < out_dims.w; ++ox) {
+        const std::int64_t iy0 =
+            static_cast<std::int64_t>(oy) * op.stride_y - op.pad_top;
+        const std::int64_t ix0 =
+            static_cast<std::int64_t>(ox) * op.stride_x - op.pad_left;
+        if (int8_path) {
+          std::int64_t agg = op.average ? 0 : INT64_MIN;
+          std::uint32_t count = 0;
+          for (std::uint32_t r = 0; r < op.kernel_h; ++r) {
+            for (std::uint32_t s = 0; s < op.kernel_w; ++s) {
+              const std::int64_t iy = iy0 + r;
+              const std::int64_t ix = ix0 + s;
+              if (iy < 0 || iy >= in_dims.h || ix < 0 || ix >= in_dims.w) {
+                continue;  // exclude padding from both max and average
+              }
+              const std::int8_t v =
+                  src.get_i8(c, static_cast<std::uint32_t>(iy),
+                             static_cast<std::uint32_t>(ix));
+              if (op.average) {
+                agg += v;
+              } else {
+                agg = std::max<std::int64_t>(agg, v);
+              }
+              ++count;
+            }
+          }
+          std::int64_t result;
+          if (op.average) {
+            // Round-to-nearest division by the live window size (the NVDLA
+            // PDP recip table behaviour for exclusive padding).
+            result = count == 0
+                         ? 0
+                         : (agg >= 0 ? (agg + count / 2) / count
+                                     : -((-agg + count / 2) / count));
+          } else {
+            result = count == 0 ? 0 : agg;
+          }
+          out.set_i8(c, oy, ox, saturate_i8(result));
+        } else {
+          float agg = op.average ? 0.0f : -std::numeric_limits<float>::max();
+          std::uint32_t count = 0;
+          for (std::uint32_t r = 0; r < op.kernel_h; ++r) {
+            for (std::uint32_t s = 0; s < op.kernel_w; ++s) {
+              const std::int64_t iy = iy0 + r;
+              const std::int64_t ix = ix0 + s;
+              if (iy < 0 || iy >= in_dims.h || ix < 0 || ix >= in_dims.w) {
+                continue;
+              }
+              const float v = src.get(c, static_cast<std::uint32_t>(iy),
+                                      static_cast<std::uint32_t>(ix));
+              if (op.average) {
+                agg += v;
+              } else {
+                agg = std::max(agg, v);
+              }
+              ++count;
+            }
+          }
+          out.set(c, oy, ox,
+                  count == 0 ? 0.0f : (op.average ? agg / count : agg));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CDP (LRN)
+// ---------------------------------------------------------------------------
+
+void cdp_execute(const CdpOp& op, const CubeBuffer& src, CubeBuffer& out) {
+  const auto& dims = src.desc().dims;
+  const float alpha = static_cast<float>(op.alpha_q16) / 65536.0f;
+  const float beta = static_cast<float>(op.beta_q16) / 65536.0f;
+  const float k = static_cast<float>(op.k_q16) / 65536.0f;
+  const float in_scale = static_cast<float>(op.in_scale_q16) / 65536.0f;
+  const int half = static_cast<int>(op.local_size / 2);
+
+  for (std::uint32_t c = 0; c < dims.c; ++c) {
+    for (std::uint32_t y = 0; y < dims.h; ++y) {
+      for (std::uint32_t x = 0; x < dims.w; ++x) {
+        float sumsq = 0.0f;
+        for (int dc = -half; dc <= half; ++dc) {
+          const int cc = static_cast<int>(c) + dc;
+          if (cc < 0 || cc >= static_cast<int>(dims.c)) continue;
+          float v = src.get(static_cast<std::uint32_t>(cc), y, x);
+          if (op.precision == Precision::kInt8) v *= in_scale;
+          sumsq += v * v;
+        }
+        float v = src.get(c, y, x);
+        if (op.precision == Precision::kInt8) v *= in_scale;
+        const float denom = std::pow(
+            k + alpha / static_cast<float>(op.local_size) * sumsq, beta);
+        float result = v / denom;
+        if (op.precision == Precision::kInt8) {
+          result /= in_scale;  // requantise into the same INT8 scale
+          out.set_i8(c, y, x,
+                     saturate_i8(static_cast<std::int64_t>(std::lround(
+                         result))));
+        } else {
+          out.set(c, y, x, result);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle model
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Cycle dbb_cycles_for(const NvdlaConfig& cfg, std::uint64_t bytes) {
+  const double effective =
+      static_cast<double>(cfg.dbb_bytes_per_cycle()) *
+      cfg.timing.dbb_efficiency;
+  return static_cast<Cycle>(static_cast<double>(bytes) / effective) + 1;
+}
+
+}  // namespace
+
+OpCost conv_cost(const NvdlaConfig& cfg, const ConvOp& op,
+                 std::uint64_t output_bytes) {
+  OpCost cost;
+  const std::uint32_t esize = elem_size_bytes(op.precision);
+  const std::uint32_t G = std::max(1u, op.groups);
+  // FP16 halves the MAC array's channel dimension (two bytes per operand).
+  const std::uint32_t atomic_c_eff = std::max(
+      1u, op.precision == Precision::kFp16 ? cfg.atomic_c / 2 : cfg.atomic_c);
+  // Padding to the MAC array shape happens per channel group — this is what
+  // makes depthwise convolution (kernel_c == 1) so inefficient on NVDLA.
+  const std::uint64_t c_pad = align_up(op.kernel_c, atomic_c_eff);
+  const std::uint64_t k_per_group = std::max(1u, op.kernel_k / G);
+  const std::uint64_t k_pad = align_up(k_per_group, cfg.atomic_k);
+
+  double tiles = static_cast<double>(op.out_w) * op.out_h * op.kernel_w *
+                 op.kernel_h * (c_pad / atomic_c_eff) *
+                 (k_pad / cfg.atomic_k) * G;
+  // Grouped/depthwise convolution: the CSC packs a couple of channel groups
+  // side by side into one atomic-C slice, partially recovering the padding
+  // waste (kernel_c << atomic-C).
+  if (G > 1 && op.kernel_c * 2 <= atomic_c_eff) {
+    tiles /= std::max(1u, cfg.timing.grouped_channel_packing);
+  }
+  cost.compute_cycles =
+      static_cast<Cycle>(tiles / cfg.timing.mac_efficiency) + 1;
+
+  // Traffic: weights once; input re-streamed once per atomic-K slice when
+  // it does not fit in half the convolution buffer.
+  const std::uint64_t input_bytes =
+      static_cast<std::uint64_t>(op.input.dims.c) * op.input.dims.h *
+      op.input.dims.w * esize;
+  const std::uint64_t weight_bytes =
+      k_pad * G * c_pad * op.kernel_w * op.kernel_h * esize;
+  const std::uint64_t k_slices = k_pad / cfg.atomic_k;
+  const std::uint64_t cbuf_half = cfg.cbuf_kib * 1024ull / 2;
+  const std::uint64_t input_passes = input_bytes <= cbuf_half ? 1 : k_slices;
+  cost.traffic_bytes =
+      input_bytes * input_passes + weight_bytes + output_bytes;
+  cost.dbb_cycles = dbb_cycles_for(cfg, cost.traffic_bytes);
+  return cost;
+}
+
+OpCost sdp_cost(const NvdlaConfig& cfg, const SdpOp& op) {
+  OpCost cost;
+  const std::uint32_t esize = elem_size_bytes(op.out_precision);
+  const std::uint64_t elems = op.dims.elements();
+  std::uint64_t bytes = elems * esize;          // destination write
+  if (!op.flying_mode()) bytes += elems * esize;  // memory source read
+  if (op.eltwise_enable) bytes += elems * esize;  // operand cube read
+  cost.traffic_bytes = bytes;
+  // SDP throughput: one output atom per cycle.
+  cost.compute_cycles = elems * esize / cfg.atom_bytes + 1;
+  cost.dbb_cycles = dbb_cycles_for(cfg, bytes);
+  return cost;
+}
+
+OpCost pdp_cost(const NvdlaConfig& cfg, const PdpOp& op) {
+  OpCost cost;
+  const std::uint32_t esize = elem_size_bytes(op.precision);
+  const std::uint64_t in_bytes = op.src.dims.elements() * esize;
+  const std::uint64_t out_bytes = op.dst.dims.elements() * esize;
+  cost.traffic_bytes = in_bytes + out_bytes;
+  // The pooling datapath evaluates one window element per lane per cycle
+  // across atom_bytes lanes.
+  cost.compute_cycles = op.dst.dims.elements() * op.kernel_w * op.kernel_h *
+                            esize / cfg.atom_bytes +
+                        1;
+  cost.dbb_cycles = dbb_cycles_for(cfg, cost.traffic_bytes);
+  return cost;
+}
+
+OpCost cdp_cost(const NvdlaConfig& cfg, const CdpOp& op) {
+  OpCost cost;
+  const std::uint32_t esize = elem_size_bytes(op.precision);
+  const std::uint64_t elems = op.src.dims.elements();
+  cost.traffic_bytes = 2 * elems * esize;
+  // The CDP normalisation walks a serial LUT-interpolation path per output
+  // element (square, accumulate across local_size, exponent lookup,
+  // divide) — the unit is not vectorised across the atom.
+  cost.compute_cycles = elems * cfg.timing.cdp_cycles_per_element + 1;
+  cost.dbb_cycles = dbb_cycles_for(cfg, cost.traffic_bytes);
+  return cost;
+}
+
+OpCost bdma_cost(const NvdlaConfig& cfg, const BdmaOp& op) {
+  OpCost cost;
+  cost.traffic_bytes = 2 * op.total_bytes();
+  cost.compute_cycles = 1;
+  cost.dbb_cycles = dbb_cycles_for(cfg, cost.traffic_bytes);
+  return cost;
+}
+
+}  // namespace nvsoc::nvdla

@@ -1,0 +1,821 @@
+#include "riscv/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/strfmt.hpp"
+#include "riscv/isa.hpp"
+
+namespace nvsoc::rv {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw AssemblerError(strfmt("line {}: {}", line, message));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Strip comments: '#', '//' and ';' start a comment to end of line.
+std::string_view strip_comment(std::string_view s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#' || s[i] == ';') return s.substr(0, i);
+    if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/')
+      return s.substr(0, i);
+  }
+  return s;
+}
+
+/// Split an operand list on commas that are outside parentheses.
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.emplace_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!trim(cur).empty() || !out.empty()) {
+    const auto t = trim(cur);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_integer(std::string_view token) {
+  token = trim(token);
+  if (token.empty()) return std::nullopt;
+  bool negative = false;
+  if (token.front() == '-' || token.front() == '+') {
+    negative = token.front() == '-';
+    token.remove_prefix(1);
+    if (token.empty()) return std::nullopt;
+  }
+  int base = 10;
+  if (token.size() > 2 && token[0] == '0' &&
+      (token[1] == 'x' || token[1] == 'X')) {
+    base = 16;
+    token.remove_prefix(2);
+  } else if (token.size() > 2 && token[0] == '0' &&
+             (token[1] == 'b' || token[1] == 'B')) {
+    base = 2;
+    token.remove_prefix(2);
+  }
+  std::int64_t value = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else if (c == '_') continue;  // digit separators allowed
+    else return std::nullopt;
+    if (digit >= base) return std::nullopt;
+    value = value * base + digit;
+  }
+  return negative ? -value : value;
+}
+
+// ---------------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------------
+
+std::uint32_t enc_r(unsigned opcode, unsigned rd, unsigned funct3,
+                    unsigned rs1, unsigned rs2, unsigned funct7) {
+  return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         (funct7 << 25);
+}
+
+std::uint32_t enc_i(unsigned opcode, unsigned rd, unsigned funct3,
+                    unsigned rs1, std::int32_t imm) {
+  return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+         (static_cast<std::uint32_t>(imm & 0xFFF) << 20);
+}
+
+std::uint32_t enc_s(unsigned opcode, unsigned funct3, unsigned rs1,
+                    unsigned rs2, std::int32_t imm) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm) & 0xFFF;
+  return opcode | ((u & 0x1F) << 7) | (funct3 << 12) | (rs1 << 15) |
+         (rs2 << 20) | ((u >> 5) << 25);
+}
+
+std::uint32_t enc_b(unsigned opcode, unsigned funct3, unsigned rs1,
+                    unsigned rs2, std::int32_t imm) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return opcode | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xF) << 8) |
+         (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         (((u >> 5) & 0x3F) << 25) | (((u >> 12) & 1) << 31);
+}
+
+std::uint32_t enc_u(unsigned opcode, unsigned rd, std::int32_t imm) {
+  return opcode | (rd << 7) | (static_cast<std::uint32_t>(imm) & 0xFFFFF000u);
+}
+
+std::uint32_t enc_j(unsigned opcode, unsigned rd, std::int32_t imm) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return opcode | (rd << 7) | (((u >> 12) & 0xFF) << 12) |
+         (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3FF) << 21) |
+         (((u >> 20) & 1) << 31);
+}
+
+std::optional<std::uint16_t> parse_csr_name(std::string_view name) {
+  const std::string n = to_lower(name);
+  if (n == "mstatus") return csr::kMstatus;
+  if (n == "mie") return csr::kMie;
+  if (n == "mtvec") return csr::kMtvec;
+  if (n == "mepc") return csr::kMepc;
+  if (n == "mcause") return csr::kMcause;
+  if (n == "mip") return csr::kMip;
+  if (n == "cycle") return csr::kCycle;
+  if (n == "cycleh") return csr::kCycleH;
+  if (n == "instret") return csr::kInstret;
+  if (n == "instreth") return csr::kInstretH;
+  if (n == "mcycle") return csr::kMcycle;
+  if (n == "minstret") return csr::kMinstret;
+  if (auto v = parse_integer(name); v && *v >= 0 && *v < 4096)
+    return static_cast<std::uint16_t>(*v);
+  return std::nullopt;
+}
+
+/// A parsed source statement after pass 1: label-resolved size and shape.
+struct Statement {
+  std::size_t line = 0;
+  std::string source;
+  std::string mnemonic;                 // lower-case, empty for data
+  std::vector<std::string> operands;
+  Addr address = 0;
+  unsigned size_bytes = 0;              // emitted size
+  bool is_data = false;                 // .word / .half / .byte / .space
+  std::vector<std::uint8_t> data;       // for data statements (pass 2 fills)
+  std::vector<std::string> data_exprs;  // expressions for .word etc.
+  unsigned data_unit = 4;               // bytes per element
+};
+
+}  // namespace
+
+std::uint32_t AssembledImage::word(std::size_t index) const {
+  std::uint32_t value = 0;
+  std::memcpy(&value, bytes.data() + index * 4, 4);
+  return value;
+}
+
+std::string AssembledImage::to_mem_text() const {
+  std::ostringstream os;
+  os << "// generated by nvsoc assembler; base=0x" << std::hex << base_address
+     << std::dec << "\n";
+  for (std::size_t i = 0; i < size_words(); ++i) {
+    os << strfmt("{:08x}\n", word(i));
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Assembler implementation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class AssemblerImpl {
+ public:
+  AssembledImage run(const std::string& source, Addr base);
+
+ private:
+  // Pass 1
+  void scan(const std::string& source);
+  unsigned statement_size(const Statement& stmt) const;
+
+  // Pass 2
+  void encode(Statement& stmt, AssembledImage& image);
+  void emit32(const Statement& stmt, AssembledImage& image,
+              std::uint32_t encoding);
+
+  // Expression evaluation (symbols must be resolved by pass 2).
+  std::int64_t eval(std::string_view expr, std::size_t line) const;
+  std::optional<std::int64_t> try_eval(std::string_view expr) const;
+
+  unsigned need_register(const std::string& token, std::size_t line) const;
+  std::int32_t need_imm(const std::string& token, std::size_t line,
+                        std::int64_t lo, std::int64_t hi) const;
+
+  /// Parse "imm(reg)" memory operands.
+  void parse_mem_operand(const std::string& token, std::size_t line,
+                         unsigned& reg, std::int32_t& offset) const;
+
+  std::map<std::string, std::int64_t> symbols_;
+  std::vector<Statement> statements_;
+  Addr base_ = 0;
+  Addr cursor_ = 0;
+};
+
+void AssemblerImpl::scan(const std::string& source) {
+  std::istringstream in(source);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  cursor_ = base_;
+
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string_view line = trim(strip_comment(raw_line));
+    if (line.empty()) continue;
+
+    // Peel leading labels (there can be several on one line).
+    while (true) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view candidate = trim(line.substr(0, colon));
+      // A label must look like an identifier (no spaces, not a directive).
+      const bool identifier =
+          !candidate.empty() &&
+          std::all_of(candidate.begin(), candidate.end(), [](char c) {
+            return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                   c == '.' || c == '$';
+          });
+      if (!identifier) break;
+      const std::string name(candidate);
+      if (symbols_.contains(name)) fail(line_no, "duplicate label " + name);
+      symbols_[name] = static_cast<std::int64_t>(cursor_);
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    Statement stmt;
+    stmt.line = line_no;
+    stmt.source = std::string(line);
+
+    const std::size_t space = line.find_first_of(" \t");
+    stmt.mnemonic = to_lower(line.substr(0, space));
+    if (space != std::string_view::npos) {
+      stmt.operands = split_operands(line.substr(space + 1));
+    }
+
+    // Directives that affect layout or symbols are handled here.
+    if (stmt.mnemonic == ".equ" || stmt.mnemonic == ".set") {
+      if (stmt.operands.size() != 2) fail(line_no, ".equ needs name, value");
+      const auto value = try_eval(stmt.operands[1]);
+      if (!value) fail(line_no, "cannot evaluate .equ value (must be a "
+                                "literal or already-defined symbol)");
+      symbols_[stmt.operands[0]] = *value;
+      continue;
+    }
+    if (stmt.mnemonic == ".org") {
+      if (stmt.operands.size() != 1) fail(line_no, ".org needs one operand");
+      const auto value = try_eval(stmt.operands[0]);
+      if (!value) fail(line_no, ".org operand must be a known value");
+      const Addr target = static_cast<Addr>(*value);
+      if (target < cursor_) fail(line_no, ".org cannot move backwards");
+      stmt.is_data = true;
+      stmt.size_bytes = static_cast<unsigned>(target - cursor_);
+      stmt.mnemonic = ".space";  // padding
+      stmt.operands = {std::to_string(stmt.size_bytes)};
+      stmt.address = cursor_;
+      cursor_ = target;
+      statements_.push_back(std::move(stmt));
+      continue;
+    }
+    if (stmt.mnemonic == ".align") {
+      if (stmt.operands.size() != 1) fail(line_no, ".align needs one operand");
+      const auto value = try_eval(stmt.operands[0]);
+      if (!value || *value < 0 || *value > 16)
+        fail(line_no, ".align operand must be 0..16");
+      const Addr target = align_up(cursor_, 1ull << *value);
+      stmt.is_data = true;
+      stmt.size_bytes = static_cast<unsigned>(target - cursor_);
+      stmt.mnemonic = ".space";
+      stmt.operands = {std::to_string(stmt.size_bytes)};
+      stmt.address = cursor_;
+      cursor_ = target;
+      statements_.push_back(std::move(stmt));
+      continue;
+    }
+    if (stmt.mnemonic == ".text" || stmt.mnemonic == ".data" ||
+        stmt.mnemonic == ".section" || stmt.mnemonic == ".globl" ||
+        stmt.mnemonic == ".global" || stmt.mnemonic == ".option") {
+      continue;  // single flat section; visibility directives are no-ops
+    }
+
+    stmt.address = cursor_;
+    stmt.size_bytes = statement_size(stmt);
+    cursor_ += stmt.size_bytes;
+    statements_.push_back(std::move(stmt));
+  }
+}
+
+unsigned AssemblerImpl::statement_size(const Statement& stmt) const {
+  const std::string& m = stmt.mnemonic;
+  if (m == ".word") return static_cast<unsigned>(stmt.operands.size() * 4);
+  if (m == ".half") return static_cast<unsigned>(stmt.operands.size() * 2);
+  if (m == ".byte") return static_cast<unsigned>(stmt.operands.size() * 1);
+  if (m == ".space" || m == ".zero") {
+    const auto value = try_eval(stmt.operands.empty() ? "" : stmt.operands[0]);
+    if (!value || *value < 0) fail(stmt.line, ".space needs a literal size");
+    return static_cast<unsigned>(*value);
+  }
+  if (m == "li") {
+    // One instruction when the value is already known and fits in a signed
+    // 12-bit immediate; otherwise the full lui+addi pair. Forward references
+    // conservatively take two instructions.
+    if (stmt.operands.size() == 2) {
+      if (const auto v = try_eval(stmt.operands[1]);
+          v && *v >= -2048 && *v < 2048) {
+        return 4;
+      }
+    }
+    return 8;
+  }
+  if (m == "la" || m == "call" || m == "tail") return 8;
+  return 4;  // every other instruction/pseudo is one word
+}
+
+std::optional<std::int64_t> AssemblerImpl::try_eval(
+    std::string_view expr) const {
+  expr = trim(expr);
+  if (expr.empty()) return std::nullopt;
+
+  // %hi(expr) / %lo(expr): RISC-V relocation operators with the standard
+  // carry adjustment so  lui rd,%hi(x); addi rd,rd,%lo(x)  reconstructs x.
+  if (expr.starts_with("%hi(") && expr.ends_with(")")) {
+    const auto inner = try_eval(expr.substr(4, expr.size() - 5));
+    if (!inner) return std::nullopt;
+    const std::uint32_t v = static_cast<std::uint32_t>(*inner);
+    return static_cast<std::int64_t>((v + 0x800u) >> 12);
+  }
+  if (expr.starts_with("%lo(") && expr.ends_with(")")) {
+    const auto inner = try_eval(expr.substr(4, expr.size() - 5));
+    if (!inner) return std::nullopt;
+    const std::uint32_t v = static_cast<std::uint32_t>(*inner);
+    return static_cast<std::int64_t>(sign_extend(v & 0xFFF, 12));
+  }
+
+  // Binary +/- at top level (rightmost, left-associative), skipping a
+  // leading sign.
+  int depth = 0;
+  for (std::size_t i = expr.size(); i-- > 1;) {
+    const char c = expr[i];
+    if (c == ')') ++depth;
+    if (c == '(') --depth;
+    if (depth == 0 && (c == '+' || c == '-')) {
+      // Don't split exponent-style or leading signs; require the left side
+      // (ignoring whitespace) to end with an identifier/digit/paren.
+      std::size_t p = i;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(expr[p - 1]))) {
+        --p;
+      }
+      if (p == 0) continue;
+      const char prev = expr[p - 1];
+      if (std::isalnum(static_cast<unsigned char>(prev)) || prev == ')' ||
+          prev == '_') {
+        const auto lhs = try_eval(expr.substr(0, i));
+        const auto rhs = try_eval(expr.substr(i + 1));
+        if (!lhs || !rhs) return std::nullopt;
+        return c == '+' ? *lhs + *rhs : *lhs - *rhs;
+      }
+    }
+  }
+
+  if (const auto value = parse_integer(expr)) return value;
+
+  const auto it = symbols_.find(std::string(expr));
+  if (it != symbols_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::int64_t AssemblerImpl::eval(std::string_view expr,
+                                 std::size_t line) const {
+  const auto value = try_eval(expr);
+  if (!value) fail(line, strfmt("cannot evaluate expression '{}'", expr));
+  return *value;
+}
+
+unsigned AssemblerImpl::need_register(const std::string& token,
+                                      std::size_t line) const {
+  const auto reg = parse_register(trim(token));
+  if (!reg) fail(line, strfmt("expected register, got '{}'", token));
+  return *reg;
+}
+
+std::int32_t AssemblerImpl::need_imm(const std::string& token,
+                                     std::size_t line, std::int64_t lo,
+                                     std::int64_t hi) const {
+  const std::int64_t value = eval(token, line);
+  if (value < lo || value > hi) {
+    fail(line, strfmt("immediate {} out of range [{}, {}]", value, lo, hi));
+  }
+  return static_cast<std::int32_t>(value);
+}
+
+void AssemblerImpl::parse_mem_operand(const std::string& token,
+                                      std::size_t line, unsigned& reg,
+                                      std::int32_t& offset) const {
+  const std::string_view s = trim(token);
+  const std::size_t open = s.rfind('(');
+  if (open == std::string_view::npos || s.back() != ')') {
+    fail(line, strfmt("expected offset(register), got '{}'", token));
+  }
+  const std::string_view offset_part = trim(s.substr(0, open));
+  const std::string_view reg_part = s.substr(open + 1, s.size() - open - 2);
+  reg = need_register(std::string(reg_part), line);
+  offset = offset_part.empty()
+               ? 0
+               : need_imm(std::string(offset_part), line, -2048, 2047);
+}
+
+void AssemblerImpl::emit32(const Statement& stmt, AssembledImage& image,
+                           std::uint32_t encoding) {
+  const std::size_t offset = image.bytes.size();
+  image.bytes.resize(offset + 4);
+  std::memcpy(image.bytes.data() + offset, &encoding, 4);
+  image.listing.push_back({base_ + offset, encoding, stmt.line, stmt.source});
+}
+
+void AssemblerImpl::encode(Statement& stmt, AssembledImage& image) {
+  const std::string& m = stmt.mnemonic;
+  const auto& ops = stmt.operands;
+  const std::size_t line = stmt.line;
+
+  auto expect_operands = [&](std::size_t n) {
+    if (ops.size() != n) {
+      fail(line, strfmt("'{}' expects {} operands, got {}", m, n, ops.size()));
+    }
+  };
+
+  // ---- data directives ----------------------------------------------------
+  if (m == ".word" || m == ".half" || m == ".byte") {
+    const unsigned unit = m == ".word" ? 4 : m == ".half" ? 2 : 1;
+    for (const auto& op : ops) {
+      const std::int64_t value = eval(op, line);
+      for (unsigned b = 0; b < unit; ++b) {
+        image.bytes.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+      }
+    }
+    return;
+  }
+  if (m == ".space" || m == ".zero") {
+    image.bytes.insert(image.bytes.end(), stmt.size_bytes, 0);
+    return;
+  }
+
+  const Addr pc = stmt.address;
+
+  auto branch_offset = [&](const std::string& target) -> std::int32_t {
+    const std::int64_t dest = eval(target, line);
+    const std::int64_t delta = dest - static_cast<std::int64_t>(pc);
+    if (delta < -4096 || delta > 4094 || (delta & 1)) {
+      fail(line, strfmt("branch target out of range (delta {})", delta));
+    }
+    return static_cast<std::int32_t>(delta);
+  };
+  auto jal_offset = [&](const std::string& target) -> std::int32_t {
+    const std::int64_t dest = eval(target, line);
+    const std::int64_t delta = dest - static_cast<std::int64_t>(pc);
+    if (delta < -(1 << 20) || delta >= (1 << 20) || (delta & 1)) {
+      fail(line, strfmt("jump target out of range (delta {})", delta));
+    }
+    return static_cast<std::int32_t>(delta);
+  };
+
+  // ---- pseudo-instructions --------------------------------------------------
+  if (m == "nop") { emit32(stmt, image, enc_i(0x13, 0, 0, 0, 0)); return; }
+  if (m == "li") {
+    expect_operands(2);
+    const unsigned rd = need_register(ops[0], line);
+    const std::int64_t value64 = eval(ops[1], line);
+    const std::int32_t value = static_cast<std::int32_t>(value64);
+    if (stmt.size_bytes == 4) {
+      emit32(stmt, image, enc_i(0x13, rd, 0, 0, value));
+      return;
+    }
+    const std::int32_t hi = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(value) + 0x800u) & 0xFFFFF000u);
+    const std::int32_t lo = value - hi;
+    emit32(stmt, image, enc_u(0x37, rd, hi));
+    emit32(stmt, image, enc_i(0x13, rd, 0, rd, lo));
+    return;
+  }
+  if (m == "la") {
+    expect_operands(2);
+    const unsigned rd = need_register(ops[0], line);
+    const std::int32_t value = static_cast<std::int32_t>(eval(ops[1], line));
+    const std::int32_t hi = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(value) + 0x800u) & 0xFFFFF000u);
+    const std::int32_t lo = value - hi;
+    emit32(stmt, image, enc_u(0x37, rd, hi));
+    emit32(stmt, image, enc_i(0x13, rd, 0, rd, lo));
+    return;
+  }
+  if (m == "mv") {
+    expect_operands(2);
+    emit32(stmt, image, enc_i(0x13, need_register(ops[0], line), 0,
+                              need_register(ops[1], line), 0));
+    return;
+  }
+  if (m == "not") {
+    expect_operands(2);
+    emit32(stmt, image, enc_i(0x13, need_register(ops[0], line), 4,
+                              need_register(ops[1], line), -1));
+    return;
+  }
+  if (m == "neg") {
+    expect_operands(2);
+    emit32(stmt, image, enc_r(0x33, need_register(ops[0], line), 0, 0,
+                              need_register(ops[1], line), 0x20));
+    return;
+  }
+  if (m == "seqz") {
+    expect_operands(2);
+    emit32(stmt, image, enc_i(0x13, need_register(ops[0], line), 3,
+                              need_register(ops[1], line), 1));
+    return;
+  }
+  if (m == "snez") {
+    expect_operands(2);
+    emit32(stmt, image, enc_r(0x33, need_register(ops[0], line), 3, 0,
+                              need_register(ops[1], line), 0));
+    return;
+  }
+  if (m == "beqz" || m == "bnez" || m == "blez" || m == "bgez" ||
+      m == "bltz" || m == "bgtz") {
+    expect_operands(2);
+    const unsigned rs = need_register(ops[0], line);
+    const std::int32_t off = branch_offset(ops[1]);
+    if (m == "beqz") emit32(stmt, image, enc_b(0x63, 0, rs, 0, off));
+    else if (m == "bnez") emit32(stmt, image, enc_b(0x63, 1, rs, 0, off));
+    else if (m == "blez") emit32(stmt, image, enc_b(0x63, 5, 0, rs, off));
+    else if (m == "bgez") emit32(stmt, image, enc_b(0x63, 5, rs, 0, off));
+    else if (m == "bltz") emit32(stmt, image, enc_b(0x63, 4, rs, 0, off));
+    else emit32(stmt, image, enc_b(0x63, 4, 0, rs, off));  // bgtz
+    return;
+  }
+  if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+    expect_operands(3);
+    const unsigned rs1 = need_register(ops[0], line);
+    const unsigned rs2 = need_register(ops[1], line);
+    const std::int32_t off = branch_offset(ops[2]);
+    if (m == "bgt") emit32(stmt, image, enc_b(0x63, 4, rs2, rs1, off));
+    else if (m == "ble") emit32(stmt, image, enc_b(0x63, 5, rs2, rs1, off));
+    else if (m == "bgtu") emit32(stmt, image, enc_b(0x63, 6, rs2, rs1, off));
+    else emit32(stmt, image, enc_b(0x63, 7, rs2, rs1, off));  // bleu
+    return;
+  }
+  if (m == "j") {
+    expect_operands(1);
+    emit32(stmt, image, enc_j(0x6F, 0, jal_offset(ops[0])));
+    return;
+  }
+  if (m == "jr") {
+    expect_operands(1);
+    emit32(stmt, image, enc_i(0x67, 0, 0, need_register(ops[0], line), 0));
+    return;
+  }
+  if (m == "ret") {
+    expect_operands(0);
+    emit32(stmt, image, enc_i(0x67, 0, 0, 1, 0));
+    return;
+  }
+  if (m == "call" || m == "tail") {
+    expect_operands(1);
+    const unsigned link = m == "call" ? 1u : 0u;
+    const unsigned scratch = m == "call" ? 1u : 6u;  // ra or t1 per ABI
+    const std::int64_t dest = eval(ops[0], line);
+    const std::int64_t delta = dest - static_cast<std::int64_t>(pc);
+    const std::int32_t d32 = static_cast<std::int32_t>(delta);
+    const std::int32_t hi = static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(d32) + 0x800u) & 0xFFFFF000u);
+    const std::int32_t lo = d32 - hi;
+    emit32(stmt, image, enc_u(0x17, scratch, hi));             // auipc
+    emit32(stmt, image, enc_i(0x67, link, 0, scratch, lo));    // jalr
+    return;
+  }
+  if (m == "csrr") {
+    expect_operands(2);
+    const auto csr = parse_csr_name(ops[1]);
+    if (!csr) fail(line, "unknown CSR " + ops[1]);
+    emit32(stmt, image, enc_i(0x73, need_register(ops[0], line), 2, 0,
+                              static_cast<std::int32_t>(*csr)));
+    return;
+  }
+  if (m == "csrw") {
+    expect_operands(2);
+    const auto csr = parse_csr_name(ops[0]);
+    if (!csr) fail(line, "unknown CSR " + ops[0]);
+    emit32(stmt, image, enc_i(0x73, 0, 1, need_register(ops[1], line),
+                              static_cast<std::int32_t>(*csr)));
+    return;
+  }
+
+  // ---- base instructions ----------------------------------------------------
+  if (m == "lui" || m == "auipc") {
+    expect_operands(2);
+    const unsigned rd = need_register(ops[0], line);
+    std::int64_t value = eval(ops[1], line);
+    // Accept both the GNU convention (operand is the 20-bit page number,
+    // e.g. from %hi) and a raw byte value that is already page-aligned.
+    if (value >= -(1 << 19) && value < (1 << 20)) {
+      value <<= 12;
+    }
+    emit32(stmt, image,
+           enc_u(m == "lui" ? 0x37 : 0x17, rd,
+                 static_cast<std::int32_t>(value)));
+    return;
+  }
+  if (m == "jal") {
+    // jal rd, target  |  jal target (rd = ra)
+    if (ops.size() == 1) {
+      emit32(stmt, image, enc_j(0x6F, 1, jal_offset(ops[0])));
+    } else {
+      expect_operands(2);
+      emit32(stmt, image,
+             enc_j(0x6F, need_register(ops[0], line), jal_offset(ops[1])));
+    }
+    return;
+  }
+  if (m == "jalr") {
+    // jalr rd, offset(rs1) | jalr rd, rs1, offset | jalr rs1
+    if (ops.size() == 1) {
+      emit32(stmt, image, enc_i(0x67, 1, 0, need_register(ops[0], line), 0));
+      return;
+    }
+    if (ops.size() == 2) {
+      unsigned rs1;
+      std::int32_t offset;
+      parse_mem_operand(ops[1], line, rs1, offset);
+      emit32(stmt, image,
+             enc_i(0x67, need_register(ops[0], line), 0, rs1, offset));
+      return;
+    }
+    expect_operands(3);
+    emit32(stmt, image,
+           enc_i(0x67, need_register(ops[0], line), 0,
+                 need_register(ops[1], line), need_imm(ops[2], line, -2048, 2047)));
+    return;
+  }
+
+  struct BranchDef { const char* name; unsigned funct3; };
+  static constexpr BranchDef kBranches[] = {
+      {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5}, {"bltu", 6}, {"bgeu", 7}};
+  for (const auto& b : kBranches) {
+    if (m == b.name) {
+      expect_operands(3);
+      emit32(stmt, image,
+             enc_b(0x63, b.funct3, need_register(ops[0], line),
+                   need_register(ops[1], line), branch_offset(ops[2])));
+      return;
+    }
+  }
+
+  struct LoadDef { const char* name; unsigned funct3; };
+  static constexpr LoadDef kLoads[] = {
+      {"lb", 0}, {"lh", 1}, {"lw", 2}, {"lbu", 4}, {"lhu", 5}};
+  for (const auto& l : kLoads) {
+    if (m == l.name) {
+      expect_operands(2);
+      unsigned rs1;
+      std::int32_t offset;
+      parse_mem_operand(ops[1], line, rs1, offset);
+      emit32(stmt, image,
+             enc_i(0x03, need_register(ops[0], line), l.funct3, rs1, offset));
+      return;
+    }
+  }
+  static constexpr LoadDef kStores[] = {{"sb", 0}, {"sh", 1}, {"sw", 2}};
+  for (const auto& s : kStores) {
+    if (m == s.name) {
+      expect_operands(2);
+      unsigned rs1;
+      std::int32_t offset;
+      parse_mem_operand(ops[1], line, rs1, offset);
+      emit32(stmt, image,
+             enc_s(0x23, s.funct3, rs1, need_register(ops[0], line), offset));
+      return;
+    }
+  }
+
+  struct ImmDef { const char* name; unsigned funct3; };
+  static constexpr ImmDef kImmOps[] = {{"addi", 0}, {"slti", 2}, {"sltiu", 3},
+                                       {"xori", 4}, {"ori", 6}, {"andi", 7}};
+  for (const auto& i : kImmOps) {
+    if (m == i.name) {
+      expect_operands(3);
+      emit32(stmt, image,
+             enc_i(0x13, need_register(ops[0], line), i.funct3,
+                   need_register(ops[1], line),
+                   need_imm(ops[2], line, -2048, 2047)));
+      return;
+    }
+  }
+  if (m == "slli" || m == "srli" || m == "srai") {
+    expect_operands(3);
+    const std::int32_t shamt = need_imm(ops[2], line, 0, 31);
+    const unsigned funct3 = m == "slli" ? 1u : 5u;
+    const unsigned funct7 = m == "srai" ? 0x20u : 0u;
+    emit32(stmt, image,
+           enc_r(0x13, need_register(ops[0], line), funct3,
+                 need_register(ops[1], line), static_cast<unsigned>(shamt),
+                 funct7));
+    return;
+  }
+
+  struct RegDef { const char* name; unsigned funct3; unsigned funct7; };
+  static constexpr RegDef kRegOps[] = {
+      {"add", 0, 0x00}, {"sub", 0, 0x20}, {"sll", 1, 0x00}, {"slt", 2, 0x00},
+      {"sltu", 3, 0x00}, {"xor", 4, 0x00}, {"srl", 5, 0x00}, {"sra", 5, 0x20},
+      {"or", 6, 0x00}, {"and", 7, 0x00},
+      {"mul", 0, 0x01}, {"mulh", 1, 0x01}, {"mulhsu", 2, 0x01},
+      {"mulhu", 3, 0x01}, {"div", 4, 0x01}, {"divu", 5, 0x01},
+      {"rem", 6, 0x01}, {"remu", 7, 0x01}};
+  for (const auto& r : kRegOps) {
+    if (m == r.name) {
+      expect_operands(3);
+      emit32(stmt, image,
+             enc_r(0x33, need_register(ops[0], line), r.funct3,
+                   need_register(ops[1], line), need_register(ops[2], line),
+                   r.funct7));
+      return;
+    }
+  }
+
+  if (m == "fence") { emit32(stmt, image, 0x0FF0000Fu); return; }
+  if (m == "ecall") { emit32(stmt, image, 0x00000073u); return; }
+  if (m == "ebreak") { emit32(stmt, image, 0x00100073u); return; }
+  if (m == "mret") { emit32(stmt, image, 0x30200073u); return; }
+  if (m == "wfi") { emit32(stmt, image, 0x10500073u); return; }
+
+  struct CsrDef { const char* name; unsigned funct3; bool immediate; };
+  static constexpr CsrDef kCsrOps[] = {
+      {"csrrw", 1, false}, {"csrrs", 2, false}, {"csrrc", 3, false},
+      {"csrrwi", 5, true}, {"csrrsi", 6, true}, {"csrrci", 7, true}};
+  for (const auto& c : kCsrOps) {
+    if (m == c.name) {
+      expect_operands(3);
+      const auto csr = parse_csr_name(ops[1]);
+      if (!csr) fail(line, "unknown CSR " + ops[1]);
+      const unsigned rd = need_register(ops[0], line);
+      unsigned src;
+      if (c.immediate) {
+        src = static_cast<unsigned>(need_imm(ops[2], line, 0, 31));
+      } else {
+        src = need_register(ops[2], line);
+      }
+      emit32(stmt, image,
+             enc_i(0x73, rd, c.funct3, src, static_cast<std::int32_t>(*csr)));
+      return;
+    }
+  }
+
+  fail(line, strfmt("unknown mnemonic '{}'", m));
+}
+
+AssembledImage AssemblerImpl::run(const std::string& source, Addr base) {
+  base_ = base;
+  scan(source);
+
+  AssembledImage image;
+  image.base_address = base;
+  for (auto& stmt : statements_) {
+    const std::size_t before = image.bytes.size();
+    encode(stmt, image);
+    const std::size_t emitted = image.bytes.size() - before;
+    if (emitted != stmt.size_bytes) {
+      fail(stmt.line,
+           strfmt("internal: pass-1 size {} != pass-2 size {} for '{}'",
+                  stmt.size_bytes, emitted, stmt.source));
+    }
+  }
+  for (const auto& [name, value] : symbols_) {
+    image.symbols[name] = static_cast<Addr>(value);
+  }
+  return image;
+}
+
+}  // namespace
+
+AssembledImage Assembler::assemble(const std::string& source,
+                                   Addr base_address) {
+  AssemblerImpl impl;
+  return impl.run(source, base_address);
+}
+
+}  // namespace nvsoc::rv

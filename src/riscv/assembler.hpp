@@ -1,0 +1,56 @@
+// Two-pass RV32IM assembler.
+//
+// The paper's toolflow converts the NVDLA configuration file into RISC-V
+// assembly and compiles it with the Codasip Studio SDK. This assembler
+// stands in for that SDK: it accepts standard GNU-style RV32IM assembly
+// (labels, the usual pseudo-instructions, .word/.org/.equ directives) and
+// produces a raw machine-code image plus a Vivado-style .mem rendering that
+// loads straight into the SoC's program memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nvsoc::rv {
+
+/// Result of assembling a program: a flat little-endian image based at
+/// `base_address` plus the symbol table and a line-addressed listing.
+struct AssembledImage {
+  Addr base_address = 0;
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, Addr> symbols;
+
+  struct ListingEntry {
+    Addr address;
+    std::uint32_t encoding;
+    std::size_t source_line;  ///< 1-based
+    std::string source;
+  };
+  std::vector<ListingEntry> listing;
+
+  std::size_t size_words() const { return bytes.size() / 4; }
+  std::uint32_t word(std::size_t index) const;
+
+  /// Vivado $readmemh-compatible rendering (one 32-bit hex word per line).
+  std::string to_mem_text() const;
+};
+
+/// Thrown on any assembly error; message includes the 1-based line number.
+class AssemblerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Assembler {
+ public:
+  /// Assemble `source`. `base_address` is the load/link address of the first
+  /// emitted byte (the reset PC of the paper's programs is 0x0 in BRAM).
+  AssembledImage assemble(const std::string& source, Addr base_address = 0);
+};
+
+}  // namespace nvsoc::rv

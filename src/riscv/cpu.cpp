@@ -1,0 +1,448 @@
+#include "riscv/cpu.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/strfmt.hpp"
+
+namespace nvsoc::rv {
+
+namespace {
+
+constexpr Word kMieMeie = 1u << 11;   // machine external interrupt enable
+constexpr Word kMipMeip = 1u << 11;   // machine external interrupt pending
+constexpr Word kMstatusMie = 1u << 3; // global machine interrupt enable
+constexpr Word kCauseMachineExternal = 0x8000000Bu;
+constexpr Word kCauseIllegal = 2;
+constexpr Word kCauseBreakpoint = 3;
+constexpr Word kCauseLoadFault = 5;
+constexpr Word kCauseStoreFault = 7;
+constexpr Word kCauseEcallM = 11;
+
+/// True when the decoded instruction reads `reg` as a source.
+bool reads_register(const Decoded& d, unsigned reg) {
+  if (reg == 0) return false;
+  switch (d.op) {
+    case Opcode::kLui:
+    case Opcode::kAuipc:
+    case Opcode::kJal:
+    case Opcode::kEcall:
+    case Opcode::kEbreak:
+    case Opcode::kFence:
+    case Opcode::kWfi:
+    case Opcode::kMret:
+    case Opcode::kCsrrwi:
+    case Opcode::kCsrrsi:
+    case Opcode::kCsrrci:
+      return false;
+    default:
+      break;
+  }
+  if (d.rs1 == reg) return true;
+  // rs2 is only a real source for R-type, branches and stores.
+  const bool uses_rs2 = is_store(d.op) || is_branch(d.op) ||
+                        (d.op >= Opcode::kAdd && d.op <= Opcode::kAnd) ||
+                        (d.op >= Opcode::kMul && d.op <= Opcode::kRemu);
+  return uses_rs2 && d.rs2 == reg;
+}
+
+}  // namespace
+
+const char* halt_reason_name(HaltReason reason) {
+  switch (reason) {
+    case HaltReason::kNone: return "running";
+    case HaltReason::kEbreak: return "ebreak";
+    case HaltReason::kEcall: return "ecall";
+    case HaltReason::kInvalidInstruction: return "invalid-instruction";
+    case HaltReason::kBusError: return "bus-error";
+    case HaltReason::kWfi: return "wfi";
+    case HaltReason::kInstructionLimit: return "instruction-limit";
+  }
+  return "unknown";
+}
+
+Cpu::Cpu(BusTarget& imem, BusTarget& dmem, CpuConfig config)
+    : imem_(imem), dmem_(dmem), config_(config) {
+  reset();
+}
+
+void Cpu::reset() {
+  regs_.fill(0);
+  pc_ = config_.reset_pc;
+  cycle_ = 0;
+  mstatus_ = mie_ = mtvec_ = mepc_ = mcause_ = mip_ = 0;
+  pending_load_rd_ = 0;
+  stats_ = {};
+  halt_detail_.clear();
+}
+
+Word Cpu::csr_read(std::uint16_t csr_num) const {
+  switch (csr_num) {
+    case csr::kMstatus: return mstatus_;
+    case csr::kMie: return mie_;
+    case csr::kMtvec: return mtvec_;
+    case csr::kMepc: return mepc_;
+    case csr::kMcause: return mcause_;
+    case csr::kMip: return mip_;
+    case csr::kCycle:
+    case csr::kMcycle:
+      return static_cast<Word>(cycle_);
+    case csr::kCycleH: return static_cast<Word>(cycle_ >> 32);
+    case csr::kInstret:
+    case csr::kMinstret:
+      return static_cast<Word>(stats_.instructions);
+    case csr::kInstretH: return static_cast<Word>(stats_.instructions >> 32);
+    default: return 0;
+  }
+}
+
+Word Cpu::csr_read_write(std::uint16_t csr_num, Word value, bool write) {
+  const Word old = csr_read(csr_num);
+  if (!write) return old;
+  switch (csr_num) {
+    case csr::kMstatus: mstatus_ = value; break;
+    case csr::kMie: mie_ = value; break;
+    case csr::kMtvec: mtvec_ = value & ~0x3u; break;  // direct mode only
+    case csr::kMepc: mepc_ = value & ~0x1u; break;
+    case csr::kMcause: mcause_ = value; break;
+    // mip/mcycle/minstret writes ignored (hardware-managed in this core)
+    default: break;
+  }
+  return old;
+}
+
+HaltReason Cpu::take_trap(Word cause, Word tval) {
+  (void)tval;
+  ++stats_.traps;
+  if (mtvec_ == 0) {
+    // No handler installed: surface as a halt, as a bare-metal program with
+    // no trap vector cannot make progress.
+    if (cause == kCauseEcallM) return HaltReason::kEcall;
+    if (cause == kCauseBreakpoint) return HaltReason::kEbreak;
+    if (cause == kCauseIllegal) return HaltReason::kInvalidInstruction;
+    return HaltReason::kBusError;
+  }
+  mepc_ = static_cast<Word>(pc_);
+  mcause_ = cause;
+  // MPIE <- MIE, MIE <- 0
+  const Word mie_bit = (mstatus_ & kMstatusMie) ? 1u : 0u;
+  mstatus_ = (mstatus_ & ~kMstatusMie & ~(1u << 7)) | (mie_bit << 7);
+  pc_ = mtvec_;
+  cycle_ += config_.branch_taken_penalty;  // redirect costs a flush
+  return HaltReason::kNone;
+}
+
+HaltReason Cpu::step() {
+  // Interrupt check at instruction boundary.
+  mip_ = irq_line_ ? (mip_ | kMipMeip) : (mip_ & ~kMipMeip);
+  if ((mstatus_ & kMstatusMie) && (mie_ & kMieMeie) && (mip_ & kMipMeip)) {
+    const HaltReason r = take_trap(kCauseMachineExternal, 0);
+    if (r != HaltReason::kNone) return r;
+  }
+
+  // IF: pipelined single-cycle in steady state; wait states add stalls.
+  BusRequest fetch_req{.addr = pc_, .is_write = false, .wdata = 0,
+                       .byte_enable = 0xF, .start = cycle_};
+  BusResponse fetch_rsp = imem_.access(fetch_req);
+  if (!fetch_rsp.status.is_ok()) {
+    halt_detail_ = strfmt("instruction fetch fault at pc={:#x}: {}", pc_,
+                          fetch_rsp.status.to_string());
+    return HaltReason::kBusError;
+  }
+  const Cycle fetch_latency = fetch_rsp.complete - cycle_;
+  if (fetch_latency > 1) stats_.memory_stall_cycles += fetch_latency - 1;
+
+  const Decoded d = decode(fetch_rsp.rdata);
+
+  // Load-use interlock against the previous instruction's load destination.
+  if (pending_load_rd_ != 0 && reads_register(d, pending_load_rd_)) {
+    cycle_ += config_.load_use_penalty;
+    ++stats_.load_use_stalls;
+  }
+  pending_load_rd_ = 0;
+
+  // Base cost: one cycle per retired instruction plus fetch wait states.
+  cycle_ += 1 + (fetch_latency > 1 ? fetch_latency - 1 : 0);
+
+  const HaltReason reason = execute(d);
+  if (reason == HaltReason::kNone) ++stats_.instructions;
+  return reason;
+}
+
+HaltReason Cpu::execute(const Decoded& d) {
+  const Addr pc_before = pc_;
+  Addr next_pc = pc_ + 4;
+  const Word rs1 = regs_[d.rs1];
+  const Word rs2 = regs_[d.rs2];
+  Word rd_value = 0;
+  bool writes_rd = false;
+
+  switch (d.op) {
+    case Opcode::kInvalid: {
+      halt_detail_ = strfmt("invalid instruction {:#010x} at pc={:#x}",
+                            d.raw, pc_before);
+      return take_trap(kCauseIllegal, d.raw);
+    }
+    case Opcode::kLui: rd_value = static_cast<Word>(d.imm); writes_rd = true; break;
+    case Opcode::kAuipc:
+      rd_value = static_cast<Word>(pc_before) + static_cast<Word>(d.imm);
+      writes_rd = true;
+      break;
+    case Opcode::kJal:
+      rd_value = static_cast<Word>(pc_before + 4);
+      writes_rd = true;
+      next_pc = static_cast<Word>(pc_before + static_cast<Word>(d.imm));
+      cycle_ += config_.branch_taken_penalty;
+      break;
+    case Opcode::kJalr:
+      rd_value = static_cast<Word>(pc_before + 4);
+      writes_rd = true;
+      next_pc = (rs1 + static_cast<Word>(d.imm)) & ~1u;
+      cycle_ += config_.branch_taken_penalty;
+      break;
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu: {
+      ++stats_.branches;
+      bool taken = false;
+      switch (d.op) {
+        case Opcode::kBeq: taken = rs1 == rs2; break;
+        case Opcode::kBne: taken = rs1 != rs2; break;
+        case Opcode::kBlt: taken = static_cast<std::int32_t>(rs1) <
+                                   static_cast<std::int32_t>(rs2); break;
+        case Opcode::kBge: taken = static_cast<std::int32_t>(rs1) >=
+                                   static_cast<std::int32_t>(rs2); break;
+        case Opcode::kBltu: taken = rs1 < rs2; break;
+        case Opcode::kBgeu: taken = rs1 >= rs2; break;
+        default: break;
+      }
+      if (taken) {
+        ++stats_.taken_branches;
+        next_pc = static_cast<Word>(pc_before + static_cast<Word>(d.imm));
+        cycle_ += config_.branch_taken_penalty;
+      }
+      break;
+    }
+    case Opcode::kLb: case Opcode::kLh: case Opcode::kLw:
+    case Opcode::kLbu: case Opcode::kLhu: {
+      ++stats_.loads;
+      const Addr addr = static_cast<Word>(rs1 + static_cast<Word>(d.imm));
+      const unsigned size = (d.op == Opcode::kLw) ? 4
+                          : (d.op == Opcode::kLh || d.op == Opcode::kLhu) ? 2
+                          : 1;
+      if ((addr % size) != 0) {
+        halt_detail_ = strfmt("misaligned load of {} bytes at {:#x}, pc={:#x}",
+                              size, addr, pc_before);
+        return take_trap(kCauseLoadFault, static_cast<Word>(addr));
+      }
+      const Addr word_addr = align_down(addr, 4);
+      BusRequest req{.addr = word_addr, .is_write = false, .wdata = 0,
+                     .byte_enable = 0xF, .start = cycle_};
+      BusResponse rsp = dmem_.access(req);
+      if (!rsp.status.is_ok()) {
+        halt_detail_ = strfmt("load fault at {:#x}, pc={:#x}: {}", addr,
+                              pc_before, rsp.status.to_string());
+        return take_trap(kCauseLoadFault, static_cast<Word>(addr));
+      }
+      const Cycle latency = rsp.complete - cycle_;
+      if (latency > 1) {
+        cycle_ += latency - 1;
+        stats_.memory_stall_cycles += latency - 1;
+      }
+      const unsigned shift = static_cast<unsigned>((addr & 3u) * 8);
+      const Word raw = rsp.rdata >> shift;
+      switch (d.op) {
+        case Opcode::kLb: rd_value = static_cast<Word>(sign_extend(raw & 0xFF, 8)); break;
+        case Opcode::kLbu: rd_value = raw & 0xFF; break;
+        case Opcode::kLh: rd_value = static_cast<Word>(sign_extend(raw & 0xFFFF, 16)); break;
+        case Opcode::kLhu: rd_value = raw & 0xFFFF; break;
+        case Opcode::kLw: rd_value = rsp.rdata; break;
+        default: break;
+      }
+      writes_rd = true;
+      pending_load_rd_ = d.rd;
+      break;
+    }
+    case Opcode::kSb: case Opcode::kSh: case Opcode::kSw: {
+      ++stats_.stores;
+      const Addr addr = static_cast<Word>(rs1 + static_cast<Word>(d.imm));
+      const unsigned size = (d.op == Opcode::kSw) ? 4
+                          : (d.op == Opcode::kSh) ? 2 : 1;
+      if ((addr % size) != 0) {
+        halt_detail_ = strfmt("misaligned store of {} bytes at {:#x}, pc={:#x}",
+                              size, addr, pc_before);
+        return take_trap(kCauseStoreFault, static_cast<Word>(addr));
+      }
+      const Addr word_addr = align_down(addr, 4);
+      const unsigned lane = static_cast<unsigned>(addr & 3u);
+      const std::uint8_t be = static_cast<std::uint8_t>(
+          ((size == 4) ? 0xFu : (size == 2) ? 0x3u : 0x1u) << lane);
+      BusRequest req{.addr = word_addr, .is_write = true,
+                     .wdata = rs2 << (lane * 8), .byte_enable = be,
+                     .start = cycle_};
+      BusResponse rsp = dmem_.access(req);
+      if (!rsp.status.is_ok()) {
+        halt_detail_ = strfmt("store fault at {:#x}, pc={:#x}: {}", addr,
+                              pc_before, rsp.status.to_string());
+        return take_trap(kCauseStoreFault, static_cast<Word>(addr));
+      }
+      const Cycle latency = rsp.complete - cycle_;
+      if (latency > 1) {
+        cycle_ += latency - 1;
+        stats_.memory_stall_cycles += latency - 1;
+      }
+      break;
+    }
+    case Opcode::kAddi: rd_value = rs1 + static_cast<Word>(d.imm); writes_rd = true; break;
+    case Opcode::kSlti:
+      rd_value = static_cast<std::int32_t>(rs1) < d.imm ? 1 : 0;
+      writes_rd = true;
+      break;
+    case Opcode::kSltiu:
+      rd_value = rs1 < static_cast<Word>(d.imm) ? 1 : 0;
+      writes_rd = true;
+      break;
+    case Opcode::kXori: rd_value = rs1 ^ static_cast<Word>(d.imm); writes_rd = true; break;
+    case Opcode::kOri: rd_value = rs1 | static_cast<Word>(d.imm); writes_rd = true; break;
+    case Opcode::kAndi: rd_value = rs1 & static_cast<Word>(d.imm); writes_rd = true; break;
+    case Opcode::kSlli: rd_value = rs1 << (d.imm & 31); writes_rd = true; break;
+    case Opcode::kSrli: rd_value = rs1 >> (d.imm & 31); writes_rd = true; break;
+    case Opcode::kSrai:
+      rd_value = static_cast<Word>(static_cast<std::int32_t>(rs1) >> (d.imm & 31));
+      writes_rd = true;
+      break;
+    case Opcode::kAdd: rd_value = rs1 + rs2; writes_rd = true; break;
+    case Opcode::kSub: rd_value = rs1 - rs2; writes_rd = true; break;
+    case Opcode::kSll: rd_value = rs1 << (rs2 & 31); writes_rd = true; break;
+    case Opcode::kSlt:
+      rd_value = static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2);
+      writes_rd = true;
+      break;
+    case Opcode::kSltu: rd_value = rs1 < rs2; writes_rd = true; break;
+    case Opcode::kXor: rd_value = rs1 ^ rs2; writes_rd = true; break;
+    case Opcode::kSrl: rd_value = rs1 >> (rs2 & 31); writes_rd = true; break;
+    case Opcode::kSra:
+      rd_value = static_cast<Word>(static_cast<std::int32_t>(rs1) >> (rs2 & 31));
+      writes_rd = true;
+      break;
+    case Opcode::kOr: rd_value = rs1 | rs2; writes_rd = true; break;
+    case Opcode::kAnd: rd_value = rs1 & rs2; writes_rd = true; break;
+    case Opcode::kFence: break;  // single memory port: fence is a no-op
+    case Opcode::kEcall:
+      return take_trap(kCauseEcallM, 0);
+    case Opcode::kEbreak:
+      if (config_.ebreak_halts) return HaltReason::kEbreak;
+      return take_trap(kCauseBreakpoint, 0);
+    case Opcode::kMret: {
+      next_pc = mepc_;
+      const Word mpie = (mstatus_ >> 7) & 1u;
+      mstatus_ = (mstatus_ & ~kMstatusMie) | (mpie << 3) | (1u << 7);
+      cycle_ += config_.branch_taken_penalty;
+      break;
+    }
+    case Opcode::kWfi:
+      if (!irq_line_) return HaltReason::kWfi;
+      break;  // pending interrupt: wfi completes immediately
+    case Opcode::kCsrrw:
+      rd_value = csr_read_write(d.csr, rs1, true);
+      writes_rd = d.rd != 0;
+      break;
+    case Opcode::kCsrrs:
+      rd_value = csr_read_write(d.csr, csr_read(d.csr) | rs1, d.rs1 != 0);
+      writes_rd = true;
+      break;
+    case Opcode::kCsrrc:
+      rd_value = csr_read_write(d.csr, csr_read(d.csr) & ~rs1, d.rs1 != 0);
+      writes_rd = true;
+      break;
+    case Opcode::kCsrrwi:
+      rd_value = csr_read_write(d.csr, static_cast<Word>(d.imm), true);
+      writes_rd = d.rd != 0;
+      break;
+    case Opcode::kCsrrsi:
+      rd_value = csr_read_write(d.csr,
+                                csr_read(d.csr) | static_cast<Word>(d.imm),
+                                d.imm != 0);
+      writes_rd = true;
+      break;
+    case Opcode::kCsrrci:
+      rd_value = csr_read_write(d.csr,
+                                csr_read(d.csr) & ~static_cast<Word>(d.imm),
+                                d.imm != 0);
+      writes_rd = true;
+      break;
+    case Opcode::kMul:
+      rd_value = rs1 * rs2;
+      writes_rd = true;
+      cycle_ += config_.mul_extra_cycles;
+      break;
+    case Opcode::kMulh:
+      rd_value = static_cast<Word>(
+          (static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) *
+           static_cast<std::int64_t>(static_cast<std::int32_t>(rs2))) >> 32);
+      writes_rd = true;
+      cycle_ += config_.mul_extra_cycles;
+      break;
+    case Opcode::kMulhsu:
+      rd_value = static_cast<Word>(
+          (static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) *
+           static_cast<std::int64_t>(static_cast<std::uint64_t>(rs2))) >> 32);
+      writes_rd = true;
+      cycle_ += config_.mul_extra_cycles;
+      break;
+    case Opcode::kMulhu:
+      rd_value = static_cast<Word>(
+          (static_cast<std::uint64_t>(rs1) * static_cast<std::uint64_t>(rs2))
+          >> 32);
+      writes_rd = true;
+      cycle_ += config_.mul_extra_cycles;
+      break;
+    case Opcode::kDiv:
+      if (rs2 == 0) rd_value = ~0u;
+      else if (rs1 == 0x80000000u && rs2 == ~0u) rd_value = rs1;
+      else rd_value = static_cast<Word>(static_cast<std::int32_t>(rs1) /
+                                        static_cast<std::int32_t>(rs2));
+      writes_rd = true;
+      cycle_ += config_.div_extra_cycles;
+      break;
+    case Opcode::kDivu:
+      rd_value = rs2 == 0 ? ~0u : rs1 / rs2;
+      writes_rd = true;
+      cycle_ += config_.div_extra_cycles;
+      break;
+    case Opcode::kRem:
+      if (rs2 == 0) rd_value = rs1;
+      else if (rs1 == 0x80000000u && rs2 == ~0u) rd_value = 0;
+      else rd_value = static_cast<Word>(static_cast<std::int32_t>(rs1) %
+                                        static_cast<std::int32_t>(rs2));
+      writes_rd = true;
+      cycle_ += config_.div_extra_cycles;
+      break;
+    case Opcode::kRemu:
+      rd_value = rs2 == 0 ? rs1 : rs1 % rs2;
+      writes_rd = true;
+      cycle_ += config_.div_extra_cycles;
+      break;
+  }
+
+  if (writes_rd && d.rd != 0) regs_[d.rd] = rd_value;
+  pc_ = next_pc;
+  return HaltReason::kNone;
+}
+
+RunResult Cpu::run(std::uint64_t max_instructions) {
+  RunResult result;
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    const HaltReason reason = step();
+    if (reason != HaltReason::kNone) {
+      result.reason = reason;
+      result.cycles = cycle_;
+      result.instructions = stats_.instructions;
+      result.detail = halt_detail_;
+      return result;
+    }
+  }
+  result.reason = HaltReason::kInstructionLimit;
+  result.cycles = cycle_;
+  result.instructions = stats_.instructions;
+  return result;
+}
+
+}  // namespace nvsoc::rv

@@ -1,0 +1,59 @@
+#include "riscv/disassembler.hpp"
+
+#include "common/strfmt.hpp"
+#include "riscv/isa.hpp"
+
+namespace nvsoc::rv {
+
+std::string disassemble(std::uint32_t raw, Addr pc) {
+  const Decoded d = decode(raw);
+  const std::string_view m = mnemonic(d.op);
+  const std::string_view rd = abi_name(d.rd);
+  const std::string_view rs1 = abi_name(d.rs1);
+  const std::string_view rs2 = abi_name(d.rs2);
+
+  switch (d.op) {
+    case Opcode::kInvalid:
+      return strfmt(".word {:#010x}", raw);
+    case Opcode::kLui:
+    case Opcode::kAuipc:
+      return strfmt("{} {}, {:#x}", m, rd,
+                    static_cast<std::uint32_t>(d.imm) >> 12);
+    case Opcode::kJal:
+      return strfmt("{} {}, {:#x}", m, rd,
+                    pc + static_cast<std::int64_t>(d.imm));
+    case Opcode::kJalr:
+      return strfmt("{} {}, {}({})", m, rd, d.imm, rs1);
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      return strfmt("{} {}, {}, {:#x}", m, rs1, rs2,
+                    pc + static_cast<std::int64_t>(d.imm));
+    case Opcode::kLb: case Opcode::kLh: case Opcode::kLw:
+    case Opcode::kLbu: case Opcode::kLhu:
+      return strfmt("{} {}, {}({})", m, rd, d.imm, rs1);
+    case Opcode::kSb: case Opcode::kSh: case Opcode::kSw:
+      return strfmt("{} {}, {}({})", m, rs2, d.imm, rs1);
+    case Opcode::kAddi: case Opcode::kSlti: case Opcode::kSltiu:
+    case Opcode::kXori: case Opcode::kOri: case Opcode::kAndi:
+    case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+      return strfmt("{} {}, {}, {}", m, rd, rs1, d.imm);
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kSll:
+    case Opcode::kSlt: case Opcode::kSltu: case Opcode::kXor:
+    case Opcode::kSrl: case Opcode::kSra: case Opcode::kOr:
+    case Opcode::kAnd:
+    case Opcode::kMul: case Opcode::kMulh: case Opcode::kMulhsu:
+    case Opcode::kMulhu: case Opcode::kDiv: case Opcode::kDivu:
+    case Opcode::kRem: case Opcode::kRemu:
+      return strfmt("{} {}, {}, {}", m, rd, rs1, rs2);
+    case Opcode::kCsrrw: case Opcode::kCsrrs: case Opcode::kCsrrc:
+      return strfmt("{} {}, {:#x}, {}", m, rd, d.csr, rs1);
+    case Opcode::kCsrrwi: case Opcode::kCsrrsi: case Opcode::kCsrrci:
+      return strfmt("{} {}, {:#x}, {}", m, rd, d.csr, d.imm);
+    case Opcode::kFence: case Opcode::kEcall: case Opcode::kEbreak:
+    case Opcode::kMret: case Opcode::kWfi:
+      return std::string(m);
+  }
+  return std::string(m);
+}
+
+}  // namespace nvsoc::rv

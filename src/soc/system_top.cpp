@@ -1,0 +1,51 @@
+#include "soc/system_top.hpp"
+
+#include <cstring>
+
+namespace nvsoc::soc {
+
+SystemTop::SystemTop(SystemTopConfig config)
+    : config_(std::move(config)),
+      ddr_(config_.soc.dram_bytes, config_.soc.dram_timing) {
+  if (config_.soc_fabric_clock == 0) {
+    config_.soc_fabric_clock = config_.soc.clock;
+  }
+  mig_ = std::make_unique<MigDdr4>(ddr_, config_.mig);
+  smartconnect_ = std::make_unique<AxiSmartConnect>(*mig_);
+  cdc_ = std::make_unique<AxiInterconnectCdc>(smartconnect_->soc_port(),
+                                              config_.soc_fabric_clock,
+                                              config_.ddr_ui_clock);
+  soc_ = std::make_unique<Soc>(config_.soc, cdc_.get());
+}
+
+Cycle SystemTop::ps_preload(Addr dram_offset,
+                            std::span<const std::uint8_t> bytes) {
+  const Cycle start = ps_cycle_;
+  BusTarget& port = smartconnect_->zynq_port();
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    Word word = 0;
+    const std::size_t chunk = std::min<std::size_t>(4, bytes.size() - i);
+    std::memcpy(&word, bytes.data() + i, chunk);
+    const std::uint8_t enable =
+        static_cast<std::uint8_t>((1u << chunk) - 1u);
+    BusRequest req{.addr = dram_offset + i, .is_write = true, .wdata = word,
+                   .byte_enable = enable, .start = ps_cycle_};
+    const BusResponse rsp = port.access(req);
+    rsp.status.expect_ok("PS preload");
+    ps_cycle_ = rsp.complete;
+  }
+  return ps_cycle_ - start;
+}
+
+void SystemTop::ps_preload_backdoor(Addr dram_offset,
+                                    std::span<const std::uint8_t> bytes) {
+  ddr_.write_bytes(dram_offset, bytes);
+}
+
+void SystemTop::ps_preload_weight_file(const vp::WeightFile& weights) {
+  for (const auto& chunk : weights.chunks) {
+    ddr_.write_bytes(chunk.addr, chunk.bytes);
+  }
+}
+
+}  // namespace nvsoc::soc

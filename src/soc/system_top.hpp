@@ -1,0 +1,66 @@
+// The overall system set-up of Fig. 4 (the Vivado block design):
+//
+//   Zynq PS  ──────────────┐
+//                          ▼
+//   SoC ──► AXI Interconnect (CDC 300 MHz → 100 MHz) ──► AXI SmartConnect
+//                                                             │
+//                                                             ▼
+//                                                      MIG DDR4 ──► DDR
+//
+// The Zynq processing system initialises the DDR4 with the weight file and
+// input image; the SmartConnect then switches the memory over to the SoC,
+// which runs the bare-metal program. The AXI Interconnect reconciles the
+// SoC's 300 MHz fabric clock with the 100 MHz DDR4 user-interface clock.
+#pragma once
+
+#include "bus/smartconnect.hpp"
+#include "mem/mig_ddr4.hpp"
+#include "soc/soc.hpp"
+#include "vp/virtual_platform.hpp"
+
+namespace nvsoc::soc {
+
+struct SystemTopConfig {
+  SocConfig soc;
+  /// Clock of the SoC-side AXI fabric (the paper's block design clocks it
+  /// at 300 MHz). 0 means "same as the SoC clock", which keeps the whole
+  /// PL in one domain — the Table II operating point.
+  Hertz soc_fabric_clock = 0;
+  Hertz ddr_ui_clock = 100 * kMHz;
+  MigTiming mig;
+};
+
+class SystemTop {
+ public:
+  explicit SystemTop(SystemTopConfig config);
+
+  /// Phase 1 (Zynq PS): preload DDR through the PS-side SmartConnect port.
+  /// Word-accurate bus transactions; returns the PS cycles consumed.
+  Cycle ps_preload(Addr dram_offset, std::span<const std::uint8_t> bytes);
+  /// Fast-path preload (PS DMA backdoor) for bulk images.
+  void ps_preload_backdoor(Addr dram_offset,
+                           std::span<const std::uint8_t> bytes);
+  void ps_preload_weight_file(const vp::WeightFile& weights);
+
+  /// Phase 2: flip the SmartConnect to the SoC and run the program.
+  void switch_to_soc() { smartconnect_->select(SmartConnectSelect::kSoc); }
+  void switch_to_ps() { smartconnect_->select(SmartConnectSelect::kZynqPs); }
+
+  Soc& soc() { return *soc_; }
+  Dram& ddr() { return ddr_; }
+  MigDdr4& mig() { return *mig_; }
+  AxiSmartConnect& smartconnect() { return *smartconnect_; }
+  AxiInterconnectCdc& interconnect() { return *cdc_; }
+  const SystemTopConfig& config() const { return config_; }
+
+ private:
+  SystemTopConfig config_;
+  Dram ddr_;
+  std::unique_ptr<MigDdr4> mig_;
+  std::unique_ptr<AxiSmartConnect> smartconnect_;
+  std::unique_ptr<AxiInterconnectCdc> cdc_;
+  std::unique_ptr<Soc> soc_;
+  Cycle ps_cycle_ = 0;
+};
+
+}  // namespace nvsoc::soc

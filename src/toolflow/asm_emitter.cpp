@@ -1,0 +1,67 @@
+#include "toolflow/asm_emitter.hpp"
+
+#include <sstream>
+
+#include "common/strfmt.hpp"
+#include "nvdla/regmap.hpp"
+
+namespace nvsoc::toolflow {
+
+std::string emit_assembly(const ConfigFile& config,
+                          const AsmOptions& options) {
+  std::ostringstream os;
+  os << "# Bare-metal NVDLA control program, generated from a VP trace.\n";
+  os << "# " << config.write_count() << " register writes, "
+     << config.read_count() << " polled reads.\n";
+  os << strfmt(".equ NVDLA_BASE, 0x{:x}\n", options.nvdla_base);
+  os << ".text\n";
+  os << "start:\n";
+
+  std::size_t poll_index = 0;
+  for (const auto& cmd : config.commands) {
+    const Addr cpu_addr = options.nvdla_base + cmd.addr;
+    if (options.annotate) {
+      os << strfmt("    # {} {} = 0x{:08x}\n",
+                   cmd.is_write ? "write" : "poll ",
+                   nvdla::register_name(cmd.addr), cmd.data);
+    }
+    if (cmd.is_write) {
+      os << strfmt("    li t0, 0x{:x}\n", cpu_addr);
+      os << strfmt("    li t1, 0x{:x}\n", cmd.data);
+      os << "    sw t1, 0(t0)\n";
+    } else if (options.wait_mode == WaitMode::kInterrupt) {
+      // Sleep until the NVDLA IRQ wakes the core, then verify the status;
+      // a spurious wake (masked or already-cleared source) sleeps again.
+      os << strfmt("    li t0, 0x{:x}\n", cpu_addr);
+      os << strfmt("    li t1, 0x{:x}\n", cmd.data);
+      os << strfmt("wait_{}:\n", poll_index);
+      os << "    wfi\n";
+      os << "    lw t2, 0(t0)\n";
+      os << strfmt("    bne t2, t1, wait_{}\n", poll_index);
+      ++poll_index;
+    } else {
+      os << strfmt("    li t0, 0x{:x}\n", cpu_addr);
+      os << strfmt("    li t1, 0x{:x}\n", cmd.data);
+      os << strfmt("poll_{}:\n", poll_index);
+      os << "    lw t2, 0(t0)\n";
+      os << strfmt("    bne t2, t1, poll_{}\n", poll_index);
+      ++poll_index;
+    }
+  }
+  os << "    # end of configuration sequence\n";
+  os << "    ebreak\n";
+  return os.str();
+}
+
+BareMetalProgram generate_program(const ConfigFile& config,
+                                  const AsmOptions& options) {
+  BareMetalProgram program;
+  program.assembly = emit_assembly(config, options);
+  rv::Assembler assembler;
+  program.image = assembler.assemble(program.assembly);
+  program.mem_text = program.image.to_mem_text();
+  program.poll_loops = config.read_count();
+  return program;
+}
+
+}  // namespace nvsoc::toolflow

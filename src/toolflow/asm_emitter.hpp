@@ -1,0 +1,55 @@
+// Configuration-file -> RISC-V assembly conversion (Fig. 1, step 2b).
+//
+// Each write_reg becomes a load-immediate + store to the memory-mapped
+// NVDLA register; each read_reg becomes a polling loop that spins until the
+// register matches the expected value recorded in the trace (the interrupt
+// status reads are the layer-completion synchronisation points of the
+// bare-metal program). The program ends with ebreak.
+//
+// The generated source assembles with src/riscv's assembler into the .mem
+// image loaded into the SoC's program memory — the complete substitute for
+// the Linux-kernel driver stack.
+#pragma once
+
+#include <string>
+
+#include "riscv/assembler.hpp"
+#include "toolflow/config_file.hpp"
+
+namespace nvsoc::toolflow {
+
+/// How the generated program waits for NVDLA layer completion.
+enum class WaitMode {
+  /// Busy-poll the register until it matches the expected value (the
+  /// paper's flow).
+  kPoll,
+  /// Sleep in WFI until the NVDLA interrupt line wakes the core, then
+  /// check the register once (extension: lower switching activity on the
+  /// CSB path while the accelerator runs).
+  kInterrupt,
+};
+
+struct AsmOptions {
+  /// CPU-visible base address of the NVDLA register space (the paper's map
+  /// places it at 0x0, so CSB offsets are CPU addresses directly).
+  Addr nvdla_base = 0x0;
+  /// Insert a comment with the symbolic register name next to each command.
+  bool annotate = true;
+  WaitMode wait_mode = WaitMode::kPoll;
+};
+
+struct BareMetalProgram {
+  std::string assembly;       ///< generated .s text
+  rv::AssembledImage image;   ///< assembled machine code
+  std::string mem_text;       ///< Vivado .mem rendering of the image
+  std::size_t poll_loops = 0; ///< number of read_reg polling loops emitted
+};
+
+/// Emit assembly text for a configuration file.
+std::string emit_assembly(const ConfigFile& config, const AsmOptions& options);
+
+/// Emit and assemble in one step.
+BareMetalProgram generate_program(const ConfigFile& config,
+                                  const AsmOptions& options = {});
+
+}  // namespace nvsoc::toolflow

@@ -1,0 +1,149 @@
+#include "toolflow/config_file.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/interval_set.hpp"
+#include "common/strfmt.hpp"
+
+namespace nvsoc::toolflow {
+
+std::size_t ConfigFile::write_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(commands.begin(), commands.end(),
+                    [](const ConfigCommand& c) { return c.is_write; }));
+}
+
+std::size_t ConfigFile::read_count() const {
+  return commands.size() - write_count();
+}
+
+ConfigFile ConfigFile::from_trace(const vp::VpTrace& trace) {
+  ConfigFile file;
+  file.commands.reserve(trace.csb.size());
+  for (const auto& r : trace.csb) {
+    file.commands.push_back({r.is_write, r.addr, r.data});
+  }
+  return file;
+}
+
+namespace {
+
+/// Extract the value of `key=0x...` or `key=N` from a log line.
+std::optional<std::uint64_t> field(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = key + "=";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(start, &end, 0);
+  if (end == start) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::from_log_text(const std::string& log_text) {
+  ConfigFile file;
+  std::istringstream in(log_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("nvdla.csb_adaptor") == std::string::npos) continue;
+    const auto addr = field(line, "addr");
+    const auto data = field(line, "data");
+    const auto iswrite = field(line, "iswrite");
+    if (!addr || !data || !iswrite) {
+      throw std::runtime_error("malformed csb_adaptor line: " + line);
+    }
+    file.commands.push_back({*iswrite != 0, *addr,
+                             static_cast<std::uint32_t>(*data)});
+  }
+  return file;
+}
+
+std::string ConfigFile::to_text() const {
+  std::ostringstream os;
+  os << "# nvsoc configuration file: register command sequence\n";
+  for (const auto& c : commands) {
+    os << strfmt("{} 0x{:08x} 0x{:08x}\n", c.is_write ? "write_reg" : "read_reg",
+                 c.addr, c.data);
+  }
+  return os.str();
+}
+
+ConfigFile ConfigFile::from_text(const std::string& text) {
+  ConfigFile file;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string op;
+    std::string addr_s, data_s;
+    if (!(ls >> op >> addr_s >> data_s)) {
+      throw std::runtime_error("bad config line: " + line);
+    }
+    ConfigCommand cmd;
+    if (op == "write_reg") {
+      cmd.is_write = true;
+    } else if (op == "read_reg") {
+      cmd.is_write = false;
+    } else {
+      throw std::runtime_error("unknown config command: " + op);
+    }
+    cmd.addr = std::stoull(addr_s, nullptr, 0);
+    cmd.data = static_cast<std::uint32_t>(std::stoull(data_s, nullptr, 0));
+    file.commands.push_back(cmd);
+  }
+  return file;
+}
+
+vp::WeightFile weights_from_log_text(const std::string& log_text) {
+  vp::WeightFile wf;
+  IntervalSet seen;
+  std::istringstream in(log_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("nvdla.dbb_adaptor") == std::string::npos) continue;
+    const auto addr = field(line, "addr");
+    const auto len = field(line, "len");
+    const auto iswrite = field(line, "iswrite");
+    if (!addr || !len || !iswrite) {
+      throw std::runtime_error("malformed dbb_adaptor line: " + line);
+    }
+    if (*iswrite != 0) continue;  // reads are the memory fetches
+    const auto data_pos = line.find("data=");
+    if (data_pos == std::string::npos) {
+      throw std::runtime_error("dbb_adaptor read line lacks payload: " + line);
+    }
+    const std::string hex = line.substr(data_pos + 5);
+    if (hex.size() < 2 * *len) {
+      throw std::runtime_error("dbb_adaptor payload shorter than len");
+    }
+    // Duplicate address entries are deleted, retaining the first occurrence
+    // (those carry the original weights).
+    for (const auto& [begin, end] : seen.gaps(*addr, *addr + *len)) {
+      vp::WeightFile::Chunk chunk;
+      chunk.addr = begin;
+      chunk.bytes.reserve(end - begin);
+      for (std::uint64_t b = begin; b < end; ++b) {
+        const std::size_t o = static_cast<std::size_t>(b - *addr) * 2;
+        const auto nibble = [&](char c) -> std::uint8_t {
+          if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+          if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+          if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+          throw std::runtime_error("bad hex in dbb payload");
+        };
+        chunk.bytes.push_back(
+            static_cast<std::uint8_t>((nibble(hex[o]) << 4) | nibble(hex[o + 1])));
+      }
+      wf.chunks.push_back(std::move(chunk));
+      seen.insert(begin, end);
+    }
+  }
+  return wf;
+}
+
+}  // namespace nvsoc::toolflow

@@ -1,0 +1,276 @@
+#include "vp/kmd.hpp"
+
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+#include "nvdla/regmap.hpp"
+
+namespace nvsoc::vp {
+
+using namespace nvsoc::nvdla;
+using compiler::HwOp;
+using compiler::HwOpKind;
+
+namespace {
+
+std::uint32_t precision_bit(Precision p) {
+  return p == Precision::kFp16 ? 1u : 0u;
+}
+
+}  // namespace
+
+Cycle KernelDriver::write_reg(Addr addr, std::uint32_t value, Cycle now) {
+  const CsbResponse rsp =
+      csb_.csb_access({.addr = addr, .is_write = true, .wdata = value,
+                       .start = now});
+  rsp.status.expect_ok("KMD write_reg");
+  ++stats_.reg_writes;
+  return rsp.complete;
+}
+
+std::uint32_t KernelDriver::read_reg(Addr addr, Cycle& now) {
+  const CsbResponse rsp = csb_.csb_access(
+      {.addr = addr, .is_write = false, .wdata = 0, .start = now});
+  rsp.status.expect_ok("KMD read_reg");
+  ++stats_.reg_reads;
+  now = rsp.complete;
+  return rsp.rdata;
+}
+
+Cycle KernelDriver::wait_and_clear(std::uint32_t intr_bits, Cycle now) {
+  // The VP scheduler advances virtual time until the engine raises the
+  // interrupt, then the driver reads the status once (this single read, with
+  // its expected value, is what the trace-to-assembly flow turns into a
+  // polling loop on the bare-metal side).
+  if (const auto next = engine_.next_completion_after(now)) {
+    now = std::max(now, *next);
+  }
+  const std::uint32_t status =
+      read_reg(unit_base(Unit::kGlb) + glb::kIntrStatus, now);
+  if ((status & intr_bits) != intr_bits) {
+    throw std::runtime_error(
+        strfmt("KMD: expected intr bits {:#x}, got {:#x}", intr_bits,
+               status));
+  }
+  now = write_reg(unit_base(Unit::kGlb) + glb::kIntrStatus, status, now);
+  return now;
+}
+
+Cycle KernelDriver::program_conv(const HwOp& op, unsigned group, Cycle now) {
+  const auto& c = op.conv;
+
+  // CDMA
+  const Addr cdma_base = unit_base(Unit::kCdma);
+  now = write_reg(cdma_base + ctrl::kPointer, group, now);
+  now = write_reg(cdma_base + cdma::kDatainFormat,
+                  precision_bit(c.precision), now);
+  now = write_reg(cdma_base + cdma::kDatainSize0,
+                  c.input.dims.w | (c.input.dims.h << 16), now);
+  now = write_reg(cdma_base + cdma::kDatainSize1, c.input.dims.c, now);
+  now = write_reg(cdma_base + cdma::kDainAddr,
+                  static_cast<std::uint32_t>(c.input.base), now);
+  now = write_reg(cdma_base + cdma::kDainLineStride, c.input.line_stride, now);
+  now = write_reg(cdma_base + cdma::kDainSurfStride, c.input.surf_stride, now);
+  now = write_reg(cdma_base + cdma::kWeightAddr,
+                  static_cast<std::uint32_t>(c.weight_addr), now);
+  now = write_reg(cdma_base + cdma::kWeightBytes, c.weight_bytes, now);
+  now = write_reg(cdma_base + cdma::kZeroPadding,
+                  c.pad_left | (c.pad_top << 8) | (c.pad_right << 16) |
+                      (c.pad_bottom << 24),
+                  now);
+  now = write_reg(cdma_base + cdma::kConvStride,
+                  c.stride_x | (c.stride_y << 16), now);
+  now = write_reg(cdma_base + cdma::kPadValue,
+                  static_cast<std::uint32_t>(c.pad_value), now);
+
+  // CSC
+  const Addr csc_base = unit_base(Unit::kCsc);
+  now = write_reg(csc_base + ctrl::kPointer, group, now);
+  now = write_reg(csc_base + csc::kKernelSize,
+                  c.kernel_w | (c.kernel_h << 16), now);
+  now = write_reg(csc_base + csc::kKernelChannels, c.kernel_c, now);
+  now = write_reg(csc_base + csc::kKernelNumber, c.kernel_k, now);
+  now = write_reg(csc_base + csc::kKernelGroups, c.groups, now);
+
+  // CMAC
+  const Addr cmac_base = unit_base(Unit::kCmac);
+  now = write_reg(cmac_base + ctrl::kPointer, group, now);
+  now = write_reg(cmac_base + cmac::kMiscCfg, precision_bit(c.precision),
+                  now);
+
+  // CACC
+  const Addr cacc_base = unit_base(Unit::kCacc);
+  now = write_reg(cacc_base + ctrl::kPointer, group, now);
+  now = write_reg(cacc_base + cacc::kDataoutSize0, c.out_w | (c.out_h << 16),
+                  now);
+  now = write_reg(cacc_base + cacc::kDataoutSize1, c.kernel_k, now);
+  now = write_reg(cacc_base + cacc::kClipTruncate, 0, now);
+
+  // SDP (+RDMA) as the on-the-fly tail.
+  now = program_sdp(op, group, now, /*flying=*/true);
+
+  // Enables: pipeline head to tail; the launch happens at the SDP enable.
+  now = write_reg(cdma_base + ctrl::kOpEnable, 1, now);
+  now = write_reg(csc_base + ctrl::kOpEnable, 1, now);
+  now = write_reg(cmac_base + ctrl::kOpEnable, 1, now);
+  now = write_reg(cacc_base + ctrl::kOpEnable, 1, now);
+  now = write_reg(unit_base(Unit::kSdp) + ctrl::kOpEnable, 1, now);
+
+  return wait_and_clear(glb::intr_bit(glb::IntrSource::kCacc, group) |
+                            glb::intr_bit(glb::IntrSource::kSdp, group),
+                        now);
+}
+
+Cycle KernelDriver::program_sdp(const HwOp& op, unsigned group, Cycle now,
+                                bool flying) {
+  const auto& s = op.sdp;
+
+  const Addr rdma_base = unit_base(Unit::kSdpRdma);
+  now = write_reg(rdma_base + ctrl::kPointer, group, now);
+  now = write_reg(rdma_base + sdp_rdma::kBrdmaAddr,
+                  static_cast<std::uint32_t>(s.operand_addr), now);
+  now = write_reg(rdma_base + sdp_rdma::kBrdmaLineStride,
+                  s.operand_line_stride, now);
+  now = write_reg(rdma_base + sdp_rdma::kBrdmaSurfStride,
+                  s.operand_surf_stride, now);
+  now = write_reg(rdma_base + sdp_rdma::kBrdmaMode,
+                  s.operand_per_element ? 1 : 0, now);
+  now = write_reg(rdma_base + sdp_rdma::kBrdmaPrecision,
+                  precision_bit(s.out_precision), now);
+  now = write_reg(rdma_base + sdp_rdma::kBsAddr,
+                  static_cast<std::uint32_t>(s.bias_addr), now);
+
+  const Addr sdp_base = unit_base(Unit::kSdp);
+  now = write_reg(sdp_base + ctrl::kPointer, group, now);
+  now = write_reg(sdp_base + sdp::kCubeWidth, s.dims.w, now);
+  now = write_reg(sdp_base + sdp::kCubeHeight, s.dims.h, now);
+  now = write_reg(sdp_base + sdp::kCubeChannel, s.dims.c, now);
+  now = write_reg(sdp_base + sdp::kSrcBaseAddr,
+                  static_cast<std::uint32_t>(s.src.base), now);
+  now = write_reg(sdp_base + sdp::kSrcLineStride, s.src.line_stride, now);
+  now = write_reg(sdp_base + sdp::kSrcSurfStride, s.src.surf_stride, now);
+  now = write_reg(sdp_base + sdp::kDstBaseAddr,
+                  static_cast<std::uint32_t>(s.dst.base), now);
+  now = write_reg(sdp_base + sdp::kDstLineStride, s.dst.line_stride, now);
+  now = write_reg(sdp_base + sdp::kDstSurfStride, s.dst.surf_stride, now);
+  now = write_reg(sdp_base + sdp::kOpCfg,
+                  (s.bias_enable ? 1u : 0u) | (s.relu_enable ? 2u : 0u) |
+                      (s.eltwise_enable ? 4u : 0u),
+                  now);
+  now = write_reg(sdp_base + sdp::kCvtScale,
+                  static_cast<std::uint32_t>(s.cvt_scale) & 0xFFFF, now);
+  now = write_reg(sdp_base + sdp::kCvtShift, s.cvt_shift, now);
+  now = write_reg(sdp_base + sdp::kOutPrecision,
+                  precision_bit(s.out_precision), now);
+
+  if (!flying) {
+    now = write_reg(sdp_base + ctrl::kOpEnable, 1, now);
+    now = wait_and_clear(glb::intr_bit(glb::IntrSource::kSdp, group), now);
+  }
+  return now;
+}
+
+Cycle KernelDriver::program_pdp(const HwOp& op, unsigned group, Cycle now) {
+  const auto& p = op.pdp;
+  const Addr base = unit_base(Unit::kPdp);
+  now = write_reg(base + ctrl::kPointer, group, now);
+  now = write_reg(base + pdp::kCubeInWidth, p.src.dims.w, now);
+  now = write_reg(base + pdp::kCubeInHeight, p.src.dims.h, now);
+  now = write_reg(base + pdp::kCubeInChannel, p.src.dims.c, now);
+  now = write_reg(base + pdp::kCubeOutWidth, p.dst.dims.w, now);
+  now = write_reg(base + pdp::kCubeOutHeight, p.dst.dims.h, now);
+  now = write_reg(base + pdp::kKernelCfg,
+                  p.kernel_w | (p.kernel_h << 8) |
+                      ((p.average ? pdp::kModeAvg : pdp::kModeMax) << 16) |
+                      (p.stride_x << 20) | (p.stride_y << 24),
+                  now);
+  now = write_reg(base + pdp::kPaddingCfg,
+                  p.pad_left | (p.pad_top << 8) | (p.pad_right << 16) |
+                      (p.pad_bottom << 24),
+                  now);
+  now = write_reg(base + pdp::kSrcBaseAddr,
+                  static_cast<std::uint32_t>(p.src.base), now);
+  now = write_reg(base + pdp::kSrcLineStride, p.src.line_stride, now);
+  now = write_reg(base + pdp::kSrcSurfStride, p.src.surf_stride, now);
+  now = write_reg(base + pdp::kDstBaseAddr,
+                  static_cast<std::uint32_t>(p.dst.base), now);
+  now = write_reg(base + pdp::kDstLineStride, p.dst.line_stride, now);
+  now = write_reg(base + pdp::kDstSurfStride, p.dst.surf_stride, now);
+  now = write_reg(base + pdp::kPrecision, precision_bit(p.precision), now);
+  now = write_reg(base + ctrl::kOpEnable, 1, now);
+  return wait_and_clear(glb::intr_bit(glb::IntrSource::kPdp, group), now);
+}
+
+Cycle KernelDriver::program_cdp(const HwOp& op, unsigned group, Cycle now) {
+  const auto& c = op.cdp;
+  const Addr base = unit_base(Unit::kCdp);
+  now = write_reg(base + ctrl::kPointer, group, now);
+  now = write_reg(base + cdp::kCubeWidth, c.src.dims.w, now);
+  now = write_reg(base + cdp::kCubeHeight, c.src.dims.h, now);
+  now = write_reg(base + cdp::kCubeChannel, c.src.dims.c, now);
+  now = write_reg(base + cdp::kSrcBaseAddr,
+                  static_cast<std::uint32_t>(c.src.base), now);
+  now = write_reg(base + cdp::kSrcLineStride, c.src.line_stride, now);
+  now = write_reg(base + cdp::kSrcSurfStride, c.src.surf_stride, now);
+  now = write_reg(base + cdp::kDstBaseAddr,
+                  static_cast<std::uint32_t>(c.dst.base), now);
+  now = write_reg(base + cdp::kDstLineStride, c.dst.line_stride, now);
+  now = write_reg(base + cdp::kDstSurfStride, c.dst.surf_stride, now);
+  now = write_reg(base + cdp::kLocalSize, c.local_size, now);
+  now = write_reg(base + cdp::kAlphaQ16, c.alpha_q16, now);
+  now = write_reg(base + cdp::kBetaQ16, c.beta_q16, now);
+  now = write_reg(base + cdp::kKQ16, c.k_q16, now);
+  now = write_reg(base + cdp::kInScaleQ16, c.in_scale_q16, now);
+  now = write_reg(base + cdp::kPrecision, precision_bit(c.precision), now);
+  now = write_reg(base + ctrl::kOpEnable, 1, now);
+  return wait_and_clear(glb::intr_bit(glb::IntrSource::kCdp, group), now);
+}
+
+Cycle KernelDriver::program_bdma(const HwOp& op, unsigned group, Cycle now) {
+  const auto& b = op.bdma;
+  const Addr base = unit_base(Unit::kBdma);
+  now = write_reg(base + ctrl::kPointer, group, now);
+  now = write_reg(base + bdma::kSrcAddr,
+                  static_cast<std::uint32_t>(b.src_addr), now);
+  now = write_reg(base + bdma::kDstAddr,
+                  static_cast<std::uint32_t>(b.dst_addr), now);
+  now = write_reg(base + bdma::kLineSize, b.line_size, now);
+  now = write_reg(base + bdma::kLineRepeat, b.line_repeat, now);
+  now = write_reg(base + bdma::kSrcStride, b.src_stride, now);
+  now = write_reg(base + bdma::kDstStride, b.dst_stride, now);
+  now = write_reg(base + ctrl::kOpEnable, 1, now);
+  return wait_and_clear(glb::intr_bit(glb::IntrSource::kBdma, group), now);
+}
+
+Cycle KernelDriver::run(const compiler::Loadable& loadable, Cycle start) {
+  Cycle now = start;
+  // Unmask all interrupt sources once up front.
+  now = write_reg(unit_base(Unit::kGlb) + glb::kIntrMask, 0, now);
+
+  unsigned layer_index = 0;
+  for (const auto& op : loadable.ops) {
+    const unsigned group = layer_index % nvdla::kNumGroups;
+    switch (op.kind) {
+      case HwOpKind::kConv:
+        now = program_conv(op, group, now);
+        break;
+      case HwOpKind::kSdp:
+        now = program_sdp(op, group, now, /*flying=*/false);
+        break;
+      case HwOpKind::kPdp:
+        now = program_pdp(op, group, now);
+        break;
+      case HwOpKind::kCdp:
+        now = program_cdp(op, group, now);
+        break;
+      case HwOpKind::kBdma:
+        now = program_bdma(op, group, now);
+        break;
+    }
+    ++layer_index;
+    ++stats_.hw_layers;
+  }
+  return now;
+}
+
+}  // namespace nvsoc::vp

@@ -1,0 +1,57 @@
+// Kernel-mode-driver equivalent: programs a compiled Loadable into the
+// NVDLA engine over the CSB, hardware layer by hardware layer, using the
+// ping-pong register groups and the GLB interrupt protocol.
+//
+// This is the software the paper *replaces* on the target (where generated
+// bare-metal assembly performs the same register sequence); here it runs
+// inside the virtual platform to produce the reference execution and the
+// CSB/DBB traces the toolflow converts. Keeping one canonical programming
+// sequence guarantees the VP trace and the SoC-side assembly agree.
+#pragma once
+
+#include "bus/bus_types.hpp"
+#include "compiler/loadable.hpp"
+#include "nvdla/engine.hpp"
+
+namespace nvsoc::vp {
+
+struct KmdStats {
+  std::uint64_t reg_writes = 0;
+  std::uint64_t reg_reads = 0;
+  std::uint64_t hw_layers = 0;
+};
+
+class KernelDriver {
+ public:
+  /// `csb` is the register path (possibly wrapped by a trace recorder);
+  /// `engine` is consulted only to advance virtual time to op completion
+  /// (the VP-scheduler role QEMU+SystemC play in the real platform).
+  KernelDriver(CsbTarget& csb, const nvdla::Nvdla& engine)
+      : csb_(csb), engine_(engine) {}
+
+  /// Execute all hardware layers; returns the cycle after the last
+  /// interrupt was acknowledged.
+  Cycle run(const compiler::Loadable& loadable, Cycle start);
+
+  const KmdStats& stats() const { return stats_; }
+
+ private:
+  Cycle write_reg(Addr addr, std::uint32_t value, Cycle now);
+  std::uint32_t read_reg(Addr addr, Cycle& now);
+
+  Cycle program_conv(const compiler::HwOp& op, unsigned group, Cycle now);
+  Cycle program_sdp(const compiler::HwOp& op, unsigned group, Cycle now,
+                    bool flying);
+  Cycle program_pdp(const compiler::HwOp& op, unsigned group, Cycle now);
+  Cycle program_cdp(const compiler::HwOp& op, unsigned group, Cycle now);
+  Cycle program_bdma(const compiler::HwOp& op, unsigned group, Cycle now);
+
+  /// Wait for `intr_bits` in GLB INTR_STATUS, then W1C-acknowledge them.
+  Cycle wait_and_clear(std::uint32_t intr_bits, Cycle now);
+
+  CsbTarget& csb_;
+  const nvdla::Nvdla& engine_;
+  KmdStats stats_;
+};
+
+}  // namespace nvsoc::vp

@@ -1,0 +1,202 @@
+#include "vp/virtual_platform.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/interval_set.hpp"
+#include "common/strfmt.hpp"
+
+namespace nvsoc::vp {
+
+using nvdla::Nvdla;
+
+// ---------------------------------------------------------------------------
+// VpTrace / WeightFile
+// ---------------------------------------------------------------------------
+
+std::string VpTrace::to_log_text(
+    const std::vector<std::vector<std::uint8_t>>* dbb_payloads) const {
+  std::ostringstream os;
+  os << "# NVDLA virtual platform transaction log\n";
+  for (const auto& r : csb) {
+    os << strfmt("nvdla.csb_adaptor: addr=0x{:08x} data=0x{:08x} iswrite={}\n",
+                 r.addr, r.data, r.is_write ? 1 : 0);
+  }
+  for (std::size_t i = 0; i < dbb.size(); ++i) {
+    const auto& r = dbb[i];
+    os << strfmt("nvdla.dbb_adaptor: addr=0x{:08x} len={} iswrite={}", r.addr,
+                 r.len, r.is_write ? 1 : 0);
+    if (dbb_payloads != nullptr && i < dbb_payloads->size() &&
+        !(*dbb_payloads)[i].empty()) {
+      os << " data=";
+      static constexpr char kHex[] = "0123456789abcdef";
+      for (const std::uint8_t b : (*dbb_payloads)[i]) {
+        os << kHex[b >> 4] << kHex[b & 0xF];
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t WeightFile::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.bytes.size();
+  return total;
+}
+
+std::vector<std::uint8_t> WeightFile::to_bin() const {
+  // Container: [u32 magic][u32 count] then per chunk [u64 addr][u32 len][data].
+  std::vector<std::uint8_t> out;
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto put64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put32(0x4E57u);  // "WN"
+  put32(static_cast<std::uint32_t>(chunks.size()));
+  for (const auto& chunk : chunks) {
+    put64(chunk.addr);
+    put32(static_cast<std::uint32_t>(chunk.bytes.size()));
+    out.insert(out.end(), chunk.bytes.begin(), chunk.bytes.end());
+  }
+  return out;
+}
+
+WeightFile WeightFile::from_bin(std::span<const std::uint8_t> bin) {
+  std::size_t pos = 0;
+  auto get32 = [&]() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bin[pos++]) << (8 * i);
+    return v;
+  };
+  auto get64 = [&]() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bin[pos++]) << (8 * i);
+    return v;
+  };
+  if (bin.size() < 8 || get32() != 0x4E57u) {
+    throw std::runtime_error("weight file: bad magic");
+  }
+  WeightFile wf;
+  const std::uint32_t count = get32();
+  wf.chunks.resize(count);
+  for (auto& chunk : wf.chunks) {
+    chunk.addr = get64();
+    const std::uint32_t len = get32();
+    if (pos + len > bin.size()) {
+      throw std::runtime_error("weight file: truncated");
+    }
+    chunk.bytes.assign(bin.begin() + static_cast<std::ptrdiff_t>(pos),
+                       bin.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return wf;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualPlatform
+// ---------------------------------------------------------------------------
+
+AxiBurstResponse VirtualPlatform::DirectAxiRam::burst(
+    const AxiBurstRequest& req) {
+  // TLM-style: data moves via the backdoor; latency is bandwidth-limited by
+  // the configured DBB width.
+  if (req.is_write) {
+    dram_.write_bytes(req.addr, req.wdata);
+  } else {
+    dram_.read_bytes(req.addr, req.rbuf);
+  }
+  const Cycle beats = ceil_div<Cycle>(req.size_bytes(),
+                                      config_.dbb_bytes_per_cycle());
+  return {Status::ok(), req.start + 1 + beats};
+}
+
+namespace {
+
+/// CSB decorator recording every access with its effective data value.
+class RecordingCsb final : public CsbTarget {
+ public:
+  RecordingCsb(CsbTarget& inner, std::vector<CsbRecord>& out)
+      : inner_(inner), out_(out) {}
+
+  CsbResponse csb_access(const CsbRequest& req) override {
+    const CsbResponse rsp = inner_.csb_access(req);
+    out_.push_back({req.addr, req.is_write ? req.wdata : rsp.rdata,
+                    req.is_write});
+    return rsp;
+  }
+
+ private:
+  CsbTarget& inner_;
+  std::vector<CsbRecord>& out_;
+};
+
+}  // namespace
+
+VirtualPlatform::VirtualPlatform(nvdla::NvdlaConfig config)
+    : config_(std::move(config)) {}
+
+VpRunResult VirtualPlatform::run(const compiler::Loadable& loadable,
+                                 std::span<const float> image,
+                                 bool capture_dbb_payloads) {
+  VpRunResult result;
+  dbb_payloads_.clear();
+
+  Dram dram(align_up(loadable.arena_end + (1u << 20), 1u << 20));
+  DirectAxiRam axi(dram, config_);
+  Nvdla engine(config_, axi);
+
+  // Preload: parameters then the input image (the paper's weight/image .bin
+  // DDR preload, performed by the PS on the board and by the VP here).
+  dram.write_bytes(loadable.weight_base, loadable.weight_blob);
+  const auto input_bytes = loadable.pack_input(image);
+  dram.write_bytes(loadable.input_surface.base, input_bytes);
+
+  // Trace hooks.
+  RecordingCsb csb(engine, result.trace.csb);
+  IntervalSet written;
+  IntervalSet captured;
+  engine.set_dbb_observer([&](bool is_write, Addr addr,
+                              std::span<const std::uint8_t> data) {
+    result.trace.dbb.push_back(
+        {addr, static_cast<std::uint32_t>(data.size()), is_write});
+    if (capture_dbb_payloads) {
+      dbb_payloads_.emplace_back(data.begin(), data.end());
+    }
+    if (is_write) {
+      written.insert(addr, addr + data.size());
+      return;
+    }
+    // Cold reads (never written in this trace) are original weights/input;
+    // keep the first occurrence only.
+    for (const auto& [begin, end] : written.gaps(addr, addr + data.size())) {
+      for (const auto& [cb, ce] : captured.gaps(begin, end)) {
+        WeightFile::Chunk chunk;
+        chunk.addr = cb;
+        chunk.bytes.assign(data.begin() + static_cast<std::ptrdiff_t>(cb - addr),
+                           data.begin() + static_cast<std::ptrdiff_t>(ce - addr));
+        result.weights.chunks.push_back(std::move(chunk));
+        captured.insert(cb, ce);
+      }
+    }
+  });
+
+  // Drive the loadable through the kernel driver.
+  KernelDriver kmd(csb, engine);
+  result.total_cycles = kmd.run(loadable, 0);
+
+  // Harvest the output cube.
+  std::vector<std::uint8_t> raw(loadable.output_surface.span_bytes());
+  dram.read_bytes(loadable.output_surface.base, raw);
+  result.output = loadable.unpack_output(raw);
+
+  result.engine_stats = engine.stats();
+  result.op_records = engine.op_records();
+  result.kmd_stats = kmd.stats();
+  result.dbb_stats = engine.dbb_stats();
+  return result;
+}
+
+}  // namespace nvsoc::vp

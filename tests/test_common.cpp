@@ -1,0 +1,131 @@
+// Unit tests for the common substrate: formatting, bit utilities, fp16,
+// status plumbing and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/bitutil.hpp"
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/strfmt.hpp"
+#include "common/types.hpp"
+
+namespace nvsoc {
+namespace {
+
+TEST(Strfmt, BasicPlaceholders) {
+  EXPECT_EQ(strfmt("a={} b={}", 1, "x"), "a=1 b=x");
+  EXPECT_EQ(strfmt("{:#x}", 255u), "0xff");
+  EXPECT_EQ(strfmt("{:08x}", 0xABCu), "00000abc");
+  EXPECT_EQ(strfmt("{{literal}}"), "{literal}");
+  EXPECT_EQ(strfmt("{:.2f}", 3.14159), "3.14");
+}
+
+TEST(Strfmt, TooFewArgumentsThrows) {
+  EXPECT_THROW(strfmt("{} {}", 1), std::runtime_error);
+}
+
+TEST(BitUtil, AlignHelpers) {
+  EXPECT_EQ(align_up(13, 4), 16u);
+  EXPECT_EQ(align_up(16, 4), 16u);
+  EXPECT_EQ(align_down(13, 4), 12u);
+  EXPECT_TRUE(is_aligned(64, 8));
+  EXPECT_FALSE(is_aligned(65, 8));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(768));
+}
+
+TEST(BitUtil, BitExtraction) {
+  EXPECT_EQ(bits(0xDEADBEEF, 0, 8), 0xEFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 28, 4), 0xDu);
+  EXPECT_EQ(bit(0x80000000u, 31), 1u);
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+}
+
+TEST(BitUtil, Saturation) {
+  EXPECT_EQ(saturate_i8(1000), 127);
+  EXPECT_EQ(saturate_i8(-1000), -128);
+  EXPECT_EQ(saturate_i8(5), 5);
+  EXPECT_EQ(saturate_i32(std::numeric_limits<std::int64_t>::max()), INT32_MAX);
+}
+
+TEST(Fp16, RoundTripExactValues) {
+  // All half-exact values survive a float->half->float round trip.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 65504.0f, -65504.0f,
+                  0.000060975551605224609375f /* denormal max */}) {
+    EXPECT_EQ(half_bits_to_float(float_to_half_bits(v)), v) << v;
+  }
+}
+
+TEST(Fp16, SpecialValues) {
+  EXPECT_EQ(float_to_half_bits(std::numeric_limits<float>::infinity()),
+            0x7C00);
+  EXPECT_EQ(float_to_half_bits(-std::numeric_limits<float>::infinity()),
+            0xFC00);
+  EXPECT_EQ(float_to_half_bits(1e10f), 0x7C00);  // overflow -> inf
+  EXPECT_TRUE(std::isnan(half_bits_to_float(
+      float_to_half_bits(std::numeric_limits<float>::quiet_NaN()))));
+  // Signed zero preserved.
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+}
+
+TEST(Fp16, RelativeErrorWithinHalfUlp) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = (rng.next_float() - 0.5f) * 100.0f;
+    const float back = half_bits_to_float(float_to_half_bits(v));
+    // Half has a 10-bit mantissa: max rel error 2^-11 for normals.
+    EXPECT_NEAR(back, v, std::fabs(v) * (1.0f / 2048.0f) + 1e-7f);
+  }
+}
+
+TEST(Status, CodesAndMessages) {
+  const Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.to_string(), "OK");
+
+  const Status err(StatusCode::kBusError, "decode failed");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.to_string(), "BUS_ERROR: decode failed");
+  EXPECT_THROW(err.expect_ok("ctx"), std::runtime_error);
+}
+
+TEST(Status, ResultHoldsValueOrStatus) {
+  Result<int> good(7);
+  EXPECT_TRUE(good.is_ok());
+  EXPECT_EQ(good.value(), 7);
+
+  Result<int> bad(StatusCode::kNotFound, "missing");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(bad.value(), std::runtime_error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Types, CycleConversions) {
+  EXPECT_DOUBLE_EQ(cycles_to_ms(100'000, 100 * kMHz), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(100 * kMHz, 100 * kMHz), 1.0);
+}
+
+}  // namespace
+}  // namespace nvsoc

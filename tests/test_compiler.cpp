@@ -1,0 +1,342 @@
+// Compiler tests: IR construction and shape inference, reference executor
+// sanity, calibration properties, lowering/fusion structure, quantised
+// output accuracy, loadable serialisation round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "compiler/calibration.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/network.hpp"
+#include "compiler/reference.hpp"
+#include "compiler/weights.hpp"
+#include "vp/virtual_platform.hpp"
+
+namespace nvsoc::compiler {
+namespace {
+
+Network tiny_conv_net() {
+  Network net("tiny", BlobShape{3, 8, 8});
+  ConvParams conv;
+  conv.num_output = 8;
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.pad_h = conv.pad_w = 1;
+  std::string t = net.add_conv("conv1", "data", conv);
+  t = net.add_relu("relu1", t);
+  PoolParams pool;
+  pool.kernel_h = pool.kernel_w = 2;
+  pool.stride_h = pool.stride_w = 2;
+  t = net.add_pool("pool1", t, pool);
+  net.add_inner_product("fc", t, 4);
+  return net;
+}
+
+TEST(Network, ShapeInference) {
+  const Network net = tiny_conv_net();
+  EXPECT_EQ(net.blob_shape("conv1"), (BlobShape{8, 8, 8}));
+  EXPECT_EQ(net.blob_shape("pool1"), (BlobShape{8, 4, 4}));
+  EXPECT_EQ(net.blob_shape("fc"), (BlobShape{4, 1, 1}));
+  EXPECT_EQ(net.layer_count(), 5u);  // data + 4
+  EXPECT_EQ(net.producer_of("pool1"), "pool1");
+  EXPECT_EQ(net.producer_of("data"), std::nullopt);
+}
+
+TEST(Network, RejectsBadGraphs) {
+  Network net("bad", BlobShape{3, 8, 8});
+  EXPECT_THROW(net.add_relu("r", "nonexistent"), std::runtime_error);
+  ConvParams conv;
+  conv.num_output = 7;
+  conv.groups = 2;  // 7 % 2 != 0
+  EXPECT_THROW(net.add_conv("c", "data", conv), std::runtime_error);
+  ConvParams big;
+  big.num_output = 4;
+  big.kernel_h = big.kernel_w = 11;  // larger than padded input
+  EXPECT_THROW(net.add_conv("c2", "data", big), std::runtime_error);
+  net.add_relu("r1", "data");
+  EXPECT_THROW(net.add_relu("r1", "data"), std::runtime_error);  // dup name
+}
+
+TEST(Network, EltwiseRequiresMatchingShapes) {
+  Network net("elt", BlobShape{4, 4, 4});
+  ConvParams conv;
+  conv.num_output = 4;
+  net.add_conv("a", "data", conv);
+  ConvParams other;
+  other.num_output = 8;
+  net.add_conv("b", "data", other);
+  EXPECT_THROW(net.add_eltwise_sum("sum", "a", "b"), std::runtime_error);
+}
+
+TEST(Network, ParameterCountMatchesFormula) {
+  const Network net = tiny_conv_net();
+  // conv1: 8*3*3*3 + 8 ; fc: 4*(8*4*4) + 4
+  EXPECT_EQ(net.parameter_count(), 8u * 27 + 8 + 4u * 128 + 4);
+}
+
+TEST(Reference, ReluAndPoolSemantics) {
+  Network net("mini", BlobShape{1, 2, 2});
+  net.add_relu("relu", "data");
+  NetWeights weights;
+  ReferenceExecutor ref(net, weights);
+  const std::vector<float> input = {-1.0f, 2.0f, -3.0f, 4.0f};
+  const auto out = ref.run_to(input, "relu");
+  EXPECT_EQ(out, (std::vector<float>{0.0f, 2.0f, 0.0f, 4.0f}));
+}
+
+TEST(Reference, SoftmaxSumsToOne) {
+  Network net("soft", BlobShape{4, 1, 1});
+  net.add_softmax("prob", "data");
+  NetWeights weights;
+  ReferenceExecutor ref(net, weights);
+  const std::vector<float> input = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto out = ref.run_to(input);
+  float sum = 0.0f;
+  for (float v : out) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  EXPECT_EQ(argmax(out), 3u);
+}
+
+TEST(Calibration, ScalesCoverActivationRange) {
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 1);
+  const auto input = synthetic_input(net.input_shape(), 2);
+  const auto table = calibrate(net, weights, std::span<const float>(input));
+
+  ReferenceExecutor ref(net, weights);
+  const auto blobs = ref.run(input);
+  for (const auto& [name, tensor] : blobs) {
+    float max_abs = 0.0f;
+    for (float v : tensor) max_abs = std::max(max_abs, std::fabs(v));
+    // scale * 127 >= max_abs (the range is representable).
+    EXPECT_GE(table.blob_scale(name) * 127.0f, max_abs * 0.999f) << name;
+  }
+}
+
+TEST(Calibration, EltwiseGroupsShareScale) {
+  Network net("res", BlobShape{8, 4, 4});
+  ConvParams conv;
+  conv.num_output = 8;
+  conv.kernel_h = conv.kernel_w = 1;
+  net.add_conv("a", "data", conv);
+  net.add_conv("b", "data", conv);
+  net.add_eltwise_sum("sum", "a", "b");
+  net.add_relu("relu", "sum");
+  const NetWeights weights = NetWeights::synthetic(net, 3);
+  const auto input = synthetic_input(net.input_shape(), 4);
+  const auto table = calibrate(net, weights, std::span<const float>(input));
+  EXPECT_EQ(table.blob_scale("a"), table.blob_scale("b"));
+  EXPECT_EQ(table.blob_scale("a"), table.blob_scale("sum"));
+  EXPECT_EQ(table.blob_scale("sum"), table.blob_scale("relu"));
+}
+
+TEST(Calibration, TextRoundTrip) {
+  CalibrationTable table;
+  table.set_blob_scale("data", 0.0123f);
+  table.set_blob_scale("conv1", 0.5f);
+  const auto parsed = CalibrationTable::from_text(table.to_text());
+  EXPECT_FLOAT_EQ(parsed.blob_scale("data"), 0.0123f);
+  EXPECT_FLOAT_EQ(parsed.blob_scale("conv1"), 0.5f);
+}
+
+TEST(Compile, FusesConvBnScaleRelu) {
+  Network net("fuse", BlobShape{4, 8, 8});
+  ConvParams conv;
+  conv.num_output = 8;
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.pad_h = conv.pad_w = 1;
+  std::string t = net.add_conv("conv1", "data", conv);
+  t = net.add_batch_norm("bn1", t);
+  t = net.add_scale("scale1", t);
+  t = net.add_relu("relu1", t);
+
+  const NetWeights weights = NetWeights::synthetic(net, 5);
+  const auto input = synthetic_input(net.input_shape(), 6);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  const Loadable loadable = compile(net, weights, &calib, {});
+
+  // One fused hardware layer.
+  ASSERT_EQ(loadable.ops.size(), 1u);
+  EXPECT_EQ(loadable.ops[0].kind, HwOpKind::kConv);
+  EXPECT_TRUE(loadable.ops[0].sdp.relu_enable);
+  EXPECT_TRUE(loadable.ops[0].sdp.bias_enable);
+  EXPECT_EQ(loadable.ops[0].name, "conv1+bn1+scale1+relu1");
+}
+
+TEST(Compile, ResidualBlockFusesEltwiseIntoSecondBranch) {
+  Network net("res", BlobShape{8, 8, 8});
+  ConvParams conv;
+  conv.num_output = 8;
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.pad_h = conv.pad_w = 1;
+  std::string a = net.add_conv("branch1", "data", conv);
+  std::string b = net.add_conv("branch2", "data", conv);
+  std::string s = net.add_eltwise_sum("sum", a, b);
+  net.add_relu("relu", s);
+
+  const NetWeights weights = NetWeights::synthetic(net, 7);
+  const auto input = synthetic_input(net.input_shape(), 8);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  const Loadable loadable = compile(net, weights, &calib, {});
+
+  ASSERT_EQ(loadable.ops.size(), 2u);
+  EXPECT_EQ(loadable.ops[0].kind, HwOpKind::kConv);   // branch1 materialised
+  EXPECT_FALSE(loadable.ops[0].sdp.eltwise_enable);
+  EXPECT_EQ(loadable.ops[1].kind, HwOpKind::kConv);   // branch2 + sum + relu
+  EXPECT_TRUE(loadable.ops[1].sdp.eltwise_enable);
+  EXPECT_TRUE(loadable.ops[1].sdp.relu_enable);
+  // The eltwise operand is branch1's output cube.
+  EXPECT_EQ(loadable.ops[1].sdp.operand_addr, loadable.ops[0].sdp.dst.base);
+}
+
+TEST(Compile, StandaloneBatchNormRejected) {
+  Network net("bad", BlobShape{4, 4, 4});
+  PoolParams pool;
+  std::string t = net.add_pool("pool", "data", pool);
+  net.add_batch_norm("bn", t);
+  const NetWeights weights = NetWeights::synthetic(net, 9);
+  const auto input = synthetic_input(net.input_shape(), 10);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  EXPECT_THROW(compile(net, weights, &calib, {}), std::runtime_error);
+}
+
+TEST(Compile, Int8RequiresCalibration) {
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 11);
+  EXPECT_THROW(compile(net, weights, nullptr, {}), std::runtime_error);
+}
+
+TEST(Compile, TensorPlacementsDoNotOverlap) {
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 12);
+  const auto input = synthetic_input(net.input_shape(), 13);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  const Loadable loadable = compile(net, weights, &calib, {});
+
+  // Destinations must not overlap each other, the input, or the weights.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> regions;
+  regions.emplace_back(loadable.input_surface.base,
+                       loadable.input_surface.base +
+                           loadable.input_surface.span_bytes());
+  regions.emplace_back(loadable.weight_base,
+                       loadable.weight_base + loadable.weight_blob.size());
+  for (const auto& op : loadable.ops) {
+    const nvdla::SurfaceDesc* dst = nullptr;
+    if (op.kind == HwOpKind::kConv || op.kind == HwOpKind::kSdp) {
+      dst = &op.sdp.dst;
+    } else if (op.kind == HwOpKind::kPdp) {
+      dst = &op.pdp.dst;
+    } else if (op.kind == HwOpKind::kCdp) {
+      dst = &op.cdp.dst;
+    }
+    if (dst != nullptr) {
+      regions.emplace_back(dst->base, dst->base + dst->span_bytes());
+    }
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const bool overlap = regions[i].first < regions[j].second &&
+                           regions[j].first < regions[i].second;
+      EXPECT_FALSE(overlap) << "regions " << i << " and " << j;
+    }
+  }
+  EXPECT_LE(regions.back().second, loadable.arena_end);
+}
+
+TEST(Compile, QuantisedOutputTracksReference) {
+  // Full INT8 round trip on a small network through the VP.
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 14);
+  const auto input = synthetic_input(net.input_shape(), 15);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  const auto cfg = nvdla::NvdlaConfig::small();
+  const Loadable loadable = compile(
+      net, weights, &calib, CompileOptions::for_config(cfg, nvdla::Precision::kInt8));
+
+  vp::VirtualPlatform platform(cfg);
+  const auto result = platform.run(loadable, input);
+
+  ReferenceExecutor ref(net, weights);
+  const auto golden = ref.run_to(input);
+  ASSERT_EQ(result.output.size(), golden.size());
+  float max_abs = 0.0f;
+  for (float v : golden) max_abs = std::max(max_abs, std::fabs(v));
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(result.output[i], golden[i], 0.1f * max_abs + 0.05f) << i;
+  }
+}
+
+TEST(Compile, Fp16OutputIsNearExact) {
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 16);
+  const auto input = synthetic_input(net.input_shape(), 17);
+  const auto cfg = nvdla::NvdlaConfig::full();
+  const Loadable loadable =
+      compile(net, weights, nullptr,
+              CompileOptions::for_config(cfg, nvdla::Precision::kFp16));
+
+  vp::VirtualPlatform platform(cfg);
+  const auto result = platform.run(loadable, input);
+
+  ReferenceExecutor ref(net, weights);
+  const auto golden = ref.run_to(input);
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_NEAR(result.output[i], golden[i],
+                std::fabs(golden[i]) * 0.02f + 0.01f);
+  }
+}
+
+TEST(Loadable, SerialisationRoundTrip) {
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 18);
+  const auto input = synthetic_input(net.input_shape(), 19);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  const Loadable loadable = compile(net, weights, &calib, {});
+
+  const auto bytes = loadable.to_bytes();
+  const Loadable restored = Loadable::from_bytes(bytes);
+  EXPECT_EQ(restored.network_name, loadable.network_name);
+  EXPECT_EQ(restored.weight_blob, loadable.weight_blob);
+  EXPECT_EQ(restored.arena_end, loadable.arena_end);
+  ASSERT_EQ(restored.ops.size(), loadable.ops.size());
+  for (std::size_t i = 0; i < restored.ops.size(); ++i) {
+    EXPECT_EQ(restored.ops[i].kind, loadable.ops[i].kind);
+    EXPECT_EQ(restored.ops[i].name, loadable.ops[i].name);
+    EXPECT_EQ(restored.ops[i].sdp.dst.base, loadable.ops[i].sdp.dst.base);
+    EXPECT_EQ(restored.ops[i].conv.weight_addr,
+              loadable.ops[i].conv.weight_addr);
+  }
+  // A deserialised loadable must execute identically.
+  const auto cfg = nvdla::NvdlaConfig::small();
+  vp::VirtualPlatform p1(cfg), p2(cfg);
+  const auto r1 = p1.run(loadable, input);
+  const auto r2 = p2.run(restored, input);
+  EXPECT_EQ(r1.output, r2.output);
+}
+
+TEST(Loadable, PackUnpackInputOutput) {
+  const Network net = tiny_conv_net();
+  const NetWeights weights = NetWeights::synthetic(net, 20);
+  const auto input = synthetic_input(net.input_shape(), 21);
+  const auto calib = calibrate(net, weights, std::span<const float>(input));
+  const Loadable loadable = compile(net, weights, &calib, {});
+
+  const auto packed = loadable.pack_input(input);
+  EXPECT_EQ(packed.size(), loadable.input_surface.span_bytes());
+  // Quantise-dequantise error bounded by half an LSB of the input scale.
+  nvdla::CubeBuffer cube(loadable.input_surface);
+  std::memcpy(cube.bytes().data(), packed.data(), packed.size());
+  std::size_t i = 0;
+  const auto& dims = loadable.input_surface.dims;
+  for (std::uint32_t c = 0; c < dims.c; ++c) {
+    for (std::uint32_t h = 0; h < dims.h; ++h) {
+      for (std::uint32_t w = 0; w < dims.w; ++w, ++i) {
+        const float back = cube.get(c, h, w) * loadable.input_scale;
+        EXPECT_NEAR(back, input[i], loadable.input_scale * 0.51f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nvsoc::compiler

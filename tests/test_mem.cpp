@@ -1,0 +1,137 @@
+// Memory-model tests: DRAM open-row timing, backdoor IO, program memory
+// .mem loading, and MIG refresh behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/dram.hpp"
+#include "mem/mig_ddr4.hpp"
+#include "mem/program_memory.hpp"
+
+namespace nvsoc {
+namespace {
+
+TEST(Dram, ReadBackWrittenWord) {
+  Dram dram(1 << 20);
+  BusRequest write{.addr = 0x1000, .is_write = true, .wdata = 0xDEADBEEF,
+                   .byte_enable = 0xF, .start = 0};
+  ASSERT_TRUE(dram.access(write).status.is_ok());
+  BusRequest read{.addr = 0x1000, .is_write = false, .wdata = 0,
+                  .byte_enable = 0xF, .start = 100};
+  const BusResponse rsp = dram.access(read);
+  ASSERT_TRUE(rsp.status.is_ok());
+  EXPECT_EQ(rsp.rdata, 0xDEADBEEFu);
+}
+
+TEST(Dram, ByteEnablesWritePartialWord) {
+  Dram dram(1 << 16);
+  BusRequest w1{.addr = 0x0, .is_write = true, .wdata = 0xAABBCCDD,
+                .byte_enable = 0xF, .start = 0};
+  dram.access(w1);
+  BusRequest w2{.addr = 0x0, .is_write = true, .wdata = 0x000000EE,
+                .byte_enable = 0x1, .start = 1};
+  dram.access(w2);
+  BusRequest read{.addr = 0x0, .is_write = false, .wdata = 0,
+                  .byte_enable = 0xF, .start = 2};
+  EXPECT_EQ(dram.access(read).rdata, 0xAABBCCEEu);
+}
+
+TEST(Dram, OpenRowHitIsFasterThanMiss) {
+  DramTiming timing;
+  Dram dram(1 << 20, timing);
+  BusRequest first{.addr = 0x0, .is_write = false, .wdata = 0,
+                   .byte_enable = 0xF, .start = 0};
+  const Cycle miss_latency = dram.access(first).complete;
+  EXPECT_EQ(miss_latency, timing.row_miss);
+
+  BusRequest second{.addr = 0x40, .is_write = false, .wdata = 0,
+                    .byte_enable = 0xF, .start = 100};
+  EXPECT_EQ(dram.access(second).complete - 100, timing.row_hit);
+
+  BusRequest far{.addr = 0x10000, .is_write = false, .wdata = 0,
+                 .byte_enable = 0xF, .start = 200};
+  EXPECT_EQ(dram.access(far).complete - 200, timing.row_miss);
+}
+
+TEST(Dram, OutOfRangeAndUnalignedRejected) {
+  Dram dram(1 << 12);
+  BusRequest beyond{.addr = 1 << 12, .is_write = false, .wdata = 0,
+                    .byte_enable = 0xF, .start = 0};
+  EXPECT_EQ(dram.access(beyond).status.code(), StatusCode::kOutOfRange);
+  BusRequest odd{.addr = 0x2, .is_write = false, .wdata = 0,
+                 .byte_enable = 0xF, .start = 0};
+  EXPECT_EQ(dram.access(odd).status.code(), StatusCode::kUnaligned);
+}
+
+TEST(Dram, BackdoorRoundTripAcrossPages) {
+  Dram dram(1 << 20);
+  Rng rng(5);
+  std::vector<std::uint8_t> blob(10000);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_u32());
+  dram.write_bytes(4090, blob);  // straddles page boundaries
+  std::vector<std::uint8_t> readback(blob.size());
+  dram.read_bytes(4090, readback);
+  EXPECT_EQ(readback, blob);
+  EXPECT_GT(dram.touched_pages(), 2u);
+}
+
+TEST(Dram, UntouchedMemoryReadsZero) {
+  Dram dram(1 << 16);
+  std::vector<std::uint8_t> out(16, 0xFF);
+  dram.read_bytes(0x8000, out);
+  for (auto b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(ProgramMemory, LoadsMemTextAndServesFetches) {
+  ProgramMemory pmem(4096);
+  const std::string mem =
+      "// comment line\n"
+      "00000013\n"      // nop
+      "00100093\n"      // addi ra, zero, 1
+      "@10\n"           // word address 0x10 -> byte 0x40
+      "deadbeef\n";
+  EXPECT_EQ(pmem.load_mem_text(mem), 3u);
+  EXPECT_EQ(pmem.word_at(0x0), 0x00000013u);
+  EXPECT_EQ(pmem.word_at(0x4), 0x00100093u);
+  EXPECT_EQ(pmem.word_at(0x40), 0xDEADBEEFu);
+
+  BusRequest fetch{.addr = 0x4, .is_write = false, .wdata = 0,
+                   .byte_enable = 0xF, .start = 7};
+  const BusResponse rsp = pmem.access(fetch);
+  EXPECT_EQ(rsp.rdata, 0x00100093u);
+  EXPECT_EQ(rsp.complete, 8u);  // single-cycle BRAM
+}
+
+TEST(ProgramMemory, FaultsOutsideImage) {
+  ProgramMemory pmem(64);
+  BusRequest fetch{.addr = 64, .is_write = false, .wdata = 0,
+                   .byte_enable = 0xF, .start = 0};
+  EXPECT_EQ(pmem.access(fetch).status.code(), StatusCode::kBusError);
+}
+
+TEST(MigDdr4, AddsQueueLatency) {
+  Dram dram(1 << 16);
+  MigTiming timing;
+  MigDdr4 mig(dram, timing);
+  BusRequest req{.addr = 0x0, .is_write = false, .wdata = 0,
+                 .byte_enable = 0xF, .start = 0};
+  const BusResponse rsp = mig.access(req);
+  // queue latency + row miss
+  EXPECT_EQ(rsp.complete, timing.queue_latency + DramTiming{}.row_miss);
+}
+
+TEST(MigDdr4, RequestsDuringRefreshAreDeferred) {
+  Dram dram(1 << 16);
+  MigTiming timing;
+  MigDdr4 mig(dram, timing);
+  // Land the request inside the refresh window after the first tREFI.
+  const Cycle inside = timing.refresh_interval + 5 - timing.queue_latency;
+  BusRequest req{.addr = 0x0, .is_write = false, .wdata = 0,
+                 .byte_enable = 0xF, .start = inside};
+  mig.access(req);
+  EXPECT_GT(mig.refresh_stall_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace nvsoc

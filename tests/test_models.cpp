@@ -1,0 +1,119 @@
+// Model-zoo structural tests: layer counts, parameter counts / model sizes
+// against the paper's tables, shapes, and compile-cleanliness of every
+// model on both NVDLA configurations.
+#include <gtest/gtest.h>
+
+#include "compiler/calibration.hpp"
+#include "compiler/compile.hpp"
+#include "models/models.hpp"
+
+namespace nvsoc::models {
+namespace {
+
+using compiler::BlobShape;
+
+TEST(Models, LeNet5MatchesPaperRow) {
+  const auto net = lenet5();
+  // Table II: 9 layers, 1x28x28 input, 1.7 MB model.
+  EXPECT_EQ(net.layer_count(), 9u);
+  EXPECT_EQ(net.input_shape(), (BlobShape{1, 28, 28}));
+  EXPECT_NEAR(net.model_size_bytes() / 1e6, 1.7, 0.1);
+  EXPECT_EQ(net.blob_shape("ip2"), (BlobShape{10, 1, 1}));
+}
+
+TEST(Models, ResNet18MatchesPaperRow) {
+  const auto net = resnet18_cifar();
+  // Table II: 86 layers, 3x32x32 input, ~0.8 MB (INT8 deployment size).
+  EXPECT_NEAR(static_cast<double>(net.layer_count()), 86.0, 2.0);
+  EXPECT_EQ(net.input_shape(), (BlobShape{3, 32, 32}));
+  EXPECT_NEAR(net.parameter_count() / 1e6, 0.8, 0.15);  // INT8 bytes = params
+  EXPECT_EQ(net.blob_shape("fc10"), (BlobShape{10, 1, 1}));
+}
+
+TEST(Models, ResNet50MatchesPaperRow) {
+  const auto net = resnet50();
+  // Table II: 228 layers, 3x224x224, 102.5 MB fp32.
+  EXPECT_EQ(net.layer_count(), 228u);
+  EXPECT_EQ(net.input_shape(), (BlobShape{3, 224, 224}));
+  EXPECT_NEAR(net.model_size_bytes() / 1e6, 102.5, 2.5);
+  EXPECT_EQ(net.blob_shape("fc1000"), (BlobShape{1000, 1, 1}));
+}
+
+TEST(Models, MobileNetMatchesPaperRow) {
+  const auto net = mobilenet();
+  EXPECT_EQ(net.input_shape(), (BlobShape{3, 224, 224}));
+  EXPECT_NEAR(net.model_size_bytes() / 1e6, 17.0, 1.0);  // Table III
+  // Depthwise layers present.
+  bool has_depthwise = false;
+  for (const auto& layer : net.layers()) {
+    if (layer.kind == compiler::LayerKind::kConvolution &&
+        layer.conv.groups > 1) {
+      has_depthwise = true;
+    }
+  }
+  EXPECT_TRUE(has_depthwise);
+}
+
+TEST(Models, GoogleNetMatchesPaperRow) {
+  const auto net = googlenet();
+  EXPECT_EQ(net.input_shape(), (BlobShape{3, 224, 224}));
+  EXPECT_NEAR(net.model_size_bytes() / 1e6, 53.5, 3.0);  // Table III
+  // Inception concat output channels (the canonical GoogLeNet numbers).
+  EXPECT_EQ(net.blob_shape("inception_3a/output").c, 256u);
+  EXPECT_EQ(net.blob_shape("inception_5b/output").c, 1024u);
+  EXPECT_EQ(net.blob_shape("loss3/classifier"), (BlobShape{1000, 1, 1}));
+}
+
+TEST(Models, AlexNetMatchesPaperRow) {
+  const auto net = alexnet();
+  EXPECT_EQ(net.input_shape(), (BlobShape{3, 227, 227}));
+  EXPECT_NEAR(net.model_size_bytes() / 1e6, 243.9, 6.0);  // Table III
+  // Grouped convolutions as in the original.
+  EXPECT_EQ(net.layer("conv2").conv.groups, 2u);
+  EXPECT_EQ(net.layer("conv4").conv.groups, 2u);
+  EXPECT_EQ(net.layer("conv5").conv.groups, 2u);
+  EXPECT_EQ(net.blob_shape("pool5"), (BlobShape{256, 6, 6}));
+}
+
+TEST(Models, ZooOrderingMatchesTables) {
+  const auto& zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 6u);
+  EXPECT_EQ(zoo[0].name, "LeNet-5");
+  EXPECT_EQ(zoo[5].name, "AlexNet");
+  ASSERT_EQ(nv_small_zoo().size(), 3u);
+}
+
+/// Every zoo model must compile for nv_full FP16 without errors (the
+/// Table III set). This catches lowering regressions (concat alignment,
+/// group constraints, fusion patterns) across all six architectures.
+class ZooCompile : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZooCompile, CompilesForNvFullFp16) {
+  const auto& info = model_zoo()[GetParam()];
+  const auto net = info.build();
+  const auto weights = compiler::NetWeights::synthetic(net, 1);
+  const auto cfg = nvdla::NvdlaConfig::full();
+  const auto loadable = compiler::compile(
+      net, weights, nullptr,
+      compiler::CompileOptions::for_config(cfg, nvdla::Precision::kFp16));
+  EXPECT_FALSE(loadable.ops.empty());
+  EXPECT_GT(loadable.weight_blob.size(), net.parameter_count());  // fp16 >= 2B
+  EXPECT_EQ(loadable.output_surface.dims.c,
+            net.blob_shape(loadable.softmax_on_cpu
+                               ? net.layers()[net.layers().size() - 2].top
+                               : net.layers().back().top)
+                .c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooCompile,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u),
+                         [](const auto& info) {
+                           std::string n = model_zoo()[info.param].name;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace nvsoc::models

@@ -1,0 +1,412 @@
+// NVDLA functional-unit tests: convolution / SDP / PDP / CDP math against
+// naive references, INT8 and FP16 paths, grouped convolution, and cycle
+// model properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+#include "nvdla/ops.hpp"
+
+namespace nvsoc::nvdla {
+namespace {
+
+CubeBuffer make_cube_i8(CubeDims dims, Rng& rng, std::uint32_t atom = 8) {
+  CubeBuffer cube(SurfaceDesc::packed(0, dims, Precision::kInt8, atom));
+  for (std::uint32_t c = 0; c < dims.c; ++c) {
+    for (std::uint32_t h = 0; h < dims.h; ++h) {
+      for (std::uint32_t w = 0; w < dims.w; ++w) {
+        cube.set_i8(c, h, w, static_cast<std::int8_t>(rng.next_range(-128, 127)));
+      }
+    }
+  }
+  return cube;
+}
+
+TEST(Surface, OffsetsArePackedAtomLayout) {
+  const SurfaceDesc d =
+      SurfaceDesc::packed(0x1000, {4, 3, 20}, Precision::kInt8, 8);
+  EXPECT_EQ(d.channels_per_atom(), 8u);
+  EXPECT_EQ(d.num_surfaces(), 3u);  // ceil(20/8)
+  EXPECT_EQ(d.line_stride, 4u * 8u);
+  EXPECT_EQ(d.surf_stride, 4u * 8u * 3u);
+  EXPECT_EQ(d.span_bytes(), 3u * d.surf_stride);
+  // element (c=9, h=1, w=2): surface 1, channel 1 within atom
+  EXPECT_EQ(d.offset_of(9, 1, 2), 1u * d.surf_stride + 1u * d.line_stride +
+                                     2u * 8u + 1u);
+}
+
+TEST(Surface, Fp16ElementsAreTwoBytes) {
+  const SurfaceDesc d =
+      SurfaceDesc::packed(0, {2, 2, 16}, Precision::kFp16, 32);
+  EXPECT_EQ(d.channels_per_atom(), 16u);
+  CubeBuffer cube(d);
+  cube.set(5, 1, 1, 2.5f);
+  EXPECT_EQ(cube.get(5, 1, 1), 2.5f);
+}
+
+TEST(Conv, MatchesNaiveReferenceInt8) {
+  Rng rng(11);
+  const CubeDims in_dims{7, 6, 5};
+  CubeBuffer input = make_cube_i8(in_dims, rng);
+
+  ConvOp op;
+  op.precision = Precision::kInt8;
+  op.input = input.desc();
+  op.kernel_w = 3;
+  op.kernel_h = 3;
+  op.kernel_c = 5;
+  op.kernel_k = 4;
+  op.pad_left = op.pad_right = op.pad_top = op.pad_bottom = 1;
+  op.stride_x = op.stride_y = 2;
+  op.out_w = 4;
+  op.out_h = 3;
+
+  std::vector<std::uint8_t> weights(4 * 5 * 3 * 3);
+  for (auto& w : weights) {
+    w = static_cast<std::uint8_t>(rng.next_range(-128, 127));
+  }
+  op.weight_bytes = static_cast<std::uint32_t>(weights.size());
+
+  const ConvAccumulators acc = conv_execute(op, input, weights);
+
+  // Naive reference.
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    for (std::uint32_t oy = 0; oy < 3; ++oy) {
+      for (std::uint32_t ox = 0; ox < 4; ++ox) {
+        std::int64_t expected = 0;
+        for (std::uint32_t c = 0; c < 5; ++c) {
+          for (std::uint32_t r = 0; r < 3; ++r) {
+            for (std::uint32_t s = 0; s < 3; ++s) {
+              const std::int64_t iy = oy * 2 - 1 + r;
+              const std::int64_t ix = ox * 2 - 1 + s;
+              if (iy < 0 || iy >= 6 || ix < 0 || ix >= 7) continue;
+              const auto wv = static_cast<std::int8_t>(
+                  weights[((k * 5 + c) * 3 + r) * 3 + s]);
+              expected += input.get_i8(c, iy, ix) * wv;
+            }
+          }
+        }
+        EXPECT_EQ(acc.i32[acc.index(k, oy, ox)], expected)
+            << k << "," << oy << "," << ox;
+      }
+    }
+  }
+}
+
+TEST(Conv, GroupedConvolutionSlicesChannels) {
+  Rng rng(13);
+  const CubeDims in_dims{4, 4, 6};  // 2 groups x 3 channels
+  CubeBuffer input = make_cube_i8(in_dims, rng);
+
+  ConvOp op;
+  op.input = input.desc();
+  op.kernel_w = op.kernel_h = 1;
+  op.kernel_c = 3;
+  op.kernel_k = 4;  // 2 kernels per group
+  op.groups = 2;
+  op.out_w = 4;
+  op.out_h = 4;
+
+  std::vector<std::uint8_t> weights(4 * 3);
+  for (auto& w : weights) {
+    w = static_cast<std::uint8_t>(rng.next_range(-10, 10));
+  }
+  op.weight_bytes = static_cast<std::uint32_t>(weights.size());
+  const ConvAccumulators acc = conv_execute(op, input, weights);
+
+  // Kernel 3 belongs to group 1 -> reads channels 3..5 only.
+  std::int64_t expected = 0;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    expected += input.get_i8(3 + c, 2, 2) *
+                static_cast<std::int8_t>(weights[3 * 3 + c]);
+  }
+  EXPECT_EQ(acc.i32[acc.index(3, 2, 2)], expected);
+}
+
+TEST(Conv, DepthwiseEqualsPerChannelFilter) {
+  Rng rng(17);
+  const CubeDims in_dims{5, 5, 4};
+  CubeBuffer input = make_cube_i8(in_dims, rng);
+  ConvOp op;
+  op.input = input.desc();
+  op.kernel_w = op.kernel_h = 3;
+  op.kernel_c = 1;
+  op.kernel_k = 4;
+  op.groups = 4;  // depthwise
+  op.pad_left = op.pad_right = op.pad_top = op.pad_bottom = 1;
+  op.out_w = op.out_h = 5;
+  std::vector<std::uint8_t> weights(4 * 9, 0);
+  weights[0 * 9 + 4] = 1;  // identity kernels (center tap)
+  weights[1 * 9 + 4] = 2;
+  weights[2 * 9 + 4] = 3;
+  weights[3 * 9 + 4] = 4;
+  op.weight_bytes = static_cast<std::uint32_t>(weights.size());
+  const ConvAccumulators acc = conv_execute(op, input, weights);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(acc.i32[acc.index(c, 2, 2)],
+              input.get_i8(c, 2, 2) * static_cast<int>(c + 1));
+  }
+}
+
+TEST(Conv, Fp16PathAccumulatesInFloat) {
+  const CubeDims in_dims{2, 2, 1};
+  CubeBuffer input(SurfaceDesc::packed(0, in_dims, Precision::kFp16, 32));
+  input.set(0, 0, 0, 1.5f);
+  input.set(0, 0, 1, -2.0f);
+  input.set(0, 1, 0, 0.25f);
+  input.set(0, 1, 1, 4.0f);
+
+  ConvOp op;
+  op.precision = Precision::kFp16;
+  op.input = input.desc();
+  op.kernel_w = op.kernel_h = 2;
+  op.kernel_c = 1;
+  op.kernel_k = 1;
+  op.out_w = op.out_h = 1;
+  std::vector<std::uint8_t> weights(4 * 2);
+  const float wvals[4] = {1.0f, 0.5f, -1.0f, 0.25f};
+  for (int i = 0; i < 4; ++i) {
+    const std::uint16_t bits = float_to_half_bits(wvals[i]);
+    weights[2 * i] = static_cast<std::uint8_t>(bits);
+    weights[2 * i + 1] = static_cast<std::uint8_t>(bits >> 8);
+  }
+  op.weight_bytes = 8;
+  const ConvAccumulators acc = conv_execute(op, input, weights);
+  EXPECT_FLOAT_EQ(acc.f32[0], 1.5f * 1.0f + (-2.0f) * 0.5f +
+                                  0.25f * (-1.0f) + 4.0f * 0.25f);
+}
+
+TEST(Sdp, BiasCvtReluPipeline) {
+  ConvAccumulators acc;
+  acc.k = 2;
+  acc.h = 1;
+  acc.w = 2;
+  acc.i32 = {100, -300, 50, 1000};
+
+  SdpOp op;
+  op.dims = {2, 1, 2};
+  op.dst = SurfaceDesc::packed(0, op.dims, Precision::kInt8, 8);
+  op.bias_enable = true;
+  op.relu_enable = true;
+  op.cvt_scale = 1024;
+  op.cvt_shift = 12;  // effective multiply by 0.25
+
+  std::vector<std::uint8_t> bias(2 * 4);
+  const std::int32_t biases[2] = {20, -100};
+  std::memcpy(bias.data(), biases, sizeof(biases));
+
+  CubeBuffer out(op.dst);
+  sdp_execute(op, &acc, nullptr, bias, {}, out);
+  // k0: (100+20)*0.25 = 30 ; (-300+20)*0.25 = -70 -> relu -> 0
+  EXPECT_EQ(out.get_i8(0, 0, 0), 30);
+  EXPECT_EQ(out.get_i8(0, 0, 1), 0);
+  // k1: (50-100)*0.25 -> relu 0 ; (1000-100)*0.25 = 225 -> saturate 127
+  EXPECT_EQ(out.get_i8(1, 0, 0), 0);
+  EXPECT_EQ(out.get_i8(1, 0, 1), 127);
+}
+
+TEST(Sdp, EltwiseAddsOperandCube) {
+  ConvAccumulators acc;
+  acc.k = 1;
+  acc.h = 1;
+  acc.w = 2;
+  acc.i32 = {40, -10};
+
+  SdpOp op;
+  op.dims = {2, 1, 1};
+  op.dst = SurfaceDesc::packed(0, op.dims, Precision::kInt8, 8);
+  op.eltwise_enable = true;
+  op.operand_line_stride = op.dst.line_stride;
+  op.operand_surf_stride = op.dst.surf_stride;
+  op.cvt_scale = 1;
+  op.cvt_shift = 0;
+
+  CubeBuffer operand(op.dst);
+  operand.set_i8(0, 0, 0, 5);
+  operand.set_i8(0, 0, 1, -20);
+  CubeBuffer out(op.dst);
+  sdp_execute(op, &acc, nullptr, {}, operand.bytes(), out);
+  EXPECT_EQ(out.get_i8(0, 0, 0), 45);
+  EXPECT_EQ(out.get_i8(0, 0, 1), -30);
+}
+
+TEST(Sdp, MemorySourceMode) {
+  SdpOp op;
+  op.dims = {2, 2, 1};
+  op.src = SurfaceDesc::packed(0, op.dims, Precision::kInt8, 8);
+  op.src.base = 0x100;  // non-zero: memory mode
+  op.dst = SurfaceDesc::packed(0, op.dims, Precision::kInt8, 8);
+  op.relu_enable = true;
+  op.cvt_scale = 1;
+  op.cvt_shift = 0;
+  CubeBuffer src(op.src);
+  src.set_i8(0, 0, 0, -5);
+  src.set_i8(0, 1, 1, 7);
+  CubeBuffer out(op.dst);
+  sdp_execute(op, nullptr, &src, {}, {}, out);
+  EXPECT_EQ(out.get_i8(0, 0, 0), 0);
+  EXPECT_EQ(out.get_i8(0, 1, 1), 7);
+}
+
+TEST(Pdp, MaxAndAveragePooling) {
+  Rng rng(23);
+  const CubeDims in_dims{4, 4, 2};
+  CubeBuffer src = make_cube_i8(in_dims, rng);
+  PdpOp op;
+  op.src = src.desc();
+  op.dst = SurfaceDesc::packed(0, {2, 2, 2}, Precision::kInt8, 8);
+  op.kernel_w = op.kernel_h = 2;
+  op.stride_x = op.stride_y = 2;
+
+  CubeBuffer out(op.dst);
+  pdp_execute(op, src, out);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    for (std::uint32_t oy = 0; oy < 2; ++oy) {
+      for (std::uint32_t ox = 0; ox < 2; ++ox) {
+        std::int32_t expected = -128;
+        for (unsigned r = 0; r < 2; ++r) {
+          for (unsigned s = 0; s < 2; ++s) {
+            expected = std::max<std::int32_t>(
+                expected, src.get_i8(c, oy * 2 + r, ox * 2 + s));
+          }
+        }
+        EXPECT_EQ(out.get_i8(c, oy, ox), expected);
+      }
+    }
+  }
+
+  op.average = true;
+  CubeBuffer avg_out(op.dst);
+  pdp_execute(op, src, avg_out);
+  // Average of window (0,0) channel 0, rounded to nearest.
+  const int sum = src.get_i8(0, 0, 0) + src.get_i8(0, 0, 1) +
+                  src.get_i8(0, 1, 0) + src.get_i8(0, 1, 1);
+  const int expected =
+      sum >= 0 ? (sum + 2) / 4 : -((-sum + 2) / 4);
+  EXPECT_EQ(avg_out.get_i8(0, 0, 0), expected);
+}
+
+TEST(Pdp, PaddingIsExcludedFromWindows) {
+  const CubeDims in_dims{2, 2, 1};
+  CubeBuffer src(SurfaceDesc::packed(0, in_dims, Precision::kInt8, 8));
+  src.set_i8(0, 0, 0, -10);
+  src.set_i8(0, 0, 1, -20);
+  src.set_i8(0, 1, 0, -30);
+  src.set_i8(0, 1, 1, -40);
+  PdpOp op;
+  op.src = src.desc();
+  op.dst = SurfaceDesc::packed(0, {2, 2, 1}, Precision::kInt8, 8);
+  op.kernel_w = op.kernel_h = 3;
+  op.stride_x = op.stride_y = 1;
+  op.pad_left = op.pad_top = op.pad_right = op.pad_bottom = 1;
+  CubeBuffer out(op.dst);
+  pdp_execute(op, src, out);
+  // Max over the in-bounds part of each window (padding must not inject 0).
+  EXPECT_EQ(out.get_i8(0, 0, 0), -10);
+  EXPECT_EQ(out.get_i8(0, 1, 1), -10);
+}
+
+TEST(Cdp, LrnNormalisesAcrossChannels) {
+  const CubeDims dims{1, 1, 8};
+  CubeBuffer src(SurfaceDesc::packed(0, dims, Precision::kFp16, 32));
+  for (std::uint32_t c = 0; c < 8; ++c) src.set(c, 0, 0, 1.0f);
+  CdpOp op;
+  op.precision = Precision::kFp16;
+  op.src = src.desc();
+  op.dst = src.desc();
+  op.local_size = 5;
+  op.alpha_q16 = static_cast<std::uint32_t>(std::lround(0.5 * 65536));
+  op.beta_q16 = static_cast<std::uint32_t>(std::lround(1.0 * 65536));
+  op.k_q16 = 1 << 16;
+  CubeBuffer out(op.dst);
+  cdp_execute(op, src, out);
+  // Middle channel: sum of squares over 5 neighbours = 5;
+  // out = 1 / (1 + 0.5/5*5) = 1/1.5
+  EXPECT_NEAR(out.get(4, 0, 0), 1.0f / 1.5f, 1e-3f);
+  // Edge channel sees only 3 neighbours: 1/(1+0.3)
+  EXPECT_NEAR(out.get(0, 0, 0), 1.0f / 1.3f, 1e-3f);
+}
+
+// --------------------------------------------------------------------------
+// Cycle-model properties
+// --------------------------------------------------------------------------
+
+ConvOp cost_op(std::uint32_t c, std::uint32_t k, std::uint32_t hw,
+               std::uint32_t kernel, std::uint32_t groups = 1) {
+  ConvOp op;
+  op.input = SurfaceDesc::packed(0, {hw, hw, c}, Precision::kInt8, 8);
+  op.kernel_w = op.kernel_h = kernel;
+  op.kernel_c = c / groups;
+  op.kernel_k = k;
+  op.groups = groups;
+  op.out_w = op.out_h = hw;
+  return op;
+}
+
+TEST(CycleModel, MoreMacsIsFaster) {
+  const ConvOp op = cost_op(64, 64, 28, 3);
+  const auto small_cost = conv_cost(NvdlaConfig::small(), op, 1000);
+  auto full = NvdlaConfig::full();
+  full.timing = NvdlaConfig::small().timing;  // isolate the MAC-array effect
+  const auto full_cost = conv_cost(full, op, 1000);
+  EXPECT_GT(small_cost.compute_cycles, full_cost.compute_cycles * 4);
+}
+
+TEST(CycleModel, DepthwiseIsInefficient) {
+  // Same MAC count, depthwise vs dense: depthwise pays the atomic-C padding.
+  const ConvOp dense = cost_op(64, 64, 28, 3);
+  ConvOp dw = cost_op(64, 64, 28, 3, /*groups=*/64);
+  const auto cfg = NvdlaConfig::small();
+  const auto dense_cost = conv_cost(cfg, dense, 1000);
+  const auto dw_cost = conv_cost(cfg, dw, 1000);
+  // Dense does 64x the MACs of depthwise yet costs the same compute time
+  // (depthwise wastes the whole channel dimension, modulo packing).
+  EXPECT_NEAR(static_cast<double>(dw_cost.compute_cycles),
+              static_cast<double>(dense_cost.compute_cycles) /
+                  cfg.timing.grouped_channel_packing,
+              dense_cost.compute_cycles * 0.1);
+}
+
+TEST(CycleModel, LargeInputsPayCbufRestreaming) {
+  // Input larger than half the CBUF is re-streamed per atomic-K slice.
+  const ConvOp small_in = cost_op(16, 128, 16, 3);
+  const ConvOp big_in = cost_op(16, 128, 112, 3);
+  const auto cfg = NvdlaConfig::small();
+  const auto small_cost = conv_cost(cfg, small_in, 1000);
+  const auto big_cost = conv_cost(cfg, big_in, 1000);
+  const std::uint64_t small_input_bytes = 16 * 16 * 16;
+  const std::uint64_t big_input_bytes =
+      static_cast<std::uint64_t>(112) * 112 * 16;
+  EXPECT_LT(small_cost.traffic_bytes,
+            small_input_bytes * 2 + 128 * 16 * 9 + 2000);
+  EXPECT_GT(big_cost.traffic_bytes, big_input_bytes * 10);  // 16 k-slices
+}
+
+TEST(CycleModel, SdpTrafficScalesWithModes) {
+  SdpOp op;
+  op.dims = {16, 16, 32};
+  op.src.base = 0x100;
+  const auto cfg = NvdlaConfig::small();
+  const auto base = sdp_cost(cfg, op);
+  op.eltwise_enable = true;
+  const auto with_elt = sdp_cost(cfg, op);
+  EXPECT_GT(with_elt.traffic_bytes, base.traffic_bytes);
+}
+
+TEST(CycleModel, CdpSerialCostDominates) {
+  CdpOp op;
+  op.src = SurfaceDesc::packed(0, {56, 56, 64}, Precision::kFp16, 32);
+  op.dst = op.src;
+  const auto cfg = NvdlaConfig::full();
+  const auto cost = cdp_cost(cfg, op);
+  EXPECT_EQ(cost.compute_cycles,
+            56ull * 56 * 64 * cfg.timing.cdp_cycles_per_element + 1);
+  EXPECT_GT(cost.compute_cycles, cost.dbb_cycles);
+}
+
+}  // namespace
+}  // namespace nvsoc::nvdla

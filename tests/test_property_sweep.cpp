@@ -1,0 +1,120 @@
+// Property sweep: randomly generated networks through the ENTIRE stack —
+// IR -> calibration -> compile -> VP execution -> toolflow -> generated
+// bare-metal program on the SoC — validated against the FP32 reference on
+// every draw. This is the "arbitrary Caffe-based neural networks" claim of
+// the paper, exercised as a property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/bare_metal_flow.hpp"
+
+namespace nvsoc {
+namespace {
+
+using compiler::BlobShape;
+using compiler::ConvParams;
+using compiler::Network;
+using compiler::PoolParams;
+
+/// Draw a random small network: conv/pool/relu stacks with optional
+/// residual blocks, ending in a classifier.
+Network random_network(Rng& rng, std::uint64_t index) {
+  const std::uint32_t in_c = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  const std::uint32_t in_hw =
+      8 + 2 * static_cast<std::uint32_t>(rng.next_below(5));  // 8..16
+  Network net("random_" + std::to_string(index),
+              BlobShape{in_c, in_hw, in_hw});
+
+  std::string t = "data";
+  const int depth = 2 + static_cast<int>(rng.next_below(3));
+  std::uint32_t channels = in_c;
+  for (int i = 0; i < depth; ++i) {
+    const std::string id = "b" + std::to_string(i);
+    const std::uint32_t out_c =
+        4 + 4 * static_cast<std::uint32_t>(rng.next_below(4));  // 4..16
+    ConvParams conv;
+    conv.num_output = out_c;
+    conv.kernel_h = conv.kernel_w =
+        1 + 2 * static_cast<std::uint32_t>(rng.next_below(2));  // 1 or 3
+    conv.pad_h = conv.pad_w = conv.kernel_h / 2;
+    conv.stride_h = conv.stride_w = 1;
+
+    switch (rng.next_below(3)) {
+      case 0: {  // plain conv [+ relu]
+        t = net.add_conv(id + "_conv", t, conv);
+        if (rng.next_below(2)) t = net.add_relu(id + "_relu", t);
+        break;
+      }
+      case 1: {  // conv + bn + scale + relu
+        conv.bias_term = false;
+        t = net.add_conv(id + "_conv", t, conv);
+        t = net.add_batch_norm(id + "_bn", t);
+        t = net.add_scale(id + "_scale", t);
+        t = net.add_relu(id + "_relu", t);
+        break;
+      }
+      case 2: {  // residual pair over a shared input
+        const std::string a = net.add_conv(id + "_a", t, conv);
+        const std::string b = net.add_conv(id + "_b", t, conv);
+        t = net.add_eltwise_sum(id + "_sum", a, b);
+        t = net.add_relu(id + "_relu", t);
+        break;
+      }
+    }
+    channels = out_c;
+    if (rng.next_below(2) && net.blob_shape(t).h >= 4) {
+      PoolParams pool;
+      pool.method = rng.next_below(2) ? PoolParams::Method::kAve
+                                      : PoolParams::Method::kMax;
+      pool.kernel_h = pool.kernel_w = 2;
+      pool.stride_h = pool.stride_w = 2;
+      t = net.add_pool(id + "_pool", t, pool);
+    }
+  }
+  (void)channels;
+  net.add_inner_product("classifier", t,
+                        4 + static_cast<std::uint32_t>(rng.next_below(8)));
+  return net;
+}
+
+class RandomNetworkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetworkSweep, FullStackAgreesWithReference) {
+  Rng rng(GetParam() * 7919 + 13);
+  const Network net = random_network(rng, GetParam());
+
+  core::FlowConfig config;
+  config.weight_seed = GetParam() * 31 + 1;
+  config.input_seed = GetParam() * 17 + 2;
+  const auto prepared = core::prepare_model(net, config);
+  const auto exec = core::execute_on_soc(prepared, config);
+
+  // 1. SoC output is bit-identical to the VP run.
+  ASSERT_EQ(exec.output.size(), prepared.vp.output.size());
+  EXPECT_EQ(core::max_abs_diff(exec.output, prepared.vp.output), 0.0f);
+
+  // 2. INT8 output tracks the FP32 reference within quantisation error
+  //    (bounded relative to the output's dynamic range).
+  float range = 0.0f;
+  for (float v : prepared.reference_output) {
+    range = std::max(range, std::fabs(v));
+  }
+  const float tolerance = 0.12f * range + 0.05f;
+  for (std::size_t i = 0; i < exec.output.size(); ++i) {
+    EXPECT_NEAR(exec.output[i], prepared.reference_output[i], tolerance)
+        << net.name() << " element " << i;
+  }
+
+  // 3. Structural invariants of the generated program.
+  EXPECT_EQ(exec.cpu.reason, rv::HaltReason::kEbreak);
+  EXPECT_EQ(prepared.program.poll_loops, prepared.config_file.read_count());
+  EXPECT_GE(exec.engine_stats.total_ops(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwelveDraws, RandomNetworkSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace nvsoc

@@ -1,0 +1,217 @@
+// Caffe prototxt front-end tests: parsing the deploy-text format,
+// in-place layers, dropout skipping, error reporting, and write->parse
+// round trips over the whole model zoo.
+#include <gtest/gtest.h>
+
+#include "compiler/prototxt.hpp"
+#include "models/models.hpp"
+
+namespace nvsoc::compiler {
+namespace {
+
+constexpr const char* kLenetPrototxt = R"(
+name: "LeNet"
+input: "data"
+input_dim: 1
+input_dim: 1
+input_dim: 28
+input_dim: 28
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool1"
+  top: "ip1"
+  inner_product_param { num_output: 500 }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "ip1"
+  top: "ip1"      # in-place, as in the real prototxt
+}
+layer {
+  name: "drop1"
+  type: "Dropout"
+  bottom: "ip1"
+  top: "ip1"
+  dropout_param { dropout_ratio: 0.5 }
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip1"
+  top: "ip2"
+  inner_product_param { num_output: 10 }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "ip2"
+  top: "prob"
+}
+)";
+
+TEST(Prototxt, ParsesCaffeLenet) {
+  const Network net = parse_prototxt(kLenetPrototxt);
+  EXPECT_EQ(net.name(), "LeNet");
+  EXPECT_EQ(net.input_shape(), (BlobShape{1, 28, 28}));
+  EXPECT_EQ(net.layer("conv1").conv.num_output, 20u);
+  EXPECT_EQ(net.layer("conv1").conv.kernel_h, 5u);
+  EXPECT_EQ(net.layer("pool1").pool.kernel_w, 2u);
+  // In-place ReLU got a unique top; ip2 consumes it via the alias.
+  EXPECT_EQ(net.layer("ip2").bottoms[0], "relu1");
+  // Dropout skipped entirely (deploy no-op).
+  EXPECT_THROW(net.layer("drop1"), std::runtime_error);
+  EXPECT_EQ(net.blob_shape("ip2"), (BlobShape{10, 1, 1}));
+  EXPECT_EQ(net.layers().back().kind, LayerKind::kSoftmax);
+}
+
+TEST(Prototxt, InputShapeBlockForm) {
+  const Network net = parse_prototxt(R"(
+    name: "n"
+    input: "data"
+    input_shape { dim: 1 dim: 3 dim: 224 dim: 224 }
+    layer {
+      name: "c" type: "Convolution" bottom: "data" top: "c"
+      convolution_param { num_output: 8 kernel_size: 3 pad: 1 }
+    }
+  )");
+  EXPECT_EQ(net.input_shape(), (BlobShape{3, 224, 224}));
+  EXPECT_EQ(net.blob_shape("c"), (BlobShape{8, 224, 224}));
+}
+
+TEST(Prototxt, InputLayerForm) {
+  const Network net = parse_prototxt(R"(
+    layer {
+      name: "data" type: "Input" top: "data"
+      input_param { shape { dim: 1 dim: 2 dim: 8 dim: 8 } }
+    }
+    layer {
+      name: "relu" type: "ReLU" bottom: "data" top: "relu"
+    }
+  )");
+  EXPECT_EQ(net.input_shape(), (BlobShape{2, 8, 8}));
+}
+
+TEST(Prototxt, AsymmetricKernelAndGroups) {
+  const Network net = parse_prototxt(R"(
+    input: "data"
+    input_shape { dim: 1 dim: 4 dim: 10 dim: 12 }
+    layer {
+      name: "c" type: "Convolution" bottom: "data" top: "c"
+      convolution_param {
+        num_output: 8 kernel_h: 3 kernel_w: 5 stride_h: 2 stride_w: 1
+        pad_h: 1 pad_w: 2 group: 2 bias_term: false
+      }
+    }
+  )");
+  const auto& conv = net.layer("c").conv;
+  EXPECT_EQ(conv.kernel_h, 3u);
+  EXPECT_EQ(conv.kernel_w, 5u);
+  EXPECT_EQ(conv.stride_h, 2u);
+  EXPECT_EQ(conv.groups, 2u);
+  EXPECT_FALSE(conv.bias_term);
+  EXPECT_EQ(net.blob_shape("c"), (BlobShape{8, 5, 12}));
+}
+
+TEST(Prototxt, EltwiseAndLrn) {
+  const Network net = parse_prototxt(R"(
+    input: "data"
+    input_shape { dim: 1 dim: 8 dim: 4 dim: 4 }
+    layer { name: "a" type: "Convolution" bottom: "data" top: "a"
+            convolution_param { num_output: 8 kernel_size: 1 } }
+    layer { name: "b" type: "Convolution" bottom: "data" top: "b"
+            convolution_param { num_output: 8 kernel_size: 1 } }
+    layer { name: "sum" type: "Eltwise" bottom: "a" bottom: "b" top: "sum"
+            eltwise_param { operation: SUM } }
+    layer { name: "norm" type: "LRN" bottom: "sum" top: "norm"
+            lrn_param { local_size: 3 alpha: 0.0002 beta: 0.8 } }
+  )");
+  EXPECT_EQ(net.layer("sum").kind, LayerKind::kEltwise);
+  EXPECT_EQ(net.layer("norm").lrn.local_size, 3u);
+  EXPECT_FLOAT_EQ(net.layer("norm").lrn.beta, 0.8f);
+}
+
+TEST(Prototxt, Errors) {
+  EXPECT_THROW(parse_prototxt("layer { name: \"x\" type: \"Foo\" "
+                              "bottom: \"data\" top: \"x\" }"),
+               PrototxtError);  // no input + unsupported type
+  EXPECT_THROW(parse_prototxt(R"(
+    input: "data"
+    input_shape { dim: 1 dim: 1 dim: 4 dim: 4 }
+    layer { name: "x" type: "Wavelet" bottom: "data" top: "x" }
+  )"),
+               PrototxtError);
+  EXPECT_THROW(parse_prototxt(R"(
+    input: "data"
+    input_shape { dim: 1 dim: 1 dim: 4 dim: 4 }
+    layer { name: "c" type: "Convolution" bottom: "data" top: "c" }
+  )"),
+               PrototxtError);  // missing convolution_param
+  EXPECT_THROW(parse_prototxt("input_shape { dim: 1 dim: 2 }"),
+               PrototxtError);  // bad dim count
+  EXPECT_THROW(parse_prototxt("name: \"x"), PrototxtError);  // unterminated
+  // The error message carries a line number.
+  try {
+    parse_prototxt("\n\nlayer { type: \"Bogus\" bottom: \"d\" top: \"t\" }\n"
+                   "input: \"d\"\ninput_shape { dim: 1 dim: 1 dim: 2 "
+                   "dim: 2 }\n");
+    FAIL() << "expected PrototxtError";
+  } catch (const PrototxtError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+/// Write -> parse round trip across the model zoo: the re-parsed network
+/// must have identical structure (layer kinds, shapes, parameter count).
+class PrototxtRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrototxtRoundTrip, ZooModelSurvives) {
+  const auto& info = models::model_zoo()[GetParam()];
+  const Network original = info.build();
+  const std::string text = write_prototxt(original);
+  const Network reparsed = parse_prototxt(text);
+
+  ASSERT_EQ(reparsed.layers().size(), original.layers().size());
+  for (std::size_t i = 0; i < original.layers().size(); ++i) {
+    EXPECT_EQ(reparsed.layers()[i].kind, original.layers()[i].kind) << i;
+    EXPECT_EQ(reparsed.layers()[i].name, original.layers()[i].name) << i;
+    EXPECT_EQ(reparsed.blob_shape(reparsed.layers()[i].top),
+              original.blob_shape(original.layers()[i].top))
+        << i;
+  }
+  EXPECT_EQ(reparsed.parameter_count(), original.parameter_count());
+  EXPECT_EQ(reparsed.input_shape(), original.input_shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PrototxtRoundTrip,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u),
+                         [](const auto& info) {
+                           std::string n =
+                               models::model_zoo()[info.param].name;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace nvsoc::compiler

@@ -1,0 +1,225 @@
+// Assembler tests: labels, directives, pseudo-instruction expansion,
+// expression evaluation, .mem rendering, and error reporting.
+#include <gtest/gtest.h>
+
+#include "mem/program_memory.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/disassembler.hpp"
+#include "riscv/isa.hpp"
+
+namespace nvsoc::rv {
+namespace {
+
+Assembler assembler;
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const auto image = assembler.assemble(R"(
+  start:
+    beq zero, zero, end
+    nop
+  mid:
+    j start
+  end:
+    ebreak
+  )");
+  EXPECT_EQ(image.symbols.at("start"), 0u);
+  EXPECT_EQ(image.symbols.at("mid"), 8u);
+  EXPECT_EQ(image.symbols.at("end"), 12u);
+  // beq at 0 jumps +12, j at 8 jumps -8.
+  EXPECT_EQ(decode(image.word(0)).imm, 12);
+  EXPECT_EQ(decode(image.word(2)).imm, -8);
+}
+
+TEST(Assembler, EquConstantsAndArithmetic) {
+  const auto image = assembler.assemble(R"(
+    .equ NVDLA_BASE, 0x0
+    .equ DRAM_BASE, 0x100000
+    .equ REG, NVDLA_BASE + 0x300C
+    li t0, DRAM_BASE
+    li t1, REG
+    li t2, DRAM_BASE + 16
+    ebreak
+  )");
+  // li DRAM_BASE -> lui+addi; check the reconstructed constant.
+  const Decoded lui = decode(image.word(0));
+  const Decoded addi = decode(image.word(1));
+  EXPECT_EQ(static_cast<std::uint32_t>(lui.imm) +
+                static_cast<std::uint32_t>(addi.imm),
+            0x100000u);
+}
+
+TEST(Assembler, WordDirectiveEmitsData) {
+  const auto image = assembler.assemble(R"(
+    .word 0xDEADBEEF, 42
+    .half 0x1234
+    .byte 1, 2
+    .word label
+  label:
+  )");
+  EXPECT_EQ(image.word(0), 0xDEADBEEFu);
+  EXPECT_EQ(image.word(1), 42u);
+  EXPECT_EQ(image.bytes[8], 0x34);
+  EXPECT_EQ(image.bytes[9], 0x12);
+  EXPECT_EQ(image.bytes[10], 1);
+  EXPECT_EQ(image.bytes[11], 2);
+  EXPECT_EQ(image.word(3), 16u);  // label address after padding-free layout
+}
+
+TEST(Assembler, OrgAndAlignPadWithZeros) {
+  const auto image = assembler.assemble(R"(
+    nop
+    .align 4
+  aligned:
+    nop
+    .org 0x40
+  at40:
+    ebreak
+  )");
+  EXPECT_EQ(image.symbols.at("aligned"), 16u);
+  EXPECT_EQ(image.symbols.at("at40"), 0x40u);
+  EXPECT_EQ(image.word(1), 0u);  // padding
+  EXPECT_EQ(image.bytes.size(), 0x44u);
+}
+
+TEST(Assembler, PseudoInstructionsExpand) {
+  const auto image = assembler.assemble(R"(
+    mv t0, t1
+    not t2, t3
+    neg t4, t5
+    seqz a0, a1
+    snez a2, a3
+    j next
+  next:
+    ret
+  )");
+  EXPECT_EQ(decode(image.word(0)).op, Opcode::kAddi);
+  EXPECT_EQ(decode(image.word(1)).op, Opcode::kXori);
+  EXPECT_EQ(decode(image.word(1)).imm, -1);
+  EXPECT_EQ(decode(image.word(2)).op, Opcode::kSub);
+  EXPECT_EQ(decode(image.word(3)).op, Opcode::kSltiu);
+  EXPECT_EQ(decode(image.word(4)).op, Opcode::kSltu);
+  EXPECT_EQ(decode(image.word(5)).op, Opcode::kJal);
+  EXPECT_EQ(decode(image.word(5)).rd, 0);
+  EXPECT_EQ(decode(image.word(6)).op, Opcode::kJalr);
+}
+
+TEST(Assembler, BranchPseudosSwapOperands) {
+  const auto image = assembler.assemble(R"(
+  top:
+    beqz t0, top
+    bnez t0, top
+    bgt t0, t1, top
+    ble t0, t1, top
+    bgtu t0, t1, top
+    bleu t0, t1, top
+  )");
+  EXPECT_EQ(decode(image.word(0)).op, Opcode::kBeq);
+  EXPECT_EQ(decode(image.word(1)).op, Opcode::kBne);
+  // bgt rs, rt -> blt rt, rs
+  const Decoded bgt = decode(image.word(2));
+  EXPECT_EQ(bgt.op, Opcode::kBlt);
+  EXPECT_EQ(bgt.rs1, 6);  // t1
+  EXPECT_EQ(bgt.rs2, 5);  // t0
+  EXPECT_EQ(decode(image.word(3)).op, Opcode::kBge);
+  EXPECT_EQ(decode(image.word(4)).op, Opcode::kBltu);
+  EXPECT_EQ(decode(image.word(5)).op, Opcode::kBgeu);
+}
+
+TEST(Assembler, HiLoRelocationReconstructsValue) {
+  const auto image = assembler.assemble(R"(
+    .equ TARGET, 0x12345FFC
+    lui t0, %hi(TARGET)
+    addi t0, t0, %lo(TARGET)
+  )");
+  const Decoded lui = decode(image.word(0));
+  const Decoded addi = decode(image.word(1));
+  EXPECT_EQ(static_cast<std::uint32_t>(lui.imm) +
+                static_cast<std::uint32_t>(addi.imm),
+            0x12345FFCu);
+}
+
+TEST(Assembler, LiEdgeValues) {
+  // Sweep the tricky li boundary values through an assemble+decode check.
+  for (std::int64_t value : {0L, 1L, -1L, 2047L, -2048L, 2048L, -2049L,
+                             0x7FFFFFFFL, -0x80000000L, 0x800L, 0xFFFL}) {
+    const auto image = assembler.assemble(
+        "li t0, " + std::to_string(value) + "\nebreak\n");
+    std::uint32_t result;
+    const Decoded first = decode(image.word(0));
+    if (first.op == Opcode::kAddi) {
+      result = static_cast<std::uint32_t>(first.imm);
+    } else {
+      ASSERT_EQ(first.op, Opcode::kLui);
+      const Decoded second = decode(image.word(1));
+      result = static_cast<std::uint32_t>(first.imm) +
+               static_cast<std::uint32_t>(second.imm);
+    }
+    EXPECT_EQ(result, static_cast<std::uint32_t>(value)) << value;
+  }
+}
+
+TEST(Assembler, MemTextRoundTripsThroughProgramMemory) {
+  const auto image = assembler.assemble(R"(
+    li t0, 0x3000
+    sw zero, 0(t0)
+    ebreak
+  )");
+  ProgramMemory pmem(4096);
+  pmem.load_mem_text(image.to_mem_text());
+  for (std::size_t i = 0; i < image.size_words(); ++i) {
+    EXPECT_EQ(pmem.word_at(i * 4), image.word(i));
+  }
+}
+
+TEST(Assembler, ListingTracksSourceLines) {
+  const auto image = assembler.assemble("nop\nnop\nebreak\n");
+  ASSERT_EQ(image.listing.size(), 3u);
+  EXPECT_EQ(image.listing[0].source_line, 1u);
+  EXPECT_EQ(image.listing[2].source_line, 3u);
+  EXPECT_EQ(image.listing[1].address, 4u);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assembler.assemble("bogus t0, t1\n"), AssemblerError);
+  EXPECT_THROW(assembler.assemble("addi t0, t1\n"), AssemblerError);       // arity
+  EXPECT_THROW(assembler.assemble("addi t0, t1, 5000\n"), AssemblerError); // range
+  EXPECT_THROW(assembler.assemble("lw t0, undefined_symbol\n"), AssemblerError);
+  EXPECT_THROW(assembler.assemble("x: nop\nx: nop\n"), AssemblerError);    // dup
+  EXPECT_THROW(assembler.assemble(".org 0x10\nnop\n.org 0x0\n"), AssemblerError);
+  // Error message carries the line number.
+  try {
+    assembler.assemble("nop\nbogus\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const auto image = assembler.assemble(R"(
+    # full-line hash comment
+    // full-line slash comment
+    nop       # trailing comment
+    nop       // trailing comment
+    nop       ; semicolon comment
+  )");
+  EXPECT_EQ(image.size_words(), 3u);
+}
+
+TEST(Assembler, CsrNamesAccepted) {
+  const auto image = assembler.assemble(R"(
+    csrr t0, mstatus
+    csrw mtvec, t1
+    csrr t2, cycle
+    csrrs t3, mie, t4
+    csrrwi t5, mstatus, 5
+  )");
+  EXPECT_EQ(decode(image.word(0)).op, Opcode::kCsrrs);
+  EXPECT_EQ(decode(image.word(0)).csr, csr::kMstatus);
+  EXPECT_EQ(decode(image.word(1)).op, Opcode::kCsrrw);
+  EXPECT_EQ(decode(image.word(2)).csr, csr::kCycle);
+  EXPECT_EQ(decode(image.word(4)).op, Opcode::kCsrrwi);
+}
+
+}  // namespace
+}  // namespace nvsoc::rv

@@ -1,0 +1,293 @@
+// CPU execution tests: instruction semantics, pipeline timing model,
+// memory-mapped IO through a decoder, traps and interrupts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bus/decoder.hpp"
+#include "mem/dram.hpp"
+#include "mem/program_memory.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/cpu.hpp"
+
+namespace nvsoc::rv {
+namespace {
+
+/// Fixture: assemble a program into BRAM, attach a small DRAM as data
+/// memory, run to ebreak.
+class CpuTest : public ::testing::Test {
+ protected:
+  RunResult run_program(const std::string& source,
+                        std::uint64_t max_instructions = 100000) {
+    Assembler assembler;
+    const auto image = assembler.assemble(source);
+    pmem_ = std::make_unique<ProgramMemory>(64 * 1024);
+    pmem_->load_image(0, image.bytes);
+    dram_ = std::make_unique<Dram>(1 << 20);
+    cpu_ = std::make_unique<Cpu>(*pmem_, *dram_);
+    return cpu_->run(max_instructions);
+  }
+
+  std::unique_ptr<ProgramMemory> pmem_;
+  std::unique_ptr<Dram> dram_;
+  std::unique_ptr<Cpu> cpu_;
+};
+
+TEST_F(CpuTest, ArithmeticSequence) {
+  const auto result = run_program(R"(
+    li t0, 10
+    li t1, 32
+    add t2, t0, t1      # 42
+    sub t3, t1, t0      # 22
+    ebreak
+  )");
+  EXPECT_EQ(result.reason, HaltReason::kEbreak);
+  EXPECT_EQ(cpu_->reg(7), 42u);    // t2
+  EXPECT_EQ(cpu_->reg(28), 22u);   // t3
+}
+
+TEST_F(CpuTest, LargeImmediateLoadsViaLuiAddi) {
+  run_program(R"(
+    li t0, 0x12345678
+    li t1, -1
+    li t2, 0xFFFFF800   # lui/addi carry case
+    ebreak
+  )");
+  EXPECT_EQ(cpu_->reg(5), 0x12345678u);
+  EXPECT_EQ(cpu_->reg(6), 0xFFFFFFFFu);
+  EXPECT_EQ(cpu_->reg(7), 0xFFFFF800u);
+}
+
+TEST_F(CpuTest, MemoryRoundTripThroughDataBus) {
+  run_program(R"(
+    li t0, 0x1000
+    li t1, 0xCAFEBABE
+    sw t1, 0(t0)
+    lw t2, 0(t0)
+    lbu t3, 1(t0)       # 0xBA
+    lh  t4, 2(t0)       # 0xFFFFCAFE sign-extended
+    ebreak
+  )");
+  EXPECT_EQ(cpu_->reg(7), 0xCAFEBABEu);
+  EXPECT_EQ(cpu_->reg(28), 0xBAu);
+  EXPECT_EQ(cpu_->reg(29), 0xFFFFCAFEu);
+}
+
+TEST_F(CpuTest, ByteAndHalfStores) {
+  run_program(R"(
+    li t0, 0x2000
+    li t1, -1
+    sw t1, 0(t0)
+    li t2, 0
+    sb t2, 0(t0)
+    li t3, 0x1234
+    sh t3, 2(t0)
+    lw t4, 0(t0)
+    ebreak
+  )");
+  EXPECT_EQ(cpu_->reg(29), 0x1234FF00u);
+}
+
+TEST_F(CpuTest, BranchLoopCountsCorrectly) {
+  const auto result = run_program(R"(
+    li t0, 0          # counter
+    li t1, 100        # bound
+  loop:
+    addi t0, t0, 1
+    bne t0, t1, loop
+    ebreak
+  )");
+  EXPECT_EQ(result.reason, HaltReason::kEbreak);
+  EXPECT_EQ(cpu_->reg(5), 100u);
+  // 2 setup (li small = 1 insn each) + 100 iterations * 2 + ebreak attempt.
+  EXPECT_EQ(result.instructions, 2u + 200u);
+}
+
+TEST_F(CpuTest, TakenBranchCostsFlushPenalty) {
+  // Two programs with identical instruction counts; one takes branches,
+  // the other falls through. The taken version must be slower.
+  const auto fallthrough = run_program(R"(
+    li t0, 1
+    beq zero, t0, skip   # never taken
+    nop
+  skip:
+    ebreak
+  )");
+  const Cycle fall_cycles = fallthrough.cycles;
+
+  const auto taken = run_program(R"(
+    li t0, 0
+    beq zero, t0, skip   # always taken
+    nop
+  skip:
+    ebreak
+  )");
+  EXPECT_EQ(taken.instructions + 1, fallthrough.instructions);
+  EXPECT_GT(taken.cycles + 1, fall_cycles);  // flush penalty visible
+}
+
+TEST_F(CpuTest, LoadUseHazardAddsBubble) {
+  const auto dependent = run_program(R"(
+    li t0, 0x100
+    lw t1, 0(t0)
+    addi t2, t1, 1     # uses load result immediately
+    ebreak
+  )");
+  const auto independent = run_program(R"(
+    li t0, 0x100
+    lw t1, 0(t0)
+    addi t2, t0, 1     # no dependency on the load
+    ebreak
+  )");
+  EXPECT_EQ(dependent.instructions, independent.instructions);
+  EXPECT_EQ(dependent.cycles, independent.cycles + 1);
+}
+
+TEST_F(CpuTest, MulDivSemantics) {
+  run_program(R"(
+    li t0, -7
+    li t1, 3
+    mul t2, t0, t1     # -21
+    div t3, t0, t1     # -2 (trunc)
+    rem t4, t0, t1     # -1
+    li t5, 0
+    div t6, t0, t5     # div by zero -> -1
+    ebreak
+  )");
+  EXPECT_EQ(static_cast<std::int32_t>(cpu_->reg(7)), -21);
+  EXPECT_EQ(static_cast<std::int32_t>(cpu_->reg(28)), -2);
+  EXPECT_EQ(static_cast<std::int32_t>(cpu_->reg(29)), -1);
+  EXPECT_EQ(cpu_->reg(31), 0xFFFFFFFFu);
+}
+
+TEST_F(CpuTest, DivIsSlowerThanAdd) {
+  const auto with_div = run_program(R"(
+    li t0, 100
+    li t1, 7
+    div t2, t0, t1
+    ebreak
+  )");
+  const auto with_add = run_program(R"(
+    li t0, 100
+    li t1, 7
+    add t2, t0, t1
+    ebreak
+  )");
+  EXPECT_EQ(with_div.cycles, with_add.cycles + CpuConfig{}.div_extra_cycles);
+}
+
+TEST_F(CpuTest, JalLinksReturnAddress) {
+  run_program(R"(
+    jal ra, func
+    ebreak
+  func:
+    li a0, 55
+    ret
+  )");
+  // After ret we fall back to ebreak; a0 written by the function.
+  EXPECT_EQ(cpu_->reg(10), 55u);
+}
+
+TEST_F(CpuTest, CsrCycleCounterIncreases) {
+  run_program(R"(
+    csrr t0, cycle
+    nop
+    nop
+    nop
+    csrr t1, cycle
+    ebreak
+  )");
+  EXPECT_GT(cpu_->reg(6), cpu_->reg(5));
+}
+
+TEST_F(CpuTest, EcallWithoutHandlerHalts) {
+  const auto result = run_program("ecall\n");
+  EXPECT_EQ(result.reason, HaltReason::kEcall);
+}
+
+TEST_F(CpuTest, TrapVectorCatchesEcall) {
+  const auto result = run_program(R"(
+    la t0, handler
+    csrw mtvec, t0
+    ecall
+    ebreak           # skipped: handler redirects to done
+  handler:
+    li a0, 99
+    ebreak
+  )");
+  EXPECT_EQ(result.reason, HaltReason::kEbreak);
+  EXPECT_EQ(cpu_->reg(10), 99u);
+  EXPECT_EQ(cpu_->csr_read(csr::kMcause), 11u);  // ecall from M-mode
+}
+
+TEST_F(CpuTest, InvalidInstructionHalts) {
+  Assembler assembler;
+  const auto image = assembler.assemble(".word 0x0\n");
+  pmem_ = std::make_unique<ProgramMemory>(4096);
+  pmem_->load_image(0, image.bytes);
+  dram_ = std::make_unique<Dram>(1 << 16);
+  cpu_ = std::make_unique<Cpu>(*pmem_, *dram_);
+  EXPECT_EQ(cpu_->run().reason, HaltReason::kInvalidInstruction);
+}
+
+TEST_F(CpuTest, BusFaultOnUnmappedDataAccess) {
+  const auto result = run_program(R"(
+    li t0, 0x200000   # beyond the 1 MB test DRAM
+    lw t1, 0(t0)
+    ebreak
+  )");
+  EXPECT_EQ(result.reason, HaltReason::kBusError);
+}
+
+TEST_F(CpuTest, WfiHaltsWithoutIrq) {
+  const auto result = run_program("wfi\nebreak\n");
+  EXPECT_EQ(result.reason, HaltReason::kWfi);
+}
+
+TEST_F(CpuTest, ExternalInterruptVectorsWhenEnabled) {
+  Assembler assembler;
+  const auto image = assembler.assemble(R"(
+    la t0, handler
+    csrw mtvec, t0
+    li t1, 0x800       # MEIE
+    csrw mie, t1
+    li t2, 0x8         # MIE
+    csrw mstatus, t2
+  spin:
+    j spin
+  handler:
+    li a0, 42
+    ebreak
+  )");
+  pmem_ = std::make_unique<ProgramMemory>(4096);
+  pmem_->load_image(0, image.bytes);
+  dram_ = std::make_unique<Dram>(1 << 16);
+  cpu_ = std::make_unique<Cpu>(*pmem_, *dram_);
+
+  // Run some spins, then raise the NVDLA IRQ line.
+  for (int i = 0; i < 20; ++i) ASSERT_EQ(cpu_->step(), HaltReason::kNone);
+  cpu_->set_irq(true);
+  const auto result = cpu_->run(100);
+  EXPECT_EQ(result.reason, HaltReason::kEbreak);
+  EXPECT_EQ(cpu_->reg(10), 42u);
+  EXPECT_EQ(cpu_->csr_read(csr::kMcause), 0x8000000Bu);
+}
+
+TEST_F(CpuTest, StatsCountLoadsStoresBranches) {
+  run_program(R"(
+    li t0, 0x100
+    sw t0, 0(t0)
+    lw t1, 0(t0)
+    beq t0, t1, over
+    nop
+  over:
+    ebreak
+  )");
+  EXPECT_EQ(cpu_->stats().loads, 1u);
+  EXPECT_EQ(cpu_->stats().stores, 1u);
+  EXPECT_EQ(cpu_->stats().branches, 1u);
+  EXPECT_EQ(cpu_->stats().taken_branches, 1u);
+}
+
+}  // namespace
+}  // namespace nvsoc::rv

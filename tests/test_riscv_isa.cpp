@@ -1,0 +1,153 @@
+// Decoder unit tests plus an assembler->decoder round-trip property sweep.
+#include <gtest/gtest.h>
+
+#include "riscv/assembler.hpp"
+#include "riscv/disassembler.hpp"
+#include "riscv/isa.hpp"
+
+namespace nvsoc::rv {
+namespace {
+
+TEST(Decode, KnownEncodings) {
+  // addi x1, x0, 1
+  auto d = decode(0x00100093);
+  EXPECT_EQ(d.op, Opcode::kAddi);
+  EXPECT_EQ(d.rd, 1);
+  EXPECT_EQ(d.rs1, 0);
+  EXPECT_EQ(d.imm, 1);
+
+  // lui x5, 0x12345
+  d = decode(0x123452B7);
+  EXPECT_EQ(d.op, Opcode::kLui);
+  EXPECT_EQ(d.rd, 5);
+  EXPECT_EQ(static_cast<std::uint32_t>(d.imm), 0x12345000u);
+
+  // sw x6, 8(x7)
+  d = decode(0x0063A423);
+  EXPECT_EQ(d.op, Opcode::kSw);
+  EXPECT_EQ(d.rs1, 7);
+  EXPECT_EQ(d.rs2, 6);
+  EXPECT_EQ(d.imm, 8);
+
+  // beq x1, x2, -4
+  d = decode(0xFE208EE3);
+  EXPECT_EQ(d.op, Opcode::kBeq);
+  EXPECT_EQ(d.imm, -4);
+
+  EXPECT_EQ(decode(0x00000073).op, Opcode::kEcall);
+  EXPECT_EQ(decode(0x00100073).op, Opcode::kEbreak);
+  EXPECT_EQ(decode(0x30200073).op, Opcode::kMret);
+  EXPECT_EQ(decode(0x10500073).op, Opcode::kWfi);
+
+  // mul x3, x4, x5
+  d = decode(0x025201B3);
+  EXPECT_EQ(d.op, Opcode::kMul);
+}
+
+TEST(Decode, NegativeImmediates) {
+  // addi x1, x1, -1
+  const auto d = decode(0xFFF08093);
+  EXPECT_EQ(d.op, Opcode::kAddi);
+  EXPECT_EQ(d.imm, -1);
+}
+
+TEST(Decode, InvalidOpcodeRejected) {
+  EXPECT_EQ(decode(0x00000000).op, Opcode::kInvalid);
+  EXPECT_EQ(decode(0xFFFFFFFF).op, Opcode::kInvalid);
+}
+
+TEST(Registers, AbiNamesRoundTrip) {
+  for (unsigned i = 0; i < 32; ++i) {
+    const auto parsed = parse_register(abi_name(i));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, i);
+  }
+  EXPECT_EQ(parse_register("x31"), 31u);
+  EXPECT_EQ(parse_register("fp"), 8u);
+  EXPECT_FALSE(parse_register("x32").has_value());
+  EXPECT_FALSE(parse_register("bogus").has_value());
+}
+
+// Round trip: assemble a representative instruction, decode it, and verify
+// mnemonic and fields survive. Parameterised over the instruction set.
+struct RoundTripCase {
+  const char* source;
+  Opcode op;
+  int rd;
+  int rs1;
+  int rs2;
+  std::int32_t imm;
+};
+
+class IsaRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(IsaRoundTrip, AssembleThenDecode) {
+  const auto& param = GetParam();
+  Assembler assembler;
+  const auto image = assembler.assemble(param.source);
+  ASSERT_EQ(image.size_words(), 1u) << param.source;
+  const Decoded d = decode(image.word(0));
+  EXPECT_EQ(d.op, param.op) << param.source;
+  if (param.rd >= 0) {
+    EXPECT_EQ(d.rd, param.rd) << param.source;
+  }
+  if (param.rs1 >= 0) {
+    EXPECT_EQ(d.rs1, param.rs1) << param.source;
+  }
+  if (param.rs2 >= 0) {
+    EXPECT_EQ(d.rs2, param.rs2) << param.source;
+  }
+  EXPECT_EQ(d.imm, param.imm) << param.source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMajorFormats, IsaRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"addi t0, t1, 42", Opcode::kAddi, 5, 6, -1, 42},
+        RoundTripCase{"addi t0, t1, -2048", Opcode::kAddi, 5, 6, -1, -2048},
+        RoundTripCase{"slti a0, a1, 7", Opcode::kSlti, 10, 11, -1, 7},
+        RoundTripCase{"sltiu a0, a1, 7", Opcode::kSltiu, 10, 11, -1, 7},
+        RoundTripCase{"xori s0, s1, 255", Opcode::kXori, 8, 9, -1, 255},
+        RoundTripCase{"ori s0, s1, 15", Opcode::kOri, 8, 9, -1, 15},
+        RoundTripCase{"andi s0, s1, -16", Opcode::kAndi, 8, 9, -1, -16},
+        RoundTripCase{"slli t2, t3, 5", Opcode::kSlli, 7, 28, -1, 5},
+        RoundTripCase{"srli t2, t3, 31", Opcode::kSrli, 7, 28, -1, 31},
+        RoundTripCase{"srai t2, t3, 1", Opcode::kSrai, 7, 28, -1, 1},
+        RoundTripCase{"add x1, x2, x3", Opcode::kAdd, 1, 2, 3, 0},
+        RoundTripCase{"sub x1, x2, x3", Opcode::kSub, 1, 2, 3, 0},
+        RoundTripCase{"sll x4, x5, x6", Opcode::kSll, 4, 5, 6, 0},
+        RoundTripCase{"slt x4, x5, x6", Opcode::kSlt, 4, 5, 6, 0},
+        RoundTripCase{"sltu x4, x5, x6", Opcode::kSltu, 4, 5, 6, 0},
+        RoundTripCase{"xor x4, x5, x6", Opcode::kXor, 4, 5, 6, 0},
+        RoundTripCase{"srl x4, x5, x6", Opcode::kSrl, 4, 5, 6, 0},
+        RoundTripCase{"sra x4, x5, x6", Opcode::kSra, 4, 5, 6, 0},
+        RoundTripCase{"or x4, x5, x6", Opcode::kOr, 4, 5, 6, 0},
+        RoundTripCase{"and x4, x5, x6", Opcode::kAnd, 4, 5, 6, 0},
+        RoundTripCase{"mul x4, x5, x6", Opcode::kMul, 4, 5, 6, 0},
+        RoundTripCase{"mulh x4, x5, x6", Opcode::kMulh, 4, 5, 6, 0},
+        RoundTripCase{"mulhsu x4, x5, x6", Opcode::kMulhsu, 4, 5, 6, 0},
+        RoundTripCase{"mulhu x4, x5, x6", Opcode::kMulhu, 4, 5, 6, 0},
+        RoundTripCase{"div x4, x5, x6", Opcode::kDiv, 4, 5, 6, 0},
+        RoundTripCase{"divu x4, x5, x6", Opcode::kDivu, 4, 5, 6, 0},
+        RoundTripCase{"rem x4, x5, x6", Opcode::kRem, 4, 5, 6, 0},
+        RoundTripCase{"remu x4, x5, x6", Opcode::kRemu, 4, 5, 6, 0},
+        RoundTripCase{"lw t0, 16(sp)", Opcode::kLw, 5, 2, -1, 16},
+        RoundTripCase{"lb t0, -1(sp)", Opcode::kLb, 5, 2, -1, -1},
+        RoundTripCase{"lh t0, 2(sp)", Opcode::kLh, 5, 2, -1, 2},
+        RoundTripCase{"lbu t0, 3(sp)", Opcode::kLbu, 5, 2, -1, 3},
+        RoundTripCase{"lhu t0, 6(sp)", Opcode::kLhu, 5, 2, -1, 6},
+        RoundTripCase{"sw t0, 16(sp)", Opcode::kSw, -1, 2, 5, 16},
+        RoundTripCase{"sb t0, -4(sp)", Opcode::kSb, -1, 2, 5, -4},
+        RoundTripCase{"sh t0, 8(sp)", Opcode::kSh, -1, 2, 5, 8},
+        RoundTripCase{"jalr ra, 0(t0)", Opcode::kJalr, 1, 5, -1, 0}));
+
+TEST(Disassembler, ProducesReadableText) {
+  Assembler assembler;
+  const auto image = assembler.assemble("sw t0, 12(t1)");
+  EXPECT_EQ(disassemble(image.word(0), 0), "sw t0, 12(t1)");
+  const auto image2 = assembler.assemble("addi a0, a1, -7");
+  EXPECT_EQ(disassemble(image2.word(0), 0), "addi a0, a1, -7");
+}
+
+}  // namespace
+}  // namespace nvsoc::rv

@@ -1,0 +1,221 @@
+// SoC integration tests: the complete bare-metal loop (Fig. 1 + Fig. 2),
+// the Fig. 4 board set-up, bus census sanity, FPGA resource table, and the
+// Linux-baseline shape properties.
+#include <gtest/gtest.h>
+
+#include "baseline/linux_baseline.hpp"
+#include "core/bare_metal_flow.hpp"
+#include "fpga/resources.hpp"
+#include "models/models.hpp"
+
+namespace nvsoc {
+namespace {
+
+/// Prepared LeNet, shared across the suite (preparation runs the whole
+/// offline flow once).
+const core::PreparedModel& prepared_lenet() {
+  static const core::PreparedModel prepared = [] {
+    core::FlowConfig config;
+    return core::prepare_model(models::lenet5(), config);
+  }();
+  return prepared;
+}
+
+TEST(Flow, PreparationProducesAllArtifacts) {
+  const auto& p = prepared_lenet();
+  EXPECT_EQ(p.model_name, "lenet5");
+  EXPECT_FALSE(p.loadable.ops.empty());
+  EXPECT_FALSE(p.config_file.commands.empty());
+  EXPECT_FALSE(p.program.assembly.empty());
+  EXPECT_GT(p.program.image.size_words(), 100u);
+  EXPECT_GT(p.vp.weights.total_bytes(), 400000u);  // ~431k INT8 params
+  EXPECT_EQ(p.reference_output.size(), 10u);
+}
+
+TEST(Flow, SocExecutionMatchesVirtualPlatformBitExactly) {
+  // The central correctness claim: the generated bare-metal program running
+  // on the µRISC-V drives NVDLA to the exact same result as the VP run the
+  // trace was captured from.
+  core::FlowConfig config;
+  const auto exec = core::execute_on_soc(prepared_lenet(), config);
+  EXPECT_EQ(exec.cpu.reason, rv::HaltReason::kEbreak);
+  EXPECT_EQ(core::max_abs_diff(prepared_lenet().vp.output, exec.output),
+            0.0f);
+  EXPECT_EQ(exec.predicted_class,
+            compiler::argmax(prepared_lenet().reference_output));
+}
+
+TEST(Flow, SystemTopMatchesSocFunctionally) {
+  core::FlowConfig config;
+  const auto on_soc = core::execute_on_soc(prepared_lenet(), config);
+  const auto on_top = core::execute_on_system_top(prepared_lenet(), config);
+  EXPECT_EQ(on_soc.output, on_top.output);
+  // The Fig. 4 path (CDC + SmartConnect + MIG) costs extra cycles.
+  EXPECT_GT(on_top.cycles, on_soc.cycles);
+  // ... but within 2x: the fabric is pipelined, not a serial bottleneck.
+  EXPECT_LT(on_top.cycles, on_soc.cycles * 2);
+}
+
+TEST(Flow, LeNetLatencyInPaperBallpark) {
+  core::FlowConfig config;
+  const auto exec = core::execute_on_system_top(prepared_lenet(), config);
+  // Table II: 4.8 ms at 100 MHz. The model must land within 50%.
+  EXPECT_GT(exec.ms, 2.4);
+  EXPECT_LT(exec.ms, 7.2);
+}
+
+TEST(Flow, BusCensusIsConsistent) {
+  core::FlowConfig config;
+  const auto exec = core::execute_on_soc(prepared_lenet(), config);
+  const auto& c = exec.census;
+  // Every CSB transfer went through decoder -> ahb2apb -> apb2csb.
+  EXPECT_EQ(c.ahb2apb.transfers(), c.apb2csb.transfers());
+  EXPECT_GE(c.decoder.transfers(),
+            c.ahb2apb.transfers() + c.ahb2axi.transfers());
+  // All NVDLA data traffic crossed the width converter into the arbiter.
+  EXPECT_EQ(c.width_converter.bytes(), c.dbb.bytes_read + c.dbb.bytes_written);
+  EXPECT_GT(c.arbiter_dbb.grants, 0u);
+  // The config path saw every register write of the configuration file.
+  EXPECT_GE(c.apb2csb.writes,
+            prepared_lenet().config_file.write_count());
+}
+
+TEST(Flow, PollingLoopsSpinUntilCompletion) {
+  core::FlowConfig config;
+  const auto exec = core::execute_on_soc(prepared_lenet(), config);
+  // The CPU must have read the interrupt-status register far more often
+  // than the trace's read_reg count (polling), and branched accordingly.
+  EXPECT_GT(exec.census.apb2csb.reads,
+            prepared_lenet().config_file.read_count() * 10);
+  EXPECT_GT(exec.cpu_stats.taken_branches, 100u);
+}
+
+TEST(Flow, ResNet18Int8EndToEnd) {
+  core::FlowConfig config;
+  const auto prepared = core::prepare_model(models::resnet18_cifar(), config);
+  const auto exec = core::execute_on_system_top(prepared, config);
+  EXPECT_EQ(core::max_abs_diff(prepared.vp.output, exec.output), 0.0f);
+  // Table II: 16.2 ms; require the right order of magnitude and that
+  // ResNet-18 is slower than LeNet-5 (the paper's ordering).
+  EXPECT_GT(exec.ms, 8.0);
+  EXPECT_LT(exec.ms, 33.0);
+  EXPECT_EQ(exec.predicted_class,
+            compiler::argmax(prepared.reference_output));
+}
+
+TEST(Flow, Fp16FullConfigurationOnSoc) {
+  // nv_full is too big for the ZCU102 but the SoC model runs it fine
+  // (the paper's Table III is simulation-only for the same reason).
+  core::FlowConfig config;
+  config.nvdla = nvdla::NvdlaConfig::full();
+  config.precision = nvdla::Precision::kFp16;
+  const auto prepared = core::prepare_model(models::lenet5(), config);
+  const auto exec = core::execute_on_soc(prepared, config);
+  EXPECT_EQ(core::max_abs_diff(prepared.vp.output, exec.output), 0.0f);
+  // FP16 tracks the FP32 reference tightly.
+  EXPECT_LT(core::max_abs_diff(prepared.reference_output, exec.output),
+            0.01f);
+}
+
+
+TEST(Flow, InterruptModeMatchesPollingFunctionally) {
+  // Extension: the generated program can sleep in WFI on the NVDLA IRQ
+  // instead of busy-polling the CSB. Same output, far fewer instructions
+  // and CSB status reads; completion time within a few percent (the wake
+  // is event-accurate).
+  core::FlowConfig poll_config;
+  core::FlowConfig irq_config;
+  irq_config.wait_mode = toolflow::WaitMode::kInterrupt;
+
+  const auto poll_prep = core::prepare_model(models::lenet5(), poll_config);
+  const auto irq_prep = core::prepare_model(models::lenet5(), irq_config);
+  EXPECT_NE(irq_prep.program.assembly.find("wfi"), std::string::npos);
+
+  const auto poll_exec = core::execute_on_soc(poll_prep, poll_config);
+  const auto irq_exec = core::execute_on_soc(irq_prep, irq_config);
+  EXPECT_EQ(poll_exec.output, irq_exec.output);
+  EXPECT_LT(irq_exec.cpu.instructions, poll_exec.cpu.instructions / 4);
+  EXPECT_LT(irq_exec.census.apb2csb.reads, poll_exec.census.apb2csb.reads);
+  // Wall-clock (cycle) difference small: polling granularity vs exact wake.
+  const double ratio = static_cast<double>(irq_exec.cycles) /
+                       static_cast<double>(poll_exec.cycles);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+// ---------------------------------------------------------------------------
+// Table I resource model
+// ---------------------------------------------------------------------------
+
+TEST(Resources, NvSmallRowMatchesTable1Exactly) {
+  const auto r = fpga::estimate_nvdla(nvdla::NvdlaConfig::small());
+  EXPECT_NEAR(r.luts, 74575, 1);
+  EXPECT_NEAR(r.regs, 79567, 1);
+  EXPECT_NEAR(r.carry8, 1569, 1);
+  EXPECT_NEAR(r.f7_muxes, 3091, 1);
+  EXPECT_NEAR(r.f8_muxes, 1048, 1);
+  EXPECT_NEAR(r.clbs, 15734, 1);
+  EXPECT_NEAR(r.bram_tiles, 66, 0.1);
+  EXPECT_NEAR(r.dsps, 32, 0.1);
+}
+
+TEST(Resources, AggregateRowsMatchTable1) {
+  const auto cfg = nvdla::NvdlaConfig::small();
+  const auto soc = fpga::our_soc(cfg);
+  EXPECT_NEAR(soc.luts, 81986, 1);
+  EXPECT_NEAR(soc.regs, 83659, 1);
+  EXPECT_NEAR(soc.bram_tiles, 298, 0.1);
+  EXPECT_NEAR(soc.dsps, 36, 0.1);
+  const auto overall = fpga::overall_system(cfg);
+  EXPECT_NEAR(overall.luts, 96733, 1);
+  EXPECT_NEAR(overall.regs, 102823, 1);
+  EXPECT_NEAR(overall.clbs, 19898, 1);
+  EXPECT_NEAR(overall.bram_tiles, 323.5, 0.1);
+  EXPECT_NEAR(overall.dsps, 39, 0.1);
+}
+
+TEST(Resources, NvSmallFitsNvFullDoesNot) {
+  const auto capacity = fpga::zcu102_capacity();
+  EXPECT_TRUE(fpga::fits(fpga::overall_system(nvdla::NvdlaConfig::small()),
+                         capacity));
+  // The paper: "LUTs overutilization was quite substantial for nv_full".
+  const auto full = fpga::overall_system(nvdla::NvdlaConfig::full());
+  EXPECT_FALSE(fpga::fits(full, capacity));
+  EXPECT_GT(full.luts / capacity.luts, 2.0);
+}
+
+TEST(Resources, UtilizationScalesWithMacs) {
+  auto custom = nvdla::NvdlaConfig::small();
+  const auto base = fpga::estimate_nvdla(custom);
+  custom.atomic_k = 16;  // 128 MACs
+  const auto doubled = fpga::estimate_nvdla(custom);
+  EXPECT_GT(doubled.luts, base.luts);
+  EXPECT_GT(doubled.dsps, base.dsps);
+}
+
+// ---------------------------------------------------------------------------
+// Linux-baseline shape (Table II comparison column)
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, OverheadDominatesSmallModels) {
+  baseline::LinuxDriverBaseline linux_platform;
+  const auto& p = prepared_lenet();
+  const auto est = linux_platform.estimate(p.loadable, p.vp.total_cycles);
+  EXPECT_GT(est.overhead_fraction(), 0.9);  // LeNet: almost all software
+  // Paper: 263 ms on the 50 MHz Linux platform.
+  EXPECT_GT(est.ms, 150.0);
+  EXPECT_LT(est.ms, 400.0);
+}
+
+TEST(Baseline, SpeedupShapeMatchesTable2) {
+  baseline::LinuxDriverBaseline linux_platform;
+  core::FlowConfig config;
+  const auto& p = prepared_lenet();
+  const auto bare = core::execute_on_system_top(p, config);
+  const auto est = linux_platform.estimate(p.loadable, p.vp.total_cycles);
+  // Paper: 4.8 ms vs 263 ms -> ~55x. Require a large one-sided win.
+  EXPECT_GT(est.ms / bare.ms, 20.0);
+}
+
+}  // namespace
+}  // namespace nvsoc

@@ -1,0 +1,179 @@
+// Virtual-platform and toolflow tests: trace capture, the textual VP-log
+// path (parity with the paper's Python scripts), weight extraction
+// (structured vs first-occurrence-dedup), configuration-file round trips
+// and the assembly emitter.
+#include <gtest/gtest.h>
+
+#include "compiler/calibration.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/weights.hpp"
+#include "models/models.hpp"
+#include "nvdla/regmap.hpp"
+#include "riscv/isa.hpp"
+#include "toolflow/asm_emitter.hpp"
+#include "toolflow/config_file.hpp"
+#include "vp/virtual_platform.hpp"
+
+namespace nvsoc {
+namespace {
+
+using compiler::Loadable;
+
+/// Shared LeNet VP run (payload capture on) for all tests in this file.
+struct LenetFixture {
+  compiler::Network net = models::lenet5();
+  compiler::NetWeights weights = compiler::NetWeights::synthetic(net, 42);
+  std::vector<float> input =
+      compiler::synthetic_input(net.input_shape(), 7);
+  compiler::CalibrationTable calib =
+      compiler::calibrate(net, weights, std::span<const float>(input));
+  nvdla::NvdlaConfig cfg = nvdla::NvdlaConfig::small();
+  Loadable loadable = compiler::compile(
+      net, weights, &calib,
+      compiler::CompileOptions::for_config(cfg, nvdla::Precision::kInt8));
+  vp::VirtualPlatform platform{cfg};
+  vp::VpRunResult result =
+      platform.run(loadable, input, /*capture_dbb_payloads=*/true);
+};
+
+LenetFixture& fixture() {
+  static LenetFixture f;
+  return f;
+}
+
+TEST(Vp, TraceContainsBothAdaptorStreams) {
+  auto& f = fixture();
+  EXPECT_GT(f.result.trace.csb.size(), 100u);
+  EXPECT_GT(f.result.trace.dbb.size(), 100u);
+  EXPECT_GT(f.result.total_cycles, 0u);
+  // Every hardware layer produced at least one interrupt-status read.
+  EXPECT_GE(f.result.kmd_stats.reg_reads, f.loadable.ops.size());
+  EXPECT_EQ(f.result.kmd_stats.hw_layers, f.loadable.ops.size());
+}
+
+TEST(Vp, WeightFileCoversParametersAndInput) {
+  auto& f = fixture();
+  // The weight file holds everything read before being written: parameters
+  // plus the preloaded input image.
+  const std::uint64_t expected_min =
+      f.loadable.weight_blob.size() + f.loadable.input_surface.span_bytes();
+  EXPECT_GE(f.result.weights.total_bytes(), expected_min * 9 / 10);
+  // And no chunk may cover produced-then-read activation data: replaying
+  // the weight file and rerunning must give identical output.
+  vp::VirtualPlatform replat(f.cfg);
+  auto rerun = replat.run(f.loadable, f.input);
+  EXPECT_EQ(rerun.output, f.result.output);
+}
+
+TEST(Vp, WeightFileBinRoundTrip) {
+  auto& f = fixture();
+  const auto bin = f.result.weights.to_bin();
+  const auto restored = vp::WeightFile::from_bin(bin);
+  ASSERT_EQ(restored.chunks.size(), f.result.weights.chunks.size());
+  for (std::size_t i = 0; i < restored.chunks.size(); ++i) {
+    EXPECT_EQ(restored.chunks[i].addr, f.result.weights.chunks[i].addr);
+    EXPECT_EQ(restored.chunks[i].bytes, f.result.weights.chunks[i].bytes);
+  }
+}
+
+TEST(Vp, LogTextHasAdaptorKeywords) {
+  auto& f = fixture();
+  const std::string log = f.result.trace.to_log_text();
+  EXPECT_NE(log.find("nvdla.csb_adaptor"), std::string::npos);
+  EXPECT_NE(log.find("nvdla.dbb_adaptor"), std::string::npos);
+  EXPECT_NE(log.find("iswrite=1"), std::string::npos);
+  EXPECT_NE(log.find("iswrite=0"), std::string::npos);
+}
+
+TEST(Toolflow, ConfigFromTraceAndFromLogAgree) {
+  auto& f = fixture();
+  const auto structured =
+      toolflow::ConfigFile::from_trace(f.result.trace);
+  const auto textual = toolflow::ConfigFile::from_log_text(
+      f.result.trace.to_log_text());
+  ASSERT_EQ(structured.commands.size(), textual.commands.size());
+  for (std::size_t i = 0; i < structured.commands.size(); ++i) {
+    EXPECT_EQ(structured.commands[i].is_write, textual.commands[i].is_write);
+    EXPECT_EQ(structured.commands[i].addr, textual.commands[i].addr);
+    EXPECT_EQ(structured.commands[i].data, textual.commands[i].data);
+  }
+}
+
+TEST(Toolflow, WeightExtractionFromLogMatchesStructured) {
+  auto& f = fixture();
+  const std::string log =
+      f.result.trace.to_log_text(&f.platform.last_dbb_payloads());
+  const auto from_log = toolflow::weights_from_log_text(log);
+  // The textual path (paper's script: reads, first occurrence kept) must
+  // cover at least everything the structured read-before-write extractor
+  // found, with identical bytes at each covered address.
+  EXPECT_GE(from_log.total_bytes(), f.result.weights.total_bytes());
+  // Index the log-derived bytes and compare.
+  std::map<std::uint64_t, std::uint8_t> log_bytes;
+  for (const auto& chunk : from_log.chunks) {
+    for (std::size_t i = 0; i < chunk.bytes.size(); ++i) {
+      log_bytes[chunk.addr + i] = chunk.bytes[i];
+    }
+  }
+  for (const auto& chunk : f.result.weights.chunks) {
+    for (std::size_t i = 0; i < chunk.bytes.size(); ++i) {
+      const auto it = log_bytes.find(chunk.addr + i);
+      ASSERT_NE(it, log_bytes.end());
+      EXPECT_EQ(it->second, chunk.bytes[i]);
+    }
+  }
+}
+
+TEST(Toolflow, ConfigFileTextRoundTrip) {
+  toolflow::ConfigFile file;
+  file.commands = {{true, 0x4018, 0xDEAD}, {false, 0x000C, 0x3}};
+  const auto parsed = toolflow::ConfigFile::from_text(file.to_text());
+  ASSERT_EQ(parsed.commands.size(), 2u);
+  EXPECT_TRUE(parsed.commands[0].is_write);
+  EXPECT_EQ(parsed.commands[0].addr, 0x4018u);
+  EXPECT_EQ(parsed.commands[0].data, 0xDEADu);
+  EXPECT_FALSE(parsed.commands[1].is_write);
+  EXPECT_EQ(file.write_count(), 1u);
+  EXPECT_EQ(file.read_count(), 1u);
+}
+
+TEST(Toolflow, AsmEmitterStructure) {
+  toolflow::ConfigFile file;
+  file.commands = {{true, 0xA030, 0x7},     // write_reg
+                   {false, 0x000C, 0x3}};   // read_reg -> poll loop
+  const auto program = toolflow::generate_program(file);
+  EXPECT_EQ(program.poll_loops, 1u);
+  EXPECT_NE(program.assembly.find("sw t1, 0(t0)"), std::string::npos);
+  EXPECT_NE(program.assembly.find("poll_0:"), std::string::npos);
+  EXPECT_NE(program.assembly.find("bne t2, t1, poll_0"), std::string::npos);
+  EXPECT_NE(program.assembly.find("ebreak"), std::string::npos);
+  // Annotations carry symbolic register names.
+  EXPECT_NE(program.assembly.find("sdp.d_op_cfg"), std::string::npos);
+  EXPECT_NE(program.assembly.find("glb.s_intr_status"), std::string::npos);
+  // The image ends with ebreak.
+  const std::uint32_t last = program.image.word(program.image.size_words() - 1);
+  EXPECT_EQ(rv::decode(last).op, rv::Opcode::kEbreak);
+}
+
+TEST(Toolflow, GeneratedProgramSizeTracksCommandCount) {
+  auto& f = fixture();
+  const auto config = toolflow::ConfigFile::from_trace(f.result.trace);
+  const auto program = toolflow::generate_program(config);
+  // Each write_reg is <= 5 words, each read_reg <= 6 words, + ebreak.
+  EXPECT_LE(program.image.size_words(),
+            config.write_count() * 5 + config.read_count() * 6 + 1);
+  EXPECT_GT(program.image.size_words(), config.commands.size());
+}
+
+TEST(Toolflow, MalformedLogLinesRejected) {
+  EXPECT_THROW(toolflow::ConfigFile::from_log_text(
+                   "nvdla.csb_adaptor: addr=0x10 iswrite=1\n"),
+               std::runtime_error);
+  EXPECT_THROW(toolflow::ConfigFile::from_text("write_reg 0x10\n"),
+               std::runtime_error);
+  EXPECT_THROW(toolflow::ConfigFile::from_text("bogus_cmd 0x1 0x2\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nvsoc
