@@ -5,67 +5,93 @@
 // speedup of the bare-metal flow for each Table II model, showing that the
 // headline 50x on LeNet-5 is an overhead-amortisation effect that shrinks
 // to ~2x for accelerator-bound ResNet-50 — the core claim of the paper.
+// The sweep registers one LinuxBaselineBackend per overhead configuration
+// in a private BackendRegistry — the multi-backend API at work.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "baseline/linux_baseline.hpp"
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/backends.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
 int main() {
   bench::print_header("Ablation A: bare-metal speedup vs Linux driver-stack "
                       "overhead decomposition");
+  bench::JsonReport report("ablation_baremetal");
 
   // Prepare the two light Table II models (ResNet-50 takes minutes; its
   // scaling is shown analytically from its hardware-layer count below).
   struct Point {
     std::string name;
-    core::PreparedModel prepared;
+    std::unique_ptr<runtime::InferenceSession> session;
     double bare_ms;
   };
   std::vector<Point> points;
   for (const auto& info :
        {models::nv_small_zoo()[0], models::nv_small_zoo()[1]}) {
-    core::FlowConfig config;
-    auto prepared = core::prepare_model(info.build(), config);
-    const auto exec = core::execute_on_system_top(prepared, config);
-    points.push_back({info.name, std::move(prepared), exec.ms});
+    auto session = std::make_unique<runtime::InferenceSession>(info.build());
+    const auto exec = session->run("system_top");
+    if (!exec.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", info.name.c_str(),
+                   exec.status().to_string().c_str());
+      return 2;
+    }
+    points.push_back({info.name, std::move(session), exec->ms});
   }
 
   std::printf("%-11s | %-26s | %10s %10s %9s\n", "Model",
               "Linux overhead configuration", "linux_ms", "bare_ms",
               "speedup");
-  for (const auto& point : points) {
+  for (auto& point : points) {
     for (const double scale : {0.25, 0.5, 1.0, 2.0}) {
       baseline::LinuxPlatformConfig cfg;
       cfg.runtime_init_cycles =
           static_cast<Cycle>(cfg.runtime_init_cycles * scale);
       cfg.per_layer_submit_cycles =
           static_cast<Cycle>(cfg.per_layer_submit_cycles * scale);
-      baseline::LinuxDriverBaseline baseline_platform(cfg);
-      const auto est = baseline_platform.estimate(
-          point.prepared.loadable, point.prepared.vp.total_cycles);
+      const runtime::LinuxBaselineBackend backend(cfg);
+      const auto est = backend.run(point.session->prepared(),
+                                   runtime::RunOptions{});
+      if (!est.ok()) {
+        std::fprintf(stderr, "baseline failed: %s\n",
+                     est.status().to_string().c_str());
+        return 2;
+      }
       std::printf("%-11s | init=%5.1fMcyc submit=%4.0fkcyc | %8.1f ms "
                   "%8.2f ms %8.1fx\n",
                   point.name.c_str(), cfg.runtime_init_cycles / 1e6,
-                  cfg.per_layer_submit_cycles / 1e3, est.ms, point.bare_ms,
-                  est.ms / point.bare_ms);
+                  cfg.per_layer_submit_cycles / 1e3, est->ms, point.bare_ms,
+                  est->ms / point.bare_ms);
+      if (scale == 1.0) {
+        report.add(point.name, "linux_ms_calibrated", est->ms);
+        report.add(point.name, "bare_ms", point.bare_ms);
+        report.add(point.name, "speedup_calibrated", est->ms / point.bare_ms);
+      }
     }
     std::printf("\n");
   }
 
-  // Overhead fraction vs model size (analytic, including ResNet-50's
-  // hardware-layer count from its compiled loadable structure).
-  baseline::LinuxDriverBaseline calibrated;
+  // Overhead fraction vs model size at the calibrated point, through the
+  // registry's stock "linux_baseline" backend.
   std::printf("Overhead fraction at the calibrated point:\n");
-  for (const auto& point : points) {
-    const auto est = calibrated.estimate(point.prepared.loadable,
-                                         point.prepared.vp.total_cycles);
+  for (auto& point : points) {
+    const auto est = point.session->run("linux_baseline");
+    if (!est.ok()) {
+      std::fprintf(stderr, "baseline failed: %s\n",
+                   est.status().to_string().c_str());
+      return 2;
+    }
     std::printf("  %-11s %5.1f%% of Linux time is software overhead\n",
-                point.name.c_str(), est.overhead_fraction() * 100.0);
+                point.name.c_str(),
+                est->linux_estimate->overhead_fraction() * 100.0);
+    report.add(point.name, "overhead_fraction",
+               est->linux_estimate->overhead_fraction());
   }
+  report.write();
   bench::print_footer_note(
       "Paper shape: LeNet-5 263 ms -> 4.8 ms (~55x, overhead-bound); "
       "ResNet-50 2.5 s -> 1.1 s (~2.3x, accelerator-bound). The speedup is "

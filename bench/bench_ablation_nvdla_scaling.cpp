@@ -4,30 +4,34 @@
 // width) across intermediate design points and reports ResNet-18 inference
 // cycles on the VP plus the FPGA resource estimate — the design-space view
 // behind the paper's conclusion that nv_full "does not fit on most FPGAs"
-// while nv_small trades 4x performance for deployability.
+// while nv_small trades 4x performance for deployability. One
+// InferenceSession per design point: the staged flow recompiles for each
+// hardware tree, and the "vp" backend reports the cycles.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "fpga/resources.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
 int main() {
   bench::print_header("Ablation C: NVDLA scaling (nv_small -> nv_full), "
                       "ResNet-18 on the VP");
+  bench::JsonReport report("ablation_nvdla_scaling");
 
   struct DesignPoint {
     const char* name;
+    const char* key;
     std::uint32_t atomic_c, atomic_k, cbuf_kib, dbb_bits;
   };
   const DesignPoint points[] = {
-      {"nv_small (8x8)", 8, 8, 128, 64},
-      {"small_x2 (16x8)", 16, 8, 128, 64},
-      {"mid (16x16)", 16, 16, 256, 128},
-      {"large (32x16)", 32, 16, 256, 256},
-      {"nv_full (64x16)", 64, 16, 512, 512},
+      {"nv_small (8x8)", "nv_small", 8, 8, 128, 64},
+      {"small_x2 (16x8)", "small_x2", 16, 8, 128, 64},
+      {"mid (16x16)", "mid", 16, 16, 256, 128},
+      {"large (32x16)", "large", 32, 16, 256, 256},
+      {"nv_full (64x16)", "nv_full", 64, 16, 512, 512},
   };
 
   const auto capacity = fpga::zcu102_capacity();
@@ -46,18 +50,30 @@ int main() {
 
     core::FlowConfig flow;
     flow.nvdla = cfg;
-    const auto prepared = core::prepare_model(net, flow);
+    runtime::InferenceSession session(net, flow);
+    const auto exec = session.run("vp");
+    if (!exec.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", p.name,
+                   exec.status().to_string().c_str());
+      return 2;
+    }
 
     const auto resources = fpga::overall_system(cfg);
     const double lut_pct = 100.0 * resources.luts / capacity.luts;
+    const bool fits = fpga::fits(resources, capacity);
     std::printf("%-17s %6u %5uKB %4ub | %11llu %6.2f ms | %9.0f %5.0f%% %5s\n",
                 p.name, cfg.num_macs(), cfg.cbuf_kib, cfg.dbb_width_bits,
-                static_cast<unsigned long long>(prepared.vp.total_cycles),
-                cycles_to_ms(prepared.vp.total_cycles, 100 * kMHz),
-                resources.luts, lut_pct,
-                fpga::fits(resources, capacity) ? "yes" : "NO");
+                static_cast<unsigned long long>(exec->cycles), exec->ms,
+                resources.luts, lut_pct, fits ? "yes" : "NO");
     std::fflush(stdout);
+    report.add(p.key, "macs", static_cast<std::uint64_t>(cfg.num_macs()));
+    report.add(p.key, "resnet18_cycles", exec->cycles);
+    report.add(p.key, "ms_100mhz", exec->ms);
+    report.add(p.key, "luts", resources.luts);
+    report.add(p.key, "lut_pct", lut_pct);
+    report.add(p.key, "fits", fits);
   }
+  report.write();
   bench::print_footer_note(
       "Performance saturates once layers become overhead/DBB-bound while "
       "LUT cost grows linearly with the MAC array — the ZCU102 runs out of "

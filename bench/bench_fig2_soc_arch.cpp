@@ -6,8 +6,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
@@ -28,18 +28,22 @@ int main() {
   bench::print_header("Fig. 2: the system-on-chip — bus traffic census "
                       "(bare-metal LeNet-5 inference)");
 
-  core::FlowConfig config;
-  const auto prepared = core::prepare_model(models::lenet5(), config);
-  const auto exec = core::execute_on_soc(prepared, config);
+  runtime::InferenceSession session(models::lenet5());
+  const auto exec = session.run("soc");
+  if (!exec.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", exec.status().to_string().c_str());
+    return 2;
+  }
+  const auto& soc_exec = *exec->soc;
 
   std::printf("Run: %llu cycles @100 MHz = %.3f ms, %llu instructions "
               "retired\n\n",
-              static_cast<unsigned long long>(exec.cycles), exec.ms,
-              static_cast<unsigned long long>(exec.cpu.instructions));
+              static_cast<unsigned long long>(exec->cycles), exec->ms,
+              static_cast<unsigned long long>(soc_exec.cpu.instructions));
 
   std::printf("%-26s %9s %9s %11s %11s %8s\n", "Component", "reads", "writes",
               "bytes_rd", "bytes_wr", "stalls");
-  const auto& c = exec.census;
+  const auto& c = soc_exec.census;
   print_stats("system_bus_decoder", c.decoder);
   print_stats("ahb2apb_bridge", c.ahb2apb);
   print_stats("apb2csb_adapter (NVDLA)", c.apb2csb);
@@ -58,11 +62,21 @@ int main() {
               static_cast<unsigned long long>(c.dbb.bursts));
   std::printf("CPU profile: %llu loads, %llu stores, %llu taken branches, "
               "%llu memory-stall cycles\n",
-              static_cast<unsigned long long>(exec.cpu_stats.loads),
-              static_cast<unsigned long long>(exec.cpu_stats.stores),
-              static_cast<unsigned long long>(exec.cpu_stats.taken_branches),
+              static_cast<unsigned long long>(soc_exec.cpu_stats.loads),
+              static_cast<unsigned long long>(soc_exec.cpu_stats.stores),
               static_cast<unsigned long long>(
-                  exec.cpu_stats.memory_stall_cycles));
+                  soc_exec.cpu_stats.taken_branches),
+              static_cast<unsigned long long>(
+                  soc_exec.cpu_stats.memory_stall_cycles));
+
+  bench::JsonReport report("fig2_soc_arch");
+  report.add("lenet5", "cycles", exec->cycles);
+  report.add("lenet5", "ms", exec->ms);
+  report.add("lenet5", "instructions", soc_exec.cpu.instructions);
+  report.add("lenet5", "csb_transfers", c.apb2csb.transfers());
+  report.add("lenet5", "dbb_bytes", c.dbb.bytes_read + c.dbb.bytes_written);
+  report.add("lenet5", "arbiter_dbb_wait_cycles", c.arbiter_dbb.wait_cycles);
+  report.write();
 
   bench::print_footer_note(
       "Every NVDLA register write travels decoder -> AHB2APB -> APB2CSB "

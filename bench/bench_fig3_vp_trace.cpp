@@ -5,14 +5,16 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 #include "toolflow/config_file.hpp"
+#include "vp/virtual_platform.hpp"
 
 using namespace nvsoc;
 
 int main() {
   bench::print_header("Fig. 3: NVDLA virtual platform — interface traces");
+  bench::JsonReport report("fig3_vp_trace");
 
   std::printf("%-10s %9s %9s %9s | %9s %9s %10s | %11s %8s\n", "Model",
               "csb_wr", "csb_rd", "cfg_cmds", "dbb_rd", "dbb_wr", "dbb_MB",
@@ -20,9 +22,8 @@ int main() {
 
   for (const auto& info : {models::nv_small_zoo()[0],
                            models::nv_small_zoo()[1]}) {
-    const auto net = info.build();
-    core::FlowConfig config;
-    const auto prepared = core::prepare_model(net, config);
+    runtime::InferenceSession session(info.build());
+    const auto& prepared = session.prepared();
     const auto& trace = prepared.vp.trace;
 
     std::uint64_t dbb_rd = 0, dbb_wr = 0, dbb_bytes = 0;
@@ -38,15 +39,20 @@ int main() {
                 static_cast<unsigned long long>(dbb_wr), dbb_bytes / 1e6,
                 prepared.vp.weights.total_bytes() / 1e6,
                 prepared.vp.weights.chunks.size());
+    report.add(info.name, "csb_writes",
+               static_cast<std::uint64_t>(prepared.config_file.write_count()));
+    report.add(info.name, "csb_reads",
+               static_cast<std::uint64_t>(prepared.config_file.read_count()));
+    report.add(info.name, "dbb_bytes", dbb_bytes);
+    report.add(info.name, "weight_file_bytes",
+               prepared.vp.weights.total_bytes());
   }
 
   // Show the log-text path (the exact interface the paper's Python scripts
   // parse) on LeNet-5, with payload capture enabled.
-  core::FlowConfig config;
-  const auto net = models::lenet5();
-  const auto prepared = core::prepare_model(net, config);
-  vp::VirtualPlatform platform(config.nvdla);
-  auto result = platform.run(prepared.loadable, prepared.input,
+  runtime::InferenceSession session(models::lenet5());
+  vp::VirtualPlatform platform(session.config().nvdla);
+  auto result = platform.run(session.loadable(), session.default_input(),
                              /*capture_dbb_payloads=*/true);
   const std::string log =
       result.trace.to_log_text(&platform.last_dbb_payloads());
@@ -57,11 +63,16 @@ int main() {
   std::printf("  parsed nvdla.csb_adaptor lines -> %zu commands "
               "(structured path: %zu) \n",
               cfg_from_log.commands.size(),
-              prepared.config_file.commands.size());
+              session.prepared().config_file.commands.size());
   std::printf("  parsed nvdla.dbb_adaptor reads -> %.2f MB weight file "
               "(first occurrence kept; structured: %.2f MB)\n",
               weights_from_log.total_bytes() / 1e6,
-              prepared.vp.weights.total_bytes() / 1e6);
+              session.prepared().vp.weights.total_bytes() / 1e6);
+  report.add("lenet5_log_path", "log_bytes",
+             static_cast<std::uint64_t>(log.size()));
+  report.add("lenet5_log_path", "parsed_commands",
+             static_cast<std::uint64_t>(cfg_from_log.commands.size()));
+  report.write();
   bench::print_footer_note(
       "Both extraction paths are implemented: the structured trace (fast) "
       "and the paper's textual grep of adaptor lines (script parity).");

@@ -5,8 +5,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 #include "soc/system_top.hpp"
 
 using namespace nvsoc;
@@ -14,9 +14,11 @@ using namespace nvsoc;
 int main() {
   bench::print_header("Fig. 4: overall system set-up (Zynq PS preload, "
                       "SmartConnect, CDC, MIG DDR4)");
+  bench::JsonReport report("fig4_system_setup");
 
-  core::FlowConfig config;
-  const auto prepared = core::prepare_model(models::lenet5(), config);
+  runtime::InferenceSession session(models::lenet5());
+  const auto& prepared = session.prepared();
+  const auto& config = session.config();
 
   // Phase 1: PS-side preload, word-by-word through the PS SmartConnect
   // port (measure a slice), then bulk DMA for the rest.
@@ -39,6 +41,10 @@ int main() {
   top.ps_preload_backdoor(prepared.loadable.input_surface.base, input_bytes);
   std::printf("PS preload total: %.2f MB weights+input into DDR4\n",
               (prepared.vp.weights.total_bytes() + input_bytes.size()) / 1e6);
+  report.add("preload", "slice_bytes", static_cast<std::uint64_t>(slice));
+  report.add("preload", "slice_ddr_cycles", ps_cycles);
+  report.add("preload", "total_bytes",
+             prepared.vp.weights.total_bytes() + input_bytes.size());
 
   // Access through the deselected port must be blocked (mux exclusivity).
   top.switch_to_soc();
@@ -69,9 +75,16 @@ int main() {
                 cycles_to_ms(result.cycles, fabric),
                 static_cast<unsigned long long>(
                     sweep_top.interconnect().stats().stall_cycles));
+    const std::string section =
+        "fabric_" + std::to_string(fabric / kMHz) + "mhz";
+    report.add(section, "cycles", result.cycles);
+    report.add(section, "ms", cycles_to_ms(result.cycles, fabric));
+    report.add(section, "cdc_stall_cycles",
+               sweep_top.interconnect().stats().stall_cycles);
   }
   std::printf("\nMIG refresh stalls during run: modelled (tREFI=7.8us, "
               "tRFC=350ns at the 100 MHz UI clock)\n");
+  report.write();
   bench::print_footer_note(
       "The AXI Interconnect reconciles the SoC fabric clock with the "
       "100 MHz DDR4 UI clock (the paper clocks the fabric at 300 MHz); "

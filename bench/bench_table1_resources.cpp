@@ -48,6 +48,21 @@ int main() {
   std::printf("\nnv_full estimate: %.0f LUTs (%.0f%% of device) -> fits: %s\n",
               full_overall.luts, 100.0 * full_overall.luts / capacity.luts,
               fpga::fits(full_overall, capacity) ? "yes" : "no");
+
+  bench::JsonReport report("table1_resources");
+  const auto small_overall = fpga::overall_system(small);
+  report.add("nv_small_overall", "luts", small_overall.luts);
+  report.add("nv_small_overall", "regs", small_overall.regs);
+  report.add("nv_small_overall", "bram_tiles", small_overall.bram_tiles);
+  report.add("nv_small_overall", "dsps", small_overall.dsps);
+  report.add("nv_small_overall", "peak_utilization_pct",
+             fpga::peak_utilization(small_overall, capacity));
+  report.add("nv_small_overall", "fits", fpga::fits(small_overall, capacity));
+  report.add("nv_full_overall", "luts", full_overall.luts);
+  report.add("nv_full_overall", "lut_pct",
+             100.0 * full_overall.luts / capacity.luts);
+  report.add("nv_full_overall", "fits", fpga::fits(full_overall, capacity));
+  report.write();
   bench::print_footer_note(
       "Matches the paper: nv_small fits comfortably; nv_full's LUT "
       "over-utilisation is substantial (it does not fit the ZCU102).");

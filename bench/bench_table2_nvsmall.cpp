@@ -2,23 +2,22 @@
 // Fig. 4) at 100 MHz for LeNet-5, ResNet-18 and ResNet-50, against the
 // Linux-kernel 64-bit RISC-V platform of Giri et al. [8] at 50 MHz.
 //
-// Each model runs the complete flow: synthetic weights -> calibration ->
-// NVDLA compilation -> VP trace -> generated bare-metal RISC-V program ->
-// execution on the SystemTop model (Zynq-PS preload, SmartConnect switch,
-// CDC, MIG DDR4). The baseline column layers the measured accelerator
-// cycles under the Linux driver-stack overhead model.
+// Each model runs the complete staged flow through one InferenceSession;
+// the bare-metal column executes on the "system_top" backend (Fig. 4) and
+// the comparator column on "linux_baseline" — both selected by name from
+// the BackendRegistry, sharing every prepared artifact.
 #include <cstdio>
 
-#include "baseline/linux_baseline.hpp"
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
 int main() {
   bench::print_header(
       "Table II: nv_small SoC, FPGA implementation results @100 MHz");
+  bench::JsonReport report("table2_nvsmall");
 
   struct PaperRow {
     double proc_ms_100mhz;
@@ -39,22 +38,30 @@ int main() {
 
   int i = 0;
   for (const auto& info : models::nv_small_zoo()) {
-    const auto net = info.build();
-    core::FlowConfig config;  // nv_small INT8 at 100 MHz
-    const auto prepared = core::prepare_model(net, config);
-    const auto exec = core::execute_on_system_top(prepared, config);
-
-    baseline::LinuxDriverBaseline linux_platform;
-    const auto linux_est =
-        linux_platform.estimate(prepared.loadable, prepared.vp.total_cycles);
+    runtime::InferenceSession session(info.build());  // nv_small INT8 100 MHz
+    const auto exec = session.run("system_top");
+    const auto linux_est = session.run("linux_baseline");
+    if (!exec.ok() || !linux_est.ok()) {
+      std::fprintf(stderr, "%s failed: %s%s\n", info.name.c_str(),
+                   exec.status().to_string().c_str(),
+                   linux_est.status().to_string().c_str());
+      return 2;
+    }
 
     std::printf(
         "%-10s %6zu %-10s %-9s | %9.1f ms %9.1f ms | %11.0f ms %14s\n",
-        info.name.c_str(), net.layer_count(), paper[i].input, paper[i].size,
-        exec.ms, paper[i].proc_ms_100mhz, linux_est.ms, paper[i].linux_50mhz);
+        info.name.c_str(), session.network().layer_count(), paper[i].input,
+        paper[i].size, exec->ms, paper[i].proc_ms_100mhz, linux_est->ms,
+        paper[i].linux_50mhz);
     std::fflush(stdout);
+    report.add(info.name, "bare_metal_ms", exec->ms);
+    report.add(info.name, "bare_metal_cycles", exec->cycles);
+    report.add(info.name, "paper_ms", paper[i].proc_ms_100mhz);
+    report.add(info.name, "linux_baseline_ms", linux_est->ms);
+    report.add(info.name, "speedup", linux_est->ms / exec->ms);
     ++i;
   }
+  report.write();
   bench::print_footer_note(
       "Shape check: bare-metal wins by >20x on LeNet-5 (software-overhead "
       "bound) but only ~2x on ResNet-50 (accelerator bound), as in the "

@@ -1,18 +1,20 @@
 // Regenerates Table III: nv_full simulation results (virtual platform,
 // FP16) — total clock cycles and processing time at 100 MHz for all six
 // models. The paper runs these on the NVDLA VP because nv_full does not
-// fit the ZCU102; we do the same (VP-level execution, no SoC).
+// fit the ZCU102; we do the same: the "vp" backend (Fig. 3, direct VP
+// execution, no SoC fabric).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
 int main() {
   bench::print_header(
       "Table III: nv_full NVDLA, simulation results (FP16, VP cycles)");
+  bench::JsonReport report("table3_nvfull");
 
   const double paper_cycles[6] = {143188,   324387,   26565315,
                                   22525704, 40889646, 35535582};
@@ -28,17 +30,26 @@ int main() {
     core::FlowConfig config;
     config.nvdla = nvdla::NvdlaConfig::full();
     config.precision = nvdla::Precision::kFp16;
-    const auto prepared = core::prepare_model(net, config);
+    runtime::InferenceSession session(net, config);
+    const auto exec = session.run("vp");
+    if (!exec.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", info.name.c_str(),
+                   exec.status().to_string().c_str());
+      return 2;
+    }
 
-    const double ms = cycles_to_ms(prepared.vp.total_cycles, 100 * kMHz);
     std::printf("%-10s %-10s %7.1fMB | %12llu %12.0f | %8.1f ms %8.1f ms\n",
                 info.name.c_str(), paper_inputs[i],
                 net.model_size_bytes() / 1e6,
-                static_cast<unsigned long long>(prepared.vp.total_cycles),
-                paper_cycles[i], ms, paper_cycles[i] / 1e5);
+                static_cast<unsigned long long>(exec->cycles),
+                paper_cycles[i], exec->ms, paper_cycles[i] / 1e5);
     std::fflush(stdout);
+    report.add(info.name, "vp_cycles", exec->cycles);
+    report.add(info.name, "paper_cycles", paper_cycles[i]);
+    report.add(info.name, "ms_100mhz", exec->ms);
     ++i;
   }
+  report.write();
   bench::print_footer_note(
       "Shape check: LRN-bearing networks (GoogleNet, AlexNet) dominate the "
       "cycle counts despite modest MAC budgets; ResNet-50 runs ~4x faster "

@@ -8,11 +8,12 @@
 //
 // Build & run:  ./build/examples/custom_network_prototxt [model.prototxt]
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "compiler/prototxt.hpp"
-#include "core/bare_metal_flow.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
@@ -74,7 +75,14 @@ int main(int argc, char** argv) {
                 "(pass a path to use your own)\n");
   }
 
-  const compiler::Network net = compiler::parse_prototxt(text);
+  compiler::Network net = [&] {
+    try {
+      return compiler::parse_prototxt(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "prototxt error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
   std::printf("parsed '%s': %zu layers, %llu parameters\n",
               net.name().c_str(), net.layer_count(),
               static_cast<unsigned long long>(net.parameter_count()));
@@ -85,18 +93,22 @@ int main(int argc, char** argv) {
                 shape.w);
   }
 
-  core::FlowConfig config;
-  const auto prepared = core::prepare_model(net, config);
-  const auto exec = core::execute_on_soc(prepared, config);
+  runtime::InferenceSession session(net);
+  const auto exec = session.run("soc");
+  if (!exec.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", exec.status().to_string().c_str());
+    return 2;
+  }
+  const auto& prepared = session.prepared();
   std::printf("\nbare-metal inference: class %zu in %.3f ms @100 MHz "
               "(%zu hardware layers, %zu register commands)\n",
-              exec.predicted_class, exec.ms, prepared.loadable.ops.size(),
+              exec->predicted_class, exec->ms, prepared.loadable.ops.size(),
               prepared.config_file.commands.size());
   std::printf("INT8 vs FP32 reference: argmax %s, max |diff| %.4f\n",
-              exec.predicted_class ==
+              exec->predicted_class ==
                       compiler::argmax(prepared.reference_output)
                   ? "match"
                   : "MISMATCH",
-              core::max_abs_diff(exec.output, prepared.reference_output));
+              core::max_abs_diff(exec->output, prepared.reference_output));
   return 0;
 }

@@ -2,36 +2,39 @@
 //
 // The paper's motivation: resource-constrained edge devices cannot afford
 // a Linux kernel + driver stack. This example deploys ResNet-18 (3x32x32)
-// on the Fig. 4 board model and reports everything an edge integrator
-// would ask for:
+// through the runtime API and reports everything an edge integrator would
+// ask for:
 //   * end-to-end latency and its decomposition (config vs compute),
 //   * on-chip memory footprint (program memory, DRAM arena),
-//   * comparison against the Linux-stack platform of Giri et al. [8],
+//   * the Linux-stack comparator — selected from the same BackendRegistry
+//     ("linux_baseline") as the bare-metal board ("system_top"),
 //   * energy-proxy numbers (cycle counts per inference).
 //
 // Build & run:  ./build/examples/edge_resnet_deployment
 #include <cstdio>
 
-#include "baseline/linux_baseline.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "core/report.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
 int main() {
-  const auto net = models::resnet18_cifar();
-  core::FlowConfig config;
+  runtime::InferenceSession session(models::resnet18_cifar());
 
   std::printf("=== edge deployment: %s on nv_small @100 MHz ===\n\n",
-              net.name().c_str());
-  const auto prepared = core::prepare_model(net, config);
-  const auto exec = core::execute_on_system_top(prepared, config);
+              session.network().name().c_str());
+  const auto exec = session.run("system_top");
+  if (!exec.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", exec.status().to_string().c_str());
+    return 2;
+  }
+  const core::PreparedModel& prepared = session.prepared();
 
   // --- latency ---------------------------------------------------------
-  std::printf("latency: %.2f ms per inference (%llu cycles)\n", exec.ms,
-              static_cast<unsigned long long>(exec.cycles));
-  const auto& census = exec.census;
+  std::printf("latency: %.2f ms per inference (%llu cycles)\n", exec->ms,
+              static_cast<unsigned long long>(exec->cycles));
+  const auto& census = exec->soc->census;
   const std::uint64_t csb_transfers = census.apb2csb.transfers();
   std::printf("  CSB config path: %llu register transfers (polling "
               "included)\n",
@@ -39,11 +42,12 @@ int main() {
   std::printf("  NVDLA data path: %.2f MB moved over the 64->32 DBB "
               "converter\n",
               (census.dbb.bytes_read + census.dbb.bytes_written) / 1e6);
+  const auto& engine_stats = exec->soc->engine_stats;
   std::printf("  hardware layers: %llu (conv %llu, sdp %llu, pdp %llu)\n",
-              static_cast<unsigned long long>(exec.engine_stats.total_ops()),
-              static_cast<unsigned long long>(exec.engine_stats.conv_ops),
-              static_cast<unsigned long long>(exec.engine_stats.sdp_ops),
-              static_cast<unsigned long long>(exec.engine_stats.pdp_ops));
+              static_cast<unsigned long long>(engine_stats.total_ops()),
+              static_cast<unsigned long long>(engine_stats.conv_ops),
+              static_cast<unsigned long long>(engine_stats.sdp_ops),
+              static_cast<unsigned long long>(engine_stats.pdp_ops));
 
   // --- storage ----------------------------------------------------------
   std::printf("\nstorage budget (no kernel, no filesystem, no driver):\n");
@@ -55,13 +59,17 @@ int main() {
               prepared.loadable.arena_end / 1e6);
 
   // --- vs the Linux-stack platform --------------------------------------
-  baseline::LinuxDriverBaseline linux_platform;
-  const auto linux_est =
-      linux_platform.estimate(prepared.loadable, prepared.vp.total_cycles);
+  const auto linux_run = session.run("linux_baseline");
+  if (!linux_run.ok()) {
+    std::fprintf(stderr, "baseline failed: %s\n",
+                 linux_run.status().to_string().c_str());
+    return 2;
+  }
   std::printf("\nLinux-stack platform (Giri et al. [8], 50 MHz):\n");
   std::printf("  estimated latency: %.1f ms (%.0f%% software overhead)\n",
-              linux_est.ms, linux_est.overhead_fraction() * 100.0);
-  std::printf("  bare-metal speedup: %.1fx\n", linux_est.ms / exec.ms);
+              linux_run->ms,
+              linux_run->linux_estimate->overhead_fraction() * 100.0);
+  std::printf("  bare-metal speedup: %.1fx\n", linux_run->ms / exec->ms);
   std::printf("  plus: no kernel image (~10s of MB), no driver modules, "
               "no boot time\n");
 
@@ -73,17 +81,17 @@ int main() {
               core::format_profile(
                   core::ExecutionProfile{profile.hotspots(5),
                                          profile.total_cycles},
-                  config.soc_clock)
+                  session.config().soc_clock)
                   .c_str());
 
   // --- accuracy ----------------------------------------------------------
   std::printf("\nINT8 deployment accuracy (vs FP32 reference on identical "
               "weights):\n");
   std::printf("  argmax match: %s, max |logit diff| %.4f\n",
-              exec.predicted_class ==
+              exec->predicted_class ==
                       compiler::argmax(prepared.reference_output)
                   ? "yes"
                   : "NO",
-              core::max_abs_diff(exec.output, prepared.reference_output));
+              core::max_abs_diff(exec->output, prepared.reference_output));
   return 0;
 }

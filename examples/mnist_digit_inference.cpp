@@ -1,7 +1,8 @@
 // Scenario example 1: MNIST-style digit inference with artifact export.
 //
-// Draws a synthetic "7" into a 28x28 image, runs it through the bare-metal
-// LeNet-5 flow, and writes every intermediate artifact of Fig. 1 into
+// Draws a synthetic "7" into a 28x28 image, feeds it to an
+// InferenceSession (which stages the offline flow of Fig. 1 for exactly
+// that image), and writes every intermediate artifact into
 // ./lenet5_artifacts/ so they can be inspected:
 //   lenet5.cfg        configuration file (write_reg / read_reg commands)
 //   lenet5.s          generated RISC-V assembly
@@ -15,8 +16,8 @@
 #include <filesystem>
 #include <fstream>
 
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 using namespace nvsoc;
 
@@ -56,16 +57,13 @@ void write_file(const std::filesystem::path& path,
 }  // namespace
 
 int main() {
-  const auto net = models::lenet5();
-  core::FlowConfig config;
+  runtime::InferenceSession session(models::lenet5());
 
-  // Run the offline flow with synthetic weights, then substitute our digit
-  // as the inference input (the flow's trace is input-independent: only
-  // register addresses are baked into the program).
-  core::PreparedModel prepared = core::prepare_model(net, config);
-  prepared.input = draw_seven();
-  compiler::ReferenceExecutor reference(net, prepared.weights);
-  prepared.reference_output = reference.run_to(prepared.input);
+  // Stage the offline flow for our digit: the input-independent stages
+  // (weights, calibration, loadable) and the input-dependent tail (VP
+  // trace, configuration file, program) are all computed — once — here.
+  const std::vector<float> digit = draw_seven();
+  const core::PreparedModel& prepared = session.prepare(digit);
 
   std::printf("exporting Fig. 1 artifacts:\n");
   const std::filesystem::path dir = "lenet5_artifacts";
@@ -77,17 +75,22 @@ int main() {
   write_file(dir / "lenet5.calib", prepared.calibration.to_text());
   write_file(dir / "lenet5.loadable", prepared.loadable.to_bytes());
 
-  const auto exec = core::execute_on_system_top(prepared, config);
+  const auto result = session.run("system_top", digit);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().to_string().c_str());
+    return 2;
+  }
   std::printf("\ndigit inference on the Fig. 4 set-up:\n");
   std::printf("  predicted class: %zu   latency: %.3f ms @100 MHz\n",
-              exec.predicted_class, exec.ms);
+              result->predicted_class, result->ms);
   std::printf("  class probabilities:");
-  for (std::size_t i = 0; i < exec.output.size(); ++i) {
-    std::printf(" %zu:%.3f", i, exec.output[i]);
+  for (std::size_t i = 0; i < result->output.size(); ++i) {
+    std::printf(" %zu:%.3f", i, result->output[i]);
   }
   std::printf("\n  fp32 reference argmax: %zu (NVDLA INT8 max |diff| %.4f)\n",
               compiler::argmax(prepared.reference_output),
-              core::max_abs_diff(exec.output, prepared.reference_output));
+              core::max_abs_diff(result->output, prepared.reference_output));
   // Note: weights are synthetic, so the "class" is arbitrary — the check
   // that matters is INT8-vs-FP32 agreement on the same parameters.
   return 0;

@@ -1,20 +1,22 @@
-// Quickstart: the whole paper flow in ~30 lines.
+// Quickstart: the whole paper flow through the runtime API in ~30 lines.
 //
 //   1. Describe a Caffe-style network (LeNet-5 from the model zoo).
-//   2. prepare_model() runs the offline flow of Fig. 1: synthetic weights,
-//      INT8 calibration, NVDLA compilation, virtual-platform tracing, and
-//      generation of the bare-metal RISC-V program + weight file.
-//   3. execute_on_soc() loads program memory and DRAM and lets the
-//      µRISC-V core drive the NVDLA — no OS anywhere.
+//   2. Open an InferenceSession: the offline flow of Fig. 1 (synthetic
+//      weights, INT8 calibration, NVDLA compilation, virtual-platform
+//      tracing, bare-metal program generation) runs lazily, stage by
+//      stage, and every artifact is memoized inside the session.
+//   3. session.run("soc") executes on the Fig. 2 SoC model — pick any
+//      registered backend by name: soc, system_top, vp, linux_baseline.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [backend]
 #include <cstdio>
 
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvsoc;
+  const std::string backend = argc > 1 ? argv[1] : "soc";
 
   // 1. A network from the zoo (or build your own compiler::Network).
   const compiler::Network net = models::lenet5();
@@ -22,27 +24,30 @@ int main() {
               net.name().c_str(), net.layer_count(),
               net.model_size_bytes() / 1e6);
 
-  // 2. Offline generation flow (Fig. 1) — one call.
-  core::FlowConfig config;  // nv_small, INT8, 100 MHz
-  const core::PreparedModel prepared = core::prepare_model(net, config);
+  // 2. A session over the network: stages run once, on first use.
+  runtime::InferenceSession session(net);  // nv_small, INT8, 100 MHz
+  const core::PreparedModel& prepared = session.prepared();
   std::printf("generated: %zu register commands -> %zu RISC-V instructions, "
               "%.2f MB weight file\n",
               prepared.config_file.commands.size(),
               prepared.program.image.size_words(),
               prepared.vp.weights.total_bytes() / 1e6);
 
-  // 3. Bare-metal execution on the SoC (Fig. 2).
-  const core::SocExecution exec = core::execute_on_soc(prepared, config);
-  std::printf("inference: class %zu in %.3f ms at 100 MHz "
-              "(%llu cycles, %llu instructions)\n",
-              exec.predicted_class, exec.ms,
-              static_cast<unsigned long long>(exec.cycles),
-              static_cast<unsigned long long>(exec.cpu.instructions));
+  // 3. Execute on a backend selected by name.
+  const auto result = session.run(backend);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status().to_string().c_str());
+    return 2;
+  }
+  std::printf("inference [%s]: class %zu in %.3f ms (%llu cycles at %llu MHz)\n",
+              result->backend.c_str(), result->predicted_class, result->ms,
+              static_cast<unsigned long long>(result->cycles),
+              static_cast<unsigned long long>(result->clock / kMHz));
 
   // Validate against the FP32 reference executor.
   const std::size_t golden = compiler::argmax(prepared.reference_output);
   std::printf("fp32 reference agrees: %s (max |diff| %.4f)\n",
-              exec.predicted_class == golden ? "yes" : "NO",
-              core::max_abs_diff(exec.output, prepared.reference_output));
-  return exec.predicted_class == golden ? 0 : 1;
+              result->predicted_class == golden ? "yes" : "NO",
+              core::max_abs_diff(result->output, prepared.reference_output));
+  return result->predicted_class == golden ? 0 : 1;
 }

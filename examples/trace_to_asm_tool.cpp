@@ -16,10 +16,11 @@
 #include <fstream>
 #include <sstream>
 
-#include "core/bare_metal_flow.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 #include "toolflow/asm_emitter.hpp"
 #include "toolflow/config_file.hpp"
+#include "vp/virtual_platform.hpp"
 
 using namespace nvsoc;
 
@@ -75,11 +76,9 @@ int main(int argc, char** argv) {
   std::string log_text;
   if (source == "--demo") {
     std::printf("running the LeNet-5 virtual platform to produce a log...\n");
-    core::FlowConfig config;
-    const auto net = models::lenet5();
-    auto prepared = core::prepare_model(net, config);
-    vp::VirtualPlatform platform(config.nvdla);
-    auto result = platform.run(prepared.loadable, prepared.input,
+    runtime::InferenceSession session(models::lenet5());
+    vp::VirtualPlatform platform(session.config().nvdla);
+    auto result = platform.run(session.loadable(), session.default_input(),
                                /*capture_dbb_payloads=*/true);
     log_text = result.trace.to_log_text(&platform.last_dbb_payloads());
     save(prefix + "_vp.log", log_text);

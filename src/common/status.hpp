@@ -50,35 +50,54 @@ class Status {
   std::string message_;
 };
 
-/// Result-or-status. A minimal expected<T, Status>.
+/// Value-or-status. A minimal expected<T, Status> — the error vocabulary of
+/// the runtime API boundary (`runtime::ExecutionBackend`,
+/// `runtime::InferenceSession`): recoverable failures (unknown backend,
+/// program-memory overflow, loadable/trace mismatch, ...) come back as a
+/// non-OK status instead of an exception.
 template <typename T>
-class Result {
+class StatusOr {
  public:
-  Result(T value) : storage_(std::move(value)) {}           // NOLINT implicit
-  Result(Status status) : storage_(std::move(status)) {}    // NOLINT implicit
-  Result(StatusCode code, std::string message)
-      : storage_(Status(code, std::move(message))) {}
+  StatusOr(T value) : storage_(std::move(value)) {}           // NOLINT implicit
+  StatusOr(Status status) : storage_(std::move(status)) {     // NOLINT implicit
+    if (std::get<Status>(storage_).is_ok()) {
+      storage_ = Status(StatusCode::kInternal,
+                        "StatusOr constructed from an OK status");
+    }
+  }
+  StatusOr(StatusCode code, std::string message)
+      : storage_(Status(code == StatusCode::kOk ? StatusCode::kInternal : code,
+                        std::move(message))) {}
 
-  bool is_ok() const { return std::holds_alternative<T>(storage_); }
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  bool is_ok() const { return ok(); }
 
   const T& value() const& {
-    if (!is_ok()) throw std::runtime_error("Result::value on error: " +
-                                           std::get<Status>(storage_).to_string());
+    if (!ok()) throw std::runtime_error("StatusOr::value on error: " +
+                                        std::get<Status>(storage_).to_string());
     return std::get<T>(storage_);
   }
   T&& value() && {
-    if (!is_ok()) throw std::runtime_error("Result::value on error: " +
-                                           std::get<Status>(storage_).to_string());
+    if (!ok()) throw std::runtime_error("StatusOr::value on error: " +
+                                        std::get<Status>(storage_).to_string());
     return std::get<T>(std::move(storage_));
   }
 
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? std::get<T>(storage_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
   Status status() const {
-    if (is_ok()) return Status::ok();
+    if (ok()) return Status::ok();
     return std::get<Status>(storage_);
   }
 
  private:
   std::variant<T, Status> storage_;
 };
-
 }  // namespace nvsoc

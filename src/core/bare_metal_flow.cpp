@@ -10,6 +10,7 @@ PreparedModel prepare_model(const compiler::Network& network,
                             const FlowConfig& config) {
   PreparedModel prepared;
   prepared.model_name = network.name();
+  prepared.nvdla = config.nvdla;
 
   // 1. Parameters and calibration input (stand-ins for the trained Caffe
   //    model and test image, per DESIGN.md substitutions).
@@ -79,6 +80,8 @@ SocExecution execute_on_soc(const PreparedModel& prepared,
   soc::SocConfig soc_config;
   soc_config.clock = config.soc_clock;
   soc_config.nvdla = config.nvdla;
+  soc_config.program_memory_bytes = config.program_memory_bytes;
+  soc_config.dram_bytes = config.dram_bytes;
   soc::Soc soc(soc_config);
 
   // Program memory <- .mem image; DRAM <- weight file + input image.
@@ -98,6 +101,8 @@ SocExecution execute_on_system_top(const PreparedModel& prepared,
   soc::SystemTopConfig top_config;
   top_config.soc.clock = config.soc_clock;
   top_config.soc.nvdla = config.nvdla;
+  top_config.soc.program_memory_bytes = config.program_memory_bytes;
+  top_config.soc.dram_bytes = config.dram_bytes;
   soc::SystemTop top(top_config);
 
   // Phase 1: the Zynq PS owns the DDR and preloads weights + input.

@@ -1,4 +1,8 @@
-// Public facade over the complete paper flow.
+// Eager facade over the complete paper flow — the internal machinery the
+// runtime API wraps. New code should program against `src/runtime/`
+// (InferenceSession for staged/memoized preparation, BackendRegistry /
+// ExecutionBackend for execution): it adds lazy stage reuse, batching and
+// StatusOr error reporting on top of these entry points.
 //
 // Offline (Fig. 1): network -> synthetic/trained weights -> INT8
 // calibration -> NVDLA compiler -> virtual-platform execution with CSB/DBB
@@ -37,11 +41,18 @@ struct FlowConfig {
   /// How the generated program waits for layer completion: busy-polling
   /// (the paper's flow) or WFI + the NVDLA interrupt line (extension).
   toolflow::WaitMode wait_mode = toolflow::WaitMode::kPoll;
+  /// BRAM program memory capacity (runtime backends reject machine code
+  /// that overflows it before execution).
+  std::uint64_t program_memory_bytes = 4 * 1024 * 1024;
+  std::uint64_t dram_bytes = 512ull * 1024 * 1024;
 };
 
 /// Everything the offline flow produces for one network + input.
 struct PreparedModel {
   std::string model_name;
+  /// Hardware tree the VP trace below was captured on (consumers check it
+  /// against their own configuration before reusing the trace).
+  nvdla::NvdlaConfig nvdla;
   compiler::NetWeights weights;
   compiler::CalibrationTable calibration;
   compiler::Loadable loadable;

@@ -52,6 +52,8 @@ struct NvdlaTiming {
   /// grouped/depthwise convolution (partial mitigation of the padding
   /// waste; 1 = no packing).
   std::uint32_t grouped_channel_packing = 2;
+
+  bool operator==(const NvdlaTiming&) const = default;
 };
 
 /// A generated NVDLA hardware configuration.
@@ -83,6 +85,8 @@ struct NvdlaConfig {
 
   static NvdlaConfig small();
   static NvdlaConfig full();
+
+  bool operator==(const NvdlaConfig&) const = default;
 };
 
 }  // namespace nvsoc::nvdla

@@ -1,0 +1,64 @@
+#include "runtime/backend_registry.hpp"
+
+#include <utility>
+
+#include "common/strfmt.hpp"
+#include "runtime/backends.hpp"
+
+namespace nvsoc::runtime {
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry registry = [] {
+    BackendRegistry r;
+    r.add(std::make_unique<SocBackend>()).expect_ok("register soc");
+    r.add(std::make_unique<SystemTopBackend>())
+        .expect_ok("register system_top");
+    r.add(std::make_unique<VpBackend>()).expect_ok("register vp");
+    r.add(std::make_unique<LinuxBaselineBackend>())
+        .expect_ok("register linux_baseline");
+    return r;
+  }();
+  return registry;
+}
+
+Status BackendRegistry::add(std::unique_ptr<ExecutionBackend> backend) {
+  if (backend == nullptr) {
+    return {StatusCode::kInvalidArgument, "backend must not be null"};
+  }
+  const std::string key(backend->name());
+  const auto [it, inserted] = backends_.emplace(key, std::move(backend));
+  (void)it;
+  if (!inserted) {
+    return {StatusCode::kAlreadyExists,
+            strfmt("backend '{}' is already registered", key)};
+  }
+  return Status::ok();
+}
+
+StatusOr<const ExecutionBackend*> BackendRegistry::find(
+    const std::string& name) const {
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    std::string known;
+    for (const auto& [key, unused] : backends_) {
+      (void)unused;
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status(StatusCode::kNotFound,
+                  strfmt("unknown backend '{}' (known: {})", name, known));
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& [key, unused] : backends_) {
+    (void)unused;
+    out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace nvsoc::runtime

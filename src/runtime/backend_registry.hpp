@@ -1,0 +1,38 @@
+// String-keyed registry of execution backends, so examples, benches and
+// services select the platform by name ("soc", "system_top", "vp",
+// "linux_baseline") — e.g. from a CLI flag — instead of hard-coding one of
+// the execute_on_* entry points.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/execution_backend.hpp"
+
+namespace nvsoc::runtime {
+
+class BackendRegistry {
+ public:
+  /// An empty registry (for tests or custom backend sets).
+  BackendRegistry() = default;
+
+  /// The process-wide registry, pre-populated with the four built-ins.
+  static BackendRegistry& global();
+
+  /// Register `backend` under its own name(). kAlreadyExists when taken.
+  Status add(std::unique_ptr<ExecutionBackend> backend);
+
+  /// Look a backend up by name; kNotFound (listing the known names) when
+  /// unknown. The pointer is owned by the registry.
+  StatusOr<const ExecutionBackend*> find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<ExecutionBackend>> backends_;
+};
+
+}  // namespace nvsoc::runtime

@@ -1,0 +1,167 @@
+#include "runtime/backends.hpp"
+
+#include <utility>
+
+#include "common/strfmt.hpp"
+#include "compiler/reference.hpp"
+#include "vp/virtual_platform.hpp"
+
+namespace nvsoc::runtime {
+
+Status validate_prepared(const core::PreparedModel& prepared,
+                         const RunOptions& options, bool requires_program) {
+  if (prepared.loadable.ops.empty()) {
+    return {StatusCode::kInvalidArgument,
+            "prepared model has no compiled loadable (run the compile stage "
+            "first)"};
+  }
+  if (prepared.loadable.output_surface.span_bytes() == 0) {
+    return {StatusCode::kInvalidArgument,
+            "loadable declares an empty output surface"};
+  }
+  if (!requires_program) return Status::ok();
+
+  if (!(prepared.nvdla == options.flow.nvdla)) {
+    return {StatusCode::kInvalidArgument,
+            strfmt("hardware configuration mismatch: the prepared model's "
+                   "trace was captured on '{}' but the run requests '{}' — "
+                   "re-prepare for the requested NVDLA tree",
+                   prepared.nvdla.name, options.flow.nvdla.name)};
+  }
+  if (prepared.config_file.commands.size() != prepared.vp.trace.csb.size()) {
+    return {StatusCode::kInvalidArgument,
+            strfmt("loadable/trace mismatch: configuration file has {} "
+                   "commands but the VP trace has {} CSB records — the "
+                   "config file was not generated from this trace",
+                   prepared.config_file.commands.size(),
+                   prepared.vp.trace.csb.size())};
+  }
+  if (prepared.program.image.bytes.empty()) {
+    return {StatusCode::kInvalidArgument,
+            "prepared model has no bare-metal program (machine code image "
+            "is empty)"};
+  }
+  if (prepared.program.image.bytes.size() > options.flow.program_memory_bytes) {
+    return {StatusCode::kOutOfRange,
+            strfmt("program-memory overflow: machine code is {} bytes but "
+                   "the SoC's program memory holds {} bytes",
+                   prepared.program.image.bytes.size(),
+                   options.flow.program_memory_bytes)};
+  }
+  return Status::ok();
+}
+
+namespace {
+
+ExecutionResult from_soc_execution(const ExecutionBackend& backend,
+                                   const core::PreparedModel& prepared,
+                                   const RunOptions& options,
+                                   core::SocExecution exec) {
+  ExecutionResult result;
+  result.backend = backend.name();
+  result.model = prepared.model_name;
+  result.cycles = exec.cycles;
+  result.clock = options.flow.soc_clock;
+  result.ms = exec.ms;
+  result.output = exec.output;
+  result.predicted_class = exec.predicted_class;
+  result.soc = std::move(exec);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
+                                          const RunOptions& options) const {
+  if (options.validate) {
+    if (Status s = validate_prepared(prepared, options, true); !s.is_ok())
+      return s;
+  }
+  try {
+    return from_soc_execution(*this, prepared, options,
+                              core::execute_on_soc(prepared, options.flow));
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+}
+
+StatusOr<ExecutionResult> SystemTopBackend::run(
+    const core::PreparedModel& prepared, const RunOptions& options) const {
+  if (options.validate) {
+    if (Status s = validate_prepared(prepared, options, true); !s.is_ok())
+      return s;
+  }
+  try {
+    return from_soc_execution(
+        *this, prepared, options,
+        core::execute_on_system_top(prepared, options.flow));
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+}
+
+StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
+                                         const RunOptions& options) const {
+  if (options.validate) {
+    if (Status s = validate_prepared(prepared, options, false); !s.is_ok())
+      return s;
+  }
+  try {
+    ExecutionResult result;
+    result.backend = name();
+    result.model = prepared.model_name;
+    result.clock = options.flow.soc_clock;
+    if (prepared.vp.total_cycles != 0 &&
+        prepared.nvdla == options.flow.nvdla) {
+      // The prepared model's trace stage is exactly this platform's run for
+      // this input and hardware tree (the VP is deterministic); reuse it
+      // instead of re-simulating.
+      result.cycles = prepared.vp.total_cycles;
+      result.output = prepared.vp.output;
+    } else {
+      vp::VirtualPlatform platform(options.flow.nvdla);
+      const vp::VpRunResult vp_result =
+          platform.run(prepared.loadable, prepared.input);
+      result.cycles = vp_result.total_cycles;
+      result.output = vp_result.output;
+    }
+    result.ms = cycles_to_ms(result.cycles, options.flow.soc_clock);
+    result.predicted_class = compiler::argmax(result.output);
+    return result;
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+}
+
+StatusOr<ExecutionResult> LinuxBaselineBackend::run(
+    const core::PreparedModel& prepared, const RunOptions& options) const {
+  if (options.validate) {
+    if (Status s = validate_prepared(prepared, options, false); !s.is_ok())
+      return s;
+  }
+  if (prepared.vp.total_cycles == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "linux_baseline needs the VP trace stage (accelerator "
+                  "cycle count) of the prepared model");
+  }
+  try {
+    const baseline::LinuxRunEstimate estimate =
+        platform_.estimate(prepared.loadable, prepared.vp.total_cycles);
+    ExecutionResult result;
+    result.backend = name();
+    result.model = prepared.model_name;
+    result.cycles = estimate.total_cycles;
+    result.clock = platform_.config().clock;
+    result.ms = estimate.ms;
+    // Same NVDLA, same loadable: the accelerator result is functionally
+    // identical to the VP run; only the software envelope differs.
+    result.output = prepared.vp.output;
+    result.predicted_class = compiler::argmax(result.output);
+    result.linux_estimate = estimate;
+    return result;
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+}
+
+}  // namespace nvsoc::runtime

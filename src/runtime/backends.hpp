@@ -1,0 +1,68 @@
+// The four built-in execution backends.
+//
+//   "soc"            Fig. 2 — standalone SoC, internal DRAM model
+//   "system_top"     Fig. 4 — Zynq-PS preload, SmartConnect, CDC, MIG DDR4
+//   "vp"             Fig. 3 — direct virtual-platform execution (no fabric)
+//   "linux_baseline" Table II comparator — Linux driver stack of Giri [8]
+//
+// All four wrap existing machinery (core::execute_on_*, vp::VirtualPlatform,
+// baseline::LinuxDriverBaseline); the bare-metal backends are bit-exact
+// with the legacy facade calls they replace.
+#pragma once
+
+#include "runtime/execution_backend.hpp"
+
+namespace nvsoc::runtime {
+
+/// Fig. 2: the generated bare-metal program runs on the standalone SoC.
+class SocBackend final : public ExecutionBackend {
+ public:
+  std::string_view name() const override { return "soc"; }
+  std::string_view description() const override {
+    return "standalone SoC (Fig. 2, internal DRAM)";
+  }
+  StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
+                                const RunOptions& options) const override;
+};
+
+/// Fig. 4: full board set-up — PS preload, SmartConnect switch, CDC, MIG.
+class SystemTopBackend final : public ExecutionBackend {
+ public:
+  std::string_view name() const override { return "system_top"; }
+  std::string_view description() const override {
+    return "full board set-up (Fig. 4: Zynq-PS preload, SmartConnect, MIG DDR4)";
+  }
+  StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
+                                const RunOptions& options) const override;
+};
+
+/// Fig. 3: run the loadable directly on the virtual platform (the paper's
+/// simulation-only path, used for nv_full in Table III).
+class VpBackend final : public ExecutionBackend {
+ public:
+  std::string_view name() const override { return "vp"; }
+  std::string_view description() const override {
+    return "NVDLA virtual platform (Fig. 3, direct execution)";
+  }
+  StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
+                                const RunOptions& options) const override;
+};
+
+/// Table II comparator: the Linux-kernel driver-stack platform model.
+class LinuxBaselineBackend final : public ExecutionBackend {
+ public:
+  explicit LinuxBaselineBackend(baseline::LinuxPlatformConfig config = {})
+      : platform_(config) {}
+
+  std::string_view name() const override { return "linux_baseline"; }
+  std::string_view description() const override {
+    return "Linux driver-stack platform (Giri et al. [8], 50 MHz)";
+  }
+  StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
+                                const RunOptions& options) const override;
+
+ private:
+  baseline::LinuxDriverBaseline platform_;
+};
+
+}  // namespace nvsoc::runtime

@@ -1,0 +1,62 @@
+// ExecutionBackend — the pluggable execution layer of the runtime API.
+//
+// The paper's flow is inherently multi-target: the same compiled network
+// runs on the virtual platform (Fig. 3), the standalone SoC (Fig. 2), the
+// full board set-up (Fig. 4) and the Linux-stack comparator platform
+// (Table II). A backend takes the staged artifacts of a PreparedModel and
+// executes (or models) one inference on its platform, reporting a
+// backend-independent ExecutionResult. Failures at this boundary —
+// inconsistent artifacts, program-memory overflow, execution faults — come
+// back as StatusOr, never as exceptions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/linux_baseline.hpp"
+#include "common/status.hpp"
+#include "core/bare_metal_flow.hpp"
+
+namespace nvsoc::runtime {
+
+/// Per-run knobs shared by every backend.
+struct RunOptions {
+  core::FlowConfig flow;  ///< clocks, NVDLA config, memory sizes, wait mode
+  /// Check artifact consistency (loadable vs trace vs program, program
+  /// memory capacity) before executing instead of running garbage.
+  bool validate = true;
+};
+
+/// Backend-independent view of one inference execution.
+struct ExecutionResult {
+  std::string backend;  ///< registry name that produced the result
+  std::string model;
+  Cycle cycles = 0;     ///< platform cycles at `clock`
+  Hertz clock = 0;
+  double ms = 0.0;
+  std::vector<float> output;
+  std::size_t predicted_class = 0;
+  /// Platform-specific detail, present where it applies.
+  std::optional<core::SocExecution> soc;  ///< SocBackend / SystemTopBackend
+  std::optional<baseline::LinuxRunEstimate> linux_estimate;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  virtual StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
+                                        const RunOptions& options) const = 0;
+};
+
+/// Consistency checks shared by the backends. `requires_program` is true
+/// for the bare-metal platforms (they consume the generated machine code);
+/// the VP and baseline backends only need the compiled loadable + trace.
+Status validate_prepared(const core::PreparedModel& prepared,
+                         const RunOptions& options, bool requires_program);
+
+}  // namespace nvsoc::runtime

@@ -25,6 +25,8 @@ struct CsbRecord {
   Addr addr = 0;
   std::uint32_t data = 0;  ///< write data, or read response data
   bool is_write = false;
+
+  bool operator==(const CsbRecord&) const = default;
 };
 
 struct DbbRecord {

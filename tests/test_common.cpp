@@ -94,12 +94,12 @@ TEST(Status, CodesAndMessages) {
   EXPECT_THROW(err.expect_ok("ctx"), std::runtime_error);
 }
 
-TEST(Status, ResultHoldsValueOrStatus) {
-  Result<int> good(7);
+TEST(Status, StatusOrHoldsValueOrStatus) {
+  StatusOr<int> good(7);
   EXPECT_TRUE(good.is_ok());
   EXPECT_EQ(good.value(), 7);
 
-  Result<int> bad(StatusCode::kNotFound, "missing");
+  StatusOr<int> bad(StatusCode::kNotFound, "missing");
   EXPECT_FALSE(bad.is_ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
   EXPECT_THROW(bad.value(), std::runtime_error);

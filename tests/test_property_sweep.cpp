@@ -8,7 +8,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
-#include "core/bare_metal_flow.hpp"
+#include "runtime/inference_session.hpp"
 
 namespace nvsoc {
 namespace {
@@ -88,8 +88,11 @@ TEST_P(RandomNetworkSweep, FullStackAgreesWithReference) {
   core::FlowConfig config;
   config.weight_seed = GetParam() * 31 + 1;
   config.input_seed = GetParam() * 17 + 2;
-  const auto prepared = core::prepare_model(net, config);
-  const auto exec = core::execute_on_soc(prepared, config);
+  runtime::InferenceSession session(net, config);
+  const auto run = session.run("soc");
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  const auto& exec = *run->soc;
+  const auto& prepared = session.prepared();
 
   // 1. SoC output is bit-identical to the VP run.
   ASSERT_EQ(exec.output.size(), prepared.vp.output.size());

@@ -1,19 +1,16 @@
 // Per-layer profiling report tests.
 #include <gtest/gtest.h>
 
-#include "core/bare_metal_flow.hpp"
 #include "core/report.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 namespace nvsoc::core {
 namespace {
 
 const PreparedModel& prepared() {
-  static const PreparedModel p = [] {
-    FlowConfig config;
-    return prepare_model(models::lenet5(), config);
-  }();
-  return p;
+  static runtime::InferenceSession session(models::lenet5());
+  return session.prepared();
 }
 
 TEST(Report, ProfileAlignsWithLoadable) {

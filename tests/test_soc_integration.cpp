@@ -1,28 +1,31 @@
-// SoC integration tests: the complete bare-metal loop (Fig. 1 + Fig. 2),
-// the Fig. 4 board set-up, bus census sanity, FPGA resource table, and the
-// Linux-baseline shape properties.
+// SoC integration tests: the complete bare-metal loop (Fig. 1 + Fig. 2)
+// through the runtime API, the Fig. 4 board set-up, bus census sanity,
+// FPGA resource table, and the Linux-baseline shape properties.
 #include <gtest/gtest.h>
 
-#include "baseline/linux_baseline.hpp"
-#include "core/bare_metal_flow.hpp"
 #include "fpga/resources.hpp"
 #include "models/models.hpp"
+#include "runtime/inference_session.hpp"
 
 namespace nvsoc {
 namespace {
 
-/// Prepared LeNet, shared across the suite (preparation runs the whole
-/// offline flow once).
-const core::PreparedModel& prepared_lenet() {
-  static const core::PreparedModel prepared = [] {
-    core::FlowConfig config;
-    return core::prepare_model(models::lenet5(), config);
-  }();
-  return prepared;
+/// LeNet session shared across the suite (the staged offline flow runs
+/// once; every backend reuses the same prepared artifacts).
+runtime::InferenceSession& lenet() {
+  static runtime::InferenceSession session(models::lenet5());
+  return session;
+}
+
+runtime::ExecutionResult run_or_die(runtime::InferenceSession& session,
+                                    const std::string& backend) {
+  auto result = session.run(backend);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
 }
 
 TEST(Flow, PreparationProducesAllArtifacts) {
-  const auto& p = prepared_lenet();
+  const auto& p = lenet().prepared();
   EXPECT_EQ(p.model_name, "lenet5");
   EXPECT_FALSE(p.loadable.ops.empty());
   EXPECT_FALSE(p.config_file.commands.empty());
@@ -36,19 +39,18 @@ TEST(Flow, SocExecutionMatchesVirtualPlatformBitExactly) {
   // The central correctness claim: the generated bare-metal program running
   // on the µRISC-V drives NVDLA to the exact same result as the VP run the
   // trace was captured from.
-  core::FlowConfig config;
-  const auto exec = core::execute_on_soc(prepared_lenet(), config);
-  EXPECT_EQ(exec.cpu.reason, rv::HaltReason::kEbreak);
-  EXPECT_EQ(core::max_abs_diff(prepared_lenet().vp.output, exec.output),
+  const auto exec = run_or_die(lenet(), "soc");
+  ASSERT_TRUE(exec.soc.has_value());
+  EXPECT_EQ(exec.soc->cpu.reason, rv::HaltReason::kEbreak);
+  EXPECT_EQ(core::max_abs_diff(lenet().prepared().vp.output, exec.output),
             0.0f);
   EXPECT_EQ(exec.predicted_class,
-            compiler::argmax(prepared_lenet().reference_output));
+            compiler::argmax(lenet().prepared().reference_output));
 }
 
 TEST(Flow, SystemTopMatchesSocFunctionally) {
-  core::FlowConfig config;
-  const auto on_soc = core::execute_on_soc(prepared_lenet(), config);
-  const auto on_top = core::execute_on_system_top(prepared_lenet(), config);
+  const auto on_soc = run_or_die(lenet(), "soc");
+  const auto on_top = run_or_die(lenet(), "system_top");
   EXPECT_EQ(on_soc.output, on_top.output);
   // The Fig. 4 path (CDC + SmartConnect + MIG) costs extra cycles.
   EXPECT_GT(on_top.cycles, on_soc.cycles);
@@ -57,17 +59,16 @@ TEST(Flow, SystemTopMatchesSocFunctionally) {
 }
 
 TEST(Flow, LeNetLatencyInPaperBallpark) {
-  core::FlowConfig config;
-  const auto exec = core::execute_on_system_top(prepared_lenet(), config);
+  const auto exec = run_or_die(lenet(), "system_top");
   // Table II: 4.8 ms at 100 MHz. The model must land within 50%.
   EXPECT_GT(exec.ms, 2.4);
   EXPECT_LT(exec.ms, 7.2);
 }
 
 TEST(Flow, BusCensusIsConsistent) {
-  core::FlowConfig config;
-  const auto exec = core::execute_on_soc(prepared_lenet(), config);
-  const auto& c = exec.census;
+  const auto exec = run_or_die(lenet(), "soc");
+  ASSERT_TRUE(exec.soc.has_value());
+  const auto& c = exec.soc->census;
   // Every CSB transfer went through decoder -> ahb2apb -> apb2csb.
   EXPECT_EQ(c.ahb2apb.transfers(), c.apb2csb.transfers());
   EXPECT_GE(c.decoder.transfers(),
@@ -77,30 +78,30 @@ TEST(Flow, BusCensusIsConsistent) {
   EXPECT_GT(c.arbiter_dbb.grants, 0u);
   // The config path saw every register write of the configuration file.
   EXPECT_GE(c.apb2csb.writes,
-            prepared_lenet().config_file.write_count());
+            lenet().prepared().config_file.write_count());
 }
 
 TEST(Flow, PollingLoopsSpinUntilCompletion) {
-  core::FlowConfig config;
-  const auto exec = core::execute_on_soc(prepared_lenet(), config);
+  const auto exec = run_or_die(lenet(), "soc");
+  ASSERT_TRUE(exec.soc.has_value());
   // The CPU must have read the interrupt-status register far more often
   // than the trace's read_reg count (polling), and branched accordingly.
-  EXPECT_GT(exec.census.apb2csb.reads,
-            prepared_lenet().config_file.read_count() * 10);
-  EXPECT_GT(exec.cpu_stats.taken_branches, 100u);
+  EXPECT_GT(exec.soc->census.apb2csb.reads,
+            lenet().prepared().config_file.read_count() * 10);
+  EXPECT_GT(exec.soc->cpu_stats.taken_branches, 100u);
 }
 
 TEST(Flow, ResNet18Int8EndToEnd) {
-  core::FlowConfig config;
-  const auto prepared = core::prepare_model(models::resnet18_cifar(), config);
-  const auto exec = core::execute_on_system_top(prepared, config);
-  EXPECT_EQ(core::max_abs_diff(prepared.vp.output, exec.output), 0.0f);
+  runtime::InferenceSession session(models::resnet18_cifar());
+  const auto exec = run_or_die(session, "system_top");
+  EXPECT_EQ(core::max_abs_diff(session.prepared().vp.output, exec.output),
+            0.0f);
   // Table II: 16.2 ms; require the right order of magnitude and that
   // ResNet-18 is slower than LeNet-5 (the paper's ordering).
   EXPECT_GT(exec.ms, 8.0);
   EXPECT_LT(exec.ms, 33.0);
   EXPECT_EQ(exec.predicted_class,
-            compiler::argmax(prepared.reference_output));
+            compiler::argmax(session.prepared().reference_output));
 }
 
 TEST(Flow, Fp16FullConfigurationOnSoc) {
@@ -109,12 +110,16 @@ TEST(Flow, Fp16FullConfigurationOnSoc) {
   core::FlowConfig config;
   config.nvdla = nvdla::NvdlaConfig::full();
   config.precision = nvdla::Precision::kFp16;
-  const auto prepared = core::prepare_model(models::lenet5(), config);
-  const auto exec = core::execute_on_soc(prepared, config);
-  EXPECT_EQ(core::max_abs_diff(prepared.vp.output, exec.output), 0.0f);
+  runtime::InferenceSession session(models::lenet5(), config);
+  const auto exec = run_or_die(session, "soc");
+  EXPECT_EQ(core::max_abs_diff(session.prepared().vp.output, exec.output),
+            0.0f);
   // FP16 tracks the FP32 reference tightly.
-  EXPECT_LT(core::max_abs_diff(prepared.reference_output, exec.output),
+  EXPECT_LT(core::max_abs_diff(session.prepared().reference_output,
+                               exec.output),
             0.01f);
+  // FP16 skips the calibration stage entirely.
+  EXPECT_EQ(session.counters().calibration, 0u);
 }
 
 
@@ -123,19 +128,21 @@ TEST(Flow, InterruptModeMatchesPollingFunctionally) {
   // instead of busy-polling the CSB. Same output, far fewer instructions
   // and CSB status reads; completion time within a few percent (the wake
   // is event-accurate).
-  core::FlowConfig poll_config;
   core::FlowConfig irq_config;
   irq_config.wait_mode = toolflow::WaitMode::kInterrupt;
+  runtime::InferenceSession irq_session(models::lenet5(), irq_config);
+  EXPECT_NE(irq_session.prepared().program.assembly.find("wfi"),
+            std::string::npos);
 
-  const auto poll_prep = core::prepare_model(models::lenet5(), poll_config);
-  const auto irq_prep = core::prepare_model(models::lenet5(), irq_config);
-  EXPECT_NE(irq_prep.program.assembly.find("wfi"), std::string::npos);
-
-  const auto poll_exec = core::execute_on_soc(poll_prep, poll_config);
-  const auto irq_exec = core::execute_on_soc(irq_prep, irq_config);
+  const auto poll_exec = run_or_die(lenet(), "soc");
+  const auto irq_exec = run_or_die(irq_session, "soc");
+  ASSERT_TRUE(poll_exec.soc.has_value());
+  ASSERT_TRUE(irq_exec.soc.has_value());
   EXPECT_EQ(poll_exec.output, irq_exec.output);
-  EXPECT_LT(irq_exec.cpu.instructions, poll_exec.cpu.instructions / 4);
-  EXPECT_LT(irq_exec.census.apb2csb.reads, poll_exec.census.apb2csb.reads);
+  EXPECT_LT(irq_exec.soc->cpu.instructions,
+            poll_exec.soc->cpu.instructions / 4);
+  EXPECT_LT(irq_exec.soc->census.apb2csb.reads,
+            poll_exec.soc->census.apb2csb.reads);
   // Wall-clock (cycle) difference small: polling granularity vs exact wake.
   const double ratio = static_cast<double>(irq_exec.cycles) /
                        static_cast<double>(poll_exec.cycles);
@@ -198,21 +205,17 @@ TEST(Resources, UtilizationScalesWithMacs) {
 // ---------------------------------------------------------------------------
 
 TEST(Baseline, OverheadDominatesSmallModels) {
-  baseline::LinuxDriverBaseline linux_platform;
-  const auto& p = prepared_lenet();
-  const auto est = linux_platform.estimate(p.loadable, p.vp.total_cycles);
-  EXPECT_GT(est.overhead_fraction(), 0.9);  // LeNet: almost all software
+  const auto est = run_or_die(lenet(), "linux_baseline");
+  ASSERT_TRUE(est.linux_estimate.has_value());
+  EXPECT_GT(est.linux_estimate->overhead_fraction(), 0.9);
   // Paper: 263 ms on the 50 MHz Linux platform.
   EXPECT_GT(est.ms, 150.0);
   EXPECT_LT(est.ms, 400.0);
 }
 
 TEST(Baseline, SpeedupShapeMatchesTable2) {
-  baseline::LinuxDriverBaseline linux_platform;
-  core::FlowConfig config;
-  const auto& p = prepared_lenet();
-  const auto bare = core::execute_on_system_top(p, config);
-  const auto est = linux_platform.estimate(p.loadable, p.vp.total_cycles);
+  const auto bare = run_or_die(lenet(), "system_top");
+  const auto est = run_or_die(lenet(), "linux_baseline");
   // Paper: 4.8 ms vs 263 ms -> ~55x. Require a large one-sided win.
   EXPECT_GT(est.ms / bare.ms, 20.0);
 }
