@@ -35,7 +35,7 @@ int main() {
        {models::nv_small_zoo()[0], models::nv_small_zoo()[1]}) {
     auto session = std::make_unique<runtime::InferenceSession>(info.build());
     const auto exec = session->run("system_top");
-    if (!exec.ok()) {
+    if (!exec.is_ok()) {
       std::fprintf(stderr, "%s failed: %s\n", info.name.c_str(),
                    exec.status().to_string().c_str());
       return 2;
@@ -56,7 +56,7 @@ int main() {
       const runtime::LinuxBaselineBackend backend(cfg);
       const auto est = backend.run(point.session->prepared(),
                                    runtime::RunOptions{});
-      if (!est.ok()) {
+      if (!est.is_ok()) {
         std::fprintf(stderr, "baseline failed: %s\n",
                      est.status().to_string().c_str());
         return 2;
@@ -80,7 +80,7 @@ int main() {
   std::printf("Overhead fraction at the calibrated point:\n");
   for (auto& point : points) {
     const auto est = point.session->run("linux_baseline");
-    if (!est.ok()) {
+    if (!est.is_ok()) {
       std::fprintf(stderr, "baseline failed: %s\n",
                    est.status().to_string().c_str());
       return 2;

@@ -52,7 +52,7 @@ int main() {
     flow.nvdla = cfg;
     runtime::InferenceSession session(net, flow);
     const auto exec = session.run("vp");
-    if (!exec.ok()) {
+    if (!exec.is_ok()) {
       std::fprintf(stderr, "%s failed: %s\n", p.name,
                    exec.status().to_string().c_str());
       return 2;

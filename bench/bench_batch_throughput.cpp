@@ -1,0 +1,134 @@
+// Batched-inference throughput: sequential run_batch vs thread-pooled
+// run_batch_parallel on the same InferenceSession artifacts.
+//
+// The serving story behind the runtime API: the offline flow is staged
+// once (weights, calibration, loadable, one VP trace), then every further
+// image only repacks the input surface — so a multi-user batch is
+// embarrassingly parallel, each worker executing on its own SoC/VP
+// instance. This bench measures what that buys end to end and reports
+// images/sec for the perf trajectory (BENCH_batch_throughput.json).
+//
+// Wall-clock metrics (ms, images/sec, speedup) vary with the host; the
+// platform_cycles_per_image metric is simulator-deterministic and is what
+// bench/check_regression.py tracks across PRs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "models/models.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace nvsoc;
+
+namespace {
+
+double wall_ms(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Batch throughput: sequential run_batch vs run_batch_parallel");
+  bench::JsonReport report("batch_throughput");
+
+  constexpr std::size_t kImages = 8;
+  // Floor of 2 so the pooled path is exercised (not silently degraded to
+  // run_batch) even on single-core hosts; there the speedup honestly reads
+  // ~1x and the scaling shows up on multi-core machines.
+  const std::size_t workers =
+      std::max<std::size_t>(2, runtime::ThreadPool::recommended_workers(kImages));
+
+  struct Case {
+    const char* model;
+    compiler::Network (*build)();
+    const char* backend;
+  };
+  const Case cases[] = {
+      {"lenet5", models::lenet5, "soc"},
+      {"lenet5", models::lenet5, "vp"},
+      {"resnet18", models::resnet18_cifar, "soc"},
+  };
+
+  std::printf("%-10s %-6s %3s img | %10s %10s | %9s %9s | %7s\n", "Model",
+              "Backend", "", "seq", "parallel", "seq im/s", "par im/s",
+              "speedup");
+
+  for (const auto& c : cases) {
+    const compiler::Network network = c.build();
+    std::vector<std::vector<float>> images;
+    for (std::size_t i = 0; i < kImages; ++i) {
+      images.push_back(
+          compiler::synthetic_input(network.input_shape(), 9000 + i));
+    }
+
+    runtime::InferenceSession sequential(c.build());
+    runtime::InferenceSession parallel(c.build());
+    // Stage the shared artifacts outside the timed region for both paths:
+    // the bench measures batch execution, not one-time compilation.
+    (void)sequential.prepare(images.front());
+    (void)parallel.prepare(images.front());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto seq = sequential.run_batch(c.backend, images);
+    const auto t1 = std::chrono::steady_clock::now();
+    runtime::BatchOptions options;
+    options.workers = workers;
+    const auto par = parallel.run_batch_parallel(c.backend, images, options);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!seq.is_ok() || !par.is_ok()) {
+      std::fprintf(stderr, "%s/%s failed: %s%s\n", c.model, c.backend,
+                   seq.status().to_string().c_str(),
+                   par.status().to_string().c_str());
+      return 2;
+    }
+
+    Cycle total_cycles = 0;
+    bool bit_exact = true;
+    for (std::size_t i = 0; i < kImages; ++i) {
+      total_cycles += (*seq)[i].cycles;
+      bit_exact = bit_exact && (*seq)[i].output == (*par)[i].output &&
+                  (*seq)[i].cycles == (*par)[i].cycles;
+    }
+    if (!bit_exact) {
+      std::fprintf(stderr, "%s/%s: parallel results diverge from sequential\n",
+                   c.model, c.backend);
+      return 2;
+    }
+
+    const double seq_ms = wall_ms(t0, t1);
+    const double par_ms = wall_ms(t1, t2);
+    const double seq_ips = kImages / (seq_ms / 1e3);
+    const double par_ips = kImages / (par_ms / 1e3);
+    const std::string section = std::string(c.model) + "_" + c.backend;
+    std::printf("%-10s %-6s %3zu img | %7.1f ms %7.1f ms | %9.1f %9.1f | "
+                "%6.2fx\n",
+                c.model, c.backend, kImages, seq_ms, par_ms, seq_ips, par_ips,
+                seq_ms / par_ms);
+    std::fflush(stdout);
+
+    report.add(section, "images", static_cast<std::uint64_t>(kImages));
+    report.add(section, "workers", static_cast<std::uint64_t>(workers));
+    report.add(section, "sequential_wall_ms", seq_ms);
+    report.add(section, "parallel_wall_ms", par_ms);
+    report.add(section, "sequential_images_per_sec", seq_ips);
+    report.add(section, "parallel_images_per_sec", par_ips);
+    report.add(section, "speedup", seq_ms / par_ms);
+    report.add(section, "platform_cycles_per_image",
+               static_cast<std::uint64_t>(total_cycles / kImages));
+    report.add(section, "vp_replays_sequential",
+               static_cast<std::uint64_t>(sequential.counters().trace));
+    report.add(section, "vp_replays_parallel",
+               static_cast<std::uint64_t>(parallel.counters().trace));
+  }
+
+  report.write();
+  bench::print_footer_note(
+      "Same staged artifacts, one VP replay per session; parallel results "
+      "are bit-exact with sequential (verified above).");
+  return 0;
+}

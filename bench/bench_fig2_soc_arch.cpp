@@ -30,7 +30,7 @@ int main() {
 
   runtime::InferenceSession session(models::lenet5());
   const auto exec = session.run("soc");
-  if (!exec.ok()) {
+  if (!exec.is_ok()) {
     std::fprintf(stderr, "run failed: %s\n", exec.status().to_string().c_str());
     return 2;
   }

@@ -41,7 +41,7 @@ int main() {
     runtime::InferenceSession session(info.build());  // nv_small INT8 100 MHz
     const auto exec = session.run("system_top");
     const auto linux_est = session.run("linux_baseline");
-    if (!exec.ok() || !linux_est.ok()) {
+    if (!exec.is_ok() || !linux_est.is_ok()) {
       std::fprintf(stderr, "%s failed: %s%s\n", info.name.c_str(),
                    exec.status().to_string().c_str(),
                    linux_est.status().to_string().c_str());

@@ -32,7 +32,7 @@ int main() {
     config.precision = nvdla::Precision::kFp16;
     runtime::InferenceSession session(net, config);
     const auto exec = session.run("vp");
-    if (!exec.ok()) {
+    if (!exec.is_ok()) {
       std::fprintf(stderr, "%s failed: %s\n", info.name.c_str(),
                    exec.status().to_string().c_str());
       return 2;

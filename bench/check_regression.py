@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Cross-PR perf trajectory check over the BENCH_*.json reports.
+
+Compares freshly emitted bench reports against the committed baselines in
+bench/baselines/ and fails on cycle regressions: any *deterministic* metric
+(key containing "cycles" — the simulator is cycle-reproducible across
+hosts) that grew by more than the threshold sinks the check. Wall-clock
+metrics (ms, images/sec) vary with the host and are never gated on.
+
+Usage:
+    python3 bench/check_regression.py [--current-dir DIR]
+        [--baseline-dir bench/baselines] [--threshold 0.10]
+
+Exit status: 0 clean, 1 on regressions or missing reports/metrics.
+
+When a cycle count legitimately changes (a modelling fix, a new stage),
+refresh the baseline by copying the new BENCH_<name>.json over
+bench/baselines/ in the same PR and call it out in the PR description.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def is_gated_metric(key: str) -> bool:
+    return "cycles" in key
+
+
+def load_report(path: pathlib.Path) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    return report.get("sections", {})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current-dir", default=".", type=pathlib.Path,
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--baseline-dir",
+                        default=pathlib.Path(__file__).parent / "baselines",
+                        type=pathlib.Path)
+    parser.add_argument("--threshold", default=0.10, type=float,
+                        help="relative growth that counts as a regression")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    checked = 0
+    for baseline_path in baselines:
+        current_path = args.current_dir / baseline_path.name
+        if not current_path.exists():
+            failures.append(f"{baseline_path.name}: report not emitted "
+                            f"(expected {current_path})")
+            continue
+        baseline = load_report(baseline_path)
+        current = load_report(current_path)
+        for section, metrics in baseline.items():
+            for key, base_value in metrics.items():
+                if not is_gated_metric(key):
+                    continue
+                where = f"{baseline_path.name}:{section}.{key}"
+                if section not in current or key not in current[section]:
+                    failures.append(f"{where}: metric missing from new report")
+                    continue
+                new_value = current[section][key]
+                checked += 1
+                if not isinstance(base_value, (int, float)) or base_value <= 0:
+                    continue
+                growth = (new_value - base_value) / base_value
+                if growth > args.threshold:
+                    failures.append(
+                        f"{where}: {base_value} -> {new_value} "
+                        f"(+{growth:.1%}, threshold {args.threshold:.0%})")
+                elif growth < -args.threshold:
+                    print(f"note: {where} improved {base_value} -> {new_value} "
+                          f"({growth:.1%}); consider refreshing the baseline")
+
+    for current_path in sorted(args.current_dir.glob("BENCH_*.json")):
+        if not (args.baseline_dir / current_path.name).exists():
+            print(f"note: {current_path.name} has no committed baseline; "
+                  f"copy it to {args.baseline_dir} to start tracking it")
+
+    if failures:
+        print(f"\nperf trajectory check FAILED "
+              f"({len(failures)} problem(s), {checked} metrics checked):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"perf trajectory check passed: {checked} cycle metrics within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
 
   runtime::InferenceSession session(net);
   const auto exec = session.run("soc");
-  if (!exec.ok()) {
+  if (!exec.is_ok()) {
     std::fprintf(stderr, "run failed: %s\n", exec.status().to_string().c_str());
     return 2;
   }

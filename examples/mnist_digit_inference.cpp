@@ -76,7 +76,7 @@ int main() {
   write_file(dir / "lenet5.loadable", prepared.loadable.to_bytes());
 
   const auto result = session.run("system_top", digit);
-  if (!result.ok()) {
+  if (!result.is_ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  result.status().to_string().c_str());
     return 2;

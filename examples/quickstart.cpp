@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   // 3. Execute on a backend selected by name.
   const auto result = session.run(backend);
-  if (!result.ok()) {
+  if (!result.is_ok()) {
     std::fprintf(stderr, "run failed: %s\n", result.status().to_string().c_str());
     return 2;
   }

@@ -69,16 +69,19 @@ class StatusOr {
       : storage_(Status(code == StatusCode::kOk ? StatusCode::kInternal : code,
                         std::move(message))) {}
 
-  bool ok() const { return std::holds_alternative<T>(storage_); }
-  bool is_ok() const { return ok(); }
+  /// The one success predicate of the Status vocabulary. (An instance
+  /// `ok()` spelling used to exist alongside it; `Status` cannot offer one
+  /// — the name is taken by the `Status::ok()` factory — so every call
+  /// site uses `is_ok()` for both types.)
+  bool is_ok() const { return std::holds_alternative<T>(storage_); }
 
   const T& value() const& {
-    if (!ok()) throw std::runtime_error("StatusOr::value on error: " +
+    if (!is_ok()) throw std::runtime_error("StatusOr::value on error: " +
                                         std::get<Status>(storage_).to_string());
     return std::get<T>(storage_);
   }
   T&& value() && {
-    if (!ok()) throw std::runtime_error("StatusOr::value on error: " +
+    if (!is_ok()) throw std::runtime_error("StatusOr::value on error: " +
                                         std::get<Status>(storage_).to_string());
     return std::get<T>(std::move(storage_));
   }
@@ -89,11 +92,12 @@ class StatusOr {
 
   template <typename U>
   T value_or(U&& fallback) const& {
-    return ok() ? std::get<T>(storage_) : static_cast<T>(std::forward<U>(fallback));
+    return is_ok() ? std::get<T>(storage_)
+                   : static_cast<T>(std::forward<U>(fallback));
   }
 
   Status status() const {
-    if (ok()) return Status::ok();
+    if (is_ok()) return Status::ok();
     return std::get<Status>(storage_);
   }
 

@@ -1,5 +1,6 @@
 #include "runtime/backend_registry.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/strfmt.hpp"
@@ -7,17 +8,34 @@
 
 namespace nvsoc::runtime {
 
+namespace {
+
+std::string join_sorted(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
 BackendRegistry& BackendRegistry::global() {
-  static BackendRegistry registry = [] {
-    BackendRegistry r;
-    r.add(std::make_unique<SocBackend>()).expect_ok("register soc");
-    r.add(std::make_unique<SystemTopBackend>())
+  // Populated in place: the variant-cache mutex makes the registry
+  // immovable.
+  static BackendRegistry registry;
+  static const bool initialized = [] {
+    registry.add(std::make_unique<SocBackend>()).expect_ok("register soc");
+    registry.add(std::make_unique<SystemTopBackend>())
         .expect_ok("register system_top");
-    r.add(std::make_unique<VpBackend>()).expect_ok("register vp");
-    r.add(std::make_unique<LinuxBaselineBackend>())
+    registry.add(std::make_unique<VpBackend>()).expect_ok("register vp");
+    registry.add(std::make_unique<LinuxBaselineBackend>())
         .expect_ok("register linux_baseline");
-    return r;
+    return true;
   }();
+  (void)initialized;
   return registry;
 }
 
@@ -37,17 +55,33 @@ Status BackendRegistry::add(std::unique_ptr<ExecutionBackend> backend) {
 
 StatusOr<const ExecutionBackend*> BackendRegistry::find(
     const std::string& name) const {
-  const auto it = backends_.find(name);
-  if (it == backends_.end()) {
-    std::string known;
-    for (const auto& [key, unused] : backends_) {
-      (void)unused;
-      if (!known.empty()) known += ", ";
-      known += key;
-    }
-    return Status(StatusCode::kNotFound,
-                  strfmt("unknown backend '{}' (known: {})", name, known));
+  if (const auto it = backends_.find(name); it != backends_.end()) {
+    return it->second.get();
   }
+
+  const auto spec = BackendSpec::parse(name);
+  if (!spec.is_ok()) return spec.status();
+  const auto base = backends_.find(spec->base);
+  if (base == backends_.end()) {
+    return Status(StatusCode::kNotFound,
+                  strfmt("unknown backend '{}' (known: {})", spec->base,
+                         join_sorted(names())));
+  }
+  if (!spec->configured()) {
+    // Degenerate spec like "soc?": no configuration, so the base backend
+    // itself is the answer.
+    return base->second.get();
+  }
+
+  std::lock_guard<std::mutex> lock(variants_mutex_);
+  if (const auto it = variants_.find(name); it != variants_.end()) {
+    return it->second.get();
+  }
+  auto variant = base->second->configure(*spec);
+  if (!variant.is_ok()) return variant.status();
+  const auto [it, inserted] =
+      variants_.emplace(name, std::move(variant).value());
+  (void)inserted;
   return it->second.get();
 }
 
@@ -58,6 +92,9 @@ std::vector<std::string> BackendRegistry::names() const {
     (void)unused;
     out.push_back(key);
   }
+  // std::map already iterates in key order; sort anyway so the contract
+  // ("stable, sorted") survives a change of container.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -2,10 +2,17 @@
 // services select the platform by name ("soc", "system_top", "vp",
 // "linux_baseline") — e.g. from a CLI flag — instead of hard-coding one of
 // the execute_on_* entry points.
+//
+// Beyond bare names, find() accepts configured-variant specs
+// ("linux_baseline@25mhz", "soc?wait_mode=polling&validate=off"): the spec
+// is parsed, the base backend's configure() builds the variant, and the
+// registry caches it under the spec string so repeated lookups — and the
+// pointers handed out — stay stable.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,15 +31,23 @@ class BackendRegistry {
   /// Register `backend` under its own name(). kAlreadyExists when taken.
   Status add(std::unique_ptr<ExecutionBackend> backend);
 
-  /// Look a backend up by name; kNotFound (listing the known names) when
-  /// unknown. The pointer is owned by the registry.
+  /// Look a backend up by name or configured-variant spec; kNotFound
+  /// (listing the known names, sorted) when the base name is unknown,
+  /// kInvalidArgument for a malformed spec. The pointer is owned by the
+  /// registry and stays valid for its lifetime. Thread-safe.
   StatusOr<const ExecutionBackend*> find(const std::string& name) const;
 
-  /// Registered names, sorted.
+  /// Registered base names (configured variants excluded), sorted so
+  /// `--help` output and error text are stable across platforms.
   std::vector<std::string> names() const;
 
  private:
   std::map<std::string, std::unique_ptr<ExecutionBackend>> backends_;
+  /// Configured variants built by find(), keyed by the spec string.
+  /// Mutable + locked: lookups are logically const and must be usable from
+  /// concurrent batch workers.
+  mutable std::map<std::string, std::unique_ptr<ExecutionBackend>> variants_;
+  mutable std::mutex variants_mutex_;
 };
 
 }  // namespace nvsoc::runtime

@@ -41,6 +41,18 @@ Status validate_prepared(const core::PreparedModel& prepared,
             "prepared model has no bare-metal program (machine code image "
             "is empty)"};
   }
+  if (prepared.program.wait_mode != options.flow.wait_mode) {
+    return {StatusCode::kInvalidArgument,
+            strfmt("wait-mode mismatch: the bare-metal program was "
+                   "generated for '{}' but the run requests '{}' — "
+                   "re-prepare with the requested wait mode",
+                   prepared.program.wait_mode == toolflow::WaitMode::kPoll
+                       ? "polling"
+                       : "wfi",
+                   options.flow.wait_mode == toolflow::WaitMode::kPoll
+                       ? "polling"
+                       : "wfi")};
+  }
   if (prepared.program.image.bytes.size() > options.flow.program_memory_bytes) {
     return {StatusCode::kOutOfRange,
             strfmt("program-memory overflow: machine code is {} bytes but "
@@ -52,6 +64,20 @@ Status validate_prepared(const core::PreparedModel& prepared,
 }
 
 namespace {
+
+/// Functional VP result for a repacked input, re-simulated on the prepared
+/// model's own hardware tree and memoized on the model (deterministic, so
+/// bit-exact with what a full per-image replay would have produced).
+const core::PreparedModel::VpRefresh& refreshed_vp(
+    const core::PreparedModel& prepared) {
+  if (!prepared.vp_refresh.has_value()) {
+    vp::VirtualPlatform platform(prepared.nvdla);
+    vp::VpRunResult fresh = platform.run(prepared.loadable, prepared.input);
+    prepared.vp_refresh.emplace(core::PreparedModel::VpRefresh{
+        fresh.total_cycles, std::move(fresh.output)});
+  }
+  return *prepared.vp_refresh;
+}
 
 ExecutionResult from_soc_execution(const ExecutionBackend& backend,
                                    const core::PreparedModel& prepared,
@@ -113,11 +139,20 @@ StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
     result.clock = options.flow.soc_clock;
     if (prepared.vp.total_cycles != 0 &&
         prepared.nvdla == options.flow.nvdla) {
-      // The prepared model's trace stage is exactly this platform's run for
-      // this input and hardware tree (the VP is deterministic); reuse it
-      // instead of re-simulating.
-      result.cycles = prepared.vp.total_cycles;
-      result.output = prepared.vp.output;
+      if (prepared.vp_matches_input) {
+        // The prepared model's trace stage is exactly this platform's run
+        // for this input and hardware tree (the VP is deterministic);
+        // reuse it instead of re-simulating.
+        result.cycles = prepared.vp.total_cycles;
+        result.output = prepared.vp.output;
+      } else {
+        // Repacked input: for this backend the simulation IS the
+        // execution, so one re-run is the cost of the inference — and it
+        // is memoized on the model so repeats stay free.
+        const auto& fresh = refreshed_vp(prepared);
+        result.cycles = fresh.total_cycles;
+        result.output = fresh.output;
+      }
     } else {
       vp::VirtualPlatform platform(options.flow.nvdla);
       const vp::VpRunResult vp_result =
@@ -145,8 +180,18 @@ StatusOr<ExecutionResult> LinuxBaselineBackend::run(
                   "cycle count) of the prepared model");
   }
   try {
+    Cycle accelerator_cycles = prepared.vp.total_cycles;
+    std::vector<float> output = prepared.vp.output;
+    if (!prepared.vp_matches_input) {
+      // Repacked input: the cached VP run describes the traced image, not
+      // this one. Use the memoized re-simulation on the prepared hardware
+      // tree for the functional result.
+      const auto& fresh = refreshed_vp(prepared);
+      accelerator_cycles = fresh.total_cycles;
+      output = fresh.output;
+    }
     const baseline::LinuxRunEstimate estimate =
-        platform_.estimate(prepared.loadable, prepared.vp.total_cycles);
+        platform_.estimate(prepared.loadable, accelerator_cycles);
     ExecutionResult result;
     result.backend = name();
     result.model = prepared.model_name;
@@ -155,13 +200,30 @@ StatusOr<ExecutionResult> LinuxBaselineBackend::run(
     result.ms = estimate.ms;
     // Same NVDLA, same loadable: the accelerator result is functionally
     // identical to the VP run; only the software envelope differs.
-    result.output = prepared.vp.output;
+    result.output = std::move(output);
     result.predicted_class = compiler::argmax(result.output);
     result.linux_estimate = estimate;
     return result;
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
+}
+
+StatusOr<std::unique_ptr<ExecutionBackend>> LinuxBaselineBackend::configure(
+    const BackendSpec& spec) const {
+  // The `@` clock configures the modelled platform itself (its CPU and
+  // NVDLA share one clock domain), not the RunOptions: build a re-clocked
+  // instance, then let the generic wrapper apply the remaining keys.
+  if (spec.clock.empty()) {
+    return ExecutionBackend::configure(spec);
+  }
+  const auto clock = parse_clock(spec.clock);
+  if (!clock.is_ok()) return clock.status();
+  baseline::LinuxPlatformConfig config = platform_.config();
+  config.clock = *clock;
+  return make_configured_backend(nullptr,
+                                 std::make_unique<LinuxBaselineBackend>(config),
+                                 spec, /*apply_clock=*/false);
 }
 
 }  // namespace nvsoc::runtime

@@ -60,6 +60,10 @@ class LinuxBaselineBackend final : public ExecutionBackend {
   }
   StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                 const RunOptions& options) const override;
+  /// "linux_baseline@25mhz" re-clocks the modelled platform (CPU + NVDLA
+  /// share the clock domain) instead of overriding RunOptions.
+  StatusOr<std::unique_ptr<ExecutionBackend>> configure(
+      const BackendSpec& spec) const override;
 
  private:
   baseline::LinuxDriverBaseline platform_;

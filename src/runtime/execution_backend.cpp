@@ -1,0 +1,205 @@
+// BackendSpec parsing and the generic configured-variant wrapper behind
+// ExecutionBackend::configure().
+#include "runtime/execution_backend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "common/strfmt.hpp"
+#include "toolflow/asm_emitter.hpp"
+
+namespace nvsoc::runtime {
+
+namespace {
+
+std::string lowered(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+/// The generic RunOptions adjustments a spec can ask for.
+struct FlowOverrides {
+  std::optional<Hertz> clock;
+  std::optional<toolflow::WaitMode> wait_mode;
+  std::optional<bool> validate;
+};
+
+StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
+                                            bool apply_clock) {
+  FlowOverrides overrides;
+  if (apply_clock && !spec.clock.empty()) {
+    const auto clock = parse_clock(spec.clock);
+    if (!clock.is_ok()) return clock.status();
+    overrides.clock = *clock;
+  }
+  for (const auto& [key, value] : spec.params) {
+    if (key == "wait_mode") {
+      const std::string v = lowered(value);
+      if (v == "polling" || v == "poll") {
+        overrides.wait_mode = toolflow::WaitMode::kPoll;
+      } else if (v == "wfi" || v == "interrupt") {
+        overrides.wait_mode = toolflow::WaitMode::kInterrupt;
+      } else {
+        return Status(StatusCode::kInvalidArgument,
+                      strfmt("backend spec '{}': wait_mode must be "
+                             "'polling' or 'wfi', got '{}'",
+                             spec.full, value));
+      }
+    } else if (key == "validate") {
+      const std::string v = lowered(value);
+      if (v == "on" || v == "true" || v == "1") {
+        overrides.validate = true;
+      } else if (v == "off" || v == "false" || v == "0") {
+        overrides.validate = false;
+      } else {
+        return Status(StatusCode::kInvalidArgument,
+                      strfmt("backend spec '{}': validate must be "
+                             "'on' or 'off', got '{}'",
+                             spec.full, value));
+      }
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    strfmt("backend spec '{}': unknown option '{}' "
+                           "(supported: wait_mode, validate)",
+                           spec.full, key));
+    }
+  }
+  return overrides;
+}
+
+/// A registry-hosted configured variant: applies the spec's overrides to
+/// the RunOptions and delegates to the underlying backend.
+class ConfiguredBackend final : public ExecutionBackend {
+ public:
+  ConfiguredBackend(const ExecutionBackend* base,
+                    std::unique_ptr<ExecutionBackend> owned, std::string name,
+                    FlowOverrides overrides)
+      : base_(base),
+        owned_(std::move(owned)),
+        name_(std::move(name)),
+        overrides_(overrides),
+        description_(std::string(base_->description()) +
+                     " [configured variant]") {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+
+  StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
+                                const RunOptions& options) const override {
+    RunOptions adjusted = options;
+    if (overrides_.clock) adjusted.flow.soc_clock = *overrides_.clock;
+    if (overrides_.wait_mode) adjusted.flow.wait_mode = *overrides_.wait_mode;
+    if (overrides_.validate) adjusted.validate = *overrides_.validate;
+    auto result = base_->run(prepared, adjusted);
+    if (!result.is_ok()) return result.status();
+    ExecutionResult value = std::move(result).value();
+    value.backend = name_;  // results report the spec that produced them
+    return value;
+  }
+
+ private:
+  const ExecutionBackend* base_;            ///< delegate (may == owned_)
+  std::unique_ptr<ExecutionBackend> owned_; ///< backend built for this spec
+  std::string name_;
+  FlowOverrides overrides_;
+  std::string description_;
+};
+
+}  // namespace
+
+StatusOr<BackendSpec> BackendSpec::parse(const std::string& spec) {
+  BackendSpec parsed;
+  parsed.full = spec;
+
+  std::string head = spec;
+  std::string query;
+  if (const auto qmark = head.find('?'); qmark != std::string::npos) {
+    query = head.substr(qmark + 1);
+    head.resize(qmark);
+  }
+  if (const auto at = head.find('@'); at != std::string::npos) {
+    parsed.clock = head.substr(at + 1);
+    head.resize(at);
+    if (parsed.clock.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    strfmt("backend spec '{}': '@' without a clock", spec));
+    }
+  }
+  parsed.base = head;
+  if (parsed.base.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("backend spec '{}': empty backend name", spec));
+  }
+
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    auto amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      return Status(StatusCode::kInvalidArgument,
+                    strfmt("backend spec '{}': expected key=value, got '{}'",
+                           spec, pair));
+    }
+    parsed.params.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    pos = amp + 1;
+  }
+  return parsed;
+}
+
+StatusOr<Hertz> parse_clock(const std::string& token) {
+  const std::string t = lowered(token);
+  std::size_t digits = 0;
+  std::size_t dots = 0;
+  while (digits < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[digits])) != 0 ||
+          t[digits] == '.')) {
+    if (t[digits] == '.') ++dots;
+    ++digits;
+  }
+  const std::string number = t.substr(0, digits);
+  const std::string unit = t.substr(digits);
+  if (dots > 1) {
+    // strtod would silently truncate "1.2.3" to 1.2; reject instead.
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad clock '{}': malformed number", token));
+  }
+  double scale = 0.0;
+  if (unit == "hz") scale = 1.0;
+  else if (unit == "khz") scale = 1e3;
+  else if (unit == "mhz") scale = 1e6;
+  else if (unit == "ghz") scale = 1e9;
+  if (number.empty() || scale == 0.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad clock '{}': expected <number><hz|khz|mhz|ghz>",
+                         token));
+  }
+  const double value = std::strtod(number.c_str(), nullptr) * scale;
+  if (value < 1.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad clock '{}': below 1 Hz", token));
+  }
+  return static_cast<Hertz>(value);
+}
+
+StatusOr<std::unique_ptr<ExecutionBackend>> make_configured_backend(
+    const ExecutionBackend* base, std::unique_ptr<ExecutionBackend> owned,
+    const BackendSpec& spec, bool apply_clock) {
+  const auto overrides = overrides_from_spec(spec, apply_clock);
+  if (!overrides.is_ok()) return overrides.status();
+  if (owned != nullptr) base = owned.get();
+  return std::unique_ptr<ExecutionBackend>(std::make_unique<ConfiguredBackend>(
+      base, std::move(owned), spec.full, *overrides));
+}
+
+StatusOr<std::unique_ptr<ExecutionBackend>> ExecutionBackend::configure(
+    const BackendSpec& spec) const {
+  return make_configured_backend(this, nullptr, spec, /*apply_clock=*/true);
+}
+
+}  // namespace nvsoc::runtime

@@ -10,8 +10,10 @@
 // back as StatusOr, never as exceptions.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/linux_baseline.hpp"
@@ -19,6 +21,31 @@
 #include "core/bare_metal_flow.hpp"
 
 namespace nvsoc::runtime {
+
+/// A parsed string-keyed backend spec. Registries accept configured
+/// variants of their backends by name, so a CLI flag alone can select
+/// both the platform and its operating point:
+///
+///   "linux_baseline@25mhz"            clock override
+///   "soc?wait_mode=polling"           key/value options
+///   "system_top@50mhz?validate=off"   both
+///
+/// Grammar: `base[@clock][?key=value[&key=value]...]`.
+struct BackendSpec {
+  std::string full;   ///< the spec as written (the variant's name)
+  std::string base;   ///< registry name of the backend to configure
+  std::string clock;  ///< raw `@` token ("25mhz"), empty when absent
+  std::vector<std::pair<std::string, std::string>> params;  ///< `?k=v&k=v`
+
+  /// True when the spec carries any configuration beyond the base name.
+  bool configured() const { return !clock.empty() || !params.empty(); }
+
+  static StatusOr<BackendSpec> parse(const std::string& spec);
+};
+
+/// Parse a clock token ("25mhz", "1ghz", "100000khz", "50hz"); the unit is
+/// case-insensitive and required.
+StatusOr<Hertz> parse_clock(const std::string& token);
 
 /// Per-run knobs shared by every backend.
 struct RunOptions {
@@ -51,6 +78,18 @@ class ExecutionBackend {
 
   virtual StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                         const RunOptions& options) const = 0;
+
+  /// Build a configured variant of this backend from a parsed spec — the
+  /// registry calls this to host names like "soc?wait_mode=polling". The
+  /// base implementation understands the generic keys every backend
+  /// accepts and wraps `this` (which must outlive the variant):
+  ///   @<clock>             override RunOptions::flow.soc_clock
+  ///   ?wait_mode=polling|wfi   require/override the flow wait mode
+  ///   ?validate=on|off     toggle pre-execution artifact validation
+  /// Unknown keys are kInvalidArgument. Backends with their own knobs
+  /// (e.g. LinuxBaselineBackend's platform clock) override this.
+  virtual StatusOr<std::unique_ptr<ExecutionBackend>> configure(
+      const BackendSpec& spec) const;
 };
 
 /// Consistency checks shared by the backends. `requires_program` is true
@@ -58,5 +97,15 @@ class ExecutionBackend {
 /// the VP and baseline backends only need the compiled loadable + trace.
 Status validate_prepared(const core::PreparedModel& prepared,
                          const RunOptions& options, bool requires_program);
+
+/// Implementation helper for configure() overrides: wrap a backend in a
+/// variant named `spec.full` that applies the generic-key overrides (the
+/// `@` clock when `apply_clock`, `?wait_mode=`, `?validate=`) to the
+/// RunOptions before delegating. When `owned` is non-null the variant owns
+/// it and delegates to it; otherwise it delegates to `base`, which must
+/// outlive the variant (the registry keeps both).
+StatusOr<std::unique_ptr<ExecutionBackend>> make_configured_backend(
+    const ExecutionBackend* base, std::unique_ptr<ExecutionBackend> owned,
+    const BackendSpec& spec, bool apply_clock);
 
 }  // namespace nvsoc::runtime

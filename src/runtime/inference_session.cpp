@@ -1,15 +1,30 @@
 #include "runtime/inference_session.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <optional>
 #include <utility>
 
+#include "common/strfmt.hpp"
 #include "compiler/calibration.hpp"
 #include "compiler/compile.hpp"
+#include "runtime/thread_pool.hpp"
 #include "toolflow/asm_emitter.hpp"
 #include "toolflow/config_file.hpp"
 #include "vp/virtual_platform.hpp"
 
 namespace nvsoc::runtime {
+
+namespace {
+
+/// Batch failures carry which image sank the batch (the contract is
+/// all-or-nothing, so the index is otherwise lost with the results).
+Status image_failure(std::size_t index, const Status& status) {
+  return Status(status.code(),
+                strfmt("image {}: {}", index, status.message()));
+}
+
+}  // namespace
 
 InferenceSession::InferenceSession(compiler::Network network,
                                    core::FlowConfig config,
@@ -64,10 +79,39 @@ void InferenceSession::ensure_frontend() {
   frontend_done_ = true;
 }
 
+void InferenceSession::repack_into(core::PreparedModel& prepared,
+                                   std::span<const float> image) const {
+  if (prepared.input.size() == image.size() &&
+      std::equal(image.begin(), image.end(), prepared.input.begin())) {
+    return;  // already packed for exactly this image
+  }
+  prepared.input.assign(image.begin(), image.end());
+  prepared.reference_output = reference_->run_to(prepared.input);
+  // The weight file is the DRAM preload image; its only input-dependent
+  // bytes are the input surface. Everything else (trace, config file,
+  // program, weights) is untouched — the VP is not re-executed.
+  const auto packed = prepared.loadable.pack_input(prepared.input);
+  prepared.vp.weights.overwrite(prepared.loadable.input_surface.base, packed);
+  prepared.vp_matches_input = false;
+  prepared.vp_refresh.reset();  // any memoized re-simulation is stale now
+}
+
 void InferenceSession::ensure_tail(std::span<const float> image) {
   ensure_frontend();
   if (tail_done_ && prepared_.input.size() == image.size() &&
       std::equal(image.begin(), image.end(), prepared_.input.begin())) {
+    return;
+  }
+
+  // Repack fast path: once one image has been traced, the CSB stream —
+  // hence config file and program — is known to be input-independent, so a
+  // same-shape image only needs its input-dependent surfaces refreshed.
+  if (tail_done_ && repack_enabled_ &&
+      prepared_.input.size() == image.size()) {
+    tail_done_ = false;  // invalidate while mutating (repack can throw)
+    repack_into(prepared_, image);
+    ++counters_.repack;
+    tail_done_ = true;
     return;
   }
 
@@ -87,6 +131,8 @@ void InferenceSession::ensure_tail(std::span<const float> image) {
 
   vp::VirtualPlatform platform(config_.nvdla);
   prepared_.vp = platform.run(prepared_.loadable, prepared_.input);
+  prepared_.vp_matches_input = true;
+  prepared_.vp_refresh.reset();
   ++counters_.trace;
 
   if (!had_trace || previous_csb != prepared_.vp.trace.csb) {
@@ -136,7 +182,7 @@ StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend) {
 StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend,
                                                 std::span<const float> image) {
   const auto found = registry().find(backend);
-  if (!found.ok()) return found.status();
+  if (!found.is_ok()) return found.status();
   try {
     return (*found)->run(prepare(image), run_options());
   } catch (const std::exception& e) {
@@ -146,22 +192,109 @@ StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend,
   }
 }
 
+StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_with(
+    const ExecutionBackend& backend,
+    const std::vector<std::vector<float>>& images, const RunOptions& options) {
+  std::vector<ExecutionResult> results;
+  results.reserve(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    try {
+      auto result = backend.run(prepare(images[i]), options);
+      if (!result.is_ok()) return image_failure(i, result.status());
+      results.push_back(std::move(result).value());
+    } catch (const std::exception& e) {
+      return image_failure(i, Status(StatusCode::kInvalidArgument, e.what()));
+    }
+  }
+  return results;
+}
+
 StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch(
     const std::string& backend,
     const std::vector<std::vector<float>>& images) {
   const auto found = registry().find(backend);
-  if (!found.ok()) return found.status();
+  if (!found.is_ok()) return found.status();
+  return run_batch_with(**found, images, run_options());
+}
+
+StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
+    const std::string& backend,
+    const std::vector<std::vector<float>>& images,
+    const BatchOptions& options) {
+  const auto found = registry().find(backend);
+  if (!found.is_ok()) return found.status();
+  if (images.empty()) return std::vector<ExecutionResult>{};
+
+  RunOptions per_run = run_options();
+  per_run.validate = options.validate;
+
+  std::size_t workers = options.workers != 0
+                            ? options.workers
+                            : ThreadPool::recommended_workers(images.size());
+  workers = std::min(workers, images.size());
+  // One worker — or a session with the repack fast path disabled, whose
+  // contract is a full VP replay per image — runs the sequential path with
+  // the same per-run options.
+  if (workers <= 1 || !repack_enabled_) {
+    return run_batch_with(**found, images, per_run);
+  }
+
+  // Stage the shared artifacts once, on the calling thread: the frontend
+  // plus one full trace (the input-independent tail). Workers only repack.
+  try {
+    ensure_tail(images.front());
+  } catch (const std::exception& e) {
+    return image_failure(0, Status(StatusCode::kInvalidArgument, e.what()));
+  }
+
+  std::vector<std::optional<ExecutionResult>> slots(images.size());
+  std::mutex error_mutex;
+  std::size_t error_index = images.size();  // lowest failing image
+  Status error_status;
+  const auto record_failure = [&](std::size_t index, const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (index < error_index) {
+      error_index = index;
+      error_status = status;
+    }
+  };
+
+  // Pool construction (std::thread can throw std::system_error under
+  // thread exhaustion) and the pool's lowest-index rethrow of non-Status
+  // task failures stay behind the StatusOr boundary too.
+  try {
+    ThreadPool pool(workers);
+    // Each worker owns one PreparedModel copy (its tail state), repacked
+    // per image; the session's prepared_ is never touched while workers
+    // run.
+    std::vector<std::optional<core::PreparedModel>> tails(pool.worker_count());
+    pool.parallel_for(
+        images.size(), [&](std::size_t worker, std::size_t index) {
+          try {
+            auto& tail = tails[worker];
+            if (!tail.has_value()) tail = prepared_;  // copy may throw (OOM)
+            repack_into(*tail, images[index]);
+            auto result = (*found)->run(*tail, per_run);
+            if (!result.is_ok()) {
+              record_failure(index, result.status());
+              return;
+            }
+            slots[index] = std::move(result).value();
+          } catch (const std::exception& e) {
+            record_failure(index,
+                           Status(StatusCode::kInvalidArgument, e.what()));
+          }
+        });
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+
+  if (error_index != images.size()) {
+    return image_failure(error_index, error_status);
+  }
   std::vector<ExecutionResult> results;
   results.reserve(images.size());
-  for (const auto& image : images) {
-    try {
-      auto result = (*found)->run(prepare(image), run_options());
-      if (!result.ok()) return result.status();
-      results.push_back(std::move(result).value());
-    } catch (const std::exception& e) {
-      return Status(StatusCode::kInvalidArgument, e.what());
-    }
-  }
+  for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

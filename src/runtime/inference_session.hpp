@@ -10,11 +10,19 @@
 //
 // Every stage is lazy and memoized, so repeated run() calls on the same
 // image recompute nothing, and run_batch() over N images compiles weights,
-// calibration and the loadable exactly once. The configuration file and
-// program are additionally reused across images whose traces produce the
-// same CSB stream — which is every image, since only register addresses
-// and status values are baked into the program — so a batch pays one VP
-// replay per image and nothing else.
+// calibration and the loadable exactly once. Because the CSB register
+// stream — hence the configuration file and bare-metal program — is
+// input-independent, images after the first take the *repack-input* fast
+// path: only the input-dependent surfaces (input tensor, FP32 reference,
+// the input region of the weight-file preload image) are refreshed, and
+// the virtual platform is not re-executed. A whole batch therefore pays
+// for exactly one VP replay (assertable via StageCounters::trace/repack).
+//
+// run_batch_parallel() executes a batch across a ThreadPool: the memoized
+// frontend artifacts are staged once and shared read-only, each worker
+// gets its own tail state (a PreparedModel copy it repacks per image), and
+// each backend run builds its own SoC/VP instance. Results keep image
+// order; failures report the lowest failing image index.
 //
 // Execution is delegated to a named ExecutionBackend from a
 // BackendRegistry; all runtime error paths (unknown backend, program-memory
@@ -37,9 +45,23 @@ struct StageCounters {
   std::uint32_t weights = 0;
   std::uint32_t calibration = 0;
   std::uint32_t loadable = 0;
-  std::uint32_t trace = 0;        ///< VP execution + weight-file capture
+  std::uint32_t trace = 0;        ///< full VP execution + weight-file capture
   std::uint32_t config_file = 0;
   std::uint32_t program = 0;
+  /// Repack-input fast path: a new image was substituted into the staged
+  /// artifacts without re-executing the virtual platform. Counts the
+  /// session's own tail state only; worker-local repacks inside
+  /// run_batch_parallel are not session state and are not counted.
+  std::uint32_t repack = 0;
+};
+
+/// Knobs for run_batch_parallel().
+struct BatchOptions {
+  /// Worker threads; 0 picks one per hardware thread, clamped to the batch
+  /// size. 1 degrades to the sequential run_batch path.
+  std::size_t workers = 0;
+  /// Forwarded to RunOptions::validate for every image.
+  bool validate = true;
 };
 
 class InferenceSession {
@@ -57,6 +79,14 @@ class InferenceSession {
   const compiler::Network& network() const { return network_; }
   const core::FlowConfig& config() const { return config_; }
   const StageCounters& counters() const { return counters_; }
+
+  /// The repack-input fast path is on by default; disabling it forces the
+  /// legacy full VP replay per image (kept for parity testing — outputs
+  /// must be bit-exact either way). With repack disabled,
+  /// run_batch_parallel degrades to the sequential path: the parallel
+  /// workers exist precisely to share the one traced tail.
+  void set_repack_enabled(bool enabled) { repack_enabled_ = enabled; }
+  bool repack_enabled() const { return repack_enabled_; }
 
   /// The default input: a synthetic image from config.input_seed (the
   /// calibration image, matching the legacy prepare_model flow).
@@ -79,17 +109,47 @@ class InferenceSession {
   StatusOr<ExecutionResult> run(const std::string& backend);
   StatusOr<ExecutionResult> run(const std::string& backend,
                                 std::span<const float> image);
-  /// Run every image through the named backend. Input-independent stages
-  /// execute at most once for the whole batch.
+  /// Run every image through the named backend, sequentially. Input-
+  /// independent stages execute at most once for the whole batch.
+  ///
+  /// The batch is all-or-nothing: on the first failing image the whole
+  /// call returns that image's Status — annotated with the image index —
+  /// and every completed result is discarded. Callers that need partial
+  /// results should submit images individually via run().
   StatusOr<std::vector<ExecutionResult>> run_batch(
       const std::string& backend,
       const std::vector<std::vector<float>>& images);
 
+  /// run_batch across a ThreadPool. The memoized frontend (weights,
+  /// calibration, loadable) and the input-independent tail (trace, config
+  /// file, program) are staged once on the calling thread and shared
+  /// read-only; each worker repacks images into its own PreparedModel copy
+  /// and every backend run builds its own SoC/VP instance. Results are in
+  /// image order and bit-exact with the sequential path; the same
+  /// all-or-nothing contract applies, reporting the lowest failing image
+  /// index (not whichever worker failed first on the wall clock).
+  StatusOr<std::vector<ExecutionResult>> run_batch_parallel(
+      const std::string& backend,
+      const std::vector<std::vector<float>>& images,
+      const BatchOptions& options = {});
+
  private:
   const BackendRegistry& registry() const;
   RunOptions run_options() const;
+  /// Sequential batch body shared by run_batch and the degenerate
+  /// run_batch_parallel cases (one worker, repack disabled), so per-batch
+  /// options like BatchOptions::validate survive the fallback.
+  StatusOr<std::vector<ExecutionResult>> run_batch_with(
+      const ExecutionBackend& backend,
+      const std::vector<std::vector<float>>& images,
+      const RunOptions& options);
   void ensure_frontend();                         ///< weights..loadable
   void ensure_tail(std::span<const float> image); ///< trace..program
+  /// Substitute `image` into `prepared` without re-running the VP: input
+  /// tensor, FP32 reference, and the input region of the weight-file
+  /// preload image. Marks the cached VP result as not matching the input.
+  void repack_into(core::PreparedModel& prepared,
+                   std::span<const float> image) const;
 
   compiler::Network network_;
   core::FlowConfig config_;
@@ -98,6 +158,7 @@ class InferenceSession {
 
   bool frontend_done_ = false;
   bool tail_done_ = false;
+  bool repack_enabled_ = true;
   std::vector<float> default_input_;
   std::optional<compiler::ReferenceExecutor> reference_;
   core::PreparedModel prepared_;

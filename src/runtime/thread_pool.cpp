@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace nvsoc::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+      count = count_;
+    }
+    for (;;) {
+      std::size_t index;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (next_ >= count) break;
+        index = next_++;
+      }
+      try {
+        (*task)(worker, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error_ == nullptr || index < error_index_) {
+          error_index_ = index;
+          error_ = std::current_exception();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& task) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_ = &task;
+  count_ = count;
+  next_ = 0;
+  active_ = threads_.size();
+  error_ = nullptr;
+  error_index_ = 0;
+  ++generation_;
+  job_ready_.notify_all();
+  job_done_.wait(lock, [&] { return active_ == 0; });
+  task_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::recommended_workers(std::size_t task_count) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(1, std::min(hw, task_count));
+}
+
+}  // namespace nvsoc::runtime

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for data-parallel batch execution.
+//
+// Each backend run builds its own SoC/VP instance, so independent images
+// parallelise cleanly; what the pool adds is dynamic load balancing (a
+// shared index counter — image costs vary with polling-loop alignment) and
+// a stable worker id so callers can keep per-worker state (e.g. one
+// PreparedModel copy per worker instead of per image).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvsoc::runtime {
+
+class ThreadPool {
+ public:
+  /// `workers` == 0 picks one worker per hardware thread (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Run task(worker, index) for every index in [0, count), dynamically
+  /// load-balanced across the workers; blocks until every index has
+  /// completed. `worker` is in [0, worker_count()) and identifies the
+  /// executing thread. If tasks throw, every index still executes and the
+  /// exception of the lowest failing index is rethrown here. One job at a
+  /// time: parallel_for must not be re-entered from a task.
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t worker, std::size_t index)>& task);
+
+  /// Worker count for a batch of `task_count` items: one per hardware
+  /// thread, but never more than there are items.
+  static std::size_t recommended_workers(std::size_t task_count);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
+  std::size_t count_ = 0;        ///< indices in the current job
+  std::size_t next_ = 0;         ///< next unclaimed index
+  std::size_t active_ = 0;       ///< workers still inside the current job
+  std::uint64_t generation_ = 0; ///< bumped per job so workers run it once
+  bool stop_ = false;
+
+  std::size_t error_index_;      ///< lowest index that threw (valid if set)
+  std::exception_ptr error_;
+};
+
+}  // namespace nvsoc::runtime

@@ -61,6 +61,7 @@ BareMetalProgram generate_program(const ConfigFile& config,
   program.image = assembler.assemble(program.assembly);
   program.mem_text = program.image.to_mem_text();
   program.poll_loops = config.read_count();
+  program.wait_mode = options.wait_mode;
   return program;
 }
 

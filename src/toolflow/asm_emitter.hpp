@@ -43,6 +43,9 @@ struct BareMetalProgram {
   rv::AssembledImage image;   ///< assembled machine code
   std::string mem_text;       ///< Vivado .mem rendering of the image
   std::size_t poll_loops = 0; ///< number of read_reg polling loops emitted
+  /// Wait mode the program was generated with — baked into the machine
+  /// code, so runtime backends can check it against the requested flow.
+  WaitMode wait_mode = WaitMode::kPoll;
 };
 
 /// Emit assembly text for a configuration file.

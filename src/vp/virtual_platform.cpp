@@ -1,5 +1,6 @@
 #include "vp/virtual_platform.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/bitutil.hpp"
@@ -93,6 +94,35 @@ WeightFile WeightFile::from_bin(std::span<const std::uint8_t> bin) {
     pos += len;
   }
   return wf;
+}
+
+void WeightFile::overwrite(Addr base, std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  const Addr end = base + bytes.size();
+  std::vector<bool> covered(bytes.size(), false);
+  for (auto& chunk : chunks) {
+    const Addr chunk_end = chunk.addr + chunk.bytes.size();
+    const Addr lo = std::max(base, chunk.addr);
+    const Addr hi = std::min(end, chunk_end);
+    for (Addr a = lo; a < hi; ++a) {
+      chunk.bytes[a - chunk.addr] = bytes[a - base];
+      covered[a - base] = true;
+    }
+  }
+  // Bytes no traced fetch ever touched still belong in the preload image:
+  // append them as fresh chunks so consumers of the weight file (PS preload,
+  // .bin export) see the complete new input surface.
+  for (std::size_t i = 0; i < covered.size();) {
+    if (covered[i]) { ++i; continue; }
+    std::size_t j = i;
+    while (j < covered.size() && !covered[j]) ++j;
+    Chunk chunk;
+    chunk.addr = base + i;
+    chunk.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(j));
+    chunks.push_back(std::move(chunk));
+    i = j;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,13 @@ struct WeightFile {
   /// .bin container round-trip (what the Zynq PS loads into DDR).
   std::vector<std::uint8_t> to_bin() const;
   static WeightFile from_bin(std::span<const std::uint8_t> bin);
+
+  /// Rewrite the bytes of [base, base + bytes.size()) wherever existing
+  /// chunks cover that range, appending any uncovered remainder as a new
+  /// chunk. This is the repack-input fast path: a new image is substituted
+  /// into the preload image (the input surface) without re-running the
+  /// virtual platform that captured the chunks.
+  void overwrite(Addr base, std::span<const std::uint8_t> bytes);
 };
 
 struct VpRunResult {

@@ -90,7 +90,7 @@ TEST_P(RandomNetworkSweep, FullStackAgreesWithReference) {
   config.input_seed = GetParam() * 17 + 2;
   runtime::InferenceSession session(net, config);
   const auto run = session.run("soc");
-  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run.is_ok()) << run.status().to_string();
   const auto& exec = *run->soc;
   const auto& prepared = session.prepared();
 

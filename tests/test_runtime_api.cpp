@@ -29,12 +29,12 @@ InferenceSession& lenet_session() {
 
 TEST(StatusOrT, ValueAndErrorPaths) {
   StatusOr<int> good(41);
-  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(good.is_ok());
   EXPECT_EQ(*good, 41);
   EXPECT_EQ(good.value_or(-1), 41);
 
   StatusOr<int> bad(StatusCode::kNotFound, "nope");
-  ASSERT_FALSE(bad.ok());
+  ASSERT_FALSE(bad.is_ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(bad.value_or(-1), -1);
   EXPECT_THROW(bad.value(), std::runtime_error);
@@ -42,7 +42,7 @@ TEST(StatusOrT, ValueAndErrorPaths) {
 
 TEST(StatusOrT, OkStatusIsNotAValidError) {
   StatusOr<int> wrong{Status::ok()};
-  ASSERT_FALSE(wrong.ok());
+  ASSERT_FALSE(wrong.is_ok());
   EXPECT_EQ(wrong.status().code(), StatusCode::kInternal);
 }
 
@@ -57,7 +57,7 @@ TEST(Registry, GlobalHasAllFourBackends) {
   EXPECT_EQ(names, expected);
   for (const auto& name : names) {
     const auto backend = BackendRegistry::global().find(name);
-    ASSERT_TRUE(backend.ok()) << name;
+    ASSERT_TRUE(backend.is_ok()) << name;
     EXPECT_EQ((*backend)->name(), name);
     EXPECT_FALSE((*backend)->description().empty());
   }
@@ -65,7 +65,7 @@ TEST(Registry, GlobalHasAllFourBackends) {
 
 TEST(Registry, UnknownNameReportsNotFoundWithKnownList) {
   const auto missing = BackendRegistry::global().find("fpga_board");
-  ASSERT_FALSE(missing.ok());
+  ASSERT_FALSE(missing.is_ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
   EXPECT_NE(missing.status().message().find("fpga_board"), std::string::npos);
   EXPECT_NE(missing.status().message().find("system_top"), std::string::npos);
@@ -82,7 +82,7 @@ TEST(Registry, DuplicateRegistrationRejected) {
 TEST(Registry, SessionSurfacesUnknownBackendError) {
   auto& session = lenet_session();
   const auto result = session.run("not_a_backend");
-  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
@@ -93,7 +93,7 @@ TEST(Registry, SessionSurfacesUnknownBackendError) {
 TEST(Backends, SocBackendBitExactWithLegacyFacade) {
   auto& session = lenet_session();
   const auto result = session.run("soc");
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
 
   core::FlowConfig config;
   const auto legacy =
@@ -109,7 +109,7 @@ TEST(Backends, SocBackendBitExactWithLegacyFacade) {
 TEST(Backends, SystemTopBackendBitExactWithLegacyFacade) {
   auto& session = lenet_session();
   const auto result = session.run("system_top");
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
 
   core::FlowConfig config;
   const auto legacy = core::execute_on_system_top(
@@ -122,7 +122,7 @@ TEST(Backends, SystemTopBackendBitExactWithLegacyFacade) {
 TEST(Backends, VpBackendMatchesPreparedTraceRun) {
   auto& session = lenet_session();
   const auto result = session.run("vp");
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
   EXPECT_EQ(result->cycles, session.prepared().vp.total_cycles);
   EXPECT_EQ(result->output, session.prepared().vp.output);
 }
@@ -130,14 +130,14 @@ TEST(Backends, VpBackendMatchesPreparedTraceRun) {
 TEST(Backends, LinuxBaselineCarriesOverheadEstimate)   {
   auto& session = lenet_session();
   const auto result = session.run("linux_baseline");
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
   ASSERT_TRUE(result->linux_estimate.has_value());
   EXPECT_GT(result->linux_estimate->overhead_fraction(), 0.9);
   // Same NVDLA: functional output identical to the bare-metal platforms.
   EXPECT_EQ(result->output, session.prepared().vp.output);
   // Paper shape: the 50 MHz Linux platform is dramatically slower.
   const auto bare = session.run("soc");
-  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(bare.is_ok());
   EXPECT_GT(result->ms / bare->ms, 20.0);
 }
 
@@ -150,9 +150,9 @@ TEST(Backends, ProgramMemoryOverflowReported) {
   runtime::RunOptions options;
   options.flow.program_memory_bytes = 64;  // far too small
   const auto backend = BackendRegistry::global().find("soc");
-  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE(backend.is_ok());
   const auto result = (*backend)->run(session.prepared(), options);
-  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
   EXPECT_NE(result.status().message().find("program-memory overflow"),
             std::string::npos);
@@ -163,9 +163,9 @@ TEST(Backends, HardwareConfigMismatchReported) {
   runtime::RunOptions options;
   options.flow.nvdla = nvdla::NvdlaConfig::full();  // prepared on nv_small
   const auto backend = BackendRegistry::global().find("soc");
-  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE(backend.is_ok());
   const auto result = (*backend)->run(session.prepared(), options);
-  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("hardware configuration mismatch"),
             std::string::npos);
@@ -176,9 +176,9 @@ TEST(Backends, LoadableTraceMismatchReported) {
   core::PreparedModel corrupted = session.prepared();
   corrupted.config_file.commands.pop_back();  // no longer from this trace
   const auto backend = BackendRegistry::global().find("soc");
-  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE(backend.is_ok());
   const auto result = (*backend)->run(corrupted, runtime::RunOptions{});
-  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.is_ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("loadable/trace mismatch"),
             std::string::npos);
@@ -188,9 +188,9 @@ TEST(Backends, EmptyPreparedModelRejected) {
   const core::PreparedModel empty;
   for (const auto& name : BackendRegistry::global().names()) {
     const auto backend = BackendRegistry::global().find(name);
-    ASSERT_TRUE(backend.ok());
+    ASSERT_TRUE(backend.is_ok());
     const auto result = (*backend)->run(empty, runtime::RunOptions{});
-    ASSERT_FALSE(result.ok()) << name;
+    ASSERT_FALSE(result.is_ok()) << name;
     EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << name;
   }
 }
@@ -201,9 +201,9 @@ TEST(Backends, EmptyPreparedModelRejected) {
 
 TEST(Session, StagesRunExactlyOnceAcrossRepeatedRuns) {
   InferenceSession session(models::lenet5());
-  ASSERT_TRUE(session.run("soc").ok());
-  ASSERT_TRUE(session.run("soc").ok());
-  ASSERT_TRUE(session.run("vp").ok());
+  ASSERT_TRUE(session.run("soc").is_ok());
+  ASSERT_TRUE(session.run("soc").is_ok());
+  ASSERT_TRUE(session.run("vp").is_ok());
   const auto& counters = session.counters();
   EXPECT_EQ(counters.weights, 1u);
   EXPECT_EQ(counters.calibration, 1u);
@@ -233,7 +233,7 @@ TEST(Session, RunBatchCompilesOnceAndTracesPerImage) {
     images.push_back(compiler::synthetic_input(shape, seed));
   }
   const auto results = session.run_batch("soc", images);
-  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
   ASSERT_EQ(results->size(), images.size());
 
   const auto& counters = session.counters();
@@ -241,9 +241,11 @@ TEST(Session, RunBatchCompilesOnceAndTracesPerImage) {
   EXPECT_EQ(counters.weights, 1u);
   EXPECT_EQ(counters.calibration, 1u);
   EXPECT_EQ(counters.loadable, 1u);
-  // The VP trace replays per image; the register stream it produces is
-  // input-independent, so the config file + program are built once.
-  EXPECT_EQ(counters.trace, 4u);
+  // The VP traces the first image only; every later image takes the
+  // repack-input fast path (the register stream is input-independent), so
+  // the config file + program are built once and the VP never re-runs.
+  EXPECT_EQ(counters.trace, 1u);
+  EXPECT_EQ(counters.repack, 3u);
   EXPECT_EQ(counters.config_file, 1u);
   EXPECT_EQ(counters.program, 1u);
 }
@@ -256,7 +258,7 @@ TEST(Session, RunBatchMatchesPerImageLegacyPreparation) {
     images.push_back(compiler::synthetic_input(shape, seed));
   }
   const auto results = session.run_batch("soc", images);
-  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
 
   // Legacy equivalent: prepare once, substitute each image, execute.
   core::FlowConfig config;
@@ -272,28 +274,28 @@ TEST(Session, RunBatchMatchesPerImageLegacyPreparation) {
 
 TEST(Session, BadImageShapeReportsStatusAndDoesNotPoisonMemo) {
   InferenceSession session(models::lenet5());
-  ASSERT_TRUE(session.run("soc").ok());
+  ASSERT_TRUE(session.run("soc").is_ok());
   const std::vector<float> bad(7, 0.0f);  // LeNet wants 1x28x28 = 784
   const auto first = session.run("soc", bad);
-  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(first.is_ok());
   EXPECT_EQ(first.status().code(), StatusCode::kInvalidArgument);
   // Retrying the same bad image must fail again, not memo-hit on the
   // artifacts of the previous (good) image.
   const auto retry = session.run("soc", bad);
-  ASSERT_FALSE(retry.ok());
+  ASSERT_FALSE(retry.is_ok());
   EXPECT_EQ(retry.status().code(), StatusCode::kInvalidArgument);
   // And the session stays usable.
-  EXPECT_TRUE(session.run("soc").ok());
+  EXPECT_TRUE(session.run("soc").is_ok());
 
   const auto batch = session.run_batch("soc", {bad});
-  ASSERT_FALSE(batch.ok());
+  ASSERT_FALSE(batch.is_ok());
   EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Session, RunBatchSurfacesUnknownBackend) {
   InferenceSession session(models::lenet5());
   const auto results = session.run_batch("warp_drive", {});
-  ASSERT_FALSE(results.ok());
+  ASSERT_FALSE(results.is_ok());
   EXPECT_EQ(results.status().code(), StatusCode::kNotFound);
   // No stage work happened for a bad backend name.
   EXPECT_EQ(session.counters().weights, 0u);
@@ -303,9 +305,9 @@ TEST(Session, CustomRegistryRestrictsBackendSet) {
   BackendRegistry registry;
   ASSERT_TRUE(registry.add(std::make_unique<runtime::VpBackend>()).is_ok());
   InferenceSession session(models::lenet5(), {}, &registry);
-  EXPECT_TRUE(session.run("vp").ok());
+  EXPECT_TRUE(session.run("vp").is_ok());
   const auto missing = session.run("soc");
-  ASSERT_FALSE(missing.ok());
+  ASSERT_FALSE(missing.is_ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 

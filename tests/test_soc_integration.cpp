@@ -20,7 +20,7 @@ runtime::InferenceSession& lenet() {
 runtime::ExecutionResult run_or_die(runtime::InferenceSession& session,
                                     const std::string& backend) {
   auto result = session.run(backend);
-  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
   return std::move(result).value();
 }
 
