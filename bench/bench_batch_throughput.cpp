@@ -1,5 +1,6 @@
 // Batched-inference throughput: sequential run_batch vs thread-pooled
-// run_batch_parallel on the same InferenceSession artifacts.
+// run_batch_parallel vs streaming submit() on the same InferenceSession
+// artifacts.
 //
 // The serving story behind the runtime API: the offline flow is staged
 // once (weights, calibration, loadable, one VP trace), then every further
@@ -33,7 +34,8 @@ double wall_ms(std::chrono::steady_clock::time_point start,
 
 int main() {
   bench::print_header(
-      "Batch throughput: sequential run_batch vs run_batch_parallel");
+      "Batch throughput: sequential run_batch vs run_batch_parallel vs "
+      "streaming submit()");
   bench::JsonReport report("batch_throughput");
 
   constexpr std::size_t kImages = 8;
@@ -54,9 +56,9 @@ int main() {
       {"resnet18", models::resnet18_cifar, "soc"},
   };
 
-  std::printf("%-10s %-6s %3s img | %10s %10s | %9s %9s | %7s\n", "Model",
-              "Backend", "", "seq", "parallel", "seq im/s", "par im/s",
-              "speedup");
+  std::printf("%-10s %-6s %3s img | %10s %10s %10s | %9s %9s %9s | %7s\n",
+              "Model", "Backend", "", "seq", "parallel", "stream",
+              "seq im/s", "par im/s", "str im/s", "speedup");
 
   for (const auto& c : cases) {
     const compiler::Network network = c.build();
@@ -68,10 +70,12 @@ int main() {
 
     runtime::InferenceSession sequential(c.build());
     runtime::InferenceSession parallel(c.build());
-    // Stage the shared artifacts outside the timed region for both paths:
+    runtime::InferenceSession streaming(c.build());
+    // Stage the shared artifacts outside the timed region for every path:
     // the bench measures batch execution, not one-time compilation.
     (void)sequential.prepare(images.front());
     (void)parallel.prepare(images.front());
+    (void)streaming.prepare(images.front());
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto seq = sequential.run_batch(c.backend, images);
@@ -80,10 +84,33 @@ int main() {
     options.workers = workers;
     const auto par = parallel.run_batch_parallel(c.backend, images, options);
     const auto t2 = std::chrono::steady_clock::now();
-    if (!seq.is_ok() || !par.is_ok()) {
-      std::fprintf(stderr, "%s/%s failed: %s%s\n", c.model, c.backend,
+
+    // Streaming arrivals: submit every image up front (no batch barrier),
+    // collect in submission order. Same session-lifetime pool mechanics as
+    // the parallel batch, minus the barrier.
+    std::vector<runtime::PendingResult> pending;
+    pending.reserve(kImages);
+    for (const auto& image : images) {
+      pending.push_back(streaming.submit(c.backend, image));
+    }
+    std::vector<runtime::ExecutionResult> stream_results;
+    stream_results.reserve(kImages);
+    Status stream_status = Status::ok();
+    for (auto& handle : pending) {
+      auto result = handle.get();
+      if (!result.is_ok()) {
+        if (stream_status.is_ok()) stream_status = result.status();
+        continue;
+      }
+      stream_results.push_back(std::move(result).value());
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+
+    if (!seq.is_ok() || !par.is_ok() || !stream_status.is_ok()) {
+      std::fprintf(stderr, "%s/%s failed: %s%s%s\n", c.model, c.backend,
                    seq.status().to_string().c_str(),
-                   par.status().to_string().c_str());
+                   par.status().to_string().c_str(),
+                   stream_status.to_string().c_str());
       return 2;
     }
 
@@ -92,7 +119,9 @@ int main() {
     for (std::size_t i = 0; i < kImages; ++i) {
       total_cycles += (*seq)[i].cycles;
       bit_exact = bit_exact && (*seq)[i].output == (*par)[i].output &&
-                  (*seq)[i].cycles == (*par)[i].cycles;
+                  (*seq)[i].cycles == (*par)[i].cycles &&
+                  (*seq)[i].output == stream_results[i].output &&
+                  (*seq)[i].cycles == stream_results[i].cycles;
     }
     if (!bit_exact) {
       std::fprintf(stderr, "%s/%s: parallel results diverge from sequential\n",
@@ -102,13 +131,15 @@ int main() {
 
     const double seq_ms = wall_ms(t0, t1);
     const double par_ms = wall_ms(t1, t2);
+    const double str_ms = wall_ms(t2, t3);
     const double seq_ips = kImages / (seq_ms / 1e3);
     const double par_ips = kImages / (par_ms / 1e3);
+    const double str_ips = kImages / (str_ms / 1e3);
     const std::string section = std::string(c.model) + "_" + c.backend;
-    std::printf("%-10s %-6s %3zu img | %7.1f ms %7.1f ms | %9.1f %9.1f | "
-                "%6.2fx\n",
-                c.model, c.backend, kImages, seq_ms, par_ms, seq_ips, par_ips,
-                seq_ms / par_ms);
+    std::printf("%-10s %-6s %3zu img | %7.1f ms %7.1f ms %7.1f ms | %9.1f "
+                "%9.1f %9.1f | %6.2fx\n",
+                c.model, c.backend, kImages, seq_ms, par_ms, str_ms, seq_ips,
+                par_ips, str_ips, seq_ms / par_ms);
     std::fflush(stdout);
 
     report.add(section, "images", static_cast<std::uint64_t>(kImages));
@@ -117,6 +148,8 @@ int main() {
     report.add(section, "parallel_wall_ms", par_ms);
     report.add(section, "sequential_images_per_sec", seq_ips);
     report.add(section, "parallel_images_per_sec", par_ips);
+    report.add(section, "streaming_wall_ms", str_ms);
+    report.add(section, "streaming_images_per_sec", str_ips);
     report.add(section, "speedup", seq_ms / par_ms);
     report.add(section, "platform_cycles_per_image",
                static_cast<std::uint64_t>(total_cycles / kImages));
@@ -124,11 +157,14 @@ int main() {
                static_cast<std::uint64_t>(sequential.counters().trace));
     report.add(section, "vp_replays_parallel",
                static_cast<std::uint64_t>(parallel.counters().trace));
+    report.add(section, "vp_replays_streaming",
+               static_cast<std::uint64_t>(streaming.counters().trace));
   }
 
   report.write();
   bench::print_footer_note(
-      "Same staged artifacts, one VP replay per session; parallel results "
-      "are bit-exact with sequential (verified above).");
+      "Same staged artifacts, one VP replay and one thread pool per "
+      "session; parallel and streaming results are bit-exact with "
+      "sequential (verified above).");
   return 0;
 }

@@ -38,41 +38,41 @@ void run_flow(const models::ModelInfo& info, bench::JsonReport& report) {
 
   std::printf("[2] NVDLA compiler       : %zu hardware layers, %.2f MB "
               "packed weights, INT8 calibration table (%zu blobs)\n",
-              prepared.loadable.ops.size(),
-              prepared.loadable.weight_blob.size() / 1e6,
-              prepared.calibration.all().size());
+              prepared.loadable().ops.size(),
+              prepared.loadable().weight_blob.size() / 1e6,
+              prepared.calibration().all().size());
   std::printf("[3] Virtual platform     : %llu NVDLA cycles; trace: %zu CSB "
               "records, %zu DBB bursts\n",
-              static_cast<unsigned long long>(prepared.vp.total_cycles),
-              prepared.vp.trace.csb.size(), prepared.vp.trace.dbb.size());
+              static_cast<unsigned long long>(prepared.vp().total_cycles),
+              prepared.vp().trace.csb.size(), prepared.vp().trace.dbb.size());
   std::printf("[4] Configuration file   : %zu commands (%zu write_reg, "
               "%zu read_reg)\n",
-              prepared.config_file.commands.size(),
-              prepared.config_file.write_count(),
-              prepared.config_file.read_count());
+              prepared.config_file().commands.size(),
+              prepared.config_file().write_count(),
+              prepared.config_file().read_count());
   std::printf("[5] Weight file (.bin)   : %.2f MB in %zu chunks "
               "(weights + bias tables + input image)\n",
-              prepared.vp.weights.total_bytes() / 1e6,
-              prepared.vp.weights.chunks.size());
+              prepared.vp().weights.total_bytes() / 1e6,
+              prepared.vp().weights.chunks.size());
   std::printf("[6] RISC-V assembly      : %zu lines, %zu polling loops\n",
-              std::count(prepared.program.assembly.begin(),
-                         prepared.program.assembly.end(), '\n'),
-              prepared.program.poll_loops);
+              std::count(prepared.program().assembly.begin(),
+                         prepared.program().assembly.end(), '\n'),
+              prepared.program().poll_loops);
   std::printf("[7] Machine code (.mem)  : %zu instructions, %zu bytes\n",
-              prepared.program.image.size_words(),
-              prepared.program.image.bytes.size());
+              prepared.program().image.size_words(),
+              prepared.program().image.bytes.size());
   const double wall_ms = ms_since(t0);
   std::printf("    offline flow wall time: %.0f ms (one-time, per model)\n",
               wall_ms);
 
   report.add(info.name, "hw_layers",
-             static_cast<std::uint64_t>(prepared.loadable.ops.size()));
-  report.add(info.name, "vp_cycles", prepared.vp.total_cycles);
+             static_cast<std::uint64_t>(prepared.loadable().ops.size()));
+  report.add(info.name, "vp_cycles", prepared.vp().total_cycles);
   report.add(info.name, "config_commands",
-             static_cast<std::uint64_t>(prepared.config_file.commands.size()));
-  report.add(info.name, "weight_file_bytes", prepared.vp.weights.total_bytes());
+             static_cast<std::uint64_t>(prepared.config_file().commands.size()));
+  report.add(info.name, "weight_file_bytes", prepared.vp().weights.total_bytes());
   report.add(info.name, "program_words",
-             static_cast<std::uint64_t>(prepared.program.image.size_words()));
+             static_cast<std::uint64_t>(prepared.program().image.size_words()));
   report.add(info.name, "offline_flow_wall_ms", wall_ms);
 }
 

@@ -24,7 +24,7 @@ int main() {
                            models::nv_small_zoo()[1]}) {
     runtime::InferenceSession session(info.build());
     const auto& prepared = session.prepared();
-    const auto& trace = prepared.vp.trace;
+    const auto& trace = prepared.vp().trace;
 
     std::uint64_t dbb_rd = 0, dbb_wr = 0, dbb_bytes = 0;
     for (const auto& r : trace.dbb) {
@@ -32,20 +32,20 @@ int main() {
       dbb_bytes += r.len;
     }
     std::printf("%-10s %9zu %9zu %9zu | %9llu %9llu %9.2f | %10.2f %8zu\n",
-                info.name.c_str(), prepared.config_file.write_count(),
-                prepared.config_file.read_count(),
-                prepared.config_file.commands.size(),
+                info.name.c_str(), prepared.config_file().write_count(),
+                prepared.config_file().read_count(),
+                prepared.config_file().commands.size(),
                 static_cast<unsigned long long>(dbb_rd),
                 static_cast<unsigned long long>(dbb_wr), dbb_bytes / 1e6,
-                prepared.vp.weights.total_bytes() / 1e6,
-                prepared.vp.weights.chunks.size());
+                prepared.vp().weights.total_bytes() / 1e6,
+                prepared.vp().weights.chunks.size());
     report.add(info.name, "csb_writes",
-               static_cast<std::uint64_t>(prepared.config_file.write_count()));
+               static_cast<std::uint64_t>(prepared.config_file().write_count()));
     report.add(info.name, "csb_reads",
-               static_cast<std::uint64_t>(prepared.config_file.read_count()));
+               static_cast<std::uint64_t>(prepared.config_file().read_count()));
     report.add(info.name, "dbb_bytes", dbb_bytes);
     report.add(info.name, "weight_file_bytes",
-               prepared.vp.weights.total_bytes());
+               prepared.vp().weights.total_bytes());
   }
 
   // Show the log-text path (the exact interface the paper's Python scripts
@@ -63,11 +63,11 @@ int main() {
   std::printf("  parsed nvdla.csb_adaptor lines -> %zu commands "
               "(structured path: %zu) \n",
               cfg_from_log.commands.size(),
-              session.prepared().config_file.commands.size());
+              session.prepared().config_file().commands.size());
   std::printf("  parsed nvdla.dbb_adaptor reads -> %.2f MB weight file "
               "(first occurrence kept; structured: %.2f MB)\n",
               weights_from_log.total_bytes() / 1e6,
-              session.prepared().vp.weights.total_bytes() / 1e6);
+              session.prepared().vp().weights.total_bytes() / 1e6);
   report.add("lenet5_log_path", "log_bytes",
              static_cast<std::uint64_t>(log.size()));
   report.add("lenet5_log_path", "parsed_commands",

@@ -27,7 +27,7 @@ int main() {
   soc::SystemTop top(top_config);
   top.switch_to_ps();
 
-  const auto& first_chunk = prepared.vp.weights.chunks.front();
+  const auto& first_chunk = prepared.vp().weights.chunks.front();
   const std::size_t slice =
       std::min<std::size_t>(first_chunk.bytes.size(), 4096);
   const Cycle ps_cycles = top.ps_preload(
@@ -36,15 +36,15 @@ int main() {
               "cycles (%.1f MB/s at 100 MHz)\n",
               slice, static_cast<unsigned long long>(ps_cycles),
               slice / (ps_cycles / (100.0 * kMHz)) / 1e6);
-  top.ps_preload_weight_file(prepared.vp.weights);
-  const auto input_bytes = prepared.loadable.pack_input(prepared.input);
-  top.ps_preload_backdoor(prepared.loadable.input_surface.base, input_bytes);
+  top.ps_preload_weight_file(prepared.vp().weights);
+  const auto input_bytes = prepared.loadable().pack_input(prepared.input);
+  top.ps_preload_backdoor(prepared.loadable().input_surface.base, input_bytes);
   std::printf("PS preload total: %.2f MB weights+input into DDR4\n",
-              (prepared.vp.weights.total_bytes() + input_bytes.size()) / 1e6);
+              (prepared.vp().weights.total_bytes() + input_bytes.size()) / 1e6);
   report.add("preload", "slice_bytes", static_cast<std::uint64_t>(slice));
   report.add("preload", "slice_ddr_cycles", ps_cycles);
   report.add("preload", "total_bytes",
-             prepared.vp.weights.total_bytes() + input_bytes.size());
+             prepared.vp().weights.total_bytes() + input_bytes.size());
 
   // Access through the deselected port must be blocked (mux exclusivity).
   top.switch_to_soc();
@@ -63,11 +63,11 @@ int main() {
     cfg.soc_fabric_clock = fabric;
     soc::SystemTop sweep_top(cfg);
     sweep_top.switch_to_ps();
-    sweep_top.ps_preload_weight_file(prepared.vp.weights);
-    sweep_top.ps_preload_backdoor(prepared.loadable.input_surface.base,
+    sweep_top.ps_preload_weight_file(prepared.vp().weights);
+    sweep_top.ps_preload_backdoor(prepared.loadable().input_surface.base,
                                   input_bytes);
     sweep_top.switch_to_soc();
-    sweep_top.soc().program_memory().load_mem_text(prepared.program.mem_text);
+    sweep_top.soc().program_memory().load_mem_text(prepared.program().mem_text);
     const auto result = sweep_top.soc().run();
     std::printf("SoC %3llu MHz / DDR4 100 MHz %12llu %7.3f ms %12llu\n",
                 static_cast<unsigned long long>(fabric / kMHz),

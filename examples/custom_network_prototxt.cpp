@@ -102,8 +102,8 @@ int main(int argc, char** argv) {
   const auto& prepared = session.prepared();
   std::printf("\nbare-metal inference: class %zu in %.3f ms @100 MHz "
               "(%zu hardware layers, %zu register commands)\n",
-              exec->predicted_class, exec->ms, prepared.loadable.ops.size(),
-              prepared.config_file.commands.size());
+              exec->predicted_class, exec->ms, prepared.loadable().ops.size(),
+              prepared.config_file().commands.size());
   std::printf("INT8 vs FP32 reference: argmax %s, max |diff| %.4f\n",
               exec->predicted_class ==
                       compiler::argmax(prepared.reference_output)

@@ -56,11 +56,11 @@ int main() {
   // --- storage ----------------------------------------------------------
   std::printf("\nstorage budget (no kernel, no filesystem, no driver):\n");
   std::printf("  program memory : %8zu bytes of machine code\n",
-              prepared.program.image.bytes.size());
+              prepared.program().image.bytes.size());
   std::printf("  DRAM preload   : %8.2f MB (weights + input)\n",
-              prepared.vp.weights.total_bytes() / 1e6);
+              prepared.vp().weights.total_bytes() / 1e6);
   std::printf("  DRAM arena     : %8.2f MB total (activations included)\n",
-              prepared.loadable.arena_end / 1e6);
+              prepared.loadable().arena_end / 1e6);
 
   // --- vs the Linux-stack platform --------------------------------------
   const auto linux_run = session.run("linux_baseline");
@@ -79,7 +79,7 @@ int main() {
 
   // --- per-layer profile -------------------------------------------------
   const auto profile =
-      core::build_profile(prepared.loadable, prepared.vp.op_records);
+      core::build_profile(prepared.loadable(), prepared.vp().op_records);
   std::printf("\nper-layer hotspots (top 5 of %zu):\n%s",
               profile.layers.size(),
               core::format_profile(

@@ -68,12 +68,12 @@ int main() {
   std::printf("exporting Fig. 1 artifacts:\n");
   const std::filesystem::path dir = "lenet5_artifacts";
   std::filesystem::create_directories(dir);
-  write_file(dir / "lenet5.cfg", prepared.config_file.to_text());
-  write_file(dir / "lenet5.s", prepared.program.assembly);
-  write_file(dir / "lenet5.mem", prepared.program.mem_text);
-  write_file(dir / "lenet5_weights.bin", prepared.vp.weights.to_bin());
-  write_file(dir / "lenet5.calib", prepared.calibration.to_text());
-  write_file(dir / "lenet5.loadable", prepared.loadable.to_bytes());
+  write_file(dir / "lenet5.cfg", prepared.config_file().to_text());
+  write_file(dir / "lenet5.s", prepared.program().assembly);
+  write_file(dir / "lenet5.mem", prepared.program().mem_text);
+  write_file(dir / "lenet5_weights.bin", prepared.preload_weight_file().to_bin());
+  write_file(dir / "lenet5.calib", prepared.calibration().to_text());
+  write_file(dir / "lenet5.loadable", prepared.loadable().to_bytes());
 
   const auto result = session.run("system_top", digit);
   if (!result.is_ok()) {

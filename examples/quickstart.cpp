@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
   const core::PreparedModel& prepared = session.prepared();
   std::printf("generated: %zu register commands -> %zu RISC-V instructions, "
               "%.2f MB weight file\n",
-              prepared.config_file.commands.size(),
-              prepared.program.image.size_words(),
-              prepared.vp.weights.total_bytes() / 1e6);
+              prepared.config_file().commands.size(),
+              prepared.program().image.size_words(),
+              prepared.vp().weights.total_bytes() / 1e6);
 
   // 3. Execute on a backend selected by name.
   const auto result = session.run(backend);

@@ -9,43 +9,56 @@ namespace nvsoc::core {
 PreparedModel prepare_model(const compiler::Network& network,
                             const FlowConfig& config) {
   PreparedModel prepared;
-  prepared.model_name = network.name();
-  prepared.nvdla = config.nvdla;
+  auto frontend = std::make_shared<FrontendArtifacts>();
+  frontend->model_name = network.name();
+  frontend->nvdla = config.nvdla;
 
   // 1. Parameters and calibration input (stand-ins for the trained Caffe
   //    model and test image, per DESIGN.md substitutions).
-  prepared.weights =
+  frontend->weights =
       compiler::NetWeights::synthetic(network, config.weight_seed);
   prepared.input =
       compiler::synthetic_input(network.input_shape(), config.input_seed);
 
   // 2. FP32 golden output + INT8 calibration table (future work §1).
-  compiler::ReferenceExecutor reference(network, prepared.weights);
+  compiler::ReferenceExecutor reference(network, frontend->weights);
   prepared.reference_output = reference.run_to(prepared.input);
   if (config.precision == nvdla::Precision::kInt8) {
-    prepared.calibration = compiler::calibrate(
-        network, prepared.weights, std::span<const float>(prepared.input));
+    frontend->calibration = compiler::calibrate(
+        network, frontend->weights, std::span<const float>(prepared.input));
   }
 
   // 3. NVDLA compilation.
-  prepared.loadable = compiler::compile(
-      network, prepared.weights,
-      config.precision == nvdla::Precision::kInt8 ? &prepared.calibration
+  frontend->loadable = compiler::compile(
+      network, frontend->weights,
+      config.precision == nvdla::Precision::kInt8 ? &frontend->calibration
                                                   : nullptr,
       compiler::CompileOptions::for_config(config.nvdla, config.precision));
 
   // 4. Virtual-platform execution with interface tracing (Fig. 3).
+  auto tail = std::make_shared<TraceArtifacts>();
   vp::VirtualPlatform platform(config.nvdla);
-  prepared.vp = platform.run(prepared.loadable, prepared.input);
+  tail->vp = platform.run(frontend->loadable, prepared.input);
 
   // 5. Trace -> configuration file -> assembly -> machine code (Fig. 1).
-  prepared.config_file =
-      toolflow::ConfigFile::from_trace(prepared.vp.trace);
+  tail->config_file = toolflow::ConfigFile::from_trace(tail->vp.trace);
   toolflow::AsmOptions asm_options;
   asm_options.wait_mode = config.wait_mode;
-  prepared.program =
-      toolflow::generate_program(prepared.config_file, asm_options);
+  tail->program =
+      toolflow::generate_program(tail->config_file, asm_options);
+
+  prepared.frontend = std::move(frontend);
+  prepared.tail = std::move(tail);
   return prepared;
+}
+
+vp::WeightFile PreparedModel::preload_weight_file() const {
+  vp::WeightFile patched = tail->vp.weights;
+  if (!vp_matches_input) {
+    patched.overwrite(loadable().input_surface.base,
+                      loadable().pack_input(input));
+  }
+  return patched;
 }
 
 namespace {
@@ -63,9 +76,9 @@ SocExecution finish_execution(soc::Soc& soc, Dram& dram,
   exec.cycles = cpu_result.cycles;
   exec.ms = soc.cycles_to_ms(cpu_result.cycles);
 
-  std::vector<std::uint8_t> raw(prepared.loadable.output_surface.span_bytes());
-  dram.read_bytes(prepared.loadable.output_surface.base, raw);
-  exec.output = prepared.loadable.unpack_output(raw);
+  std::vector<std::uint8_t> raw(prepared.loadable().output_surface.span_bytes());
+  dram.read_bytes(prepared.loadable().output_surface.base, raw);
+  exec.output = prepared.loadable().unpack_output(raw);
   exec.predicted_class = compiler::argmax(exec.output);
   exec.census = soc.bus_census();
   exec.engine_stats = soc.nvdla().stats();
@@ -85,12 +98,12 @@ SocExecution execute_on_soc(const PreparedModel& prepared,
   soc::Soc soc(soc_config);
 
   // Program memory <- .mem image; DRAM <- weight file + input image.
-  soc.program_memory().load_mem_text(prepared.program.mem_text);
-  for (const auto& chunk : prepared.vp.weights.chunks) {
+  soc.program_memory().load_mem_text(prepared.program().mem_text);
+  for (const auto& chunk : prepared.vp().weights.chunks) {
     soc.dram().write_bytes(chunk.addr, chunk.bytes);
   }
-  const auto input_bytes = prepared.loadable.pack_input(prepared.input);
-  soc.dram().write_bytes(prepared.loadable.input_surface.base, input_bytes);
+  const auto input_bytes = prepared.loadable().pack_input(prepared.input);
+  soc.dram().write_bytes(prepared.loadable().input_surface.base, input_bytes);
 
   const rv::RunResult result = soc.run();
   return finish_execution(soc, soc.dram(), prepared, result);
@@ -107,13 +120,13 @@ SocExecution execute_on_system_top(const PreparedModel& prepared,
 
   // Phase 1: the Zynq PS owns the DDR and preloads weights + input.
   top.switch_to_ps();
-  top.ps_preload_weight_file(prepared.vp.weights);
-  const auto input_bytes = prepared.loadable.pack_input(prepared.input);
-  top.ps_preload_backdoor(prepared.loadable.input_surface.base, input_bytes);
+  top.ps_preload_weight_file(prepared.vp().weights);
+  const auto input_bytes = prepared.loadable().pack_input(prepared.input);
+  top.ps_preload_backdoor(prepared.loadable().input_surface.base, input_bytes);
 
   // Phase 2: flip the SmartConnect and run the SoC.
   top.switch_to_soc();
-  top.soc().program_memory().load_mem_text(prepared.program.mem_text);
+  top.soc().program_memory().load_mem_text(prepared.program().mem_text);
   const rv::RunResult result = top.soc().run();
   return finish_execution(top.soc(), top.ddr(), prepared, result);
 }

@@ -16,6 +16,7 @@
 // This is the API the examples and benches program against.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,35 +49,62 @@ struct FlowConfig {
   std::uint64_t dram_bytes = 512ull * 1024 * 1024;
 };
 
-/// Everything the offline flow produces for one network + input.
-struct PreparedModel {
+/// Input-independent artifacts of the offline frontend: network-level
+/// products computed once per (network, config) and never mutated again.
+/// Shared read-only — behind shared_ptr<const> — between every
+/// PreparedModel that derives from them, so batch workers copy pointers,
+/// not the multi-MB weight tensors.
+struct FrontendArtifacts {
   std::string model_name;
-  /// Hardware tree the VP trace below was captured on (consumers check it
-  /// against their own configuration before reusing the trace).
+  /// Hardware tree the flow targets (consumers check it against their own
+  /// configuration before reusing downstream artifacts).
   nvdla::NvdlaConfig nvdla;
   compiler::NetWeights weights;
   compiler::CalibrationTable calibration;
   compiler::Loadable loadable;
-  std::vector<float> input;             ///< planar float image
-  std::vector<float> reference_output;  ///< FP32 golden output
+};
 
+/// Artifacts of one virtual-platform trace. The CSB register stream is
+/// input-independent, so the configuration file, the bare-metal program
+/// and the weight-file preload image captured here serve *every* image of
+/// the session, not just the one that was traced. Immutable once built and
+/// shared read-only like FrontendArtifacts; `vp.output`/`vp.total_cycles`
+/// describe the traced image specifically (see
+/// PreparedModel::vp_matches_input).
+struct TraceArtifacts {
   vp::VpRunResult vp;                   ///< VP execution + traces
   toolflow::ConfigFile config_file;
   toolflow::BareMetalProgram program;   ///< assembly + machine code
+};
 
-  /// Whether `vp` was produced by running the virtual platform on `input`.
-  /// The repack-input fast path substitutes a new image without replaying
-  /// the VP (the register stream — hence config file and program — is
-  /// input-independent), which leaves `vp.output` describing the *traced*
-  /// image; backends that report the accelerator's functional output
-  /// (`vp`, `linux_baseline`) re-simulate when this is false instead of
-  /// returning the stale tensor.
+/// Everything the offline flow produces for one network + input.
+///
+/// Split into the two shared immutable cores above plus a small per-input
+/// repack surface (the input tensor and its FP32 reference). Copying a
+/// PreparedModel — what every parallel batch worker does — therefore
+/// copies two shared_ptrs and the input-sized vectors only; the weight
+/// file, trace and program bytes are shared, never duplicated.
+struct PreparedModel {
+  std::shared_ptr<const FrontendArtifacts> frontend;
+  std::shared_ptr<const TraceArtifacts> tail;
+
+  // --- per-input repack surface (the only mutable state) -------------------
+  std::vector<float> input;             ///< planar float image
+  std::vector<float> reference_output;  ///< FP32 golden output
+
+  /// Whether the shared trace was produced by running the virtual platform
+  /// on `input`. The repack-input fast path substitutes a new image
+  /// without replaying the VP (the register stream — hence config file and
+  /// program — is input-independent), which leaves `vp().output`
+  /// describing the *traced* image; backends that report the accelerator's
+  /// functional output (`vp`, `linux_baseline`) re-simulate when this is
+  /// false instead of returning the stale tensor.
   bool vp_matches_input = true;
 
   /// Functional VP result for the current (repacked) input, filled lazily
   /// by the first backend that had to re-simulate because vp_matches_input
   /// is false — so repeated runs of the same repacked image pay for one
-  /// re-simulation, not one per call. Simulated on `nvdla` (this model's
+  /// re-simulation, not one per call. Simulated on `nvdla()` (this model's
   /// hardware tree). Mutable memo: a PreparedModel is only ever used by
   /// one thread at a time (parallel batch workers own private copies).
   struct VpRefresh {
@@ -84,6 +112,30 @@ struct PreparedModel {
     std::vector<float> output;
   };
   mutable std::optional<VpRefresh> vp_refresh;
+
+  // --- views into the shared cores (valid once the stage is staged) --------
+  bool has_frontend() const { return frontend != nullptr; }
+  bool has_tail() const { return tail != nullptr; }
+
+  const std::string& model_name() const { return frontend->model_name; }
+  const nvdla::NvdlaConfig& nvdla() const { return frontend->nvdla; }
+  const compiler::NetWeights& weights() const { return frontend->weights; }
+  const compiler::CalibrationTable& calibration() const {
+    return frontend->calibration;
+  }
+  const compiler::Loadable& loadable() const { return frontend->loadable; }
+  const vp::VpRunResult& vp() const { return tail->vp; }
+  const toolflow::ConfigFile& config_file() const {
+    return tail->config_file;
+  }
+  const toolflow::BareMetalProgram& program() const { return tail->program; }
+
+  /// The DRAM preload image for the *current* input: the shared weight
+  /// file with this model's input surface patched in. Materializes a copy
+  /// (the shared trace is immutable) — meant for data-product exports and
+  /// parity checks; the execution paths write the packed input over the
+  /// preloaded surface directly instead of copying megabytes per run.
+  vp::WeightFile preload_weight_file() const;
 };
 
 /// Run the offline generation flow (Fig. 1) end to end.

@@ -73,14 +73,20 @@ StatusOr<const ExecutionBackend*> BackendRegistry::find(
     return base->second.get();
   }
 
+  // Variants are cached — and named — by the canonical spec, so reordered
+  // spellings ("soc?a=1&b=2" vs "soc?b=2&a=1") share one instance instead
+  // of instantiating duplicate backends.
+  BackendSpec canon = *spec;
+  canon.full = canon.canonical();  // canonical() sorts its own params copy
+
   std::lock_guard<std::mutex> lock(variants_mutex_);
-  if (const auto it = variants_.find(name); it != variants_.end()) {
+  if (const auto it = variants_.find(canon.full); it != variants_.end()) {
     return it->second.get();
   }
-  auto variant = base->second->configure(*spec);
+  auto variant = base->second->configure(canon);
   if (!variant.is_ok()) return variant.status();
   const auto [it, inserted] =
-      variants_.emplace(name, std::move(variant).value());
+      variants_.emplace(canon.full, std::move(variant).value());
   (void)inserted;
   return it->second.get();
 }

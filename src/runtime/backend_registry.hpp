@@ -6,8 +6,9 @@
 // Beyond bare names, find() accepts configured-variant specs
 // ("linux_baseline@25mhz", "soc?wait_mode=polling&validate=off"): the spec
 // is parsed, the base backend's configure() builds the variant, and the
-// registry caches it under the spec string so repeated lookups — and the
-// pointers handed out — stay stable.
+// registry caches it under the *canonical* spec (options sorted by key,
+// clock lowercased) so repeated lookups — and equivalent spellings with
+// reordered options — resolve to one stable instance.
 #pragma once
 
 #include <map>
@@ -43,7 +44,7 @@ class BackendRegistry {
 
  private:
   std::map<std::string, std::unique_ptr<ExecutionBackend>> backends_;
-  /// Configured variants built by find(), keyed by the spec string.
+  /// Configured variants built by find(), keyed by the canonical spec.
   /// Mutable + locked: lookups are logically const and must be usable from
   /// concurrent batch workers.
   mutable std::map<std::string, std::unique_ptr<ExecutionBackend>> variants_;

@@ -10,54 +10,62 @@ namespace nvsoc::runtime {
 
 Status validate_prepared(const core::PreparedModel& prepared,
                          const RunOptions& options, bool requires_program) {
-  if (prepared.loadable.ops.empty()) {
+  if (!prepared.has_frontend() || prepared.loadable().ops.empty()) {
     return {StatusCode::kInvalidArgument,
             "prepared model has no compiled loadable (run the compile stage "
             "first)"};
   }
-  if (prepared.loadable.output_surface.span_bytes() == 0) {
+  if (prepared.loadable().output_surface.span_bytes() == 0) {
     return {StatusCode::kInvalidArgument,
             "loadable declares an empty output surface"};
   }
   if (!requires_program) return Status::ok();
 
-  if (!(prepared.nvdla == options.flow.nvdla)) {
+  if (!prepared.has_tail()) {
+    return {StatusCode::kInvalidArgument,
+            "prepared model has no trace stage (virtual-platform trace, "
+            "configuration file and program are missing)"};
+  }
+
+  if (!(prepared.nvdla() == options.flow.nvdla)) {
     return {StatusCode::kInvalidArgument,
             strfmt("hardware configuration mismatch: the prepared model's "
                    "trace was captured on '{}' but the run requests '{}' — "
                    "re-prepare for the requested NVDLA tree",
-                   prepared.nvdla.name, options.flow.nvdla.name)};
+                   prepared.nvdla().name, options.flow.nvdla.name)};
   }
-  if (prepared.config_file.commands.size() != prepared.vp.trace.csb.size()) {
+  if (prepared.config_file().commands.size() !=
+      prepared.vp().trace.csb.size()) {
     return {StatusCode::kInvalidArgument,
             strfmt("loadable/trace mismatch: configuration file has {} "
                    "commands but the VP trace has {} CSB records — the "
                    "config file was not generated from this trace",
-                   prepared.config_file.commands.size(),
-                   prepared.vp.trace.csb.size())};
+                   prepared.config_file().commands.size(),
+                   prepared.vp().trace.csb.size())};
   }
-  if (prepared.program.image.bytes.empty()) {
+  if (prepared.program().image.bytes.empty()) {
     return {StatusCode::kInvalidArgument,
             "prepared model has no bare-metal program (machine code image "
             "is empty)"};
   }
-  if (prepared.program.wait_mode != options.flow.wait_mode) {
+  if (prepared.program().wait_mode != options.flow.wait_mode) {
     return {StatusCode::kInvalidArgument,
             strfmt("wait-mode mismatch: the bare-metal program was "
                    "generated for '{}' but the run requests '{}' — "
                    "re-prepare with the requested wait mode",
-                   prepared.program.wait_mode == toolflow::WaitMode::kPoll
+                   prepared.program().wait_mode == toolflow::WaitMode::kPoll
                        ? "polling"
                        : "wfi",
                    options.flow.wait_mode == toolflow::WaitMode::kPoll
                        ? "polling"
                        : "wfi")};
   }
-  if (prepared.program.image.bytes.size() > options.flow.program_memory_bytes) {
+  if (prepared.program().image.bytes.size() >
+      options.flow.program_memory_bytes) {
     return {StatusCode::kOutOfRange,
             strfmt("program-memory overflow: machine code is {} bytes but "
                    "the SoC's program memory holds {} bytes",
-                   prepared.program.image.bytes.size(),
+                   prepared.program().image.bytes.size(),
                    options.flow.program_memory_bytes)};
   }
   return Status::ok();
@@ -71,8 +79,8 @@ namespace {
 const core::PreparedModel::VpRefresh& refreshed_vp(
     const core::PreparedModel& prepared) {
   if (!prepared.vp_refresh.has_value()) {
-    vp::VirtualPlatform platform(prepared.nvdla);
-    vp::VpRunResult fresh = platform.run(prepared.loadable, prepared.input);
+    vp::VirtualPlatform platform(prepared.nvdla());
+    vp::VpRunResult fresh = platform.run(prepared.loadable(), prepared.input);
     prepared.vp_refresh.emplace(core::PreparedModel::VpRefresh{
         fresh.total_cycles, std::move(fresh.output)});
   }
@@ -85,7 +93,7 @@ ExecutionResult from_soc_execution(const ExecutionBackend& backend,
                                    core::SocExecution exec) {
   ExecutionResult result;
   result.backend = backend.name();
-  result.model = prepared.model_name;
+  result.model = prepared.model_name();
   result.cycles = exec.cycles;
   result.clock = options.flow.soc_clock;
   result.ms = exec.ms;
@@ -99,6 +107,10 @@ ExecutionResult from_soc_execution(const ExecutionBackend& backend,
 
 StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
                                           const RunOptions& options) const {
+  if (!prepared.has_frontend() || !prepared.has_tail()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "prepared model is missing its staged artifact cores");
+  }
   if (options.validate) {
     if (Status s = validate_prepared(prepared, options, true); !s.is_ok())
       return s;
@@ -113,6 +125,10 @@ StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
 
 StatusOr<ExecutionResult> SystemTopBackend::run(
     const core::PreparedModel& prepared, const RunOptions& options) const {
+  if (!prepared.has_frontend() || !prepared.has_tail()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "prepared model is missing its staged artifact cores");
+  }
   if (options.validate) {
     if (Status s = validate_prepared(prepared, options, true); !s.is_ok())
       return s;
@@ -128,6 +144,10 @@ StatusOr<ExecutionResult> SystemTopBackend::run(
 
 StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
                                          const RunOptions& options) const {
+  if (!prepared.has_frontend()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "prepared model is missing its staged artifact cores");
+  }
   if (options.validate) {
     if (Status s = validate_prepared(prepared, options, false); !s.is_ok())
       return s;
@@ -135,16 +155,16 @@ StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
   try {
     ExecutionResult result;
     result.backend = name();
-    result.model = prepared.model_name;
+    result.model = prepared.model_name();
     result.clock = options.flow.soc_clock;
-    if (prepared.vp.total_cycles != 0 &&
-        prepared.nvdla == options.flow.nvdla) {
+    if (prepared.has_tail() && prepared.vp().total_cycles != 0 &&
+        prepared.nvdla() == options.flow.nvdla) {
       if (prepared.vp_matches_input) {
         // The prepared model's trace stage is exactly this platform's run
         // for this input and hardware tree (the VP is deterministic);
         // reuse it instead of re-simulating.
-        result.cycles = prepared.vp.total_cycles;
-        result.output = prepared.vp.output;
+        result.cycles = prepared.vp().total_cycles;
+        result.output = prepared.vp().output;
       } else {
         // Repacked input: for this backend the simulation IS the
         // execution, so one re-run is the cost of the inference — and it
@@ -156,7 +176,7 @@ StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
     } else {
       vp::VirtualPlatform platform(options.flow.nvdla);
       const vp::VpRunResult vp_result =
-          platform.run(prepared.loadable, prepared.input);
+          platform.run(prepared.loadable(), prepared.input);
       result.cycles = vp_result.total_cycles;
       result.output = vp_result.output;
     }
@@ -170,18 +190,22 @@ StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
 
 StatusOr<ExecutionResult> LinuxBaselineBackend::run(
     const core::PreparedModel& prepared, const RunOptions& options) const {
+  if (!prepared.has_frontend()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "prepared model is missing its staged artifact cores");
+  }
   if (options.validate) {
     if (Status s = validate_prepared(prepared, options, false); !s.is_ok())
       return s;
   }
-  if (prepared.vp.total_cycles == 0) {
+  if (!prepared.has_tail() || prepared.vp().total_cycles == 0) {
     return Status(StatusCode::kInvalidArgument,
                   "linux_baseline needs the VP trace stage (accelerator "
                   "cycle count) of the prepared model");
   }
   try {
-    Cycle accelerator_cycles = prepared.vp.total_cycles;
-    std::vector<float> output = prepared.vp.output;
+    Cycle accelerator_cycles = prepared.vp().total_cycles;
+    std::vector<float> output = prepared.vp().output;
     if (!prepared.vp_matches_input) {
       // Repacked input: the cached VP run describes the traced image, not
       // this one. Use the memoized re-simulation on the prepared hardware
@@ -191,10 +215,10 @@ StatusOr<ExecutionResult> LinuxBaselineBackend::run(
       output = fresh.output;
     }
     const baseline::LinuxRunEstimate estimate =
-        platform_.estimate(prepared.loadable, accelerator_cycles);
+        platform_.estimate(prepared.loadable(), accelerator_cycles);
     ExecutionResult result;
     result.backend = name();
-    result.model = prepared.model_name;
+    result.model = prepared.model_name();
     result.cycles = estimate.total_cycles;
     result.clock = platform_.config().clock;
     result.ms = estimate.ms;

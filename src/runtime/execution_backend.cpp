@@ -122,11 +122,16 @@ StatusOr<BackendSpec> BackendSpec::parse(const std::string& spec) {
     head.resize(qmark);
   }
   if (const auto at = head.find('@'); at != std::string::npos) {
-    parsed.clock = head.substr(at + 1);
+    parsed.clock = lowered(head.substr(at + 1));
     head.resize(at);
     if (parsed.clock.empty()) {
       return Status(StatusCode::kInvalidArgument,
                     strfmt("backend spec '{}': '@' without a clock", spec));
+    }
+    if (parsed.clock.find('@') != std::string::npos) {
+      return Status(StatusCode::kInvalidArgument,
+                    strfmt("backend spec '{}': more than one '@' clock",
+                           spec));
     }
   }
   parsed.base = head;
@@ -137,7 +142,9 @@ StatusOr<BackendSpec> BackendSpec::parse(const std::string& spec) {
 
   std::size_t pos = 0;
   while (pos < query.size()) {
-    auto amp = query.find('&', pos);
+    // '?' is tolerated as an option separator alongside '&'
+    // ("soc?a=1?b=2" == "soc?a=1&b=2"); both spellings canonicalize to '&'.
+    auto amp = query.find_first_of("&?", pos);
     if (amp == std::string::npos) amp = query.size();
     const std::string pair = query.substr(pos, amp - pos);
     const auto eq = pair.find('=');
@@ -146,10 +153,36 @@ StatusOr<BackendSpec> BackendSpec::parse(const std::string& spec) {
                     strfmt("backend spec '{}': expected key=value, got '{}'",
                            spec, pair));
     }
-    parsed.params.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    std::string key = pair.substr(0, eq);
+    for (const auto& [existing, value] : parsed.params) {
+      (void)value;
+      if (existing == key) {
+        return Status(
+            StatusCode::kInvalidArgument,
+            strfmt("backend spec '{}': duplicate option '{}'", spec, key));
+      }
+    }
+    parsed.params.emplace_back(std::move(key), pair.substr(eq + 1));
     pos = amp + 1;
   }
   return parsed;
+}
+
+std::string BackendSpec::canonical() const {
+  std::string out = base;
+  if (!clock.empty()) {
+    out += '@';
+    out += clock;
+  }
+  auto sorted = params;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out += i == 0 ? '?' : '&';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  return out;
 }
 
 StatusOr<Hertz> parse_clock(const std::string& token) {

@@ -30,15 +30,33 @@ namespace nvsoc::runtime {
 ///   "soc?wait_mode=polling"           key/value options
 ///   "system_top@50mhz?validate=off"   both
 ///
-/// Grammar: `base[@clock][?key=value[&key=value]...]`.
+/// Grammar: `base[@clock][?key=value[&key=value]...]` (a repeated `?` is
+/// tolerated as an option separator: `soc?a=1?b=2` == `soc?a=1&b=2`).
+///
+/// Malformed specs — empty base, `@` without a clock (or with a second
+/// `@`), a dangling `key`/`key=`/`=value` pair, the same option key given
+/// twice — all fail kInvalidArgument with a message prefixed
+/// `backend spec '<spec>':`. A trailing bare `?` is tolerated and
+/// canonicalizes away (the spec is then just the base name).
 struct BackendSpec {
-  std::string full;   ///< the spec as written (the variant's name)
+  std::string full;   ///< as parsed; registries rewrite it to canonical()
+                      ///< before configure(), so a hosted variant's name()
+                      ///< is the canonical spelling, not the caller's
   std::string base;   ///< registry name of the backend to configure
-  std::string clock;  ///< raw `@` token ("25mhz"), empty when absent
+  std::string clock;  ///< `@` token lowercased ("25mhz"), empty when absent
   std::vector<std::pair<std::string, std::string>> params;  ///< `?k=v&k=v`
 
   /// True when the spec carries any configuration beyond the base name.
   bool configured() const { return !clock.empty() || !params.empty(); }
+
+  /// The spec re-serialized in canonical form: base, then the (lowercased)
+  /// clock, then the options sorted by key — so equivalent spellings like
+  /// `soc?validate=off&wait_mode=polling` and
+  /// `soc?wait_mode=polling&validate=off` serialize identically.
+  /// Registries key their variant cache on this, not on the raw spelling.
+  /// (Option *values* are not normalized: `wait_mode=poll` and
+  /// `wait_mode=polling` stay distinct cache entries.)
+  std::string canonical() const;
 
   static StatusOr<BackendSpec> parse(const std::string& spec);
 };

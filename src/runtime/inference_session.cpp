@@ -1,8 +1,7 @@
 #include "runtime/inference_session.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <optional>
+#include <chrono>
 #include <utility>
 
 #include "common/strfmt.hpp"
@@ -26,12 +25,43 @@ Status image_failure(std::size_t index, const Status& status) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// PendingResult
+// ---------------------------------------------------------------------------
+
+PendingResult::PendingResult(Status status) {
+  std::promise<StatusOr<ExecutionResult>> promise;
+  future_ = promise.get_future();
+  promise.set_value(StatusOr<ExecutionResult>(std::move(status)));
+}
+
+bool PendingResult::ready() const {
+  return future_.valid() &&
+         future_.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+}
+
+StatusOr<ExecutionResult> PendingResult::get() {
+  if (!future_.valid()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "PendingResult::get() on an empty or already-consumed "
+                  "handle (results are one-shot)");
+  }
+  return future_.get();
+}
+
+// ---------------------------------------------------------------------------
+// InferenceSession
+// ---------------------------------------------------------------------------
+
 InferenceSession::InferenceSession(compiler::Network network,
                                    core::FlowConfig config,
                                    const BackendRegistry* registry)
     : network_(std::move(network)),
       config_(config),
       registry_(registry) {}
+
+InferenceSession::~InferenceSession() = default;
 
 const BackendRegistry& InferenceSession::registry() const {
   return registry_ != nullptr ? *registry_ : BackendRegistry::global();
@@ -43,6 +73,11 @@ RunOptions InferenceSession::run_options() const {
   return options;
 }
 
+ThreadPool& InferenceSession::pool(std::size_t worker_hint) {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(worker_hint);
+  return *pool_;
+}
+
 const std::vector<float>& InferenceSession::default_input() {
   if (default_input_.empty()) {
     default_input_ =
@@ -52,31 +87,34 @@ const std::vector<float>& InferenceSession::default_input() {
 }
 
 void InferenceSession::ensure_frontend() {
-  if (frontend_done_) return;
+  if (prepared_.has_frontend()) return;
 
-  prepared_.model_name = network_.name();
-  prepared_.nvdla = config_.nvdla;
-  prepared_.weights =
+  auto frontend = std::make_shared<core::FrontendArtifacts>();
+  frontend->model_name = network_.name();
+  frontend->nvdla = config_.nvdla;
+  frontend->weights =
       compiler::NetWeights::synthetic(network_, config_.weight_seed);
   ++counters_.weights;
-  reference_.emplace(network_, prepared_.weights);
 
   if (config_.precision == nvdla::Precision::kInt8) {
     // Calibrated on the default (synthetic) image, as the legacy flow did.
-    prepared_.calibration = compiler::calibrate(
-        network_, prepared_.weights,
+    frontend->calibration = compiler::calibrate(
+        network_, frontend->weights,
         std::span<const float>(default_input()));
     ++counters_.calibration;
   }
 
-  prepared_.loadable = compiler::compile(
-      network_, prepared_.weights,
-      config_.precision == nvdla::Precision::kInt8 ? &prepared_.calibration
+  frontend->loadable = compiler::compile(
+      network_, frontend->weights,
+      config_.precision == nvdla::Precision::kInt8 ? &frontend->calibration
                                                    : nullptr,
       compiler::CompileOptions::for_config(config_.nvdla, config_.precision));
   ++counters_.loadable;
 
-  frontend_done_ = true;
+  prepared_.frontend = std::move(frontend);
+  // The reference executor borrows the frozen weights; the frontend core is
+  // built once per session, so the reference stays valid for its lifetime.
+  reference_.emplace(network_, prepared_.frontend->weights);
 }
 
 void InferenceSession::repack_into(core::PreparedModel& prepared,
@@ -87,11 +125,11 @@ void InferenceSession::repack_into(core::PreparedModel& prepared,
   }
   prepared.input.assign(image.begin(), image.end());
   prepared.reference_output = reference_->run_to(prepared.input);
-  // The weight file is the DRAM preload image; its only input-dependent
-  // bytes are the input surface. Everything else (trace, config file,
-  // program, weights) is untouched — the VP is not re-executed.
-  const auto packed = prepared.loadable.pack_input(prepared.input);
-  prepared.vp.weights.overwrite(prepared.loadable.input_surface.base, packed);
+  // The shared trace core — weight-file preload image included — stays
+  // untouched: the new image lives only on this per-input surface. The
+  // execution paths write the packed input over the preloaded weight
+  // surface themselves; preload_weight_file() materializes a patched copy
+  // for data-product exports.
   prepared.vp_matches_input = false;
   prepared.vp_refresh.reset();  // any memoized re-simulation is stale now
 }
@@ -117,51 +155,53 @@ void InferenceSession::ensure_tail(std::span<const float> image) {
 
   // Invalidate before mutating: if a stage below throws, the next call must
   // not memo-hit on artifacts that belong to a different image.
-  const bool had_trace = tail_done_;
+  const bool had_trace = prepared_.has_tail();
   tail_done_ = false;
 
   prepared_.input.assign(image.begin(), image.end());
   prepared_.reference_output = reference_->run_to(prepared_.input);
 
-  // Keep the previous CSB stream: when the new trace programs the engine
-  // identically (it always does — the register stream is input-independent),
-  // the configuration file and program are reused instead of regenerated.
-  std::vector<vp::CsbRecord> previous_csb;
-  if (had_trace) previous_csb = std::move(prepared_.vp.trace.csb);
-
+  auto tail = std::make_shared<core::TraceArtifacts>();
   vp::VirtualPlatform platform(config_.nvdla);
-  prepared_.vp = platform.run(prepared_.loadable, prepared_.input);
-  prepared_.vp_matches_input = true;
-  prepared_.vp_refresh.reset();
+  tail->vp = platform.run(prepared_.frontend->loadable, prepared_.input);
   ++counters_.trace;
 
-  if (!had_trace || previous_csb != prepared_.vp.trace.csb) {
-    prepared_.config_file =
-        toolflow::ConfigFile::from_trace(prepared_.vp.trace);
+  // When the new trace programs the engine identically (it always does —
+  // the register stream is input-independent), the configuration file and
+  // program are reused from the previous shared core instead of
+  // regenerated. The old core itself is immutable: snapshots handed to
+  // in-flight tasks keep it alive and untouched.
+  if (had_trace && prepared_.tail->vp.trace.csb == tail->vp.trace.csb) {
+    tail->config_file = prepared_.tail->config_file;
+    tail->program = prepared_.tail->program;
+  } else {
+    tail->config_file = toolflow::ConfigFile::from_trace(tail->vp.trace);
     ++counters_.config_file;
     toolflow::AsmOptions asm_options;
     asm_options.wait_mode = config_.wait_mode;
-    prepared_.program =
-        toolflow::generate_program(prepared_.config_file, asm_options);
+    tail->program = toolflow::generate_program(tail->config_file, asm_options);
     ++counters_.program;
   }
 
+  prepared_.tail = std::move(tail);
+  prepared_.vp_matches_input = true;
+  prepared_.vp_refresh.reset();
   tail_done_ = true;
 }
 
 const compiler::NetWeights& InferenceSession::weights() {
   ensure_frontend();
-  return prepared_.weights;
+  return prepared_.frontend->weights;
 }
 
 const compiler::CalibrationTable& InferenceSession::calibration() {
   ensure_frontend();
-  return prepared_.calibration;
+  return prepared_.frontend->calibration;
 }
 
 const compiler::Loadable& InferenceSession::loadable() {
   ensure_frontend();
-  return prepared_.loadable;
+  return prepared_.frontend->loadable;
 }
 
 const core::PreparedModel& InferenceSession::prepared() {
@@ -190,6 +230,56 @@ StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend,
     // contract of the run() boundary.
     return Status(StatusCode::kInvalidArgument, e.what());
   }
+}
+
+PendingResult InferenceSession::submit(const std::string& backend) {
+  return submit(backend, default_input());
+}
+
+PendingResult InferenceSession::submit(const std::string& backend,
+                                       std::span<const float> image) {
+  const auto found = registry().find(backend);
+  if (!found.is_ok()) return PendingResult(found.status());
+  try {
+    return submit_to(**found, image, run_options(), 0);
+  } catch (const std::exception& e) {
+    // Pool construction (std::thread can throw std::system_error under
+    // thread exhaustion) stays behind the StatusOr boundary too.
+    return PendingResult(Status(StatusCode::kInternal, e.what()));
+  }
+}
+
+PendingResult InferenceSession::submit_to(const ExecutionBackend& backend,
+                                          std::span<const float> image,
+                                          const RunOptions& options,
+                                          std::size_t worker_hint) {
+  try {
+    // First arrival stages the shared cores (frontend + one VP trace) on
+    // the calling thread; every later same-shape arrival skips straight to
+    // the pool and repacks there. A repack-disabled session keeps its
+    // full-replay-per-image contract by re-tracing here instead.
+    if (!tail_done_ || !repack_enabled_) ensure_tail(image);
+  } catch (const std::exception& e) {
+    return PendingResult(Status(StatusCode::kInvalidArgument, e.what()));
+  }
+
+  // The task owns everything it touches: a surface snapshot sharing the
+  // immutable cores, its own copy of the image, and per-run options. The
+  // backend is registry-owned; reference_ outlives the drain because the
+  // pool is the first session member to be destroyed.
+  core::PreparedModel snapshot = prepared_;
+  auto future = pool(worker_hint).submit(
+      [this, &backend, options, snapshot = std::move(snapshot),
+       image = std::vector<float>(image.begin(), image.end())]() mutable
+          -> StatusOr<ExecutionResult> {
+        try {
+          repack_into(snapshot, image);
+          return backend.run(snapshot, options);
+        } catch (const std::exception& e) {
+          return Status(StatusCode::kInvalidArgument, e.what());
+        }
+      });
+  return PendingResult(std::move(future));
 }
 
 StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_with(
@@ -240,61 +330,47 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
   }
 
   // Stage the shared artifacts once, on the calling thread: the frontend
-  // plus one full trace (the input-independent tail). Workers only repack.
+  // plus one full trace (the input-independent tail). Pooled tasks only
+  // repack their snapshots.
   try {
     ensure_tail(images.front());
   } catch (const std::exception& e) {
     return image_failure(0, Status(StatusCode::kInvalidArgument, e.what()));
   }
 
-  std::vector<std::optional<ExecutionResult>> slots(images.size());
-  std::mutex error_mutex;
-  std::size_t error_index = images.size();  // lowest failing image
-  Status error_status;
-  const auto record_failure = [&](std::size_t index, const Status& status) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (index < error_index) {
-      error_index = index;
-      error_status = status;
-    }
-  };
-
-  // Pool construction (std::thread can throw std::system_error under
-  // thread exhaustion) and the pool's lowest-index rethrow of non-Status
-  // task failures stay behind the StatusOr boundary too.
+  std::vector<PendingResult> pending;
+  pending.reserve(images.size());
   try {
-    ThreadPool pool(workers);
-    // Each worker owns one PreparedModel copy (its tail state), repacked
-    // per image; the session's prepared_ is never touched while workers
-    // run.
-    std::vector<std::optional<core::PreparedModel>> tails(pool.worker_count());
-    pool.parallel_for(
-        images.size(), [&](std::size_t worker, std::size_t index) {
-          try {
-            auto& tail = tails[worker];
-            if (!tail.has_value()) tail = prepared_;  // copy may throw (OOM)
-            repack_into(*tail, images[index]);
-            auto result = (*found)->run(*tail, per_run);
-            if (!result.is_ok()) {
-              record_failure(index, result.status());
-              return;
-            }
-            slots[index] = std::move(result).value();
-          } catch (const std::exception& e) {
-            record_failure(index,
-                           Status(StatusCode::kInvalidArgument, e.what()));
-          }
-        });
+    for (const auto& image : images) {
+      pending.push_back(submit_to(**found, image, per_run, options.workers));
+    }
   } catch (const std::exception& e) {
+    // Pool construction failed on the first submit_to, before anything was
+    // queued — nothing is in flight.
     return Status(StatusCode::kInternal, e.what());
   }
 
+  // Collect every result before deciding the outcome: the contract is
+  // all-or-nothing with the lowest failing index, not whichever task lost
+  // the wall-clock race.
+  std::vector<ExecutionResult> results;
+  results.reserve(images.size());
+  std::size_t error_index = images.size();  // lowest failing image
+  Status error_status;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    auto result = pending[i].get();
+    if (!result.is_ok()) {
+      if (i < error_index) {
+        error_index = i;
+        error_status = result.status();
+      }
+      continue;
+    }
+    results.push_back(std::move(result).value());
+  }
   if (error_index != images.size()) {
     return image_failure(error_index, error_status);
   }
-  std::vector<ExecutionResult> results;
-  results.reserve(images.size());
-  for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

@@ -1,5 +1,5 @@
-// InferenceSession — the staged, memoized runtime API over the paper flow
-// (successor of the monolithic core::prepare_model facade).
+// InferenceSession — the staged, memoized serving engine over the paper
+// flow (successor of the monolithic core::prepare_model facade).
 //
 // The offline flow of Fig. 1 is split into explicit stages:
 //
@@ -13,16 +13,41 @@
 // calibration and the loadable exactly once. Because the CSB register
 // stream — hence the configuration file and bare-metal program — is
 // input-independent, images after the first take the *repack-input* fast
-// path: only the input-dependent surfaces (input tensor, FP32 reference,
-// the input region of the weight-file preload image) are refreshed, and
-// the virtual platform is not re-executed. A whole batch therefore pays
-// for exactly one VP replay (assertable via StageCounters::trace/repack).
+// path: only the input-dependent surfaces (input tensor, FP32 reference)
+// are refreshed on the model's small per-input surface, and the virtual
+// platform is not re-executed. A whole batch therefore pays for exactly
+// one VP replay (assertable via StageCounters::trace/repack).
 //
-// run_batch_parallel() executes a batch across a ThreadPool: the memoized
-// frontend artifacts are staged once and shared read-only, each worker
-// gets its own tail state (a PreparedModel copy it repacks per image), and
-// each backend run builds its own SoC/VP instance. Results keep image
-// order; failures report the lowest failing image index.
+// Memory model: the staged artifacts live in two immutable shared cores
+// (core::FrontendArtifacts for weights/calibration/loadable,
+// core::TraceArtifacts for trace/config file/program/weight file) behind
+// shared_ptr<const>. Copying a PreparedModel — what every parallel worker
+// does — bumps two refcounts and copies the input-sized vectors only; the
+// multi-MB weight-file and program bytes are never duplicated.
+//
+// Concurrency model: the session owns one lazily-created ThreadPool that
+// lives for the rest of the session — every submit() call and every
+// run_batch_parallel() batch reuses the same workers (exactly one pool is
+// ever constructed per session, assertable via ThreadPool::total_created).
+//
+//   submit(backend, image) -> PendingResult
+//     streaming arrivals: stages the shared artifacts on the calling
+//     thread the first time, then hands the per-image work (repack +
+//     backend run on a private PreparedModel snapshot) to the pool and
+//     returns immediately. Results come back through PendingResult::get()
+//     as StatusOr — task exceptions never escape the future. Calls
+//     overlap freely; there is no batch barrier.
+//
+//   run_batch_parallel(backend, images, options)
+//     a thin wrapper over submit-and-collect that keeps the batch
+//     contract: results in image order, all-or-nothing, failures report
+//     the lowest failing image index.
+//
+// Session methods themselves are not thread-safe (stage memoization is
+// single-owner); in-flight submitted tasks are safe against any later
+// session call because they only touch their own snapshot and the shared
+// immutable cores. Destroying the session drains in-flight work first:
+// every PendingResult already handed out still completes.
 //
 // Execution is delegated to a named ExecutionBackend from a
 // BackendRegistry; all runtime error paths (unknown backend, program-memory
@@ -30,6 +55,8 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -39,6 +66,8 @@
 #include "runtime/backend_registry.hpp"
 
 namespace nvsoc::runtime {
+
+class ThreadPool;
 
 /// How many times each stage has actually executed (memoization evidence).
 struct StageCounters {
@@ -50,18 +79,49 @@ struct StageCounters {
   std::uint32_t program = 0;
   /// Repack-input fast path: a new image was substituted into the staged
   /// artifacts without re-executing the virtual platform. Counts the
-  /// session's own tail state only; worker-local repacks inside
-  /// run_batch_parallel are not session state and are not counted.
+  /// session's own per-input surface only; the private snapshots repacked
+  /// inside pooled tasks are not session state and are not counted.
   std::uint32_t repack = 0;
 };
 
 /// Knobs for run_batch_parallel().
 struct BatchOptions {
-  /// Worker threads; 0 picks one per hardware thread, clamped to the batch
-  /// size. 1 degrades to the sequential run_batch path.
+  /// Worker threads; 0 picks one per hardware thread. 1 (or a one-image
+  /// batch on a one-thread host) degrades to the sequential run_batch
+  /// path. The session's pool is created on first use and reused for the
+  /// session lifetime, so only the first pooled call's value sizes it.
   std::size_t workers = 0;
   /// Forwarded to RunOptions::validate for every image.
   bool validate = true;
+};
+
+/// A future-like handle to one submitted inference. get() blocks until the
+/// pooled task finishes and yields its StatusOr — failures inside the task
+/// (bad image shape, backend validation, execution faults) come back as
+/// Status, never as exceptions. One-shot: the result is moved out by the
+/// first get(). Handles stay valid after the session is destroyed (the
+/// session drains in-flight work before dying).
+class PendingResult {
+ public:
+  PendingResult() = default;
+
+  /// False once get() has consumed the result (or for a default-constructed
+  /// handle).
+  bool valid() const { return future_.valid(); }
+  /// Non-blocking: has the submitted inference finished?
+  bool ready() const;
+  /// Block until the inference finishes and take its result.
+  StatusOr<ExecutionResult> get();
+
+ private:
+  friend class InferenceSession;
+  explicit PendingResult(std::future<StatusOr<ExecutionResult>> future)
+      : future_(std::move(future)) {}
+  /// A submission that failed before reaching the pool (unknown backend,
+  /// staging error): the handle is born ready with the failure.
+  explicit PendingResult(Status status);
+
+  std::future<StatusOr<ExecutionResult>> future_;
 };
 
 class InferenceSession {
@@ -76,6 +136,10 @@ class InferenceSession {
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
 
+  /// Drains in-flight submitted work (PendingResults all complete), then
+  /// tears the session down.
+  ~InferenceSession();
+
   const compiler::Network& network() const { return network_; }
   const core::FlowConfig& config() const { return config_; }
   const StageCounters& counters() const { return counters_; }
@@ -83,8 +147,9 @@ class InferenceSession {
   /// The repack-input fast path is on by default; disabling it forces the
   /// legacy full VP replay per image (kept for parity testing — outputs
   /// must be bit-exact either way). With repack disabled,
-  /// run_batch_parallel degrades to the sequential path: the parallel
-  /// workers exist precisely to share the one traced tail.
+  /// run_batch_parallel degrades to the sequential path and submit()
+  /// re-traces on the calling thread per image: the pooled workers exist
+  /// precisely to share the one traced tail.
   void set_repack_enabled(bool enabled) { repack_enabled_ = enabled; }
   bool repack_enabled() const { return repack_enabled_; }
 
@@ -109,25 +174,37 @@ class InferenceSession {
   StatusOr<ExecutionResult> run(const std::string& backend);
   StatusOr<ExecutionResult> run(const std::string& backend,
                                 std::span<const float> image);
+
+  /// Enqueue one inference on the session pool and return immediately; the
+  /// result arrives through PendingResult::get(). The first submit stages
+  /// the shared artifacts (frontend + one VP trace) on the calling thread;
+  /// later submits only snapshot two shared_ptrs and copy the image, so
+  /// streaming arrivals overlap without batch barriers. Results keep
+  /// per-call identity regardless of completion order.
+  PendingResult submit(const std::string& backend);
+  PendingResult submit(const std::string& backend,
+                       std::span<const float> image);
+
   /// Run every image through the named backend, sequentially. Input-
   /// independent stages execute at most once for the whole batch.
   ///
   /// The batch is all-or-nothing: on the first failing image the whole
   /// call returns that image's Status — annotated with the image index —
   /// and every completed result is discarded. Callers that need partial
-  /// results should submit images individually via run().
+  /// results should submit images individually via run() or submit().
   StatusOr<std::vector<ExecutionResult>> run_batch(
       const std::string& backend,
       const std::vector<std::vector<float>>& images);
 
-  /// run_batch across a ThreadPool. The memoized frontend (weights,
-  /// calibration, loadable) and the input-independent tail (trace, config
-  /// file, program) are staged once on the calling thread and shared
-  /// read-only; each worker repacks images into its own PreparedModel copy
-  /// and every backend run builds its own SoC/VP instance. Results are in
-  /// image order and bit-exact with the sequential path; the same
-  /// all-or-nothing contract applies, reporting the lowest failing image
-  /// index (not whichever worker failed first on the wall clock).
+  /// run_batch across the session ThreadPool: a thin wrapper over
+  /// submit-and-collect. The memoized frontend (weights, calibration,
+  /// loadable) and the input-independent tail (trace, config file,
+  /// program) are staged once on the calling thread and shared read-only;
+  /// each pooled task repacks its own PreparedModel snapshot and every
+  /// backend run builds its own SoC/VP instance. Results are in image
+  /// order and bit-exact with the sequential path; the same all-or-nothing
+  /// contract applies, reporting the lowest failing image index (not
+  /// whichever task failed first on the wall clock).
   StatusOr<std::vector<ExecutionResult>> run_batch_parallel(
       const std::string& backend,
       const std::vector<std::vector<float>>& images,
@@ -136,6 +213,17 @@ class InferenceSession {
  private:
   const BackendRegistry& registry() const;
   RunOptions run_options() const;
+  /// The session-lifetime pool, created on first use (`worker_hint` 0
+  /// picks one worker per hardware thread) and reused by every later
+  /// pooled call regardless of hint.
+  ThreadPool& pool(std::size_t worker_hint);
+  /// Stage-if-needed + enqueue: the body shared by submit() and
+  /// run_batch_parallel(). Throws only for pool-construction failure;
+  /// staging and task failures come back inside the PendingResult.
+  PendingResult submit_to(const ExecutionBackend& backend,
+                          std::span<const float> image,
+                          const RunOptions& options,
+                          std::size_t worker_hint);
   /// Sequential batch body shared by run_batch and the degenerate
   /// run_batch_parallel cases (one worker, repack disabled), so per-batch
   /// options like BatchOptions::validate survive the fallback.
@@ -145,9 +233,11 @@ class InferenceSession {
       const RunOptions& options);
   void ensure_frontend();                         ///< weights..loadable
   void ensure_tail(std::span<const float> image); ///< trace..program
-  /// Substitute `image` into `prepared` without re-running the VP: input
-  /// tensor, FP32 reference, and the input region of the weight-file
-  /// preload image. Marks the cached VP result as not matching the input.
+  /// Substitute `image` into `prepared`'s per-input surface without
+  /// re-running the VP: input tensor + FP32 reference. Marks the shared
+  /// trace as not matching the input (backends that need the functional
+  /// output re-simulate, memoized per surface). Safe to call concurrently
+  /// on distinct surfaces — it only reads shared immutable state.
   void repack_into(core::PreparedModel& prepared,
                    std::span<const float> image) const;
 
@@ -156,12 +246,15 @@ class InferenceSession {
   const BackendRegistry* registry_;
   StageCounters counters_;
 
-  bool frontend_done_ = false;
   bool tail_done_ = false;
   bool repack_enabled_ = true;
   std::vector<float> default_input_;
   std::optional<compiler::ReferenceExecutor> reference_;
   core::PreparedModel prepared_;
+  /// Declared last on purpose: destroyed first, so in-flight pooled tasks
+  /// (which read reference_ and the shared cores) drain while every other
+  /// member is still alive.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace nvsoc::runtime

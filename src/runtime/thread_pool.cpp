@@ -4,14 +4,35 @@
 
 namespace nvsoc::runtime {
 
+namespace {
+
+std::atomic<std::uint64_t> g_pools_created{0};
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   threads_.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    threads_.emplace_back([this, w] { worker_loop(w); });
+  try {
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  } catch (...) {
+    // Thread exhaustion mid-spawn: the already-running workers are parked
+    // in worker_loop and would keep the process alive (and ~vector would
+    // terminate on joinable threads) unless they are stopped and joined
+    // before the exception escapes.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    job_ready_.notify_all();
+    for (auto& thread : threads_) thread.join();
+    throw;
   }
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,40 +46,50 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* task = nullptr;
-    std::size_t count = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_ready_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
-      if (stop_) return;
+    job_ready_.wait(lock, [&] {
+      return stop_ || !queue_.empty() || generation_ != seen_generation;
+    });
+
+    // A pending parallel_for job takes priority over queued tasks: the
+    // job's barrier waits on every worker, so none may wander off into the
+    // queue first.
+    if (generation_ != seen_generation) {
       seen_generation = generation_;
-      task = task_;
-      count = count_;
-    }
-    for (;;) {
-      std::size_t index;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (next_ >= count) break;
-        index = next_++;
-      }
-      try {
-        (*task)(worker, index);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (error_ == nullptr || index < error_index_) {
+      const auto* task = task_;
+      const std::size_t count = count_;
+      while (next_ < count) {
+        const std::size_t index = next_++;
+        lock.unlock();
+        std::exception_ptr thrown;
+        try {
+          (*task)(worker, index);
+        } catch (...) {
+          thrown = std::current_exception();
+        }
+        lock.lock();
+        if (thrown && (error_ == nullptr || index < error_index_)) {
           error_index_ = index;
-          error_ = std::current_exception();
+          error_ = thrown;
         }
       }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
       if (--active_ == 0) job_done_.notify_all();
+      continue;
     }
+
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();  // a packaged_task: exceptions land in its future
+      lock.lock();
+      continue;
+    }
+
+    // stop_ is honoured only once the queue is drained, so every future
+    // handed out by submit() completes before the destructor returns.
+    if (stop_) return;
   }
 }
 
@@ -89,6 +120,10 @@ std::size_t ThreadPool::recommended_workers(std::size_t task_count) {
   const std::size_t hw =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   return std::max<std::size_t>(1, std::min(hw, task_count));
+}
+
+std::uint64_t ThreadPool::total_created() {
+  return g_pools_created.load(std::memory_order_relaxed);
 }
 
 }  // namespace nvsoc::runtime

@@ -1,19 +1,35 @@
-// Fixed-size worker pool for data-parallel batch execution.
+// Fixed-size worker pool for data-parallel batch execution and streaming
+// task submission.
 //
 // Each backend run builds its own SoC/VP instance, so independent images
 // parallelise cleanly; what the pool adds is dynamic load balancing (a
 // shared index counter — image costs vary with polling-loop alignment) and
 // a stable worker id so callers can keep per-worker state (e.g. one
 // PreparedModel copy per worker instead of per image).
+//
+// Two execution paths share the same workers:
+//   parallel_for(count, task)  one blocking, load-balanced job (batch
+//                              barrier semantics)
+//   submit(fn) -> future       a queued task that runs as soon as any
+//                              worker is free (streaming arrivals — no
+//                              barrier, results collected via futures)
+//
+// Pools are meant to live as long as their owning session/process: workers
+// start once and are reused across every job and submitted task.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace nvsoc::runtime {
@@ -21,7 +37,14 @@ namespace nvsoc::runtime {
 class ThreadPool {
  public:
   /// `workers` == 0 picks one worker per hardware thread (at least 1).
+  /// Exception-safe: if spawning thread k throws (std::system_error under
+  /// thread exhaustion), the k-1 already-running workers are signalled and
+  /// joined before the exception escapes.
   explicit ThreadPool(std::size_t workers = 0);
+
+  /// Drains every queued submit() task (their futures all complete), then
+  /// stops and joins the workers. Must not run concurrently with
+  /// parallel_for.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -34,14 +57,39 @@ class ThreadPool {
   /// completed. `worker` is in [0, worker_count()) and identifies the
   /// executing thread. If tasks throw, every index still executes and the
   /// exception of the lowest failing index is rethrown here. One job at a
-  /// time: parallel_for must not be re-entered from a task.
+  /// time: parallel_for must not be re-entered from a task. Queued
+  /// submit() tasks already running delay the job's completion; queued
+  /// tasks not yet started wait until the job finishes.
   void parallel_for(
       std::size_t count,
       const std::function<void(std::size_t worker, std::size_t index)>& task);
 
+  /// Enqueue `fn` to run on the first free worker; returns the future for
+  /// its result. The task's value — or the exception it threw — travels
+  /// through the future, so submit() itself never observes task failures.
+  /// Thread-safe against concurrent submit() calls.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    job_ready_.notify_one();
+    return future;
+  }
+
   /// Worker count for a batch of `task_count` items: one per hardware
   /// thread, but never more than there are items.
   static std::size_t recommended_workers(std::size_t task_count);
+
+  /// How many ThreadPools this process has constructed — lets tests assert
+  /// that a serving session builds exactly one pool for its lifetime
+  /// instead of one per batch.
+  static std::uint64_t total_created();
 
  private:
   void worker_loop(std::size_t worker);
@@ -51,6 +99,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable job_ready_;
   std::condition_variable job_done_;
+  std::deque<std::function<void()>> queue_;  ///< submit() tasks, FIFO
   const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
   std::size_t count_ = 0;        ///< indices in the current job
   std::size_t next_ = 0;         ///< next unclaimed index

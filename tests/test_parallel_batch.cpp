@@ -169,10 +169,12 @@ TEST(Repack, WeightFilePreloadImageMatchesFullReplay) {
   (void)replay.prepare(images[0]);
   const auto& fast_prepared = fast.prepare(images[1]);
   EXPECT_FALSE(fast_prepared.vp_matches_input);
-  const auto fast_bytes = byte_map(fast_prepared.vp.weights);
+  // The shared trace still holds the *traced* image's preload bytes; the
+  // patched view for the current input must match a full replay's capture.
+  const auto fast_bytes = byte_map(fast_prepared.preload_weight_file());
   const auto& replay_prepared = replay.prepare(images[1]);
   EXPECT_TRUE(replay_prepared.vp_matches_input);
-  const auto replay_bytes = byte_map(replay_prepared.vp.weights);
+  const auto replay_bytes = byte_map(replay_prepared.preload_weight_file());
   EXPECT_EQ(fast_bytes, replay_bytes);
 }
 
@@ -338,6 +340,68 @@ TEST(BackendSpecT, ParseClockUnits) {
   EXPECT_FALSE(runtime::parse_clock("fast").is_ok());
   EXPECT_FALSE(runtime::parse_clock("mhz").is_ok());
   EXPECT_FALSE(runtime::parse_clock("1.2.3mhz").is_ok());  // no truncation
+}
+
+TEST(BackendSpecT, TableDrivenEdgeCases) {
+  struct Case {
+    const char* spec;
+    bool ok;
+    const char* canonical;  ///< expected canonical form when ok
+    const char* message;    ///< expected error fragment when !ok
+  };
+  const Case cases[] = {
+      // Canonicalizing specs.
+      {"soc", true, "soc", nullptr},
+      {"soc?", true, "soc", nullptr},  // trailing '?' canonicalizes away
+      {"soc@25MHz", true, "soc@25mhz", nullptr},  // clock lowercased
+      {"soc?wait_mode=polling?validate=off", true,
+       // '?' tolerated as an option separator, canonicalized to '&'.
+       "soc?validate=off&wait_mode=polling", nullptr},
+      {"soc?validate=off&wait_mode=polling", true,
+       "soc?validate=off&wait_mode=polling", nullptr},
+      {"soc?wait_mode=polling&validate=off", true,
+       // Options sort by key: both orderings share one canonical form.
+       "soc?validate=off&wait_mode=polling", nullptr},
+      // Consistent kInvalidArgument failures.
+      {"", false, nullptr, "empty backend name"},
+      {"@25mhz", false, nullptr, "empty backend name"},
+      {"soc@", false, nullptr, "'@' without a clock"},
+      {"soc@25mhz@50mhz", false, nullptr, "more than one '@'"},
+      {"soc?novalue", false, nullptr, "expected key=value"},
+      {"soc?=off", false, nullptr, "expected key=value"},
+      {"soc?validate=", false, nullptr, "expected key=value"},
+      {"soc?a=1&&b=2", false, nullptr, "expected key=value"},
+      {"soc?validate=off&validate=on", false, nullptr,
+       "duplicate option 'validate'"},
+  };
+  for (const auto& c : cases) {
+    const auto spec = BackendSpec::parse(c.spec);
+    if (c.ok) {
+      ASSERT_TRUE(spec.is_ok())
+          << "'" << c.spec << "': " << spec.status().to_string();
+      EXPECT_EQ(spec->canonical(), c.canonical) << "'" << c.spec << "'";
+    } else {
+      ASSERT_FALSE(spec.is_ok()) << "'" << c.spec << "' should not parse";
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument)
+          << "'" << c.spec << "'";
+      EXPECT_NE(spec.status().message().find(c.message), std::string::npos)
+          << "'" << c.spec << "': " << spec.status().to_string();
+      // Every parse failure names the offending spec the same way.
+      EXPECT_EQ(spec.status().message().rfind("backend spec '", 0), 0u)
+          << "'" << c.spec << "': " << spec.status().to_string();
+    }
+  }
+}
+
+TEST(BackendSpecT, ReorderedOptionsShareOneCachedVariant) {
+  auto& registry = BackendRegistry::global();
+  const auto a = registry.find("soc?wait_mode=polling&validate=off");
+  const auto b = registry.find("soc?validate=off&wait_mode=polling");
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+  EXPECT_EQ(*a, *b);  // one instance, not duplicate backends
+  // Both spellings answer to the canonical name.
+  EXPECT_EQ((*a)->name(), "soc?validate=off&wait_mode=polling");
 }
 
 TEST(BackendSpecT, DegenerateSpecResolvesToBaseBackend) {

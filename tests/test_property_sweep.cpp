@@ -95,8 +95,8 @@ TEST_P(RandomNetworkSweep, FullStackAgreesWithReference) {
   const auto& prepared = session.prepared();
 
   // 1. SoC output is bit-identical to the VP run.
-  ASSERT_EQ(exec.output.size(), prepared.vp.output.size());
-  EXPECT_EQ(core::max_abs_diff(exec.output, prepared.vp.output), 0.0f);
+  ASSERT_EQ(exec.output.size(), prepared.vp().output.size());
+  EXPECT_EQ(core::max_abs_diff(exec.output, prepared.vp().output), 0.0f);
 
   // 2. INT8 output tracks the FP32 reference within quantisation error
   //    (bounded relative to the output's dynamic range).
@@ -112,7 +112,7 @@ TEST_P(RandomNetworkSweep, FullStackAgreesWithReference) {
 
   // 3. Structural invariants of the generated program.
   EXPECT_EQ(exec.cpu.reason, rv::HaltReason::kEbreak);
-  EXPECT_EQ(prepared.program.poll_loops, prepared.config_file.read_count());
+  EXPECT_EQ(prepared.program().poll_loops, prepared.config_file().read_count());
   EXPECT_GE(exec.engine_stats.total_ops(), 1u);
 }
 

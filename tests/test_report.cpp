@@ -15,10 +15,10 @@ const PreparedModel& prepared() {
 
 TEST(Report, ProfileAlignsWithLoadable) {
   const auto profile =
-      build_profile(prepared().loadable, prepared().vp.op_records);
-  ASSERT_EQ(profile.layers.size(), prepared().loadable.ops.size());
-  EXPECT_EQ(profile.total_cycles, prepared().vp.total_cycles -
-                                      (prepared().vp.total_cycles -
+      build_profile(prepared().loadable(), prepared().vp().op_records);
+  ASSERT_EQ(profile.layers.size(), prepared().loadable().ops.size());
+  EXPECT_EQ(profile.total_cycles, prepared().vp().total_cycles -
+                                      (prepared().vp().total_cycles -
                                        profile.total_cycles));
   // Launch order is monotone and names carry the fused IR layers.
   Cycle last_launch = 0;
@@ -34,7 +34,7 @@ TEST(Report, ProfileAlignsWithLoadable) {
 
 TEST(Report, HotspotsAreSortedByDuration) {
   const auto profile =
-      build_profile(prepared().loadable, prepared().vp.op_records);
+      build_profile(prepared().loadable(), prepared().vp().op_records);
   const auto top = profile.hotspots(3);
   ASSERT_EQ(top.size(), 3u);
   EXPECT_GE(top[0].duration, top[1].duration);
@@ -45,7 +45,7 @@ TEST(Report, HotspotsAreSortedByDuration) {
 
 TEST(Report, FormatsAsTable) {
   const auto profile =
-      build_profile(prepared().loadable, prepared().vp.op_records);
+      build_profile(prepared().loadable(), prepared().vp().op_records);
   const std::string text = format_profile(profile, 100 * kMHz);
   EXPECT_NE(text.find("layer"), std::string::npos);
   EXPECT_NE(text.find("conv1"), std::string::npos);
@@ -57,7 +57,7 @@ TEST(Report, FormatsAsTable) {
 
 TEST(Report, BoundednessClassification) {
   const auto profile =
-      build_profile(prepared().loadable, prepared().vp.op_records);
+      build_profile(prepared().loadable(), prepared().vp().op_records);
   const double fraction = profile.compute_bound_fraction();
   EXPECT_GE(fraction, 0.0);
   EXPECT_LE(fraction, 1.0);

@@ -123,8 +123,8 @@ TEST(Backends, VpBackendMatchesPreparedTraceRun) {
   auto& session = lenet_session();
   const auto result = session.run("vp");
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
-  EXPECT_EQ(result->cycles, session.prepared().vp.total_cycles);
-  EXPECT_EQ(result->output, session.prepared().vp.output);
+  EXPECT_EQ(result->cycles, session.prepared().vp().total_cycles);
+  EXPECT_EQ(result->output, session.prepared().vp().output);
 }
 
 TEST(Backends, LinuxBaselineCarriesOverheadEstimate)   {
@@ -134,7 +134,7 @@ TEST(Backends, LinuxBaselineCarriesOverheadEstimate)   {
   ASSERT_TRUE(result->linux_estimate.has_value());
   EXPECT_GT(result->linux_estimate->overhead_fraction(), 0.9);
   // Same NVDLA: functional output identical to the bare-metal platforms.
-  EXPECT_EQ(result->output, session.prepared().vp.output);
+  EXPECT_EQ(result->output, session.prepared().vp().output);
   // Paper shape: the 50 MHz Linux platform is dramatically slower.
   const auto bare = session.run("soc");
   ASSERT_TRUE(bare.is_ok());
@@ -174,7 +174,11 @@ TEST(Backends, HardwareConfigMismatchReported) {
 TEST(Backends, LoadableTraceMismatchReported) {
   auto& session = lenet_session();
   core::PreparedModel corrupted = session.prepared();
-  corrupted.config_file.commands.pop_back();  // no longer from this trace
+  // The shared trace core is immutable; corrupting it means cloning it
+  // into a private mutable copy first.
+  auto tampered = std::make_shared<core::TraceArtifacts>(*corrupted.tail);
+  tampered->config_file.commands.pop_back();  // no longer from this trace
+  corrupted.tail = std::move(tampered);
   const auto backend = BackendRegistry::global().find("soc");
   ASSERT_TRUE(backend.is_ok());
   const auto result = (*backend)->run(corrupted, runtime::RunOptions{});

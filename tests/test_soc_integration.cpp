@@ -26,12 +26,12 @@ runtime::ExecutionResult run_or_die(runtime::InferenceSession& session,
 
 TEST(Flow, PreparationProducesAllArtifacts) {
   const auto& p = lenet().prepared();
-  EXPECT_EQ(p.model_name, "lenet5");
-  EXPECT_FALSE(p.loadable.ops.empty());
-  EXPECT_FALSE(p.config_file.commands.empty());
-  EXPECT_FALSE(p.program.assembly.empty());
-  EXPECT_GT(p.program.image.size_words(), 100u);
-  EXPECT_GT(p.vp.weights.total_bytes(), 400000u);  // ~431k INT8 params
+  EXPECT_EQ(p.model_name(), "lenet5");
+  EXPECT_FALSE(p.loadable().ops.empty());
+  EXPECT_FALSE(p.config_file().commands.empty());
+  EXPECT_FALSE(p.program().assembly.empty());
+  EXPECT_GT(p.program().image.size_words(), 100u);
+  EXPECT_GT(p.vp().weights.total_bytes(), 400000u);  // ~431k INT8 params
   EXPECT_EQ(p.reference_output.size(), 10u);
 }
 
@@ -42,7 +42,7 @@ TEST(Flow, SocExecutionMatchesVirtualPlatformBitExactly) {
   const auto exec = run_or_die(lenet(), "soc");
   ASSERT_TRUE(exec.soc.has_value());
   EXPECT_EQ(exec.soc->cpu.reason, rv::HaltReason::kEbreak);
-  EXPECT_EQ(core::max_abs_diff(lenet().prepared().vp.output, exec.output),
+  EXPECT_EQ(core::max_abs_diff(lenet().prepared().vp().output, exec.output),
             0.0f);
   EXPECT_EQ(exec.predicted_class,
             compiler::argmax(lenet().prepared().reference_output));
@@ -78,7 +78,7 @@ TEST(Flow, BusCensusIsConsistent) {
   EXPECT_GT(c.arbiter_dbb.grants, 0u);
   // The config path saw every register write of the configuration file.
   EXPECT_GE(c.apb2csb.writes,
-            lenet().prepared().config_file.write_count());
+            lenet().prepared().config_file().write_count());
 }
 
 TEST(Flow, PollingLoopsSpinUntilCompletion) {
@@ -87,14 +87,14 @@ TEST(Flow, PollingLoopsSpinUntilCompletion) {
   // The CPU must have read the interrupt-status register far more often
   // than the trace's read_reg count (polling), and branched accordingly.
   EXPECT_GT(exec.soc->census.apb2csb.reads,
-            lenet().prepared().config_file.read_count() * 10);
+            lenet().prepared().config_file().read_count() * 10);
   EXPECT_GT(exec.soc->cpu_stats.taken_branches, 100u);
 }
 
 TEST(Flow, ResNet18Int8EndToEnd) {
   runtime::InferenceSession session(models::resnet18_cifar());
   const auto exec = run_or_die(session, "system_top");
-  EXPECT_EQ(core::max_abs_diff(session.prepared().vp.output, exec.output),
+  EXPECT_EQ(core::max_abs_diff(session.prepared().vp().output, exec.output),
             0.0f);
   // Table II: 16.2 ms; require the right order of magnitude and that
   // ResNet-18 is slower than LeNet-5 (the paper's ordering).
@@ -112,7 +112,7 @@ TEST(Flow, Fp16FullConfigurationOnSoc) {
   config.precision = nvdla::Precision::kFp16;
   runtime::InferenceSession session(models::lenet5(), config);
   const auto exec = run_or_die(session, "soc");
-  EXPECT_EQ(core::max_abs_diff(session.prepared().vp.output, exec.output),
+  EXPECT_EQ(core::max_abs_diff(session.prepared().vp().output, exec.output),
             0.0f);
   // FP16 tracks the FP32 reference tightly.
   EXPECT_LT(core::max_abs_diff(session.prepared().reference_output,
@@ -131,7 +131,7 @@ TEST(Flow, InterruptModeMatchesPollingFunctionally) {
   core::FlowConfig irq_config;
   irq_config.wait_mode = toolflow::WaitMode::kInterrupt;
   runtime::InferenceSession irq_session(models::lenet5(), irq_config);
-  EXPECT_NE(irq_session.prepared().program.assembly.find("wfi"),
+  EXPECT_NE(irq_session.prepared().program().assembly.find("wfi"),
             std::string::npos);
 
   const auto poll_exec = run_or_die(lenet(), "soc");
