@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "compiler/prototxt.hpp"
 #include "runtime/inference_session.hpp"
@@ -59,6 +60,15 @@ layer { name: "prob" type: "Softmax" bottom: "fc" top: "prob" }
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::string_view(argv[1]) == "--help" ||
+                   std::string_view(argv[1]) == "-h")) {
+    std::printf("usage: %s [model.prototxt]\n\n"
+                "Parses a Caffe deploy-prototxt (or a built-in demo CNN) "
+                "and runs it\nthrough the bare-metal flow on every "
+                "registered backend.\n\n%s",
+                argv[0], runtime::spec_vocabulary_help().c_str());
+    return 0;
+  }
   std::string text = kDefaultPrototxt;
   if (argc > 1) {
     std::ifstream in(argv[1]);

@@ -23,14 +23,34 @@
 
 using namespace nvsoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string board =
+      argc > 1 ? argv[1] : "system_top";  // accepts any backend spec
+  if (board == "--help" || board == "-h") {
+    std::printf("usage: %s [board-backend-spec]\n\n"
+                "Deploys ResNet-18 through the runtime API and reports the "
+                "edge-integration\nnumbers (latency, storage, Linux-stack "
+                "comparison, batch serving). The board\ndefaults to "
+                "'system_top'; pass any backend spec to re-point it, e.g.\n"
+                "'system_top?mode=replay' for functional-replay serving.\n\n"
+                "%s",
+                argv[0], runtime::spec_vocabulary_help().c_str());
+    return 0;
+  }
   runtime::InferenceSession session(models::resnet18_cifar());
 
   std::printf("=== edge deployment: %s on nv_small @100 MHz ===\n\n",
               session.network().name().c_str());
-  const auto exec = session.run("system_top");
+  const auto exec = session.run(board);
   if (!exec.is_ok()) {
     std::fprintf(stderr, "run failed: %s\n", exec.status().to_string().c_str());
+    return 2;
+  }
+  if (!exec->soc.has_value()) {
+    std::fprintf(stderr,
+                 "'%s' is not a SoC-style board backend (no bus census); "
+                 "use soc/system_top variants\n",
+                 board.c_str());
     return 2;
   }
   const core::PreparedModel& prepared = session.prepared();
@@ -102,7 +122,7 @@ int main() {
   runtime::BatchOptions batch_options;
   batch_options.workers = runtime::ThreadPool::recommended_workers(kCameras);
   const auto batch_start = std::chrono::steady_clock::now();
-  const auto batch = session.run_batch_parallel("system_top", frames,
+  const auto batch = session.run_batch_parallel(board, frames,
                                                 batch_options);
   const auto batch_stop = std::chrono::steady_clock::now();
   if (!batch.is_ok()) {

@@ -6,17 +6,32 @@
 //      tracing, bare-metal program generation) runs lazily, stage by
 //      stage, and every artifact is memoized inside the session.
 //   3. session.run("soc") executes on the Fig. 2 SoC model — pick any
-//      registered backend by name: soc, system_top, vp, linux_baseline.
+//      registered backend by name (soc, system_top, vp, linux_baseline) or
+//      configured-variant spec ("soc?mode=replay", "linux_baseline@25mhz");
+//      --help lists the full vocabulary.
 //
-// Build & run:  ./build/examples/quickstart [backend]
+// Build & run:  ./build/examples/quickstart [backend-spec]
 #include <cstdio>
 
 #include "models/models.hpp"
+#include "runtime/backend_registry.hpp"
 #include "runtime/inference_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace nvsoc;
   const std::string backend = argc > 1 ? argv[1] : "soc";
+  if (backend == "--help" || backend == "-h") {
+    std::printf("usage: %s [backend-spec]\n\nregistered backends:\n",
+                argv[0]);
+    const auto& registry = runtime::BackendRegistry::global();
+    for (const auto& name : registry.names()) {
+      const auto found = registry.find(name);
+      std::printf("  %-15s %s\n", name.c_str(),
+                  std::string((*found)->description()).c_str());
+    }
+    std::printf("\n%s", runtime::spec_vocabulary_help().c_str());
+    return 0;
+  }
 
   // 1. A network from the zoo (or build your own compiler::Network).
   const compiler::Network net = models::lenet5();

@@ -372,6 +372,18 @@ void Nvdla::record_op(Unit u, Cycle launch, Cycle complete,
   last_completion_ = std::max(last_completion_, complete);
 }
 
+namespace {
+
+ReplayOp replay_record(ReplayOp::Kind kind, Cycle launch, Cycle complete) {
+  ReplayOp op;
+  op.kind = kind;
+  op.launch = launch;
+  op.complete = complete;
+  return op;
+}
+
+}  // namespace
+
 Cycle Nvdla::run_conv(unsigned group, Cycle start) {
   const ConvOp conv = decode_conv(group);
   const SdpOp sdp_op = decode_sdp(group);
@@ -410,6 +422,12 @@ Cycle Nvdla::run_conv(unsigned group, Cycle start) {
   post_interrupt(glb::IntrSource::kCacc, group, complete);
   post_interrupt(glb::IntrSource::kSdp, group, complete);
   record_op(Unit::kCacc, start, complete, cost);
+  if (op_recorder_) {
+    ReplayOp record = replay_record(ReplayOp::Kind::kConv, start, complete);
+    record.conv = conv;
+    record.sdp = sdp_op;
+    op_recorder_(record);
+  }
   return complete;
 }
 
@@ -442,6 +460,11 @@ Cycle Nvdla::run_sdp_standalone(unsigned group, Cycle start) {
   ++stats_.sdp_ops;
   post_interrupt(glb::IntrSource::kSdp, group, complete);
   record_op(Unit::kSdp, start, complete, cost);
+  if (op_recorder_) {
+    ReplayOp record = replay_record(ReplayOp::Kind::kSdp, start, complete);
+    record.sdp = op;
+    op_recorder_(record);
+  }
   return complete;
 }
 
@@ -459,6 +482,11 @@ Cycle Nvdla::run_pdp(unsigned group, Cycle start) {
   ++stats_.pdp_ops;
   post_interrupt(glb::IntrSource::kPdp, group, complete);
   record_op(Unit::kPdp, start, complete, cost);
+  if (op_recorder_) {
+    ReplayOp record = replay_record(ReplayOp::Kind::kPdp, start, complete);
+    record.pdp = op;
+    op_recorder_(record);
+  }
   return complete;
 }
 
@@ -476,6 +504,11 @@ Cycle Nvdla::run_cdp(unsigned group, Cycle start) {
   ++stats_.cdp_ops;
   post_interrupt(glb::IntrSource::kCdp, group, complete);
   record_op(Unit::kCdp, start, complete, cost);
+  if (op_recorder_) {
+    ReplayOp record = replay_record(ReplayOp::Kind::kCdp, start, complete);
+    record.cdp = op;
+    op_recorder_(record);
+  }
   return complete;
 }
 
@@ -494,6 +527,11 @@ Cycle Nvdla::run_bdma(unsigned group, Cycle start) {
   ++stats_.bdma_ops;
   post_interrupt(glb::IntrSource::kBdma, group, complete);
   record_op(Unit::kBdma, start, complete, cost);
+  if (op_recorder_) {
+    ReplayOp record = replay_record(ReplayOp::Kind::kBdma, start, complete);
+    record.bdma = op;
+    op_recorder_(record);
+  }
   return complete;
 }
 

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "nvdla/dbb.hpp"
 #include "nvdla/ops.hpp"
 #include "nvdla/regmap.hpp"
+#include "nvdla/replay.hpp"
 
 namespace nvsoc::nvdla {
 
@@ -77,6 +79,14 @@ class Nvdla final : public CsbTarget {
   /// VP hook: observe every DBB transfer (weights/feature traffic).
   void set_dbb_observer(DbbMaster::Observer observer) {
     dbb_.set_observer(std::move(observer));
+  }
+
+  /// VP hook: receive every launched op as a ReplayOp (decoded descriptors
+  /// + analytic timing), in launch order — the recording side of the
+  /// functional replay engine (nvdla/replay.hpp).
+  using OpRecorder = std::function<void(const ReplayOp&)>;
+  void set_op_recorder(OpRecorder recorder) {
+    op_recorder_ = std::move(recorder);
   }
 
   /// Reset to power-on state (registers cleared, no pending interrupts).
@@ -147,6 +157,7 @@ class Nvdla final : public CsbTarget {
 
   EngineStats stats_;
   std::vector<OpRecord> op_records_;
+  OpRecorder op_recorder_;
 };
 
 }  // namespace nvsoc::nvdla

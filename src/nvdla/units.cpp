@@ -86,42 +86,135 @@ ConvAccumulators conv_execute(const ConvOp& op, const CubeBuffer& input,
     const std::vector<std::int8_t> in = unpack_planar<std::int8_t>(input);
     const auto* wt = reinterpret_cast<const std::int8_t*>(weights.data());
     acc.i32.assign(static_cast<std::size_t>(K) * op.out_h * op.out_w, 0);
-    for (std::uint32_t k = 0; k < K; ++k) {
-      const std::uint32_t c_base = (k / k_per_group) * C;
-      for (std::uint32_t oy = 0; oy < op.out_h; ++oy) {
-        const std::int64_t iy0 =
-            static_cast<std::int64_t>(oy) * op.stride_y - op.pad_top;
-        for (std::uint32_t ox = 0; ox < op.out_w; ++ox) {
-          const std::int64_t ix0 =
-              static_cast<std::int64_t>(ox) * op.stride_x - op.pad_left;
-          std::int64_t sum = 0;
-          for (std::uint32_t c = 0; c < C; ++c) {
-            for (std::uint32_t r = 0; r < R; ++r) {
-              const std::int64_t iy = iy0 + r;
-              if (iy < 0 || iy >= in_h) {
-                if (op.pad_value != 0) {
-                  for (std::uint32_t s = 0; s < S; ++s) {
-                    sum += static_cast<std::int64_t>(op.pad_value) *
-                           wt[w_index(k, c, r, s)];
-                  }
-                }
-                continue;
-              }
-              const std::int8_t* in_row =
-                  in.data() +
-                  in_index(c_base + c, static_cast<std::uint32_t>(iy), 0);
-              const std::int8_t* w_row = wt + w_index(k, c, r, 0);
-              for (std::uint32_t s = 0; s < S; ++s) {
-                const std::int64_t ix = ix0 + s;
-                if (ix < 0 || ix >= in_w) {
-                  sum += static_cast<std::int64_t>(op.pad_value) * w_row[s];
+    // Integer accumulation is freely reassociable, so the int8 path can
+    // restructure its loops for throughput while staying bit-identical to
+    // the reference order. Partial sums fit int32 as long as the tap count
+    // cannot push |Σ in·w| past 2^31 (taps · 128·128 < 2^31): every real
+    // layer qualifies; the generic int64 walk below is the fallback.
+    // (pad_value is an input-domain sample in every real configuration;
+    // anything wider falls back to the int64 walk.)
+    const std::uint64_t taps = static_cast<std::uint64_t>(C) * R * S;
+    const bool i32_safe = taps < (1ull << 31) / (128ull * 128ull) &&
+                          op.pad_value >= -128 && op.pad_value <= 127;
+    const bool fully_covered_1x1_out =
+        op.out_w == 1 && op.out_h == 1 && op.pad_left == 0 &&
+        op.pad_top == 0 && R == in_h && S == in_w;
+    if (i32_safe && fully_covered_1x1_out) {
+      // Fully-connected shape (the whole input cube is one kernel window,
+      // no padding): both the planar input slice and the weight row are
+      // contiguous, so each output is a straight dot product.
+      const std::size_t len = static_cast<std::size_t>(C) * R * S;
+      for (std::uint32_t k = 0; k < K; ++k) {
+        const std::int8_t* a =
+            in.data() + static_cast<std::size_t>((k / k_per_group)) * C * R * S;
+        const std::int8_t* b = wt + static_cast<std::size_t>(k) * len;
+        std::int32_t sum = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+          sum += static_cast<std::int32_t>(a[i]) * b[i];
+        }
+        acc.i32[acc.index(k, 0, 0)] = saturate_i32(sum);
+      }
+    } else if (i32_safe &&
+               static_cast<std::uint64_t>(taps) * op.out_h * op.out_w <=
+                   (16u << 20)) {
+      // im2col: materialize one contiguous row of taps per output pixel —
+      // padding becomes pad_value samples (guaranteed to fit int8 by the
+      // i32_safe guard) — so every (kernel, output) pair reduces to a
+      // straight dot product of two contiguous int8 rows, which the
+      // compiler vectorizes. The patch matrix is built once per group and
+      // shared by all of the group's kernels; its size is capped above
+      // (16 MiB) to bound staging memory on degenerate shapes.
+      const std::size_t crs = static_cast<std::size_t>(C) * R * S;
+      const std::size_t outs =
+          static_cast<std::size_t>(op.out_h) * op.out_w;
+      std::vector<std::int8_t> col(crs * outs);
+      const auto pad = static_cast<std::int8_t>(op.pad_value);
+      for (std::uint32_t g = 0; g < G; ++g) {
+        const std::uint32_t c_base = g * C;
+        for (std::uint32_t oy = 0; oy < op.out_h; ++oy) {
+          const std::int64_t iy0 =
+              static_cast<std::int64_t>(oy) * op.stride_y - op.pad_top;
+          for (std::uint32_t ox = 0; ox < op.out_w; ++ox) {
+            const std::int64_t ix0 =
+                static_cast<std::int64_t>(ox) * op.stride_x - op.pad_left;
+            std::int8_t* crow =
+                col.data() +
+                (static_cast<std::size_t>(oy) * op.out_w + ox) * crs;
+            for (std::uint32_t c = 0; c < C; ++c) {
+              for (std::uint32_t r = 0; r < R; ++r) {
+                const std::int64_t iy = iy0 + r;
+                if (iy < 0 || iy >= in_h) {
+                  for (std::uint32_t s = 0; s < S; ++s) *crow++ = pad;
                   continue;
                 }
-                sum += static_cast<std::int64_t>(in_row[ix]) * w_row[s];
+                const std::int8_t* in_row =
+                    in.data() +
+                    in_index(c_base + c, static_cast<std::uint32_t>(iy), 0);
+                for (std::uint32_t s = 0; s < S; ++s) {
+                  const std::int64_t ix = ix0 + s;
+                  *crow++ = (ix < 0 || ix >= in_w)
+                                ? pad
+                                : in_row[ix];
+                }
               }
             }
           }
-          acc.i32[acc.index(k, oy, ox)] = saturate_i32(sum);
+        }
+        for (std::uint32_t k = g * k_per_group; k < (g + 1) * k_per_group;
+             ++k) {
+          const std::int8_t* w_row = wt + static_cast<std::size_t>(k) * crs;
+          std::int32_t* acc_row =
+              acc.i32.data() + acc.index(k, 0, 0);
+          for (std::size_t j = 0; j < outs; ++j) {
+            const std::int8_t* crow = col.data() + j * crs;
+            std::int32_t sum = 0;
+            for (std::size_t i = 0; i < crs; ++i) {
+              sum += static_cast<std::int32_t>(crow[i]) * w_row[i];
+            }
+            acc_row[j] = saturate_i32(sum);
+          }
+        }
+      }
+    } else {
+      // Reference walk (kept for pathological tap counts): int64 sums,
+      // output element by output element.
+      for (std::uint32_t k = 0; k < K; ++k) {
+        const std::uint32_t c_base = (k / k_per_group) * C;
+        for (std::uint32_t oy = 0; oy < op.out_h; ++oy) {
+          const std::int64_t iy0 =
+              static_cast<std::int64_t>(oy) * op.stride_y - op.pad_top;
+          for (std::uint32_t ox = 0; ox < op.out_w; ++ox) {
+            const std::int64_t ix0 =
+                static_cast<std::int64_t>(ox) * op.stride_x - op.pad_left;
+            std::int64_t sum = 0;
+            for (std::uint32_t c = 0; c < C; ++c) {
+              for (std::uint32_t r = 0; r < R; ++r) {
+                const std::int64_t iy = iy0 + r;
+                if (iy < 0 || iy >= in_h) {
+                  if (op.pad_value != 0) {
+                    for (std::uint32_t s = 0; s < S; ++s) {
+                      sum += static_cast<std::int64_t>(op.pad_value) *
+                             wt[w_index(k, c, r, s)];
+                    }
+                  }
+                  continue;
+                }
+                const std::int8_t* in_row =
+                    in.data() +
+                    in_index(c_base + c, static_cast<std::uint32_t>(iy), 0);
+                const std::int8_t* w_row = wt + w_index(k, c, r, 0);
+                for (std::uint32_t s = 0; s < S; ++s) {
+                  const std::int64_t ix = ix0 + s;
+                  if (ix < 0 || ix >= in_w) {
+                    sum += static_cast<std::int64_t>(op.pad_value) * w_row[s];
+                    continue;
+                  }
+                  sum += static_cast<std::int64_t>(in_row[ix]) * w_row[s];
+                }
+              }
+            }
+            acc.i32[acc.index(k, oy, ox)] = saturate_i32(sum);
+          }
         }
       }
     }
@@ -195,20 +288,44 @@ void sdp_execute(const SdpOp& op, const ConvAccumulators* acc,
   elt_desc.line_stride = op.operand_line_stride;
   elt_desc.surf_stride = op.operand_surf_stride;
 
-  for (std::uint32_t k = 0; k < K; ++k) {
-    for (std::uint32_t y = 0; y < op.dims.h; ++y) {
-      for (std::uint32_t x = 0; x < op.dims.w; ++x) {
-        if (int8_path) {
-          // Value in accumulator domain (int32).
-          std::int64_t value;
-          if (acc != nullptr) {
-            value = acc->i32[acc->index(k, y, x)];
-          } else {
-            value = src->get_i8(k, y, x);
-          }
-          if (op.bias_enable && bias_i32 != nullptr) {
-            value += bias_i32[k];
-          }
+  if (int8_path) {
+    // Hot path (every INT8 hardware layer runs through it): iterate rows
+    // with hoisted surface offsets — the packed-atom div/mod runs once per
+    // channel instead of once per element — and fold a disabled bias into
+    // a zero addend. Identical arithmetic to the per-element reference
+    // walk in the FP16 branch below.
+    const SurfaceDesc& dst = out.desc();
+    std::uint8_t* out_bytes = out.bytes().data();
+    const std::uint8_t* src_bytes =
+        src != nullptr ? src->bytes().data() : nullptr;
+    for (std::uint32_t k = 0; k < K; ++k) {
+      const std::int64_t bias =
+          (op.bias_enable && bias_i32 != nullptr) ? bias_i32[k] : 0;
+      const std::uint64_t dst_k = dst.offset_of(k, 0, 0);
+      const std::uint64_t elt_k =
+          op.eltwise_enable ? elt_desc.offset_of(k, 0, 0) : 0;
+      const std::uint64_t src_k =
+          src != nullptr ? src->desc().offset_of(k, 0, 0) : 0;
+      for (std::uint32_t y = 0; y < op.dims.h; ++y) {
+        const std::int32_t* acc_row =
+            acc != nullptr ? acc->i32.data() + acc->index(k, y, 0) : nullptr;
+        const std::uint64_t dst_row = dst_k + static_cast<std::uint64_t>(y) *
+                                                  dst.line_stride;
+        const std::uint64_t elt_row =
+            elt_k + static_cast<std::uint64_t>(y) * elt_desc.line_stride;
+        const std::uint64_t src_row =
+            src != nullptr ? src_k + static_cast<std::uint64_t>(y) *
+                                         src->desc().line_stride
+                           : 0;
+        for (std::uint32_t x = 0; x < op.dims.w; ++x) {
+          std::int64_t value =
+              acc_row != nullptr
+                  ? acc_row[x]
+                  : static_cast<std::int8_t>(
+                        src_bytes[src_row +
+                                  static_cast<std::uint64_t>(x) *
+                                      src->desc().atom_bytes]);
+          value += bias;
           // Output converter into the INT8 output scale, with rounding.
           if (op.cvt_shift > 0) {
             const std::int64_t scaled = value * op.cvt_scale;
@@ -219,12 +336,24 @@ void sdp_execute(const SdpOp& op, const ConvAccumulators* acc,
             value *= op.cvt_scale;
           }
           if (op.eltwise_enable) {
-            const std::uint64_t off = elt_desc.offset_of(k, y, x);
-            value += static_cast<std::int8_t>(eltwise[off]);
+            value += static_cast<std::int8_t>(
+                eltwise[elt_row +
+                        static_cast<std::uint64_t>(x) * elt_desc.atom_bytes]);
           }
           if (op.relu_enable && value < 0) value = 0;
-          out.set_i8(k, y, x, saturate_i8(value));
-        } else {
+          out_bytes[dst_row + static_cast<std::uint64_t>(x) *
+                                  dst.atom_bytes] =
+              static_cast<std::uint8_t>(saturate_i8(value));
+        }
+      }
+    }
+    return;
+  }
+
+  for (std::uint32_t k = 0; k < K; ++k) {
+    for (std::uint32_t y = 0; y < op.dims.h; ++y) {
+      for (std::uint32_t x = 0; x < op.dims.w; ++x) {
+        {
           float value;
           if (acc != nullptr) {
             value = acc->f32[acc->index(k, y, x)];

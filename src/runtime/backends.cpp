@@ -1,5 +1,7 @@
 #include "runtime/backends.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <utility>
 
 #include "common/strfmt.hpp"
@@ -73,18 +75,27 @@ Status validate_prepared(const core::PreparedModel& prepared,
 
 namespace {
 
-/// Functional VP result for a repacked input, re-simulated on the prepared
-/// model's own hardware tree and memoized on the model (deterministic, so
-/// bit-exact with what a full per-image replay would have produced).
+/// Functional VP result for a repacked input, memoized per input surface
+/// (compute-once, thread-safe: concurrent pooled tasks sharing a surface
+/// block on the first computation instead of double-simulating). With a
+/// recorded schedule this is a functional replay — no KMD, no trace
+/// capture — reporting the schedule's input-independent cycle count;
+/// without one it falls back to a full VP re-run. Both are deterministic,
+/// so the result is bit-exact with what a full per-image re-simulation
+/// would have produced.
 const core::PreparedModel::VpRefresh& refreshed_vp(
     const core::PreparedModel& prepared) {
-  if (!prepared.vp_refresh.has_value()) {
-    vp::VirtualPlatform platform(prepared.nvdla());
-    vp::VpRunResult fresh = platform.run(prepared.loadable(), prepared.input);
-    prepared.vp_refresh.emplace(core::PreparedModel::VpRefresh{
-        fresh.total_cycles, std::move(fresh.output)});
-  }
-  return *prepared.vp_refresh;
+  return prepared.vp_refresh->get_or_compute(
+      [&]() -> core::PreparedModel::VpRefresh {
+        if (prepared.has_replay()) {
+          return {prepared.replay_schedule().vp_total_cycles,
+                  core::replay_output(prepared)};
+        }
+        vp::VirtualPlatform platform(prepared.nvdla());
+        vp::VpRunResult fresh =
+            platform.run(prepared.loadable(), prepared.input);
+        return {fresh.total_cycles, std::move(fresh.output)};
+      });
 }
 
 ExecutionResult from_soc_execution(const ExecutionBackend& backend,
@@ -103,6 +114,55 @@ ExecutionResult from_soc_execution(const ExecutionBackend& backend,
   return result;
 }
 
+/// Extract `?mode=` from a spec, leaving the generic keys for the shared
+/// configure machinery. Returns the replay flag (defaulted to `current`
+/// when the key is absent).
+StatusOr<bool> take_mode(BackendSpec& spec, bool current) {
+  bool replay = current;
+  std::vector<std::pair<std::string, std::string>> rest;
+  for (const auto& [key, value] : spec.params) {
+    if (key != "mode") {
+      rest.emplace_back(key, value);
+      continue;
+    }
+    std::string v = value;
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    if (v == "replay") {
+      replay = true;
+    } else if (v == "cycle_accurate") {
+      replay = false;
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    strfmt("backend spec '{}': mode must be 'replay' or "
+                           "'cycle_accurate', got '{}'",
+                           spec.full, value));
+    }
+  }
+  spec.params = std::move(rest);
+  return replay;
+}
+
+/// Shared configure() body of the two SoC-platform backends: strip
+/// `?mode=`, rebuild the backend when the mode flips, and hand the
+/// remaining generic keys to the common wrapper. (The base
+/// ExecutionBackend::configure is exactly the `owned == nullptr` case.)
+template <typename BackendT>
+StatusOr<std::unique_ptr<ExecutionBackend>> configure_soc_style(
+    const ExecutionBackend& base, bool current_replay,
+    const BackendSpec& spec) {
+  BackendSpec stripped = spec;
+  const auto replay = take_mode(stripped, current_replay);
+  if (!replay.is_ok()) return replay.status();
+  if (*replay == current_replay) {
+    return make_configured_backend(&base, nullptr, stripped,
+                                   /*apply_clock=*/true);
+  }
+  return make_configured_backend(nullptr, std::make_unique<BackendT>(*replay),
+                                 stripped, /*apply_clock=*/true);
+}
+
 }  // namespace
 
 StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
@@ -116,11 +176,21 @@ StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
       return s;
   }
   try {
-    return from_soc_execution(*this, prepared, options,
-                              core::execute_on_soc(prepared, options.flow));
+    // Replay mode needs the recorded schedule; a prepared model without
+    // one (hand-built artifacts) still executes in full.
+    core::SocExecution exec = replay_mode_ && prepared.has_replay()
+                                  ? core::replay_on_soc(prepared, options.flow)
+                                  : core::execute_on_soc(prepared,
+                                                         options.flow);
+    return from_soc_execution(*this, prepared, options, std::move(exec));
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
+}
+
+StatusOr<std::unique_ptr<ExecutionBackend>> SocBackend::configure(
+    const BackendSpec& spec) const {
+  return configure_soc_style<SocBackend>(*this, replay_mode_, spec);
 }
 
 StatusOr<ExecutionResult> SystemTopBackend::run(
@@ -134,12 +204,19 @@ StatusOr<ExecutionResult> SystemTopBackend::run(
       return s;
   }
   try {
-    return from_soc_execution(
-        *this, prepared, options,
-        core::execute_on_system_top(prepared, options.flow));
+    core::SocExecution exec =
+        replay_mode_ && prepared.has_replay()
+            ? core::replay_on_system_top(prepared, options.flow)
+            : core::execute_on_system_top(prepared, options.flow);
+    return from_soc_execution(*this, prepared, options, std::move(exec));
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
+}
+
+StatusOr<std::unique_ptr<ExecutionBackend>> SystemTopBackend::configure(
+    const BackendSpec& spec) const {
+  return configure_soc_style<SystemTopBackend>(*this, replay_mode_, spec);
 }
 
 StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,

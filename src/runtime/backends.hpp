@@ -15,25 +15,50 @@
 namespace nvsoc::runtime {
 
 /// Fig. 2: the generated bare-metal program runs on the standalone SoC.
+///
+/// `?mode=replay` builds a functional-replay variant: the first run per
+/// (platform, flow) records the full cycle-accurate execution's
+/// input-independent envelope on the prepared model's replay schedule;
+/// every later image replays the functional op pipeline only — same
+/// outputs, same cycle counts, none of the µRISC-V ISS stepping. The
+/// default (`?mode=cycle_accurate`) simulates every image in full.
 class SocBackend final : public ExecutionBackend {
  public:
+  explicit SocBackend(bool replay_mode = false) : replay_mode_(replay_mode) {}
+
   std::string_view name() const override { return "soc"; }
   std::string_view description() const override {
     return "standalone SoC (Fig. 2, internal DRAM)";
   }
   StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                 const RunOptions& options) const override;
+  /// Understands `?mode=replay|cycle_accurate` on top of the generic keys.
+  StatusOr<std::unique_ptr<ExecutionBackend>> configure(
+      const BackendSpec& spec) const override;
+
+ private:
+  bool replay_mode_ = false;
 };
 
 /// Fig. 4: full board set-up — PS preload, SmartConnect switch, CDC, MIG.
+/// Supports `?mode=replay` exactly like SocBackend.
 class SystemTopBackend final : public ExecutionBackend {
  public:
+  explicit SystemTopBackend(bool replay_mode = false)
+      : replay_mode_(replay_mode) {}
+
   std::string_view name() const override { return "system_top"; }
   std::string_view description() const override {
     return "full board set-up (Fig. 4: Zynq-PS preload, SmartConnect, MIG DDR4)";
   }
   StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                 const RunOptions& options) const override;
+  /// Understands `?mode=replay|cycle_accurate` on top of the generic keys.
+  StatusOr<std::unique_ptr<ExecutionBackend>> configure(
+      const BackendSpec& spec) const override;
+
+ private:
+  bool replay_mode_ = false;
 };
 
 /// Fig. 3: run the loadable directly on the virtual platform (the paper's

@@ -26,6 +26,8 @@ struct FlowOverrides {
   std::optional<Hertz> clock;
   std::optional<toolflow::WaitMode> wait_mode;
   std::optional<bool> validate;
+  std::optional<std::uint64_t> dram_bytes;
+  std::optional<std::uint64_t> program_memory_bytes;
 };
 
 StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
@@ -61,10 +63,27 @@ StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
                              "'on' or 'off', got '{}'",
                              spec.full, value));
       }
+    } else if (key == "dram") {
+      const auto bytes = parse_mem_size(value);
+      if (!bytes.is_ok()) {
+        return Status(StatusCode::kInvalidArgument,
+                      strfmt("backend spec '{}': {}", spec.full,
+                             bytes.status().message()));
+      }
+      overrides.dram_bytes = *bytes;
+    } else if (key == "program_memory") {
+      const auto bytes = parse_mem_size(value);
+      if (!bytes.is_ok()) {
+        return Status(StatusCode::kInvalidArgument,
+                      strfmt("backend spec '{}': {}", spec.full,
+                             bytes.status().message()));
+      }
+      overrides.program_memory_bytes = *bytes;
     } else {
       return Status(StatusCode::kInvalidArgument,
                     strfmt("backend spec '{}': unknown option '{}' "
-                           "(supported: wait_mode, validate)",
+                           "(supported: wait_mode, validate, dram, "
+                           "program_memory)",
                            spec.full, key));
     }
   }
@@ -94,6 +113,10 @@ class ConfiguredBackend final : public ExecutionBackend {
     if (overrides_.clock) adjusted.flow.soc_clock = *overrides_.clock;
     if (overrides_.wait_mode) adjusted.flow.wait_mode = *overrides_.wait_mode;
     if (overrides_.validate) adjusted.validate = *overrides_.validate;
+    if (overrides_.dram_bytes) adjusted.flow.dram_bytes = *overrides_.dram_bytes;
+    if (overrides_.program_memory_bytes) {
+      adjusted.flow.program_memory_bytes = *overrides_.program_memory_bytes;
+    }
     auto result = base_->run(prepared, adjusted);
     if (!result.is_ok()) return result.status();
     ExecutionResult value = std::move(result).value();
@@ -218,6 +241,66 @@ StatusOr<Hertz> parse_clock(const std::string& token) {
                   strfmt("bad clock '{}': below 1 Hz", token));
   }
   return static_cast<Hertz>(value);
+}
+
+StatusOr<std::uint64_t> parse_mem_size(const std::string& token) {
+  const std::string t = lowered(token);
+  std::size_t digits = 0;
+  std::size_t dots = 0;
+  while (digits < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[digits])) != 0 ||
+          t[digits] == '.')) {
+    if (t[digits] == '.') ++dots;
+    ++digits;
+  }
+  const std::string number = t.substr(0, digits);
+  const std::string unit = t.substr(digits);
+  if (dots > 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad size '{}': malformed number", token));
+  }
+  double scale = 0.0;
+  if (unit == "b") scale = 1.0;
+  else if (unit == "kib") scale = 1024.0;
+  else if (unit == "mib") scale = 1024.0 * 1024.0;
+  else if (unit == "gib") scale = 1024.0 * 1024.0 * 1024.0;
+  if (number.empty() || scale == 0.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad size '{}': expected <number><b|kib|mib|gib>",
+                         token));
+  }
+  const double value = std::strtod(number.c_str(), nullptr) * scale;
+  if (value < 1.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad size '{}': below 1 byte", token));
+  }
+  // Bound before the cast: double -> uint64 is UB past 2^64, and nothing
+  // in the simulator wants an exbibyte window anyway.
+  if (value > static_cast<double>(1ull << 60)) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("bad size '{}': larger than 1 EiB", token));
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string spec_vocabulary_help() {
+  return
+      "backend specs: base[@clock][?key=value[&key=value]...]\n"
+      "  @<clock>                    SoC clock override, e.g. @25mhz "
+      "(hz|khz|mhz|ghz)\n"
+      "  ?wait_mode=polling|wfi      how the bare-metal program waits for "
+      "layer completion\n"
+      "  ?validate=on|off            pre-execution artifact validation\n"
+      "  ?dram=<size>                DRAM window, e.g. 1gib (b|kib|mib|gib)\n"
+      "  ?program_memory=<size>      BRAM program-memory capacity, e.g. "
+      "2mib\n"
+      "  ?mode=replay|cycle_accurate soc/system_top only: replay the "
+      "recorded schedule\n"
+      "                              functionally on repeat images (skips "
+      "the ISS/KMD)\n"
+      "examples: linux_baseline@25mhz, soc?wait_mode=polling, "
+      "soc?mode=replay,\n"
+      "          system_top?dram=1gib&program_memory=2mib\n";
 }
 
 StatusOr<std::unique_ptr<ExecutionBackend>> make_configured_backend(

@@ -65,6 +65,15 @@ struct BackendSpec {
 /// case-insensitive and required.
 StatusOr<Hertz> parse_clock(const std::string& token);
 
+/// Parse a memory-size token ("1gib", "2mib", "512kib", "4096b"); binary
+/// (IEC) units, case-insensitive and required. Used by the `?dram=` and
+/// `?program_memory=` spec options.
+StatusOr<std::uint64_t> parse_mem_size(const std::string& token);
+
+/// Human-readable summary of the configured-variant spec grammar and every
+/// supported option key — for the examples' `--help` output.
+std::string spec_vocabulary_help();
+
 /// Per-run knobs shared by every backend.
 struct RunOptions {
   core::FlowConfig flow;  ///< clocks, NVDLA config, memory sizes, wait mode
@@ -104,8 +113,11 @@ class ExecutionBackend {
   ///   @<clock>             override RunOptions::flow.soc_clock
   ///   ?wait_mode=polling|wfi   require/override the flow wait mode
   ///   ?validate=on|off     toggle pre-execution artifact validation
+  ///   ?dram=<size>         override the DRAM window (e.g. 1gib)
+  ///   ?program_memory=<size>   override the BRAM program memory capacity
   /// Unknown keys are kInvalidArgument. Backends with their own knobs
-  /// (e.g. LinuxBaselineBackend's platform clock) override this.
+  /// (LinuxBaselineBackend's platform clock, the SoC backends'
+  /// ?mode=replay) override this.
   virtual StatusOr<std::unique_ptr<ExecutionBackend>> configure(
       const BackendSpec& spec) const;
 };

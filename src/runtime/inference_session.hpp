@@ -82,6 +82,12 @@ struct StageCounters {
   /// session's own per-input surface only; the private snapshots repacked
   /// inside pooled tasks are not session state and are not counted.
   std::uint32_t repack = 0;
+  /// Functional replays executed against the session's recorded replay
+  /// schedule (skipping KMD, trace capture and — on the `?mode=replay`
+  /// SoC backends — the µRISC-V ISS). Unlike `repack`, this counts every
+  /// consumer of the shared schedule: the session's own runs and the
+  /// pooled snapshot runs alike.
+  std::uint32_t replay = 0;
 };
 
 /// Knobs for run_batch_parallel().
@@ -142,7 +148,11 @@ class InferenceSession {
 
   const compiler::Network& network() const { return network_; }
   const core::FlowConfig& config() const { return config_; }
-  const StageCounters& counters() const { return counters_; }
+  /// Stage-execution evidence, returned as a snapshot: `replay` is folded
+  /// in from the shared schedule's atomic counter at call time (pooled
+  /// tasks bump it concurrently), and the accessor itself mutates nothing
+  /// — concurrent counters() calls are plain reads.
+  StageCounters counters() const;
 
   /// The repack-input fast path is on by default; disabling it forces the
   /// legacy full VP replay per image (kept for parity testing — outputs
@@ -152,6 +162,14 @@ class InferenceSession {
   /// precisely to share the one traced tail.
   void set_repack_enabled(bool enabled) { repack_enabled_ = enabled; }
   bool repack_enabled() const { return repack_enabled_; }
+
+  /// The functional replay engine is on by default; disabling it drops the
+  /// recorded schedule so every repacked image falls back to a full VP
+  /// re-simulation (and `?mode=replay` SoC variants to full execution) —
+  /// bit-exact either way, kept as the parity/benchmark comparator.
+  /// Re-enabling re-records the schedule on the next staged trace.
+  void set_replay_enabled(bool enabled);
+  bool replay_enabled() const { return replay_enabled_; }
 
   /// The default input: a synthetic image from config.input_seed (the
   /// calibration image, matching the legacy prepare_model flow).
@@ -233,11 +251,17 @@ class InferenceSession {
       const RunOptions& options);
   void ensure_frontend();                         ///< weights..loadable
   void ensure_tail(std::span<const float> image); ///< trace..program
+  /// Fill the FP32 golden output for the current input if the serving
+  /// paths left it empty (it is a validation artifact, computed on demand
+  /// by prepare()/prepared(), never on the replay hot path).
+  void ensure_reference();
   /// Substitute `image` into `prepared`'s per-input surface without
-  /// re-running the VP: input tensor + FP32 reference. Marks the shared
-  /// trace as not matching the input (backends that need the functional
-  /// output re-simulate, memoized per surface). Safe to call concurrently
-  /// on distinct surfaces — it only reads shared immutable state.
+  /// re-running the VP: input tensor only — the FP32 reference is cleared
+  /// for lazy recomputation. Marks the shared trace as not matching the
+  /// input (backends that need the functional output replay the recorded
+  /// schedule, memoized per surface) and swaps in a fresh compute-once
+  /// memo. Safe to call concurrently on distinct surfaces — it only reads
+  /// shared immutable state.
   void repack_into(core::PreparedModel& prepared,
                    std::span<const float> image) const;
 
@@ -245,9 +269,13 @@ class InferenceSession {
   core::FlowConfig config_;
   const BackendRegistry* registry_;
   StageCounters counters_;
+  /// Replays accumulated on schedules that have since been replaced by a
+  /// re-trace (counters().replay = base + current schedule's tally).
+  std::uint32_t replay_base_ = 0;
 
   bool tail_done_ = false;
   bool repack_enabled_ = true;
+  bool replay_enabled_ = true;
   std::vector<float> default_input_;
   std::optional<compiler::ReferenceExecutor> reference_;
   core::PreparedModel prepared_;

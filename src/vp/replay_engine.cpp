@@ -1,0 +1,53 @@
+#include "vp/replay_engine.hpp"
+
+#include <utility>
+
+#include "common/bitutil.hpp"
+#include "mem/dram.hpp"
+
+namespace nvsoc::vp {
+
+namespace {
+
+/// Zero-time backdoor view of the VP DRAM for the functional replay.
+class DramReplayMemory final : public nvdla::ReplayMemory {
+ public:
+  explicit DramReplayMemory(Dram& dram) : dram_(dram) {}
+  void read(Addr addr, std::span<std::uint8_t> out) const override {
+    dram_.read_bytes(addr, out);
+  }
+  void write(Addr addr, std::span<const std::uint8_t> data) override {
+    dram_.write_bytes(addr, data);
+  }
+
+ private:
+  Dram& dram_;
+};
+
+}  // namespace
+
+ReplayEngine::ReplayEngine(nvdla::NvdlaConfig config,
+                           const compiler::Loadable& loadable)
+    : config_(std::move(config)), loadable_(loadable) {}
+
+std::vector<float> ReplayEngine::run(std::span<const nvdla::ReplayOp> ops,
+                                     std::span<const float> image) {
+  // Same arena and preload as VirtualPlatform::run: parameters, then the
+  // packed input image; intermediate surfaces read back zero until an op
+  // writes them, exactly like the sparse VP memory.
+  Dram dram(align_up(loadable_.arena_end + (1u << 20), 1u << 20));
+  dram.write_bytes(loadable_.weight_base, loadable_.weight_blob);
+  const auto input_bytes = loadable_.pack_input(image);
+  dram.write_bytes(loadable_.input_surface.base, input_bytes);
+
+  DramReplayMemory mem(dram);
+  for (const auto& op : ops) {
+    nvdla::replay_op(config_, op, mem);
+  }
+
+  std::vector<std::uint8_t> raw(loadable_.output_surface.span_bytes());
+  dram.read_bytes(loadable_.output_surface.base, raw);
+  return loadable_.unpack_output(raw);
+}
+
+}  // namespace nvsoc::vp

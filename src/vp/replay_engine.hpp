@@ -1,0 +1,37 @@
+// Functional replay engine over the VP memory model.
+//
+// Replays a recorded op schedule (nvdla/replay.hpp) for a new input image:
+// preloads a fresh DRAM with the loadable's parameters and the packed
+// image — exactly the VP's preload — then executes the functional op
+// pipeline in recorded order through the zero-time backdoor. No kernel
+// driver, no CSB programming, no trace or weight-file capture, no bus
+// timing: the output cube is bit-identical to a full VirtualPlatform::run
+// on the same image (the kernels and the byte movement are shared), at a
+// small fraction of the cost. Cycle counts are the recorded schedule's —
+// they are input-independent, so the caller reports them unchanged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "compiler/loadable.hpp"
+#include "nvdla/config.hpp"
+#include "nvdla/replay.hpp"
+
+namespace nvsoc::vp {
+
+class ReplayEngine {
+ public:
+  ReplayEngine(nvdla::NvdlaConfig config, const compiler::Loadable& loadable);
+
+  /// Replay `ops` (launch order) for `image`; returns the decoded network
+  /// output, bit-identical to a full VP run on the same image.
+  std::vector<float> run(std::span<const nvdla::ReplayOp> ops,
+                         std::span<const float> image);
+
+ private:
+  nvdla::NvdlaConfig config_;
+  const compiler::Loadable& loadable_;
+};
+
+}  // namespace nvsoc::vp

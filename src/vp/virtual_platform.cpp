@@ -213,6 +213,10 @@ VpRunResult VirtualPlatform::run(const compiler::Loadable& loadable,
     }
   });
 
+  engine.set_op_recorder([&](const nvdla::ReplayOp& op) {
+    result.replay_ops.push_back(op);
+  });
+
   // Drive the loadable through the kernel driver.
   KernelDriver kmd(csb, engine);
   result.total_cycles = kmd.run(loadable, 0);

@@ -84,6 +84,10 @@ struct VpRunResult {
   std::vector<nvdla::OpRecord> op_records;
   KmdStats kmd_stats;
   nvdla::DbbStats dbb_stats;
+  /// Decoded functional ops in launch order with their analytic timing —
+  /// the raw material of a core::ReplaySchedule (the session moves them
+  /// out when staging; see vp/replay_engine.hpp for the execution side).
+  std::vector<nvdla::ReplayOp> replay_ops;
 };
 
 class VirtualPlatform {

@@ -1,0 +1,312 @@
+// Functional replay engine: bit-exactness of replayed outputs and cycle
+// counts against full cycle-accurate simulation on all four backends, the
+// `?mode=replay` SoC variants, replay-schedule sharing across pooled
+// workers, the thread-safe compute-once refresh memo (the old lazy
+// optional raced under concurrent pooled tasks), StageCounters::replay
+// accounting, and the memory-sizing spec vocabulary.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "models/models.hpp"
+#include "runtime/backends.hpp"
+#include "runtime/inference_session.hpp"
+
+namespace nvsoc {
+namespace {
+
+using runtime::BackendRegistry;
+using runtime::BatchOptions;
+using runtime::InferenceSession;
+using runtime::RunOptions;
+
+std::vector<std::vector<float>> synthetic_batch(const compiler::Network& net,
+                                                std::size_t count,
+                                                std::uint64_t first_seed) {
+  std::vector<std::vector<float>> images;
+  images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    images.push_back(
+        compiler::synthetic_input(net.input_shape(), first_seed + i));
+  }
+  return images;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exactness vs full simulation
+// ---------------------------------------------------------------------------
+
+/// vp / linux_baseline take the replay path automatically on repacked
+/// images; a repack-disabled session re-simulates everything in full. Both
+/// must agree bit for bit, on outputs and on cycles.
+void expect_replay_matches_full(compiler::Network (*build)(),
+                                const char* backend) {
+  const auto images = synthetic_batch(build(), 3, 4100);
+  InferenceSession fast(build());
+  InferenceSession full(build());
+  full.set_repack_enabled(false);
+  for (const auto& image : images) {
+    const auto replayed = fast.run(backend, image);
+    const auto simulated = full.run(backend, image);
+    ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+    ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
+    EXPECT_EQ(replayed->output, simulated->output) << backend;
+    EXPECT_EQ(replayed->cycles, simulated->cycles) << backend;
+    EXPECT_EQ(replayed->predicted_class, simulated->predicted_class);
+  }
+  // Images beyond the first traced one were replays, not re-simulations.
+  EXPECT_EQ(fast.counters().trace, 1u);
+  EXPECT_EQ(fast.counters().replay, 2u);
+  EXPECT_EQ(full.counters().replay, 0u);
+}
+
+TEST(ReplayBitExact, VpBackendLenet) {
+  expect_replay_matches_full(models::lenet5, "vp");
+}
+
+TEST(ReplayBitExact, LinuxBaselineLenet) {
+  expect_replay_matches_full(models::lenet5, "linux_baseline");
+}
+
+TEST(ReplayBitExact, VpBackendResnet) {
+  expect_replay_matches_full(models::resnet18_cifar, "vp");
+}
+
+TEST(ReplayBitExact, LinuxBaselineResnet) {
+  expect_replay_matches_full(models::resnet18_cifar, "linux_baseline");
+}
+
+/// The SoC platforms replay through the `?mode=replay` variant; the
+/// default stays cycle-accurate. Outputs, cycles and latency must be
+/// bit-identical — the recorded envelope is input-independent.
+void expect_soc_replay_matches_full(compiler::Network (*build)(),
+                                    const char* base) {
+  const auto images = synthetic_batch(build(), 2, 4200);
+  const std::string replay_spec = std::string(base) + "?mode=replay";
+  InferenceSession session(build());
+  for (const auto& image : images) {
+    const auto simulated = session.run(base, image);
+    const auto replayed = session.run(replay_spec, image);
+    ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
+    ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+    EXPECT_EQ(replayed->output, simulated->output) << replay_spec;
+    EXPECT_EQ(replayed->cycles, simulated->cycles) << replay_spec;
+    EXPECT_EQ(replayed->ms, simulated->ms) << replay_spec;
+    ASSERT_TRUE(replayed->soc.has_value());
+    // The recorded envelope carries the platform detail too.
+    EXPECT_EQ(replayed->soc->census.dbb.bytes_read,
+              simulated->soc->census.dbb.bytes_read);
+    EXPECT_EQ(replayed->soc->engine_stats.total_ops(),
+              simulated->soc->engine_stats.total_ops());
+  }
+}
+
+TEST(ReplayBitExact, SocModeReplayLenet) {
+  expect_soc_replay_matches_full(models::lenet5, "soc");
+}
+
+TEST(ReplayBitExact, SystemTopModeReplayLenet) {
+  expect_soc_replay_matches_full(models::lenet5, "system_top");
+}
+
+TEST(ReplayBitExact, SocModeReplayResnet) {
+  expect_soc_replay_matches_full(models::resnet18_cifar, "soc");
+}
+
+TEST(ReplayBitExact, SystemTopModeReplayResnet) {
+  expect_soc_replay_matches_full(models::resnet18_cifar, "system_top");
+}
+
+/// system_top cycles depend on the fabric clock (the CDC rescales DDR
+/// latencies by the clock ratio), so a re-clocked replay variant must
+/// record its own envelope instead of reusing another clock's cycles.
+TEST(ReplayBitExact, ReclockedSystemTopReplayRecordsItsOwnEnvelope) {
+  const auto images = synthetic_batch(models::lenet5(), 2, 4250);
+  InferenceSession session(models::lenet5());
+  // Populate the default-clock record first so key collisions would show.
+  ASSERT_TRUE(session.run("system_top?mode=replay", images[0]).is_ok());
+  const auto fast = session.run("system_top@50mhz", images[1]);
+  const auto replayed = session.run("system_top@50mhz?mode=replay", images[1]);
+  ASSERT_TRUE(fast.is_ok()) << fast.status().to_string();
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  EXPECT_EQ(replayed->cycles, fast->cycles);
+  EXPECT_EQ(replayed->ms, fast->ms);
+  EXPECT_EQ(replayed->output, fast->output);
+}
+
+/// set_replay_enabled(false) drops the schedule: repacked images fall
+/// back to full re-simulation and ?mode=replay to full execution —
+/// bit-exact with the replay path, with no replays counted.
+TEST(ReplayBitExact, ReplayDisabledSessionFallsBackBitExactly) {
+  const auto images = synthetic_batch(models::lenet5(), 3, 4270);
+  InferenceSession fast(models::lenet5());
+  InferenceSession slow(models::lenet5());
+  slow.set_replay_enabled(false);
+  EXPECT_FALSE(slow.replay_enabled());
+  for (const auto& image : images) {
+    for (const char* backend : {"vp", "soc?mode=replay"}) {
+      const auto replayed = fast.run(backend, image);
+      const auto simulated = slow.run(backend, image);
+      ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+      ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
+      EXPECT_EQ(replayed->output, simulated->output) << backend;
+      EXPECT_EQ(replayed->cycles, simulated->cycles) << backend;
+    }
+  }
+  EXPECT_FALSE(slow.prepared().has_replay());
+  EXPECT_EQ(slow.counters().replay, 0u);
+  EXPECT_GT(fast.counters().replay, 0u);
+  // Re-enabling re-records the schedule on the next staged trace.
+  slow.set_replay_enabled(true);
+  ASSERT_TRUE(slow.run("vp", images[0]).is_ok());
+  EXPECT_TRUE(slow.prepared().has_replay());
+}
+
+/// SoC cycle counts are input-independent (same program, same schedule):
+/// the replay variant reports one cycle count for every image, and it is
+/// the cycle-accurate one.
+TEST(ReplayBitExact, SocReplayCyclesAreInputIndependent) {
+  const auto images = synthetic_batch(models::lenet5(), 3, 4300);
+  InferenceSession session(models::lenet5());
+  const auto reference = session.run("soc", images[0]);
+  ASSERT_TRUE(reference.is_ok());
+  for (const auto& image : images) {
+    const auto replayed = session.run("soc?mode=replay", image);
+    ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+    EXPECT_EQ(replayed->cycles, reference->cycles);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule sharing + accounting
+// ---------------------------------------------------------------------------
+
+TEST(ReplaySharing, PooledWorkersShareOneScheduleAndDropItAfterTheBatch) {
+  const auto images = synthetic_batch(models::lenet5(), 6, 4400);
+  std::shared_ptr<const core::ReplaySchedule> schedule;
+  {
+    InferenceSession session(models::lenet5());
+    schedule = session.prepared().replay;
+    ASSERT_NE(schedule, nullptr);
+    EXPECT_FALSE(schedule->ops.empty());
+    EXPECT_GT(schedule->vp_total_cycles, 0u);
+
+    BatchOptions options;
+    options.workers = 3;
+    const auto results = session.run_batch_parallel("vp", images, options);
+    ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+
+    // Snapshots copy the pointer, never the schedule bytes.
+    EXPECT_GE(schedule.use_count(), 2);
+    // Every image (all repacked away from the default input) replayed once.
+    EXPECT_EQ(session.counters().replay, 6u);
+    EXPECT_EQ(session.counters().trace, 1u);
+  }
+  // Session gone, pool drained and joined: this handle is the last owner.
+  EXPECT_EQ(schedule.use_count(), 1);
+}
+
+TEST(ReplaySharing, SequentialBatchCountsOneReplayPerRepackedImage) {
+  const auto images = synthetic_batch(models::lenet5(), 4, 4500);
+  InferenceSession session(models::lenet5());
+  const auto results = session.run_batch("vp", images);
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+  // images[0] staged the trace (its output is the traced one, no replay
+  // needed); images[1..3] each replayed once.
+  EXPECT_EQ(session.counters().trace, 1u);
+  EXPECT_EQ(session.counters().repack, 3u);
+  EXPECT_EQ(session.counters().replay, 3u);
+}
+
+/// The old memo was a bare mutable std::optional written from concurrent
+/// pooled tasks; the compute-once memo must serve one shared repacked
+/// surface from exactly one replay, however many threads race on it.
+/// (This test runs under the ThreadSanitizer CI job.)
+TEST(ReplaySharing, ConcurrentRunsOnASharedSurfaceReplayExactlyOnce) {
+  const auto images = synthetic_batch(models::lenet5(), 2, 4600);
+  InferenceSession session(models::lenet5());
+  (void)session.prepare(images[0]);
+  const core::PreparedModel& prepared = session.prepare(images[1]);
+  ASSERT_FALSE(prepared.vp_matches_input);
+
+  const auto backend = BackendRegistry::global().find("vp");
+  ASSERT_TRUE(backend.is_ok());
+  RunOptions options;
+  options.flow = session.config();
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<float>> outputs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto result = (*backend)->run(prepared, options);
+      if (result.is_ok()) outputs[t] = result->output;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(session.counters().replay, 1u);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(outputs[t], outputs[0]);
+  }
+  EXPECT_FALSE(outputs[0].empty());
+}
+
+// ---------------------------------------------------------------------------
+// Spec vocabulary: memory sizing + mode
+// ---------------------------------------------------------------------------
+
+TEST(SpecVocabulary, ParsesMemorySizes) {
+  EXPECT_EQ(*runtime::parse_mem_size("4096b"), 4096u);
+  EXPECT_EQ(*runtime::parse_mem_size("512KiB"), 512u * 1024);
+  EXPECT_EQ(*runtime::parse_mem_size("2mib"), 2u * 1024 * 1024);
+  EXPECT_EQ(*runtime::parse_mem_size("1gib"), 1ull << 30);
+  EXPECT_EQ(*runtime::parse_mem_size("1.5mib"), 3u * 512 * 1024);
+  for (const char* bad :
+       {"", "1", "mib", "1.2.3mib", "0b", "1kb", "99999999999gib"}) {
+    EXPECT_FALSE(runtime::parse_mem_size(bad).is_ok()) << bad;
+  }
+}
+
+TEST(SpecVocabulary, MemorySizingOptionsConfigureTheFlow) {
+  InferenceSession session(models::lenet5());
+  // A generous DRAM window executes fine…
+  const auto big = session.run("soc?dram=1gib");
+  ASSERT_TRUE(big.is_ok()) << big.status().to_string();
+  // …while a program memory smaller than the generated machine code is
+  // rejected by validation before execution.
+  const auto tiny = session.run("soc?program_memory=512b");
+  ASSERT_FALSE(tiny.is_ok());
+  EXPECT_EQ(tiny.status().code(), StatusCode::kOutOfRange);
+  // Equal results either way: memory sizing does not change the flow.
+  const auto base = session.run("soc");
+  ASSERT_TRUE(base.is_ok());
+  EXPECT_EQ(big->output, base->output);
+  EXPECT_EQ(big->cycles, base->cycles);
+}
+
+TEST(SpecVocabulary, ModeOptionIsValidatedAndSocOnly) {
+  const auto& registry = BackendRegistry::global();
+  EXPECT_TRUE(registry.find("soc?mode=replay").is_ok());
+  EXPECT_TRUE(registry.find("system_top?mode=replay").is_ok());
+  EXPECT_TRUE(registry.find("soc?mode=cycle_accurate").is_ok());
+  const auto bad_value = registry.find("soc?mode=sideways");
+  ASSERT_FALSE(bad_value.is_ok());
+  EXPECT_EQ(bad_value.status().code(), StatusCode::kInvalidArgument);
+  // vp / linux_baseline have no cycle-accurate/replay split to select.
+  EXPECT_FALSE(registry.find("vp?mode=replay").is_ok());
+  EXPECT_FALSE(registry.find("linux_baseline?mode=replay").is_ok());
+}
+
+TEST(SpecVocabulary, HelpTextNamesEveryOptionKey) {
+  const std::string help = runtime::spec_vocabulary_help();
+  for (const char* key :
+       {"wait_mode", "validate", "dram", "program_memory", "mode"}) {
+    EXPECT_NE(help.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace nvsoc

@@ -187,12 +187,13 @@ TEST(Repack, RepeatedRunsOfARepackedImageMemoizeTheResimulation) {
   ASSERT_TRUE(first.is_ok()) << first.status().to_string();
   const auto& prepared = session.prepare(images[1]);
   EXPECT_FALSE(prepared.vp_matches_input);
-  // …and memoize that run on the prepared model, so repeats reuse it.
-  ASSERT_TRUE(prepared.vp_refresh.has_value());
-  EXPECT_EQ(prepared.vp_refresh->output, first->output);
+  // …and memoize that run on the prepared model, so repeats reuse it: one
+  // functional replay total, not one per call.
+  EXPECT_EQ(session.counters().replay, 1u);
   const auto repeat = session.run("linux_baseline", images[1]);
   ASSERT_TRUE(repeat.is_ok()) << repeat.status().to_string();
-  EXPECT_EQ(repeat->output, first->output);  // same memoized simulation
+  EXPECT_EQ(repeat->output, first->output);  // same memoized replay
+  EXPECT_EQ(session.counters().replay, 1u);
 }
 
 // ---------------------------------------------------------------------------
