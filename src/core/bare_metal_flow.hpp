@@ -34,6 +34,7 @@
 #include "soc/system_top.hpp"
 #include "toolflow/asm_emitter.hpp"
 #include "toolflow/config_file.hpp"
+#include "vp/replay_engine.hpp"
 #include "vp/virtual_platform.hpp"
 
 namespace nvsoc::core {
@@ -121,6 +122,18 @@ struct ReplaySchedule {
       const std::string& key,
       const std::function<SocExecution()>& compute) const;
 
+  /// How many platform envelopes have been recorded on this schedule
+  /// (tests use it to assert that prepare_async staged the `?mode=replay`
+  /// envelope eagerly, off the serving path).
+  std::size_t platform_record_count() const;
+
+  /// The schedule's session-lifetime functional replay engine: built once
+  /// (thread-safe), it keeps one preloaded arena per concurrently
+  /// replaying worker and resets — not rebuilds — them between images
+  /// (see vp/replay_engine.hpp). A schedule serves exactly one compiled
+  /// network, so the engine's arenas always match the caller's loadable.
+  vp::ReplayEngine& engine(const nvdla::NvdlaConfig& config) const;
+
   /// How many functional replays executed against this schedule (all
   /// consumers: session runs and pooled snapshots alike).
   std::uint32_t replay_count() const {
@@ -138,6 +151,8 @@ struct ReplaySchedule {
   mutable std::mutex platforms_mutex_;
   /// Node-based on purpose: records keep a stable address once created.
   mutable std::map<std::string, std::unique_ptr<PlatformOnce>> platforms_;
+  mutable std::once_flag engine_once_;
+  mutable std::unique_ptr<vp::ReplayEngine> engine_;
   mutable std::atomic<std::uint32_t> replays_{0};
 };
 
@@ -263,6 +278,17 @@ SocExecution replay_on_soc(const PreparedModel& prepared,
                            const FlowConfig& config);
 SocExecution replay_on_system_top(const PreparedModel& prepared,
                                   const FlowConfig& config);
+
+/// Eagerly record the input-independent `?mode=replay` envelope for the
+/// given platform + flow — the same record the first replay_on_* call
+/// would produce lazily. Called from staging paths (prepare_async, the
+/// backends' stage() hook) so the one full cycle-accurate recording run
+/// happens off the serving hot path instead of stalling the first pooled
+/// batch. Idempotent per (platform, flow) key; requires has_replay().
+void record_replay_envelope_on_soc(const PreparedModel& prepared,
+                                   const FlowConfig& config);
+void record_replay_envelope_on_system_top(const PreparedModel& prepared,
+                                          const FlowConfig& config);
 
 /// Maximum |a-b| between two tensors (validation helper).
 float max_abs_diff(std::span<const float> a, std::span<const float> b);

@@ -188,6 +188,12 @@ StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
   }
 }
 
+void SocBackend::stage(const core::PreparedModel& prepared,
+                       const RunOptions& options) const {
+  if (!replay_mode_ || !prepared.has_replay() || !prepared.has_tail()) return;
+  core::record_replay_envelope_on_soc(prepared, options.flow);
+}
+
 StatusOr<std::unique_ptr<ExecutionBackend>> SocBackend::configure(
     const BackendSpec& spec) const {
   return configure_soc_style<SocBackend>(*this, replay_mode_, spec);
@@ -212,6 +218,12 @@ StatusOr<ExecutionResult> SystemTopBackend::run(
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
+}
+
+void SystemTopBackend::stage(const core::PreparedModel& prepared,
+                             const RunOptions& options) const {
+  if (!replay_mode_ || !prepared.has_replay() || !prepared.has_tail()) return;
+  core::record_replay_envelope_on_system_top(prepared, options.flow);
 }
 
 StatusOr<std::unique_ptr<ExecutionBackend>> SystemTopBackend::configure(

@@ -32,6 +32,11 @@ class SocBackend final : public ExecutionBackend {
   }
   StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                 const RunOptions& options) const override;
+  /// In replay mode: eagerly record the input-independent platform
+  /// envelope on the prepared model's replay schedule (idempotent; a
+  /// cycle-accurate backend stages nothing).
+  void stage(const core::PreparedModel& prepared,
+             const RunOptions& options) const override;
   /// Understands `?mode=replay|cycle_accurate` on top of the generic keys.
   StatusOr<std::unique_ptr<ExecutionBackend>> configure(
       const BackendSpec& spec) const override;
@@ -53,6 +58,9 @@ class SystemTopBackend final : public ExecutionBackend {
   }
   StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                 const RunOptions& options) const override;
+  /// See SocBackend::stage.
+  void stage(const core::PreparedModel& prepared,
+             const RunOptions& options) const override;
   /// Understands `?mode=replay|cycle_accurate` on top of the generic keys.
   StatusOr<std::unique_ptr<ExecutionBackend>> configure(
       const BackendSpec& spec) const override;

@@ -109,6 +109,23 @@ class ConfiguredBackend final : public ExecutionBackend {
 
   StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                 const RunOptions& options) const override {
+    auto result = base_->run(prepared, adjusted(options));
+    if (!result.is_ok()) return result.status();
+    ExecutionResult value = std::move(result).value();
+    value.backend = name_;  // results report the spec that produced them
+    return value;
+  }
+
+  void stage(const core::PreparedModel& prepared,
+             const RunOptions& options) const override {
+    // The overrides shape the platform-record key (clock, memory sizes),
+    // so the delegate must stage under the same adjusted options run()
+    // would execute with.
+    base_->stage(prepared, adjusted(options));
+  }
+
+ private:
+  RunOptions adjusted(const RunOptions& options) const {
     RunOptions adjusted = options;
     if (overrides_.clock) adjusted.flow.soc_clock = *overrides_.clock;
     if (overrides_.wait_mode) adjusted.flow.wait_mode = *overrides_.wait_mode;
@@ -117,14 +134,9 @@ class ConfiguredBackend final : public ExecutionBackend {
     if (overrides_.program_memory_bytes) {
       adjusted.flow.program_memory_bytes = *overrides_.program_memory_bytes;
     }
-    auto result = base_->run(prepared, adjusted);
-    if (!result.is_ok()) return result.status();
-    ExecutionResult value = std::move(result).value();
-    value.backend = name_;  // results report the spec that produced them
-    return value;
+    return adjusted;
   }
 
- private:
   const ExecutionBackend* base_;            ///< delegate (may == owned_)
   std::unique_ptr<ExecutionBackend> owned_; ///< backend built for this spec
   std::string name_;

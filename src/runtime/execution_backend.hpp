@@ -106,6 +106,19 @@ class ExecutionBackend {
   virtual StatusOr<ExecutionResult> run(const core::PreparedModel& prepared,
                                         const RunOptions& options) const = 0;
 
+  /// Optional staging hook, called off the serving hot path (prepare_async,
+  /// the session's async staging pipeline) once the shared artifacts exist:
+  /// pre-compute anything the first run() would otherwise pay for lazily.
+  /// The SoC backends' `?mode=replay` variants use it to record the
+  /// input-independent platform envelope eagerly, so the one full
+  /// cycle-accurate recording run never stalls the first pooled batch.
+  /// Must be idempotent and thread-safe; the default does nothing.
+  virtual void stage(const core::PreparedModel& prepared,
+                     const RunOptions& options) const {
+    (void)prepared;
+    (void)options;
+  }
+
   /// Build a configured variant of this backend from a parsed spec — the
   /// registry calls this to host names like "soc?wait_mode=polling". The
   /// base implementation understands the generic keys every backend

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "common/strfmt.hpp"
@@ -23,10 +24,16 @@ Status image_failure(std::size_t index, const Status& status) {
                 strfmt("image {}: {}", index, status.message()));
 }
 
+bool same_image(const core::PreparedModel& model,
+                std::span<const float> image) {
+  return model.input.size() == image.size() &&
+         std::equal(image.begin(), image.end(), model.input.begin());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// PendingResult
+// PendingResult / StagingHandle
 // ---------------------------------------------------------------------------
 
 PendingResult::PendingResult(Status status) {
@@ -45,6 +52,27 @@ StatusOr<ExecutionResult> PendingResult::get() {
   if (!future_.valid()) {
     return Status(StatusCode::kInvalidArgument,
                   "PendingResult::get() on an empty or already-consumed "
+                  "handle (results are one-shot)");
+  }
+  return future_.get();
+}
+
+StagingHandle::StagingHandle(Status status) {
+  std::promise<Status> promise;
+  future_ = promise.get_future();
+  promise.set_value(std::move(status));
+}
+
+bool StagingHandle::ready() const {
+  return future_.valid() &&
+         future_.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+}
+
+Status StagingHandle::wait() {
+  if (!future_.valid()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "StagingHandle::wait() on an empty or already-consumed "
                   "handle (results are one-shot)");
   }
   return future_.get();
@@ -73,12 +101,18 @@ RunOptions InferenceSession::run_options() const {
   return options;
 }
 
-ThreadPool& InferenceSession::pool(std::size_t worker_hint) {
+ThreadPool& InferenceSession::pool_locked(std::size_t worker_hint) {
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(worker_hint);
   return *pool_;
 }
 
+std::size_t InferenceSession::pool_worker_count() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return pool_ != nullptr ? pool_->worker_count() : 0;
+}
+
 const std::vector<float>& InferenceSession::default_input() {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
   if (default_input_.empty()) {
     default_input_ =
         compiler::synthetic_input(network_.input_shape(), config_.input_seed);
@@ -86,9 +120,18 @@ const std::vector<float>& InferenceSession::default_input() {
   return default_input_;
 }
 
-void InferenceSession::ensure_frontend() {
-  if (prepared_.has_frontend()) return;
+Status InferenceSession::check_image_shape(
+    std::span<const float> image) const {
+  if (image.size() == network_.input_shape().elements()) return Status::ok();
+  return Status(StatusCode::kInvalidArgument,
+                strfmt("input image has {} elements; network '{}' expects {}",
+                       image.size(), network_.name(),
+                       network_.input_shape().elements()));
+}
 
+std::shared_ptr<const core::FrontendArtifacts>
+InferenceSession::build_frontend(
+    std::span<const float> calibration_image) const {
   auto frontend = std::make_shared<core::FrontendArtifacts>();
   frontend->model_name = network_.name();
   frontend->nvdla = config_.nvdla;
@@ -98,9 +141,8 @@ void InferenceSession::ensure_frontend() {
 
   if (config_.precision == nvdla::Precision::kInt8) {
     // Calibrated on the default (synthetic) image, as the legacy flow did.
-    frontend->calibration = compiler::calibrate(
-        network_, frontend->weights,
-        std::span<const float>(default_input()));
+    frontend->calibration =
+        compiler::calibrate(network_, frontend->weights, calibration_image);
     ++counters_.calibration;
   }
 
@@ -110,27 +152,25 @@ void InferenceSession::ensure_frontend() {
                                                    : nullptr,
       compiler::CompileOptions::for_config(config_.nvdla, config_.precision));
   ++counters_.loadable;
+  return frontend;
+}
 
-  prepared_.frontend = std::move(frontend);
-  // The reference executor borrows the frozen weights; the frontend core is
-  // built once per session, so the reference stays valid for its lifetime.
-  reference_.emplace(network_, prepared_.frontend->weights);
+void InferenceSession::ensure_frontend() {
+  drain_staging();  // a pooled staging task may be building it right now
+  if (prepared_.has_frontend()) return;
+  prepared_.frontend = build_frontend(default_input());
 }
 
 void InferenceSession::repack_into(core::PreparedModel& prepared,
                                    std::span<const float> image) const {
-  if (prepared.input.size() == image.size() &&
-      std::equal(image.begin(), image.end(), prepared.input.begin())) {
+  if (same_image(prepared, image)) {
     return;  // already packed for exactly this image
   }
   // Shape-check here (the reference executor used to do it implicitly):
   // repack only ever substitutes same-shape images, and the serving paths
   // must report a bad image before the backend chokes on packed garbage.
-  if (image.size() != network_.input_shape().elements()) {
-    throw std::runtime_error(
-        strfmt("input image has {} elements; network '{}' expects {}",
-               image.size(), network_.name(),
-               network_.input_shape().elements()));
+  if (const Status s = check_image_shape(image); !s.is_ok()) {
+    throw std::runtime_error(std::string(s.message()));
   }
   prepared.input.assign(image.begin(), image.end());
   // The FP32 golden output is a validation artifact, not an inference
@@ -148,7 +188,13 @@ void InferenceSession::repack_into(core::PreparedModel& prepared,
   prepared.vp_refresh = std::make_shared<core::PreparedModel::VpRefreshMemo>();
 }
 
+void InferenceSession::set_repack_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  repack_enabled_ = enabled;
+}
+
 void InferenceSession::set_replay_enabled(bool enabled) {
+  drain_staging();
   if (enabled == replay_enabled_) return;
   replay_enabled_ = enabled;
   if (!enabled) {
@@ -165,14 +211,68 @@ void InferenceSession::set_replay_enabled(bool enabled) {
 }
 
 void InferenceSession::ensure_reference() {
+  // The reference executor borrows the frozen weights; the frontend core is
+  // built once per session, so the reference stays valid for its lifetime.
+  if (!reference_.has_value()) {
+    reference_.emplace(network_, prepared_.frontend->weights);
+  }
   if (!prepared_.reference_output.empty()) return;
   prepared_.reference_output = reference_->run_to(prepared_.input);
 }
 
+void InferenceSession::stage_tail_into(core::PreparedModel& model,
+                                       std::span<const float> image,
+                                       bool record_replay) const {
+  // Hoisted shape check: the full-trace path must reject a wrong-size
+  // *first* image exactly like the repack path does, instead of packing
+  // garbage into Loadable::pack_input / the VP.
+  if (const Status s = check_image_shape(image); !s.is_ok()) {
+    throw std::runtime_error(std::string(s.message()));
+  }
+  const bool had_trace = model.has_tail();
+
+  model.input.assign(image.begin(), image.end());
+  // The FP32 reference is lazy on this path too (see ensure_reference);
+  // clear any previous image's tensor so a later prepare() recomputes it.
+  model.reference_output.clear();
+
+  auto tail = std::make_shared<core::TraceArtifacts>();
+  vp::VirtualPlatform platform(config_.nvdla);
+  tail->vp = platform.run(model.frontend->loadable, model.input);
+  ++counters_.trace;
+
+  // The full run just recorded a fresh replay schedule. A replay-disabled
+  // session stages no schedule at all, so its snapshots re-simulate in
+  // full; the per-image re-traces inside repack-disabled pooled tasks skip
+  // it too (their task-local schedule could never be reused).
+  model.replay =
+      record_replay ? core::make_replay_schedule(tail->vp) : nullptr;
+
+  // When the new trace programs the engine identically (it always does —
+  // the register stream is input-independent), the configuration file and
+  // program are reused from the previous shared core instead of
+  // regenerated. The old core itself is immutable: snapshots handed to
+  // in-flight tasks keep it alive and untouched.
+  if (had_trace && model.tail->vp.trace.csb == tail->vp.trace.csb) {
+    tail->config_file = model.tail->config_file;
+    tail->program = model.tail->program;
+  } else {
+    tail->config_file = toolflow::ConfigFile::from_trace(tail->vp.trace);
+    ++counters_.config_file;
+    toolflow::AsmOptions asm_options;
+    asm_options.wait_mode = config_.wait_mode;
+    tail->program = toolflow::generate_program(tail->config_file, asm_options);
+    ++counters_.program;
+  }
+
+  model.tail = std::move(tail);
+  model.vp_matches_input = true;
+  model.vp_refresh = std::make_shared<core::PreparedModel::VpRefreshMemo>();
+}
+
 void InferenceSession::ensure_tail(std::span<const float> image) {
-  ensure_frontend();
-  if (tail_done_ && prepared_.input.size() == image.size() &&
-      std::equal(image.begin(), image.end(), prepared_.input.begin())) {
+  ensure_frontend();  // drains any in-flight async staging first
+  if (tail_done_ && same_image(prepared_, image)) {
     return;
   }
 
@@ -188,61 +288,145 @@ void InferenceSession::ensure_tail(std::span<const float> image) {
     return;
   }
 
+  // Reject a bad shape before invalidating anything: a wrong-size image
+  // must not cost a valid staged tail its memo (and the re-trace that
+  // would follow).
+  if (const Status s = check_image_shape(image); !s.is_ok()) {
+    throw std::runtime_error(std::string(s.message()));
+  }
+
   // Invalidate before mutating: if a stage below throws, the next call must
   // not memo-hit on artifacts that belong to a different image.
-  const bool had_trace = prepared_.has_tail();
   tail_done_ = false;
-
-  prepared_.input.assign(image.begin(), image.end());
-  // The FP32 reference is lazy on this path too (see ensure_reference);
-  // clear any previous image's tensor so a later prepare() recomputes it.
-  prepared_.reference_output.clear();
-
-  auto tail = std::make_shared<core::TraceArtifacts>();
-  vp::VirtualPlatform platform(config_.nvdla);
-  tail->vp = platform.run(prepared_.frontend->loadable, prepared_.input);
-  ++counters_.trace;
-
-  // The full run just recorded a fresh replay schedule; fold the outgoing
-  // schedule's tally into the counters before replacing it. A
-  // replay-disabled session stages no schedule at all, so its snapshots
-  // re-simulate in full.
-  if (prepared_.replay != nullptr) {
-    replay_base_ += prepared_.replay->replay_count();
+  auto outgoing_schedule = prepared_.replay;
+  stage_tail_into(prepared_, image, replay_enabled_);
+  // The trace succeeded and replaced the schedule; fold the outgoing
+  // schedule's tally into the counters it vanishes from.
+  if (outgoing_schedule != nullptr) {
+    replay_base_ += outgoing_schedule->replay_count();
   }
-  prepared_.replay =
-      replay_enabled_ ? core::make_replay_schedule(tail->vp) : nullptr;
-
-  // When the new trace programs the engine identically (it always does —
-  // the register stream is input-independent), the configuration file and
-  // program are reused from the previous shared core instead of
-  // regenerated. The old core itself is immutable: snapshots handed to
-  // in-flight tasks keep it alive and untouched.
-  if (had_trace && prepared_.tail->vp.trace.csb == tail->vp.trace.csb) {
-    tail->config_file = prepared_.tail->config_file;
-    tail->program = prepared_.tail->program;
-  } else {
-    tail->config_file = toolflow::ConfigFile::from_trace(tail->vp.trace);
-    ++counters_.config_file;
-    toolflow::AsmOptions asm_options;
-    asm_options.wait_mode = config_.wait_mode;
-    tail->program = toolflow::generate_program(tail->config_file, asm_options);
-    ++counters_.program;
-  }
-
-  prepared_.tail = std::move(tail);
-  prepared_.vp_matches_input = true;
-  prepared_.vp_refresh = std::make_shared<core::PreparedModel::VpRefreshMemo>();
   tail_done_ = true;
 }
 
+// ---------------------------------------------------------------------------
+// Async staging
+// ---------------------------------------------------------------------------
+
+void InferenceSession::start_staging_locked(std::span<const float> image) {
+  auto latch = std::make_shared<StagingLatch>();
+  latch->done = latch->promise.get_future().share();
+
+  // The task owns a private snapshot (sharing whatever immutable cores are
+  // already staged) plus copies of the inputs it needs; it touches no
+  // session state beyond the atomic counters, and publishes through the
+  // latch — the promise/future edge sequences every later read of
+  // `staged`.
+  core::PreparedModel base = prepared_;
+  std::vector<float> calibration_image;
+  if (!base.has_frontend()) {
+    if (default_input_.empty()) {
+      default_input_ = compiler::synthetic_input(network_.input_shape(),
+                                                 config_.input_seed);
+    }
+    calibration_image = default_input_;
+  }
+  const bool record_replay = replay_enabled_;
+  ++counters_.async_stagings;
+  pool_locked(0).submit(
+      [this, latch, base = std::move(base),
+       image = std::vector<float>(image.begin(), image.end()),
+       calibration_image = std::move(calibration_image),
+       record_replay]() mutable {
+        try {
+          if (!base.has_frontend()) {
+            base.frontend = build_frontend(calibration_image);
+          }
+          stage_tail_into(base, image, record_replay);
+          latch->staged = std::move(base);
+          latch->promise.set_value(Status::ok());
+        } catch (const std::exception& e) {
+          latch->promise.set_value(
+              Status(StatusCode::kInvalidArgument, e.what()));
+        } catch (...) {
+          // The latch promise is the only completion channel (the task's
+          // own future is discarded): it must be fulfilled for *any*
+          // exception, or every queued arrival would block forever.
+          latch->promise.set_value(
+              Status(StatusCode::kInternal,
+                     "staging task failed with a non-standard exception"));
+        }
+      });
+  staging_ = latch;
+}
+
+void InferenceSession::try_adopt_staging_locked() {
+  if (staging_ == nullptr ||
+      staging_->done.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+    return;
+  }
+  const Status status = staging_->done.get();
+  if (status.is_ok()) {
+    auto outgoing_schedule = prepared_.replay;
+    // Copy, don't move: tasks already queued behind the latch still read
+    // its `staged` model.
+    prepared_ = staging_->staged;
+    if (outgoing_schedule != nullptr &&
+        outgoing_schedule != prepared_.replay) {
+      replay_base_ += outgoing_schedule->replay_count();
+    }
+    tail_done_ = true;
+  }
+  // A failed staging is simply dropped: the next submit (or session-thread
+  // staging call) retries from the pre-staging state.
+  staging_.reset();
+}
+
+void InferenceSession::drain_staging() {
+  std::unique_lock<std::mutex> lock(submit_mutex_);
+  while (staging_ != nullptr) {
+    auto latch = staging_;
+    // Wait on a private future copy (taken under the lock): every other
+    // accessor of the latch's shared_future does the same, so no two
+    // threads ever wait through one shared_future object.
+    std::shared_future<Status> done = latch->done;
+    lock.unlock();
+    done.wait();
+    lock.lock();
+    if (staging_ == latch) try_adopt_staging_locked();
+  }
+}
+
 StageCounters InferenceSession::counters() const {
-  StageCounters snapshot = counters_;
+  StageCounters snapshot;
+  snapshot.weights = counters_.weights.load(std::memory_order_relaxed);
+  snapshot.calibration = counters_.calibration.load(std::memory_order_relaxed);
+  snapshot.loadable = counters_.loadable.load(std::memory_order_relaxed);
+  snapshot.trace = counters_.trace.load(std::memory_order_relaxed);
+  snapshot.config_file = counters_.config_file.load(std::memory_order_relaxed);
+  snapshot.program = counters_.program.load(std::memory_order_relaxed);
+  snapshot.repack = counters_.repack.load(std::memory_order_relaxed);
+  snapshot.async_stagings =
+      counters_.async_stagings.load(std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  const core::ReplaySchedule* schedule = prepared_.replay.get();
+  if (staging_ != nullptr &&
+      staging_->done.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready &&
+      staging_->staged.replay != nullptr) {
+    // Staged but not yet adopted: the latch's schedule is the live one.
+    schedule = staging_->staged.replay.get();
+  }
   snapshot.replay =
-      replay_base_ +
-      (prepared_.replay != nullptr ? prepared_.replay->replay_count() : 0);
+      replay_base_.load(std::memory_order_relaxed) +
+      (schedule != nullptr ? schedule->replay_count() : 0);
   return snapshot;
 }
+
+// ---------------------------------------------------------------------------
+// Staged-artifact accessors
+// ---------------------------------------------------------------------------
 
 const compiler::NetWeights& InferenceSession::weights() {
   ensure_frontend();
@@ -272,6 +456,10 @@ const core::PreparedModel& InferenceSession::prepare(
   return prepared_;
 }
 
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
 StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend) {
   return run(backend, default_input());
 }
@@ -298,7 +486,7 @@ PendingResult InferenceSession::submit(const std::string& backend,
   const auto found = registry().find(backend);
   if (!found.is_ok()) return PendingResult(found.status());
   try {
-    return submit_to(**found, image, run_options(), 0);
+    return submit_with(**found, image, run_options(), 0);
   } catch (const std::exception& e) {
     // Pool construction (std::thread can throw std::system_error under
     // thread exhaustion) stays behind the StatusOr boundary too.
@@ -306,40 +494,146 @@ PendingResult InferenceSession::submit(const std::string& backend,
   }
 }
 
-PendingResult InferenceSession::submit_to(const ExecutionBackend& backend,
-                                          std::span<const float> image,
-                                          const RunOptions& options,
-                                          std::size_t worker_hint) {
-  try {
-    // First arrival stages the shared cores (frontend + one VP trace) on
-    // the calling thread; every later same-shape arrival skips straight to
-    // the pool and repacks there. A repack-disabled session keeps its
-    // full-replay-per-image contract by re-tracing here instead.
-    if (!tail_done_ || !repack_enabled_) ensure_tail(image);
-  } catch (const std::exception& e) {
-    return PendingResult(Status(StatusCode::kInvalidArgument, e.what()));
+InferenceSession::StagingSource InferenceSession::staging_source_locked(
+    std::span<const float> image) {
+  StagingSource source;
+  if (tail_done_ && staging_ == nullptr) {
+    source.snapshot = prepared_;  // staged & adopted: two refcounts + input
+    return source;
+  }
+  // First arrival — or arrivals racing the in-flight staging — queue
+  // behind the staging latch instead of tracing on the calling thread.
+  if (staging_ == nullptr) start_staging_locked(image);
+  source.latch = staging_;
+  source.done = staging_->done;  // this task's own future copy
+  return source;
+}
+
+Status InferenceSession::resolve_staged_model(StagingSource& source,
+                                              core::PreparedModel& model) {
+  if (source.latch != nullptr) {
+    const Status staged = source.done.get();
+    if (!staged.is_ok()) return staged;
+    model = source.latch->staged;
+    return Status::ok();
+  }
+  model = std::move(source.snapshot);
+  return Status::ok();
+}
+
+PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
+                                            std::span<const float> image,
+                                            const RunOptions& options,
+                                            std::size_t worker_hint) {
+  // Reject a wrong-size image — first or later — before any staging work,
+  // identically to the run()/batch paths.
+  if (Status s = check_image_shape(image); !s.is_ok()) {
+    return PendingResult(std::move(s));
   }
 
-  // The task owns everything it touches: a surface snapshot sharing the
-  // immutable cores (frontend, trace, replay schedule), its own copy of
-  // the image, and per-run options. Repacking in the task skips the FP32
-  // reference — pooled serving replays cheap functional ops only. The
-  // backend is registry-owned and outlives the drain (the pool is the
-  // first session member to be destroyed).
-  core::PreparedModel snapshot = prepared_;
-  auto future = pool(worker_hint).submit(
-      [this, &backend, options, snapshot = std::move(snapshot),
-       image = std::vector<float>(image.begin(), image.end())]() mutable
+  // Copy the image before taking the lock: concurrent submitters should
+  // serialize on the staging-source selection only, not on O(input) work.
+  std::vector<float> image_copy(image.begin(), image.end());
+
+  StagingSource source;
+  ThreadPool* pool = nullptr;
+  bool repack = true;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    try_adopt_staging_locked();
+    pool = &pool_locked(worker_hint);
+    source = staging_source_locked(image);
+    repack = repack_enabled_;
+  }
+
+  // Enqueue outside the lock (FIFO still holds what matters: the staging
+  // task, if any, was queued under the lock before this arrival). The task
+  // owns everything it touches: a surface snapshot sharing the immutable
+  // cores (frontend, trace, replay schedule), its own copy of the image,
+  // and per-run options. Repacking in the task skips the FP32 reference —
+  // pooled serving replays cheap functional ops only. A repack-disabled
+  // session keeps its full-replay-per-image contract by re-tracing
+  // *inside* the task instead. The backend is registry-owned and outlives
+  // the drain (the pool is the first session member to be destroyed).
+  auto future = pool->submit(
+      [this, &backend, options, repack, source = std::move(source),
+       image = std::move(image_copy)]() mutable
           -> StatusOr<ExecutionResult> {
         try {
-          repack_into(snapshot, image);
-          return backend.run(snapshot, options);
+          core::PreparedModel model;
+          if (Status staged = resolve_staged_model(source, model);
+              !staged.is_ok()) {
+            return staged;
+          }
+          if (!same_image(model, image)) {
+            if (repack) {
+              repack_into(model, image);
+            } else {
+              stage_tail_into(model, image, /*record_replay=*/false);
+            }
+          }
+          return backend.run(model, options);
         } catch (const std::exception& e) {
           return Status(StatusCode::kInvalidArgument, e.what());
+        } catch (...) {
+          return Status(StatusCode::kInternal,
+                        "pooled inference failed with a non-standard "
+                        "exception");
         }
       });
   return PendingResult(std::move(future));
 }
+
+StagingHandle InferenceSession::prepare_async(const std::string& backend) {
+  return prepare_async(backend, default_input());
+}
+
+StagingHandle InferenceSession::prepare_async(const std::string& backend,
+                                              std::span<const float> image) {
+  const auto found = registry().find(backend);
+  if (!found.is_ok()) return StagingHandle(found.status());
+  if (Status s = check_image_shape(image); !s.is_ok()) {
+    return StagingHandle(std::move(s));
+  }
+  const ExecutionBackend* staged_backend = *found;
+  const RunOptions options = run_options();
+  try {
+    StagingSource source;
+    ThreadPool* pool = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(submit_mutex_);
+      try_adopt_staging_locked();
+      pool = &pool_locked(0);
+      source = staging_source_locked(image);
+    }
+    auto future = pool->submit(
+        [source = std::move(source), options,
+         staged_backend]() mutable -> Status {
+          try {
+            core::PreparedModel model;
+            if (Status staged = resolve_staged_model(source, model);
+                !staged.is_ok()) {
+              return staged;
+            }
+            staged_backend->stage(model, options);
+            return Status::ok();
+          } catch (const std::exception& e) {
+            return Status(StatusCode::kInternal, e.what());
+          } catch (...) {
+            return Status(StatusCode::kInternal,
+                          "staging hook failed with a non-standard "
+                          "exception");
+          }
+        });
+    return StagingHandle(std::move(future));
+  } catch (const std::exception& e) {
+    return StagingHandle(Status(StatusCode::kInternal, e.what()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
 
 StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_with(
     const ExecutionBackend& backend,
@@ -388,24 +682,37 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
     return run_batch_with(**found, images, per_run);
   }
 
-  // Stage the shared artifacts once, on the calling thread: the frontend
-  // plus one full trace (the input-independent tail). Pooled tasks only
-  // repack their snapshots.
+  // Stage the shared artifacts once — as a blocking call, the batch API
+  // keeps synchronous staging (and its clean image-0 error attribution);
+  // the streaming submit() path is the asynchronous one.
   try {
     ensure_tail(images.front());
   } catch (const std::exception& e) {
     return image_failure(0, Status(StatusCode::kInvalidArgument, e.what()));
   }
 
+  // Size (or re-cap) the session pool: the initial spawn uses the batch's
+  // *clamped* worker count — a 2-image batch with workers=8 spawns 2
+  // threads, not 8 — and elastic growth up to max_workers handles any
+  // later pressure.
+  try {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    pool_locked(workers).set_max_workers(options.max_workers);
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
+
   std::vector<PendingResult> pending;
   pending.reserve(images.size());
   try {
     for (const auto& image : images) {
-      pending.push_back(submit_to(**found, image, per_run, options.workers));
+      pending.push_back(submit_with(**found, image, per_run, workers));
     }
   } catch (const std::exception& e) {
-    // Pool construction failed on the first submit_to, before anything was
-    // queued — nothing is in flight.
+    // Pool construction failed mid-loop: results already queued are in
+    // flight — drain them before surfacing the error, so no task outlives
+    // the batch call or silently burns a worker.
+    for (auto& handle : pending) (void)handle.get();
     return Status(StatusCode::kInternal, e.what());
   }
 

@@ -29,34 +29,51 @@
 // lives for the rest of the session — every submit() call and every
 // run_batch_parallel() batch reuses the same workers (exactly one pool is
 // ever constructed per session, assertable via ThreadPool::total_created).
+// The pool is elastic: the first pooled call sizes the initial spawn, and
+// queue pressure grows it up to BatchOptions::max_workers (default:
+// hardware threads).
 //
 //   submit(backend, image) -> PendingResult
-//     streaming arrivals: stages the shared artifacts on the calling
-//     thread the first time, then hands the per-image work (repack +
-//     backend run on a private PreparedModel snapshot) to the pool and
-//     returns immediately. Results come back through PendingResult::get()
-//     as StatusOr — task exceptions never escape the future. Calls
-//     overlap freely; there is no batch barrier.
+//     streaming arrivals, fully asynchronous: no VP trace ever runs on the
+//     calling thread. The first arrival enqueues a *staging task* (one VP
+//     trace + replay-schedule recording) behind a staging latch; later
+//     arrivals enqueue behind that latch instead of blocking, and once the
+//     staged artifacts exist submits snapshot two shared_ptrs and copy the
+//     image. Results come back through PendingResult::get() as StatusOr —
+//     task exceptions never escape the future. Calls overlap freely; there
+//     is no batch barrier.
+//
+//   prepare_async(backend, image) -> StagingHandle
+//     front-load the whole staging pipeline off the serving path: the
+//     shared artifacts stage in the pool, then the backend's own stage()
+//     hook runs (the `?mode=replay` SoC variants record their
+//     input-independent platform envelope there), so not even the first
+//     pooled batch pays a one-time stall.
 //
 //   run_batch_parallel(backend, images, options)
 //     a thin wrapper over submit-and-collect that keeps the batch
 //     contract: results in image order, all-or-nothing, failures report
 //     the lowest failing image index.
 //
-// Session methods themselves are not thread-safe (stage memoization is
-// single-owner); in-flight submitted tasks are safe against any later
-// session call because they only touch their own snapshot and the shared
-// immutable cores. Destroying the session drains in-flight work first:
-// every PendingResult already handed out still completes.
+// Thread-safety: submit(), prepare_async() and counters() may be called
+// concurrently with each other (and with in-flight pooled work). The
+// remaining session methods are single-owner (stage memoization), but any
+// of them may run while pooled tasks are in flight: tasks only touch their
+// own snapshot and the shared immutable cores, and the session adopts the
+// async-staged artifacts before touching its own state. Destroying the
+// session drains in-flight work first: every PendingResult and
+// StagingHandle already handed out still completes.
 //
 // Execution is delegated to a named ExecutionBackend from a
 // BackendRegistry; all runtime error paths (unknown backend, program-memory
 // overflow, loadable/trace mismatch) report through StatusOr.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -88,6 +105,11 @@ struct StageCounters {
   /// consumer of the shared schedule: the session's own runs and the
   /// pooled snapshot runs alike.
   std::uint32_t replay = 0;
+  /// Staging tasks handed to the pool by submit()/prepare_async() — bumped
+  /// at enqueue time, on the calling thread, so a test can assert the
+  /// async path was taken the moment submit() returns. The trace itself is
+  /// counted by `trace` when the pool executes it.
+  std::uint32_t async_stagings = 0;
 };
 
 /// Knobs for run_batch_parallel().
@@ -95,8 +117,14 @@ struct BatchOptions {
   /// Worker threads; 0 picks one per hardware thread. 1 (or a one-image
   /// batch on a one-thread host) degrades to the sequential run_batch
   /// path. The session's pool is created on first use and reused for the
-  /// session lifetime, so only the first pooled call's value sizes it.
+  /// session lifetime; the first pooled call's value (clamped to its batch
+  /// size) sizes the initial spawn, and later pressure grows the pool
+  /// elastically up to `max_workers`.
   std::size_t workers = 0;
+  /// Elastic-growth cap for the session pool; 0 picks one per hardware
+  /// thread. Applied to the session pool on every batch call (never
+  /// dropping below the workers already running).
+  std::size_t max_workers = 0;
   /// Forwarded to RunOptions::validate for every image.
   bool validate = true;
 };
@@ -124,10 +152,33 @@ class PendingResult {
   explicit PendingResult(std::future<StatusOr<ExecutionResult>> future)
       : future_(std::move(future)) {}
   /// A submission that failed before reaching the pool (unknown backend,
-  /// staging error): the handle is born ready with the failure.
+  /// bad image shape): the handle is born ready with the failure.
   explicit PendingResult(Status status);
 
   std::future<StatusOr<ExecutionResult>> future_;
+};
+
+/// A future-like handle to one prepare_async() staging run. wait() blocks
+/// until the pooled staging (shared artifacts + the backend's stage()
+/// hook) finishes and yields its Status. One-shot like PendingResult; stays
+/// valid after the session is destroyed.
+class StagingHandle {
+ public:
+  StagingHandle() = default;
+
+  bool valid() const { return future_.valid(); }
+  /// Non-blocking: has the staging finished?
+  bool ready() const;
+  /// Block until staging finishes and take its Status.
+  Status wait();
+
+ private:
+  friend class InferenceSession;
+  explicit StagingHandle(std::future<Status> future)
+      : future_(std::move(future)) {}
+  explicit StagingHandle(Status status);
+
+  std::future<Status> future_;
 };
 
 class InferenceSession {
@@ -148,19 +199,20 @@ class InferenceSession {
 
   const compiler::Network& network() const { return network_; }
   const core::FlowConfig& config() const { return config_; }
-  /// Stage-execution evidence, returned as a snapshot: `replay` is folded
-  /// in from the shared schedule's atomic counter at call time (pooled
-  /// tasks bump it concurrently), and the accessor itself mutates nothing
-  /// — concurrent counters() calls are plain reads.
+  /// Stage-execution evidence, returned as a snapshot: the stage tallies
+  /// are atomics (the async staging task bumps them from the pool) and
+  /// `replay` is folded in from the shared schedule's counter at call time
+  /// — safe to call concurrently with submit()/prepare_async() and
+  /// in-flight pooled tasks.
   StageCounters counters() const;
 
   /// The repack-input fast path is on by default; disabling it forces the
   /// legacy full VP replay per image (kept for parity testing — outputs
   /// must be bit-exact either way). With repack disabled,
-  /// run_batch_parallel degrades to the sequential path and submit()
-  /// re-traces on the calling thread per image: the pooled workers exist
-  /// precisely to share the one traced tail.
-  void set_repack_enabled(bool enabled) { repack_enabled_ = enabled; }
+  /// run_batch_parallel degrades to the sequential path, and submit()
+  /// re-traces per image *inside* each pooled task (the first arrival
+  /// still stages the shared frontend+trace behind the staging latch).
+  void set_repack_enabled(bool enabled);
   bool repack_enabled() const { return repack_enabled_; }
 
   /// The functional replay engine is on by default; disabling it drops the
@@ -187,18 +239,28 @@ class InferenceSession {
   /// reference is invalidated by the next prepare()/run() call.
   const core::PreparedModel& prepare(std::span<const float> image);
 
+  /// Enqueue the whole staging pipeline on the session pool without
+  /// running an inference: the shared artifacts (frontend + one VP trace +
+  /// replay schedule) stage behind the same latch submit() uses, then the
+  /// named backend's stage() hook runs (the `?mode=replay` SoC variants
+  /// record their platform envelope there). Returns immediately;
+  /// submits issued meanwhile queue behind the latch. `image` seeds the
+  /// first trace when nothing is staged yet (the default input otherwise).
+  StagingHandle prepare_async(const std::string& backend);
+  StagingHandle prepare_async(const std::string& backend,
+                              std::span<const float> image);
+
   // --- execution -----------------------------------------------------------
   /// Run one inference on the named backend with the default input.
   StatusOr<ExecutionResult> run(const std::string& backend);
   StatusOr<ExecutionResult> run(const std::string& backend,
                                 std::span<const float> image);
 
-  /// Enqueue one inference on the session pool and return immediately; the
-  /// result arrives through PendingResult::get(). The first submit stages
-  /// the shared artifacts (frontend + one VP trace) on the calling thread;
-  /// later submits only snapshot two shared_ptrs and copy the image, so
-  /// streaming arrivals overlap without batch barriers. Results keep
-  /// per-call identity regardless of completion order.
+  /// Enqueue one inference on the session pool and return immediately —
+  /// the calling thread never runs a VP trace (first arrival included; see
+  /// the class comment). The result arrives through PendingResult::get().
+  /// Results keep per-call identity regardless of completion order.
+  /// Thread-safe against concurrent submit()/prepare_async()/counters().
   PendingResult submit(const std::string& backend);
   PendingResult submit(const std::string& backend,
                        std::span<const float> image);
@@ -217,31 +279,94 @@ class InferenceSession {
   /// run_batch across the session ThreadPool: a thin wrapper over
   /// submit-and-collect. The memoized frontend (weights, calibration,
   /// loadable) and the input-independent tail (trace, config file,
-  /// program) are staged once on the calling thread and shared read-only;
-  /// each pooled task repacks its own PreparedModel snapshot and every
-  /// backend run builds its own SoC/VP instance. Results are in image
-  /// order and bit-exact with the sequential path; the same all-or-nothing
-  /// contract applies, reporting the lowest failing image index (not
-  /// whichever task failed first on the wall clock).
+  /// program) are staged once and shared read-only; each pooled task
+  /// repacks its own PreparedModel snapshot and every backend run builds
+  /// its own SoC/VP instance. Results are in image order and bit-exact
+  /// with the sequential path; the same all-or-nothing contract applies,
+  /// reporting the lowest failing image index (not whichever task failed
+  /// first on the wall clock).
   StatusOr<std::vector<ExecutionResult>> run_batch_parallel(
       const std::string& backend,
       const std::vector<std::vector<float>>& images,
       const BatchOptions& options = {});
 
+  /// Workers currently spawned in the session pool (0 before the first
+  /// pooled call). The initial spawn is the first pooled call's clamped
+  /// worker count; elastic growth can raise it up to the configured cap.
+  std::size_t pool_worker_count() const;
+
  private:
+  /// The async-staging latch: the staging task publishes the staged
+  /// artifacts here and flips the future; queued arrivals (and the
+  /// adopting session) read `staged` only after `done` is ready, which
+  /// sequences the accesses.
+  struct StagingLatch {
+    std::promise<Status> promise;
+    std::shared_future<Status> done;
+    core::PreparedModel staged;  ///< valid iff done yields OK
+  };
+
+  /// Stage tallies bumped from both the session thread and pooled staging
+  /// tasks; counters() snapshots them.
+  struct AtomicStageCounters {
+    std::atomic<std::uint32_t> weights{0};
+    std::atomic<std::uint32_t> calibration{0};
+    std::atomic<std::uint32_t> loadable{0};
+    std::atomic<std::uint32_t> trace{0};
+    std::atomic<std::uint32_t> config_file{0};
+    std::atomic<std::uint32_t> program{0};
+    std::atomic<std::uint32_t> repack{0};
+    std::atomic<std::uint32_t> async_stagings{0};
+  };
+
   const BackendRegistry& registry() const;
   RunOptions run_options() const;
   /// The session-lifetime pool, created on first use (`worker_hint` 0
   /// picks one worker per hardware thread) and reused by every later
-  /// pooled call regardless of hint.
-  ThreadPool& pool(std::size_t worker_hint);
+  /// pooled call regardless of hint; queue pressure grows it elastically
+  /// up to its max_workers cap. Callers hold submit_mutex_.
+  ThreadPool& pool_locked(std::size_t worker_hint);
+  /// Shape-check an image against the network before any staging work, so
+  /// run(), submit() and the batch paths all reject a wrong-size image —
+  /// first or later — with the same kInvalidArgument.
+  Status check_image_shape(std::span<const float> image) const;
+  /// What a pooled task builds its private model from: either the staging
+  /// latch (with a per-task shared_future copy — waiting through one
+  /// shared object from many threads is not sanctioned by the standard)
+  /// or a snapshot of the already-staged session model.
+  struct StagingSource {
+    std::shared_ptr<StagingLatch> latch;  ///< non-null: staging in flight
+    std::shared_future<Status> done;      ///< this task's own future copy
+    core::PreparedModel snapshot;         ///< used when latch is null
+  };
+  /// Pick the task's staging source, starting the staging task first if
+  /// nothing is staged or staging. Caller holds submit_mutex_ (the future
+  /// copy must be taken under it).
+  StagingSource staging_source_locked(std::span<const float> image);
+  /// Task-side half: wait for the source and materialize the model.
+  static Status resolve_staged_model(StagingSource& source,
+                                     core::PreparedModel& model);
   /// Stage-if-needed + enqueue: the body shared by submit() and
-  /// run_batch_parallel(). Throws only for pool-construction failure;
-  /// staging and task failures come back inside the PendingResult.
-  PendingResult submit_to(const ExecutionBackend& backend,
-                          std::span<const float> image,
-                          const RunOptions& options,
-                          std::size_t worker_hint);
+  /// run_batch_parallel(). Locks submit_mutex_. Throws only for
+  /// pool-construction failure; staging and task failures come back inside
+  /// the PendingResult.
+  PendingResult submit_with(const ExecutionBackend& backend,
+                            std::span<const float> image,
+                            const RunOptions& options,
+                            std::size_t worker_hint);
+  /// Enqueue the staging task (frontend if missing + one VP trace +
+  /// replay-schedule recording, all on a private model that the latch
+  /// publishes). Caller holds submit_mutex_ and has checked that nothing
+  /// is staged or staging.
+  void start_staging_locked(std::span<const float> image);
+  /// Adopt a *ready* staging latch into the session state (non-blocking;
+  /// no-op when staging is absent or still running). Caller holds
+  /// submit_mutex_.
+  void try_adopt_staging_locked();
+  /// Block until any in-flight staging finishes and adopt it — the sync
+  /// point every session-thread stage accessor passes through before
+  /// touching prepared_.
+  void drain_staging();
   /// Sequential batch body shared by run_batch and the degenerate
   /// run_batch_parallel cases (one worker, repack disabled), so per-batch
   /// options like BatchOptions::validate survive the fallback.
@@ -249,12 +374,27 @@ class InferenceSession {
       const ExecutionBackend& backend,
       const std::vector<std::vector<float>>& images,
       const RunOptions& options);
+  /// Build the input-independent frontend core (weights -> calibration ->
+  /// loadable). Pure apart from the atomic counters, so the pooled staging
+  /// task can run it off-thread; `calibration_image` is the session's
+  /// default input (the legacy calibration image).
+  std::shared_ptr<const core::FrontendArtifacts> build_frontend(
+      std::span<const float> calibration_image) const;
   void ensure_frontend();                         ///< weights..loadable
   void ensure_tail(std::span<const float> image); ///< trace..program
   /// Fill the FP32 golden output for the current input if the serving
   /// paths left it empty (it is a validation artifact, computed on demand
   /// by prepare()/prepared(), never on the replay hot path).
   void ensure_reference();
+  /// The full staging pipeline on an arbitrary model: frontend if missing,
+  /// then input assign + VP trace + (optionally) replay-schedule recording
+  /// + config-file/program reuse-or-regenerate. Shared by the session's
+  /// synchronous ensure_tail (model == prepared_), the pooled staging
+  /// task, and the repack-disabled per-image re-trace inside pooled tasks.
+  /// Touches no session state beyond the atomic counters.
+  void stage_tail_into(core::PreparedModel& model,
+                       std::span<const float> image,
+                       bool record_replay) const;
   /// Substitute `image` into `prepared`'s per-input surface without
   /// re-running the VP: input tensor only — the FP32 reference is cleared
   /// for lazy recomputation. Marks the shared trace as not matching the
@@ -268,10 +408,10 @@ class InferenceSession {
   compiler::Network network_;
   core::FlowConfig config_;
   const BackendRegistry* registry_;
-  StageCounters counters_;
+  mutable AtomicStageCounters counters_;
   /// Replays accumulated on schedules that have since been replaced by a
   /// re-trace (counters().replay = base + current schedule's tally).
-  std::uint32_t replay_base_ = 0;
+  std::atomic<std::uint32_t> replay_base_{0};
 
   bool tail_done_ = false;
   bool repack_enabled_ = true;
@@ -279,9 +419,14 @@ class InferenceSession {
   std::vector<float> default_input_;
   std::optional<compiler::ReferenceExecutor> reference_;
   core::PreparedModel prepared_;
+  /// Guards the submit/staging fast-path state (staging_, pool creation,
+  /// the tail_done_/prepared_ reads the submit paths make) against
+  /// concurrent submit()/prepare_async()/counters() calls.
+  mutable std::mutex submit_mutex_;
+  std::shared_ptr<StagingLatch> staging_;  ///< non-null while unadopted
   /// Declared last on purpose: destroyed first, so in-flight pooled tasks
-  /// (which read reference_ and the shared cores) drain while every other
-  /// member is still alive.
+  /// (which read the shared cores and the staging latch) drain while every
+  /// other member is still alive.
   std::unique_ptr<ThreadPool> pool_;
 };
 

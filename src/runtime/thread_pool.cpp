@@ -8,16 +8,24 @@ namespace {
 
 std::atomic<std::uint64_t> g_pools_created{0};
 
+std::size_t hardware_workers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers) {
-  if (workers == 0) {
-    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+ThreadPool::ThreadPool(std::size_t workers, std::size_t max_workers) {
+  if (workers == 0) workers = hardware_workers();
+  // An explicit initial size is always honoured: the default cap is
+  // hardware threads *or* the initial size, whichever is larger; an
+  // explicit cap below the initial size clamps the initial spawn instead.
+  max_workers_ = max_workers == 0 ? std::max(hardware_workers(), workers)
+                                  : std::max<std::size_t>(1, max_workers);
+  workers = std::min(workers, max_workers_);
   threads_.reserve(workers);
   try {
     for (std::size_t w = 0; w < workers; ++w) {
-      threads_.emplace_back([this, w] { worker_loop(w); });
+      threads_.emplace_back([this, w] { worker_loop(w, /*seen_generation=*/0); });
     }
   } catch (...) {
     // Thread exhaustion mid-spawn: the already-running workers are parked
@@ -44,13 +52,46 @@ ThreadPool::~ThreadPool() {
   for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::worker_loop(std::size_t worker) {
-  std::uint64_t seen_generation = 0;
+std::size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
+std::size_t ThreadPool::max_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_workers_;
+}
+
+void ThreadPool::set_max_workers(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cap == 0) cap = hardware_workers();
+  max_workers_ = std::max(cap, threads_.size());
+}
+
+void ThreadPool::grow_if_pressured_locked() {
+  if (queue_.size() <= idle_ || threads_.size() >= max_workers_) return;
+  const std::size_t worker = threads_.size();
+  // Capture the generation at *spawn* time (under the lock): a worker
+  // spawned while a parallel_for job is in flight must not join it — the
+  // job's barrier counted only the workers that existed when it started.
+  const std::uint64_t seen = generation_;
+  try {
+    threads_.emplace_back([this, worker, seen] { worker_loop(worker, seen); });
+  } catch (...) {
+    // Best-effort growth: under thread exhaustion the queued task simply
+    // waits for an existing worker.
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker,
+                             std::uint64_t seen_generation) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    ++idle_;
     job_ready_.wait(lock, [&] {
       return stop_ || !queue_.empty() || generation_ != seen_generation;
     });
+    --idle_;
 
     // A pending parallel_for job takes priority over queued tasks: the
     // job's barrier waits on every worker, so none may wander off into the
@@ -117,9 +158,7 @@ void ThreadPool::parallel_for(
 }
 
 std::size_t ThreadPool::recommended_workers(std::size_t task_count) {
-  const std::size_t hw =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  return std::max<std::size_t>(1, std::min(hw, task_count));
+  return std::max<std::size_t>(1, std::min(hardware_workers(), task_count));
 }
 
 std::uint64_t ThreadPool::total_created() {

@@ -1,4 +1,4 @@
-// Fixed-size worker pool for data-parallel batch execution and streaming
+// Elastic worker pool for data-parallel batch execution and streaming
 // task submission.
 //
 // Each backend run builds its own SoC/VP instance, so independent images
@@ -15,7 +15,11 @@
 //                              barrier, results collected via futures)
 //
 // Pools are meant to live as long as their owning session/process: workers
-// start once and are reused across every job and submitted task.
+// start once and are reused across every job and submitted task. The pool
+// is *elastic*: the construction-time worker count is only the starting
+// size, and submit() grows the pool — up to max_workers() — whenever tasks
+// queue up with no idle worker to take them, so a pool sized by an early
+// small batch still scales to later bursty arrivals.
 #pragma once
 
 #include <atomic>
@@ -36,11 +40,14 @@ namespace nvsoc::runtime {
 
 class ThreadPool {
  public:
-  /// `workers` == 0 picks one worker per hardware thread (at least 1).
+  /// `workers` == 0 picks one worker per hardware thread (at least 1); the
+  /// value is the *initial* size only (see class comment). `max_workers`
+  /// caps elastic growth: 0 picks hardware threads, but never less than
+  /// the initial size, so an explicit `workers` request is always honoured.
   /// Exception-safe: if spawning thread k throws (std::system_error under
   /// thread exhaustion), the k-1 already-running workers are signalled and
   /// joined before the exception escapes.
-  explicit ThreadPool(std::size_t workers = 0);
+  explicit ThreadPool(std::size_t workers = 0, std::size_t max_workers = 0);
 
   /// Drains every queued submit() task (their futures all complete), then
   /// stops and joins the workers. Must not run concurrently with
@@ -50,7 +57,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t worker_count() const { return threads_.size(); }
+  /// Current worker count (grows under queue pressure, never shrinks).
+  std::size_t worker_count() const;
+  /// The elastic-growth cap.
+  std::size_t max_workers() const;
+  /// Raise (or, down to the current worker count, lower) the growth cap;
+  /// 0 resets it to hardware threads. The pool never drops workers, so the
+  /// effective cap is max(cap, worker_count()).
+  void set_max_workers(std::size_t cap);
 
   /// Run task(worker, index) for every index in [0, count), dynamically
   /// load-balanced across the workers; blocks until every index has
@@ -59,7 +73,9 @@ class ThreadPool {
   /// exception of the lowest failing index is rethrown here. One job at a
   /// time: parallel_for must not be re-entered from a task. Queued
   /// submit() tasks already running delay the job's completion; queued
-  /// tasks not yet started wait until the job finishes.
+  /// tasks not yet started wait until the job finishes (workers spawned by
+  /// elastic growth mid-job may pick them up early — they never join a job
+  /// that started before them).
   void parallel_for(
       std::size_t count,
       const std::function<void(std::size_t worker, std::size_t index)>& task);
@@ -67,7 +83,10 @@ class ThreadPool {
   /// Enqueue `fn` to run on the first free worker; returns the future for
   /// its result. The task's value — or the exception it threw — travels
   /// through the future, so submit() itself never observes task failures.
-  /// Thread-safe against concurrent submit() calls.
+  /// Thread-safe against concurrent submit() calls. If every worker is
+  /// busy and the cap allows, a new worker is spawned for the queued task
+  /// (growth is best-effort: under thread exhaustion the task simply waits
+  /// for an existing worker).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -77,6 +96,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
+      grow_if_pressured_locked();
     }
     job_ready_.notify_one();
     return future;
@@ -88,19 +108,29 @@ class ThreadPool {
 
   /// How many ThreadPools this process has constructed — lets tests assert
   /// that a serving session builds exactly one pool for its lifetime
-  /// instead of one per batch.
+  /// instead of one per batch. Elastic growth adds workers to an existing
+  /// pool and does not count here.
   static std::uint64_t total_created();
 
  private:
-  void worker_loop(std::size_t worker);
+  /// `seen_generation` is the parallel_for generation at *spawn* time:
+  /// construction workers pass 0; growth workers pass the live value so
+  /// they never join a job whose barrier did not count them.
+  void worker_loop(std::size_t worker, std::uint64_t seen_generation);
+  /// Spawn one more worker when tasks are queued with no idle worker and
+  /// the cap allows. Caller holds mutex_. Best-effort: spawn failures are
+  /// swallowed (the queued task waits for an existing worker instead).
+  void grow_if_pressured_locked();
 
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable job_ready_;
   std::condition_variable job_done_;
   std::deque<std::function<void()>> queue_;  ///< submit() tasks, FIFO
   const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
+  std::size_t max_workers_ = 0;  ///< elastic-growth cap
+  std::size_t idle_ = 0;         ///< workers parked in the wait
   std::size_t count_ = 0;        ///< indices in the current job
   std::size_t next_ = 0;         ///< next unclaimed index
   std::size_t active_ = 0;       ///< workers still inside the current job

@@ -1,53 +1,207 @@
 #include "vp/replay_engine.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "common/bitutil.hpp"
-#include "mem/dram.hpp"
+#include "common/strfmt.hpp"
 
 namespace nvsoc::vp {
 
-namespace {
+// ---------------------------------------------------------------------------
+// Arena: sparse paged replay memory with baseline snapshot + dirty tracking
+// ---------------------------------------------------------------------------
 
-/// Zero-time backdoor view of the VP DRAM for the functional replay.
-class DramReplayMemory final : public nvdla::ReplayMemory {
+/// Byte-addressable replay memory mirroring the VP DRAM's backdoor
+/// semantics: reads of never-written bytes return zero. Pages dirtied by a
+/// replay are tracked so reset() restores exactly the post-preload state
+/// (weight bytes for baseline pages, zeros elsewhere) without reallocating
+/// or re-copying the weight blob.
+class ReplayEngine::Arena final : public nvdla::ReplayMemory {
  public:
-  explicit DramReplayMemory(Dram& dram) : dram_(dram) {}
-  void read(Addr addr, std::span<std::uint8_t> out) const override {
-    dram_.read_bytes(addr, out);
+  explicit Arena(const compiler::Loadable& loadable)
+      : size_(align_up(loadable.arena_end + (1u << 20), 1u << 20)),
+        weight_base_(loadable.weight_base),
+        weight_bytes_(loadable.weight_blob.size()),
+        input_base_(loadable.input_surface.base) {
+    // Same preload as VirtualPlatform::run: parameters first; the input
+    // image is written per-replay by begin_image.
+    write(loadable.weight_base, loadable.weight_blob);
+    // Freeze the preload as the baseline reset() restores to.
+    for (auto& [index, page] : pages_) {
+      auto copy = std::make_unique<std::uint8_t[]>(kPageBytes);
+      std::memcpy(copy.get(), page.data.get(), kPageBytes);
+      baseline_.emplace(index, std::move(copy));
+      page.dirty = false;
+    }
+    dirty_.clear();
   }
+
+  /// True when `loadable` matches the layout this arena was preloaded for.
+  bool matches(const compiler::Loadable& loadable) const {
+    return weight_base_ == loadable.weight_base &&
+           weight_bytes_ == loadable.weight_blob.size() &&
+           input_base_ == loadable.input_surface.base &&
+           size_ == align_up(loadable.arena_end + (1u << 20), 1u << 20);
+  }
+
+  /// Restore every dirtied page to the post-preload baseline, then stage
+  /// the packed input — after which the arena is byte-identical to a
+  /// freshly built one holding `image`.
+  void begin_image(const compiler::Loadable& loadable,
+                   std::span<const float> image) {
+    for (const std::uint64_t index : dirty_) {
+      auto& page = pages_.at(index);
+      if (const auto base = baseline_.find(index); base != baseline_.end()) {
+        std::memcpy(page.data.get(), base->second.get(), kPageBytes);
+      } else {
+        std::memset(page.data.get(), 0, kPageBytes);
+      }
+      page.dirty = false;
+    }
+    dirty_.clear();
+    write(loadable.input_surface.base, loadable.pack_input(image));
+  }
+
+  std::vector<float> read_output(const compiler::Loadable& loadable) const {
+    std::vector<std::uint8_t> raw(loadable.output_surface.span_bytes());
+    read(loadable.output_surface.base, raw);
+    return loadable.unpack_output(raw);
+  }
+
+  // --- ReplayMemory -------------------------------------------------------
+  void read(Addr addr, std::span<std::uint8_t> out) const override {
+    bounds_check(addr, out.size());
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const Addr cur = addr + done;
+      const std::uint64_t in_page = cur % kPageBytes;
+      const std::size_t chunk =
+          std::min<std::size_t>(out.size() - done, kPageBytes - in_page);
+      const auto it = pages_.find(cur / kPageBytes);
+      if (it == pages_.end()) {
+        std::memset(out.data() + done, 0, chunk);
+      } else {
+        std::memcpy(out.data() + done, it->second.data.get() + in_page, chunk);
+      }
+      done += chunk;
+    }
+  }
+
   void write(Addr addr, std::span<const std::uint8_t> data) override {
-    dram_.write_bytes(addr, data);
+    bounds_check(addr, data.size());
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const Addr cur = addr + done;
+      const std::uint64_t in_page = cur % kPageBytes;
+      const std::size_t chunk =
+          std::min<std::size_t>(data.size() - done, kPageBytes - in_page);
+      Page& page = pages_[cur / kPageBytes];
+      if (page.data == nullptr) {
+        page.data = std::make_unique<std::uint8_t[]>(kPageBytes);
+        std::memset(page.data.get(), 0, kPageBytes);
+      }
+      if (!page.dirty) {
+        page.dirty = true;
+        dirty_.push_back(cur / kPageBytes);
+      }
+      std::memcpy(page.data.get() + in_page, data.data() + done, chunk);
+      done += chunk;
+    }
   }
 
  private:
-  Dram& dram_;
-};
+  static constexpr std::uint64_t kPageBytes = 4096;
 
-}  // namespace
+  struct Page {
+    std::unique_ptr<std::uint8_t[]> data;
+    bool dirty = false;
+  };
 
-ReplayEngine::ReplayEngine(nvdla::NvdlaConfig config,
-                           const compiler::Loadable& loadable)
-    : config_(std::move(config)), loadable_(loadable) {}
-
-std::vector<float> ReplayEngine::run(std::span<const nvdla::ReplayOp> ops,
-                                     std::span<const float> image) {
-  // Same arena and preload as VirtualPlatform::run: parameters, then the
-  // packed input image; intermediate surfaces read back zero until an op
-  // writes them, exactly like the sparse VP memory.
-  Dram dram(align_up(loadable_.arena_end + (1u << 20), 1u << 20));
-  dram.write_bytes(loadable_.weight_base, loadable_.weight_blob);
-  const auto input_bytes = loadable_.pack_input(image);
-  dram.write_bytes(loadable_.input_surface.base, input_bytes);
-
-  DramReplayMemory mem(dram);
-  for (const auto& op : ops) {
-    nvdla::replay_op(config_, op, mem);
+  void bounds_check(Addr addr, std::size_t count) const {
+    if (addr + count > size_) {
+      throw std::runtime_error(
+          strfmt("replay arena access at {:#x}+{} beyond {:#x}", addr, count,
+                 size_));
+    }
   }
 
-  std::vector<std::uint8_t> raw(loadable_.output_surface.span_bytes());
-  dram.read_bytes(loadable_.output_surface.base, raw);
-  return loadable_.unpack_output(raw);
+  std::uint64_t size_;
+  Addr weight_base_;
+  std::uint64_t weight_bytes_;
+  Addr input_base_;
+  std::unordered_map<std::uint64_t, Page> pages_;
+  /// Post-preload content of the pages the weight preload touched.
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> baseline_;
+  std::vector<std::uint64_t> dirty_;  ///< pages written since last reset
+};
+
+// ---------------------------------------------------------------------------
+// ReplayEngine
+// ---------------------------------------------------------------------------
+
+ReplayEngine::ReplayEngine(nvdla::NvdlaConfig config)
+    : config_(std::move(config)) {}
+
+ReplayEngine::~ReplayEngine() = default;
+
+ReplayEngine::Arena* ReplayEngine::acquire(
+    const compiler::Loadable& loadable) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      Arena* arena = free_.back();
+      // Check before popping: a mismatching loadable must not strand the
+      // checked-in arena on the error path.
+      if (!arena->matches(loadable)) {
+        throw std::invalid_argument(
+            "ReplayEngine::run: loadable does not match the arena layout "
+            "this engine was built for (one engine serves one compiled "
+            "network)");
+      }
+      free_.pop_back();
+      return arena;
+    }
+  }
+  // Build outside the lock: arena construction copies the weight blob and
+  // must not serialize concurrent replays that already hold arenas.
+  auto built = std::make_unique<Arena>(loadable);
+  Arena* arena = built.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    arenas_.push_back(std::move(built));
+  }
+  arenas_built_.fetch_add(1, std::memory_order_relaxed);
+  return arena;
+}
+
+void ReplayEngine::release(Arena* arena) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(arena);
+}
+
+std::vector<float> ReplayEngine::run(const compiler::Loadable& loadable,
+                                     std::span<const nvdla::ReplayOp> ops,
+                                     std::span<const float> image) {
+  Arena* arena = acquire(loadable);
+  try {
+    arena->begin_image(loadable, image);
+    for (const auto& op : ops) {
+      nvdla::replay_op(config_, op, *arena);
+    }
+    std::vector<float> output = arena->read_output(loadable);
+    images_replayed_.fetch_add(1, std::memory_order_relaxed);
+    release(arena);
+    return output;
+  } catch (...) {
+    // The arena's dirty tracking survives the failure; the next
+    // begin_image resets it to the baseline as usual.
+    release(arena);
+    throw;
+  }
 }
 
 }  // namespace nvsoc::vp

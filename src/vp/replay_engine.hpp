@@ -1,16 +1,33 @@
-// Functional replay engine over the VP memory model.
+// Functional replay engine over the VP memory model, with reusable
+// per-worker arenas.
 //
 // Replays a recorded op schedule (nvdla/replay.hpp) for a new input image:
-// preloads a fresh DRAM with the loadable's parameters and the packed
-// image — exactly the VP's preload — then executes the functional op
-// pipeline in recorded order through the zero-time backdoor. No kernel
-// driver, no CSB programming, no trace or weight-file capture, no bus
-// timing: the output cube is bit-identical to a full VirtualPlatform::run
-// on the same image (the kernels and the byte movement are shared), at a
-// small fraction of the cost. Cycle counts are the recorded schedule's —
-// they are input-independent, so the caller reports them unchanged.
+// an arena holds the loadable's parameters preloaded into a sparse paged
+// memory — exactly the VP's preload — and the engine executes the
+// functional op pipeline in recorded order through the zero-time backdoor.
+// No kernel driver, no CSB programming, no trace or weight-file capture,
+// no bus timing: the output cube is bit-identical to a full
+// VirtualPlatform::run on the same image (the kernels and the byte
+// movement are shared), at a small fraction of the cost. Cycle counts are
+// the recorded schedule's — they are input-independent, so the caller
+// reports them unchanged.
+//
+// The engine is session-lifetime and thread-safe: each concurrently
+// replaying worker checks a private arena out of the engine's pool (built
+// on first use, so the steady state holds one arena per worker) and checks
+// it back in afterwards. Between images an arena is *reset*, not rebuilt:
+// every page the previous replay dirtied is restored to the post-preload
+// baseline (weight bytes back in place, everything else back to zero) and
+// only the new packed input is written — eliminating the per-image sparse
+// allocation and multi-MB weight-blob copy of a from-scratch arena.
+// Bit-exactness is preserved by construction: after a reset the arena is
+// byte-identical to a freshly preloaded one.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -22,16 +39,44 @@ namespace nvsoc::vp {
 
 class ReplayEngine {
  public:
-  ReplayEngine(nvdla::NvdlaConfig config, const compiler::Loadable& loadable);
+  explicit ReplayEngine(nvdla::NvdlaConfig config);
+  ~ReplayEngine();
+
+  ReplayEngine(const ReplayEngine&) = delete;
+  ReplayEngine& operator=(const ReplayEngine&) = delete;
 
   /// Replay `ops` (launch order) for `image`; returns the decoded network
-  /// output, bit-identical to a full VP run on the same image.
-  std::vector<float> run(std::span<const nvdla::ReplayOp> ops,
+  /// output, bit-identical to a full VP run on the same image. Thread-safe;
+  /// concurrent callers replay on distinct arenas. Every call against one
+  /// engine must pass the same loadable (the arenas are preloaded with its
+  /// weight blob) — a different arena layout throws kInvalidArgument-style
+  /// std::invalid_argument.
+  std::vector<float> run(const compiler::Loadable& loadable,
+                         std::span<const nvdla::ReplayOp> ops,
                          std::span<const float> image);
 
+  /// How many arenas this engine has built — at most one per worker that
+  /// ever replayed concurrently, regardless of how many images ran.
+  std::uint32_t arenas_built() const {
+    return arenas_built_.load(std::memory_order_relaxed);
+  }
+  /// How many images this engine has replayed (across all arenas).
+  std::uint64_t images_replayed() const {
+    return images_replayed_.load(std::memory_order_relaxed);
+  }
+
  private:
+  class Arena;
+
+  Arena* acquire(const compiler::Loadable& loadable);
+  void release(Arena* arena);
+
   nvdla::NvdlaConfig config_;
-  const compiler::Loadable& loadable_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Arena>> arenas_;  ///< all ever built
+  std::vector<Arena*> free_;                    ///< checked-in, ready to reset
+  std::atomic<std::uint32_t> arenas_built_{0};
+  std::atomic<std::uint64_t> images_replayed_{0};
 };
 
 }  // namespace nvsoc::vp

@@ -1,0 +1,469 @@
+// The async staging pipeline and elastic pool: submit() never runs a VP
+// trace on the calling thread (first arrival included — staging is a pool
+// task behind a latch), prepare_async() front-loads staging plus the
+// `?mode=replay` platform-envelope recording, the ThreadPool grows under
+// queue pressure up to its cap, the serving entry paths reject wrong-size
+// images identically, and the per-worker replay arenas serve repeated
+// replays bit-exactly. Runs under the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "models/models.hpp"
+#include "runtime/backends.hpp"
+#include "runtime/inference_session.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace nvsoc {
+namespace {
+
+using runtime::BatchOptions;
+using runtime::InferenceSession;
+using runtime::PendingResult;
+using runtime::StagingHandle;
+using runtime::ThreadPool;
+
+std::vector<std::vector<float>> synthetic_batch(const compiler::Network& net,
+                                                std::size_t count,
+                                                std::uint64_t first_seed) {
+  std::vector<std::vector<float>> images;
+  images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    images.push_back(
+        compiler::synthetic_input(net.input_shape(), first_seed + i));
+  }
+  return images;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Wrong-size images on every serving entry path (hoisted shape check)
+// ---------------------------------------------------------------------------
+
+TEST(ShapeCheck, WrongSizeFirstImageRejectedOnRun) {
+  InferenceSession session(models::lenet5());
+  const std::vector<float> bad(7, 0.0f);
+  const auto result = session.run("soc", bad);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("elements"), std::string::npos)
+      << result.status().to_string();
+  // The check fired before the VP saw packed garbage.
+  EXPECT_EQ(session.counters().trace, 0u);
+  // The session survives and serves a well-formed image afterwards.
+  const auto good = session.run("soc");
+  ASSERT_TRUE(good.is_ok()) << good.status().to_string();
+  EXPECT_EQ(session.counters().trace, 1u);
+
+  // A rejected image must not cost the staged tail its memo: re-running
+  // the good image after another rejection is a memo hit, not a re-trace.
+  const auto again = session.run("soc", bad);
+  ASSERT_FALSE(again.is_ok());
+  ASSERT_TRUE(session.run("soc").is_ok());
+  EXPECT_EQ(session.counters().trace, 1u);
+}
+
+TEST(ShapeCheck, WrongSizeFirstImageRejectedOnSubmit) {
+  InferenceSession session(models::lenet5());
+  const std::vector<float> bad(7, 0.0f);
+  auto pending = session.submit("soc", bad);
+  EXPECT_TRUE(pending.ready());  // rejected before any staging was queued
+  const auto result = pending.get();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("elements"), std::string::npos);
+  EXPECT_EQ(session.counters().trace, 0u);
+  EXPECT_EQ(session.counters().async_stagings, 0u);
+  const auto good = session.submit("soc").get();
+  ASSERT_TRUE(good.is_ok()) << good.status().to_string();
+}
+
+TEST(ShapeCheck, WrongSizeFirstImageRejectedOnBatchPaths) {
+  auto images = synthetic_batch(models::lenet5(), 3, 6100);
+  images[0] = std::vector<float>(9, 0.0f);
+
+  InferenceSession parallel(models::lenet5());
+  BatchOptions options;
+  options.workers = 2;
+  const auto par = parallel.run_batch_parallel("soc", images, options);
+  ASSERT_FALSE(par.is_ok());
+  EXPECT_EQ(par.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(par.status().message().find("image 0"), std::string::npos)
+      << par.status().to_string();
+  EXPECT_EQ(parallel.counters().trace, 0u);
+
+  InferenceSession sequential(models::lenet5());
+  const auto seq = sequential.run_batch("soc", images);
+  ASSERT_FALSE(seq.is_ok());
+  EXPECT_EQ(seq.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(seq.status().message().find("image 0"), std::string::npos);
+  EXPECT_EQ(sequential.counters().trace, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Async staging: submit() never traces on the calling thread
+// ---------------------------------------------------------------------------
+
+TEST(AsyncStaging, SubmitEnqueuesStagingInsteadOfTracing) {
+  InferenceSession session(models::lenet5());
+  auto pending = session.submit("vp");
+  // Deterministic evidence the async path was taken: the staging task was
+  // enqueued (counted on the calling thread) rather than executed inline.
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+  ASSERT_TRUE(pending.get().is_ok());
+  EXPECT_EQ(session.counters().trace, 1u);
+
+  // Later arrivals ride the staged artifacts: no further staging tasks,
+  // no further traces.
+  const auto images = synthetic_batch(session.network(), 3, 6200);
+  for (const auto& image : images) {
+    ASSERT_TRUE(session.submit("vp", image).get().is_ok());
+  }
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+  EXPECT_EQ(session.counters().trace, 1u);
+}
+
+TEST(AsyncStaging, SubmitBlockingTimeIsBoundedByStagingCost) {
+  // Measure what synchronous staging costs on this host (one frontend
+  // compile + one full VP trace on resnet18 — hundreds of milliseconds).
+  const auto image =
+      compiler::synthetic_input(models::resnet18_cifar().input_shape(), 6300);
+  InferenceSession oracle(models::resnet18_cifar());
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)oracle.prepare(image);
+  const double staging_ms = elapsed_ms(t0);
+
+  // submit() must return long before one staging's worth of work: it only
+  // enqueues. The generous bound (half the measured staging cost, floored
+  // at 50 ms for fast hosts) keeps the assertion meaningful without
+  // flaking under load — synchronous staging would blow well past it.
+  InferenceSession session(models::resnet18_cifar());
+  const auto t1 = std::chrono::steady_clock::now();
+  auto pending = session.submit("vp", image);
+  const double submit_ms = elapsed_ms(t1);
+  EXPECT_LT(submit_ms, std::max(50.0, staging_ms / 2))
+      << "submit() blocked for " << submit_ms << " ms against a staging "
+      << "cost of " << staging_ms << " ms — did staging run on the caller?";
+  ASSERT_TRUE(pending.get().is_ok());
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+}
+
+TEST(AsyncStaging, ConcurrentSubmitsShareOneStagingTask) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 3;
+  const auto images =
+      synthetic_batch(models::lenet5(), kThreads * kPerThread, 6400);
+
+  InferenceSession oracle(models::lenet5());
+  std::vector<runtime::ExecutionResult> expected;
+  for (const auto& image : images) {
+    auto r = oracle.run("vp", image);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    expected.push_back(std::move(r).value());
+  }
+
+  InferenceSession session(models::lenet5());
+  std::vector<PendingResult> pending(images.size());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        const std::size_t i = t * kPerThread + k;
+        pending[i] = session.submit("vp", images[i]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    auto result = pending[i].get();
+    ASSERT_TRUE(result.is_ok()) << "image " << i << ": "
+                                << result.status().to_string();
+    EXPECT_EQ(result->output, expected[i].output) << "image " << i;
+    EXPECT_EQ(result->cycles, expected[i].cycles) << "image " << i;
+  }
+  // However the submits raced, exactly one staging task traced the VP.
+  EXPECT_EQ(session.counters().trace, 1u);
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+}
+
+TEST(AsyncStaging, RepackDisabledSubmitsRetraceInsideThePool) {
+  const auto images = synthetic_batch(models::lenet5(), 3, 6500);
+  InferenceSession session(models::lenet5());
+  session.set_repack_enabled(false);
+  InferenceSession fast(models::lenet5());
+
+  std::vector<PendingResult> a;
+  std::vector<PendingResult> b;
+  for (const auto& image : images) {
+    a.push_back(session.submit("vp", image));
+    b.push_back(fast.submit("vp", image));
+  }
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    auto ra = a[i].get();
+    auto rb = b[i].get();
+    ASSERT_TRUE(ra.is_ok()) << ra.status().to_string();
+    ASSERT_TRUE(rb.is_ok()) << rb.status().to_string();
+    EXPECT_EQ(ra->output, rb->output) << "image " << i;
+    EXPECT_EQ(ra->cycles, rb->cycles) << "image " << i;
+  }
+  // One shared staging task; the per-image full replays of the
+  // repack-disabled contract ran inside the pooled tasks.
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+  EXPECT_EQ(session.counters().trace, 3u);
+  EXPECT_EQ(session.counters().repack, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// prepare_async: staging + platform-envelope recording off the serving path
+// ---------------------------------------------------------------------------
+
+TEST(PrepareAsync, StagesArtifactsAndReplayEnvelope) {
+  const auto images = synthetic_batch(models::lenet5(), 3, 6600);
+  InferenceSession session(models::lenet5());
+  auto handle = session.prepare_async("soc?mode=replay", images[0]);
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+  const Status staged = handle.wait();
+  ASSERT_TRUE(staged.is_ok()) << staged.to_string();
+  EXPECT_EQ(session.counters().trace, 1u);
+
+  // The `?mode=replay` platform envelope was recorded by the staging hook,
+  // not left for the first pooled batch to stall on.
+  const auto& schedule = session.prepare(images[0]).replay_schedule();
+  EXPECT_EQ(schedule.platform_record_count(), 1u);
+
+  // Serving through the staged session matches the cycle-accurate
+  // platform bit for bit.
+  InferenceSession cycle_accurate(models::lenet5());
+  std::vector<PendingResult> pending;
+  for (const auto& image : images) {
+    pending.push_back(session.submit("soc?mode=replay", image));
+  }
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    auto replayed = pending[i].get();
+    const auto simulated = cycle_accurate.run("soc", images[i]);
+    ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+    ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
+    EXPECT_EQ(replayed->output, simulated->output) << "image " << i;
+    EXPECT_EQ(replayed->cycles, simulated->cycles) << "image " << i;
+  }
+  // No further traces or staging tasks were needed to serve the batch.
+  EXPECT_EQ(session.counters().trace, 1u);
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+
+  // Re-staging an already-staged session is an idempotent no-op.
+  auto again = session.prepare_async("soc?mode=replay");
+  EXPECT_TRUE(again.wait().is_ok());
+  EXPECT_EQ(schedule.platform_record_count(), 1u);
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+}
+
+TEST(PrepareAsync, HandlesAreOneShotAndFailFast) {
+  InferenceSession session(models::lenet5());
+  auto unknown = session.prepare_async("warp_drive");
+  EXPECT_TRUE(unknown.ready());
+  EXPECT_EQ(unknown.wait().code(), StatusCode::kNotFound);
+  EXPECT_EQ(unknown.wait().code(), StatusCode::kInvalidArgument);  // consumed
+  EXPECT_EQ(session.counters().weights, 0u);  // nothing staged
+
+  auto bad_shape =
+      session.prepare_async("vp", std::vector<float>(5, 0.0f));
+  EXPECT_TRUE(bad_shape.ready());
+  EXPECT_EQ(bad_shape.wait().code(), StatusCode::kInvalidArgument);
+
+  StagingHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.ready());
+  EXPECT_FALSE(empty.wait().is_ok());
+}
+
+TEST(PrepareAsync, SubmitsQueueBehindTheStagingLatch) {
+  const auto images = synthetic_batch(models::lenet5(), 4, 6700);
+  InferenceSession oracle(models::lenet5());
+  InferenceSession session(models::lenet5());
+  auto handle = session.prepare_async("vp", images[0]);
+  // Don't wait: arrivals queue behind the staging latch immediately.
+  std::vector<PendingResult> pending;
+  for (const auto& image : images) {
+    pending.push_back(session.submit("vp", image));
+  }
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    auto got = pending[i].get();
+    const auto want = oracle.run("vp", images[i]);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    ASSERT_TRUE(want.is_ok());
+    EXPECT_EQ(got->output, want->output) << "image " << i;
+    EXPECT_EQ(got->cycles, want->cycles) << "image " << i;
+  }
+  EXPECT_TRUE(handle.wait().is_ok());
+  EXPECT_EQ(session.counters().trace, 1u);
+  EXPECT_EQ(session.counters().async_stagings, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic pool
+// ---------------------------------------------------------------------------
+
+TEST(ElasticPool, GrowsUnderQueuePressureUpToTheCap) {
+  ThreadPool pool(1, 4);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.max_workers(), 4u);
+  const std::uint64_t pools_before = ThreadPool::total_created();
+
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  std::atomic<int> running{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(pool.submit([&running, release] {
+      running.fetch_add(1);
+      release.wait();
+    }));
+  }
+  // Growth happens inside submit(), so the pool reached its final size by
+  // now; all four workers end up blocked inside tasks.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.load() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(running.load(), 4);
+  EXPECT_EQ(pool.worker_count(), 4u);  // grew to the cap, not past it
+  gate.set_value();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(pool.worker_count(), 4u);
+  // Growth spawned workers, not pools.
+  EXPECT_EQ(ThreadPool::total_created(), pools_before);
+}
+
+TEST(ElasticPool, CapEqualToInitialSizeNeverGrows) {
+  ThreadPool pool(2, 2);
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  std::atomic<int> running{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&running, release] {
+      running.fetch_add(1);
+      release.wait();
+    }));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(running.load(), 2);  // the other six tasks stay queued
+  EXPECT_EQ(pool.worker_count(), 2u);
+  gate.set_value();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(pool.worker_count(), 2u);
+}
+
+TEST(ElasticPool, RaisingTheCapEnablesFurtherGrowth) {
+  ThreadPool pool(1, 1);
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  std::atomic<int> running{0};
+  std::vector<std::future<void>> futures;
+  auto blocker = [&running, release] {
+    running.fetch_add(1);
+    release.wait();
+  };
+  for (int i = 0; i < 4; ++i) futures.push_back(pool.submit(blocker));
+  EXPECT_EQ(pool.worker_count(), 1u);  // capped
+
+  pool.set_max_workers(3);
+  EXPECT_EQ(pool.max_workers(), 3u);
+  for (int i = 0; i < 4; ++i) futures.push_back(pool.submit(blocker));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(running.load(), 3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  gate.set_value();
+  for (auto& future : futures) future.get();
+}
+
+TEST(ElasticPool, BatchHintIsClampedToTheBatchSize) {
+  InferenceSession session(models::lenet5());
+  const auto images = synthetic_batch(session.network(), 2, 6800);
+  BatchOptions options;
+  options.workers = 8;  // used to spawn 8 threads for a 2-image batch
+  const auto results = session.run_batch_parallel("vp", images, options);
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+  EXPECT_EQ(session.pool_worker_count(), 2u)
+      << "the pool hint must be the clamped worker count";
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker replay arenas
+// ---------------------------------------------------------------------------
+
+TEST(ReplayArenas, RepeatedReplaysReuseOneArenaBitExactly) {
+  const auto images = synthetic_batch(models::lenet5(), 4, 6900);
+  InferenceSession session(models::lenet5());
+  InferenceSession fullsim(models::lenet5());
+  fullsim.set_replay_enabled(false);
+
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const auto replayed = session.run("vp", images[i]);
+      const auto simulated = fullsim.run("vp", images[i]);
+      ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+      ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
+      EXPECT_EQ(replayed->output, simulated->output)
+          << "round " << round << " image " << i;
+      EXPECT_EQ(replayed->cycles, simulated->cycles)
+          << "round " << round << " image " << i;
+    }
+  }
+  // Image 0 of round 1 was the traced image (served from the trace); the
+  // seven other (round, image) pairs each replayed once — all on a single
+  // reused arena, never a rebuilt one.
+  const auto& schedule = session.prepare(images[0]).replay_schedule();
+  const auto& engine = schedule.engine(session.config().nvdla);
+  EXPECT_EQ(engine.images_replayed(), 7u);
+  EXPECT_EQ(engine.arenas_built(), 1u);
+  EXPECT_EQ(session.counters().replay, 7u);
+}
+
+TEST(ReplayArenas, ConcurrentPooledReplaysCheckOutAtMostOneArenaEach) {
+  const auto images = synthetic_batch(models::lenet5(), 6, 7000);
+  InferenceSession session(models::lenet5());
+  BatchOptions options;
+  options.workers = 2;
+  const auto parallel = session.run_batch_parallel("vp", images, options);
+  ASSERT_TRUE(parallel.is_ok()) << parallel.status().to_string();
+
+  InferenceSession sequential(models::lenet5());
+  const auto expected = sequential.run_batch("vp", images);
+  ASSERT_TRUE(expected.is_ok());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    EXPECT_EQ((*parallel)[i].output, (*expected)[i].output) << "image " << i;
+    EXPECT_EQ((*parallel)[i].cycles, (*expected)[i].cycles) << "image " << i;
+  }
+
+  const auto& schedule = session.prepare(images[0]).replay_schedule();
+  const auto& engine = schedule.engine(session.config().nvdla);
+  // Image 0 was the traced image; the other five replayed across two
+  // workers, bounded by the concurrency, not the image count.
+  EXPECT_EQ(engine.images_replayed(), 5u);
+  EXPECT_GE(engine.arenas_built(), 1u);
+  EXPECT_LE(engine.arenas_built(), 2u);
+}
+
+}  // namespace
+}  // namespace nvsoc
