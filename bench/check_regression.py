@@ -48,10 +48,27 @@ import sys
 #    reused per-worker arena (reset dirty pages + repack the input only) —
 #    op math is excluded from both legs, so the ratio reads ~1.0 the
 #    moment arena reuse silently degrades into per-image rebuilds.
+#  * serving_saturation_efficiency compares pipelined-burst throughput
+#    through the loopback TCP server against the in-process submit()/get()
+#    rate on the same host — the framing/event-loop overhead ratio. The
+#    wire path must keep at least a fifth of the direct rate (healthy:
+#    ~0.8 — the serving cost is the inference, not the socket).
 FLOOR_METRICS = {
     "replay_speedup_vs_full": 1.25,
     "replay_serving_speedup": 2.0,
     "arena_replay_speedup": 1.5,
+    "serving_saturation_efficiency": 0.2,
+}
+
+# Same-host ratios held to an absolute maximum wherever they are reported.
+#  * serving_p99_tail_ratio is p99/p50 open-loop serving latency at ~60% of
+#    the measured saturation rate. A healthy event loop reads a
+#    single-digit ratio; a loop that stalls (a blocking get() on the loop
+#    thread, a lost wakeup, head-of-line blocking in the write path) blows
+#    p99 up by orders of magnitude while p50 stays flat, so even a
+#    generous 25x ceiling catches it on any host.
+CEILING_METRICS = {
+    "serving_p99_tail_ratio": 25.0,
 }
 
 
@@ -97,14 +114,16 @@ def main() -> int:
         baseline = load_report(baseline_path)
         current = load_report(current_path)
         for section, metrics in baseline.items():
-            # A floored metric disappearing from the fresh report would
-            # silently disable its gate — treat that as a failure too.
-            for key in FLOOR_METRICS:
-                if key in metrics and (section not in current
-                                       or key not in current[section]):
-                    failures.append(
-                        f"{baseline_path.name}:{section}.{key}: floored "
-                        f"metric missing from new report")
+            # A floored/ceilinged metric disappearing from the fresh report
+            # would silently disable its gate — treat that as a failure too.
+            for kind, keys in (("floored", FLOOR_METRICS),
+                               ("ceilinged", CEILING_METRICS)):
+                for key in keys:
+                    if key in metrics and (section not in current
+                                           or key not in current[section]):
+                        failures.append(
+                            f"{baseline_path.name}:{section}.{key}: {kind} "
+                            f"metric missing from new report")
             for key, base_value in metrics.items():
                 direction = gated_direction(key)
                 if direction is None:
@@ -142,8 +161,17 @@ def main() -> int:
                     failures.append(
                         f"{current_path.name}:{section}.{key}: "
                         f"{metrics[key]:.2f} below the {floor:.2f}x floor "
-                        f"(the replay fast path has lost its lead over "
-                        f"full re-simulation)")
+                        f"(the fast path has lost its lead)")
+            for key, ceiling in CEILING_METRICS.items():
+                if key not in metrics:
+                    continue
+                checked += 1
+                if metrics[key] > ceiling:
+                    failures.append(
+                        f"{current_path.name}:{section}.{key}: "
+                        f"{metrics[key]:.2f} above the {ceiling:.2f}x ceiling "
+                        f"(the serving tail has blown up — is the event "
+                        f"loop stalling?)")
 
     for current_path in sorted(args.current_dir.glob("BENCH_*.json")):
         if not (args.baseline_dir / current_path.name).exists():

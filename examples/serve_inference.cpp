@@ -1,0 +1,100 @@
+// serve_inference: the network serving front end as a runnable binary.
+//
+// Opens an InferenceSession over a model-zoo network, pre-stages its
+// artifacts off the serving path (prepare_async), then serves framed
+// inference requests over loopback TCP until SIGINT/SIGTERM:
+//
+//   ./build/examples/serve_inference                 # lenet5, port 7790
+//   ./build/examples/serve_inference --port=0        # ephemeral port
+//   ./build/examples/serve_inference --model=resnet18_cifar --backend=vp
+//
+// Protocol (see src/server/frame.hpp): length-prefixed binary frames,
+// request = id + backend spec + image floats, response = id + status +
+// output tensor (or error text), streamed in completion order. The
+// bench_serving_latency load generator and the Client class in
+// src/server/client.hpp speak it.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "models/models.hpp"
+#include "runtime/inference_session.hpp"
+#include "server/inference_server.hpp"
+
+namespace {
+
+nvsoc::server::InferenceServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->shutdown();
+}
+
+const char* arg_value(const char* arg, const char* key) {
+  const std::size_t len = std::strlen(key);
+  return std::strncmp(arg, key, len) == 0 ? arg + len : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nvsoc;
+
+  std::string model = "lenet5";
+  std::string backend = "vp";
+  int port = 7790;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--model=")) {
+      model = v;
+    } else if (const char* v = arg_value(argv[i], "--backend=")) {
+      backend = v;
+    } else if (const char* v = arg_value(argv[i], "--port=")) {
+      port = std::atoi(v);
+    } else {
+      std::printf(
+          "usage: %s [--model=lenet5|resnet18_cifar] [--backend=SPEC] "
+          "[--port=N]\n\nServes framed inference requests over loopback "
+          "TCP; --port=0 binds an\nephemeral port (printed on startup). "
+          "The per-request backend spec in each\nframe wins; --backend "
+          "only picks what to pre-stage.\n",
+          argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+
+  const compiler::Network net =
+      model == "resnet18_cifar" ? models::resnet18_cifar() : models::lenet5();
+  runtime::InferenceSession session(net);
+  // Long-lived server: return burst threads to the host between peaks.
+  session.set_pool_idle_timeout(std::chrono::seconds(5));
+  // Front-load staging so the first request pays no one-time stall.
+  auto staged = session.prepare_async(backend);
+
+  server::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  server::InferenceServer server(session, options);
+  if (const Status started = server.start(); !started.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.to_string().c_str());
+    return 2;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("serving %s on 127.0.0.1:%u (staging '%s' in the background; "
+              "expects %zu-element images)\n",
+              net.name().c_str(), server.port(), backend.c_str(),
+              static_cast<std::size_t>(net.input_shape().elements()));
+  std::fflush(stdout);
+
+  server.run();  // until SIGINT/SIGTERM -> graceful drain
+
+  std::printf("shut down: %llu connections, %llu requests, %llu responses "
+              "(%llu errors)\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.requests_received()),
+              static_cast<unsigned long long>(server.responses_sent()),
+              static_cast<unsigned long long>(server.error_responses()));
+  return 0;
+}

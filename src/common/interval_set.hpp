@@ -28,6 +28,11 @@ class IntervalSet {
   std::size_t interval_count() const { return intervals_.size(); }
   bool empty() const { return intervals_.empty(); }
 
+  /// The coalesced [begin, end) intervals, in address order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals() const {
+    return {intervals_.begin(), intervals_.end()};
+  }
+
  private:
   std::map<std::uint64_t, std::uint64_t> intervals_;  ///< begin -> end
 };

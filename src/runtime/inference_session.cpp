@@ -36,25 +36,67 @@ bool same_image(const core::PreparedModel& model,
 // PendingResult / StagingHandle
 // ---------------------------------------------------------------------------
 
-PendingResult::PendingResult(Status status) {
-  std::promise<StatusOr<ExecutionResult>> promise;
-  future_ = promise.get_future();
-  promise.set_value(StatusOr<ExecutionResult>(std::move(status)));
+void PendingResult::State::complete(StatusOr<ExecutionResult> value) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    result.emplace(std::move(value));
+    hook = std::move(callback);
+    callback = nullptr;
+  }
+  cv.notify_all();
+  if (hook) {
+    try {
+      hook();
+    } catch (...) {
+      // The hook runs on a serving worker; its failures must not take the
+      // producer task (or the pool) down with it.
+    }
+  }
 }
 
+PendingResult::PendingResult(Status status)
+    : state_(std::make_shared<State>()) {
+  state_->result.emplace(StatusOr<ExecutionResult>(std::move(status)));
+}
+
+bool PendingResult::valid() const { return state_ != nullptr; }
+
 bool PendingResult::ready() const {
-  return future_.valid() &&
-         future_.wait_for(std::chrono::seconds(0)) ==
-             std::future_status::ready;
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->result.has_value();
 }
 
 StatusOr<ExecutionResult> PendingResult::get() {
-  if (!future_.valid()) {
+  if (state_ == nullptr) {
     return Status(StatusCode::kInvalidArgument,
                   "PendingResult::get() on an empty or already-consumed "
                   "handle (results are one-shot)");
   }
-  return future_.get();
+  // Consume the handle up front: after get() the handle is invalid even if
+  // the result was an error, matching the one-shot future contract.
+  std::shared_ptr<State> state = std::move(state_);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->result.has_value(); });
+  StatusOr<ExecutionResult> result = std::move(*state->result);
+  return result;
+}
+
+void PendingResult::on_ready(std::function<void()> callback) {
+  if (state_ == nullptr || !callback) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->result.has_value()) {
+      state_->callback = std::move(callback);
+      return;
+    }
+  }
+  // Already ready: fire on the caller, outside the lock.
+  try {
+    callback();
+  } catch (...) {
+  }
 }
 
 StagingHandle::StagingHandle(Status status) {
@@ -102,13 +144,24 @@ RunOptions InferenceSession::run_options() const {
 }
 
 ThreadPool& InferenceSession::pool_locked(std::size_t worker_hint) {
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(worker_hint);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(worker_hint);
+    if (pool_idle_timeout_.count() > 0) {
+      pool_->set_idle_timeout(pool_idle_timeout_);
+    }
+  }
   return *pool_;
 }
 
 std::size_t InferenceSession::pool_worker_count() const {
   std::lock_guard<std::mutex> lock(submit_mutex_);
   return pool_ != nullptr ? pool_->worker_count() : 0;
+}
+
+void InferenceSession::set_pool_idle_timeout(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  pool_idle_timeout_ = timeout;
+  if (pool_ != nullptr) pool_->set_idle_timeout(timeout);
 }
 
 const std::vector<float>& InferenceSession::default_input() {
@@ -555,33 +608,43 @@ PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
   // session keeps its full-replay-per-image contract by re-tracing
   // *inside* the task instead. The backend is registry-owned and outlives
   // the drain (the pool is the first session member to be destroyed).
-  auto future = pool->submit(
-      [this, &backend, options, repack, source = std::move(source),
-       image = std::move(image_copy)]() mutable
-          -> StatusOr<ExecutionResult> {
-        try {
-          core::PreparedModel model;
-          if (Status staged = resolve_staged_model(source, model);
-              !staged.is_ok()) {
-            return staged;
-          }
-          if (!same_image(model, image)) {
-            if (repack) {
-              repack_into(model, image);
-            } else {
-              stage_tail_into(model, image, /*record_replay=*/false);
+  //
+  // The result travels through the handle's shared State, not the pool
+  // future (discarded): State::complete publishes the value, wakes get()
+  // waiters, and fires any on_ready hook from this worker. Every exit path
+  // of the task completes the state, so a PendingResult can never be left
+  // pending — the ThreadPool destructor's queue drain guarantees the task
+  // itself runs even during session teardown.
+  auto state = std::make_shared<PendingResult::State>();
+  pool->submit(
+      [this, &backend, options, repack, state, source = std::move(source),
+       image = std::move(image_copy)]() mutable {
+        StatusOr<ExecutionResult> outcome = [&]() -> StatusOr<ExecutionResult> {
+          try {
+            core::PreparedModel model;
+            if (Status staged = resolve_staged_model(source, model);
+                !staged.is_ok()) {
+              return staged;
             }
+            if (!same_image(model, image)) {
+              if (repack) {
+                repack_into(model, image);
+              } else {
+                stage_tail_into(model, image, /*record_replay=*/false);
+              }
+            }
+            return backend.run(model, options);
+          } catch (const std::exception& e) {
+            return Status(StatusCode::kInvalidArgument, e.what());
+          } catch (...) {
+            return Status(StatusCode::kInternal,
+                          "pooled inference failed with a non-standard "
+                          "exception");
           }
-          return backend.run(model, options);
-        } catch (const std::exception& e) {
-          return Status(StatusCode::kInvalidArgument, e.what());
-        } catch (...) {
-          return Status(StatusCode::kInternal,
-                        "pooled inference failed with a non-standard "
-                        "exception");
-        }
+        }();
+        state->complete(std::move(outcome));
       });
-  return PendingResult(std::move(future));
+  return PendingResult(std::move(state));
 }
 
 StagingHandle InferenceSession::prepare_async(const std::string& backend) {

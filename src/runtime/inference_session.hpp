@@ -70,7 +70,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -135,27 +138,55 @@ struct BatchOptions {
 /// Status, never as exceptions. One-shot: the result is moved out by the
 /// first get(). Handles stay valid after the session is destroyed (the
 /// session drains in-flight work before dying).
+///
+/// For event-loop integration, on_ready() registers a completion callback
+/// so a server thread never has to park in get(): the callback fires the
+/// moment the result exists, and a subsequent get() is then non-blocking.
 class PendingResult {
  public:
   PendingResult() = default;
 
   /// False once get() has consumed the result (or for a default-constructed
   /// handle).
-  bool valid() const { return future_.valid(); }
+  bool valid() const;
   /// Non-blocking: has the submitted inference finished?
   bool ready() const;
   /// Block until the inference finishes and take its result.
   StatusOr<ExecutionResult> get();
+  /// Register a completion hook: `callback` runs exactly once, as soon as
+  /// the result exists — immediately on the calling thread when the handle
+  /// is already ready, otherwise on the pool worker that completes the
+  /// inference. The callback must be cheap and non-blocking (it runs on a
+  /// serving worker): typical use is waking an event loop which then calls
+  /// the now-non-blocking get(). One callback per handle; registering on an
+  /// empty/consumed handle is a no-op that never invokes the callback.
+  /// Exceptions thrown by the callback are swallowed.
+  void on_ready(std::function<void()> callback);
 
  private:
   friend class InferenceSession;
-  explicit PendingResult(std::future<StatusOr<ExecutionResult>> future)
-      : future_(std::move(future)) {}
+
+  /// The channel between the pooled producer task and this handle. The
+  /// producer keeps its own shared_ptr, so a completed-then-dropped handle
+  /// (e.g. a client that disconnected mid-request) never dangles.
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<StatusOr<ExecutionResult>> result;
+    std::function<void()> callback;  ///< pending on_ready hook, if any
+
+    /// Producer side: publish the result, wake get() waiters, fire the
+    /// registered callback (outside the lock).
+    void complete(StatusOr<ExecutionResult> value);
+  };
+
+  explicit PendingResult(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
   /// A submission that failed before reaching the pool (unknown backend,
   /// bad image shape): the handle is born ready with the failure.
   explicit PendingResult(Status status);
 
-  std::future<StatusOr<ExecutionResult>> future_;
+  std::shared_ptr<State> state_;
 };
 
 /// A future-like handle to one prepare_async() staging run. wait() blocks
@@ -295,6 +326,13 @@ class InferenceSession {
   /// worker count; elastic growth can raise it up to the configured cap.
   std::size_t pool_worker_count() const;
 
+  /// Forwarded to ThreadPool::set_idle_timeout on the session pool (applied
+  /// on creation if the pool does not exist yet): elastic workers idle past
+  /// `timeout` retire back to the pool's initial size. Zero — the default —
+  /// disables reaping. Long-lived servers set this so burst threads return
+  /// to the host between traffic peaks. Thread-safe.
+  void set_pool_idle_timeout(std::chrono::milliseconds timeout);
+
  private:
   /// The async-staging latch: the staging task publishes the staged
   /// artifacts here and flips the future; queued arrivals (and the
@@ -416,6 +454,7 @@ class InferenceSession {
   bool tail_done_ = false;
   bool repack_enabled_ = true;
   bool replay_enabled_ = true;
+  std::chrono::milliseconds pool_idle_timeout_{0};  ///< 0 = never reap
   std::vector<float> default_input_;
   std::optional<compiler::ReferenceExecutor> reference_;
   core::PreparedModel prepared_;

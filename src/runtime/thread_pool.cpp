@@ -22,10 +22,12 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t max_workers) {
   max_workers_ = max_workers == 0 ? std::max(hardware_workers(), workers)
                                   : std::max<std::size_t>(1, max_workers);
   workers = std::min(workers, max_workers_);
+  min_workers_ = workers;
   threads_.reserve(workers);
   try {
     for (std::size_t w = 0; w < workers; ++w) {
       threads_.emplace_back([this, w] { worker_loop(w, /*seen_generation=*/0); });
+      ++live_;
     }
   } catch (...) {
     // Thread exhaustion mid-spawn: the already-running workers are parked
@@ -37,7 +39,9 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t max_workers) {
       stop_ = true;
     }
     job_ready_.notify_all();
-    for (auto& thread : threads_) thread.join();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
     throw;
   }
   g_pools_created.fetch_add(1, std::memory_order_relaxed);
@@ -49,12 +53,27 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   job_ready_.notify_all();
-  for (auto& thread : threads_) thread.join();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  join_retired();
+}
+
+void ThreadPool::join_retired() const {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done.swap(retired_);
+  }
+  // Join outside the lock: the threads have already returned from
+  // worker_loop, so these joins only wait for OS-level thread teardown.
+  for (auto& thread : done) thread.join();
 }
 
 std::size_t ThreadPool::worker_count() const {
+  join_retired();
   std::lock_guard<std::mutex> lock(mutex_);
-  return threads_.size();
+  return live_;
 }
 
 std::size_t ThreadPool::max_workers() const {
@@ -65,18 +84,44 @@ std::size_t ThreadPool::max_workers() const {
 void ThreadPool::set_max_workers(std::size_t cap) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (cap == 0) cap = hardware_workers();
-  max_workers_ = std::max(cap, threads_.size());
+  max_workers_ = std::max(cap, live_);
+}
+
+void ThreadPool::set_idle_timeout(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_timeout_ = timeout;
+  }
+  // Parked workers re-evaluate their wait mode (timed vs untimed) on wakeup.
+  job_ready_.notify_all();
+}
+
+std::chrono::milliseconds ThreadPool::idle_timeout() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_timeout_;
+}
+
+std::uint64_t ThreadPool::workers_reaped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reaped_;
 }
 
 void ThreadPool::grow_if_pressured_locked() {
-  if (queue_.size() <= idle_ || threads_.size() >= max_workers_) return;
-  const std::size_t worker = threads_.size();
+  if (queue_.size() <= idle_ || live_ >= max_workers_) return;
+  // Reuse the slot of a retired worker when one exists, so worker ids stay
+  // dense; otherwise open a new slot.
+  std::size_t worker = 0;
+  while (worker < threads_.size() && threads_[worker].joinable()) ++worker;
   // Capture the generation at *spawn* time (under the lock): a worker
   // spawned while a parallel_for job is in flight must not join it — the
   // job's barrier counted only the workers that existed when it started.
   const std::uint64_t seen = generation_;
   try {
-    threads_.emplace_back([this, worker, seen] { worker_loop(worker, seen); });
+    if (worker == threads_.size()) threads_.emplace_back();
+    threads_[worker] = std::thread([this, worker, seen] {
+      worker_loop(worker, seen);
+    });
+    ++live_;
   } catch (...) {
     // Best-effort growth: under thread exhaustion the queued task simply
     // waits for an existing worker.
@@ -88,9 +133,28 @@ void ThreadPool::worker_loop(std::size_t worker,
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     ++idle_;
-    job_ready_.wait(lock, [&] {
-      return stop_ || !queue_.empty() || generation_ != seen_generation;
-    });
+    while (!stop_ && queue_.empty() && generation_ == seen_generation) {
+      // Elastic workers (above the construction floor) arm a timed wait
+      // when the reaper is enabled; any wakeup — work, a new job, or a
+      // set_idle_timeout notify — re-evaluates the mode.
+      if (idle_timeout_.count() > 0 && live_ > min_workers_) {
+        if (job_ready_.wait_for(lock, idle_timeout_) ==
+                std::cv_status::timeout &&
+            !stop_ && queue_.empty() && generation_ == seen_generation &&
+            idle_timeout_.count() > 0 && live_ > min_workers_) {
+          // Quiet period elapsed with nothing to do: retire. The handle
+          // moves to retired_ under the lock, so the slot is immediately
+          // reusable by growth and joins happen off this thread.
+          --idle_;
+          --live_;
+          ++reaped_;
+          retired_.push_back(std::move(threads_[worker]));
+          return;
+        }
+      } else {
+        job_ready_.wait(lock);
+      }
+    }
     --idle_;
 
     // A pending parallel_for job takes priority over queued tasks: the
@@ -142,7 +206,7 @@ void ThreadPool::parallel_for(
   task_ = &task;
   count_ = count;
   next_ = 0;
-  active_ = threads_.size();
+  active_ = live_;
   error_ = nullptr;
   error_index_ = 0;
   ++generation_;

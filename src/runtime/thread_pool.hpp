@@ -19,10 +19,15 @@
 // is *elastic*: the construction-time worker count is only the starting
 // size, and submit() grows the pool — up to max_workers() — whenever tasks
 // queue up with no idle worker to take them, so a pool sized by an early
-// small batch still scales to later bursty arrivals.
+// small batch still scales to later bursty arrivals. With an idle timeout
+// set (set_idle_timeout; off by default), elastic workers that stay idle
+// past the timeout retire back down to the construction-time floor, so a
+// long-lived serving pool returns its burst threads to the host between
+// traffic peaks instead of parking them forever.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -57,25 +62,38 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Current worker count (grows under queue pressure, never shrinks).
+  /// Current live worker count: grows under queue pressure, shrinks back
+  /// toward the construction-time floor when an idle timeout is set.
+  /// Joins any already-retired worker threads as a side effect, so the
+  /// count never includes threads that have left the pool.
   std::size_t worker_count() const;
   /// The elastic-growth cap.
   std::size_t max_workers() const;
   /// Raise (or, down to the current worker count, lower) the growth cap;
-  /// 0 resets it to hardware threads. The pool never drops workers, so the
-  /// effective cap is max(cap, worker_count()).
+  /// 0 resets it to hardware threads. The pool never drops workers below
+  /// the cap on its own — only the idle reaper retires them.
   void set_max_workers(std::size_t cap);
+
+  /// Idle-timeout reaper for elastic workers: a worker above the
+  /// construction-time floor that sees no work for `timeout` retires (its
+  /// thread exits and is joined). Zero — the default — disables reaping.
+  /// Takes effect immediately: parked workers are woken to re-arm their
+  /// wait. Thread-safe.
+  void set_idle_timeout(std::chrono::milliseconds timeout);
+  std::chrono::milliseconds idle_timeout() const;
+  /// How many elastic workers the idle reaper has retired so far.
+  std::uint64_t workers_reaped() const;
 
   /// Run task(worker, index) for every index in [0, count), dynamically
   /// load-balanced across the workers; blocks until every index has
-  /// completed. `worker` is in [0, worker_count()) and identifies the
-  /// executing thread. If tasks throw, every index still executes and the
-  /// exception of the lowest failing index is rethrown here. One job at a
-  /// time: parallel_for must not be re-entered from a task. Queued
-  /// submit() tasks already running delay the job's completion; queued
-  /// tasks not yet started wait until the job finishes (workers spawned by
-  /// elastic growth mid-job may pick them up early — they never join a job
-  /// that started before them).
+  /// completed. `worker` identifies the executing thread (ids of retired
+  /// workers are reused by later growth). If tasks throw, every index
+  /// still executes and the exception of the lowest failing index is
+  /// rethrown here. One job at a time: parallel_for must not be re-entered
+  /// from a task. Queued submit() tasks already running delay the job's
+  /// completion; queued tasks not yet started wait until the job finishes
+  /// (workers spawned by elastic growth mid-job may pick them up early —
+  /// they never join a job that started before them).
   void parallel_for(
       std::size_t count,
       const std::function<void(std::size_t worker, std::size_t index)>& task);
@@ -118,11 +136,21 @@ class ThreadPool {
   /// they never join a job whose barrier did not count them.
   void worker_loop(std::size_t worker, std::uint64_t seen_generation);
   /// Spawn one more worker when tasks are queued with no idle worker and
-  /// the cap allows. Caller holds mutex_. Best-effort: spawn failures are
-  /// swallowed (the queued task waits for an existing worker instead).
+  /// the cap allows. Reuses the slot of a retired worker when one exists.
+  /// Caller holds mutex_. Best-effort: spawn failures are swallowed (the
+  /// queued task waits for an existing worker instead).
   void grow_if_pressured_locked();
+  /// Join the threads of workers that have already retired (they have left
+  /// worker_loop, so the joins return promptly). Must be called without
+  /// mutex_ held.
+  void join_retired() const;
 
+  /// Slots for live workers; a retired worker's slot holds a moved-from
+  /// (non-joinable) handle until growth reuses it. threads_.size() is the
+  /// high-water mark, live_ the current worker count.
   std::vector<std::thread> threads_;
+  /// Handles of retired workers awaiting a join (see join_retired).
+  mutable std::vector<std::thread> retired_;
 
   mutable std::mutex mutex_;
   std::condition_variable job_ready_;
@@ -130,6 +158,10 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;  ///< submit() tasks, FIFO
   const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
   std::size_t max_workers_ = 0;  ///< elastic-growth cap
+  std::size_t min_workers_ = 0;  ///< reaper floor: the construction spawn
+  std::size_t live_ = 0;         ///< workers currently in worker_loop
+  std::chrono::milliseconds idle_timeout_{0};  ///< 0 = never reap
+  std::uint64_t reaped_ = 0;     ///< workers retired by the idle reaper
   std::size_t idle_ = 0;         ///< workers parked in the wait
   std::size_t count_ = 0;        ///< indices in the current job
   std::size_t next_ = 0;         ///< next unclaimed index

@@ -1,0 +1,106 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nvsoc::server {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), in_(std::move(other.in_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    in_ = std::move(other.in_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  in_.clear();
+}
+
+Status Client::connect(std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kInternal, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status(StatusCode::kInternal,
+                  std::string("connect() failed: ") + std::strerror(errno));
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  fd_ = fd;
+  return Status::ok();
+}
+
+Status Client::send(const Request& request) {
+  return send_bytes(encode_request(request));
+}
+
+Status Client::send_bytes(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return Status(StatusCode::kInvalidArgument, "not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status(StatusCode::kInternal,
+                  std::string("write() failed: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+StatusOr<Response> Client::receive() {
+  if (fd_ < 0) return Status(StatusCode::kInvalidArgument, "not connected");
+  for (;;) {
+    Response response;
+    const auto consumed = decode_response(in_, response);
+    if (!consumed.is_ok()) return consumed.status();
+    if (*consumed > 0) {
+      in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(
+                                               *consumed));
+      return response;
+    }
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      return Status(StatusCode::kUnsupported, "connection closed by server");
+    }
+    return Status(StatusCode::kInternal,
+                  std::string("read() failed: ") + std::strerror(errno));
+  }
+}
+
+StatusOr<Response> Client::roundtrip(const Request& request) {
+  if (const Status sent = send(request); !sent.is_ok()) return sent;
+  return receive();
+}
+
+}  // namespace nvsoc::server

@@ -1,0 +1,120 @@
+#include "server/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace nvsoc::server {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+short to_poll_events(std::uint32_t interest) {
+  short events = 0;
+  if (interest & EventLoop::kReadable) events |= POLLIN;
+  if (interest & EventLoop::kWritable) events |= POLLOUT;
+  return events;
+}
+
+std::uint32_t from_poll_events(short revents) {
+  std::uint32_t events = 0;
+  if (revents & POLLIN) events |= EventLoop::kReadable;
+  if (revents & POLLOUT) events |= EventLoop::kWritable;
+  if (revents & (POLLERR | POLLHUP | POLLNVAL)) events |= EventLoop::kError;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("EventLoop: self-pipe creation failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  // Nonblocking on both ends: a full pipe just coalesces notifies, and the
+  // drain read never parks the loop.
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback callback) {
+  set_nonblocking(fd);
+  fds_[fd] = Registration{interest, std::move(callback)};
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  const auto it = fds_.find(fd);
+  if (it != fds_.end()) it->second.interest = interest;
+}
+
+void EventLoop::remove_fd(int fd) { fds_.erase(fd); }
+
+void EventLoop::notify() {
+  const std::uint8_t byte = 1;
+  // A full pipe (EAGAIN) already guarantees a pending wakeup; nothing to
+  // retry. EINTR on a one-byte pipe write cannot leave a partial write.
+  [[maybe_unused]] const auto ignored = ::write(wake_write_fd_, &byte, 1);
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  notify();
+}
+
+void EventLoop::run() {
+  std::vector<pollfd> poll_set;
+  std::vector<std::pair<int, std::uint32_t>> ready;
+  while (!stop_.load(std::memory_order_acquire)) {
+    poll_set.clear();
+    poll_set.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    for (const auto& [fd, reg] : fds_) {
+      poll_set.push_back(pollfd{fd, to_poll_events(reg.interest), 0});
+    }
+
+    const int n = ::poll(poll_set.data(),
+                         static_cast<nfds_t>(poll_set.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure: surface as a stopped loop
+    }
+
+    if (poll_set[0].revents & POLLIN) {
+      std::uint8_t drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+      if (wakeup_) wakeup_();
+    }
+
+    // Collect before dispatching: callbacks may add/remove registrations,
+    // and must not invalidate the iteration or see stale pollfd slots.
+    ready.clear();
+    for (std::size_t i = 1; i < poll_set.size(); ++i) {
+      const std::uint32_t events = from_poll_events(poll_set[i].revents);
+      if (events != 0) ready.emplace_back(poll_set[i].fd, events);
+    }
+    for (const auto& [fd, events] : ready) {
+      const auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;  // removed by an earlier callback
+      // Copy the callback: the registration may be erased mid-call.
+      const FdCallback callback = it->second.callback;
+      callback(events);
+      if (stop_.load(std::memory_order_acquire)) break;
+    }
+  }
+}
+
+}  // namespace nvsoc::server

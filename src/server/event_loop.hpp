@@ -1,0 +1,78 @@
+// Single-threaded poll(2) event loop — the reactor under InferenceServer.
+//
+// One thread owns the loop and every registered fd: callbacks run on that
+// thread, so connection state needs no locking. The only cross-thread
+// entry points are notify() and stop(), which write one byte to a
+// self-pipe the loop always polls — the portable, signal-safe way to wake
+// a sleeping poll() (the idiom tcputils-style stubs use; epoll would buy
+// nothing at the connection counts an inference server sees, and poll is
+// POSIX-portable).
+//
+// Inference completions use exactly this edge: a pool worker finishing a
+// PendingResult calls notify(), and the loop thread drains the completion
+// queue from its wakeup callback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace nvsoc::server {
+
+class EventLoop {
+ public:
+  /// Bitmask passed to fd callbacks: readable / writable / error-or-hangup
+  /// (POLLERR | POLLHUP | POLLNVAL collapse into kError — the reaction is
+  /// the same: tear the connection down).
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kError = 1u << 2;
+
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();   ///< builds the self-pipe; throws std::runtime_error on ENFILE
+  ~EventLoop();  ///< closes the self-pipe only — registered fds stay owned
+                 ///< by their registrants
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for the interest set (kReadable/kWritable bits);
+  /// `callback` fires from run() with the ready bits. Loop thread only.
+  void add_fd(int fd, std::uint32_t interest, FdCallback callback);
+  /// Change an fd's interest set (e.g. enable kWritable once a write
+  /// buffer is non-empty). Loop thread only.
+  void set_interest(int fd, std::uint32_t interest);
+  /// Deregister; safe to call from inside the fd's own callback. The fd is
+  /// not closed. Loop thread only.
+  void remove_fd(int fd);
+
+  /// Run callback dispatch until stop(). The wakeup hook runs after every
+  /// notify()-triggered wake.
+  void run();
+  /// Request run() to return once the current dispatch round finishes.
+  /// Callable from any thread (and from callbacks).
+  void stop();
+  /// Wake a sleeping run() from any thread. Coalescing: many notifies may
+  /// yield one wakeup-hook call, so hooks must drain queues, not count.
+  void notify();
+  /// The hook notify() schedules; runs on the loop thread. Loop thread (or
+  /// pre-run) only.
+  void set_wakeup(std::function<void()> hook) { wakeup_ = std::move(hook); }
+
+ private:
+  struct Registration {
+    std::uint32_t interest = 0;
+    FdCallback callback;
+  };
+
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, Registration> fds_;
+  std::function<void()> wakeup_;
+};
+
+}  // namespace nvsoc::server

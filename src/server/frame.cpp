@@ -1,0 +1,182 @@
+#include "server/frame.hpp"
+
+#include <cstring>
+
+#include "common/strfmt.hpp"
+
+namespace nvsoc::server {
+
+namespace {
+
+// Little-endian scalar writers/readers over a byte vector / span. memcpy
+// keeps them alignment-safe; the host is little-endian on every supported
+// target, and the float bit patterns pass through memcpy unchanged.
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+/// A bounds-checked forward reader over one frame payload.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> payload) : payload_(payload) {}
+
+  template <typename T>
+  bool read(T& value) {
+    if (payload_.size() - at_ < sizeof(T)) return false;
+    std::memcpy(&value, payload_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(void* out, std::size_t count) {
+    if (payload_.size() - at_ < count) return false;
+    std::memcpy(out, payload_.data() + at_, count);
+    at_ += count;
+    return true;
+  }
+
+  bool exhausted() const { return at_ == payload_.size(); }
+  std::size_t remaining() const { return payload_.size() - at_; }
+
+ private:
+  std::span<const std::uint8_t> payload_;
+  std::size_t at_ = 0;
+};
+
+std::vector<std::uint8_t> with_length_prefix(std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kLengthPrefixBytes + body.size());
+  put<std::uint32_t>(frame, static_cast<std::uint32_t>(body.size()));
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+/// Common prefix handling: 0 = incomplete, otherwise the payload span is
+/// ready and `consumed` is the whole frame size.
+StatusOr<std::size_t> frame_payload(std::span<const std::uint8_t> buffer,
+                                    std::span<const std::uint8_t>& payload) {
+  if (buffer.size() < kLengthPrefixBytes) return std::size_t{0};
+  std::uint32_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, buffer.data(), sizeof(payload_bytes));
+  if (payload_bytes > kMaxFrameBytes) {
+    return Status(StatusCode::kOutOfRange,
+                  strfmt("frame length {} exceeds the {}-byte limit",
+                         payload_bytes, kMaxFrameBytes));
+  }
+  if (buffer.size() - kLengthPrefixBytes < payload_bytes) {
+    return std::size_t{0};
+  }
+  payload = buffer.subspan(kLengthPrefixBytes, payload_bytes);
+  return kLengthPrefixBytes + static_cast<std::size_t>(payload_bytes);
+}
+
+Status malformed(const char* what) {
+  return Status(StatusCode::kInvalidArgument,
+                strfmt("malformed frame: {}", what));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + 2 + request.backend.size() + 4 +
+               request.image.size() * sizeof(float));
+  put<std::uint64_t>(body, request.id);
+  put<std::uint16_t>(body, static_cast<std::uint16_t>(request.backend.size()));
+  body.insert(body.end(), request.backend.begin(), request.backend.end());
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(request.image.size()));
+  for (const float value : request.image) put<float>(body, value);
+  return with_length_prefix(std::move(body));
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> body;
+  put<std::uint64_t>(body, response.id);
+  put<std::uint8_t>(body, static_cast<std::uint8_t>(response.code));
+  if (response.is_ok()) {
+    put<std::uint64_t>(body, response.cycles);
+    put<std::uint32_t>(body, response.predicted_class);
+    put<std::uint32_t>(body, static_cast<std::uint32_t>(response.output.size()));
+    for (const float value : response.output) put<float>(body, value);
+  } else {
+    put<std::uint16_t>(body, static_cast<std::uint16_t>(response.error.size()));
+    body.insert(body.end(), response.error.begin(), response.error.end());
+  }
+  return with_length_prefix(std::move(body));
+}
+
+StatusOr<std::size_t> decode_request(std::span<const std::uint8_t> buffer,
+                                     Request& out) {
+  std::span<const std::uint8_t> payload;
+  auto consumed = frame_payload(buffer, payload);
+  if (!consumed.is_ok() || *consumed == 0) return consumed;
+
+  Reader reader(payload);
+  std::uint16_t backend_len = 0;
+  if (!reader.read(out.id) || !reader.read(backend_len)) {
+    return malformed("request header truncated");
+  }
+  out.backend.resize(backend_len);
+  if (!reader.read_bytes(out.backend.data(), backend_len)) {
+    return malformed("backend spec extends past the payload");
+  }
+  std::uint32_t image_elems = 0;
+  if (!reader.read(image_elems)) {
+    return malformed("image length field truncated");
+  }
+  if (reader.remaining() != static_cast<std::size_t>(image_elems) * 4) {
+    return malformed("image length disagrees with the payload length");
+  }
+  out.image.resize(image_elems);
+  reader.read_bytes(out.image.data(),
+                    static_cast<std::size_t>(image_elems) * 4);
+  return consumed;
+}
+
+StatusOr<std::size_t> decode_response(std::span<const std::uint8_t> buffer,
+                                      Response& out) {
+  std::span<const std::uint8_t> payload;
+  auto consumed = frame_payload(buffer, payload);
+  if (!consumed.is_ok() || *consumed == 0) return consumed;
+
+  Reader reader(payload);
+  std::uint8_t code = 0;
+  if (!reader.read(out.id) || !reader.read(code)) {
+    return malformed("response header truncated");
+  }
+  out.code = static_cast<StatusCode>(code);
+  out.error.clear();
+  out.output.clear();
+  out.cycles = 0;
+  out.predicted_class = 0;
+  if (out.is_ok()) {
+    std::uint32_t output_elems = 0;
+    if (!reader.read(out.cycles) || !reader.read(out.predicted_class) ||
+        !reader.read(output_elems)) {
+      return malformed("response result header truncated");
+    }
+    if (reader.remaining() != static_cast<std::size_t>(output_elems) * 4) {
+      return malformed("output length disagrees with the payload length");
+    }
+    out.output.resize(output_elems);
+    reader.read_bytes(out.output.data(),
+                      static_cast<std::size_t>(output_elems) * 4);
+  } else {
+    std::uint16_t error_len = 0;
+    if (!reader.read(error_len)) {
+      return malformed("response error header truncated");
+    }
+    out.error.resize(error_len);
+    if (!reader.read_bytes(out.error.data(), error_len) ||
+        !reader.exhausted()) {
+      return malformed("error text disagrees with the payload length");
+    }
+  }
+  return consumed;
+}
+
+}  // namespace nvsoc::server

@@ -1,0 +1,75 @@
+// Length-prefixed binary framing for the network serving front end.
+//
+// Every frame on the wire is
+//
+//   u32  payload_bytes          (little-endian, excludes this prefix)
+//   u8[] payload
+//
+// with two payload layouts:
+//
+//   request:   u64 request_id | u16 backend_len | backend spec bytes |
+//              u32 image_elems | f32[image_elems] image
+//   response:  u64 request_id | u8 status_code |
+//              ok:    u64 cycles | u32 predicted_class |
+//                     u32 output_elems | f32[output_elems] output
+//              error: u16 error_len | error text bytes
+//
+// All integers are little-endian; floats travel as their IEEE-754 bit
+// patterns. `status_code` is the StatusCode enum value (0 = kOk).
+//
+// Decoding is incremental: decoders take the connection's accumulated byte
+// buffer and either consume exactly one frame, report "need more bytes"
+// (consumed == 0), or fail with a Status for frames that can never become
+// valid — an oversized length prefix, or inner fields that contradict the
+// payload length. A decode failure means the stream is unsynchronized; the
+// caller should close the connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace nvsoc::server {
+
+/// Ceiling on payload_bytes a peer may announce — frames above it are
+/// rejected before any allocation, so a malicious or corrupt length prefix
+/// cannot make the server reserve gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Bytes of framing overhead in front of every payload.
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string backend;       ///< registry spec, e.g. "vp", "soc?mode=replay"
+  std::vector<float> image;  ///< packed input tensor, row-major
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string error;          ///< set iff code != kOk
+  std::vector<float> output;  ///< set iff code == kOk
+  std::uint64_t cycles = 0;
+  std::uint32_t predicted_class = 0;
+
+  bool is_ok() const { return code == StatusCode::kOk; }
+};
+
+/// Serialize one frame, length prefix included.
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+/// Try to decode one frame from the front of `buffer`. Returns the bytes
+/// consumed (prefix + payload) with `out` filled, 0 when the buffer does
+/// not yet hold a complete frame, or an error Status for a frame that can
+/// never become valid (close the connection).
+StatusOr<std::size_t> decode_request(std::span<const std::uint8_t> buffer,
+                                     Request& out);
+StatusOr<std::size_t> decode_response(std::span<const std::uint8_t> buffer,
+                                      Response& out);
+
+}  // namespace nvsoc::server

@@ -1,0 +1,297 @@
+#include "server/inference_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nvsoc::server {
+
+namespace {
+
+/// Completion-order responses: translate one finished submit into its wire
+/// response.
+Response make_response(std::uint64_t request_id,
+                       StatusOr<runtime::ExecutionResult> result) {
+  Response response;
+  response.id = request_id;
+  if (!result.is_ok()) {
+    response.code = result.status().code();
+    response.error = result.status().message();
+    return response;
+  }
+  runtime::ExecutionResult value = std::move(result).value();
+  response.cycles = value.cycles;
+  response.predicted_class = static_cast<std::uint32_t>(value.predicted_class);
+  response.output = std::move(value.output);
+  return response;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(runtime::InferenceSession& session,
+                                 ServerOptions options)
+    : session_(session), options_(options) {}
+
+InferenceServer::~InferenceServer() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status InferenceServer::start() {
+  if (listen_fd_ >= 0) {
+    return Status(StatusCode::kAlreadyExists, "server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal, "socket() failed");
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, options_.backlog) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kInternal,
+                  std::string("bind/listen failed: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kInternal, "getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return Status::ok();
+}
+
+void InferenceServer::run() {
+  loop_.set_wakeup([this] { on_wakeup(); });
+  loop_.add_fd(listen_fd_, EventLoop::kReadable,
+               [this](std::uint32_t events) { on_accept(events); });
+  loop_.run();
+  // Post-loop teardown: graceful shutdown already closed the connections;
+  // this covers an abnormal loop exit.
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  by_id_.clear();
+}
+
+void InferenceServer::shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  loop_.notify();
+}
+
+std::uint32_t InferenceServer::interest_for(const Connection& conn) const {
+  std::uint32_t interest = shutting_down_ ? 0 : EventLoop::kReadable;
+  if (conn.out_at < conn.out.size()) interest |= EventLoop::kWritable;
+  return interest;
+}
+
+void InferenceServer::on_accept(std::uint32_t events) {
+  if (events & EventLoop::kError) return;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN: drained; other errors: try next poll
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    by_id_[conn->id] = raw;
+    connections_[fd] = std::move(conn);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    loop_.add_fd(fd, interest_for(*raw), [this, fd](std::uint32_t ev) {
+      on_connection_event(fd, ev);
+    });
+  }
+}
+
+void InferenceServer::close_connection(Connection& conn) {
+  loop_.remove_fd(conn.fd);
+  ::close(conn.fd);
+  by_id_.erase(conn.id);
+  connections_.erase(conn.fd);  // destroys conn — caller must not touch it
+}
+
+void InferenceServer::on_connection_event(int fd, std::uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & EventLoop::kError) {
+    // In-flight submits for this connection stay in pending_; their
+    // completions are consumed and dropped (see on_wakeup).
+    close_connection(conn);
+    return;
+  }
+  if (events & EventLoop::kWritable) {
+    flush_writes(conn);
+    if (connections_.find(fd) == connections_.end()) return;  // closed
+  }
+  if ((events & EventLoop::kReadable) && !shutting_down_) {
+    read_frames(conn);
+  }
+  maybe_finish_shutdown();
+}
+
+void InferenceServer::read_frames(Connection& conn) {
+  // Drain the socket (level-triggered poll would re-wake us anyway, but
+  // one pass per wake keeps frame latency down).
+  for (;;) {
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: the peer is gone. Responses still buffered can
+    // never be delivered; in-flight completions will be dropped.
+    close_connection(conn);
+    return;
+  }
+
+  // Decode every complete frame accumulated so far.
+  std::size_t consumed_total = 0;
+  for (;;) {
+    Request request;
+    const auto consumed = decode_request(
+        std::span<const std::uint8_t>(conn.in).subspan(consumed_total),
+        request);
+    if (!consumed.is_ok()) {
+      // Framing is unsynchronized (oversized prefix, contradictory inner
+      // lengths): no request id is trustworthy, so the only clean answer
+      // is to drop the connection.
+      close_connection(conn);
+      return;
+    }
+    if (*consumed == 0) break;  // incomplete tail frame: wait for bytes
+    consumed_total += *consumed;
+    submit_request(conn, std::move(request));
+  }
+  if (consumed_total > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(consumed_total));
+  }
+}
+
+void InferenceServer::submit_request(Connection& conn, Request request) {
+  requests_received_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t token = next_token_++;
+  PendingEntry entry;
+  entry.connection = conn.id;
+  entry.request = request.id;
+  // submit() never throws and never blocks on staging: errors (unknown
+  // backend spec, wrong image shape) come back through a born-ready
+  // PendingResult and flow through the same completion path as successes.
+  entry.result = session_.submit(request.backend, request.image);
+  ++conn.in_flight;
+  auto [slot, inserted] = pending_.emplace(token, std::move(entry));
+  // Registered after insertion so a synchronous (born-ready) callback
+  // still finds the entry when the wakeup drains it. The hook runs on a
+  // pool worker: it must only touch the done queue and the self-pipe.
+  slot->second.result.on_ready([this, token] {
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_.push_back(token);
+    }
+    loop_.notify();
+  });
+}
+
+void InferenceServer::queue_response(Connection& conn,
+                                     const Response& response) {
+  const std::vector<std::uint8_t> frame = encode_response(response);
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.is_ok()) {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  loop_.set_interest(conn.fd, interest_for(conn));
+}
+
+void InferenceServer::flush_writes(Connection& conn) {
+  while (conn.out_at < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_at,
+                              conn.out.size() - conn.out_at);
+    if (n > 0) {
+      conn.out_at += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(conn);  // EPIPE et al.: peer is gone
+    return;
+  }
+  if (conn.out_at == conn.out.size()) {
+    conn.out.clear();
+    conn.out_at = 0;
+  }
+  loop_.set_interest(conn.fd, interest_for(conn));
+}
+
+void InferenceServer::on_wakeup() {
+  if (shutdown_requested_.load(std::memory_order_acquire) &&
+      !shutting_down_) {
+    begin_shutdown();
+  }
+
+  // Drain the completion queue: each token's result is ready (the hook
+  // fires after complete()), so get() below never blocks the loop.
+  std::vector<std::uint64_t> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done.swap(done_);
+  }
+  for (const std::uint64_t token : done) {
+    const auto it = pending_.find(token);
+    if (it == pending_.end()) continue;
+    PendingEntry entry = std::move(it->second);
+    pending_.erase(it);
+    // Consume the result unconditionally — a disconnected client's
+    // completion must not leave a PendingResult holding its state.
+    StatusOr<runtime::ExecutionResult> result = entry.result.get();
+    const auto conn_it = by_id_.find(entry.connection);
+    if (conn_it == by_id_.end()) continue;  // client left mid-request
+    Connection& conn = *conn_it->second;
+    --conn.in_flight;
+    queue_response(conn, make_response(entry.request, std::move(result)));
+  }
+  maybe_finish_shutdown();
+}
+
+void InferenceServer::begin_shutdown() {
+  shutting_down_ = true;
+  // Stop accepting (new connections) and reading (new requests): what is
+  // in flight now is all that remains to drain.
+  loop_.remove_fd(listen_fd_);
+  for (auto& [fd, conn] : connections_) {
+    loop_.set_interest(fd, interest_for(*conn));
+  }
+}
+
+void InferenceServer::maybe_finish_shutdown() {
+  if (!shutting_down_ || !pending_.empty()) return;
+  // Every submit has drained; close connections as their buffers empty.
+  std::vector<Connection*> flushed;
+  for (auto& [fd, conn] : connections_) {
+    if (conn->out_at >= conn->out.size()) flushed.push_back(conn.get());
+  }
+  for (Connection* conn : flushed) close_connection(*conn);
+  if (connections_.empty()) loop_.stop();
+}
+
+}  // namespace nvsoc::server

@@ -1,0 +1,148 @@
+// InferenceServer — the TCP serving front end over InferenceSession.
+//
+// One loop thread owns every socket (accept, framed reads, framed writes)
+// and never executes an inference: each decoded request goes straight to
+// InferenceSession::submit(), and the PendingResult's on_ready hook —
+// fired by the pool worker that finishes the inference — enqueues a
+// completion token and wakes the loop through its self-pipe. The loop
+// thread then collects the now-ready result without blocking and streams
+// the response in *completion* order, so a slow request never
+// head-of-line-blocks a fast one on the same or another connection
+// (responses carry the request id precisely so clients can match them
+// out of order).
+//
+// Failure handling mirrors the wire contract in frame.hpp: anything that
+// still has a request id (unknown backend spec, wrong image shape,
+// execution faults) is answered with an error response on the same
+// connection; anything that breaks framing itself (oversized length
+// prefix, inner lengths contradicting the payload) closes the connection,
+// since the byte stream is unsynchronized. A client disconnecting with
+// requests in flight neither crashes nor leaks: its completions are
+// consumed and dropped when they finish.
+//
+// Graceful shutdown (shutdown(), any thread): stop accepting, stop
+// reading — no new submits — then drain every in-flight submit, flush
+// every response buffer, close the connections and return from run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "runtime/inference_session.hpp"
+#include "server/event_loop.hpp"
+#include "server/frame.hpp"
+
+namespace nvsoc::server {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back via
+  /// port() after start()).
+  std::uint16_t port = 0;
+  int backlog = 64;
+};
+
+class InferenceServer {
+ public:
+  /// The session must outlive the server. The server adds no locking of
+  /// its own around the session: submit() is the session's thread-safe
+  /// entry point and the only one the server calls while serving.
+  InferenceServer(runtime::InferenceSession& session,
+                  ServerOptions options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Bind + listen on loopback. After an OK, port() is the bound port and
+  /// run() will serve. Calling start() twice is kAlreadyExists.
+  Status start();
+  std::uint16_t port() const { return port_; }
+
+  /// Serve until shutdown(). Blocks; the calling thread becomes the loop
+  /// thread. Requires a successful start().
+  void run();
+
+  /// Graceful shutdown from any thread (idempotent): stop accepting and
+  /// reading, drain in-flight submits, flush and close every connection,
+  /// then run() returns. A peer that never drains its socket can stall
+  /// the flush; loopback test/bench clients always read.
+  void shutdown();
+
+  // --- observability (any thread) ------------------------------------------
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requests_received() const {
+    return requests_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t responses_sent() const {
+    return responses_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t error_responses() const {
+    return error_responses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;  ///< stable across fd reuse, keys completions
+    int fd = -1;
+    std::vector<std::uint8_t> in;   ///< bytes read, frames not yet decoded
+    std::vector<std::uint8_t> out;  ///< encoded responses not yet written
+    std::size_t out_at = 0;         ///< bytes of `out` already written
+    std::uint64_t in_flight = 0;    ///< submits not yet answered
+  };
+
+  /// One submitted request awaiting its completion callback.
+  struct PendingEntry {
+    std::uint64_t connection = 0;  ///< Connection::id
+    std::uint64_t request = 0;     ///< wire request id
+    runtime::PendingResult result;
+  };
+
+  // Loop-thread handlers.
+  void on_accept(std::uint32_t events);
+  void on_connection_event(int fd, std::uint32_t events);
+  void on_wakeup();
+  void read_frames(Connection& conn);
+  void submit_request(Connection& conn, Request request);
+  void flush_writes(Connection& conn);
+  void queue_response(Connection& conn, const Response& response);
+  void close_connection(Connection& conn);
+  void begin_shutdown();
+  void maybe_finish_shutdown();
+  std::uint32_t interest_for(const Connection& conn) const;
+
+  runtime::InferenceSession& session_;
+  ServerOptions options_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;  // by fd
+  std::unordered_map<std::uint64_t, Connection*> by_id_;
+  std::uint64_t next_connection_id_ = 1;
+
+  std::unordered_map<std::uint64_t, PendingEntry> pending_;  // by token
+  std::uint64_t next_token_ = 1;
+
+  /// Completion tokens queued by pool-worker on_ready hooks; drained by
+  /// the loop thread after a self-pipe wakeup.
+  std::mutex done_mutex_;
+  std::vector<std::uint64_t> done_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  bool shutting_down_ = false;  ///< loop thread: begin_shutdown() ran
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_received_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> error_responses_{0};
+};
+
+}  // namespace nvsoc::server

@@ -20,8 +20,18 @@
 // baseline (weight bytes back in place, everything else back to zero) and
 // only the new packed input is written — eliminating the per-image sparse
 // allocation and multi-MB weight-blob copy of a from-scratch arena.
-// Bit-exactness is preserved by construction: after a reset the arena is
-// byte-identical to a freshly preloaded one.
+//
+// The reset itself is *surface-aware*: from the recorded op descriptors
+// the engine proves (replay_access_ranges + a read-before-write audit)
+// which pages the schedule fully rewrites before ever reading — the
+// intermediate/output surfaces — and skips restoring those "resident"
+// pages entirely; only partially-written pages and pages the plan cannot
+// vouch for are memcpy/memset-restored. A schedule whose audit finds a
+// read of not-yet-written plan bytes (it never happens for compiled
+// networks — ops chain forward) falls back to the full dirty-page reset.
+// Bit-exactness is preserved by construction either way: every byte a
+// replay reads is baseline, fresh input, or written earlier in that same
+// replay.
 #pragma once
 
 #include <atomic>
@@ -64,19 +74,45 @@ class ReplayEngine {
   std::uint64_t images_replayed() const {
     return images_replayed_.load(std::memory_order_relaxed);
   }
+  /// Pages actually memcpy/memset-restored across every reset — the cost
+  /// the surface-aware plan is there to shrink.
+  std::uint64_t pages_restored() const {
+    return pages_restored_.load(std::memory_order_relaxed);
+  }
+  /// Resident pages the current write plan proved self-cleaning (fully
+  /// rewritten by the schedule before any read — skipped on every reset).
+  std::uint32_t resident_pages() const {
+    return resident_pages_.load(std::memory_order_relaxed);
+  }
+  /// Write plans whose read-before-write audit failed, forcing the full
+  /// dirty-page reset (expected 0 for compiled networks).
+  std::uint32_t unsafe_plans() const {
+    return unsafe_plans_.load(std::memory_order_relaxed);
+  }
 
  private:
   class Arena;
+  struct WritePlan;
 
   Arena* acquire(const compiler::Loadable& loadable);
   void release(Arena* arena);
+  /// The cached surface-aware reset plan for `ops` (recomputed when the
+  /// schedule identity changes — in practice one schedule per engine).
+  std::shared_ptr<const WritePlan> plan_for(
+      std::span<const nvdla::ReplayOp> ops);
 
   nvdla::NvdlaConfig config_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<Arena>> arenas_;  ///< all ever built
   std::vector<Arena*> free_;                    ///< checked-in, ready to reset
+  const nvdla::ReplayOp* plan_key_ = nullptr;   ///< ops identity of plan_
+  std::size_t plan_ops_ = 0;
+  std::shared_ptr<const WritePlan> plan_;
   std::atomic<std::uint32_t> arenas_built_{0};
   std::atomic<std::uint64_t> images_replayed_{0};
+  std::atomic<std::uint64_t> pages_restored_{0};
+  std::atomic<std::uint32_t> resident_pages_{0};
+  std::atomic<std::uint32_t> unsafe_plans_{0};
 };
 
 }  // namespace nvsoc::vp

@@ -397,6 +397,102 @@ TEST(ElasticPool, RaisingTheCapEnablesFurtherGrowth) {
   for (auto& future : futures) future.get();
 }
 
+TEST(ElasticPool, IdleReaperRetiresBurstWorkersToTheFloor) {
+  ThreadPool pool(1, 4);
+  pool.set_idle_timeout(std::chrono::milliseconds(20));
+  EXPECT_EQ(pool.idle_timeout(), std::chrono::milliseconds(20));
+
+  // Burst: grow to the cap with blocked tasks (busy workers are never
+  // reaped, however long the task runs).
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  std::atomic<int> running{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&running, release] {
+      running.fetch_add(1);
+      release.wait();
+    }));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.load() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.worker_count(), 4u);
+  EXPECT_EQ(pool.workers_reaped(), 0u);
+  gate.set_value();
+  for (auto& future : futures) future.get();
+
+  // Quiet period: the three elastic workers retire; the construction-time
+  // floor worker parks indefinitely.
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.worker_count() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.workers_reaped(), 3u);
+
+  // The shrunken pool still serves work and regrows for the next burst.
+  std::promise<void> gate2;
+  std::shared_future<void> release2 = gate2.get_future().share();
+  std::atomic<int> running2{0};
+  std::vector<std::future<void>> futures2;
+  for (int i = 0; i < 8; ++i) {
+    futures2.push_back(pool.submit([&running2, release2] {
+      running2.fetch_add(1);
+      release2.wait();
+    }));
+  }
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running2.load() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.worker_count(), 4u);
+  gate2.set_value();
+  for (auto& future : futures2) future.get();
+}
+
+TEST(ElasticPool, ReaperIsOffByDefaultAndHonoursTheFloor) {
+  ThreadPool pool(2, 4);
+  EXPECT_EQ(pool.idle_timeout(), std::chrono::milliseconds(0));
+
+  // Grow to the cap, then go idle with the reaper disabled: the grown
+  // size sticks (the pre-reaper contract the batch tests rely on).
+  std::promise<void> gate;
+  std::shared_future<void> release = gate.get_future().share();
+  std::atomic<int> running{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&running, release] {
+      running.fetch_add(1);
+      release.wait();
+    }));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.load() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gate.set_value();
+  for (auto& future : futures) future.get();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(pool.worker_count(), 4u);
+  EXPECT_EQ(pool.workers_reaped(), 0u);
+
+  // Enabling the reaper mid-life takes effect on the already-parked
+  // workers, and retirement stops exactly at the construction floor.
+  pool.set_idle_timeout(std::chrono::milliseconds(5));
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.worker_count() > 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.worker_count(), 2u);
+  EXPECT_EQ(pool.workers_reaped(), 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(pool.worker_count(), 2u) << "reaper must never cross the floor";
+}
+
 TEST(ElasticPool, BatchHintIsClampedToTheBatchSize) {
   InferenceSession session(models::lenet5());
   const auto images = synthetic_batch(session.network(), 2, 6800);

@@ -34,6 +34,46 @@ std::vector<std::vector<float>> synthetic_batch(const compiler::Network& net,
 }
 
 // ---------------------------------------------------------------------------
+// Surface-aware arena reset
+// ---------------------------------------------------------------------------
+
+/// The reset planner proves, from the recorded op descriptors, which pages
+/// the schedule fully rewrites before reading (resident pages) and skips
+/// restoring them — while outputs stay bit-exact against full simulation,
+/// including on later rounds where the skipped pages actually hold the
+/// previous image's data.
+TEST(SurfaceAwareReset, ResidentPagesSkipRestoreBitExactly) {
+  const auto images = synthetic_batch(models::lenet5(), 3, 4300);
+  InferenceSession session(models::lenet5());
+  InferenceSession full(models::lenet5());
+  full.set_repack_enabled(false);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const auto replayed = session.run("vp", images[i]);
+      const auto simulated = full.run("vp", images[i]);
+      ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+      ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
+      EXPECT_EQ(replayed->output, simulated->output)
+          << "round " << round << " image " << i;
+    }
+  }
+
+  const auto& schedule = session.prepare(images[0]).replay_schedule();
+  const auto& engine = schedule.engine(session.config().nvdla);
+  // A compiled network's ops chain forward: the read-before-write audit
+  // must pass, and the intermediate/output surfaces span whole pages.
+  EXPECT_EQ(engine.unsafe_plans(), 0u);
+  EXPECT_GT(engine.resident_pages(), 0u);
+  EXPECT_EQ(engine.images_replayed(), 5u);  // round-1 image 0 was the trace
+  // The skipped restores are real savings: a surface-blind reset would
+  // have restored every resident page on every replayed image on top of
+  // what was actually restored.
+  EXPECT_LT(engine.pages_restored(),
+            engine.images_replayed() *
+                static_cast<std::uint64_t>(engine.resident_pages()));
+}
+
+// ---------------------------------------------------------------------------
 // Bit-exactness vs full simulation
 // ---------------------------------------------------------------------------
 
