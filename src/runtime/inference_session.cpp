@@ -37,13 +37,16 @@ bool same_image(const core::PreparedModel& model,
 // ---------------------------------------------------------------------------
 
 void PendingResult::State::complete(StatusOr<ExecutionResult> value) {
-  std::function<void()> hook;
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    result.emplace(std::move(value));
-    hook = std::move(callback);
-    callback = nullptr;
-  }
+  // The hook fires while the mutex is held: cancel_ready() takes the same
+  // lock, so once it returns, a concurrent invocation has finished and no
+  // later one can start — the contract that lets a hook's captured owner
+  // destroy itself. Hooks are cheap by contract (wake an event loop) and
+  // never reenter this PendingResult, so holding the lock is safe; get()
+  // waiters wake right after the unlock.
+  std::lock_guard<std::mutex> lock(mutex);
+  result.emplace(std::move(value));
+  std::function<void()> hook = std::move(callback);
+  callback = nullptr;
   cv.notify_all();
   if (hook) {
     try {
@@ -97,6 +100,15 @@ void PendingResult::on_ready(std::function<void()> callback) {
     callback();
   } catch (...) {
   }
+}
+
+void PendingResult::cancel_ready() {
+  if (state_ == nullptr) return;
+  // Taking the mutex is the synchronization: complete() invokes the hook
+  // with it held, so by the time the lock is ours any in-flight invocation
+  // has returned, and clearing the slot stops a future one.
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->callback = nullptr;
 }
 
 StagingHandle::StagingHandle(Status status) {

@@ -146,6 +146,14 @@ class PendingResult {
  public:
   PendingResult() = default;
 
+  // Move-only, like the std::future it replaced: the state is one-shot, and
+  // two handles silently sharing it would let a second get() observe a
+  // moved-from result instead of a compile error.
+  PendingResult(const PendingResult&) = delete;
+  PendingResult& operator=(const PendingResult&) = delete;
+  PendingResult(PendingResult&&) noexcept = default;
+  PendingResult& operator=(PendingResult&&) noexcept = default;
+
   /// False once get() has consumed the result (or for a default-constructed
   /// handle).
   bool valid() const;
@@ -162,6 +170,13 @@ class PendingResult {
   /// empty/consumed handle is a no-op that never invokes the callback.
   /// Exceptions thrown by the callback are swallowed.
   void on_ready(std::function<void()> callback);
+  /// Revoke a registered on_ready hook. On return the hook is guaranteed to
+  /// never run afterwards: a hook the producer is firing concurrently has
+  /// finished (cancel synchronizes with it through the state mutex), and a
+  /// hook still stored is dropped. Lets an owner whose hook captures `this`
+  /// destroy itself safely while the inference is still in flight; the
+  /// result itself stays collectable via get(). No-op on an empty handle.
+  void cancel_ready();
 
  private:
   friend class InferenceSession;
@@ -176,7 +191,9 @@ class PendingResult {
     std::function<void()> callback;  ///< pending on_ready hook, if any
 
     /// Producer side: publish the result, wake get() waiters, fire the
-    /// registered callback (outside the lock).
+    /// registered callback. The callback runs *under* the state mutex so
+    /// cancel_ready() can synchronize with an in-flight invocation — hooks
+    /// must therefore never call back into the same PendingResult.
     void complete(StatusOr<ExecutionResult> value);
   };
 

@@ -53,14 +53,19 @@ Status Client::connect(std::uint16_t port) {
 }
 
 Status Client::send(const Request& request) {
-  return send_bytes(encode_request(request));
+  auto frame = encode_request(request);
+  if (!frame.is_ok()) return frame.status();
+  return send_bytes(*frame);
 }
 
 Status Client::send_bytes(std::span<const std::uint8_t> bytes) {
   if (fd_ < 0) return Status(StatusCode::kInvalidArgument, "not connected");
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    // MSG_NOSIGNAL: a server that dropped the connection must surface as
+    // EPIPE in the Status, not as a process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;

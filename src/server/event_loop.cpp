@@ -53,7 +53,7 @@ EventLoop::~EventLoop() {
 
 void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback callback) {
   set_nonblocking(fd);
-  fds_[fd] = Registration{interest, std::move(callback)};
+  fds_[fd] = Registration{interest, std::move(callback), ++next_generation_};
 }
 
 void EventLoop::set_interest(int fd, std::uint32_t interest) {
@@ -76,13 +76,22 @@ void EventLoop::stop() {
 }
 
 void EventLoop::run() {
+  struct Ready {
+    int fd;
+    std::uint32_t events;
+    std::uint64_t generation;  ///< of the registration that was polled
+  };
   std::vector<pollfd> poll_set;
-  std::vector<std::pair<int, std::uint32_t>> ready;
+  std::vector<std::uint64_t> poll_gens;  // parallel to poll_set
+  std::vector<Ready> ready;
   while (!stop_.load(std::memory_order_acquire)) {
     poll_set.clear();
+    poll_gens.clear();
     poll_set.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    poll_gens.push_back(0);
     for (const auto& [fd, reg] : fds_) {
       poll_set.push_back(pollfd{fd, to_poll_events(reg.interest), 0});
+      poll_gens.push_back(reg.generation);
     }
 
     const int n = ::poll(poll_set.data(),
@@ -101,14 +110,25 @@ void EventLoop::run() {
 
     // Collect before dispatching: callbacks may add/remove registrations,
     // and must not invalidate the iteration or see stale pollfd slots.
+    // Each entry carries the generation of the registration it was polled
+    // for, captured when the poll set was built.
     ready.clear();
     for (std::size_t i = 1; i < poll_set.size(); ++i) {
       const std::uint32_t events = from_poll_events(poll_set[i].revents);
-      if (events != 0) ready.emplace_back(poll_set[i].fd, events);
+      if (events != 0) {
+        ready.push_back(Ready{poll_set[i].fd, events, poll_gens[i]});
+      }
     }
-    for (const auto& [fd, events] : ready) {
+    for (const auto& [fd, events, generation] : ready) {
       const auto it = fds_.find(fd);
       if (it == fds_.end()) continue;  // removed by an earlier callback
+      if (it->second.generation != generation) {
+        // The polled fd was closed earlier this round (wakeup hook or a
+        // prior callback) and the number reused by a new registration
+        // (same-round accept): these ready bits belong to the dead
+        // registration, not the new connection.
+        continue;
+      }
       // Copy the callback: the registration may be erased mid-call.
       const FdCallback callback = it->second.callback;
       callback(events);

@@ -66,12 +66,18 @@ class EventLoop {
   struct Registration {
     std::uint32_t interest = 0;
     FdCallback callback;
+    /// Stamped by add_fd: dispatch compares it against the value captured
+    /// when the ready set was collected, so an fd that is closed by one
+    /// callback and reused by a same-round accept never receives the old
+    /// registration's stale ready bits.
+    std::uint64_t generation = 0;
   };
 
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::unordered_map<int, Registration> fds_;
+  std::uint64_t next_generation_ = 0;
   std::function<void()> wakeup_;
 };
 

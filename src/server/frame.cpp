@@ -1,5 +1,6 @@
 #include "server/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/strfmt.hpp"
@@ -81,10 +82,24 @@ Status malformed(const char* what) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_request(const Request& request) {
+StatusOr<std::vector<std::uint8_t>> encode_request(const Request& request) {
+  constexpr std::size_t kU16Max = 0xffff;
+  if (request.backend.size() > kU16Max) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("backend spec of {} bytes exceeds the u16 wire "
+                         "length field",
+                         request.backend.size()));
+  }
+  const std::size_t payload_bytes =
+      8 + 2 + request.backend.size() + 4 + request.image.size() * sizeof(float);
+  if (payload_bytes > kMaxFrameBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  strfmt("request payload of {} bytes exceeds the {}-byte "
+                         "frame limit",
+                         payload_bytes, kMaxFrameBytes));
+  }
   std::vector<std::uint8_t> body;
-  body.reserve(8 + 2 + request.backend.size() + 4 +
-               request.image.size() * sizeof(float));
+  body.reserve(payload_bytes);
   put<std::uint64_t>(body, request.id);
   put<std::uint16_t>(body, static_cast<std::uint16_t>(request.backend.size()));
   body.insert(body.end(), request.backend.begin(), request.backend.end());
@@ -103,8 +118,14 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
     put<std::uint32_t>(body, static_cast<std::uint32_t>(response.output.size()));
     for (const float value : response.output) put<float>(body, value);
   } else {
-    put<std::uint16_t>(body, static_cast<std::uint16_t>(response.error.size()));
-    body.insert(body.end(), response.error.begin(), response.error.end());
+    // The error text is the only server-side field without a structural
+    // bound; clamp it to the u16 length field rather than truncate-cast
+    // and desynchronize every client on the stream.
+    const std::size_t error_len = std::min<std::size_t>(response.error.size(),
+                                                        0xffff);
+    put<std::uint16_t>(body, static_cast<std::uint16_t>(error_len));
+    body.insert(body.end(), response.error.begin(),
+                response.error.begin() + static_cast<std::ptrdiff_t>(error_len));
   }
   return with_length_prefix(std::move(body));
 }

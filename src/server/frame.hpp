@@ -59,8 +59,17 @@ struct Response {
   bool is_ok() const { return code == StatusCode::kOk; }
 };
 
-/// Serialize one frame, length prefix included.
-std::vector<std::uint8_t> encode_request(const Request& request);
+/// Serialize one request frame, length prefix included. Fails with
+/// kInvalidArgument when a field cannot be represented on the wire — a
+/// backend spec over 65535 bytes (u16 length) or a total payload over
+/// kMaxFrameBytes — so an oversized request is rejected at the call site
+/// instead of silently truncating a length field and desynchronizing the
+/// stream.
+StatusOr<std::vector<std::uint8_t>> encode_request(const Request& request);
+/// Serialize one response frame, length prefix included. Server-built
+/// responses always fit the wire limits (outputs are network-sized); the
+/// one unbounded field, the error text, is truncated to its u16 length
+/// ceiling rather than corrupting the frame.
 std::vector<std::uint8_t> encode_response(const Response& response);
 
 /// Try to decode one frame from the front of `buffer`. Returns the bytes

@@ -39,6 +39,14 @@ InferenceServer::InferenceServer(runtime::InferenceSession& session,
     : session_(session), options_(options) {}
 
 InferenceServer::~InferenceServer() {
+  // Requests can still be in flight here — run() exited abnormally (poll
+  // failure) or the server is being destroyed without a graceful shutdown.
+  // Their on_ready hooks capture `this`; revoke each one (cancel_ready
+  // synchronizes with a hook the pool worker is firing right now) so no
+  // worker touches done_mutex_/loop_ after this destructor frees them. The
+  // session keeps the orphaned results alive and drains them on its own
+  // teardown; dropping the handles leaks nothing.
+  for (auto& [token, entry] : pending_) entry.result.cancel_ready();
   for (auto& [fd, conn] : connections_) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
@@ -225,8 +233,10 @@ void InferenceServer::queue_response(Connection& conn,
 
 void InferenceServer::flush_writes(Connection& conn) {
   while (conn.out_at < conn.out.size()) {
-    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_at,
-                              conn.out.size() - conn.out_at);
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as EPIPE
+    // here, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_at,
+                             conn.out.size() - conn.out_at, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_at += static_cast<std::size_t>(n);
       continue;

@@ -29,6 +29,13 @@ using server::Request;
 using server::Response;
 using server::ServerOptions;
 
+/// Encode a request the test knows is wire-representable.
+std::vector<std::uint8_t> must_encode(const Request& request) {
+  auto frame = server::encode_request(request);
+  EXPECT_TRUE(frame.is_ok()) << frame.status().to_string();
+  return std::move(frame).value();
+}
+
 std::vector<std::vector<float>> synthetic_batch(const compiler::Network& net,
                                                 std::size_t count,
                                                 std::uint64_t first_seed) {
@@ -85,7 +92,7 @@ TEST(Frame, RequestRoundTrips) {
   request.id = 0x1122334455667788ull;
   request.backend = "soc?mode=replay";
   request.image = {1.5f, -2.25f, 0.0f, 3.0f};
-  const auto bytes = server::encode_request(request);
+  const auto bytes = must_encode(request);
 
   Request decoded;
   const auto consumed = server::decode_request(bytes, decoded);
@@ -131,7 +138,7 @@ TEST(Frame, IncompleteFramesAskForMoreBytes) {
   request.id = 9;
   request.backend = "vp";
   request.image = {1.0f, 2.0f};
-  const auto bytes = server::encode_request(request);
+  const auto bytes = must_encode(request);
   // Every proper prefix — the bare length field included — is "not yet".
   for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
     Request decoded;
@@ -150,12 +157,47 @@ TEST(Frame, OversizedLengthPrefixIsRejectedNotAllocated) {
   EXPECT_EQ(consumed.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(Frame, OversizedRequestFieldsAreRejectedAtEncode) {
+  // A backend spec that cannot fit the u16 wire length field must fail at
+  // encode time, not truncate the length and desynchronize the stream.
+  Request request;
+  request.id = 1;
+  request.backend.assign(0x10000, 'x');
+  request.image = {1.0f};
+  const auto bad_backend = server::encode_request(request);
+  ASSERT_FALSE(bad_backend.is_ok());
+  EXPECT_EQ(bad_backend.status().code(), StatusCode::kInvalidArgument);
+
+  // An image pushing the payload past kMaxFrameBytes is a frame every
+  // decoder would reject; encode must refuse it up front.
+  request.backend = "vp";
+  request.image.assign(server::kMaxFrameBytes / sizeof(float), 0.0f);
+  const auto bad_image = server::encode_request(request);
+  ASSERT_FALSE(bad_image.is_ok());
+  EXPECT_EQ(bad_image.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Frame, OversizedErrorTextIsClampedNotCorrupted) {
+  Response error;
+  error.id = 3;
+  error.code = StatusCode::kInternal;
+  error.error.assign(0x10000, 'e');  // one byte past the u16 ceiling
+  const auto bytes = server::encode_response(error);
+  Response decoded;
+  const auto consumed = server::decode_response(bytes, decoded);
+  ASSERT_TRUE(consumed.is_ok()) << consumed.status().to_string();
+  EXPECT_EQ(*consumed, bytes.size());
+  EXPECT_EQ(decoded.code, StatusCode::kInternal);
+  EXPECT_EQ(decoded.error.size(), 0xffffu);
+  EXPECT_EQ(decoded.error, error.error.substr(0, 0xffff));
+}
+
 TEST(Frame, ContradictoryInnerLengthsAreMalformed) {
   Request request;
   request.id = 9;
   request.backend = "vp";
   request.image = {1.0f};
-  auto bytes = server::encode_request(request);
+  auto bytes = must_encode(request);
   // Corrupt the backend length to reach past the payload.
   bytes[server::kLengthPrefixBytes + 8] = 0xff;
   bytes[server::kLengthPrefixBytes + 9] = 0xff;
@@ -349,7 +391,7 @@ TEST(Robustness, MalformedAndOversizedFramesCloseTheConnection) {
     request.id = 1;
     request.backend = "vp";
     request.image = {1.0f};
-    auto bytes = server::encode_request(request);
+    auto bytes = must_encode(request);
     bytes[server::kLengthPrefixBytes + 8] = 0xff;
     bytes[server::kLengthPrefixBytes + 9] = 0xff;
     ASSERT_TRUE(client.send_bytes(bytes).is_ok());
@@ -382,7 +424,7 @@ TEST(Robustness, DisconnectMidRequestNeitherCrashesNorLeaks) {
     request.backend = "vp";
     request.image = images[0];
     ASSERT_TRUE(client.send(request).is_ok());
-    const auto full = server::encode_request(request);
+    const auto full = must_encode(request);
     ASSERT_TRUE(client
                     .send_bytes(std::span<const std::uint8_t>(full.data(),
                                                               full.size() / 2))

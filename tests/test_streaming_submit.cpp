@@ -10,8 +10,10 @@
 #include <chrono>
 #include <future>
 #include <thread>
+#include <type_traits>
 
 #include "models/models.hpp"
+#include "runtime/backend_registry.hpp"
 #include "runtime/backends.hpp"
 #include "runtime/inference_session.hpp"
 #include "runtime/thread_pool.hpp"
@@ -283,6 +285,62 @@ TEST(Submit, ResultsAreOneShot) {
   EXPECT_FALSE(empty.valid());
   EXPECT_FALSE(empty.ready());
   EXPECT_FALSE(empty.get().is_ok());
+}
+
+// Handles are move-only: copies would silently share the one-shot state.
+static_assert(!std::is_copy_constructible_v<PendingResult>);
+static_assert(!std::is_copy_assignable_v<PendingResult>);
+static_assert(std::is_move_constructible_v<PendingResult>);
+static_assert(std::is_move_assignable_v<PendingResult>);
+
+/// Blocks every run() until the shared gate opens — makes "the inference is
+/// still in flight" a certainty instead of a race in the hook tests below.
+class GatedBackend final : public runtime::ExecutionBackend {
+ public:
+  explicit GatedBackend(std::shared_future<void> gate)
+      : gate_(std::move(gate)) {}
+  std::string_view name() const override { return "gated"; }
+  std::string_view description() const override {
+    return "waits for the test's gate, then echoes the input";
+  }
+  StatusOr<runtime::ExecutionResult> run(
+      const core::PreparedModel& prepared,
+      const runtime::RunOptions&) const override {
+    gate_.wait();
+    runtime::ExecutionResult result;
+    result.backend = "gated";
+    result.output = prepared.input;
+    return result;
+  }
+
+ private:
+  std::shared_future<void> gate_;
+};
+
+TEST(Submit, CancelReadyRevokesTheCompletionHook) {
+  std::promise<void> release;
+  runtime::BackendRegistry registry;
+  ASSERT_TRUE(
+      registry.add(std::make_unique<GatedBackend>(release.get_future().share()))
+          .is_ok());
+  InferenceSession session(models::lenet5(), {}, &registry);
+
+  std::atomic<int> fired{0};
+  auto pending = session.submit("gated");
+  pending.on_ready([&fired] { fired.fetch_add(1); });
+  // The task is still parked on the gate, so the hook is still registered;
+  // after cancel_ready returns it must never run — even though the result
+  // itself still arrives.
+  pending.cancel_ready();
+  release.set_value();
+  const auto result = pending.get();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(fired.load(), 0);
+
+  // cancel_ready on an empty/consumed handle is a harmless no-op.
+  pending.cancel_ready();
+  PendingResult empty;
+  empty.cancel_ready();
 }
 
 TEST(Submit, SessionDestructionDrainsInFlightWork) {
