@@ -7,8 +7,10 @@
 //      stage, and every artifact is memoized inside the session.
 //   3. session.run("soc") executes on the Fig. 2 SoC model — pick any
 //      registered backend by name (soc, system_top, vp, linux_baseline) or
-//      configured-variant spec ("soc?mode=replay", "linux_baseline@25mhz");
-//      --help lists the full vocabulary.
+//      configured-variant spec ("soc?mode=cycle_accurate",
+//      "linux_baseline@25mhz"); --help lists the full vocabulary. The SoC
+//      backends serve by functional replay by default; ?mode=cycle_accurate
+//      opts back into simulating every image in full.
 //
 // Build & run:  ./build/examples/quickstart [backend-spec]
 #include <cstdio>

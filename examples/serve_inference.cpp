@@ -1,24 +1,36 @@
 // serve_inference: the network serving front end as a runnable binary.
 //
-// Opens an InferenceSession over a model-zoo network, pre-stages its
-// artifacts off the serving path (prepare_async), then serves framed
-// inference requests over loopback TCP until SIGINT/SIGTERM:
+// Opens an InferenceSession over one or more model-zoo networks,
+// pre-stages the whole variant fleet off the serving path (vector
+// prepare_async), then serves framed inference requests over loopback TCP
+// until SIGINT/SIGTERM:
 //
 //   ./build/examples/serve_inference                 # lenet5, port 7790
 //   ./build/examples/serve_inference --port=0        # ephemeral port
-//   ./build/examples/serve_inference --model=resnet18_cifar --backend=vp
+//   ./build/examples/serve_inference --backend=soc --replay-budget=8mib
+//       --models=lenet5,resnet18_cifar
+//
+// The first --models entry is the session's default model; the rest
+// register alongside it and are reachable per request with a
+// `?model=NAME` spec ("soc?model=resnet18_cifar"). --replay-budget bounds
+// the bytes replay residency may hold across models (schedules + arenas);
+// cold models shed arenas, then schedules, and re-stage transparently on
+// their next request.
 //
 // Protocol (see src/server/frame.hpp): length-prefixed binary frames,
 // request = id + backend spec + image floats, response = id + status +
 // output tensor (or error text), streamed in completion order. The
 // bench_serving_latency load generator and the Client class in
 // src/server/client.hpp speak it.
+#include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "models/models.hpp"
+#include "runtime/execution_backend.hpp"
 #include "runtime/inference_session.hpp"
 #include "server/inference_server.hpp"
 
@@ -35,40 +47,128 @@ const char* arg_value(const char* arg, const char* key) {
   return std::strncmp(arg, key, len) == 0 ? arg + len : nullptr;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= csv.size()) {
+    const std::size_t comma = csv.find(',', at);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > at) out.push_back(csv.substr(at, end - at));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+// Zoo names are spelled "LeNet-5"; accept the relaxed CLI spellings the
+// older --model flag taught people ("lenet5", "resnet18_cifar").
+std::string normalized(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+const nvsoc::models::ModelInfo* find_model(const std::string& name) {
+  const std::string want =
+      normalized(name == "resnet18_cifar" ? "ResNet-18" : name);
+  for (const auto& info : nvsoc::models::model_zoo()) {
+    if (normalized(info.name) == want) return &info;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nvsoc;
 
-  std::string model = "lenet5";
+  std::string models_csv = "lenet5";
   std::string backend = "vp";
+  std::string replay_budget;
   int port = 7790;
   for (int i = 1; i < argc; ++i) {
-    if (const char* v = arg_value(argv[i], "--model=")) {
-      model = v;
+    if (const char* v = arg_value(argv[i], "--models=")) {
+      models_csv = v;
+    } else if (const char* v = arg_value(argv[i], "--model=")) {
+      models_csv = v;  // legacy singular spelling
     } else if (const char* v = arg_value(argv[i], "--backend=")) {
       backend = v;
+    } else if (const char* v = arg_value(argv[i], "--replay-budget=")) {
+      replay_budget = v;
     } else if (const char* v = arg_value(argv[i], "--port=")) {
       port = std::atoi(v);
     } else {
       std::printf(
-          "usage: %s [--model=lenet5|resnet18_cifar] [--backend=SPEC] "
-          "[--port=N]\n\nServes framed inference requests over loopback "
-          "TCP; --port=0 binds an\nephemeral port (printed on startup). "
-          "The per-request backend spec in each\nframe wins; --backend "
-          "only picks what to pre-stage.\n",
+          "usage: %s [--models=NAME[,NAME...]] [--backend=SPEC] "
+          "[--replay-budget=SIZE] [--port=N]\n\nServes framed inference "
+          "requests over loopback TCP; --port=0 binds an\nephemeral port "
+          "(printed on startup). The first --models entry is the\ndefault "
+          "model; the rest are reachable with a '?model=NAME' spec in "
+          "the\nrequest's backend string. --replay-budget (e.g. 8mib) "
+          "bounds replay\nresidency across models. The per-request backend "
+          "spec in each frame wins;\n--backend only picks what to "
+          "pre-stage. Zoo models (case and\npunctuation insensitive): "
+          "LeNet-5, ResNet-18, ResNet-50, MobileNet,\nGoogleNet, "
+          "AlexNet.\n",
           argv[0]);
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
 
-  const compiler::Network net =
-      model == "resnet18_cifar" ? models::resnet18_cifar() : models::lenet5();
-  runtime::InferenceSession session(net);
+  const std::vector<std::string> model_names = split_csv(models_csv);
+  if (model_names.empty()) {
+    std::fprintf(stderr, "--models needs at least one zoo model name\n");
+    return 2;
+  }
+  std::vector<const models::ModelInfo*> fleet_models;
+  for (const auto& name : model_names) {
+    const models::ModelInfo* info = find_model(name);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+      return 2;
+    }
+    fleet_models.push_back(info);
+  }
+
+  runtime::InferenceSession session(fleet_models.front()->build());
+  for (std::size_t i = 1; i < fleet_models.size(); ++i) {
+    const models::ModelInfo* info = fleet_models[i];
+    if (const Status s = session.register_model(info->name, info->build());
+        !s.is_ok()) {
+      std::fprintf(stderr, "register %s: %s\n", info->name.c_str(),
+                   s.to_string().c_str());
+      return 2;
+    }
+  }
+
+  if (!replay_budget.empty()) {
+    const auto budget = runtime::parse_mem_size(replay_budget);
+    if (!budget.is_ok()) {
+      std::fprintf(stderr, "--replay-budget: %s\n",
+                   budget.status().to_string().c_str());
+      return 2;
+    }
+    session.set_replay_budget_bytes(*budget);
+  }
+
   // Long-lived server: return burst threads to the host between peaks.
   session.set_pool_idle_timeout(std::chrono::seconds(5));
-  // Front-load staging so the first request pays no one-time stall.
-  auto staged = session.prepare_async(backend);
+
+  // Front-load the whole fleet's staging so no model's first request pays
+  // a one-time stall: one vector prepare enqueues every (model, backend)
+  // variant's staging concurrently on the session pool.
+  std::vector<std::string> fleet;
+  fleet.push_back(backend);
+  for (std::size_t i = 1; i < fleet_models.size(); ++i) {
+    const char glue = backend.find('?') == std::string::npos ? '?' : '&';
+    fleet.push_back(backend + glue + "model=" + fleet_models[i]->name);
+  }
+  auto staged = session.prepare_async(fleet);
 
   server::ServerOptions options;
   options.port = static_cast<std::uint16_t>(port);
@@ -82,19 +182,32 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  std::printf("serving %s on 127.0.0.1:%u (staging '%s' in the background; "
-              "expects %zu-element images)\n",
-              net.name().c_str(), server.port(), backend.c_str(),
-              static_cast<std::size_t>(net.input_shape().elements()));
+  std::printf("serving %zu model(s) on 127.0.0.1:%u (staging %zu '%s' "
+              "variant(s) in the background)\n",
+              model_names.size(), server.port(), fleet.size(),
+              backend.c_str());
+  for (const auto& name : session.model_names()) {
+    std::printf("  model %s\n", name.c_str());
+  }
   std::fflush(stdout);
 
   server.run();  // until SIGINT/SIGTERM -> graceful drain
 
   std::printf("shut down: %llu connections, %llu requests, %llu responses "
-              "(%llu errors)\n",
+              "(%llu errors, %llu spec-cache hits)\n",
               static_cast<unsigned long long>(server.connections_accepted()),
               static_cast<unsigned long long>(server.requests_received()),
               static_cast<unsigned long long>(server.responses_sent()),
-              static_cast<unsigned long long>(server.error_responses()));
+              static_cast<unsigned long long>(server.error_responses()),
+              static_cast<unsigned long long>(server.spec_cache_hits()));
+  for (const auto& v : server.variant_stats()) {
+    std::printf("  variant %s model=%s staged=%d requests=%llu "
+                "stagings=%llu evictions=%llu resident=%llu B\n",
+                v.backend.c_str(), v.model.c_str(), v.staged ? 1 : 0,
+                static_cast<unsigned long long>(v.requests),
+                static_cast<unsigned long long>(v.stagings),
+                static_cast<unsigned long long>(v.evictions),
+                static_cast<unsigned long long>(v.resident_bytes));
+  }
   return 0;
 }

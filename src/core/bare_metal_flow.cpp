@@ -40,9 +40,22 @@ std::size_t ReplaySchedule::platform_record_count() const {
 
 vp::ReplayEngine& ReplaySchedule::engine(
     const nvdla::NvdlaConfig& config) const {
-  std::call_once(engine_once_,
-                 [&] { engine_ = std::make_unique<vp::ReplayEngine>(config); });
+  std::call_once(engine_once_, [&] {
+    engine_ = std::make_unique<vp::ReplayEngine>(config);
+    engine_live_.store(engine_.get(), std::memory_order_release);
+  });
   return *engine_;
+}
+
+std::uint64_t ReplaySchedule::resident_arena_bytes() const {
+  const vp::ReplayEngine* live =
+      engine_live_.load(std::memory_order_acquire);
+  return live != nullptr ? live->resident_bytes() : 0;
+}
+
+std::uint64_t ReplaySchedule::release_arenas() const {
+  vp::ReplayEngine* live = engine_live_.load(std::memory_order_acquire);
+  return live != nullptr ? live->release_free_arenas() : 0;
 }
 
 std::shared_ptr<const ReplaySchedule> make_replay_schedule(

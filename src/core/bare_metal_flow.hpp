@@ -143,6 +143,29 @@ struct ReplaySchedule {
     replays_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- byte accounting (the session's replay-budget eviction input) --------
+
+  /// Heap bytes of the recorded schedule itself. The op descriptors are
+  /// fixed-size PODs (no heap members), so the ops vector's capacity bounds
+  /// the footprint — this is the cost of keeping a cold variant *staged*
+  /// after its arenas are dropped.
+  std::uint64_t schedule_bytes() const {
+    return sizeof(ReplaySchedule) + ops.capacity() * sizeof(nvdla::ReplayOp);
+  }
+
+  /// Bytes currently held by the replay engine's arenas (0 until the first
+  /// replay builds one). Never constructs the engine — accounting a cold
+  /// schedule must not make it warmer.
+  std::uint64_t resident_arena_bytes() const;
+
+  /// Drop every checked-in replay arena, returning the bytes freed.
+  /// Replays in flight keep their checked-out arenas (they return to the
+  /// pool afterwards, reclaimable by a later call); the schedule and its
+  /// engine survive, and the next replay rebuilds an arena from the
+  /// loadable transparently. The session's byte-budget eviction drops
+  /// these before it ever considers dropping the schedule itself.
+  std::uint64_t release_arenas() const;
+
  private:
   struct PlatformOnce {
     std::once_flag once;
@@ -153,6 +176,9 @@ struct ReplaySchedule {
   mutable std::map<std::string, std::unique_ptr<PlatformOnce>> platforms_;
   mutable std::once_flag engine_once_;
   mutable std::unique_ptr<vp::ReplayEngine> engine_;
+  /// Published (release) inside the engine_once_ build so the accounting
+  /// accessors can reach a live engine without risking a call_once build.
+  mutable std::atomic<vp::ReplayEngine*> engine_live_{nullptr};
   mutable std::atomic<std::uint32_t> replays_{0};
 };
 

@@ -16,15 +16,19 @@ namespace nvsoc::runtime {
 
 /// Fig. 2: the generated bare-metal program runs on the standalone SoC.
 ///
-/// `?mode=replay` builds a functional-replay variant: the first run per
-/// (platform, flow) records the full cycle-accurate execution's
+/// Functional replay is the serving default (`?mode=replay`): the first
+/// run per (platform, flow) records the full cycle-accurate execution's
 /// input-independent envelope on the prepared model's replay schedule;
 /// every later image replays the functional op pipeline only — same
-/// outputs, same cycle counts, none of the µRISC-V ISS stepping. The
-/// default (`?mode=cycle_accurate`) simulates every image in full.
+/// outputs, same cycle counts, none of the µRISC-V ISS stepping.
+/// `?mode=cycle_accurate` opts a variant back into simulating every image
+/// in full (the parity/benchmark comparator), and a session whose replay
+/// engine is off (`set_replay_enabled(false)`) stages no schedule, so the
+/// default variant falls back to full execution too — the session-level
+/// opt-out.
 class SocBackend final : public ExecutionBackend {
  public:
-  explicit SocBackend(bool replay_mode = false) : replay_mode_(replay_mode) {}
+  explicit SocBackend(bool replay_mode = true) : replay_mode_(replay_mode) {}
 
   std::string_view name() const override { return "soc"; }
   std::string_view description() const override {
@@ -46,10 +50,10 @@ class SocBackend final : public ExecutionBackend {
 };
 
 /// Fig. 4: full board set-up — PS preload, SmartConnect switch, CDC, MIG.
-/// Supports `?mode=replay` exactly like SocBackend.
+/// Replay-by-default with the same `?mode=` opt-out as SocBackend.
 class SystemTopBackend final : public ExecutionBackend {
  public:
-  explicit SystemTopBackend(bool replay_mode = false)
+  explicit SystemTopBackend(bool replay_mode = true)
       : replay_mode_(replay_mode) {}
 
   std::string_view name() const override { return "system_top"; }

@@ -30,6 +30,11 @@ bool same_image(const core::PreparedModel& model,
          std::equal(image.begin(), image.end(), model.input.begin());
 }
 
+/// The spec key that routes a request to a registered model. It is a
+/// session-level concern, stripped before the registry ever sees the spec:
+/// backends know nothing about the model fleet.
+constexpr const char* kModelParam = "model";
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -133,25 +138,71 @@ Status StagingHandle::wait() {
 }
 
 // ---------------------------------------------------------------------------
-// InferenceSession
+// InferenceSession — construction and the model fleet
 // ---------------------------------------------------------------------------
 
 InferenceSession::InferenceSession(compiler::Network network,
                                    core::FlowConfig config,
                                    const BackendRegistry* registry)
-    : network_(std::move(network)),
-      config_(config),
-      registry_(registry) {}
+    : registry_(registry) {
+  std::string name = network.name();
+  auto state =
+      std::make_unique<ModelState>(name, std::move(network), config);
+  default_model_ = state.get();
+  models_.emplace(std::move(name), std::move(state));
+}
 
 InferenceSession::~InferenceSession() = default;
+
+Status InferenceSession::register_model(std::string name,
+                                        compiler::Network network,
+                                        core::FlowConfig config) {
+  if (name.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "register_model: model name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (models_.count(name) != 0) {
+    return Status(StatusCode::kAlreadyExists,
+                  strfmt("model '{}' is already registered", name));
+  }
+  auto state =
+      std::make_unique<ModelState>(name, std::move(network), config);
+  models_.emplace(std::move(name), std::move(state));
+  return Status::ok();
+}
+
+Status InferenceSession::register_model(std::string name,
+                                        compiler::Network network) {
+  // The default model's config is immutable after construction; reading it
+  // outside the lock is safe.
+  return register_model(std::move(name), std::move(network),
+                        default_model_->config);
+}
+
+std::vector<std::string> InferenceSession::model_names() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, state] : models_) names.push_back(name);
+  return names;
+}
+
+const compiler::Network& InferenceSession::network() const {
+  return default_model_->network;
+}
+
+const core::FlowConfig& InferenceSession::config() const {
+  return default_model_->config;
+}
 
 const BackendRegistry& InferenceSession::registry() const {
   return registry_ != nullptr ? *registry_ : BackendRegistry::global();
 }
 
-RunOptions InferenceSession::run_options() const {
+RunOptions InferenceSession::run_options(const ModelState& model) const {
   RunOptions options;
-  options.flow = config_;
+  options.flow = model.config;
   return options;
 }
 
@@ -176,57 +227,136 @@ void InferenceSession::set_pool_idle_timeout(std::chrono::milliseconds timeout) 
   if (pool_ != nullptr) pool_->set_idle_timeout(timeout);
 }
 
-const std::vector<float>& InferenceSession::default_input() {
+const std::vector<float>& InferenceSession::default_input_for(
+    ModelState& model) {
   std::lock_guard<std::mutex> lock(submit_mutex_);
-  if (default_input_.empty()) {
-    default_input_ =
-        compiler::synthetic_input(network_.input_shape(), config_.input_seed);
+  if (model.default_input.empty()) {
+    model.default_input = compiler::synthetic_input(
+        model.network.input_shape(), model.config.input_seed);
   }
-  return default_input_;
+  // The vector is filled once and never reassigned: the reference (and the
+  // contents) stay stable after the lock is released.
+  return model.default_input;
 }
 
-Status InferenceSession::check_image_shape(
-    std::span<const float> image) const {
-  if (image.size() == network_.input_shape().elements()) return Status::ok();
+const std::vector<float>& InferenceSession::default_input() {
+  return default_input_for(*default_model_);
+}
+
+Status InferenceSession::check_image_shape(const ModelState& model,
+                                           std::span<const float> image) {
+  if (image.size() == model.network.input_shape().elements()) {
+    return Status::ok();
+  }
   return Status(StatusCode::kInvalidArgument,
                 strfmt("input image has {} elements; network '{}' expects {}",
-                       image.size(), network_.name(),
-                       network_.input_shape().elements()));
+                       image.size(), model.network.name(),
+                       model.network.input_shape().elements()));
 }
+
+// ---------------------------------------------------------------------------
+// Spec resolution
+// ---------------------------------------------------------------------------
+
+StatusOr<InferenceSession::ResolvedSpec> InferenceSession::resolve(
+    const std::string& spec) {
+  auto parsed = BackendSpec::parse(spec);
+  if (!parsed.is_ok()) return parsed.status();
+  BackendSpec backend_spec = std::move(*parsed);
+
+  // Strip the session-level routing key before the registry sees the spec:
+  // "soc?mode=replay&model=resnet18" configures the same backend variant as
+  // "soc?mode=replay", routed to the 'resnet18' model.
+  std::string model_name;
+  const auto model_param = std::find_if(
+      backend_spec.params.begin(), backend_spec.params.end(),
+      [](const auto& kv) { return kv.first == kModelParam; });
+  if (model_param != backend_spec.params.end()) {
+    model_name = model_param->second;
+    backend_spec.params.erase(model_param);
+  }
+
+  const std::string canonical = backend_spec.canonical();
+  const auto found = registry().find(canonical);
+  if (!found.is_ok()) return found.status();
+
+  ResolvedSpec resolved;
+  resolved.backend_ = *found;
+  resolved.canonical_ = canonical;
+
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  ModelState* state = default_model_;
+  if (!model_name.empty()) {
+    const auto it = models_.find(model_name);
+    if (it == models_.end()) {
+      std::string known;
+      for (const auto& [name, unused] : models_) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      return Status(StatusCode::kNotFound,
+                    strfmt("backend spec '{}': unknown model '{}' "
+                           "(registered: {})",
+                           spec, model_name, known));
+    }
+    state = it->second.get();
+  }
+  resolved.state_ = state;
+  resolved.model_name_ = state->name;
+
+  // The variant row is created on first resolution and pinned for the
+  // session lifetime (map nodes are never erased), so the handle may keep a
+  // raw pointer.
+  auto [it, inserted] =
+      variants_.try_emplace(state->name + "|" + canonical);
+  if (inserted) {
+    it->second.backend_spec = canonical;
+    it->second.model = state->name;
+  }
+  resolved.variant_ = &it->second;
+  return resolved;
+}
+
+// ---------------------------------------------------------------------------
+// Staging (shared helpers)
+// ---------------------------------------------------------------------------
 
 std::shared_ptr<const core::FrontendArtifacts>
 InferenceSession::build_frontend(
-    std::span<const float> calibration_image) const {
+    const ModelState& model, std::span<const float> calibration_image) const {
   auto frontend = std::make_shared<core::FrontendArtifacts>();
-  frontend->model_name = network_.name();
-  frontend->nvdla = config_.nvdla;
+  frontend->model_name = model.network.name();
+  frontend->nvdla = model.config.nvdla;
   frontend->weights =
-      compiler::NetWeights::synthetic(network_, config_.weight_seed);
+      compiler::NetWeights::synthetic(model.network, model.config.weight_seed);
   ++counters_.weights;
 
-  if (config_.precision == nvdla::Precision::kInt8) {
+  if (model.config.precision == nvdla::Precision::kInt8) {
     // Calibrated on the default (synthetic) image, as the legacy flow did.
-    frontend->calibration =
-        compiler::calibrate(network_, frontend->weights, calibration_image);
+    frontend->calibration = compiler::calibrate(
+        model.network, frontend->weights, calibration_image);
     ++counters_.calibration;
   }
 
   frontend->loadable = compiler::compile(
-      network_, frontend->weights,
-      config_.precision == nvdla::Precision::kInt8 ? &frontend->calibration
-                                                   : nullptr,
-      compiler::CompileOptions::for_config(config_.nvdla, config_.precision));
+      model.network, frontend->weights,
+      model.config.precision == nvdla::Precision::kInt8
+          ? &frontend->calibration
+          : nullptr,
+      compiler::CompileOptions::for_config(model.config.nvdla,
+                                           model.config.precision));
   ++counters_.loadable;
   return frontend;
 }
 
-void InferenceSession::ensure_frontend() {
-  drain_staging();  // a pooled staging task may be building it right now
-  if (prepared_.has_frontend()) return;
-  prepared_.frontend = build_frontend(default_input());
+void InferenceSession::ensure_frontend(ModelState& model) {
+  drain_staging(model);  // a pooled staging task may be building it right now
+  if (model.prepared.has_frontend()) return;
+  model.prepared.frontend = build_frontend(model, default_input_for(model));
 }
 
-void InferenceSession::repack_into(core::PreparedModel& prepared,
+void InferenceSession::repack_into(const ModelState& model,
+                                   core::PreparedModel& prepared,
                                    std::span<const float> image) const {
   if (same_image(prepared, image)) {
     return;  // already packed for exactly this image
@@ -234,7 +364,7 @@ void InferenceSession::repack_into(core::PreparedModel& prepared,
   // Shape-check here (the reference executor used to do it implicitly):
   // repack only ever substitutes same-shape images, and the serving paths
   // must report a bad image before the backend chokes on packed garbage.
-  if (const Status s = check_image_shape(image); !s.is_ok()) {
+  if (const Status s = check_image_shape(model, image); !s.is_ok()) {
     throw std::runtime_error(std::string(s.message()));
   }
   prepared.input.assign(image.begin(), image.end());
@@ -259,58 +389,66 @@ void InferenceSession::set_repack_enabled(bool enabled) {
 }
 
 void InferenceSession::set_replay_enabled(bool enabled) {
-  drain_staging();
+  drain_all_staging();
+  std::lock_guard<std::mutex> lock(submit_mutex_);
   if (enabled == replay_enabled_) return;
   replay_enabled_ = enabled;
-  if (!enabled) {
-    if (prepared_.replay != nullptr) {
-      replay_base_ += prepared_.replay->replay_count();
-      prepared_.replay.reset();
+  for (auto& [name, state] : models_) {
+    ModelState& model = *state;
+    if (!enabled) {
+      if (model.prepared.replay != nullptr) {
+        model.replay_base += model.prepared.replay->replay_count();
+        model.prepared.replay.reset();
+      }
+    } else {
+      // Re-enabling: the schedule is recorded by a full trace, so force one
+      // on the next staging call (config file and program are reused when
+      // the CSB stream matches, which it always does for a same-shape
+      // image).
+      model.tail_done = false;
     }
-    return;
+    refresh_variants_staged_locked(model);
   }
-  // Re-enabling: the schedule is recorded by a full trace, so force one on
-  // the next staging call (config file and program are reused when the CSB
-  // stream matches, which it always does for a same-shape image).
-  tail_done_ = false;
 }
 
-void InferenceSession::ensure_reference() {
+void InferenceSession::ensure_reference(ModelState& model) {
   // The reference executor borrows the frozen weights; the frontend core is
-  // built once per session, so the reference stays valid for its lifetime.
-  if (!reference_.has_value()) {
-    reference_.emplace(network_, prepared_.frontend->weights);
+  // built once per model, so the reference stays valid for its lifetime.
+  if (!model.reference.has_value()) {
+    model.reference.emplace(model.network, model.prepared.frontend->weights);
   }
-  if (!prepared_.reference_output.empty()) return;
-  prepared_.reference_output = reference_->run_to(prepared_.input);
+  if (!model.prepared.reference_output.empty()) return;
+  model.prepared.reference_output =
+      model.reference->run_to(model.prepared.input);
 }
 
-void InferenceSession::stage_tail_into(core::PreparedModel& model,
+void InferenceSession::stage_tail_into(const ModelState& model,
+                                       core::PreparedModel& prepared,
                                        std::span<const float> image,
                                        bool record_replay) const {
   // Hoisted shape check: the full-trace path must reject a wrong-size
   // *first* image exactly like the repack path does, instead of packing
   // garbage into Loadable::pack_input / the VP.
-  if (const Status s = check_image_shape(image); !s.is_ok()) {
+  if (const Status s = check_image_shape(model, image); !s.is_ok()) {
     throw std::runtime_error(std::string(s.message()));
   }
-  const bool had_trace = model.has_tail();
+  const bool had_trace = prepared.has_tail();
 
-  model.input.assign(image.begin(), image.end());
+  prepared.input.assign(image.begin(), image.end());
   // The FP32 reference is lazy on this path too (see ensure_reference);
   // clear any previous image's tensor so a later prepare() recomputes it.
-  model.reference_output.clear();
+  prepared.reference_output.clear();
 
   auto tail = std::make_shared<core::TraceArtifacts>();
-  vp::VirtualPlatform platform(config_.nvdla);
-  tail->vp = platform.run(model.frontend->loadable, model.input);
+  vp::VirtualPlatform platform(model.config.nvdla);
+  tail->vp = platform.run(prepared.frontend->loadable, prepared.input);
   ++counters_.trace;
 
   // The full run just recorded a fresh replay schedule. A replay-disabled
   // session stages no schedule at all, so its snapshots re-simulate in
   // full; the per-image re-traces inside repack-disabled pooled tasks skip
   // it too (their task-local schedule could never be reused).
-  model.replay =
+  prepared.replay =
       record_replay ? core::make_replay_schedule(tail->vp) : nullptr;
 
   // When the new trace programs the engine identically (it always does —
@@ -318,95 +456,111 @@ void InferenceSession::stage_tail_into(core::PreparedModel& model,
   // program are reused from the previous shared core instead of
   // regenerated. The old core itself is immutable: snapshots handed to
   // in-flight tasks keep it alive and untouched.
-  if (had_trace && model.tail->vp.trace.csb == tail->vp.trace.csb) {
-    tail->config_file = model.tail->config_file;
-    tail->program = model.tail->program;
+  if (had_trace && prepared.tail->vp.trace.csb == tail->vp.trace.csb) {
+    tail->config_file = prepared.tail->config_file;
+    tail->program = prepared.tail->program;
   } else {
     tail->config_file = toolflow::ConfigFile::from_trace(tail->vp.trace);
     ++counters_.config_file;
     toolflow::AsmOptions asm_options;
-    asm_options.wait_mode = config_.wait_mode;
+    asm_options.wait_mode = model.config.wait_mode;
     tail->program = toolflow::generate_program(tail->config_file, asm_options);
     ++counters_.program;
   }
 
-  model.tail = std::move(tail);
-  model.vp_matches_input = true;
-  model.vp_refresh = std::make_shared<core::PreparedModel::VpRefreshMemo>();
+  prepared.tail = std::move(tail);
+  prepared.vp_matches_input = true;
+  prepared.vp_refresh = std::make_shared<core::PreparedModel::VpRefreshMemo>();
 }
 
-void InferenceSession::ensure_tail(std::span<const float> image) {
-  ensure_frontend();  // drains any in-flight async staging first
-  if (tail_done_ && same_image(prepared_, image)) {
+void InferenceSession::ensure_tail(ModelState& model,
+                                   std::span<const float> image) {
+  ensure_frontend(model);  // drains any in-flight async staging first
+  if (model.tail_done && same_image(model.prepared, image)) {
     return;
   }
 
   // Repack fast path: once one image has been traced, the CSB stream —
   // hence config file and program — is known to be input-independent, so a
   // same-shape image only needs its input-dependent surfaces refreshed.
-  if (tail_done_ && repack_enabled_ &&
-      prepared_.input.size() == image.size()) {
-    tail_done_ = false;  // invalidate while mutating (repack can throw)
-    repack_into(prepared_, image);
+  if (model.tail_done && repack_enabled_ &&
+      model.prepared.input.size() == image.size()) {
+    model.tail_done = false;  // invalidate while mutating (repack can throw)
+    repack_into(model, model.prepared, image);
     ++counters_.repack;
-    tail_done_ = true;
+    model.tail_done = true;
     return;
   }
 
   // Reject a bad shape before invalidating anything: a wrong-size image
   // must not cost a valid staged tail its memo (and the re-trace that
   // would follow).
-  if (const Status s = check_image_shape(image); !s.is_ok()) {
+  if (const Status s = check_image_shape(model, image); !s.is_ok()) {
     throw std::runtime_error(std::string(s.message()));
   }
 
   // Invalidate before mutating: if a stage below throws, the next call must
   // not memo-hit on artifacts that belong to a different image.
-  tail_done_ = false;
-  auto outgoing_schedule = prepared_.replay;
-  stage_tail_into(prepared_, image, replay_enabled_);
+  model.tail_done = false;
+  auto outgoing_schedule = model.prepared.replay;
+  stage_tail_into(model, model.prepared, image, replay_enabled_);
   // The trace succeeded and replaced the schedule; fold the outgoing
   // schedule's tally into the counters it vanishes from.
   if (outgoing_schedule != nullptr) {
-    replay_base_ += outgoing_schedule->replay_count();
+    model.replay_base += outgoing_schedule->replay_count();
   }
-  tail_done_ = true;
+  model.tail_done = true;
 }
 
 // ---------------------------------------------------------------------------
 // Async staging
 // ---------------------------------------------------------------------------
 
-void InferenceSession::start_staging_locked(std::span<const float> image) {
+void InferenceSession::note_staging_issued() {
+  const std::uint32_t now =
+      counters_.staging_in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint32_t peak = counters_.staging_peak.load(std::memory_order_relaxed);
+  while (peak < now && !counters_.staging_peak.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void InferenceSession::note_staging_done() {
+  counters_.staging_in_flight.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void InferenceSession::start_staging_locked(ModelState& model,
+                                            std::span<const float> image) {
   auto latch = std::make_shared<StagingLatch>();
   latch->done = latch->promise.get_future().share();
 
   // The task owns a private snapshot (sharing whatever immutable cores are
-  // already staged) plus copies of the inputs it needs; it touches no
-  // session state beyond the atomic counters, and publishes through the
-  // latch — the promise/future edge sequences every later read of
-  // `staged`.
-  core::PreparedModel base = prepared_;
+  // already staged) plus copies of the inputs it needs; it reads only the
+  // model's immutable identity (network, config) beyond the atomic
+  // counters, and publishes through the latch — the promise/future edge
+  // sequences every later read of `staged`.
+  core::PreparedModel base = model.prepared;
   std::vector<float> calibration_image;
   if (!base.has_frontend()) {
-    if (default_input_.empty()) {
-      default_input_ = compiler::synthetic_input(network_.input_shape(),
-                                                 config_.input_seed);
+    if (model.default_input.empty()) {
+      model.default_input = compiler::synthetic_input(
+          model.network.input_shape(), model.config.input_seed);
     }
-    calibration_image = default_input_;
+    calibration_image = model.default_input;
   }
   const bool record_replay = replay_enabled_;
   ++counters_.async_stagings;
+  note_staging_issued();
   pool_locked(0).submit(
-      [this, latch, base = std::move(base),
+      [this, latch, state = &model, base = std::move(base),
        image = std::vector<float>(image.begin(), image.end()),
        calibration_image = std::move(calibration_image),
        record_replay]() mutable {
         try {
           if (!base.has_frontend()) {
-            base.frontend = build_frontend(calibration_image);
+            base.frontend = build_frontend(*state, calibration_image);
           }
-          stage_tail_into(base, image, record_replay);
+          stage_tail_into(*state, base, image, record_replay);
           latch->staged = std::move(base);
           latch->promise.set_value(Status::ok());
         } catch (const std::exception& e) {
@@ -420,37 +574,43 @@ void InferenceSession::start_staging_locked(std::span<const float> image) {
               Status(StatusCode::kInternal,
                      "staging task failed with a non-standard exception"));
         }
+        note_staging_done();
       });
-  staging_ = latch;
+  model.staging = latch;
 }
 
-void InferenceSession::try_adopt_staging_locked() {
-  if (staging_ == nullptr ||
-      staging_->done.wait_for(std::chrono::seconds(0)) !=
+void InferenceSession::try_adopt_staging_locked(ModelState& model) {
+  if (model.staging == nullptr ||
+      model.staging->done.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
     return;
   }
-  const Status status = staging_->done.get();
+  const Status status = model.staging->done.get();
   if (status.is_ok()) {
-    auto outgoing_schedule = prepared_.replay;
+    auto outgoing_schedule = model.prepared.replay;
     // Copy, don't move: tasks already queued behind the latch still read
     // its `staged` model.
-    prepared_ = staging_->staged;
+    model.prepared = model.staging->staged;
     if (outgoing_schedule != nullptr &&
-        outgoing_schedule != prepared_.replay) {
-      replay_base_ += outgoing_schedule->replay_count();
+        outgoing_schedule != model.prepared.replay) {
+      model.replay_base += outgoing_schedule->replay_count();
     }
-    tail_done_ = true;
+    model.tail_done = true;
   }
   // A failed staging is simply dropped: the next submit (or session-thread
   // staging call) retries from the pre-staging state.
-  staging_.reset();
+  model.staging.reset();
+  refresh_variants_staged_locked(model);
 }
 
-void InferenceSession::drain_staging() {
+void InferenceSession::try_adopt_all_locked() {
+  for (auto& [name, state] : models_) try_adopt_staging_locked(*state);
+}
+
+void InferenceSession::drain_staging(ModelState& model) {
   std::unique_lock<std::mutex> lock(submit_mutex_);
-  while (staging_ != nullptr) {
-    auto latch = staging_;
+  while (model.staging != nullptr) {
+    auto latch = model.staging;
     // Wait on a private future copy (taken under the lock): every other
     // accessor of the latch's shared_future does the same, so no two
     // threads ever wait through one shared_future object.
@@ -458,9 +618,153 @@ void InferenceSession::drain_staging() {
     lock.unlock();
     done.wait();
     lock.lock();
-    if (staging_ == latch) try_adopt_staging_locked();
+    if (model.staging == latch) try_adopt_staging_locked(model);
   }
 }
+
+void InferenceSession::drain_all_staging() {
+  std::vector<ModelState*> all;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    all.reserve(models_.size());
+    for (auto& [name, state] : models_) all.push_back(state.get());
+  }
+  // ModelState nodes are pinned for the session lifetime; draining outside
+  // the collection lock is safe.
+  for (ModelState* model : all) drain_staging(*model);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-budgeted replay residency
+// ---------------------------------------------------------------------------
+
+const core::ReplaySchedule* InferenceSession::live_schedule_locked(
+    const ModelState& model) const {
+  if (model.prepared.replay != nullptr) return model.prepared.replay.get();
+  if (model.staging != nullptr &&
+      model.staging->done.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready &&
+      model.staging->staged.replay != nullptr) {
+    // Staged but not yet adopted: the latch's schedule is the live one.
+    return model.staging->staged.replay.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t InferenceSession::model_resident_bytes_locked(
+    const ModelState& model) const {
+  const core::ReplaySchedule* schedule = live_schedule_locked(model);
+  if (schedule == nullptr) return 0;
+  return schedule->schedule_bytes() + schedule->resident_arena_bytes();
+}
+
+void InferenceSession::note_use_locked(ModelState& model,
+                                       VariantState* variant) {
+  model.last_used = ++use_tick_;
+  if (variant != nullptr) {
+    ++variant->requests;
+    variant->last_used = use_tick_;
+  }
+}
+
+void InferenceSession::refresh_variants_staged_locked(
+    const ModelState& model) {
+  const bool staged = live_schedule_locked(model) != nullptr;
+  for (auto& [key, variant] : variants_) {
+    if (variant.model == model.name) variant.staged = staged;
+  }
+}
+
+void InferenceSession::evict_schedule_locked(ModelState& model) {
+  if (model.prepared.replay == nullptr) return;
+  model.replay_base += model.prepared.replay->replay_count();
+  model.prepared.replay.reset();
+  // The next use re-stages transparently: one re-trace (config file and
+  // program are reused — the CSB stream matches), then back to replaying.
+  model.tail_done = false;
+  ++counters_.evictions;
+  for (auto& [key, variant] : variants_) {
+    if (variant.model != model.name) continue;
+    if (variant.staged) ++variant.evictions;
+    variant.staged = false;
+  }
+}
+
+void InferenceSession::enforce_budget_locked(ModelState* just_used) {
+  if (replay_budget_bytes_ == 0) return;
+  const auto total = [&] {
+    std::uint64_t bytes = 0;
+    for (const auto& [name, state] : models_) {
+      bytes += model_resident_bytes_locked(*state);
+    }
+    return bytes;
+  };
+  if (total() <= replay_budget_bytes_) return;
+
+  // Cold models (never the one driving this use), least recently used
+  // first.
+  std::vector<ModelState*> cold;
+  for (auto& [name, state] : models_) {
+    if (state.get() == just_used) continue;
+    if (live_schedule_locked(*state) == nullptr) continue;
+    cold.push_back(state.get());
+  }
+  std::sort(cold.begin(), cold.end(),
+            [](const ModelState* a, const ModelState* b) {
+              return a->last_used < b->last_used;
+            });
+
+  // Pass 1: drop cold models' arenas — a pure cache (cheap to shed, rebuilt
+  // by the next replay), so it always goes before any schedule.
+  for (ModelState* model : cold) {
+    const core::ReplaySchedule* schedule = live_schedule_locked(*model);
+    if (schedule != nullptr) schedule->release_arenas();
+    if (total() <= replay_budget_bytes_) return;
+  }
+
+  // Pass 2: evict cold schedules outright (LRU order). A model whose
+  // staging is still in flight is skipped — its schedule is about to be
+  // adopted and used.
+  for (ModelState* model : cold) {
+    if (model->staging != nullptr) continue;
+    evict_schedule_locked(*model);
+    if (total() <= replay_budget_bytes_) return;
+  }
+
+  // Pass 3: the hot model sheds its own idle arenas; its schedule is never
+  // evicted (it is in use right now — dropping it would thrash).
+  if (just_used != nullptr) {
+    const core::ReplaySchedule* schedule = live_schedule_locked(*just_used);
+    if (schedule != nullptr) schedule->release_arenas();
+  }
+}
+
+void InferenceSession::set_replay_budget_bytes(std::uint64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  replay_budget_bytes_ = budget_bytes;
+  // Enforce immediately so a freshly lowered budget takes effect without
+  // waiting for the next request.
+  try_adopt_all_locked();
+  enforce_budget_locked(nullptr);
+}
+
+std::uint64_t InferenceSession::replay_budget_bytes() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return replay_budget_bytes_;
+}
+
+std::uint64_t InferenceSession::replay_resident_bytes() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::uint64_t bytes = 0;
+  for (const auto& [name, state] : models_) {
+    bytes += model_resident_bytes_locked(*state);
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Counters and per-variant stats
+// ---------------------------------------------------------------------------
 
 StageCounters InferenceSession::counters() const {
   StageCounters snapshot;
@@ -473,52 +777,77 @@ StageCounters InferenceSession::counters() const {
   snapshot.repack = counters_.repack.load(std::memory_order_relaxed);
   snapshot.async_stagings =
       counters_.async_stagings.load(std::memory_order_relaxed);
+  snapshot.staging_in_flight =
+      counters_.staging_in_flight.load(std::memory_order_relaxed);
+  snapshot.staging_peak =
+      counters_.staging_peak.load(std::memory_order_relaxed);
+  snapshot.evictions = counters_.evictions.load(std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(submit_mutex_);
-  const core::ReplaySchedule* schedule = prepared_.replay.get();
-  if (staging_ != nullptr &&
-      staging_->done.wait_for(std::chrono::seconds(0)) ==
-          std::future_status::ready &&
-      staging_->staged.replay != nullptr) {
-    // Staged but not yet adopted: the latch's schedule is the live one.
-    schedule = staging_->staged.replay.get();
+  for (const auto& [name, state] : models_) {
+    const core::ReplaySchedule* schedule = live_schedule_locked(*state);
+    snapshot.replay += state->replay_base.load(std::memory_order_relaxed) +
+                       (schedule != nullptr ? schedule->replay_count() : 0);
   }
-  snapshot.replay =
-      replay_base_.load(std::memory_order_relaxed) +
-      (schedule != nullptr ? schedule->replay_count() : 0);
   return snapshot;
 }
 
+std::vector<VariantStats> InferenceSession::variant_stats() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  std::vector<VariantStats> stats;
+  stats.reserve(variants_.size());
+  // The map key is "model|canonical spec": iteration order is already
+  // sorted by (model, spec).
+  for (const auto& [key, variant] : variants_) {
+    VariantStats row;
+    row.backend = variant.backend_spec;
+    row.model = variant.model;
+    row.staged = variant.staged;
+    row.requests = variant.requests;
+    row.stagings = variant.stagings;
+    row.evictions = variant.evictions;
+    const auto it = models_.find(variant.model);
+    if (it != models_.end()) {
+      row.resident_bytes = model_resident_bytes_locked(*it->second);
+    }
+    stats.push_back(std::move(row));
+  }
+  return stats;
+}
+
 // ---------------------------------------------------------------------------
-// Staged-artifact accessors
+// Staged-artifact accessors (default model)
 // ---------------------------------------------------------------------------
 
 const compiler::NetWeights& InferenceSession::weights() {
-  ensure_frontend();
-  return prepared_.frontend->weights;
+  ensure_frontend(*default_model_);
+  return default_model_->prepared.frontend->weights;
 }
 
 const compiler::CalibrationTable& InferenceSession::calibration() {
-  ensure_frontend();
-  return prepared_.frontend->calibration;
+  ensure_frontend(*default_model_);
+  return default_model_->prepared.frontend->calibration;
 }
 
 const compiler::Loadable& InferenceSession::loadable() {
-  ensure_frontend();
-  return prepared_.frontend->loadable;
+  ensure_frontend(*default_model_);
+  return default_model_->prepared.frontend->loadable;
 }
 
 const core::PreparedModel& InferenceSession::prepared() {
-  ensure_tail(default_input());
-  ensure_reference();
-  return prepared_;
+  return prepare_in(*default_model_, default_input());
 }
 
 const core::PreparedModel& InferenceSession::prepare(
     std::span<const float> image) {
-  ensure_tail(image);
-  ensure_reference();
-  return prepared_;
+  return prepare_in(*default_model_, image);
+}
+
+const core::PreparedModel& InferenceSession::prepare_in(
+    ModelState& model, std::span<const float> image) {
+  ensure_tail(model, image);
+  ensure_reference(model);
+  return model.prepared;
 }
 
 // ---------------------------------------------------------------------------
@@ -526,15 +855,33 @@ const core::PreparedModel& InferenceSession::prepare(
 // ---------------------------------------------------------------------------
 
 StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend) {
-  return run(backend, default_input());
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return resolved.status();
+  return run_resolved(*resolved, default_input_for(*resolved->state_));
 }
 
 StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend,
                                                 std::span<const float> image) {
-  const auto found = registry().find(backend);
-  if (!found.is_ok()) return found.status();
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return resolved.status();
+  return run_resolved(*resolved, image);
+}
+
+StatusOr<ExecutionResult> InferenceSession::run_resolved(
+    const ResolvedSpec& spec, std::span<const float> image) {
+  ModelState& model = *spec.state_;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    try_adopt_all_locked();
+    note_use_locked(model, spec.variant_);
+  }
   try {
-    return (*found)->run(prepare(image), run_options());
+    auto result = spec.backend_->run(prepare_in(model, image),
+                                     run_options(model));
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    refresh_variants_staged_locked(model);
+    enforce_budget_locked(&model);
+    return result;
   } catch (const std::exception& e) {
     // Stage failures (bad image shape, compile errors) keep the StatusOr
     // contract of the run() boundary.
@@ -543,15 +890,35 @@ StatusOr<ExecutionResult> InferenceSession::run(const std::string& backend,
 }
 
 PendingResult InferenceSession::submit(const std::string& backend) {
-  return submit(backend, default_input());
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return PendingResult(resolved.status());
+  return submit(*resolved);
 }
 
 PendingResult InferenceSession::submit(const std::string& backend,
                                        std::span<const float> image) {
-  const auto found = registry().find(backend);
-  if (!found.is_ok()) return PendingResult(found.status());
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return PendingResult(resolved.status());
+  return submit(*resolved, image);
+}
+
+PendingResult InferenceSession::submit(const ResolvedSpec& spec) {
+  if (!spec.valid()) {
+    return PendingResult(Status(StatusCode::kInvalidArgument,
+                                "submit() on an empty ResolvedSpec"));
+  }
+  return submit(spec, default_input_for(*spec.state_));
+}
+
+PendingResult InferenceSession::submit(const ResolvedSpec& spec,
+                                       std::span<const float> image) {
+  if (!spec.valid()) {
+    return PendingResult(Status(StatusCode::kInvalidArgument,
+                                "submit() on an empty ResolvedSpec"));
+  }
   try {
-    return submit_with(**found, image, run_options(), 0);
+    return submit_with(*spec.state_, spec.variant_, *spec.backend_, image,
+                       run_options(*spec.state_), 0);
   } catch (const std::exception& e) {
     // Pool construction (std::thread can throw std::system_error under
     // thread exhaustion) stays behind the StatusOr boundary too.
@@ -560,17 +927,18 @@ PendingResult InferenceSession::submit(const std::string& backend,
 }
 
 InferenceSession::StagingSource InferenceSession::staging_source_locked(
-    std::span<const float> image) {
+    ModelState& model, std::span<const float> image) {
   StagingSource source;
-  if (tail_done_ && staging_ == nullptr) {
-    source.snapshot = prepared_;  // staged & adopted: two refcounts + input
+  if (model.tail_done && model.staging == nullptr) {
+    // staged & adopted: two refcounts + input
+    source.snapshot = model.prepared;
     return source;
   }
   // First arrival — or arrivals racing the in-flight staging — queue
   // behind the staging latch instead of tracing on the calling thread.
-  if (staging_ == nullptr) start_staging_locked(image);
-  source.latch = staging_;
-  source.done = staging_->done;  // this task's own future copy
+  if (model.staging == nullptr) start_staging_locked(model, image);
+  source.latch = model.staging;
+  source.done = model.staging->done;  // this task's own future copy
   return source;
 }
 
@@ -586,13 +954,15 @@ Status InferenceSession::resolve_staged_model(StagingSource& source,
   return Status::ok();
 }
 
-PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
+PendingResult InferenceSession::submit_with(ModelState& model,
+                                            VariantState* variant,
+                                            const ExecutionBackend& backend,
                                             std::span<const float> image,
                                             const RunOptions& options,
                                             std::size_t worker_hint) {
   // Reject a wrong-size image — first or later — before any staging work,
   // identically to the run()/batch paths.
-  if (Status s = check_image_shape(image); !s.is_ok()) {
+  if (Status s = check_image_shape(model, image); !s.is_ok()) {
     return PendingResult(std::move(s));
   }
 
@@ -605,10 +975,14 @@ PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
   bool repack = true;
   {
     std::lock_guard<std::mutex> lock(submit_mutex_);
-    try_adopt_staging_locked();
+    try_adopt_all_locked();
+    note_use_locked(model, variant);
     pool = &pool_locked(worker_hint);
-    source = staging_source_locked(image);
+    source = staging_source_locked(model, image);
     repack = repack_enabled_;
+    // Enforce on use, after adoption: freshly staged schedules count, and
+    // the model serving this request is evicted last.
+    enforce_budget_locked(&model);
   }
 
   // Enqueue outside the lock (FIFO still holds what matters: the staging
@@ -618,8 +992,9 @@ PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
   // and per-run options. Repacking in the task skips the FP32 reference —
   // pooled serving replays cheap functional ops only. A repack-disabled
   // session keeps its full-replay-per-image contract by re-tracing
-  // *inside* the task instead. The backend is registry-owned and outlives
-  // the drain (the pool is the first session member to be destroyed).
+  // *inside* the task instead. The backend is registry-owned and the
+  // ModelState map-pinned; both outlive the drain (the pool is the first
+  // session member to be destroyed).
   //
   // The result travels through the handle's shared State, not the pool
   // future (discarded): State::complete publishes the value, wakes get()
@@ -629,23 +1004,25 @@ PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
   // itself runs even during session teardown.
   auto state = std::make_shared<PendingResult::State>();
   pool->submit(
-      [this, &backend, options, repack, state, source = std::move(source),
+      [this, model_state = &model, &backend, options, repack, state,
+       source = std::move(source),
        image = std::move(image_copy)]() mutable {
         StatusOr<ExecutionResult> outcome = [&]() -> StatusOr<ExecutionResult> {
           try {
-            core::PreparedModel model;
-            if (Status staged = resolve_staged_model(source, model);
+            core::PreparedModel prepared;
+            if (Status staged = resolve_staged_model(source, prepared);
                 !staged.is_ok()) {
               return staged;
             }
-            if (!same_image(model, image)) {
+            if (!same_image(prepared, image)) {
               if (repack) {
-                repack_into(model, image);
+                repack_into(*model_state, prepared, image);
               } else {
-                stage_tail_into(model, image, /*record_replay=*/false);
+                stage_tail_into(*model_state, prepared, image,
+                                /*record_replay=*/false);
               }
             }
-            return backend.run(model, options);
+            return backend.run(prepared, options);
           } catch (const std::exception& e) {
             return Status(StatusCode::kInvalidArgument, e.what());
           } catch (...) {
@@ -660,47 +1037,91 @@ PendingResult InferenceSession::submit_with(const ExecutionBackend& backend,
 }
 
 StagingHandle InferenceSession::prepare_async(const std::string& backend) {
-  return prepare_async(backend, default_input());
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return StagingHandle(resolved.status());
+  return prepare_async_resolved(*resolved,
+                                default_input_for(*resolved->state_));
 }
 
 StagingHandle InferenceSession::prepare_async(const std::string& backend,
                                               std::span<const float> image) {
-  const auto found = registry().find(backend);
-  if (!found.is_ok()) return StagingHandle(found.status());
-  if (Status s = check_image_shape(image); !s.is_ok()) {
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return StagingHandle(resolved.status());
+  return prepare_async_resolved(*resolved, image);
+}
+
+std::vector<StagingHandle> InferenceSession::prepare_async(
+    const std::vector<std::string>& backends) {
+  // One pool pass for the whole fleet: every call below only *enqueues*
+  // (staging latch and stage() hook both run on the pool), so N variants'
+  // stagings are all in flight before any handle is waited on — specs
+  // sharing a model dedup the trace behind its latch.
+  std::vector<StagingHandle> handles;
+  handles.reserve(backends.size());
+  for (const auto& backend : backends) {
+    handles.push_back(prepare_async(backend));
+  }
+  return handles;
+}
+
+StagingHandle InferenceSession::prepare_async_resolved(
+    const ResolvedSpec& spec, std::span<const float> image) {
+  ModelState& model = *spec.state_;
+  if (Status s = check_image_shape(model, image); !s.is_ok()) {
     return StagingHandle(std::move(s));
   }
-  const ExecutionBackend* staged_backend = *found;
-  const RunOptions options = run_options();
+  const ExecutionBackend* staged_backend = spec.backend_;
+  VariantState* variant = spec.variant_;
+  const RunOptions options = run_options(model);
   try {
     StagingSource source;
     ThreadPool* pool = nullptr;
     {
       std::lock_guard<std::mutex> lock(submit_mutex_);
-      try_adopt_staging_locked();
+      try_adopt_all_locked();
       pool = &pool_locked(0);
-      source = staging_source_locked(image);
+      source = staging_source_locked(model, image);
     }
-    auto future = pool->submit(
-        [source = std::move(source), options,
-         staged_backend]() mutable -> Status {
-          try {
-            core::PreparedModel model;
-            if (Status staged = resolve_staged_model(source, model);
-                !staged.is_ok()) {
-              return staged;
+    // Issued-at-enqueue: a vector prepare pushes staging_in_flight to the
+    // fleet size before any task completes — the concurrency evidence.
+    note_staging_issued();
+    try {
+      auto future = pool->submit(
+        [this, source = std::move(source), options, staged_backend,
+         model_state = &model, variant]() mutable -> Status {
+          Status outcome = [&]() -> Status {
+            try {
+              core::PreparedModel prepared;
+              if (Status staged = resolve_staged_model(source, prepared);
+                  !staged.is_ok()) {
+                return staged;
+              }
+              staged_backend->stage(prepared, options);
+              return Status::ok();
+            } catch (const std::exception& e) {
+              return Status(StatusCode::kInternal, e.what());
+            } catch (...) {
+              return Status(StatusCode::kInternal,
+                            "staging hook failed with a non-standard "
+                            "exception");
             }
-            staged_backend->stage(model, options);
-            return Status::ok();
-          } catch (const std::exception& e) {
-            return Status(StatusCode::kInternal, e.what());
-          } catch (...) {
-            return Status(StatusCode::kInternal,
-                          "staging hook failed with a non-standard "
-                          "exception");
+          }();
+          if (outcome.is_ok()) {
+            std::lock_guard<std::mutex> lock(submit_mutex_);
+            try_adopt_staging_locked(*model_state);
+            ++variant->stagings;
+            refresh_variants_staged_locked(*model_state);
           }
+          note_staging_done();
+          return outcome;
         });
-    return StagingHandle(std::move(future));
+      return StagingHandle(std::move(future));
+    } catch (...) {
+      // The enqueue threw after note_staging_issued(): the task will never
+      // run, so balance the in-flight tally here before reporting.
+      note_staging_done();
+      throw;
+    }
   } catch (const std::exception& e) {
     return StagingHandle(Status(StatusCode::kInternal, e.what()));
   }
@@ -711,13 +1132,13 @@ StagingHandle InferenceSession::prepare_async(const std::string& backend,
 // ---------------------------------------------------------------------------
 
 StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_with(
-    const ExecutionBackend& backend,
+    ModelState& model, const ExecutionBackend& backend,
     const std::vector<std::vector<float>>& images, const RunOptions& options) {
   std::vector<ExecutionResult> results;
   results.reserve(images.size());
   for (std::size_t i = 0; i < images.size(); ++i) {
     try {
-      auto result = backend.run(prepare(images[i]), options);
+      auto result = backend.run(prepare_in(model, images[i]), options);
       if (!result.is_ok()) return image_failure(i, result.status());
       results.push_back(std::move(result).value());
     } catch (const std::exception& e) {
@@ -730,20 +1151,27 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_with(
 StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch(
     const std::string& backend,
     const std::vector<std::vector<float>>& images) {
-  const auto found = registry().find(backend);
-  if (!found.is_ok()) return found.status();
-  return run_batch_with(**found, images, run_options());
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return resolved.status();
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    try_adopt_all_locked();
+    note_use_locked(*resolved->state_, resolved->variant_);
+  }
+  return run_batch_with(*resolved->state_, *resolved->backend_, images,
+                        run_options(*resolved->state_));
 }
 
 StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
     const std::string& backend,
     const std::vector<std::vector<float>>& images,
     const BatchOptions& options) {
-  const auto found = registry().find(backend);
-  if (!found.is_ok()) return found.status();
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return resolved.status();
   if (images.empty()) return std::vector<ExecutionResult>{};
+  ModelState& model = *resolved->state_;
 
-  RunOptions per_run = run_options();
+  RunOptions per_run = run_options(model);
   per_run.validate = options.validate;
 
   std::size_t workers = options.workers != 0
@@ -754,14 +1182,19 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
   // contract is a full VP replay per image — runs the sequential path with
   // the same per-run options.
   if (workers <= 1 || !repack_enabled_) {
-    return run_batch_with(**found, images, per_run);
+    {
+      std::lock_guard<std::mutex> lock(submit_mutex_);
+      try_adopt_all_locked();
+      note_use_locked(model, resolved->variant_);
+    }
+    return run_batch_with(model, *resolved->backend_, images, per_run);
   }
 
   // Stage the shared artifacts once — as a blocking call, the batch API
   // keeps synchronous staging (and its clean image-0 error attribution);
   // the streaming submit() path is the asynchronous one.
   try {
-    ensure_tail(images.front());
+    ensure_tail(model, images.front());
   } catch (const std::exception& e) {
     return image_failure(0, Status(StatusCode::kInvalidArgument, e.what()));
   }
@@ -781,7 +1214,9 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
   pending.reserve(images.size());
   try {
     for (const auto& image : images) {
-      pending.push_back(submit_with(**found, image, per_run, workers));
+      pending.push_back(submit_with(model, resolved->variant_,
+                                    *resolved->backend_, image, per_run,
+                                    workers));
     }
   } catch (const std::exception& e) {
     // Pool construction failed mid-loop: results already queued are in

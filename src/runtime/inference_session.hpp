@@ -3,7 +3,7 @@
 //
 // The offline flow of Fig. 1 is split into explicit stages:
 //
-//   input-independent (computed once per session):
+//   input-independent (computed once per model):
 //     network -> synthetic/trained weights -> INT8 calibration -> loadable
 //   input-dependent (computed per distinct image):
 //     -> virtual-platform trace -> configuration file -> bare-metal program
@@ -18,12 +18,34 @@
 // platform is not re-executed. A whole batch therefore pays for exactly
 // one VP replay (assertable via StageCounters::trace/repack).
 //
-// Memory model: the staged artifacts live in two immutable shared cores
+// Multi-model, multi-variant: one session serves a *fleet*. The
+// constructor registers its network as the default model; register_model()
+// adds more, each with its own staged-artifact state and staging latch —
+// so distinct models stage concurrently on the shared pool instead of
+// queueing behind one staging slot. A backend spec may carry `?model=NAME`
+// to route a request to a registered model ("soc?model=resnet18"); without
+// it, the default model serves. Each distinct (model, canonical backend
+// spec) pair is a *variant* with its own request/staging/eviction tallies
+// (variant_stats()), while variants of one model share its staged cores.
+//
+// Memory model: the staged artifacts live in three immutable shared cores
 // (core::FrontendArtifacts for weights/calibration/loadable,
-// core::TraceArtifacts for trace/config file/program/weight file) behind
-// shared_ptr<const>. Copying a PreparedModel — what every parallel worker
-// does — bumps two refcounts and copies the input-sized vectors only; the
-// multi-MB weight-file and program bytes are never duplicated.
+// core::TraceArtifacts for trace/config file/program,
+// core::ReplaySchedule for the functional replay) behind shared_ptr<const>.
+// Copying a PreparedModel — what every parallel worker does — bumps
+// refcounts and copies the input-sized vectors only; the multi-MB
+// weight-file and program bytes are never duplicated.
+//
+// Byte-budgeted residency: a long-lived server would otherwise hold every
+// model's replay schedule and per-worker arenas forever.
+// set_replay_budget_bytes() bounds the total (schedule bytes + resident
+// arena bytes across models); when a use pushes the total over budget,
+// least-recently-used models shed their arenas first (pure cache: cheap to
+// drop, rebuilt by the next replay), then their schedules (re-staged
+// transparently — one re-trace — on next use), and as a last resort the
+// hot model sheds its own idle arenas. Eviction is best-effort bounded:
+// snapshots held by in-flight tasks keep dropped cores alive until those
+// tasks drain.
 //
 // Concurrency model: the session owns one lazily-created ThreadPool that
 // lives for the rest of the session — every submit() call and every
@@ -35,27 +57,36 @@
 //
 //   submit(backend, image) -> PendingResult
 //     streaming arrivals, fully asynchronous: no VP trace ever runs on the
-//     calling thread. The first arrival enqueues a *staging task* (one VP
-//     trace + replay-schedule recording) behind a staging latch; later
-//     arrivals enqueue behind that latch instead of blocking, and once the
-//     staged artifacts exist submits snapshot two shared_ptrs and copy the
-//     image. Results come back through PendingResult::get() as StatusOr —
-//     task exceptions never escape the future. Calls overlap freely; there
-//     is no batch barrier.
+//     calling thread. The first arrival for a model enqueues a *staging
+//     task* (one VP trace + replay-schedule recording) behind that model's
+//     staging latch; later arrivals enqueue behind it instead of blocking,
+//     and once the staged artifacts exist submits snapshot the shared
+//     pointers and copy the image. Results come back through
+//     PendingResult::get() as StatusOr — task exceptions never escape the
+//     future. Calls overlap freely; there is no batch barrier.
+//
+//   resolve(spec) -> ResolvedSpec
+//     parse + canonicalize + registry-configure + model-route once, and
+//     reuse the handle for every later submit of the same raw spec — the
+//     server caches these per connection so pipelined frames skip
+//     re-canonicalization.
 //
 //   prepare_async(backend, image) -> StagingHandle
 //     front-load the whole staging pipeline off the serving path: the
 //     shared artifacts stage in the pool, then the backend's own stage()
-//     hook runs (the `?mode=replay` SoC variants record their
+//     hook runs (the replay-mode SoC variants record their
 //     input-independent platform envelope there), so not even the first
-//     pooled batch pays a one-time stall.
+//     pooled batch pays a one-time stall. The vector overload stages a
+//     whole fleet in one pool pass: per-model latches dedup the shared
+//     work, and every variant's stage() hook runs as its own pool task.
 //
 //   run_batch_parallel(backend, images, options)
 //     a thin wrapper over submit-and-collect that keeps the batch
 //     contract: results in image order, all-or-nothing, failures report
 //     the lowest failing image index.
 //
-// Thread-safety: submit(), prepare_async() and counters() may be called
+// Thread-safety: submit(), resolve(), prepare_async(), register_model(),
+// counters(), variant_stats() and the budget accessors may be called
 // concurrently with each other (and with in-flight pooled work). The
 // remaining session methods are single-owner (stage memoization), but any
 // of them may run while pooled tasks are in flight: tasks only touch their
@@ -75,6 +106,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -103,16 +135,28 @@ struct StageCounters {
   /// inside pooled tasks are not session state and are not counted.
   std::uint32_t repack = 0;
   /// Functional replays executed against the session's recorded replay
-  /// schedule (skipping KMD, trace capture and — on the `?mode=replay`
-  /// SoC backends — the µRISC-V ISS). Unlike `repack`, this counts every
-  /// consumer of the shared schedule: the session's own runs and the
-  /// pooled snapshot runs alike.
+  /// schedules (skipping KMD, trace capture and — on the replay-mode SoC
+  /// backends — the µRISC-V ISS), summed across every registered model.
+  /// Unlike `repack`, this counts every consumer of the shared schedules:
+  /// the session's own runs and the pooled snapshot runs alike.
   std::uint32_t replay = 0;
   /// Staging tasks handed to the pool by submit()/prepare_async() — bumped
   /// at enqueue time, on the calling thread, so a test can assert the
   /// async path was taken the moment submit() returns. The trace itself is
-  /// counted by `trace` when the pool executes it.
+  /// counted by `trace` when the pool executes it. Per-model latches mean
+  /// concurrent variants of distinct models each contribute one.
   std::uint32_t async_stagings = 0;
+  /// Staging pipeline elements (shared-artifact latch tasks *and*
+  /// per-variant stage() hook tasks) currently in flight — issued but not
+  /// finished. Concurrency evidence for the variant tier.
+  std::uint32_t staging_in_flight = 0;
+  /// High-water mark of staging_in_flight over the session lifetime: a
+  /// vector prepare of N variants pushes this to N (the enqueues outrun
+  /// any single staging task), proving the stagings overlapped.
+  std::uint32_t staging_peak = 0;
+  /// Replay schedules dropped by the byte-budget eviction policy (each
+  /// re-stages transparently — one re-trace — on its model's next use).
+  std::uint32_t evictions = 0;
 };
 
 /// Knobs for run_batch_parallel().
@@ -130,6 +174,25 @@ struct BatchOptions {
   std::size_t max_workers = 0;
   /// Forwarded to RunOptions::validate for every image.
   bool validate = true;
+};
+
+/// Per-variant serving statistics (one row per distinct (model, canonical
+/// backend spec) pair the session has resolved). Variants of one model
+/// share its staged cores, so `staged`/`resident_bytes`/`evictions` move
+/// together for same-model variants while `requests`/`stagings` stay
+/// per-variant.
+struct VariantStats {
+  std::string backend;  ///< canonical backend spec (without `?model=`)
+  std::string model;    ///< registered model name the variant routes to
+  /// The model's replay schedule is currently live (recorded and not
+  /// evicted) — requests replay functionally instead of re-tracing.
+  bool staged = false;
+  std::uint64_t requests = 0;   ///< run()/submit() calls routed here
+  std::uint64_t stagings = 0;   ///< completed prepare_async stage() hooks
+  std::uint64_t evictions = 0;  ///< budget evictions that unstaged this
+  /// Schedule + resident arena bytes of the variant's model (shared across
+  /// its variants; the eviction policy's accounting input).
+  std::uint64_t resident_bytes = 0;
 };
 
 /// A future-like handle to one submitted inference. get() blocks until the
@@ -230,9 +293,17 @@ class StagingHandle {
 };
 
 class InferenceSession {
+ private:
+  // Declared up front so ResolvedSpec below can hold typed pointers; the
+  // definitions live in the private section at the bottom.
+  struct ModelState;
+  struct VariantState;
+
  public:
   /// `registry` defaults to BackendRegistry::global(); pass a custom one to
-  /// restrict or extend the backend set.
+  /// restrict or extend the backend set. The constructor's network becomes
+  /// the *default model*, registered under its own name; register_model()
+  /// adds more.
   explicit InferenceSession(compiler::Network network,
                             core::FlowConfig config = {},
                             const BackendRegistry* registry = nullptr);
@@ -245,14 +316,54 @@ class InferenceSession {
   /// tears the session down.
   ~InferenceSession();
 
-  const compiler::Network& network() const { return network_; }
-  const core::FlowConfig& config() const { return config_; }
+  /// A resolved backend spec: parse + canonicalize + registry-configure +
+  /// `?model=` routing done once. Copyable and cheap; pass it back to
+  /// submit()/prepare_async() to skip re-resolution on hot paths (the
+  /// server caches these per connection keyed by the raw spec string).
+  /// Valid only for the session that resolved it, and only while that
+  /// session lives.
+  class ResolvedSpec {
+   public:
+    ResolvedSpec() = default;
+    bool valid() const { return backend_ != nullptr; }
+    /// Canonical backend spec, `?model=` stripped (the variant-stats key).
+    const std::string& canonical() const { return canonical_; }
+    /// Registered model name this spec routes to.
+    const std::string& model() const { return model_name_; }
+
+   private:
+    friend class InferenceSession;
+    const ExecutionBackend* backend_ = nullptr;
+    ModelState* state_ = nullptr;
+    VariantState* variant_ = nullptr;
+    std::string canonical_;
+    std::string model_name_;
+  };
+
+  // --- model fleet ---------------------------------------------------------
+  /// Register another model so `?model=NAME` specs can route to it. Each
+  /// model owns its full staged-artifact state (frontend, tail, replay
+  /// schedule, staging latch), so distinct models stage concurrently on
+  /// the shared pool. kAlreadyExists on a duplicate name. Thread-safe.
+  Status register_model(std::string name, compiler::Network network,
+                        core::FlowConfig config);
+  /// Same, inheriting the session's (default model's) flow config.
+  Status register_model(std::string name, compiler::Network network);
+  /// Registered model names (default model included), sorted.
+  std::vector<std::string> model_names() const;
+
+  const compiler::Network& network() const;
+  const core::FlowConfig& config() const;
   /// Stage-execution evidence, returned as a snapshot: the stage tallies
   /// are atomics (the async staging task bumps them from the pool) and
-  /// `replay` is folded in from the shared schedule's counter at call time
+  /// `replay` is folded in from every model's live schedule at call time
   /// — safe to call concurrently with submit()/prepare_async() and
   /// in-flight pooled tasks.
   StageCounters counters() const;
+
+  /// Per-variant serving statistics, one row per (model, canonical spec)
+  /// pair ever resolved, sorted by (model, spec). Thread-safe.
+  std::vector<VariantStats> variant_stats() const;
 
   /// The repack-input fast path is on by default; disabling it forces the
   /// legacy full VP replay per image (kept for parity testing — outputs
@@ -263,19 +374,36 @@ class InferenceSession {
   void set_repack_enabled(bool enabled);
   bool repack_enabled() const { return repack_enabled_; }
 
-  /// The functional replay engine is on by default; disabling it drops the
-  /// recorded schedule so every repacked image falls back to a full VP
-  /// re-simulation (and `?mode=replay` SoC variants to full execution) —
-  /// bit-exact either way, kept as the parity/benchmark comparator.
-  /// Re-enabling re-records the schedule on the next staged trace.
+  /// The functional replay engine is on by default; disabling it drops
+  /// every model's recorded schedule so repacked images fall back to a
+  /// full VP re-simulation (and the — replay-by-default — SoC backends to
+  /// full cycle-accurate execution) — bit-exact either way, kept as the
+  /// parity/benchmark comparator and as the session-level opt-out pairing
+  /// with the backends' `?mode=cycle_accurate` spec knob. Re-enabling
+  /// re-records each model's schedule on its next staged trace.
   void set_replay_enabled(bool enabled);
   bool replay_enabled() const { return replay_enabled_; }
+
+  // --- replay-residency byte budget ---------------------------------------
+  /// Bound the bytes replay residency may hold across all models:
+  /// schedule bytes + resident arena bytes, summed. 0 (the default) means
+  /// unlimited. Enforcement is LRU and runs on use (submit/resolve paths)
+  /// and when the budget is (re)set: cold models drop arenas first, then
+  /// whole schedules — which re-stage transparently (one re-trace) on
+  /// their next use — and the hot model sheds idle arenas last. The bound
+  /// is best-effort: snapshots held by in-flight tasks keep dropped cores
+  /// alive until those tasks finish. Thread-safe.
+  void set_replay_budget_bytes(std::uint64_t budget_bytes);
+  std::uint64_t replay_budget_bytes() const;
+  /// Current replay residency (schedule + arena bytes across all models,
+  /// ready-but-unadopted staging latches included). Thread-safe.
+  std::uint64_t replay_resident_bytes() const;
 
   /// The default input: a synthetic image from config.input_seed (the
   /// calibration image, matching the legacy prepare_model flow).
   const std::vector<float>& default_input();
 
-  // --- staged artifacts (lazy, memoized) -----------------------------------
+  // --- staged artifacts (lazy, memoized; default model) --------------------
   const compiler::NetWeights& weights();
   const compiler::CalibrationTable& calibration();
   const compiler::Loadable& loadable();
@@ -287,16 +415,33 @@ class InferenceSession {
   /// reference is invalidated by the next prepare()/run() call.
   const core::PreparedModel& prepare(std::span<const float> image);
 
+  // --- spec resolution -----------------------------------------------------
+  /// Parse `spec`, strip its `?model=` key (routing to that registered
+  /// model; the default model when absent), and configure the canonical
+  /// backend variant in the registry. The returned handle is the fast-path
+  /// currency of submit()/prepare_async(). kNotFound for an unknown model
+  /// or backend, kInvalidArgument for a malformed spec. Thread-safe.
+  StatusOr<ResolvedSpec> resolve(const std::string& spec);
+
   /// Enqueue the whole staging pipeline on the session pool without
   /// running an inference: the shared artifacts (frontend + one VP trace +
-  /// replay schedule) stage behind the same latch submit() uses, then the
-  /// named backend's stage() hook runs (the `?mode=replay` SoC variants
-  /// record their platform envelope there). Returns immediately;
-  /// submits issued meanwhile queue behind the latch. `image` seeds the
-  /// first trace when nothing is staged yet (the default input otherwise).
+  /// replay schedule) stage behind the routed model's latch — the same one
+  /// submit() uses — then the resolved backend's stage() hook runs as its
+  /// own pool task (the replay-mode SoC variants record their platform
+  /// envelope there). Returns immediately; submits issued meanwhile queue
+  /// behind the latch. `image` seeds the first trace when nothing is
+  /// staged yet (the model's default input otherwise).
   StagingHandle prepare_async(const std::string& backend);
   StagingHandle prepare_async(const std::string& backend,
                               std::span<const float> image);
+  /// Stage a whole fleet in one pool pass: every spec resolves, its
+  /// model's latch stages once (specs sharing a model dedup the trace),
+  /// and each variant's stage() hook runs as its own pool task — all
+  /// enqueued before this returns, so N variants stage concurrently.
+  /// Handles are index-aligned with `backends`; per-spec failures come
+  /// back through the matching handle, never as exceptions.
+  std::vector<StagingHandle> prepare_async(
+      const std::vector<std::string>& backends);
 
   // --- execution -----------------------------------------------------------
   /// Run one inference on the named backend with the default input.
@@ -312,6 +457,9 @@ class InferenceSession {
   PendingResult submit(const std::string& backend);
   PendingResult submit(const std::string& backend,
                        std::span<const float> image);
+  /// The resolved fast path: same semantics, no per-call spec parsing.
+  PendingResult submit(const ResolvedSpec& spec);
+  PendingResult submit(const ResolvedSpec& spec, std::span<const float> image);
 
   /// Run every image through the named backend, sequentially. Input-
   /// independent stages execute at most once for the whole batch.
@@ -372,19 +520,61 @@ class InferenceSession {
     std::atomic<std::uint32_t> program{0};
     std::atomic<std::uint32_t> repack{0};
     std::atomic<std::uint32_t> async_stagings{0};
+    std::atomic<std::uint32_t> staging_in_flight{0};
+    std::atomic<std::uint32_t> staging_peak{0};
+    std::atomic<std::uint32_t> evictions{0};
+  };
+
+  /// One registered model's full staged-artifact state. Nodes are
+  /// heap-pinned (unique_ptr in a node-based map) so ResolvedSpec handles
+  /// and pooled tasks may hold ModelState* across registrations; models
+  /// are never unregistered.
+  struct ModelState {
+    ModelState(std::string name_in, compiler::Network network_in,
+               core::FlowConfig config_in)
+        : name(std::move(name_in)),
+          network(std::move(network_in)),
+          config(config_in) {}
+
+    std::string name;  ///< registration key (may differ from network name)
+    compiler::Network network;
+    core::FlowConfig config;
+    bool tail_done = false;
+    std::vector<float> default_input;
+    std::optional<compiler::ReferenceExecutor> reference;
+    core::PreparedModel prepared;
+    std::shared_ptr<StagingLatch> staging;  ///< non-null while unadopted
+    /// Replays accumulated on schedules since replaced or evicted
+    /// (counters().replay sums base + live schedule tallies).
+    std::atomic<std::uint32_t> replay_base{0};
+    std::uint64_t last_used = 0;  ///< LRU tick; guarded by submit_mutex_
+  };
+
+  /// Per-(model, canonical spec) serving tallies. Guarded by submit_mutex_;
+  /// nodes are map-pinned and never erased, so ResolvedSpec handles stay
+  /// valid for the session lifetime.
+  struct VariantState {
+    std::string backend_spec;  ///< canonical, `?model=` stripped
+    std::string model;
+    bool staged = false;
+    std::uint64_t requests = 0;
+    std::uint64_t stagings = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t last_used = 0;
   };
 
   const BackendRegistry& registry() const;
-  RunOptions run_options() const;
+  RunOptions run_options(const ModelState& model) const;
   /// The session-lifetime pool, created on first use (`worker_hint` 0
   /// picks one worker per hardware thread) and reused by every later
   /// pooled call regardless of hint; queue pressure grows it elastically
   /// up to its max_workers cap. Callers hold submit_mutex_.
   ThreadPool& pool_locked(std::size_t worker_hint);
-  /// Shape-check an image against the network before any staging work, so
-  /// run(), submit() and the batch paths all reject a wrong-size image —
-  /// first or later — with the same kInvalidArgument.
-  Status check_image_shape(std::span<const float> image) const;
+  /// Shape-check an image against the model's network before any staging
+  /// work, so run(), submit() and the batch paths all reject a wrong-size
+  /// image — first or later — with the same kInvalidArgument.
+  static Status check_image_shape(const ModelState& model,
+                                  std::span<const float> image);
   /// What a pooled task builds its private model from: either the staging
   /// latch (with a per-task shared_future copy — waiting through one
   /// shared object from many threads is not sanctioned by the standard)
@@ -394,62 +584,106 @@ class InferenceSession {
     std::shared_future<Status> done;      ///< this task's own future copy
     core::PreparedModel snapshot;         ///< used when latch is null
   };
-  /// Pick the task's staging source, starting the staging task first if
-  /// nothing is staged or staging. Caller holds submit_mutex_ (the future
-  /// copy must be taken under it).
-  StagingSource staging_source_locked(std::span<const float> image);
+  /// Pick the task's staging source for `model`, starting its staging task
+  /// first if nothing is staged or staging. Caller holds submit_mutex_
+  /// (the future copy must be taken under it).
+  StagingSource staging_source_locked(ModelState& model,
+                                      std::span<const float> image);
   /// Task-side half: wait for the source and materialize the model.
   static Status resolve_staged_model(StagingSource& source,
                                      core::PreparedModel& model);
   /// Stage-if-needed + enqueue: the body shared by submit() and
   /// run_batch_parallel(). Locks submit_mutex_. Throws only for
   /// pool-construction failure; staging and task failures come back inside
-  /// the PendingResult.
-  PendingResult submit_with(const ExecutionBackend& backend,
+  /// the PendingResult. `variant` (nullable) collects per-variant tallies.
+  PendingResult submit_with(ModelState& model, VariantState* variant,
+                            const ExecutionBackend& backend,
                             std::span<const float> image,
                             const RunOptions& options,
                             std::size_t worker_hint);
-  /// Enqueue the staging task (frontend if missing + one VP trace +
+  /// Enqueue `model`'s staging task (frontend if missing + one VP trace +
   /// replay-schedule recording, all on a private model that the latch
   /// publishes). Caller holds submit_mutex_ and has checked that nothing
-  /// is staged or staging.
-  void start_staging_locked(std::span<const float> image);
-  /// Adopt a *ready* staging latch into the session state (non-blocking;
-  /// no-op when staging is absent or still running). Caller holds
-  /// submit_mutex_.
-  void try_adopt_staging_locked();
-  /// Block until any in-flight staging finishes and adopt it — the sync
-  /// point every session-thread stage accessor passes through before
-  /// touching prepared_.
-  void drain_staging();
+  /// is staged or staging for this model.
+  void start_staging_locked(ModelState& model, std::span<const float> image);
+  /// Adopt a *ready* staging latch into `model` (non-blocking; no-op when
+  /// staging is absent or still running). Caller holds submit_mutex_.
+  void try_adopt_staging_locked(ModelState& model);
+  /// try_adopt_staging_locked across every model — the submit paths run it
+  /// so budget enforcement sees freshly staged schedules.
+  void try_adopt_all_locked();
+  /// Block until `model`'s in-flight staging finishes and adopt it — the
+  /// sync point every session-thread stage accessor passes through before
+  /// touching model.prepared.
+  void drain_staging(ModelState& model);
+  /// drain_staging across every model (set_replay_enabled, teardown-ish
+  /// paths).
+  void drain_all_staging();
+  /// Record a use for LRU purposes and collect variant tallies. Caller
+  /// holds submit_mutex_.
+  void note_use_locked(ModelState& model, VariantState* variant);
+  /// Align every variant of `model` with its live-schedule state (variants
+  /// of one model share its schedule, so they stage and unstage together).
+  /// Caller holds submit_mutex_.
+  void refresh_variants_staged_locked(const ModelState& model);
+  /// run()'s body after spec resolution.
+  StatusOr<ExecutionResult> run_resolved(const ResolvedSpec& spec,
+                                         std::span<const float> image);
+  /// prepare_async()'s body after spec resolution.
+  StagingHandle prepare_async_resolved(const ResolvedSpec& spec,
+                                       std::span<const float> image);
+  /// The model's live schedule: adopted, or sitting in a ready latch.
+  /// Caller holds submit_mutex_.
+  const core::ReplaySchedule* live_schedule_locked(
+      const ModelState& model) const;
+  /// Schedule + arena bytes for one model (0 without a live schedule).
+  /// Caller holds submit_mutex_.
+  std::uint64_t model_resident_bytes_locked(const ModelState& model) const;
+  /// LRU byte-budget enforcement (see set_replay_budget_bytes). Caller
+  /// holds submit_mutex_; `just_used` (nullable) is the model driving the
+  /// current use and is evicted last (arenas only, never its schedule).
+  void enforce_budget_locked(ModelState* just_used);
+  /// Drop `model`'s replay schedule (folding its replay tally), force a
+  /// re-trace on next use, and mark its staged variants evicted. Caller
+  /// holds submit_mutex_.
+  void evict_schedule_locked(ModelState& model);
+  /// Staging-concurrency accounting: bump in-flight (and the peak
+  /// high-water mark) when a staging pipeline task is issued...
+  void note_staging_issued();
+  /// ...and drop it when the task finishes (any exit path).
+  void note_staging_done();
   /// Sequential batch body shared by run_batch and the degenerate
   /// run_batch_parallel cases (one worker, repack disabled), so per-batch
   /// options like BatchOptions::validate survive the fallback.
   StatusOr<std::vector<ExecutionResult>> run_batch_with(
-      const ExecutionBackend& backend,
+      ModelState& model, const ExecutionBackend& backend,
       const std::vector<std::vector<float>>& images,
       const RunOptions& options);
   /// Build the input-independent frontend core (weights -> calibration ->
-  /// loadable). Pure apart from the atomic counters, so the pooled staging
-  /// task can run it off-thread; `calibration_image` is the session's
-  /// default input (the legacy calibration image).
+  /// loadable) for `model`. Pure apart from the atomic counters, so the
+  /// pooled staging task can run it off-thread; `calibration_image` is the
+  /// model's default input (the legacy calibration image).
   std::shared_ptr<const core::FrontendArtifacts> build_frontend(
-      std::span<const float> calibration_image) const;
-  void ensure_frontend();                         ///< weights..loadable
-  void ensure_tail(std::span<const float> image); ///< trace..program
-  /// Fill the FP32 golden output for the current input if the serving
-  /// paths left it empty (it is a validation artifact, computed on demand
-  /// by prepare()/prepared(), never on the replay hot path).
-  void ensure_reference();
-  /// The full staging pipeline on an arbitrary model: frontend if missing,
-  /// then input assign + VP trace + (optionally) replay-schedule recording
-  /// + config-file/program reuse-or-regenerate. Shared by the session's
-  /// synchronous ensure_tail (model == prepared_), the pooled staging
-  /// task, and the repack-disabled per-image re-trace inside pooled tasks.
-  /// Touches no session state beyond the atomic counters.
-  void stage_tail_into(core::PreparedModel& model,
-                       std::span<const float> image,
-                       bool record_replay) const;
+      const ModelState& model, std::span<const float> calibration_image) const;
+  void ensure_frontend(ModelState& model);  ///< weights..loadable
+  void ensure_tail(ModelState& model,
+                   std::span<const float> image);  ///< trace..program
+  /// Fill the FP32 golden output for the model's current input if the
+  /// serving paths left it empty (it is a validation artifact, computed on
+  /// demand by prepare()/prepared(), never on the replay hot path).
+  void ensure_reference(ModelState& model);
+  /// The model's default input, synthesized on first use. Returns a
+  /// reference into the pinned ModelState (never reassigned once filled).
+  const std::vector<float>& default_input_for(ModelState& model);
+  /// The full staging pipeline on an arbitrary prepared model: frontend if
+  /// missing, then input assign + VP trace + (optionally) replay-schedule
+  /// recording + config-file/program reuse-or-regenerate. Shared by the
+  /// session's synchronous ensure_tail (prepared == model.prepared), the
+  /// pooled staging task, and the repack-disabled per-image re-trace
+  /// inside pooled tasks. Reads only the model's immutable identity
+  /// (network, config); touches no session state beyond atomic counters.
+  void stage_tail_into(const ModelState& model, core::PreparedModel& prepared,
+                       std::span<const float> image, bool record_replay) const;
   /// Substitute `image` into `prepared`'s per-input surface without
   /// re-running the VP: input tensor only — the FP32 reference is cleared
   /// for lazy recomputation. Marks the shared trace as not matching the
@@ -457,32 +691,37 @@ class InferenceSession {
   /// schedule, memoized per surface) and swaps in a fresh compute-once
   /// memo. Safe to call concurrently on distinct surfaces — it only reads
   /// shared immutable state.
-  void repack_into(core::PreparedModel& prepared,
+  void repack_into(const ModelState& model, core::PreparedModel& prepared,
                    std::span<const float> image) const;
+  /// prepare()'s body for an arbitrary model.
+  const core::PreparedModel& prepare_in(ModelState& model,
+                                        std::span<const float> image);
 
-  compiler::Network network_;
-  core::FlowConfig config_;
   const BackendRegistry* registry_;
   mutable AtomicStageCounters counters_;
-  /// Replays accumulated on schedules that have since been replaced by a
-  /// re-trace (counters().replay = base + current schedule's tally).
-  std::atomic<std::uint32_t> replay_base_{0};
 
-  bool tail_done_ = false;
   bool repack_enabled_ = true;
   bool replay_enabled_ = true;
+  std::uint64_t replay_budget_bytes_ = 0;  ///< 0 = unlimited
+  std::uint64_t use_tick_ = 0;             ///< LRU clock; under submit_mutex_
   std::chrono::milliseconds pool_idle_timeout_{0};  ///< 0 = never reap
-  std::vector<float> default_input_;
-  std::optional<compiler::ReferenceExecutor> reference_;
-  core::PreparedModel prepared_;
-  /// Guards the submit/staging fast-path state (staging_, pool creation,
-  /// the tail_done_/prepared_ reads the submit paths make) against
-  /// concurrent submit()/prepare_async()/counters() calls.
+  /// Registered models, default model included. Node-based + unique_ptr:
+  /// ModelState addresses are stable for the session lifetime (atomics
+  /// inside make the state non-movable anyway). register_model() inserts
+  /// under submit_mutex_; nothing ever erases.
+  std::map<std::string, std::unique_ptr<ModelState>> models_;
+  ModelState* default_model_ = nullptr;  ///< the constructor's network
+  /// Per-(model, canonical spec) tallies, keyed "model|spec". Guarded by
+  /// submit_mutex_; nodes never erased (ResolvedSpec pins them).
+  std::map<std::string, VariantState> variants_;
+  /// Guards the submit/staging fast-path state (per-model latches, pool
+  /// creation, variant/LRU bookkeeping, the tail_done/prepared reads the
+  /// submit paths make) against concurrent submit()/resolve()/
+  /// prepare_async()/counters() calls.
   mutable std::mutex submit_mutex_;
-  std::shared_ptr<StagingLatch> staging_;  ///< non-null while unadopted
   /// Declared last on purpose: destroyed first, so in-flight pooled tasks
-  /// (which read the shared cores and the staging latch) drain while every
-  /// other member is still alive.
+  /// (which read the shared cores, the model states and the staging
+  /// latches) drain while every other member is still alive.
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -205,7 +205,29 @@ void InferenceServer::submit_request(Connection& conn, Request request) {
   // submit() never throws and never blocks on staging: errors (unknown
   // backend spec, wrong image shape) come back through a born-ready
   // PendingResult and flow through the same completion path as successes.
-  entry.result = session_.submit(request.backend, request.image);
+  //
+  // The connection caches resolved specs keyed by the raw wire string, so
+  // pipelined frames repeating a spec pay a hash lookup instead of a
+  // parse + canonicalize + registry walk per request.
+  if (const auto cached = conn.spec_cache.find(request.backend);
+      cached != conn.spec_cache.end()) {
+    spec_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    entry.result = session_.submit(cached->second, request.image);
+  } else {
+    auto resolved = session_.resolve(request.backend);
+    if (resolved.is_ok()) {
+      constexpr std::size_t kSpecCacheCap = 64;
+      if (conn.spec_cache.size() >= kSpecCacheCap) conn.spec_cache.clear();
+      conn.spec_cache.emplace(request.backend, *resolved);
+      entry.result = session_.submit(*resolved, request.image);
+    } else {
+      // Unresolvable spec: the plain-string path reproduces the same
+      // failure as a born-ready PendingResult, keeping the one completion
+      // path (resolution errors are not cached — a model registered later
+      // must be able to start serving).
+      entry.result = session_.submit(request.backend, request.image);
+    }
+  }
   ++conn.in_flight;
   auto [slot, inserted] = pending_.emplace(token, std::move(entry));
   // Registered after insertion so a synchronous (born-ready) callback

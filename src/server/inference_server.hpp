@@ -87,6 +87,16 @@ class InferenceServer {
   std::uint64_t error_responses() const {
     return error_responses_.load(std::memory_order_relaxed);
   }
+  /// Requests whose backend spec was served from the connection's resolved
+  /// cache (no per-request parse/canonicalize/registry lookup).
+  std::uint64_t spec_cache_hits() const {
+    return spec_cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Per-variant serving statistics, straight from the session (thread-safe
+  /// there): one row per (model, canonical backend spec) pair served.
+  std::vector<runtime::VariantStats> variant_stats() const {
+    return session_.variant_stats();
+  }
 
  private:
   struct Connection {
@@ -96,6 +106,13 @@ class InferenceServer {
     std::vector<std::uint8_t> out;  ///< encoded responses not yet written
     std::size_t out_at = 0;         ///< bytes of `out` already written
     std::uint64_t in_flight = 0;    ///< submits not yet answered
+    /// Resolved backend specs keyed by the raw wire string: pipelined
+    /// frames repeating a spec skip the parse/canonicalize/registry walk.
+    /// Bounded (cleared when full) so a client cycling unique spellings
+    /// cannot grow it without limit; ResolvedSpec handles stay valid for
+    /// the session lifetime, so cached entries never go stale.
+    std::unordered_map<std::string, runtime::InferenceSession::ResolvedSpec>
+        spec_cache;
   };
 
   /// One submitted request awaiting its completion callback.
@@ -143,6 +160,7 @@ class InferenceServer {
   std::atomic<std::uint64_t> requests_received_{0};
   std::atomic<std::uint64_t> responses_sent_{0};
   std::atomic<std::uint64_t> error_responses_{0};
+  std::atomic<std::uint64_t> spec_cache_hits_{0};
 };
 
 }  // namespace nvsoc::server

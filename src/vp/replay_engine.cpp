@@ -107,6 +107,16 @@ class ReplayEngine::Arena final : public nvdla::ReplayMemory {
     dirty_.clear();
   }
 
+  /// Bytes this arena holds: allocated pages plus their baseline
+  /// snapshots. The page tally is an atomic because a checked-out arena
+  /// keeps allocating while the engine walks its pool for accounting;
+  /// baseline_ is frozen by the constructor and safe to size concurrently.
+  std::uint64_t resident_bytes() const {
+    return (pages_allocated_.load(std::memory_order_relaxed) +
+            baseline_.size()) *
+           kPageBytes;
+  }
+
   /// True when `loadable` matches the layout this arena was preloaded for.
   bool matches(const compiler::Loadable& loadable) const {
     return weight_base_ == loadable.weight_base &&
@@ -181,6 +191,7 @@ class ReplayEngine::Arena final : public nvdla::ReplayMemory {
       if (page.data == nullptr) {
         page.data = std::make_unique<std::uint8_t[]>(kPageBytes);
         std::memset(page.data.get(), 0, kPageBytes);
+        pages_allocated_.fetch_add(1, std::memory_order_relaxed);
       }
       if (!page.dirty) {
         page.dirty = true;
@@ -213,6 +224,7 @@ class ReplayEngine::Arena final : public nvdla::ReplayMemory {
   /// Post-preload content of the pages the weight preload touched.
   std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> baseline_;
   std::vector<std::uint64_t> dirty_;  ///< pages written since last reset
+  std::atomic<std::uint64_t> pages_allocated_{0};  ///< pages_ entry count
 };
 
 // ---------------------------------------------------------------------------
@@ -257,6 +269,33 @@ ReplayEngine::Arena* ReplayEngine::acquire(
 void ReplayEngine::release(Arena* arena) {
   std::lock_guard<std::mutex> lock(mutex_);
   free_.push_back(arena);
+}
+
+std::uint64_t ReplayEngine::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& arena : arenas_) total += arena->resident_bytes();
+  return total;
+}
+
+std::uint64_t ReplayEngine::release_free_arenas() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.empty()) return 0;
+  const std::unordered_set<Arena*> releasing(free_.begin(), free_.end());
+  std::uint64_t freed = 0;
+  const auto keep_end = std::remove_if(
+      arenas_.begin(), arenas_.end(),
+      [&](const std::unique_ptr<Arena>& arena) {
+        if (releasing.count(arena.get()) == 0) return false;  // checked out
+        freed += arena->resident_bytes();
+        return true;
+      });
+  arenas_released_.fetch_add(
+      static_cast<std::uint32_t>(arenas_.end() - keep_end),
+      std::memory_order_relaxed);
+  arenas_.erase(keep_end, arenas_.end());
+  free_.clear();
+  return freed;
 }
 
 std::shared_ptr<const ReplayEngine::WritePlan> ReplayEngine::plan_for(

@@ -90,6 +90,25 @@ class ReplayEngine {
     return unsafe_plans_.load(std::memory_order_relaxed);
   }
 
+  /// Bytes currently held by this engine's arenas: allocated pages plus
+  /// their baseline snapshots. This is the resident cost a byte-budget
+  /// eviction policy reclaims — checked-out arenas are counted too (their
+  /// page tallies are atomics, so an in-flight replay growing its arena
+  /// never races this walk).
+  std::uint64_t resident_bytes() const;
+
+  /// Drop every checked-in arena and return the bytes freed. Arenas
+  /// checked out by in-flight replays survive untouched and return to the
+  /// pool on release, where a later call can reclaim them; the engine
+  /// itself stays valid and rebuilds an arena from the loadable on the
+  /// next acquire. Thread-safe.
+  std::uint64_t release_free_arenas();
+
+  /// Arenas dropped by release_free_arenas() so far (eviction evidence).
+  std::uint32_t arenas_released() const {
+    return arenas_released_.load(std::memory_order_relaxed);
+  }
+
  private:
   class Arena;
   struct WritePlan;
@@ -102,13 +121,14 @@ class ReplayEngine {
       std::span<const nvdla::ReplayOp> ops);
 
   nvdla::NvdlaConfig config_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Arena>> arenas_;  ///< all ever built
   std::vector<Arena*> free_;                    ///< checked-in, ready to reset
   const nvdla::ReplayOp* plan_key_ = nullptr;   ///< ops identity of plan_
   std::size_t plan_ops_ = 0;
   std::shared_ptr<const WritePlan> plan_;
   std::atomic<std::uint32_t> arenas_built_{0};
+  std::atomic<std::uint32_t> arenas_released_{0};
   std::atomic<std::uint64_t> images_replayed_{0};
   std::atomic<std::uint64_t> pages_restored_{0};
   std::atomic<std::uint32_t> resident_pages_{0};

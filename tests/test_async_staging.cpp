@@ -251,7 +251,8 @@ TEST(PrepareAsync, StagesArtifactsAndReplayEnvelope) {
   }
   for (std::size_t i = 0; i < images.size(); ++i) {
     auto replayed = pending[i].get();
-    const auto simulated = cycle_accurate.run("soc", images[i]);
+    const auto simulated =
+        cycle_accurate.run("soc?mode=cycle_accurate", images[i]);
     ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
     ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
     EXPECT_EQ(replayed->output, simulated->output) << "image " << i;

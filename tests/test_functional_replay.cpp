@@ -117,16 +117,19 @@ TEST(ReplayBitExact, LinuxBaselineResnet) {
   expect_replay_matches_full(models::resnet18_cifar, "linux_baseline");
 }
 
-/// The SoC platforms replay through the `?mode=replay` variant; the
-/// default stays cycle-accurate. Outputs, cycles and latency must be
-/// bit-identical — the recorded envelope is input-independent.
+/// The SoC platforms replay by default (the bare base spec); the
+/// `?mode=cycle_accurate` variant opts back into simulating every image
+/// in full. Outputs, cycles and latency must be bit-identical — the
+/// recorded envelope is input-independent.
 void expect_soc_replay_matches_full(compiler::Network (*build)(),
                                     const char* base) {
   const auto images = synthetic_batch(build(), 2, 4200);
-  const std::string replay_spec = std::string(base) + "?mode=replay";
+  const std::string fullsim_spec =
+      std::string(base) + "?mode=cycle_accurate";
+  const std::string replay_spec = base;
   InferenceSession session(build());
   for (const auto& image : images) {
-    const auto simulated = session.run(base, image);
+    const auto simulated = session.run(fullsim_spec, image);
     const auto replayed = session.run(replay_spec, image);
     ASSERT_TRUE(simulated.is_ok()) << simulated.status().to_string();
     ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
@@ -166,7 +169,8 @@ TEST(ReplayBitExact, ReclockedSystemTopReplayRecordsItsOwnEnvelope) {
   InferenceSession session(models::lenet5());
   // Populate the default-clock record first so key collisions would show.
   ASSERT_TRUE(session.run("system_top?mode=replay", images[0]).is_ok());
-  const auto fast = session.run("system_top@50mhz", images[1]);
+  const auto fast =
+      session.run("system_top@50mhz?mode=cycle_accurate", images[1]);
   const auto replayed = session.run("system_top@50mhz?mode=replay", images[1]);
   ASSERT_TRUE(fast.is_ok()) << fast.status().to_string();
   ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
@@ -209,7 +213,7 @@ TEST(ReplayBitExact, ReplayDisabledSessionFallsBackBitExactly) {
 TEST(ReplayBitExact, SocReplayCyclesAreInputIndependent) {
   const auto images = synthetic_batch(models::lenet5(), 3, 4300);
   InferenceSession session(models::lenet5());
-  const auto reference = session.run("soc", images[0]);
+  const auto reference = session.run("soc?mode=cycle_accurate", images[0]);
   ASSERT_TRUE(reference.is_ok());
   for (const auto& image : images) {
     const auto replayed = session.run("soc?mode=replay", image);
