@@ -37,9 +37,10 @@ int main() {
   const auto& soc_exec = *exec->soc;
 
   std::printf("Run: %llu cycles @100 MHz = %.3f ms, %llu instructions "
-              "retired\n\n",
+              "retired (%.3f CPI)\n\n",
               static_cast<unsigned long long>(exec->cycles), exec->ms,
-              static_cast<unsigned long long>(soc_exec.cpu.instructions));
+              static_cast<unsigned long long>(soc_exec.cpu.instructions()),
+              soc_exec.cpu.cpi());
 
   std::printf("%-26s %9s %9s %11s %11s %8s\n", "Component", "reads", "writes",
               "bytes_rd", "bytes_wr", "stalls");
@@ -62,17 +63,17 @@ int main() {
               static_cast<unsigned long long>(c.dbb.bursts));
   std::printf("CPU profile: %llu loads, %llu stores, %llu taken branches, "
               "%llu memory-stall cycles\n",
-              static_cast<unsigned long long>(soc_exec.cpu_stats.loads),
-              static_cast<unsigned long long>(soc_exec.cpu_stats.stores),
+              static_cast<unsigned long long>(soc_exec.cpu.stats.loads),
+              static_cast<unsigned long long>(soc_exec.cpu.stats.stores),
               static_cast<unsigned long long>(
-                  soc_exec.cpu_stats.taken_branches),
+                  soc_exec.cpu.stats.taken_branches),
               static_cast<unsigned long long>(
-                  soc_exec.cpu_stats.memory_stall_cycles));
+                  soc_exec.cpu.stats.memory_stall_cycles));
 
   bench::JsonReport report("fig2_soc_arch");
   report.add("lenet5", "cycles", exec->cycles);
   report.add("lenet5", "ms", exec->ms);
-  report.add("lenet5", "instructions", soc_exec.cpu.instructions);
+  report.add("lenet5", "instructions", soc_exec.cpu.instructions());
   report.add("lenet5", "csb_transfers", c.apb2csb.transfers());
   report.add("lenet5", "dbb_bytes", c.dbb.bytes_read + c.dbb.bytes_written);
   report.add("lenet5", "arbiter_dbb_wait_cycles", c.arbiter_dbb.wait_cycles);

@@ -9,7 +9,10 @@
 // bare-metal flow) are the sum of per-hop costs, exactly as in the RTL.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string_view>
 
@@ -42,6 +45,22 @@ class BusTarget {
   virtual ~BusTarget() = default;
   virtual BusResponse access(const BusRequest& req) = 0;
   virtual std::string_view name() const = 0;
+};
+
+/// Mixin for memories that hold executable code. Anything that caches
+/// derived state keyed by code addresses (the ISS decode cache) registers a
+/// listener; the memory fires it for every mutation path — bus-side stores,
+/// backdoor `load_image`, `.mem` reloads — with the byte range touched, so
+/// stale decoded ops can never be dispatched. Listeners run synchronously on
+/// the writing thread. The source keeps only a weak reference: when the
+/// registering side drops its shared_ptr the registration lapses on its own,
+/// so neither the memory nor the listener's owner has to outlive the other.
+class CodeWriteSource {
+ public:
+  using Listener = std::function<void(Addr base, std::uint64_t bytes)>;
+
+  virtual ~CodeWriteSource() = default;
+  virtual void add_code_write_listener(std::weak_ptr<Listener> fn) = 0;
 };
 
 /// A burst transfer on the 64-bit AXI data backbone (NVDLA DBB).

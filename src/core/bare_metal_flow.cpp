@@ -42,9 +42,23 @@ vp::ReplayEngine& ReplaySchedule::engine(
     const nvdla::NvdlaConfig& config) const {
   std::call_once(engine_once_, [&] {
     engine_ = std::make_unique<vp::ReplayEngine>(config);
+    // Publish and apply any pending hook inside one hook_mutex_ critical
+    // section: a concurrent set_checkin_hook either ran before (its hook
+    // is in checkin_hook_ and applied here) or runs after (it sees
+    // engine_live_ non-null and forwards directly).
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    if (checkin_hook_) engine_->set_checkin_hook(checkin_hook_);
     engine_live_.store(engine_.get(), std::memory_order_release);
   });
   return *engine_;
+}
+
+void ReplaySchedule::set_checkin_hook(std::function<void()> hook) const {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  checkin_hook_ = std::move(hook);
+  if (vp::ReplayEngine* live = engine_live_.load(std::memory_order_acquire)) {
+    live->set_checkin_hook(checkin_hook_);
+  }
 }
 
 std::uint64_t ReplaySchedule::resident_arena_bytes() const {
@@ -156,7 +170,6 @@ SocExecution finish_execution(soc::Soc& soc, Dram& dram,
   exec.predicted_class = compiler::argmax(exec.output);
   exec.census = soc.bus_census();
   exec.engine_stats = soc.nvdla().stats();
-  exec.cpu_stats = soc.cpu().stats();
   return exec;
 }
 
@@ -169,6 +182,7 @@ SocExecution execute_on_soc(const PreparedModel& prepared,
   soc_config.nvdla = config.nvdla;
   soc_config.program_memory_bytes = config.program_memory_bytes;
   soc_config.dram_bytes = config.dram_bytes;
+  soc_config.cpu.decode_cache = config.decode_cache;
   soc::Soc soc(soc_config);
 
   // Program memory <- .mem image; DRAM <- weight file + input image.
@@ -190,6 +204,7 @@ SocExecution execute_on_system_top(const PreparedModel& prepared,
   top_config.soc.nvdla = config.nvdla;
   top_config.soc.program_memory_bytes = config.program_memory_bytes;
   top_config.soc.dram_bytes = config.dram_bytes;
+  top_config.soc.cpu.decode_cache = config.decode_cache;
   soc::SystemTop top(top_config);
 
   // Phase 1: the Zynq PS owns the DDR and preloads weights + input.
@@ -214,10 +229,14 @@ namespace {
 /// latencies by the fabric/MIG clock ratio — so a re-clocked variant must
 /// record its own envelope rather than reuse another clock's cycles.
 std::string platform_key(const char* kind, const FlowConfig& config) {
-  return strfmt("{}|{}|wait={}|pm={}|dram={}|clk={}", kind, config.nvdla.name,
+  // decode_cache does not change the cycle count, but the recorded envelope
+  // carries the CpuStats evidence (block hits, decoded blocks) of the run
+  // that produced it, so cached/uncached variants keep distinct records.
+  return strfmt("{}|{}|wait={}|pm={}|dram={}|clk={}|dc={}", kind,
+                config.nvdla.name,
                 config.wait_mode == toolflow::WaitMode::kPoll ? "poll" : "wfi",
                 config.program_memory_bytes, config.dram_bytes,
-                config.soc_clock);
+                config.soc_clock, config.decode_cache ? 1 : 0);
 }
 
 SocExecution replay_on_platform(

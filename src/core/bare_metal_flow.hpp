@@ -52,6 +52,10 @@ struct FlowConfig {
   /// that overflows it before execution).
   std::uint64_t program_memory_bytes = 4 * 1024 * 1024;
   std::uint64_t dram_bytes = 512ull * 1024 * 1024;
+  /// ISS decoded-block cache on the cycle-accurate path. Cycle counts and
+  /// outputs are bit-identical either way; `false` forces the
+  /// per-instruction oracle (`?decode_cache=off` on the backend spec).
+  bool decode_cache = true;
 };
 
 /// Input-independent artifacts of the offline frontend: network-level
@@ -82,7 +86,9 @@ struct TraceArtifacts {
   toolflow::BareMetalProgram program;   ///< assembly + machine code
 };
 
-/// Result of running the bare-metal program on the SoC model.
+/// Result of running the bare-metal program on the SoC model. CPU-side
+/// counters (instructions, stalls, decode-cache evidence) live in
+/// `cpu.stats` — the RunResult snapshot is the single source of truth.
 struct SocExecution {
   rv::RunResult cpu;
   Cycle cycles = 0;
@@ -91,7 +97,6 @@ struct SocExecution {
   std::size_t predicted_class = 0;
   soc::SocBusCensus census;
   nvdla::EngineStats engine_stats;
-  rv::CpuStats cpu_stats;
 };
 
 /// The recorded replay schedule of one (network, hardware-tree) pair — the
@@ -166,6 +171,13 @@ struct ReplaySchedule {
   /// these before it ever considers dropping the schedule itself.
   std::uint64_t release_arenas() const;
 
+  /// Install (nullptr clears) the engine's post-check-in hook (see
+  /// vp::ReplayEngine::set_checkin_hook). Applied to the live engine if
+  /// one exists and remembered for an engine built later, so the session
+  /// can attach its budget-enforcement callback before the first replay.
+  /// Thread-safe.
+  void set_checkin_hook(std::function<void()> hook) const;
+
  private:
   struct PlatformOnce {
     std::once_flag once;
@@ -179,6 +191,10 @@ struct ReplaySchedule {
   /// Published (release) inside the engine_once_ build so the accounting
   /// accessors can reach a live engine without risking a call_once build.
   mutable std::atomic<vp::ReplayEngine*> engine_live_{nullptr};
+  /// Pending check-in hook: hook_mutex_ orders set_checkin_hook against
+  /// engine construction so neither direction can lose the hook.
+  mutable std::mutex hook_mutex_;
+  mutable std::function<void()> checkin_hook_;
   mutable std::atomic<std::uint32_t> replays_{0};
 };
 

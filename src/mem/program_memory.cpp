@@ -1,5 +1,6 @@
 #include "mem/program_memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include "common/strfmt.hpp"
 #include <fstream>
@@ -32,6 +33,7 @@ BusResponse ProgramMemory::access(const BusRequest& req) {
         data_[req.addr + i] = static_cast<std::uint8_t>(req.wdata >> (8 * i));
       }
     }
+    notify_code_write(req.addr, 4);
   } else {
     Word value = 0;
     std::memcpy(&value, data_.data() + req.addr, 4);
@@ -48,6 +50,7 @@ void ProgramMemory::load_image(Addr base, std::span<const std::uint8_t> image) {
                     base, image.size(), data_.size()));
   }
   std::memcpy(data_.data() + base, image.data(), image.size());
+  notify_code_write(base, image.size());
 }
 
 std::size_t ProgramMemory::load_mem_file(const std::filesystem::path& path) {
@@ -63,6 +66,8 @@ std::size_t ProgramMemory::load_mem_text(const std::string& text) {
   std::string line;
   Addr addr = 0;
   std::size_t words = 0;
+  Addr lo = 0;
+  Addr hi = 0;  // envelope of all words written, reported once at the end
   while (std::getline(in, line)) {
     if (const auto comment = line.find("//"); comment != std::string::npos) {
       line.resize(comment);
@@ -82,10 +87,29 @@ std::size_t ProgramMemory::load_mem_text(const std::string& text) {
       throw std::runtime_error(".mem image exceeds program memory");
     }
     std::memcpy(data_.data() + addr, &value, 4);
+    if (words == 0) {
+      lo = addr;
+      hi = addr + 4;
+    } else {
+      lo = std::min(lo, addr);
+      hi = std::max(hi, addr + 4);
+    }
     addr += 4;
     ++words;
   }
+  if (words > 0) notify_code_write(lo, hi - lo);
   return words;
+}
+
+void ProgramMemory::add_code_write_listener(std::weak_ptr<Listener> fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+void ProgramMemory::notify_code_write(Addr base, std::uint64_t bytes) {
+  std::erase_if(listeners_, [](const auto& weak) { return weak.expired(); });
+  for (const auto& weak : listeners_) {
+    if (const auto fn = weak.lock()) (*fn)(base, bytes);
+  }
 }
 
 Word ProgramMemory::word_at(Addr addr) const {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,12 +14,20 @@
 
 namespace nvsoc {
 
-class ProgramMemory final : public BusTarget {
+class ProgramMemory final : public BusTarget, public CodeWriteSource {
  public:
   explicit ProgramMemory(std::uint64_t size_bytes);
 
   BusResponse access(const BusRequest& req) override;
   std::string_view name() const override { return "program_memory"; }
+
+  // CodeWriteSource: every mutation path (bus-side stores, backdoor image
+  // loads, .mem reloads) reports the byte range written, so the ISS decode
+  // cache stays coherent across program reloads and self-modifying code.
+  // Listeners fire synchronously on the writing thread (one simulated SoC
+  // owns a ProgramMemory at a time, so no locking); expired registrations
+  // are pruned as they are encountered.
+  void add_code_write_listener(std::weak_ptr<Listener> fn) override;
 
   /// Load a binary image at `base` (backdoor, zero simulated time).
   void load_image(Addr base, std::span<const std::uint8_t> image);
@@ -35,8 +44,11 @@ class ProgramMemory final : public BusTarget {
   const BusStats& stats() const { return stats_; }
 
  private:
+  void notify_code_write(Addr base, std::uint64_t bytes);
+
   std::vector<std::uint8_t> data_;
   BusStats stats_;
+  std::vector<std::weak_ptr<Listener>> listeners_;
 };
 
 }  // namespace nvsoc

@@ -17,31 +17,34 @@ constexpr Word kCauseLoadFault = 5;
 constexpr Word kCauseStoreFault = 7;
 constexpr Word kCauseEcallM = 11;
 
-/// True when the decoded instruction reads `reg` as a source.
-bool reads_register(const Decoded& d, unsigned reg) {
-  if (reg == 0) return false;
-  switch (d.op) {
-    case Opcode::kLui:
-    case Opcode::kAuipc:
+/// Basic blocks are capped so a pathological straight-line region cannot
+/// produce unbounded decode work on a first touch.
+constexpr std::size_t kMaxBlockOps = 64;
+
+/// Ops whose behaviour depends on the live irq line or the interrupt CSRs
+/// (wfi samples the line; CSR ops can read mip or re-arm mstatus/mie).
+/// They may only dispatch immediately after a burst-entry boundary check,
+/// and they end the burst so the caller re-samples the line.
+bool irq_sensitive(Opcode op) {
+  return op == Opcode::kWfi ||
+         (op >= Opcode::kCsrrw && op <= Opcode::kCsrrci);
+}
+
+/// Ops that end a basic block: anything that can redirect the PC, plus the
+/// irq-sensitive ops (kept block-terminal so the solo-dispatch rule above
+/// lands them at a block boundary instead of splitting blocks mid-burst).
+bool block_terminal(Opcode op) {
+  switch (op) {
+    case Opcode::kInvalid:
     case Opcode::kJal:
+    case Opcode::kJalr:
     case Opcode::kEcall:
     case Opcode::kEbreak:
-    case Opcode::kFence:
-    case Opcode::kWfi:
     case Opcode::kMret:
-    case Opcode::kCsrrwi:
-    case Opcode::kCsrrsi:
-    case Opcode::kCsrrci:
-      return false;
+      return true;
     default:
-      break;
+      return is_branch(op) || irq_sensitive(op);
   }
-  if (d.rs1 == reg) return true;
-  // rs2 is only a real source for R-type, branches and stores.
-  const bool uses_rs2 = is_store(d.op) || is_branch(d.op) ||
-                        (d.op >= Opcode::kAdd && d.op <= Opcode::kAnd) ||
-                        (d.op >= Opcode::kMul && d.op <= Opcode::kRemu);
-  return uses_rs2 && d.rs2 == reg;
 }
 
 }  // namespace
@@ -61,6 +64,19 @@ const char* halt_reason_name(HaltReason reason) {
 
 Cpu::Cpu(BusTarget& imem, BusTarget& dmem, CpuConfig config)
     : imem_(imem), dmem_(dmem), config_(config) {
+  if (config_.decode_cache) {
+    // The cache is only safe when every write into the instruction memory
+    // is reported back, so it switches on only when the memory implements
+    // CodeWriteSource (ProgramMemory does; arbitrary BusTargets need not).
+    if (auto* source = dynamic_cast<CodeWriteSource*>(&imem_)) {
+      cache_on_ = true;
+      code_listener_ = std::make_shared<CodeWriteSource::Listener>(
+          [this](Addr base, std::uint64_t bytes) {
+            on_code_write(base, bytes);
+          });
+      source->add_code_write_listener(code_listener_);
+    }
+  }
   reset();
 }
 
@@ -70,8 +86,22 @@ void Cpu::reset() {
   cycle_ = 0;
   mstatus_ = mie_ = mtvec_ = mepc_ = mcause_ = mip_ = 0;
   pending_load_rd_ = 0;
+  // Decoded blocks survive reset — the write listener keeps them coherent,
+  // and re-running the same image is exactly the case the cache is for.
+  cur_block_ = nullptr;
+  cur_index_ = 0;
   stats_ = {};
   halt_detail_.clear();
+}
+
+void Cpu::on_code_write(Addr base, std::uint64_t bytes) {
+  const std::size_t erased = cache_.invalidate_range(base, bytes);
+  if (erased > 0) {
+    stats_.block_invalidations += erased;
+    // The cursor may point at a freed block (a store can hit its own block);
+    // drop it and re-resolve from the map at the next dispatch.
+    cur_block_ = nullptr;
+  }
 }
 
 Word Cpu::csr_read(std::uint16_t csr_num) const {
@@ -131,13 +161,12 @@ HaltReason Cpu::take_trap(Word cause, Word tval) {
 }
 
 HaltReason Cpu::step() {
-  // Interrupt check at instruction boundary.
-  mip_ = irq_line_ ? (mip_ | kMipMeip) : (mip_ & ~kMipMeip);
-  if ((mstatus_ & kMstatusMie) && (mie_ & kMieMeie) && (mip_ & kMipMeip)) {
-    const HaltReason r = take_trap(kCauseMachineExternal, 0);
-    if (r != HaltReason::kNone) return r;
-  }
+  HaltReason reason = HaltReason::kNone;
+  step_burst(1, reason);
+  return reason;
+}
 
+HaltReason Cpu::dispatch_uncached() {
   // IF: pipelined single-cycle in steady state; wait states add stalls.
   BusRequest fetch_req{.addr = pc_, .is_write = false, .wdata = 0,
                        .byte_enable = 0xF, .start = cycle_};
@@ -150,10 +179,12 @@ HaltReason Cpu::step() {
   const Cycle fetch_latency = fetch_rsp.complete - cycle_;
   if (fetch_latency > 1) stats_.memory_stall_cycles += fetch_latency - 1;
 
+  // ID.
   const Decoded d = decode(fetch_rsp.rdata);
 
   // Load-use interlock against the previous instruction's load destination.
-  if (pending_load_rd_ != 0 && reads_register(d, pending_load_rd_)) {
+  if (pending_load_rd_ != 0 &&
+      ((source_reg_mask(d) >> pending_load_rd_) & 1u) != 0) {
     cycle_ += config_.load_use_penalty;
     ++stats_.load_use_stalls;
   }
@@ -162,9 +193,119 @@ HaltReason Cpu::step() {
   // Base cost: one cycle per retired instruction plus fetch wait states.
   cycle_ += 1 + (fetch_latency > 1 ? fetch_latency - 1 : 0);
 
+  // EX/WB.
   const HaltReason reason = execute(d);
   if (reason == HaltReason::kNone) ++stats_.instructions;
   return reason;
+}
+
+const DecodedBlock* Cpu::build_block(Addr start) {
+  DecodedBlock block;
+  block.start = start;
+  block.ops.reserve(8);
+  Addr pc = start;
+  for (std::size_t i = 0; i < kMaxBlockOps; ++i) {
+    BusRequest req{.addr = pc, .is_write = false, .wdata = 0,
+                   .byte_enable = 0xF, .start = cycle_};
+    const BusResponse rsp = imem_.access(req);
+    // A faulting fetch is not cached: if execution actually reaches this pc
+    // the uncached fallback reproduces the fault (and its halt detail).
+    if (!rsp.status.is_ok()) break;
+    CachedOp op;
+    op.fetch_extra =
+        rsp.complete > req.start + 1 ? rsp.complete - req.start - 1 : 0;
+    op.d = decode(rsp.rdata);
+    op.src_mask = source_reg_mask(op.d);
+    block.ops.push_back(op);
+    if (block_terminal(op.d.op)) break;
+    pc += 4;
+  }
+  if (block.ops.empty()) return nullptr;
+  ++stats_.decoded_blocks;
+  return cache_.insert(std::move(block));
+}
+
+std::uint64_t Cpu::step_burst(std::uint64_t max_instructions,
+                              HaltReason& reason) {
+  reason = HaltReason::kNone;
+  if (max_instructions == 0) return 0;
+
+  // Interrupt check at the burst-entry instruction boundary.
+  mip_ = irq_line_ ? (mip_ | kMipMeip) : (mip_ & ~kMipMeip);
+  if ((mstatus_ & kMstatusMie) && (mie_ & kMieMeie) && (mip_ & kMipMeip)) {
+    const HaltReason r = take_trap(kCauseMachineExternal, 0);
+    if (r != HaltReason::kNone) {
+      reason = r;
+      return 0;
+    }
+  }
+
+  if (!cache_on_) {
+    reason = dispatch_uncached();
+    return reason == HaltReason::kNone ? 1 : 0;
+  }
+
+  // While interrupts are armed every retired instruction is a potential trap
+  // boundary whose outcome depends on the live irq line, so the burst
+  // degenerates to single instructions and the caller re-samples the line —
+  // the exact cadence of the per-step loop.
+  const bool armed = (mstatus_ & kMstatusMie) && (mie_ & kMieMeie);
+  const std::uint64_t budget = armed ? 1 : max_instructions;
+
+  std::uint64_t executed = 0;
+  while (executed < budget) {
+    if (cur_block_ == nullptr || cur_index_ >= cur_block_->ops.size() ||
+        pc_ != cur_block_->start + static_cast<Addr>(4 * cur_index_)) {
+      cur_index_ = 0;
+      cur_block_ = cache_.lookup(pc_);
+      if (cur_block_ != nullptr) {
+        ++stats_.block_hits;
+      } else {
+        cur_block_ = build_block(pc_);
+        if (cur_block_ == nullptr) {
+          reason = dispatch_uncached();
+          if (reason != HaltReason::kNone) return executed;
+          ++executed;
+          continue;
+        }
+      }
+    }
+
+    // Copy the op out: a store below may invalidate (and free) its own
+    // block, and execute() must not read through a dangling cursor.
+    const CachedOp op = cur_block_->ops[cur_index_];
+
+    const bool sensitive = irq_sensitive(op.d.op);
+    if (sensitive && executed > 0) break;  // needs a fresh boundary check
+
+    // Load-use interlock against the previous instruction's load
+    // destination.
+    if (pending_load_rd_ != 0 &&
+        ((op.src_mask >> pending_load_rd_) & 1u) != 0) {
+      cycle_ += config_.load_use_penalty;
+      ++stats_.load_use_stalls;
+    }
+    pending_load_rd_ = 0;
+
+    // Base cost: one cycle per retired instruction plus the fetch wait
+    // states observed when the block was built (time-invariant for BRAM).
+    if (op.fetch_extra > 0) stats_.memory_stall_cycles += op.fetch_extra;
+    cycle_ += 1 + op.fetch_extra;
+
+    const HaltReason r = execute(op.d);
+    if (r != HaltReason::kNone) {
+      reason = r;
+      return executed;
+    }
+    ++stats_.instructions;
+    ++executed;
+    if (cur_block_ != nullptr) ++cur_index_;
+
+    // mret can re-arm interrupts; irq-sensitive ops need the caller to
+    // re-sample the line before anything else runs.
+    if (sensitive || op.d.op == Opcode::kMret) break;
+  }
+  return executed;
 }
 
 HaltReason Cpu::execute(const Decoded& d) {
@@ -429,19 +570,22 @@ HaltReason Cpu::execute(const Decoded& d) {
 
 RunResult Cpu::run(std::uint64_t max_instructions) {
   RunResult result;
-  for (std::uint64_t i = 0; i < max_instructions; ++i) {
-    const HaltReason reason = step();
+  std::uint64_t executed = 0;
+  while (executed < max_instructions) {
+    HaltReason reason = HaltReason::kNone;
+    const std::uint64_t n = step_burst(max_instructions - executed, reason);
+    executed += n;
     if (reason != HaltReason::kNone) {
       result.reason = reason;
-      result.cycles = cycle_;
-      result.instructions = stats_.instructions;
-      result.detail = halt_detail_;
-      return result;
+      break;
     }
   }
-  result.reason = HaltReason::kInstructionLimit;
+  if (result.reason == HaltReason::kNone) {
+    result.reason = HaltReason::kInstructionLimit;
+  }
   result.cycles = cycle_;
-  result.instructions = stats_.instructions;
+  result.stats = stats_;
+  result.detail = halt_detail_;
   return result;
 }
 

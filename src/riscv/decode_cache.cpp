@@ -1,0 +1,34 @@
+#include "riscv/decode_cache.hpp"
+
+namespace nvsoc::rv {
+
+const DecodedBlock* DecodeCache::lookup(Addr pc) const {
+  const auto it = blocks_.find(pc);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const DecodedBlock* DecodeCache::insert(DecodedBlock block) {
+  const Addr start = block.start;
+  const auto [it, inserted] = blocks_.insert_or_assign(start, std::move(block));
+  (void)inserted;
+  return &it->second;
+}
+
+std::size_t DecodeCache::invalidate_range(Addr base, std::uint64_t bytes) {
+  if (bytes == 0 || blocks_.empty()) return 0;
+  const Addr lo = base;
+  const Addr hi = base + bytes;
+  std::size_t erased = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    const DecodedBlock& b = it->second;
+    if (b.start < hi && lo < b.end()) {
+      it = blocks_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+}  // namespace nvsoc::rv

@@ -1,0 +1,69 @@
+// Decoded-basic-block cache for the ISS (ROADMAP direction 3, tier (a)).
+//
+// The cycle-accurate path re-fetched and re-decoded every instruction on
+// every `Cpu::step()` — including the bare-metal polling loops that spin for
+// thousands of iterations per NVDLA job. This cache stores basic blocks of
+// pre-decoded ops keyed by their start PC so repeat executions dispatch a
+// tight in-memory loop and only touch the bus for data accesses.
+//
+// The cache is purely a speed structure: each `CachedOp` carries the fetch
+// wait states observed when the block was built (always zero for the
+// single-cycle BRAM program memory), so cached dispatch reproduces the
+// uncached pipeline timing cycle-for-cycle. Coherence is the owner's job:
+// the `Cpu` registers a `CodeWriteSource` listener on its instruction memory
+// and calls `invalidate_range()` for every byte range written, so stale ops
+// can never be dispatched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "riscv/isa.hpp"
+
+namespace nvsoc::rv {
+
+/// One pre-decoded instruction plus everything the dispatch loop needs to
+/// reproduce the uncached per-step accounting without touching the bus.
+struct CachedOp {
+  Decoded d;
+  /// Fetch wait states beyond the single pipelined cycle, as observed when
+  /// the block was built. Program memory is single-cycle BRAM, so its fetch
+  /// latency is time-invariant and recording it once is exact.
+  Cycle fetch_extra = 0;
+  /// Bit r set when the op reads register r (load-use interlock test).
+  std::uint32_t src_mask = 0;
+};
+
+/// A straight-line run of instructions ending at the first control transfer
+/// or system op (or the build cap).
+struct DecodedBlock {
+  Addr start = 0;
+  std::vector<CachedOp> ops;
+
+  Addr end() const { return start + static_cast<Addr>(4 * ops.size()); }
+};
+
+class DecodeCache {
+ public:
+  /// Block starting exactly at `pc`, or nullptr. Pointers stay valid until
+  /// the block is invalidated (std::unordered_map is node-based).
+  const DecodedBlock* lookup(Addr pc) const;
+
+  /// Insert (or replace) the block keyed by its start PC.
+  const DecodedBlock* insert(DecodedBlock block);
+
+  /// Drop every block whose [start, end) intersects [base, base + bytes).
+  /// Returns the number of blocks dropped.
+  std::size_t invalidate_range(Addr base, std::uint64_t bytes);
+
+  void clear() { blocks_.clear(); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  std::unordered_map<Addr, DecodedBlock> blocks_;
+};
+
+}  // namespace nvsoc::rv

@@ -246,6 +246,33 @@ bool is_branch(Opcode op) {
   }
 }
 
+std::uint32_t source_reg_mask(const Decoded& d) {
+  switch (d.op) {
+    case Opcode::kLui:
+    case Opcode::kAuipc:
+    case Opcode::kJal:
+    case Opcode::kEcall:
+    case Opcode::kEbreak:
+    case Opcode::kFence:
+    case Opcode::kWfi:
+    case Opcode::kMret:
+    case Opcode::kCsrrwi:
+    case Opcode::kCsrrsi:
+    case Opcode::kCsrrci:
+      return 0;
+    default:
+      break;
+  }
+  std::uint32_t mask = 0;
+  if (d.rs1 != 0) mask |= 1u << d.rs1;
+  // rs2 is only a real source for R-type, branches and stores.
+  const bool uses_rs2 = is_store(d.op) || is_branch(d.op) ||
+                        (d.op >= Opcode::kAdd && d.op <= Opcode::kAnd) ||
+                        (d.op >= Opcode::kMul && d.op <= Opcode::kRemu);
+  if (uses_rs2 && d.rs2 != 0) mask |= 1u << d.rs2;
+  return mask;
+}
+
 namespace {
 constexpr std::array<std::string_view, 32> kAbiNames = {
     "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",

@@ -59,6 +59,11 @@ bool is_load(Opcode op);
 bool is_store(Opcode op);
 bool is_branch(Opcode op);
 
+/// Bit r set when the instruction reads register r as a source (x0 never
+/// set). Drives the load-use interlock on both the per-step path and the
+/// pre-decoded dispatch path, so the two can't disagree.
+std::uint32_t source_reg_mask(const Decoded& d);
+
 /// ABI register names x0..x31 <-> zero, ra, sp, ...
 std::string_view abi_name(unsigned reg);
 std::optional<unsigned> parse_register(std::string_view token);

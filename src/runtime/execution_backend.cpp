@@ -28,6 +28,7 @@ struct FlowOverrides {
   std::optional<bool> validate;
   std::optional<std::uint64_t> dram_bytes;
   std::optional<std::uint64_t> program_memory_bytes;
+  std::optional<bool> decode_cache;
 };
 
 StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
@@ -79,11 +80,23 @@ StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
                              bytes.status().message()));
       }
       overrides.program_memory_bytes = *bytes;
+    } else if (key == "decode_cache") {
+      const std::string v = lowered(value);
+      if (v == "on" || v == "true" || v == "1") {
+        overrides.decode_cache = true;
+      } else if (v == "off" || v == "false" || v == "0") {
+        overrides.decode_cache = false;
+      } else {
+        return Status(StatusCode::kInvalidArgument,
+                      strfmt("backend spec '{}': decode_cache must be "
+                             "'on' or 'off', got '{}'",
+                             spec.full, value));
+      }
     } else {
       return Status(StatusCode::kInvalidArgument,
                     strfmt("backend spec '{}': unknown option '{}' "
                            "(supported: wait_mode, validate, dram, "
-                           "program_memory)",
+                           "program_memory, decode_cache)",
                            spec.full, key));
     }
   }
@@ -133,6 +146,9 @@ class ConfiguredBackend final : public ExecutionBackend {
     if (overrides_.dram_bytes) adjusted.flow.dram_bytes = *overrides_.dram_bytes;
     if (overrides_.program_memory_bytes) {
       adjusted.flow.program_memory_bytes = *overrides_.program_memory_bytes;
+    }
+    if (overrides_.decode_cache) {
+      adjusted.flow.decode_cache = *overrides_.decode_cache;
     }
     return adjusted;
   }
@@ -306,6 +322,10 @@ std::string spec_vocabulary_help() {
       "  ?dram=<size>                DRAM window, e.g. 1gib (b|kib|mib|gib)\n"
       "  ?program_memory=<size>      BRAM program-memory capacity, e.g. "
       "2mib\n"
+      "  ?decode_cache=on|off        ISS decoded-block cache on the "
+      "cycle-accurate path\n"
+      "                              (bit-identical cycles; off = "
+      "per-instruction oracle)\n"
       "  ?mode=replay|cycle_accurate soc/system_top only: replay the "
       "recorded schedule\n"
       "                              functionally on repeat images (skips "

@@ -144,7 +144,9 @@ Status StagingHandle::wait() {
 InferenceSession::InferenceSession(compiler::Network network,
                                    core::FlowConfig config,
                                    const BackendRegistry* registry)
-    : registry_(registry) {
+    : registry_(registry),
+      checkin_state_(std::make_shared<ReplayCheckinState>()) {
+  checkin_state_->session = this;
   std::string name = network.name();
   auto state =
       std::make_unique<ModelState>(name, std::move(network), config);
@@ -152,7 +154,19 @@ InferenceSession::InferenceSession(compiler::Network network,
   models_.emplace(std::move(name), std::move(state));
 }
 
-InferenceSession::~InferenceSession() = default;
+InferenceSession::~InferenceSession() {
+  // Detach from the check-in hooks before anything else dies: holding the
+  // state mutex waits out any hook mid-call, and hooks firing afterwards
+  // (the pool drain during member destruction, or schedules the caller
+  // still holds) see the null session and return without touching freed
+  // members. The lock must be dropped before members destruct — a hook
+  // fired by a draining task blocks on it, and pool_'s destructor would
+  // wait on that task.
+  {
+    std::lock_guard<std::mutex> lock(checkin_state_->mutex);
+    checkin_state_->session = nullptr;
+  }
+}
 
 Status InferenceSession::register_model(std::string name,
                                         compiler::Network network,
@@ -510,6 +524,9 @@ void InferenceSession::ensure_tail(ModelState& model,
     model.replay_base += outgoing_schedule->replay_count();
   }
   model.tail_done = true;
+  if (model.prepared.replay != nullptr) {
+    install_checkin_hook(*model.prepared.replay, model);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +578,11 @@ void InferenceSession::start_staging_locked(ModelState& model,
             base.frontend = build_frontend(*state, calibration_image);
           }
           stage_tail_into(*state, base, image, record_replay);
+          // Hook the fresh schedule before the latch publishes it: tasks
+          // queued behind the latch replay against it before adoption.
+          if (base.replay != nullptr) {
+            install_checkin_hook(*base.replay, *state);
+          }
           latch->staged = std::move(base);
           latch->promise.set_value(Status::ok());
         } catch (const std::exception& e) {
@@ -601,6 +623,9 @@ void InferenceSession::try_adopt_staging_locked(ModelState& model) {
   // staging call) retries from the pre-staging state.
   model.staging.reset();
   refresh_variants_staged_locked(model);
+  if (const auto* schedule = live_schedule_locked(model)) {
+    install_checkin_hook(*schedule, model);
+  }
 }
 
 void InferenceSession::try_adopt_all_locked() {
@@ -739,12 +764,45 @@ void InferenceSession::enforce_budget_locked(ModelState* just_used) {
   }
 }
 
+void InferenceSession::install_checkin_hook(
+    const core::ReplaySchedule& schedule, ModelState& model) {
+  // The hook captures the shared control block, never `this`: schedules
+  // (and their engines) routinely outlive the session inside caller-held
+  // PreparedModel snapshots, and must fire a no-op after detach. The
+  // ModelState pointer rides along under the same gate (nothing ever
+  // erases a model node while the session lives).
+  auto state = checkin_state_;
+  schedule.set_checkin_hook([state, model = &model] {
+    if (state->budget.load(std::memory_order_relaxed) == 0) return;
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->session == nullptr) return;
+    state->session->on_replay_checkin(*model);
+  });
+}
+
+void InferenceSession::on_replay_checkin(ModelState& model) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  // Adopt first so a freshly staged schedule counts against the budget it
+  // is about to share. The checking-in model is the hot one: the walk
+  // sheds cold models first and at most drops this model's idle arenas —
+  // including the one this check-in just returned — never its schedule.
+  try_adopt_all_locked();
+  enforce_budget_locked(&model);
+}
+
 void InferenceSession::set_replay_budget_bytes(std::uint64_t budget_bytes) {
   std::lock_guard<std::mutex> lock(submit_mutex_);
   replay_budget_bytes_ = budget_bytes;
+  checkin_state_->budget.store(budget_bytes, std::memory_order_relaxed);
   // Enforce immediately so a freshly lowered budget takes effect without
-  // waiting for the next request.
+  // waiting for the next request, and (re)attach the check-in hooks —
+  // schedules staged before any budget existed get theirs here.
   try_adopt_all_locked();
+  for (auto& [name, state] : models_) {
+    if (const auto* schedule = live_schedule_locked(*state)) {
+      install_checkin_hook(*schedule, *state);
+    }
+  }
   enforce_budget_locked(nullptr);
 }
 

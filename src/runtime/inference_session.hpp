@@ -643,6 +643,31 @@ class InferenceSession {
   /// holds submit_mutex_; `just_used` (nullable) is the model driving the
   /// current use and is evicted last (arenas only, never its schedule).
   void enforce_budget_locked(ModelState* just_used);
+  /// Shared control block between the session and the replay-engine
+  /// check-in hooks it installs. Hooks capture the shared_ptr, never the
+  /// session: a schedule (and its engine) outliving the session fires a
+  /// no-op once ~InferenceSession has detached, and the detach itself
+  /// waits out any hook mid-flight (it holds `mutex` while calling in).
+  struct ReplayCheckinState {
+    std::mutex mutex;
+    InferenceSession* session = nullptr;  ///< null once detached
+    /// Lock-free mirror of replay_budget_bytes_, so the per-image hook
+    /// costs one relaxed load while no budget is set.
+    std::atomic<std::uint64_t> budget{0};
+  };
+  /// Attach the budget-enforcement check-in hook to `schedule`'s engine.
+  /// `model` is the schedule's owner (map-pinned for the session
+  /// lifetime): its check-ins count as uses of that model, so the budget
+  /// walk never evicts the schedule a replay just ran on. Touches only
+  /// checkin_state_ (set once in the constructor), so any thread —
+  /// staging tasks included — may call it, locked or not.
+  void install_checkin_hook(const core::ReplaySchedule& schedule,
+                            ModelState& model);
+  /// Hook body: adopt ready stagings and re-enforce the byte budget with
+  /// `model` as the hot model. Runs on the replaying worker right after
+  /// its arena check-in, so a run's own arena growth is reclaimed at
+  /// arena return, not on the next submit. Takes submit_mutex_.
+  void on_replay_checkin(ModelState& model);
   /// Drop `model`'s replay schedule (folding its replay tally), force a
   /// re-trace on next use, and mark its staged variants evicted. Caller
   /// holds submit_mutex_.
@@ -703,6 +728,8 @@ class InferenceSession {
   bool repack_enabled_ = true;
   bool replay_enabled_ = true;
   std::uint64_t replay_budget_bytes_ = 0;  ///< 0 = unlimited
+  /// Shared with every installed check-in hook; see ReplayCheckinState.
+  std::shared_ptr<ReplayCheckinState> checkin_state_;
   std::uint64_t use_tick_ = 0;             ///< LRU clock; under submit_mutex_
   std::chrono::milliseconds pool_idle_timeout_{0};  ///< 0 = never reap
   /// Registered models, default model included. Node-based + unique_ptr:

@@ -50,18 +50,25 @@ Dram& Soc::dram() {
 }
 
 rv::RunResult Soc::run(std::uint64_t max_instructions) {
-  // Step loop with the NVDLA interrupt line wired to the core. A WFI with
-  // no pending interrupt puts the core to sleep until the next NVDLA
-  // completion event (the clock keeps running); with no event in flight it
-  // is a genuine halt.
+  // Burst loop with the NVDLA interrupt line wired to the core. The line is
+  // re-sampled between bursts; the core internally degenerates to
+  // single-instruction bursts whenever interrupts are armed (and yields at
+  // wfi/CSR boundaries), so a pending NVDLA completion is observed at
+  // exactly the same instruction boundary as the per-step loop this
+  // replaces. A WFI with no pending interrupt puts the core to sleep until
+  // the next NVDLA completion event (the clock keeps running); with no
+  // event in flight it is a genuine halt.
   rv::RunResult result;
-  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+  std::uint64_t executed = 0;
+  while (executed < max_instructions) {
     cpu_->set_irq(nvdla_->irq_pending(cpu_->cycle()));
-    const rv::HaltReason reason = cpu_->step();
+    rv::HaltReason reason = rv::HaltReason::kNone;
+    executed += cpu_->step_burst(max_instructions - executed, reason);
     if (reason == rv::HaltReason::kWfi) {
       if (const auto wake = nvdla_->next_completion_after(cpu_->cycle())) {
         cpu_->advance_to(*wake);
-        continue;  // retry the wfi with the interrupt now pending
+        ++executed;  // the sleeping wfi attempt consumes an instruction slot
+        continue;    // retry the wfi with the interrupt now pending
       }
     }
     if (reason != rv::HaltReason::kNone) {
@@ -73,7 +80,7 @@ rv::RunResult Soc::run(std::uint64_t max_instructions) {
     result.reason = rv::HaltReason::kInstructionLimit;
   }
   result.cycles = cpu_->cycle();
-  result.instructions = cpu_->stats().instructions;
+  result.stats = cpu_->stats();
   result.detail = cpu_->halt_detail();
   return result;
 }

@@ -267,8 +267,23 @@ ReplayEngine::Arena* ReplayEngine::acquire(
 }
 
 void ReplayEngine::release(Arena* arena) {
+  std::shared_ptr<const std::function<void()>> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(arena);
+    hook = checkin_hook_;
+  }
+  // Fire outside the lock: the hook is allowed to walk resident_bytes()
+  // or call release_free_arenas() on this very engine.
+  if (hook != nullptr && *hook) (*hook)();
+}
+
+void ReplayEngine::set_checkin_hook(std::function<void()> hook) {
+  auto shared = hook ? std::make_shared<const std::function<void()>>(
+                           std::move(hook))
+                     : nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
-  free_.push_back(arena);
+  checkin_hook_ = std::move(shared);
 }
 
 std::uint64_t ReplayEngine::resident_bytes() const {

@@ -36,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -109,6 +110,16 @@ class ReplayEngine {
     return arenas_released_.load(std::memory_order_relaxed);
   }
 
+  /// Install (nullptr clears) a hook fired after every arena check-in,
+  /// outside the engine lock — so the hook may call back into the engine
+  /// (resident_bytes, release_free_arenas) or take its own locks. This is
+  /// the byte-budget enforcement point that reclaims a replay's *own*
+  /// arena growth at arena return rather than on the next request. The
+  /// hook must not call run() (check-in would recurse). Thread-safe; an
+  /// in-flight check-in may still fire the hook it copied before a
+  /// concurrent replacement.
+  void set_checkin_hook(std::function<void()> hook);
+
  private:
   class Arena;
   struct WritePlan;
@@ -127,6 +138,9 @@ class ReplayEngine {
   const nvdla::ReplayOp* plan_key_ = nullptr;   ///< ops identity of plan_
   std::size_t plan_ops_ = 0;
   std::shared_ptr<const WritePlan> plan_;
+  /// Post-check-in hook (see set_checkin_hook). shared_ptr so release()
+  /// can copy it under the lock and invoke it after unlocking.
+  std::shared_ptr<const std::function<void()>> checkin_hook_;
   std::atomic<std::uint32_t> arenas_built_{0};
   std::atomic<std::uint32_t> arenas_released_{0};
   std::atomic<std::uint64_t> images_replayed_{0};

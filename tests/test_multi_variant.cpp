@@ -175,6 +175,42 @@ TEST(MultiVariant, BudgetEvictsColdModelAndRestagesBitExactly) {
   EXPECT_GE(session.counters().evictions, 2u);
 }
 
+TEST(MultiVariant, CheckinHookReclaimsOwnArenaGrowthAtReturn) {
+  // A concurrent burst grows the replay engine's arena pool (one arena per
+  // simultaneously replaying worker). The post-check-in budget hook must
+  // walk that surplus back at arena *return* — so once the burst's last
+  // result is delivered, residency is already under budget again with no
+  // further submit acting as the enforcement point.
+  InferenceSession session(models::lenet5());
+  const auto image =
+      compiler::synthetic_input(models::lenet5().input_shape(), 8400);
+  ASSERT_TRUE(session.prepare_async("soc", image).wait().is_ok());
+  const auto first = session.submit("soc", image).get();
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+
+  // Budget = steady state (schedule + the one arena the first replay
+  // built). Burst growth beyond it is exactly what the hook reclaims.
+  const std::uint64_t budget = session.replay_resident_bytes();
+  ASSERT_GT(budget, 0u);
+  session.set_replay_budget_bytes(budget);
+
+  std::vector<PendingResult> burst;
+  burst.reserve(8);
+  for (int i = 0; i < 8; ++i) burst.push_back(session.submit("soc", image));
+  for (auto& pending : burst) {
+    const auto result = pending.get();
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result->output, first->output);
+  }
+
+  // Every check-in hook fired inside its replay, before the result was
+  // delivered: the surplus arenas are gone without another request.
+  EXPECT_LE(session.replay_resident_bytes(), budget);
+  // The checking-in model is the budget walk's hot model: its schedule is
+  // shed-arenas-only, never evicted mid-burst.
+  EXPECT_EQ(session.counters().evictions, 0u);
+}
+
 TEST(MultiVariant, ZeroBudgetMeansUnbounded) {
   InferenceSession session(models::lenet5());
   const auto image =

@@ -100,7 +100,7 @@ TEST_F(CpuTest, BranchLoopCountsCorrectly) {
   EXPECT_EQ(result.reason, HaltReason::kEbreak);
   EXPECT_EQ(cpu_->reg(5), 100u);
   // 2 setup (li small = 1 insn each) + 100 iterations * 2 + ebreak attempt.
-  EXPECT_EQ(result.instructions, 2u + 200u);
+  EXPECT_EQ(result.instructions(), 2u + 200u);
 }
 
 TEST_F(CpuTest, TakenBranchCostsFlushPenalty) {
@@ -122,7 +122,7 @@ TEST_F(CpuTest, TakenBranchCostsFlushPenalty) {
   skip:
     ebreak
   )");
-  EXPECT_EQ(taken.instructions + 1, fallthrough.instructions);
+  EXPECT_EQ(taken.instructions() + 1, fallthrough.instructions());
   EXPECT_GT(taken.cycles + 1, fall_cycles);  // flush penalty visible
 }
 
@@ -139,7 +139,7 @@ TEST_F(CpuTest, LoadUseHazardAddsBubble) {
     addi t2, t0, 1     # no dependency on the load
     ebreak
   )");
-  EXPECT_EQ(dependent.instructions, independent.instructions);
+  EXPECT_EQ(dependent.instructions(), independent.instructions());
   EXPECT_EQ(dependent.cycles, independent.cycles + 1);
 }
 

@@ -103,7 +103,7 @@ TEST(Backends, SocBackendBitExactWithLegacyFacade) {
   EXPECT_EQ(result->output, legacy.output);
   EXPECT_EQ(result->predicted_class, legacy.predicted_class);
   ASSERT_TRUE(result->soc.has_value());
-  EXPECT_EQ(result->soc->cpu.instructions, legacy.cpu.instructions);
+  EXPECT_EQ(result->soc->cpu.instructions(), legacy.cpu.instructions());
 }
 
 TEST(Backends, SystemTopBackendBitExactWithLegacyFacade) {

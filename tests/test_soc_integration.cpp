@@ -88,7 +88,7 @@ TEST(Flow, PollingLoopsSpinUntilCompletion) {
   // than the trace's read_reg count (polling), and branched accordingly.
   EXPECT_GT(exec.soc->census.apb2csb.reads,
             lenet().prepared().config_file().read_count() * 10);
-  EXPECT_GT(exec.soc->cpu_stats.taken_branches, 100u);
+  EXPECT_GT(exec.soc->cpu.stats.taken_branches, 100u);
 }
 
 TEST(Flow, ResNet18Int8EndToEnd) {
@@ -139,8 +139,8 @@ TEST(Flow, InterruptModeMatchesPollingFunctionally) {
   ASSERT_TRUE(poll_exec.soc.has_value());
   ASSERT_TRUE(irq_exec.soc.has_value());
   EXPECT_EQ(poll_exec.output, irq_exec.output);
-  EXPECT_LT(irq_exec.soc->cpu.instructions,
-            poll_exec.soc->cpu.instructions / 4);
+  EXPECT_LT(irq_exec.soc->cpu.instructions(),
+            poll_exec.soc->cpu.instructions() / 4);
   EXPECT_LT(irq_exec.soc->census.apb2csb.reads,
             poll_exec.soc->census.apb2csb.reads);
   // Wall-clock (cycle) difference small: polling granularity vs exact wake.
