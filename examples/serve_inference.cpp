@@ -24,6 +24,7 @@
 // src/server/client.hpp speak it.
 #include <cctype>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -90,7 +91,11 @@ int main(int argc, char** argv) {
   std::string models_csv = "lenet5";
   std::string backend = "vp";
   std::string replay_budget;
+  std::string fault_plan;
   int port = 7790;
+  int deadline_ms = 0;
+  int max_inflight = 0;
+  int retries = 0;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = arg_value(argv[i], "--models=")) {
       models_csv = v;
@@ -100,21 +105,41 @@ int main(int argc, char** argv) {
       backend = v;
     } else if (const char* v = arg_value(argv[i], "--replay-budget=")) {
       replay_budget = v;
+    } else if (const char* v = arg_value(argv[i], "--fault=")) {
+      fault_plan = v;
+    } else if (const char* v = arg_value(argv[i], "--deadline-ms=")) {
+      deadline_ms = std::atoi(v);
+    } else if (const char* v = arg_value(argv[i], "--max-inflight=")) {
+      max_inflight = std::atoi(v);
+    } else if (const char* v = arg_value(argv[i], "--retries=")) {
+      retries = std::atoi(v);
     } else if (const char* v = arg_value(argv[i], "--port=")) {
       port = std::atoi(v);
     } else {
       std::printf(
           "usage: %s [--models=NAME[,NAME...]] [--backend=SPEC] "
-          "[--replay-budget=SIZE] [--port=N]\n\nServes framed inference "
-          "requests over loopback TCP; --port=0 binds an\nephemeral port "
-          "(printed on startup). The first --models entry is the\ndefault "
-          "model; the rest are reachable with a '?model=NAME' spec in "
-          "the\nrequest's backend string. --replay-budget (e.g. 8mib) "
-          "bounds replay\nresidency across models. The per-request backend "
-          "spec in each frame wins;\n--backend only picks what to "
+          "[--replay-budget=SIZE]\n  [--fault=PLAN] [--deadline-ms=N] "
+          "[--max-inflight=N] [--retries=N] [--port=N]\n\nServes framed "
+          "inference requests over loopback TCP; --port=0 binds an\n"
+          "ephemeral port (printed on startup). The first --models entry is "
+          "the\ndefault model; the rest are reachable with a '?model=NAME' "
+          "spec in the\nrequest's backend string. --replay-budget (e.g. "
+          "8mib) bounds replay\nresidency across models. The per-request "
+          "backend spec in each frame wins;\n--backend only picks what to "
           "pre-stage. Zoo models (case and\npunctuation insensitive): "
           "LeNet-5, ResNet-18, ResNet-50, MobileNet,\nGoogleNet, "
-          "AlexNet.\n",
+          "AlexNet.\n\nRobustness knobs:\n  --fault=PLAN       arm a "
+          "deterministic session fault plan, e.g.\n                     "
+          "'flip:1e-6+csb_error:0.01+seed:7' (kinds: flip,\n"
+          "                     csb_timeout, csb_error, dbb_error, stall, "
+          "staging, replay)\n  --deadline-ms=N    per-request wall-clock "
+          "deadline (server scan +\n                     session task "
+          "boundaries); expired requests answer\n                     "
+          "DEADLINE_EXCEEDED\n  --max-inflight=N   global in-flight cap; "
+          "excess requests shed with\n                     UNAVAILABLE on a "
+          "still-usable connection\n  --retries=N        bounded automatic "
+          "retry of transient failures inside\n                     the "
+          "session (UNAVAILABLE / DATA_LOSS after quarantine)\n",
           argv[0]);
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
@@ -156,6 +181,19 @@ int main(int argc, char** argv) {
     session.set_replay_budget_bytes(*budget);
   }
 
+  if (!fault_plan.empty()) {
+    if (const Status s = session.set_fault_plan(fault_plan); !s.is_ok()) {
+      std::fprintf(stderr, "--fault: %s\n", s.to_string().c_str());
+      return 2;
+    }
+  }
+  if (retries > 0) {
+    session.set_retry_policy({static_cast<std::uint32_t>(retries) + 1, 0});
+  }
+  if (deadline_ms > 0) {
+    session.set_default_deadline_ms(static_cast<std::uint32_t>(deadline_ms));
+  }
+
   // Long-lived server: return burst threads to the host between peaks.
   session.set_pool_idle_timeout(std::chrono::seconds(5));
 
@@ -172,6 +210,12 @@ int main(int argc, char** argv) {
 
   server::ServerOptions options;
   options.port = static_cast<std::uint16_t>(port);
+  if (deadline_ms > 0) {
+    options.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+  }
+  if (max_inflight > 0) {
+    options.max_inflight_total = static_cast<std::uint32_t>(max_inflight);
+  }
   server::InferenceServer server(session, options);
   if (const Status started = server.start(); !started.is_ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.to_string().c_str());
@@ -209,5 +253,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(v.evictions),
                 static_cast<unsigned long long>(v.resident_bytes));
   }
+  const auto robust = session.robustness();
+  std::uint64_t faults_injected = 0;
+  if (const auto injector = session.fault_injector(); injector != nullptr) {
+    faults_injected = injector->total_injected();
+  }
+  std::printf("robustness: %llu faults injected, %llu retries, %llu "
+              "quarantines, %llu restages,\n  %llu data-loss, %llu staging "
+              "faults, %llu deadline-exceeded (session),\n  %llu "
+              "deadline-expired (server), %llu shed, %llu shutdown "
+              "rejections\n",
+              static_cast<unsigned long long>(faults_injected),
+              static_cast<unsigned long long>(robust.retries),
+              static_cast<unsigned long long>(robust.quarantines),
+              static_cast<unsigned long long>(robust.restages),
+              static_cast<unsigned long long>(robust.data_loss),
+              static_cast<unsigned long long>(robust.staging_faults),
+              static_cast<unsigned long long>(robust.deadline_exceeded),
+              static_cast<unsigned long long>(server.deadline_expirations()),
+              static_cast<unsigned long long>(server.shed_requests()),
+              static_cast<unsigned long long>(robust.shutdown_rejections));
   return 0;
 }

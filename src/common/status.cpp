@@ -14,6 +14,9 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kBusError: return "BUS_ERROR";
     case StatusCode::kTimeout: return "TIMEOUT";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kBusError,
   kTimeout,
   kInternal,
+  kDeadlineExceeded,  ///< a wall-clock or cycle budget ran out
+  kUnavailable,       ///< transient failure; a retry may succeed
+  kDataLoss,          ///< corruption detected before a wrong answer shipped
 };
 
 /// Human-readable name of a status code.
@@ -49,6 +52,34 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Exception carrying a typed Status through layers whose signatures speak
+/// cycles, not StatusOr (the KMD register loop, the DBB burst path, the
+/// replay engine). Thrown at the failure site, caught at the backend
+/// run()/stage() boundaries — which catch it *before* the generic
+/// std::exception net so the code survives instead of collapsing into
+/// kInternal/kInvalidArgument.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  StatusError(StatusCode code, std::string message)
+      : StatusError(Status(code, std::move(message))) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// The transient subset of the taxonomy: codes a bounded automatic retry
+/// is allowed to chase. kUnavailable is transient by definition; kDataLoss
+/// is retryable because detection happens *before* serving and the retry
+/// path re-stages from the frozen artifacts. Deadlines are not retried —
+/// the budget is already spent.
+inline bool is_transient(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
+}
 
 /// Value-or-status. A minimal expected<T, Status> — the error vocabulary of
 /// the runtime API boundary (`runtime::ExecutionBackend`,

@@ -10,6 +10,28 @@
 
 namespace nvsoc::core {
 
+namespace {
+
+/// FNV-1a over the raw op bytes. The schedule only ever compares a buffer
+/// against its own frozen digest, so padding bytes hashing along is fine —
+/// they are as stable (and as corruptible) as the payload fields.
+std::uint64_t checksum_ops(const std::vector<nvdla::ReplayOp>& ops) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(ops.data());
+  const std::size_t size = ops.size() * sizeof(nvdla::ReplayOp);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+bool ReplaySchedule::ops_intact() const {
+  return checksum_ops(ops) == ops_checksum;
+}
+
 const SocExecution& ReplaySchedule::platform_record(
     const std::string& key,
     const std::function<SocExecution()>& compute) const {
@@ -78,17 +100,19 @@ std::shared_ptr<const ReplaySchedule> make_replay_schedule(
   schedule->ops = std::move(vp_result.replay_ops);
   vp_result.replay_ops.clear();
   schedule->vp_total_cycles = vp_result.total_cycles;
+  schedule->ops_checksum = checksum_ops(schedule->ops);
   return schedule;
 }
 
-std::vector<float> replay_output(const PreparedModel& prepared) {
+std::vector<float> replay_output(const PreparedModel& prepared,
+                                 fault::Injector* injector) {
   const ReplaySchedule& schedule = prepared.replay_schedule();
   // The schedule-lifetime engine checks a preloaded per-worker arena out,
   // resets only the surfaces the previous image dirtied, and replays —
   // no per-image sparse-DRAM rebuild, no weight-blob re-copy.
   std::vector<float> output = schedule.engine(prepared.nvdla())
                                   .run(prepared.loadable(), schedule.ops,
-                                       prepared.input);
+                                       prepared.input, injector);
   schedule.note_replay();
   return output;
 }
@@ -155,9 +179,27 @@ SocExecution finish_execution(soc::Soc& soc, Dram& dram,
                               const PreparedModel& prepared,
                               const rv::RunResult& cpu_result) {
   if (cpu_result.reason != rv::HaltReason::kEbreak) {
-    throw std::runtime_error(
+    const std::string what =
         std::string("SoC program did not reach ebreak: ") +
-        rv::halt_reason_name(cpu_result.reason) + " " + cpu_result.detail);
+        rv::halt_reason_name(cpu_result.reason) + " " + cpu_result.detail;
+    // Typed failure surface. Budget exhaustion (injected ISS stalls,
+    // runaway programs) is a deadline. A bus-error halt carries the CSB/
+    // DBB layer's status text in the halt detail (the CPU embeds
+    // rsp.status.to_string()), so the typed code injected deep in the
+    // platform is recovered here instead of collapsing to kInternal.
+    if (cpu_result.reason == rv::HaltReason::kInstructionLimit) {
+      throw StatusError(StatusCode::kDeadlineExceeded, what);
+    }
+    if (cpu_result.reason == rv::HaltReason::kBusError) {
+      if (cpu_result.detail.find("DEADLINE_EXCEEDED") != std::string::npos) {
+        throw StatusError(StatusCode::kDeadlineExceeded, what);
+      }
+      if (cpu_result.detail.find("UNAVAILABLE") != std::string::npos) {
+        throw StatusError(StatusCode::kUnavailable, what);
+      }
+      throw StatusError(StatusCode::kBusError, what);
+    }
+    throw std::runtime_error(what);
   }
   SocExecution exec;
   exec.cpu = cpu_result;
@@ -173,6 +215,61 @@ SocExecution finish_execution(soc::Soc& soc, Dram& dram,
   return exec;
 }
 
+/// Serving-copy weight corruption: flips a deterministic bit of the
+/// preloaded DRAM weight image (the shared chunks stay immutable), so the
+/// verify pass below detects it before the run can produce an answer.
+void inject_weight_flips(Dram& dram, const vp::WeightFile& weights,
+                         fault::Injector& injector) {
+  std::uint64_t total = 0;
+  for (const auto& chunk : weights.chunks) total += chunk.bytes.size();
+  const auto corruption = injector.fire_corruption(total);
+  if (!corruption) return;
+  std::uint64_t off = corruption->offset;
+  for (const auto& chunk : weights.chunks) {
+    if (off < chunk.bytes.size()) {
+      std::uint8_t byte = 0;
+      dram.read_bytes(chunk.addr + off, std::span<std::uint8_t>(&byte, 1));
+      byte ^= static_cast<std::uint8_t>(1u << corruption->bit);
+      dram.write_bytes(chunk.addr + off,
+                       std::span<const std::uint8_t>(&byte, 1));
+      return;
+    }
+    off -= chunk.bytes.size();
+  }
+}
+
+/// Post-preload integrity check: the DRAM weight image must match the
+/// immutable chunks bit for bit, or the run refuses to start (kDataLoss) —
+/// the no-wrong-answers guarantee for the cycle-accurate platforms.
+void verify_weight_image(const Dram& dram, const vp::WeightFile& weights) {
+  std::vector<std::uint8_t> readback;
+  for (const auto& chunk : weights.chunks) {
+    readback.resize(chunk.bytes.size());
+    dram.read_bytes(chunk.addr, readback);
+    if (!std::equal(readback.begin(), readback.end(), chunk.bytes.begin(),
+                    chunk.bytes.end())) {
+      throw StatusError(
+          StatusCode::kDataLoss,
+          strfmt("weight image corruption detected at DRAM {:#x} ({} bytes)",
+                 chunk.addr, chunk.bytes.size()));
+    }
+  }
+}
+
+/// Instruction budget for one cycle-accurate run: the configured cap,
+/// tightened to a small allowance when an injected ISS stall fires — the
+/// run then halts at kInstructionLimit and surfaces kDeadlineExceeded.
+std::uint64_t run_budget(const FlowConfig& config) {
+  std::uint64_t budget = config.run_instruction_budget != 0
+                             ? config.run_instruction_budget
+                             : UINT64_MAX;
+  if (config.fault != nullptr && config.fault->fire(fault::Kind::kIssStall)) {
+    constexpr std::uint64_t kStallBudget = 20'000;
+    budget = std::min(budget, kStallBudget);
+  }
+  return budget;
+}
+
 }  // namespace
 
 SocExecution execute_on_soc(const PreparedModel& prepared,
@@ -183,6 +280,7 @@ SocExecution execute_on_soc(const PreparedModel& prepared,
   soc_config.program_memory_bytes = config.program_memory_bytes;
   soc_config.dram_bytes = config.dram_bytes;
   soc_config.cpu.decode_cache = config.decode_cache;
+  soc_config.fault = config.fault;
   soc::Soc soc(soc_config);
 
   // Program memory <- .mem image; DRAM <- weight file + input image.
@@ -190,10 +288,14 @@ SocExecution execute_on_soc(const PreparedModel& prepared,
   for (const auto& chunk : prepared.vp().weights.chunks) {
     soc.dram().write_bytes(chunk.addr, chunk.bytes);
   }
+  if (config.fault != nullptr) {
+    inject_weight_flips(soc.dram(), prepared.vp().weights, *config.fault);
+    verify_weight_image(soc.dram(), prepared.vp().weights);
+  }
   const auto input_bytes = prepared.loadable().pack_input(prepared.input);
   soc.dram().write_bytes(prepared.loadable().input_surface.base, input_bytes);
 
-  const rv::RunResult result = soc.run();
+  const rv::RunResult result = soc.run(run_budget(config));
   return finish_execution(soc, soc.dram(), prepared, result);
 }
 
@@ -205,18 +307,23 @@ SocExecution execute_on_system_top(const PreparedModel& prepared,
   top_config.soc.program_memory_bytes = config.program_memory_bytes;
   top_config.soc.dram_bytes = config.dram_bytes;
   top_config.soc.cpu.decode_cache = config.decode_cache;
+  top_config.soc.fault = config.fault;
   soc::SystemTop top(top_config);
 
   // Phase 1: the Zynq PS owns the DDR and preloads weights + input.
   top.switch_to_ps();
   top.ps_preload_weight_file(prepared.vp().weights);
+  if (config.fault != nullptr) {
+    inject_weight_flips(top.ddr(), prepared.vp().weights, *config.fault);
+    verify_weight_image(top.ddr(), prepared.vp().weights);
+  }
   const auto input_bytes = prepared.loadable().pack_input(prepared.input);
   top.ps_preload_backdoor(prepared.loadable().input_surface.base, input_bytes);
 
   // Phase 2: flip the SmartConnect and run the SoC.
   top.switch_to_soc();
   top.soc().program_memory().load_mem_text(prepared.program().mem_text);
-  const rv::RunResult result = top.soc().run();
+  const rv::RunResult result = top.soc().run(run_budget(config));
   return finish_execution(top.soc(), top.ddr(), prepared, result);
 }
 
@@ -232,11 +339,17 @@ std::string platform_key(const char* kind, const FlowConfig& config) {
   // decode_cache does not change the cycle count, but the recorded envelope
   // carries the CpuStats evidence (block hits, decoded blocks) of the run
   // that produced it, so cached/uncached variants keep distinct records.
-  return strfmt("{}|{}|wait={}|pm={}|dram={}|clk={}|dc={}", kind,
-                config.nvdla.name,
+  // Fault-armed variants key their own envelopes too: their recording runs
+  // may carry injected watchdog latencies or truncated budgets, which must
+  // never leak into a fault-free variant's record (or vice versa).
+  return strfmt("{}|{}|wait={}|pm={}|dram={}|clk={}|dc={}|fault={}|budget={}",
+                kind, config.nvdla.name,
                 config.wait_mode == toolflow::WaitMode::kPoll ? "poll" : "wfi",
                 config.program_memory_bytes, config.dram_bytes,
-                config.soc_clock, config.decode_cache ? 1 : 0);
+                config.soc_clock, config.decode_cache ? 1 : 0,
+                config.fault != nullptr ? config.fault->plan().to_string()
+                                        : "none",
+                config.run_instruction_budget);
 }
 
 SocExecution replay_on_platform(
@@ -247,7 +360,7 @@ SocExecution replay_on_platform(
       platform_key(kind, config), [&] { return execute(prepared, config); });
   // Input-dependent results come from the functional replay; ms is
   // recomputed from the per-key recorded cycle count.
-  exec.output = replay_output(prepared);
+  exec.output = replay_output(prepared, config.fault.get());
   exec.predicted_class = compiler::argmax(exec.output);
   exec.ms = cycles_to_ms(exec.cycles, config.soc_clock);
   return exec;

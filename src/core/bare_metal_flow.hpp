@@ -30,6 +30,7 @@
 #include "compiler/network.hpp"
 #include "compiler/reference.hpp"
 #include "compiler/weights.hpp"
+#include "fault/fault.hpp"
 #include "soc/soc.hpp"
 #include "soc/system_top.hpp"
 #include "toolflow/asm_emitter.hpp"
@@ -56,6 +57,16 @@ struct FlowConfig {
   /// outputs are bit-identical either way; `false` forces the
   /// per-instruction oracle (`?decode_cache=off` on the backend spec).
   bool decode_cache = true;
+  /// Deterministic fault injection for the serving path (`?fault=` on the
+  /// backend spec). Armed per configured variant; nullptr (the default)
+  /// means a fault-free platform. Staging/trace-recording runs never see
+  /// the injector — corruption is only injected where detection exists.
+  std::shared_ptr<fault::Injector> fault;
+  /// Upper bound on retired instructions per cycle-accurate SoC run
+  /// (0 = unlimited). Exhaustion halts the ISS with kInstructionLimit,
+  /// surfaced as a typed kDeadlineExceeded — the mechanism behind injected
+  /// ISS stalls and runaway-program containment.
+  std::uint64_t run_instruction_budget = 0;
 };
 
 /// Input-independent artifacts of the offline frontend: network-level
@@ -115,6 +126,12 @@ struct ReplaySchedule {
   /// KMD-driven VP execution time (driver start to last acknowledged
   /// interrupt) — what the `vp` backend reports per image.
   Cycle vp_total_cycles = 0;
+  /// Integrity canary: FNV-1a over the recorded op bytes, frozen by
+  /// make_replay_schedule. ops_intact() recomputes and compares — the
+  /// session's golden probe quarantines a schedule whose ops were
+  /// silently corrupted in memory.
+  std::uint64_t ops_checksum = 0;
+  bool ops_intact() const;
 
   /// Input-independent full-platform execution envelopes for the
   /// `?mode=replay` SoC backends, recorded by the first cycle-accurate run
@@ -233,9 +250,14 @@ struct PreparedModel {
   /// so repeated runs of the same repacked image pay for one replay, not
   /// one per call. Thread-safe compute-once memo: snapshots that share a
   /// surface (same image) share the memo, and concurrent pooled tasks
-  /// cannot double-compute or tear the value (the losing callers block in
-  /// call_once until the winner's value is ready). Repacking to a new
-  /// image swaps in a fresh memo.
+  /// cannot double-compute or tear the value (the losing callers block on
+  /// the mutex until the winner's value is ready). Repacking to a new
+  /// image swaps in a fresh memo. Deliberately NOT std::call_once: the
+  /// compute may throw (an injected fault inside the VP re-run surfaces
+  /// as a StatusError), and a throwing callable must leave the memo empty
+  /// so a retry recomputes — pthread_once-based call_once is a known
+  /// deadlock there under ThreadSanitizer, whose interceptor never
+  /// releases the once-flag on the exceptional path.
   struct VpRefresh {
     Cycle total_cycles = 0;
     std::vector<float> output;
@@ -244,12 +266,17 @@ struct PreparedModel {
    public:
     const VpRefresh& get_or_compute(
         const std::function<VpRefresh()>& compute) const {
-      std::call_once(once_, [&] { value_ = compute(); });
+      std::scoped_lock lock(mutex_);
+      if (!ready_) {
+        value_ = compute();  // may throw: memo stays empty for the retry
+        ready_ = true;
+      }
       return value_;
     }
 
    private:
-    mutable std::once_flag once_;
+    mutable std::mutex mutex_;
+    mutable bool ready_ = false;
     mutable VpRefresh value_;
   };
   std::shared_ptr<VpRefreshMemo> vp_refresh =
@@ -296,8 +323,12 @@ std::shared_ptr<const ReplaySchedule> make_replay_schedule(
 /// memory. Output is bit-identical to a full VP re-run on the same image;
 /// the accompanying cycle count is the schedule's recorded
 /// `vp_total_cycles`. Requires has_replay(). Thread-safe (builds all state
-/// locally; only bumps the schedule's replay counter).
-std::vector<float> replay_output(const PreparedModel& prepared);
+/// locally; only bumps the schedule's replay counter). `injector` (may be
+/// nullptr) arms per-replay fault injection: replay failures surface as
+/// StatusError(kUnavailable), detected arena corruption as
+/// StatusError(kDataLoss).
+std::vector<float> replay_output(const PreparedModel& prepared,
+                                 fault::Injector* injector = nullptr);
 
 /// Execute on the standalone SoC (Fig. 2, internal DRAM model).
 SocExecution execute_on_soc(const PreparedModel& prepared,

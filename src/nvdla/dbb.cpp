@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "common/strfmt.hpp"
+
 namespace nvsoc::nvdla {
+
+namespace {
+
+/// Error responses carry the typed status up through the engine to the
+/// KMD/SoC boundary instead of aborting the process; injected errors are
+/// transient (kUnavailable — a retry re-issues the burst cleanly).
+[[noreturn]] void throw_burst_error(const char* what, Addr addr,
+                                    const Status& status) {
+  throw StatusError(status.code(),
+                    strfmt("{} at {:#x}: {}", what, addr, status.message()));
+}
+
+}  // namespace
 
 Cycle DbbMaster::read(Addr addr, std::span<std::uint8_t> out, Cycle start) {
   Cycle now = start;
@@ -10,13 +25,20 @@ Cycle DbbMaster::read(Addr addr, std::span<std::uint8_t> out, Cycle start) {
   while (done < out.size()) {
     const std::size_t chunk =
         std::min<std::size_t>(config_.timing.burst_bytes, out.size() - done);
+    if (fault_ != nullptr && fault_->fire(fault::Kind::kDbbError)) {
+      throw_burst_error("DBB read", addr + done,
+                        Status(StatusCode::kUnavailable,
+                               "injected DBB bus error response"));
+    }
     AxiBurstRequest req{.addr = addr + done,
                         .is_write = false,
                         .wdata = {},
                         .rbuf = out.subspan(done, chunk),
                         .start = now + config_.timing.burst_latency};
     const AxiBurstResponse rsp = port_.burst(req);
-    rsp.status.expect_ok("DBB read");
+    if (!rsp.status.is_ok()) {
+      throw_burst_error("DBB read", addr + done, rsp.status);
+    }
     now = rsp.complete;
     if (observer_) {
       observer_(false, addr + done, out.subspan(done, chunk));
@@ -35,13 +57,20 @@ Cycle DbbMaster::write(Addr addr, std::span<const std::uint8_t> data,
   while (done < data.size()) {
     const std::size_t chunk =
         std::min<std::size_t>(config_.timing.burst_bytes, data.size() - done);
+    if (fault_ != nullptr && fault_->fire(fault::Kind::kDbbError)) {
+      throw_burst_error("DBB write", addr + done,
+                        Status(StatusCode::kUnavailable,
+                               "injected DBB bus error response"));
+    }
     AxiBurstRequest req{.addr = addr + done,
                         .is_write = true,
                         .wdata = data.subspan(done, chunk),
                         .rbuf = {},
                         .start = now + config_.timing.burst_latency};
     const AxiBurstResponse rsp = port_.burst(req);
-    rsp.status.expect_ok("DBB write");
+    if (!rsp.status.is_ok()) {
+      throw_burst_error("DBB write", addr + done, rsp.status);
+    }
     now = rsp.complete;
     if (observer_) {
       observer_(true, addr + done, data.subspan(done, chunk));

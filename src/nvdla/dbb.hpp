@@ -8,9 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "bus/bus_types.hpp"
+#include "fault/fault.hpp"
 #include "nvdla/config.hpp"
 
 namespace nvsoc::nvdla {
@@ -32,7 +34,16 @@ class DbbMaster {
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
-  /// Timed burst read/write; returns the completion cycle.
+  /// Arms deterministic DBB bus-error injection (fault::Kind::kDbbError);
+  /// nullptr disarms. Injected errors — like real interconnect error
+  /// responses — surface as a StatusError instead of aborting.
+  void set_fault_injector(std::shared_ptr<fault::Injector> injector) {
+    fault_ = std::move(injector);
+  }
+
+  /// Timed burst read/write; returns the completion cycle. A burst that
+  /// gets an error response (structural or injected) throws StatusError
+  /// carrying the typed status.
   Cycle read(Addr addr, std::span<std::uint8_t> out, Cycle start);
   Cycle write(Addr addr, std::span<const std::uint8_t> data, Cycle start);
 
@@ -42,6 +53,7 @@ class DbbMaster {
   AxiTarget& port_;
   const NvdlaConfig& config_;
   Observer observer_;
+  std::shared_ptr<fault::Injector> fault_;
   DbbStats stats_;
 };
 

@@ -100,6 +100,31 @@ CsbResponse Nvdla::glb_access(const CsbRequest& req) {
 
 CsbResponse Nvdla::csb_access(const CsbRequest& req) {
   CsbResponse rsp;
+  // Injected CSB faults (reads only — the classes production watchdogs
+  // see): a timeout completes only at the watchdog latency with
+  // kDeadlineExceeded; an error response is transient (kUnavailable).
+  // Both reach the KMD as an error status, or — on the bare-metal path —
+  // ride the bus bridges into a CPU bus-error halt whose detail carries
+  // the status name for the typed mapping at the execution boundary.
+  if (fault_ != nullptr && !req.is_write) {
+    constexpr Cycle kWatchdogCycles = 4096;
+    if (fault_->fire(fault::Kind::kCsbTimeout)) {
+      ++stats_.csb_reads;
+      return CsbResponse{
+          Status(StatusCode::kDeadlineExceeded,
+                 strfmt("injected CSB read timeout at {:#x} (watchdog after "
+                        "{} cycles)",
+                        req.addr, kWatchdogCycles)),
+          0, req.start + kWatchdogCycles};
+    }
+    if (fault_->fire(fault::Kind::kCsbError)) {
+      ++stats_.csb_reads;
+      return CsbResponse{
+          Status(StatusCode::kUnavailable,
+                 strfmt("injected CSB error response at {:#x}", req.addr)),
+          0, req.start + config_.timing.csb_internal};
+    }
+  }
   const auto owner = unit_for_address(req.addr);
   if (!owner) {
     rsp = CsbResponse{Status(StatusCode::kBusError,

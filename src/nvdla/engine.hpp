@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -81,6 +82,14 @@ class Nvdla final : public CsbTarget {
     dbb_.set_observer(std::move(observer));
   }
 
+  /// Arms deterministic fault injection on the engine's interfaces: CSB
+  /// register-read timeouts/error responses here, DBB bus errors in the
+  /// forwarded DbbMaster. nullptr disarms.
+  void set_fault_injector(std::shared_ptr<fault::Injector> injector) {
+    fault_ = injector;
+    dbb_.set_fault_injector(std::move(injector));
+  }
+
   /// VP hook: receive every launched op as a ReplayOp (decoded descriptors
   /// + analytic timing), in launch order — the recording side of the
   /// functional replay engine (nvdla/replay.hpp).
@@ -141,6 +150,7 @@ class Nvdla final : public CsbTarget {
 
   NvdlaConfig config_;
   DbbMaster dbb_;
+  std::shared_ptr<fault::Injector> fault_;
   Logger csb_log_{"nvdla.csb_adaptor"};
 
   std::array<UnitState, kNumUnits> units_{};

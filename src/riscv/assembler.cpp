@@ -510,7 +510,10 @@ void AssemblerImpl::encode(Statement& stmt, AssembledImage& image) {
     }
     const std::int32_t hi = static_cast<std::int32_t>(
         (static_cast<std::uint32_t>(value) + 0x800u) & 0xFFFFF000u);
-    const std::int32_t lo = value - hi;
+    // Unsigned subtraction: value=0x7FFFFFFF puts hi at INT32_MIN and the
+    // signed difference would overflow; only the wrapped low 12 bits matter.
+    const std::int32_t lo = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(value) - static_cast<std::uint32_t>(hi));
     emit32(stmt, image, enc_u(0x37, rd, hi));
     emit32(stmt, image, enc_i(0x13, rd, 0, rd, lo));
     return;
@@ -521,7 +524,8 @@ void AssemblerImpl::encode(Statement& stmt, AssembledImage& image) {
     const std::int32_t value = static_cast<std::int32_t>(eval(ops[1], line));
     const std::int32_t hi = static_cast<std::int32_t>(
         (static_cast<std::uint32_t>(value) + 0x800u) & 0xFFFFF000u);
-    const std::int32_t lo = value - hi;
+    const std::int32_t lo = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(value) - static_cast<std::uint32_t>(hi));
     emit32(stmt, image, enc_u(0x37, rd, hi));
     emit32(stmt, image, enc_i(0x13, rd, 0, rd, lo));
     return;

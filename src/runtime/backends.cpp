@@ -84,14 +84,15 @@ namespace {
 /// so the result is bit-exact with what a full per-image re-simulation
 /// would have produced.
 const core::PreparedModel::VpRefresh& refreshed_vp(
-    const core::PreparedModel& prepared) {
+    const core::PreparedModel& prepared, const RunOptions& options) {
   return prepared.vp_refresh->get_or_compute(
       [&]() -> core::PreparedModel::VpRefresh {
         if (prepared.has_replay()) {
           return {prepared.replay_schedule().vp_total_cycles,
-                  core::replay_output(prepared)};
+                  core::replay_output(prepared, options.flow.fault.get())};
         }
         vp::VirtualPlatform platform(prepared.nvdla());
+        platform.set_fault_injector(options.flow.fault);
         vp::VpRunResult fresh =
             platform.run(prepared.loadable(), prepared.input);
         return {fresh.total_cycles, std::move(fresh.output)};
@@ -183,6 +184,8 @@ StatusOr<ExecutionResult> SocBackend::run(const core::PreparedModel& prepared,
                                   : core::execute_on_soc(prepared,
                                                          options.flow);
     return from_soc_execution(*this, prepared, options, std::move(exec));
+  } catch (const StatusError& e) {
+    return e.status();
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
@@ -215,6 +218,8 @@ StatusOr<ExecutionResult> SystemTopBackend::run(
             ? core::replay_on_system_top(prepared, options.flow)
             : core::execute_on_system_top(prepared, options.flow);
     return from_soc_execution(*this, prepared, options, std::move(exec));
+  } catch (const StatusError& e) {
+    return e.status();
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
@@ -258,12 +263,13 @@ StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
         // Repacked input: for this backend the simulation IS the
         // execution, so one re-run is the cost of the inference — and it
         // is memoized on the model so repeats stay free.
-        const auto& fresh = refreshed_vp(prepared);
+        const auto& fresh = refreshed_vp(prepared, options);
         result.cycles = fresh.total_cycles;
         result.output = fresh.output;
       }
     } else {
       vp::VirtualPlatform platform(options.flow.nvdla);
+      platform.set_fault_injector(options.flow.fault);
       const vp::VpRunResult vp_result =
           platform.run(prepared.loadable(), prepared.input);
       result.cycles = vp_result.total_cycles;
@@ -272,6 +278,8 @@ StatusOr<ExecutionResult> VpBackend::run(const core::PreparedModel& prepared,
     result.ms = cycles_to_ms(result.cycles, options.flow.soc_clock);
     result.predicted_class = compiler::argmax(result.output);
     return result;
+  } catch (const StatusError& e) {
+    return e.status();
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }
@@ -299,7 +307,7 @@ StatusOr<ExecutionResult> LinuxBaselineBackend::run(
       // Repacked input: the cached VP run describes the traced image, not
       // this one. Use the memoized re-simulation on the prepared hardware
       // tree for the functional result.
-      const auto& fresh = refreshed_vp(prepared);
+      const auto& fresh = refreshed_vp(prepared, options);
       accelerator_cycles = fresh.total_cycles;
       output = fresh.output;
     }
@@ -317,6 +325,8 @@ StatusOr<ExecutionResult> LinuxBaselineBackend::run(
     result.predicted_class = compiler::argmax(result.output);
     result.linux_estimate = estimate;
     return result;
+  } catch (const StatusError& e) {
+    return e.status();
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());
   }

@@ -29,6 +29,9 @@ struct FlowOverrides {
   std::optional<std::uint64_t> dram_bytes;
   std::optional<std::uint64_t> program_memory_bytes;
   std::optional<bool> decode_cache;
+  /// Built once per configured variant from `?fault=`: every run through
+  /// the variant consumes one shared deterministic decision stream.
+  std::shared_ptr<fault::Injector> fault;
 };
 
 StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
@@ -92,11 +95,21 @@ StatusOr<FlowOverrides> overrides_from_spec(const BackendSpec& spec,
                              "'on' or 'off', got '{}'",
                              spec.full, value));
       }
+    } else if (key == "fault") {
+      auto plan = fault::Plan::parse(value);
+      if (!plan.is_ok()) {
+        return Status(StatusCode::kInvalidArgument,
+                      strfmt("backend spec '{}': {}", spec.full,
+                             plan.status().message()));
+      }
+      if (plan->any()) {
+        overrides.fault = std::make_shared<fault::Injector>(*plan);
+      }
     } else {
       return Status(StatusCode::kInvalidArgument,
                     strfmt("backend spec '{}': unknown option '{}' "
                            "(supported: wait_mode, validate, dram, "
-                           "program_memory, decode_cache)",
+                           "program_memory, decode_cache, fault)",
                            spec.full, key));
     }
   }
@@ -150,6 +163,7 @@ class ConfiguredBackend final : public ExecutionBackend {
     if (overrides_.decode_cache) {
       adjusted.flow.decode_cache = *overrides_.decode_cache;
     }
+    if (overrides_.fault != nullptr) adjusted.flow.fault = overrides_.fault;
     return adjusted;
   }
 
@@ -330,6 +344,13 @@ std::string spec_vocabulary_help() {
       "recorded schedule\n"
       "                              functionally on repeat images (skips "
       "the ISS/KMD)\n"
+      "  ?fault=<plan>               deterministic fault injection: "
+      "kind:rate terms joined\n"
+      "                              by '+', e.g. "
+      "fault=csb_timeout:0.1+flip:0.05+seed:7\n"
+      "                              (kinds: flip, csb_timeout, csb_error, "
+      "dbb_error,\n"
+      "                              stall, staging, replay)\n"
       "examples: linux_baseline@25mhz, soc?wait_mode=polling, "
       "soc?mode=replay,\n"
       "          system_top?dram=1gib&program_memory=2mib\n";

@@ -80,6 +80,11 @@ struct RunOptions {
   /// Check artifact consistency (loadable vs trace vs program, program
   /// memory capacity) before executing instead of running garbage.
   bool validate = true;
+  /// Wall-clock budget for one request, measured from enqueue (0 = none).
+  /// Backends do not read this — the session enforces it at its task
+  /// boundaries (dequeue, post-staging, between retry attempts) and
+  /// answers kDeadlineExceeded for an expired request.
+  std::uint32_t deadline_ms = 0;
 };
 
 /// Backend-independent view of one inference execution.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/strfmt.hpp"
@@ -155,6 +156,10 @@ InferenceSession::InferenceSession(compiler::Network network,
 }
 
 InferenceSession::~InferenceSession() {
+  // Flag teardown first: queued tasks still waiting on an unresolved
+  // staging latch observe it and resolve their PendingResult with a typed
+  // kUnavailable instead of relying on drain ordering.
+  shutting_down_.store(true, std::memory_order_release);
   // Detach from the check-in hooks before anything else dies: holding the
   // state mutex waits out any hook mid-call, and hooks firing afterwards
   // (the pool drain during member destruction, or schedules the caller
@@ -217,7 +222,65 @@ const BackendRegistry& InferenceSession::registry() const {
 RunOptions InferenceSession::run_options(const ModelState& model) const {
   RunOptions options;
   options.flow = model.config;
+  options.deadline_ms = default_deadline_ms_.load(std::memory_order_relaxed);
+  if (options.flow.fault == nullptr) {
+    // The session-level plan arms every model whose own flow config carries
+    // no `?fault=` plan; a spec-level `?fault=` override still wins (the
+    // configured variant applies it on top of these options).
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    options.flow.fault = session_fault_;
+  }
   return options;
+}
+
+void InferenceSession::set_retry_policy(RetryPolicy policy) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  retry_policy_ = policy;
+}
+
+RetryPolicy InferenceSession::retry_policy() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return retry_policy_;
+}
+
+void InferenceSession::set_default_deadline_ms(std::uint32_t deadline_ms) {
+  default_deadline_ms_.store(deadline_ms, std::memory_order_relaxed);
+}
+
+std::uint32_t InferenceSession::default_deadline_ms() const {
+  return default_deadline_ms_.load(std::memory_order_relaxed);
+}
+
+Status InferenceSession::set_fault_plan(const std::string& spec) {
+  std::shared_ptr<fault::Injector> injector;
+  if (!spec.empty()) {
+    auto plan = fault::Plan::parse(spec);
+    if (!plan.is_ok()) return plan.status();
+    if (plan->any()) injector = std::make_shared<fault::Injector>(*plan);
+  }
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  session_fault_ = std::move(injector);
+  return Status::ok();
+}
+
+std::shared_ptr<fault::Injector> InferenceSession::fault_injector() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return session_fault_;
+}
+
+RobustnessCounters InferenceSession::robustness() const {
+  RobustnessCounters snapshot;
+  snapshot.retries = robust_.retries.load(std::memory_order_relaxed);
+  snapshot.quarantines = robust_.quarantines.load(std::memory_order_relaxed);
+  snapshot.restages = robust_.restages.load(std::memory_order_relaxed);
+  snapshot.deadline_exceeded =
+      robust_.deadline_exceeded.load(std::memory_order_relaxed);
+  snapshot.data_loss = robust_.data_loss.load(std::memory_order_relaxed);
+  snapshot.staging_faults =
+      robust_.staging_faults.load(std::memory_order_relaxed);
+  snapshot.shutdown_rejections =
+      robust_.shutdown_rejections.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 ThreadPool& InferenceSession::pool_locked(std::size_t worker_hint) {
@@ -566,13 +629,26 @@ void InferenceSession::start_staging_locked(ModelState& model,
     calibration_image = model.default_input;
   }
   const bool record_replay = replay_enabled_;
+  // The staging trace itself always runs fault-free (clean artifacts are
+  // what makes injected corruption *detectable*), but the staging task as a
+  // control-flow unit can fail: the plan's `staging` kind fails the latch
+  // with a typed, retryable kUnavailable.
+  auto injector =
+      model.config.fault != nullptr ? model.config.fault : session_fault_;
   ++counters_.async_stagings;
   note_staging_issued();
   pool_locked(0).submit(
       [this, latch, state = &model, base = std::move(base),
        image = std::vector<float>(image.begin(), image.end()),
        calibration_image = std::move(calibration_image),
-       record_replay]() mutable {
+       record_replay, injector = std::move(injector)]() mutable {
+        if (injector != nullptr && injector->fire(fault::Kind::kStagingFail)) {
+          ++robust_.staging_faults;
+          latch->promise.set_value(
+              Status(StatusCode::kUnavailable, "injected staging-task failure"));
+          note_staging_done();
+          return;
+        }
         try {
           if (!base.has_frontend()) {
             base.frontend = build_frontend(*state, calibration_image);
@@ -585,10 +661,15 @@ void InferenceSession::start_staging_locked(ModelState& model,
           }
           latch->staged = std::move(base);
           latch->promise.set_value(Status::ok());
+        } catch (const StatusError& e) {
+          ++robust_.staging_faults;
+          latch->promise.set_value(e.status());
         } catch (const std::exception& e) {
+          ++robust_.staging_faults;
           latch->promise.set_value(
               Status(StatusCode::kInvalidArgument, e.what()));
         } catch (...) {
+          ++robust_.staging_faults;
           // The latch promise is the only completion channel (the task's
           // own future is discarded): it must be fulfilled for *any*
           // exception, or every queued arrival would block forever.
@@ -937,14 +1018,67 @@ StatusOr<ExecutionResult> InferenceSession::run_resolved(
     auto result = spec.backend_->run(prepare_in(model, image),
                                      run_options(model));
     std::lock_guard<std::mutex> lock(submit_mutex_);
+    if (!result.is_ok() &&
+        result.status().code() == StatusCode::kDataLoss) {
+      // Detected corruption on the synchronous path: quarantine the shared
+      // schedule so the next use restages from the immutable artifacts.
+      ++robust_.data_loss;
+      if (model.prepared.replay != nullptr) ++robust_.quarantines;
+      evict_schedule_locked(model);
+    }
     refresh_variants_staged_locked(model);
     enforce_budget_locked(&model);
     return result;
+  } catch (const StatusError& e) {
+    // Typed failures thrown below the backend boundary (injected faults,
+    // watchdog timeouts, corruption detections on the staging path).
+    return e.status();
   } catch (const std::exception& e) {
     // Stage failures (bad image shape, compile errors) keep the StatusOr
     // contract of the run() boundary.
     return Status(StatusCode::kInvalidArgument, e.what());
   }
+}
+
+Status InferenceSession::probe_golden(const std::string& backend) {
+  auto resolved = resolve(backend);
+  if (!resolved.is_ok()) return resolved.status();
+  ModelState& model = *resolved->state_;
+  drain_staging(model);
+  bool quarantined = false;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    // Canary 1: the staged schedule's ops checksum. A mismatch means the
+    // shared in-memory schedule was silently corrupted since recording.
+    if (model.prepared.replay != nullptr &&
+        !model.prepared.replay->ops_intact()) {
+      ++robust_.data_loss;
+      ++robust_.quarantines;
+      evict_schedule_locked(model);
+      quarantined = true;
+    }
+  }
+  // Canary 2: golden-output comparison on the default input. A
+  // checksum-quarantined schedule restages transparently inside this run.
+  auto result = run_resolved(*resolved, default_input_for(model));
+  if (!result.is_ok()) return result.status();
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  if (model.golden_output.empty()) {
+    model.golden_output = result->output;  // the first probe freezes golden
+  } else if (model.golden_output != result->output) {
+    ++robust_.data_loss;
+    if (model.prepared.replay != nullptr) ++robust_.quarantines;
+    evict_schedule_locked(model);
+    return Status(StatusCode::kDataLoss,
+                  "golden-image probe mismatch: replay schedule quarantined "
+                  "for restage on next use");
+  }
+  if (quarantined) {
+    return Status(StatusCode::kDataLoss,
+                  "replay-schedule checksum mismatch: schedule quarantined "
+                  "and restaged (probe output verified golden)");
+  }
+  return Status::ok();
 }
 
 PendingResult InferenceSession::submit(const std::string& backend) {
@@ -1028,9 +1162,14 @@ PendingResult InferenceSession::submit_with(ModelState& model,
   // serialize on the staging-source selection only, not on O(input) work.
   std::vector<float> image_copy(image.begin(), image.end());
 
+  // The deadline clock starts at enqueue: queueing delay counts against
+  // the request, so an aged-out request sheds at dequeue without running.
+  const auto enqueued = std::chrono::steady_clock::now();
+
   StagingSource source;
   ThreadPool* pool = nullptr;
   bool repack = true;
+  RetryPolicy retry;
   {
     std::lock_guard<std::mutex> lock(submit_mutex_);
     try_adopt_all_locked();
@@ -1038,6 +1177,7 @@ PendingResult InferenceSession::submit_with(ModelState& model,
     pool = &pool_locked(worker_hint);
     source = staging_source_locked(model, image);
     repack = repack_enabled_;
+    retry = retry_policy_;
     // Enforce on use, after adoption: freshly staged schedules count, and
     // the model serving this request is evicted last.
     enforce_budget_locked(&model);
@@ -1062,36 +1202,152 @@ PendingResult InferenceSession::submit_with(ModelState& model,
   // itself runs even during session teardown.
   auto state = std::make_shared<PendingResult::State>();
   pool->submit(
-      [this, model_state = &model, &backend, options, repack, state,
-       source = std::move(source),
-       image = std::move(image_copy)]() mutable {
-        StatusOr<ExecutionResult> outcome = [&]() -> StatusOr<ExecutionResult> {
-          try {
-            core::PreparedModel prepared;
+      [this, model_state = &model, &backend, options, repack, retry, state,
+       source = std::move(source), image = std::move(image_copy),
+       enqueued]() mutable {
+        state->complete(run_submitted(*model_state, backend, options, repack,
+                                      retry, source, image, enqueued));
+      });
+  return PendingResult(std::move(state));
+}
+
+StatusOr<ExecutionResult> InferenceSession::run_submitted(
+    ModelState& model, const ExecutionBackend& backend,
+    const RunOptions& options, bool repack, RetryPolicy retry,
+    StagingSource& source, std::span<const float> image,
+    std::chrono::steady_clock::time_point enqueued) {
+  const auto expired = [&] {
+    return options.deadline_ms != 0 &&
+           std::chrono::steady_clock::now() - enqueued >=
+               std::chrono::milliseconds(options.deadline_ms);
+  };
+  const auto deadline_error = [&](const char* where) {
+    ++robust_.deadline_exceeded;
+    return Status(StatusCode::kDeadlineExceeded,
+                  strfmt("request exceeded its {} ms deadline {}",
+                         options.deadline_ms, where));
+  };
+  // Deadline gate 1: dequeue. A request that aged out in the pool queue is
+  // shed here without paying for an execution nobody is waiting for.
+  if (expired()) return deadline_error("waiting in the pool queue");
+  // Teardown gate: at session shutdown a request still queued behind an
+  // unresolved staging latch answers a typed error instead of relying on
+  // drain ordering.
+  if (shutting_down_.load(std::memory_order_acquire) &&
+      source.latch != nullptr &&
+      source.done.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+    ++robust_.shutdown_rejections;
+    return Status(StatusCode::kUnavailable,
+                  "session is shutting down; the request was still queued "
+                  "behind its model's staging latch");
+  }
+
+  core::PreparedModel prepared;
+  bool ready = false;
+  const std::uint32_t max_attempts =
+      std::max<std::uint32_t>(1, retry.max_attempts);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    StatusOr<ExecutionResult> result = [&]() -> StatusOr<ExecutionResult> {
+      try {
+        if (!ready) {
+          if (attempt == 1) {
             if (Status staged = resolve_staged_model(source, prepared);
                 !staged.is_ok()) {
               return staged;
             }
-            if (!same_image(prepared, image)) {
-              if (repack) {
-                repack_into(*model_state, prepared, image);
-              } else {
-                stage_tail_into(*model_state, prepared, image,
-                                /*record_replay=*/false);
-              }
-            }
-            return backend.run(prepared, options);
-          } catch (const std::exception& e) {
-            return Status(StatusCode::kInvalidArgument, e.what());
-          } catch (...) {
-            return Status(StatusCode::kInternal,
-                          "pooled inference failed with a non-standard "
-                          "exception");
+          } else if (Status rebuilt = rebuild_inline(model, prepared, image);
+                     !rebuilt.is_ok()) {
+            return rebuilt;
           }
-        }();
-        state->complete(std::move(outcome));
-      });
-  return PendingResult(std::move(state));
+          ready = true;
+        }
+        // Deadline gate 2: the staging latch (or an inline rebuild) may
+        // have taken arbitrarily long.
+        if (expired()) return deadline_error("behind the staging latch");
+        if (!same_image(prepared, image)) {
+          if (repack) {
+            repack_into(model, prepared, image);
+          } else {
+            stage_tail_into(model, prepared, image,
+                            /*record_replay=*/false);
+          }
+        }
+        return backend.run(prepared, options);
+      } catch (const StatusError& e) {
+        return e.status();
+      } catch (const std::exception& e) {
+        return Status(StatusCode::kInvalidArgument, e.what());
+      } catch (...) {
+        return Status(StatusCode::kInternal,
+                      "pooled inference failed with a non-standard "
+                      "exception");
+      }
+    }();
+    if (result.is_ok()) return result;
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kDataLoss) {
+      // Detected corruption: quarantine the shared schedule so no later
+      // request serves from it. This task's snapshot still pins the
+      // quarantined core, so a retry must rebuild inline (ready = false)
+      // from the immutable artifacts rather than reuse the snapshot.
+      ++robust_.data_loss;
+      std::lock_guard<std::mutex> lock(submit_mutex_);
+      if (model.prepared.replay != nullptr) ++robust_.quarantines;
+      evict_schedule_locked(model);
+      ready = false;
+    }
+    if (!is_transient(code) || attempt >= max_attempts || expired()) {
+      return result;
+    }
+    ++robust_.retries;
+    if (retry.backoff_ms != 0) {
+      // Linear backoff on the worker. kUnavailable retries reuse the
+      // snapshot — the injector's decision stream has advanced — while
+      // kDataLoss retries re-trace first (above).
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry.backoff_ms) * attempt);
+    }
+  }
+}
+
+Status InferenceSession::rebuild_inline(ModelState& model,
+                                        core::PreparedModel& prepared,
+                                        std::span<const float> image) {
+  try {
+    if (!prepared.has_frontend()) {
+      std::vector<float> calibration_image;
+      {
+        std::lock_guard<std::mutex> lock(submit_mutex_);
+        if (model.prepared.has_frontend()) {
+          // Reuse the session's immutable frontend core (refcount bump).
+          prepared.frontend = model.prepared.frontend;
+        } else {
+          if (model.default_input.empty()) {
+            model.default_input = compiler::synthetic_input(
+                model.network.input_shape(), model.config.input_seed);
+          }
+          calibration_image = model.default_input;
+        }
+      }
+      if (!prepared.has_frontend()) {
+        prepared.frontend = build_frontend(model, calibration_image);
+      }
+    }
+    // Never serve from a quarantined schedule: drop the snapshot's pin and
+    // re-trace in this task. No staging latch is enqueued — queueing one
+    // from inside a pool task would deadlock a single-worker pool — and no
+    // task-local schedule is recorded (it could never be shared); the
+    // session restages its own schedule on the model's next use.
+    prepared.replay.reset();
+    stage_tail_into(model, prepared, image, /*record_replay=*/false);
+    ++robust_.restages;
+    return Status::ok();
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  }
 }
 
 StagingHandle InferenceSession::prepare_async(const std::string& backend) {
@@ -1156,6 +1412,8 @@ StagingHandle InferenceSession::prepare_async_resolved(
               }
               staged_backend->stage(prepared, options);
               return Status::ok();
+            } catch (const StatusError& e) {
+              return e.status();
             } catch (const std::exception& e) {
               return Status(StatusCode::kInternal, e.what());
             } catch (...) {
@@ -1199,6 +1457,8 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_with(
       auto result = backend.run(prepare_in(model, images[i]), options);
       if (!result.is_ok()) return image_failure(i, result.status());
       results.push_back(std::move(result).value());
+    } catch (const StatusError& e) {
+      return image_failure(i, e.status());
     } catch (const std::exception& e) {
       return image_failure(i, Status(StatusCode::kInvalidArgument, e.what()));
     }
@@ -1231,6 +1491,7 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
 
   RunOptions per_run = run_options(model);
   per_run.validate = options.validate;
+  if (options.deadline_ms != 0) per_run.deadline_ms = options.deadline_ms;
 
   std::size_t workers = options.workers != 0
                             ? options.workers

@@ -174,6 +174,39 @@ struct BatchOptions {
   std::size_t max_workers = 0;
   /// Forwarded to RunOptions::validate for every image.
   bool validate = true;
+  /// Per-request wall-clock deadline forwarded to RunOptions::deadline_ms
+  /// for every image (0 inherits the session default). Enforced at the
+  /// session's task boundaries; an expired request answers
+  /// kDeadlineExceeded instead of running.
+  std::uint32_t deadline_ms = 0;
+};
+
+/// Bounded automatic retry of *transient* failures (is_transient codes:
+/// kUnavailable, kDataLoss) inside pooled submit tasks. Non-transient
+/// failures — bad arguments, validation, deadline expiry — never retry.
+/// A kDataLoss failure additionally quarantines the model's replay
+/// schedule and restages inline before the retry attempt, so the retry
+/// never re-serves from a corrupted artifact.
+struct RetryPolicy {
+  /// Total attempts per request, first try included (1 = no retry).
+  std::uint32_t max_attempts = 1;
+  /// Linear backoff between attempts: attempt n sleeps n*backoff_ms first
+  /// (0 = retry immediately). Sleeps on the pool worker, so size it for
+  /// the configured worker count.
+  std::uint32_t backoff_ms = 0;
+};
+
+/// Robustness evidence: how often the hardened serving paths fired.
+/// Snapshot semantics like StageCounters; see robustness().
+struct RobustnessCounters {
+  std::uint64_t retries = 0;      ///< re-attempts after transient failures
+  std::uint64_t quarantines = 0;  ///< schedules dropped after corruption
+  std::uint64_t restages = 0;     ///< inline re-stagings after quarantine
+  std::uint64_t deadline_exceeded = 0;  ///< requests expired at a boundary
+  std::uint64_t data_loss = 0;          ///< corruption detections observed
+  std::uint64_t staging_faults = 0;     ///< failed staging tasks (injected
+                                        ///< or real) surfaced through latches
+  std::uint64_t shutdown_rejections = 0;  ///< requests typed out at teardown
 };
 
 /// Per-variant serving statistics (one row per distinct (model, canonical
@@ -498,6 +531,44 @@ class InferenceSession {
   /// to the host between traffic peaks. Thread-safe.
   void set_pool_idle_timeout(std::chrono::milliseconds timeout);
 
+  // --- robustness ----------------------------------------------------------
+  /// Bounded automatic retry for pooled submits (see RetryPolicy). The
+  /// default policy never retries. Thread-safe; in-flight tasks keep the
+  /// policy they were enqueued with.
+  void set_retry_policy(RetryPolicy policy);
+  RetryPolicy retry_policy() const;
+
+  /// Session-wide default wall-clock deadline per request (0 = none),
+  /// applied when the caller's BatchOptions/RunOptions carry no deadline.
+  /// Measured from enqueue; enforced at dequeue, after the staging latch,
+  /// and between retry attempts — an expired request answers
+  /// kDeadlineExceeded without running. Thread-safe.
+  void set_default_deadline_ms(std::uint32_t deadline_ms);
+  std::uint32_t default_deadline_ms() const;
+
+  /// Arm (or clear, with an empty/zero-rate spec) a session-level fault
+  /// plan (fault::Plan::parse vocabulary, e.g. "flip:1e-6+seed:7"). The
+  /// injector arms every model whose own flow config carries no `?fault=`
+  /// plan of its own. Staging/trace-recording runs never see it — only
+  /// serving executions do, so injected corruption is always detectable
+  /// against clean staged artifacts. kInvalidArgument on a bad spec.
+  Status set_fault_plan(const std::string& spec);
+  /// The armed session injector (null when no plan is set). Thread-safe.
+  std::shared_ptr<fault::Injector> fault_injector() const;
+
+  /// Robustness evidence snapshot (retries, quarantines, deadline
+  /// expirations, ...). Thread-safe.
+  RobustnessCounters robustness() const;
+
+  /// Integrity canary sweep for one variant: verify the staged replay
+  /// schedule's ops checksum, then run the model's default input and
+  /// compare bit-exactly against the variant's frozen golden output (the
+  /// first probe freezes it). Either canary failing quarantines the
+  /// model's schedule — the next use restages from the immutable
+  /// artifacts — and reports kDataLoss. Servers call this periodically;
+  /// it executes one inference synchronously. Thread-safe.
+  Status probe_golden(const std::string& backend);
+
  private:
   /// The async-staging latch: the staging task publishes the staged
   /// artifacts here and flips the future; queued arrivals (and the
@@ -525,6 +596,18 @@ class InferenceSession {
     std::atomic<std::uint32_t> evictions{0};
   };
 
+  /// Robustness tallies bumped from pooled tasks; robustness() snapshots
+  /// them.
+  struct AtomicRobustnessCounters {
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> quarantines{0};
+    std::atomic<std::uint64_t> restages{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> data_loss{0};
+    std::atomic<std::uint64_t> staging_faults{0};
+    std::atomic<std::uint64_t> shutdown_rejections{0};
+  };
+
   /// One registered model's full staged-artifact state. Nodes are
   /// heap-pinned (unique_ptr in a node-based map) so ResolvedSpec handles
   /// and pooled tasks may hold ModelState* across registrations; models
@@ -541,6 +624,9 @@ class InferenceSession {
     core::FlowConfig config;
     bool tail_done = false;
     std::vector<float> default_input;
+    /// Golden-probe reference: the default input's output, frozen by the
+    /// first probe_golden() on this model. Guarded by submit_mutex_.
+    std::vector<float> golden_output;
     std::optional<compiler::ReferenceExecutor> reference;
     core::PreparedModel prepared;
     std::shared_ptr<StagingLatch> staging;  ///< non-null while unadopted
@@ -601,6 +687,22 @@ class InferenceSession {
                             std::span<const float> image,
                             const RunOptions& options,
                             std::size_t worker_hint);
+  /// The pooled submit task body: deadline gates (dequeue, post-staging,
+  /// between attempts), the teardown typed-error gate, and the bounded
+  /// retry loop with kDataLoss quarantine + inline restage. `image` is the
+  /// task's own copy; `enqueued` anchors the deadline.
+  StatusOr<ExecutionResult> run_submitted(
+      ModelState& model, const ExecutionBackend& backend,
+      const RunOptions& options, bool repack, RetryPolicy retry,
+      StagingSource& source, std::span<const float> image,
+      std::chrono::steady_clock::time_point enqueued);
+  /// Rebuild a task-private prepared model from the immutable artifacts,
+  /// inline in the current pool task — never through a staging latch
+  /// (enqueueing one from inside a task deadlocks a single-worker pool).
+  /// Used after a kDataLoss quarantine (the snapshot still pins the
+  /// quarantined schedule) and after a failed staging latch.
+  Status rebuild_inline(ModelState& model, core::PreparedModel& prepared,
+                        std::span<const float> image);
   /// Enqueue `model`'s staging task (frontend if missing + one VP trace +
   /// replay-schedule recording, all on a private model that the latch
   /// publishes). Caller holds submit_mutex_ and has checked that nothing
@@ -724,10 +826,20 @@ class InferenceSession {
 
   const BackendRegistry* registry_;
   mutable AtomicStageCounters counters_;
+  mutable AtomicRobustnessCounters robust_;
 
   bool repack_enabled_ = true;
   bool replay_enabled_ = true;
   std::uint64_t replay_budget_bytes_ = 0;  ///< 0 = unlimited
+  RetryPolicy retry_policy_;               ///< guarded by submit_mutex_
+  std::atomic<std::uint32_t> default_deadline_ms_{0};
+  /// Session-level fault injector (null = no plan). Guarded by
+  /// submit_mutex_; tasks capture their own shared_ptr copy at enqueue.
+  std::shared_ptr<fault::Injector> session_fault_;
+  /// Flipped at the top of ~InferenceSession: queued tasks still waiting
+  /// on an unresolved staging latch resolve their PendingResult with a
+  /// typed kUnavailable instead of racing the drain.
+  std::atomic<bool> shutting_down_{false};
   /// Shared with every installed check-in hook; see ReplayCheckinState.
   std::shared_ptr<ReplayCheckinState> checkin_state_;
   std::uint64_t use_tick_ = 0;             ///< LRU clock; under submit_mutex_

@@ -1,8 +1,10 @@
 #include "server/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,6 +13,21 @@
 #include <utility>
 
 namespace nvsoc::server {
+
+namespace {
+
+/// Wait for `events` on `fd` for at most `timeout_ms`. Returns 1 when
+/// ready, 0 on timeout, -1 on a hard poll failure (errno preserved).
+int wait_for(int fd, short events, std::uint32_t timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int n = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (n >= 0) return n;
+    if (errno != EINTR) return -1;
+  }
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
@@ -40,11 +57,48 @@ Status Client::connect(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return Status(StatusCode::kInternal,
-                  std::string("connect() failed: ") + std::strerror(errno));
+
+  if (timeout_ms_ == 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return Status(StatusCode::kInternal,
+                    std::string("connect() failed: ") + std::strerror(errno));
+    }
+  } else {
+    // Poll-based connect: nonblocking connect, wait for writability within
+    // the bound, then harvest SO_ERROR — so a dead/unresponsive server can
+    // never park the client in the kernel's connect timeout (minutes).
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        const int err = errno;
+        ::close(fd);
+        return Status(StatusCode::kInternal,
+                      std::string("connect() failed: ") + std::strerror(err));
+      }
+      const int ready = wait_for(fd, POLLOUT, timeout_ms_);
+      if (ready == 0) {
+        ::close(fd);
+        return Status(StatusCode::kDeadlineExceeded,
+                      "connect() timed out: server did not answer within "
+                      "the client timeout");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        ::close(fd);
+        return Status(StatusCode::kInternal,
+                      std::string("connect() failed: ") +
+                          std::strerror(so_error != 0 ? so_error : errno));
+      }
+    }
+    // Back to blocking: send()/receive() do their own poll-bounded waits.
+    ::fcntl(fd, F_SETFL, flags);
   }
   const int nodelay = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
@@ -87,6 +141,21 @@ StatusOr<Response> Client::receive() {
       in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(
                                                *consumed));
       return response;
+    }
+    if (timeout_ms_ != 0) {
+      // Bound the wait before parking in read(): a silent server reports a
+      // typed timeout, and the connection (buffered bytes included) stays
+      // usable for a later receive().
+      const int ready = wait_for(fd_, POLLIN, timeout_ms_);
+      if (ready == 0) {
+        return Status(StatusCode::kDeadlineExceeded,
+                      "receive() timed out: no response within the client "
+                      "timeout");
+      }
+      if (ready < 0) {
+        return Status(StatusCode::kInternal,
+                      std::string("poll() failed: ") + std::strerror(errno));
+      }
     }
     std::uint8_t chunk[16384];
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));

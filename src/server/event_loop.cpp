@@ -94,8 +94,9 @@ void EventLoop::run() {
       poll_gens.push_back(reg.generation);
     }
 
+    const int timeout = poll_timeout_ms_ > 0 ? poll_timeout_ms_ : -1;
     const int n = ::poll(poll_set.data(),
-                         static_cast<nfds_t>(poll_set.size()), -1);
+                         static_cast<nfds_t>(poll_set.size()), timeout);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // unrecoverable poll failure: surface as a stopped loop
@@ -105,6 +106,10 @@ void EventLoop::run() {
       std::uint8_t drain[64];
       while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
       }
+      if (wakeup_) wakeup_();
+    } else if (n == 0) {
+      // Timeout tick: no fd is ready, but time-based work (the server's
+      // per-request deadline scan) still needs the hook.
       if (wakeup_) wakeup_();
     }
 

@@ -61,6 +61,11 @@ class EventLoop {
   /// The hook notify() schedules; runs on the loop thread. Loop thread (or
   /// pre-run) only.
   void set_wakeup(std::function<void()> hook) { wakeup_ = std::move(hook); }
+  /// Bound the poll(2) sleep so the loop ticks even with no fd activity —
+  /// the server's deadline scanner rides on this: every timeout expiry
+  /// invokes the wakeup hook exactly like a notify() would. <= 0 (the
+  /// default) restores the indefinite sleep. Loop thread (or pre-run) only.
+  void set_poll_timeout_ms(int timeout_ms) { poll_timeout_ms_ = timeout_ms; }
 
  private:
   struct Registration {
@@ -75,6 +80,7 @@ class EventLoop {
 
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
+  int poll_timeout_ms_ = -1;  ///< poll(2) timeout; -1 = sleep indefinitely
   std::atomic<bool> stop_{false};
   std::unordered_map<int, Registration> fds_;
   std::uint64_t next_generation_ = 0;

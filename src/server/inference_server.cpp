@@ -6,9 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
+
+#include "common/strfmt.hpp"
 
 namespace nvsoc::server {
 
@@ -83,6 +87,12 @@ Status InferenceServer::start() {
 }
 
 void InferenceServer::run() {
+  if (options_.deadline_ms != 0) {
+    // Tick the loop even with no fd activity so the deadline scan runs at
+    // useful granularity: half the deadline, clamped to [1, 100] ms.
+    loop_.set_poll_timeout_ms(std::clamp<int>(
+        static_cast<int>(options_.deadline_ms / 2), 1, 100));
+  }
   loop_.set_wakeup([this] { on_wakeup(); });
   loop_.add_fd(listen_fd_, EventLoop::kReadable,
                [this](std::uint32_t events) { on_accept(events); });
@@ -198,10 +208,40 @@ void InferenceServer::read_frames(Connection& conn) {
 
 void InferenceServer::submit_request(Connection& conn, Request request) {
   requests_received_.fetch_add(1, std::memory_order_relaxed);
+
+  // Overload shedding: answer kUnavailable on the still-usable connection
+  // before the session ever sees the request. The client can retry after
+  // backoff; requests already in flight (on this or any connection) are
+  // unaffected, and the connection keeps serving.
+  const auto shed = [&](const char* scope, std::uint32_t cap) {
+    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.id = request.id;
+    response.code = StatusCode::kUnavailable;
+    response.error = strfmt(
+        "server overloaded: {} in-flight cap ({}) reached — retry later",
+        scope, cap);
+    queue_response(conn, response);
+  };
+  if (options_.max_inflight_per_connection != 0 &&
+      conn.in_flight >= options_.max_inflight_per_connection) {
+    shed("per-connection", options_.max_inflight_per_connection);
+    return;
+  }
+  if (options_.max_inflight_total != 0 &&
+      pending_.size() >= options_.max_inflight_total) {
+    shed("global", options_.max_inflight_total);
+    return;
+  }
+
   const std::uint64_t token = next_token_++;
   PendingEntry entry;
   entry.connection = conn.id;
   entry.request = request.id;
+  if (options_.deadline_ms != 0) {
+    entry.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options_.deadline_ms);
+  }
   // submit() never throws and never blocks on staging: errors (unknown
   // backend spec, wrong image shape) come back through a born-ready
   // PendingResult and flow through the same completion path as successes.
@@ -301,6 +341,42 @@ void InferenceServer::on_wakeup() {
     Connection& conn = *conn_it->second;
     --conn.in_flight;
     queue_response(conn, make_response(entry.request, std::move(result)));
+  }
+
+  // Deadline scan (after the drain: a result that is already ready is
+  // answered normally above or on the next tick, never expired). An
+  // expired request is answered kDeadlineExceeded and its completion hook
+  // cancelled — after cancel_ready() returns no worker can push its token,
+  // and the dropped handle leaks nothing: the session keeps the in-flight
+  // execution alive and completes it into the shared state unobserved.
+  if (options_.deadline_ms != 0 && !pending_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> expired;
+    for (const auto& [token, entry] : pending_) {
+      if (now >= entry.deadline && !entry.result.ready()) {
+        expired.push_back(token);
+      }
+    }
+    for (const std::uint64_t token : expired) {
+      const auto it = pending_.find(token);
+      if (it == pending_.end()) continue;
+      PendingEntry entry = std::move(it->second);
+      pending_.erase(it);
+      entry.result.cancel_ready();
+      deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
+      const auto conn_it = by_id_.find(entry.connection);
+      if (conn_it == by_id_.end()) continue;  // client already left
+      Connection& conn = *conn_it->second;
+      --conn.in_flight;
+      Response response;
+      response.id = entry.request;
+      response.code = StatusCode::kDeadlineExceeded;
+      response.error =
+          strfmt("request exceeded the server's {} ms deadline; the result "
+                 "was abandoned",
+                 options_.deadline_ms);
+      queue_response(conn, response);
+    }
   }
   maybe_finish_shutdown();
 }

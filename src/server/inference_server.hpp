@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,19 @@ struct ServerOptions {
   /// port() after start()).
   std::uint16_t port = 0;
   int backlog = 64;
+  /// Overload shedding (0 = unlimited): a request arriving while this
+  /// connection already has this many submits in flight is answered
+  /// kUnavailable on the still-usable connection — it never reaches the
+  /// session, and requests already in flight are unaffected.
+  std::uint32_t max_inflight_per_connection = 0;
+  /// Same, across all connections (the global in-flight cap).
+  std::uint32_t max_inflight_total = 0;
+  /// Per-request wall-clock deadline enforced by the server (0 = none):
+  /// a request still unanswered past this is answered kDeadlineExceeded
+  /// and its completion hook is cancelled — the late result is consumed
+  /// by the session's drain, never delivered. Independent of the
+  /// session-level deadline (which sheds work *before* execution).
+  std::uint32_t deadline_ms = 0;
 };
 
 class InferenceServer {
@@ -92,6 +106,14 @@ class InferenceServer {
   std::uint64_t spec_cache_hits() const {
     return spec_cache_hits_.load(std::memory_order_relaxed);
   }
+  /// Requests answered kUnavailable by the overload-shedding caps.
+  std::uint64_t shed_requests() const {
+    return shed_requests_.load(std::memory_order_relaxed);
+  }
+  /// Requests answered kDeadlineExceeded by the server's deadline scan.
+  std::uint64_t deadline_expirations() const {
+    return deadline_expirations_.load(std::memory_order_relaxed);
+  }
   /// Per-variant serving statistics, straight from the session (thread-safe
   /// there): one row per (model, canonical backend spec) pair served.
   std::vector<runtime::VariantStats> variant_stats() const {
@@ -120,6 +142,9 @@ class InferenceServer {
     std::uint64_t connection = 0;  ///< Connection::id
     std::uint64_t request = 0;     ///< wire request id
     runtime::PendingResult result;
+    /// Expiry instant for the server-side deadline scan (max() = none).
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   // Loop-thread handlers.
@@ -161,6 +186,8 @@ class InferenceServer {
   std::atomic<std::uint64_t> responses_sent_{0};
   std::atomic<std::uint64_t> error_responses_{0};
   std::atomic<std::uint64_t> spec_cache_hits_{0};
+  std::atomic<std::uint64_t> shed_requests_{0};
+  std::atomic<std::uint64_t> deadline_expirations_{0};
 };
 
 }  // namespace nvsoc::server

@@ -21,6 +21,9 @@ Soc::Soc(SocConfig config, BusTarget* external_memory)
   width_converter_ = std::make_unique<AxiWidthConverter>(
       arbiter_->port(MasterId::kNvdlaDbb));
   nvdla_ = std::make_unique<nvdla::Nvdla>(config_.nvdla, *width_converter_);
+  if (config_.fault != nullptr) {
+    nvdla_->set_fault_injector(config_.fault);
+  }
 
   // Config path: AHB -> APB -> CSB.
   apb2csb_ = std::make_unique<ApbToCsbAdapter>(*nvdla_, config_.bridges);

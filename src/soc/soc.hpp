@@ -35,6 +35,10 @@ struct SocConfig {
   rv::CpuConfig cpu;
   BridgeTiming bridges;
   DramTiming dram_timing;
+  /// Deterministic fault injection armed on the NVDLA's CSB/DBB interfaces
+  /// (nullptr = fault-free). Shared so concurrent platforms of one
+  /// configured variant consume one decision sequence.
+  std::shared_ptr<fault::Injector> fault;
 };
 
 /// Census of per-component traffic for the Fig. 2 bench.

@@ -23,7 +23,14 @@ Cycle KernelDriver::write_reg(Addr addr, std::uint32_t value, Cycle now) {
   const CsbResponse rsp =
       csb_.csb_access({.addr = addr, .is_write = true, .wdata = value,
                        .start = now});
-  rsp.status.expect_ok("KMD write_reg");
+  if (!rsp.status.is_ok()) {
+    // Preserve the typed code (kDeadlineExceeded for an injected watchdog
+    // timeout, kUnavailable for a transient error response, kBusError for
+    // a structural decode fault) instead of collapsing into runtime_error.
+    throw StatusError(rsp.status.code(),
+                      strfmt("KMD write_reg {:#x}: {}", addr,
+                             rsp.status.message()));
+  }
   ++stats_.reg_writes;
   return rsp.complete;
 }
@@ -31,7 +38,11 @@ Cycle KernelDriver::write_reg(Addr addr, std::uint32_t value, Cycle now) {
 std::uint32_t KernelDriver::read_reg(Addr addr, Cycle& now) {
   const CsbResponse rsp = csb_.csb_access(
       {.addr = addr, .is_write = false, .wdata = 0, .start = now});
-  rsp.status.expect_ok("KMD read_reg");
+  if (!rsp.status.is_ok()) {
+    throw StatusError(rsp.status.code(),
+                      strfmt("KMD read_reg {:#x}: {}", addr,
+                             rsp.status.message()));
+  }
   ++stats_.reg_reads;
   now = rsp.complete;
   return rsp.rdata;
@@ -39,21 +50,30 @@ std::uint32_t KernelDriver::read_reg(Addr addr, Cycle& now) {
 
 Cycle KernelDriver::wait_and_clear(std::uint32_t intr_bits, Cycle now) {
   // The VP scheduler advances virtual time until the engine raises the
-  // interrupt, then the driver reads the status once (this single read, with
-  // its expected value, is what the trace-to-assembly flow turns into a
-  // polling loop on the bare-metal side).
-  if (const auto next = engine_.next_completion_after(now)) {
-    now = std::max(now, *next);
+  // interrupt, then the driver reads the status (this read, with its
+  // expected value, is what the trace-to-assembly flow turns into a
+  // polling loop on the bare-metal side). The poll is *bounded*: an engine
+  // that never raises the expected bits (a wedged pipeline, a lost
+  // interrupt) exhausts the cycle budget and surfaces kDeadlineExceeded
+  // instead of spinning or asserting.
+  constexpr unsigned kMaxPolls = 64;
+  constexpr Cycle kPollInterval = 1024;
+  for (unsigned poll = 0; poll < kMaxPolls; ++poll) {
+    if (const auto next = engine_.next_completion_after(now)) {
+      now = std::max(now, *next);
+    }
+    const std::uint32_t status =
+        read_reg(unit_base(Unit::kGlb) + glb::kIntrStatus, now);
+    if ((status & intr_bits) == intr_bits) {
+      return write_reg(unit_base(Unit::kGlb) + glb::kIntrStatus, status, now);
+    }
+    now += kPollInterval;
   }
-  const std::uint32_t status =
-      read_reg(unit_base(Unit::kGlb) + glb::kIntrStatus, now);
-  if ((status & intr_bits) != intr_bits) {
-    throw std::runtime_error(
-        strfmt("KMD: expected intr bits {:#x}, got {:#x}", intr_bits,
-               status));
-  }
-  now = write_reg(unit_base(Unit::kGlb) + glb::kIntrStatus, status, now);
-  return now;
+  throw StatusError(
+      StatusCode::kDeadlineExceeded,
+      strfmt("KMD poll budget exhausted waiting for intr bits {:#x} "
+             "({} polls x {} cycles)",
+             intr_bits, kMaxPolls, kPollInterval));
 }
 
 Cycle KernelDriver::program_conv(const HwOp& op, unsigned group, Cycle now) {

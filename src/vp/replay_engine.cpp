@@ -160,6 +160,25 @@ class ReplayEngine::Arena final : public nvdla::ReplayMemory {
     return loadable.unpack_output(raw);
   }
 
+  /// Fault path: flip one bit of the preloaded weight region through the
+  /// dirty-tracked write path, so the next reset restores the baseline.
+  void corrupt_weight_bit(std::uint64_t offset, std::uint8_t bit) {
+    if (weight_bytes_ == 0) return;
+    std::uint8_t byte = 0;
+    read(weight_base_ + offset, std::span<std::uint8_t>(&byte, 1));
+    byte ^= static_cast<std::uint8_t>(1u << bit);
+    write(weight_base_ + offset, std::span<const std::uint8_t>(&byte, 1));
+  }
+
+  /// True when the arena's weight region matches `blob` bit for bit — the
+  /// pre-replay integrity check of fault-armed runs.
+  bool weights_match(std::span<const std::uint8_t> blob) const {
+    std::vector<std::uint8_t> readback(blob.size());
+    read(weight_base_, readback);
+    return std::equal(readback.begin(), readback.end(), blob.begin(),
+                      blob.end());
+  }
+
   // --- ReplayMemory -------------------------------------------------------
   void read(Addr addr, std::span<std::uint8_t> out) const override {
     bounds_check(addr, out.size());
@@ -340,12 +359,32 @@ std::shared_ptr<const ReplayEngine::WritePlan> ReplayEngine::plan_for(
 
 std::vector<float> ReplayEngine::run(const compiler::Loadable& loadable,
                                      std::span<const nvdla::ReplayOp> ops,
-                                     std::span<const float> image) {
+                                     std::span<const float> image,
+                                     fault::Injector* injector) {
   const std::shared_ptr<const WritePlan> plan = plan_for(ops);
   Arena* arena = acquire(loadable);
   try {
     pages_restored_.fetch_add(arena->begin_image(loadable, image, plan.get()),
                               std::memory_order_relaxed);
+    if (injector != nullptr) {
+      if (injector->fire(fault::Kind::kReplayFail)) {
+        throw StatusError(StatusCode::kUnavailable,
+                          "injected replay-engine failure");
+      }
+      if (const auto corruption =
+              injector->fire_corruption(loadable.weight_blob.size())) {
+        arena->corrupt_weight_bit(corruption->offset, corruption->bit);
+      }
+      // Checkout integrity gate: only runs when flips are armed (the
+      // fault-free path never pays the weight-blob compare).
+      if (injector->plan().at(fault::Kind::kWeightFlip) > 0 &&
+          !arena->weights_match(loadable.weight_blob)) {
+        throw StatusError(StatusCode::kDataLoss,
+                          "replay arena weight corruption detected at "
+                          "checkout — refusing to serve from a damaged "
+                          "arena");
+      }
+    }
     for (const auto& op : ops) {
       nvdla::replay_op(config_, op, *arena);
     }

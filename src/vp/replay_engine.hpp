@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "compiler/loadable.hpp"
+#include "fault/fault.hpp"
 #include "nvdla/config.hpp"
 #include "nvdla/replay.hpp"
 
@@ -62,9 +63,17 @@ class ReplayEngine {
   /// engine must pass the same loadable (the arenas are preloaded with its
   /// weight blob) — a different arena layout throws kInvalidArgument-style
   /// std::invalid_argument.
+  ///
+  /// `injector` (may be nullptr) arms per-replay fault injection: an
+  /// injected replay failure throws StatusError(kUnavailable); an injected
+  /// weight bit flip corrupts the checked-out arena's weight region
+  /// through the dirty-tracked write path (the next reset restores it) and
+  /// the pre-replay integrity check detects it as StatusError(kDataLoss) —
+  /// a corrupted arena never produces an answer.
   std::vector<float> run(const compiler::Loadable& loadable,
                          std::span<const nvdla::ReplayOp> ops,
-                         std::span<const float> image);
+                         std::span<const float> image,
+                         fault::Injector* injector = nullptr);
 
   /// How many arenas this engine has built — at most one per worker that
   /// ever replayed concurrently, regardless of how many images ran.

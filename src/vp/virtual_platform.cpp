@@ -177,6 +177,7 @@ VpRunResult VirtualPlatform::run(const compiler::Loadable& loadable,
   Dram dram(align_up(loadable.arena_end + (1u << 20), 1u << 20));
   DirectAxiRam axi(dram, config_);
   Nvdla engine(config_, axi);
+  if (fault_ != nullptr) engine.set_fault_injector(fault_);
 
   // Preload: parameters then the input image (the paper's weight/image .bin
   // DDR preload, performed by the PS on the board and by the VP here).

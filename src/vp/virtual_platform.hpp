@@ -106,6 +106,14 @@ class VirtualPlatform {
     return dbb_payloads_;
   }
 
+  /// Arms fault injection on the engine of every subsequent run() (CSB
+  /// timeouts/errors, DBB bus errors -> StatusError out of run()). Serving
+  /// paths only: staging/trace-recording runs construct their own
+  /// fault-free platform.
+  void set_fault_injector(std::shared_ptr<fault::Injector> injector) {
+    fault_ = std::move(injector);
+  }
+
   const nvdla::NvdlaConfig& config() const { return config_; }
 
  private:
@@ -125,6 +133,7 @@ class VirtualPlatform {
 
   nvdla::NvdlaConfig config_;
   std::vector<std::vector<std::uint8_t>> dbb_payloads_;
+  std::shared_ptr<fault::Injector> fault_;
 };
 
 }  // namespace nvsoc::vp
