@@ -33,6 +33,7 @@ import argparse
 import json
 import pathlib
 import sys
+from typing import Any, Optional, cast
 
 # Same-host ratios held to an absolute minimum wherever they are reported.
 #  * replay_speedup_vs_full compares identical pooled runs that differ only
@@ -146,7 +147,7 @@ REQUIRED_KEYS = {
 }
 
 
-def gated_direction(key: str):
+def gated_direction(key: str) -> Optional[str]:
     """"lower"/"higher" = better for baseline-compared metrics, else None."""
     if "virtual_images_per_sec" in key:
         return "higher"
@@ -155,10 +156,15 @@ def gated_direction(key: str):
     return None
 
 
-def load_report(path: pathlib.Path) -> dict:
+def load_report(path: pathlib.Path) -> dict[str, dict[str, Any]]:
     with open(path) as fh:
         report = json.load(fh)
-    return report.get("sections", {})
+    # json.load is untyped; the bench emitters always write
+    # {"sections": {name: {metric: value}}}, so narrow to that shape.
+    sections = report.get("sections", {})
+    if not isinstance(sections, dict):
+        return {}
+    return cast("dict[str, dict[str, Any]]", sections)
 
 
 def main() -> int:
@@ -177,7 +183,7 @@ def main() -> int:
         print(f"error: no baselines under {args.baseline_dir}", file=sys.stderr)
         return 1
 
-    failures = []
+    failures: list[str] = []
     checked = 0
     for baseline_path in baselines:
         current_path = args.current_dir / baseline_path.name

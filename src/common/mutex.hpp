@@ -1,0 +1,109 @@
+// Annotated lock primitives for Clang thread-safety analysis.
+//
+// nvsoc::Mutex wraps std::mutex as a CAPABILITY so members can be declared
+// GUARDED_BY(mutex_) and helpers REQUIRES(mutex_); MutexLock is the RAII
+// scoped capability (relock-capable, for unlock-around-work patterns); CondVar
+// is a condition variable whose wait() REQUIRES the caller's Mutex.
+//
+// CondVar deliberately has NO predicate-wait overload: Clang analyzes lambda
+// bodies as separate functions, so a `[&]{ return guarded_; }` predicate
+// would be flagged as an unguarded access even though the wait holds the
+// lock.  Write the loop explicitly instead:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(mutex_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace nvsoc {
+
+class CondVar;
+
+// A std::mutex the analysis understands.  Prefer MutexLock over manual
+// lock()/unlock() pairs; the manual API exists for the rare hand-over-hand
+// or adopt patterns.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::wait needs the native handle
+  std::mutex m_;
+};
+
+// RAII scoped acquisition of a Mutex.  Supports temporary release via
+// unlock()/lock() (the thread-pool worker loop drops the lock around task
+// execution); the destructor releases only if currently held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Re-acquire after unlock().  Calling while held is a bug.
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  // Release early (before destruction).  Calling while not held is a bug.
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable for use with Mutex.  Every wait requires the caller to
+// hold the mutex it names; spurious wakeups are possible, so always wait in
+// a `while (!condition)` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically release mu, block, and re-acquire mu before returning.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  // Timed wait; returns std::cv_status::timeout if rel_time elapsed.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& rel_time)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, rel_time);
+    lock.release();
+    return status;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nvsoc

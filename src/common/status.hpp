@@ -30,7 +30,13 @@ enum class StatusCode {
 const char* status_code_name(StatusCode code);
 
 /// Result of an operation that can fail without a payload.
-class Status {
+///
+/// [[nodiscard]] at class level: every function returning a Status returns
+/// an error channel, and dropping one on the floor is a swallowed failure —
+/// the compiler flags it at the call site (GCC/Clang -Wunused-result,
+/// promoted to an error in CI). Intentional drops must say why with a
+/// `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -86,8 +92,10 @@ inline bool is_transient(StatusCode code) {
 /// `runtime::InferenceSession`): recoverable failures (unknown backend,
 /// program-memory overflow, loadable/trace mismatch, ...) come back as a
 /// non-OK status instead of an exception.
+/// [[nodiscard]] like Status: a discarded StatusOr is a discarded result
+/// *and* a discarded error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : storage_(std::move(value)) {}           // NOLINT implicit
   StatusOr(Status status) : storage_(std::move(status)) {     // NOLINT implicit

@@ -1,0 +1,76 @@
+// Clang thread-safety-analysis annotation macros (the Abseil capability
+// model).  Under Clang with -Wthread-safety these expand to attributes the
+// static analysis consumes; everywhere else they compile to nothing, so the
+// annotated code builds identically under GCC/MSVC.
+//
+// Vocabulary (see src/common/mutex.hpp for the annotated primitives):
+//   CAPABILITY("mutex")   - a type that is a lockable capability
+//   SCOPED_CAPABILITY     - an RAII type that acquires/releases a capability
+//   GUARDED_BY(mu)        - data member readable/writable only while mu is held
+//   PT_GUARDED_BY(mu)     - pointed-to data guarded by mu (the pointer itself
+//                           may be read freely)
+//   REQUIRES(mu)          - function precondition: caller already holds mu
+//   EXCLUDES(mu)          - function precondition: caller must NOT hold mu
+//                           (the function takes it internally)
+//   ACQUIRE(mu)/RELEASE(mu) - function acquires/releases mu itself
+//   TRY_ACQUIRE(ok, mu)   - conditional acquire; holds mu iff it returned ok
+//   ASSERT_CAPABILITY(mu) - runtime assertion that mu is held (teaches the
+//                           analysis without a lock operation)
+//   RETURN_CAPABILITY(mu) - function returns a reference to mu
+//   TS_NO_ANALYSIS        - opt this function out of the analysis; every use
+//                           must carry a comment saying why it is sound
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define NVSOC_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define NVSOC_TS_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) NVSOC_TS_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY NVSOC_TS_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) NVSOC_TS_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) NVSOC_TS_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) NVSOC_TS_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) NVSOC_TS_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  NVSOC_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  NVSOC_TS_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) NVSOC_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  NVSOC_TS_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) NVSOC_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  NVSOC_TS_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  NVSOC_TS_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  NVSOC_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  NVSOC_TS_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) NVSOC_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) NVSOC_TS_ATTRIBUTE__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  NVSOC_TS_ATTRIBUTE__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) NVSOC_TS_ATTRIBUTE__(lock_returned(x))
+
+#define TS_NO_ANALYSIS NVSOC_TS_ATTRIBUTE__(no_thread_safety_analysis)

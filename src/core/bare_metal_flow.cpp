@@ -37,7 +37,7 @@ const SocExecution& ReplaySchedule::platform_record(
     const std::function<SocExecution()>& compute) const {
   PlatformOnce* slot = nullptr;
   {
-    std::lock_guard<std::mutex> lock(platforms_mutex_);
+    MutexLock lock(platforms_mutex_);
     auto& entry = platforms_[key];
     if (entry == nullptr) entry = std::make_unique<PlatformOnce>();
     slot = entry.get();
@@ -56,7 +56,7 @@ const SocExecution& ReplaySchedule::platform_record(
 }
 
 std::size_t ReplaySchedule::platform_record_count() const {
-  std::lock_guard<std::mutex> lock(platforms_mutex_);
+  MutexLock lock(platforms_mutex_);
   return platforms_.size();
 }
 
@@ -68,7 +68,7 @@ vp::ReplayEngine& ReplaySchedule::engine(
     // section: a concurrent set_checkin_hook either ran before (its hook
     // is in checkin_hook_ and applied here) or runs after (it sees
     // engine_live_ non-null and forwards directly).
-    std::lock_guard<std::mutex> lock(hook_mutex_);
+    MutexLock lock(hook_mutex_);
     if (checkin_hook_) engine_->set_checkin_hook(checkin_hook_);
     engine_live_.store(engine_.get(), std::memory_order_release);
   });
@@ -76,7 +76,7 @@ vp::ReplayEngine& ReplaySchedule::engine(
 }
 
 void ReplaySchedule::set_checkin_hook(std::function<void()> hook) const {
-  std::lock_guard<std::mutex> lock(hook_mutex_);
+  MutexLock lock(hook_mutex_);
   checkin_hook_ = std::move(hook);
   if (vp::ReplayEngine* live = engine_live_.load(std::memory_order_acquire)) {
     live->set_checkin_hook(checkin_hook_);

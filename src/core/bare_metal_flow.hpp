@@ -20,11 +20,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag / std::call_once
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "compiler/calibration.hpp"
 #include "compiler/compile.hpp"
 #include "compiler/network.hpp"
@@ -200,18 +202,21 @@ struct ReplaySchedule {
     std::once_flag once;
     SocExecution exec;
   };
-  mutable std::mutex platforms_mutex_;
+  mutable Mutex platforms_mutex_;
   /// Node-based on purpose: records keep a stable address once created.
-  mutable std::map<std::string, std::unique_ptr<PlatformOnce>> platforms_;
+  mutable std::map<std::string, std::unique_ptr<PlatformOnce>> platforms_
+      GUARDED_BY(platforms_mutex_);
   mutable std::once_flag engine_once_;
+  /// Written only inside the engine_once_ call_once (a discipline the
+  /// capability analysis cannot express), read afterwards — unannotated.
   mutable std::unique_ptr<vp::ReplayEngine> engine_;
   /// Published (release) inside the engine_once_ build so the accounting
   /// accessors can reach a live engine without risking a call_once build.
   mutable std::atomic<vp::ReplayEngine*> engine_live_{nullptr};
   /// Pending check-in hook: hook_mutex_ orders set_checkin_hook against
   /// engine construction so neither direction can lose the hook.
-  mutable std::mutex hook_mutex_;
-  mutable std::function<void()> checkin_hook_;
+  mutable Mutex hook_mutex_;
+  mutable std::function<void()> checkin_hook_ GUARDED_BY(hook_mutex_);
   mutable std::atomic<std::uint32_t> replays_{0};
 };
 
@@ -266,18 +271,18 @@ struct PreparedModel {
    public:
     const VpRefresh& get_or_compute(
         const std::function<VpRefresh()>& compute) const {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (!ready_) {
         value_ = compute();  // may throw: memo stays empty for the retry
         ready_ = true;
       }
-      return value_;
+      return value_;  // immutable once ready_: the escaping ref is safe
     }
 
    private:
-    mutable std::mutex mutex_;
-    mutable bool ready_ = false;
-    mutable VpRefresh value_;
+    mutable Mutex mutex_;
+    mutable bool ready_ GUARDED_BY(mutex_) = false;
+    mutable VpRefresh value_ GUARDED_BY(mutex_);
   };
   std::shared_ptr<VpRefreshMemo> vp_refresh =
       std::make_shared<VpRefreshMemo>();

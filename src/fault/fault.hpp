@@ -107,6 +107,10 @@ class Injector {
   std::uint64_t total_injected() const;
 
  private:
+  // Deliberately lock-free: each counter is an independent fetch_add with
+  // no cross-counter invariant, so there is nothing for a Mutex/GUARDED_BY
+  // capability to protect — relaxed atomics are the whole discipline.
+  // plan_ is set once in the constructor and read-only afterwards.
   Plan plan_;
   std::array<std::atomic<std::uint64_t>, kKindCount> next_index_{};
   std::array<std::atomic<std::uint64_t>, kKindCount> injected_{};

@@ -79,7 +79,7 @@ StatusOr<const ExecutionBackend*> BackendRegistry::find(
   BackendSpec canon = *spec;
   canon.full = canon.canonical();  // canonical() sorts its own params copy
 
-  std::lock_guard<std::mutex> lock(variants_mutex_);
+  MutexLock lock(variants_mutex_);
   if (const auto it = variants_.find(canon.full); it != variants_.end()) {
     return it->second.get();
   }

@@ -13,10 +13,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/execution_backend.hpp"
 
 namespace nvsoc::runtime {
@@ -43,12 +44,15 @@ class BackendRegistry {
   std::vector<std::string> names() const;
 
  private:
+  /// Populate-then-read: add() calls finish before the first concurrent
+  /// find(), so base backends need no lock (and no annotation).
   std::map<std::string, std::unique_ptr<ExecutionBackend>> backends_;
+  mutable Mutex variants_mutex_;
   /// Configured variants built by find(), keyed by the canonical spec.
   /// Mutable + locked: lookups are logically const and must be usable from
   /// concurrent batch workers.
-  mutable std::map<std::string, std::unique_ptr<ExecutionBackend>> variants_;
-  mutable std::mutex variants_mutex_;
+  mutable std::map<std::string, std::unique_ptr<ExecutionBackend>> variants_
+      GUARDED_BY(variants_mutex_);
 };
 
 }  // namespace nvsoc::runtime

@@ -49,7 +49,7 @@ void PendingResult::State::complete(StatusOr<ExecutionResult> value) {
   // destroy itself. Hooks are cheap by contract (wake an event loop) and
   // never reenter this PendingResult, so holding the lock is safe; get()
   // waiters wake right after the unlock.
-  std::lock_guard<std::mutex> lock(mutex);
+  MutexLock lock(mutex);
   result.emplace(std::move(value));
   std::function<void()> hook = std::move(callback);
   callback = nullptr;
@@ -73,7 +73,7 @@ bool PendingResult::valid() const { return state_ != nullptr; }
 
 bool PendingResult::ready() const {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->result.has_value();
 }
 
@@ -86,8 +86,8 @@ StatusOr<ExecutionResult> PendingResult::get() {
   // Consume the handle up front: after get() the handle is invalid even if
   // the result was an error, matching the one-shot future contract.
   std::shared_ptr<State> state = std::move(state_);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&] { return state->result.has_value(); });
+  MutexLock lock(state->mutex);
+  while (!state->result.has_value()) state->cv.wait(state->mutex);
   StatusOr<ExecutionResult> result = std::move(*state->result);
   return result;
 }
@@ -95,7 +95,7 @@ StatusOr<ExecutionResult> PendingResult::get() {
 void PendingResult::on_ready(std::function<void()> callback) {
   if (state_ == nullptr || !callback) return;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (!state_->result.has_value()) {
       state_->callback = std::move(callback);
       return;
@@ -113,7 +113,7 @@ void PendingResult::cancel_ready() {
   // Taking the mutex is the synchronization: complete() invokes the hook
   // with it held, so by the time the lock is ours any in-flight invocation
   // has returned, and clearing the slot stops a future one.
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   state_->callback = nullptr;
 }
 
@@ -168,7 +168,7 @@ InferenceSession::~InferenceSession() {
   // fired by a draining task blocks on it, and pool_'s destructor would
   // wait on that task.
   {
-    std::lock_guard<std::mutex> lock(checkin_state_->mutex);
+    MutexLock lock(checkin_state_->mutex);
     checkin_state_->session = nullptr;
   }
 }
@@ -180,7 +180,7 @@ Status InferenceSession::register_model(std::string name,
     return Status(StatusCode::kInvalidArgument,
                   "register_model: model name must not be empty");
   }
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   if (models_.count(name) != 0) {
     return Status(StatusCode::kAlreadyExists,
                   strfmt("model '{}' is already registered", name));
@@ -200,7 +200,7 @@ Status InferenceSession::register_model(std::string name,
 }
 
 std::vector<std::string> InferenceSession::model_names() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, state] : models_) names.push_back(name);
@@ -227,19 +227,19 @@ RunOptions InferenceSession::run_options(const ModelState& model) const {
     // The session-level plan arms every model whose own flow config carries
     // no `?fault=` plan; a spec-level `?fault=` override still wins (the
     // configured variant applies it on top of these options).
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     options.flow.fault = session_fault_;
   }
   return options;
 }
 
 void InferenceSession::set_retry_policy(RetryPolicy policy) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   retry_policy_ = policy;
 }
 
 RetryPolicy InferenceSession::retry_policy() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   return retry_policy_;
 }
 
@@ -258,13 +258,13 @@ Status InferenceSession::set_fault_plan(const std::string& spec) {
     if (!plan.is_ok()) return plan.status();
     if (plan->any()) injector = std::make_shared<fault::Injector>(*plan);
   }
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   session_fault_ = std::move(injector);
   return Status::ok();
 }
 
 std::shared_ptr<fault::Injector> InferenceSession::fault_injector() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   return session_fault_;
 }
 
@@ -294,19 +294,19 @@ ThreadPool& InferenceSession::pool_locked(std::size_t worker_hint) {
 }
 
 std::size_t InferenceSession::pool_worker_count() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   return pool_ != nullptr ? pool_->worker_count() : 0;
 }
 
 void InferenceSession::set_pool_idle_timeout(std::chrono::milliseconds timeout) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   pool_idle_timeout_ = timeout;
   if (pool_ != nullptr) pool_->set_idle_timeout(timeout);
 }
 
 const std::vector<float>& InferenceSession::default_input_for(
     ModelState& model) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   if (model.default_input.empty()) {
     model.default_input = compiler::synthetic_input(
         model.network.input_shape(), model.config.input_seed);
@@ -361,7 +361,7 @@ StatusOr<InferenceSession::ResolvedSpec> InferenceSession::resolve(
   resolved.backend_ = *found;
   resolved.canonical_ = canonical;
 
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   ModelState* state = default_model_;
   if (!model_name.empty()) {
     const auto it = models_.find(model_name);
@@ -461,13 +461,13 @@ void InferenceSession::repack_into(const ModelState& model,
 }
 
 void InferenceSession::set_repack_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   repack_enabled_ = enabled;
 }
 
 void InferenceSession::set_replay_enabled(bool enabled) {
   drain_all_staging();
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   if (enabled == replay_enabled_) return;
   replay_enabled_ = enabled;
   for (auto& [name, state] : models_) {
@@ -557,10 +557,20 @@ void InferenceSession::ensure_tail(ModelState& model,
     return;
   }
 
+  // Snapshot the session knobs once: ensure_tail is a session-thread stage
+  // method and must not hold submit_mutex_ across the (slow) trace below.
+  bool repack_on = false;
+  bool replay_on = false;
+  {
+    MutexLock lock(submit_mutex_);
+    repack_on = repack_enabled_;
+    replay_on = replay_enabled_;
+  }
+
   // Repack fast path: once one image has been traced, the CSB stream —
   // hence config file and program — is known to be input-independent, so a
   // same-shape image only needs its input-dependent surfaces refreshed.
-  if (model.tail_done && repack_enabled_ &&
+  if (model.tail_done && repack_on &&
       model.prepared.input.size() == image.size()) {
     model.tail_done = false;  // invalidate while mutating (repack can throw)
     repack_into(model, model.prepared, image);
@@ -580,7 +590,7 @@ void InferenceSession::ensure_tail(ModelState& model,
   // not memo-hit on artifacts that belong to a different image.
   model.tail_done = false;
   auto outgoing_schedule = model.prepared.replay;
-  stage_tail_into(model, model.prepared, image, replay_enabled_);
+  stage_tail_into(model, model.prepared, image, replay_on);
   // The trace succeeded and replaced the schedule; fold the outgoing
   // schedule's tally into the counters it vanishes from.
   if (outgoing_schedule != nullptr) {
@@ -714,7 +724,7 @@ void InferenceSession::try_adopt_all_locked() {
 }
 
 void InferenceSession::drain_staging(ModelState& model) {
-  std::unique_lock<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   while (model.staging != nullptr) {
     auto latch = model.staging;
     // Wait on a private future copy (taken under the lock): every other
@@ -731,7 +741,7 @@ void InferenceSession::drain_staging(ModelState& model) {
 void InferenceSession::drain_all_staging() {
   std::vector<ModelState*> all;
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     all.reserve(models_.size());
     for (auto& [name, state] : models_) all.push_back(state.get());
   }
@@ -855,14 +865,14 @@ void InferenceSession::install_checkin_hook(
   auto state = checkin_state_;
   schedule.set_checkin_hook([state, model = &model] {
     if (state->budget.load(std::memory_order_relaxed) == 0) return;
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     if (state->session == nullptr) return;
     state->session->on_replay_checkin(*model);
   });
 }
 
 void InferenceSession::on_replay_checkin(ModelState& model) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   // Adopt first so a freshly staged schedule counts against the budget it
   // is about to share. The checking-in model is the hot one: the walk
   // sheds cold models first and at most drops this model's idle arenas —
@@ -872,7 +882,7 @@ void InferenceSession::on_replay_checkin(ModelState& model) {
 }
 
 void InferenceSession::set_replay_budget_bytes(std::uint64_t budget_bytes) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   replay_budget_bytes_ = budget_bytes;
   checkin_state_->budget.store(budget_bytes, std::memory_order_relaxed);
   // Enforce immediately so a freshly lowered budget takes effect without
@@ -888,12 +898,12 @@ void InferenceSession::set_replay_budget_bytes(std::uint64_t budget_bytes) {
 }
 
 std::uint64_t InferenceSession::replay_budget_bytes() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   return replay_budget_bytes_;
 }
 
 std::uint64_t InferenceSession::replay_resident_bytes() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   std::uint64_t bytes = 0;
   for (const auto& [name, state] : models_) {
     bytes += model_resident_bytes_locked(*state);
@@ -922,7 +932,7 @@ StageCounters InferenceSession::counters() const {
       counters_.staging_peak.load(std::memory_order_relaxed);
   snapshot.evictions = counters_.evictions.load(std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   for (const auto& [name, state] : models_) {
     const core::ReplaySchedule* schedule = live_schedule_locked(*state);
     snapshot.replay += state->replay_base.load(std::memory_order_relaxed) +
@@ -932,7 +942,7 @@ StageCounters InferenceSession::counters() const {
 }
 
 std::vector<VariantStats> InferenceSession::variant_stats() const {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   std::vector<VariantStats> stats;
   stats.reserve(variants_.size());
   // The map key is "model|canonical spec": iteration order is already
@@ -1010,14 +1020,14 @@ StatusOr<ExecutionResult> InferenceSession::run_resolved(
     const ResolvedSpec& spec, std::span<const float> image) {
   ModelState& model = *spec.state_;
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     try_adopt_all_locked();
     note_use_locked(model, spec.variant_);
   }
   try {
     auto result = spec.backend_->run(prepare_in(model, image),
                                      run_options(model));
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     if (!result.is_ok() &&
         result.status().code() == StatusCode::kDataLoss) {
       // Detected corruption on the synchronous path: quarantine the shared
@@ -1047,7 +1057,7 @@ Status InferenceSession::probe_golden(const std::string& backend) {
   drain_staging(model);
   bool quarantined = false;
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     // Canary 1: the staged schedule's ops checksum. A mismatch means the
     // shared in-memory schedule was silently corrupted since recording.
     if (model.prepared.replay != nullptr &&
@@ -1062,7 +1072,7 @@ Status InferenceSession::probe_golden(const std::string& backend) {
   // checksum-quarantined schedule restages transparently inside this run.
   auto result = run_resolved(*resolved, default_input_for(model));
   if (!result.is_ok()) return result.status();
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(submit_mutex_);
   if (model.golden_output.empty()) {
     model.golden_output = result->output;  // the first probe freezes golden
   } else if (model.golden_output != result->output) {
@@ -1171,7 +1181,7 @@ PendingResult InferenceSession::submit_with(ModelState& model,
   bool repack = true;
   RetryPolicy retry;
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     try_adopt_all_locked();
     note_use_locked(model, variant);
     pool = &pool_locked(worker_hint);
@@ -1292,7 +1302,7 @@ StatusOr<ExecutionResult> InferenceSession::run_submitted(
       // quarantined core, so a retry must rebuild inline (ready = false)
       // from the immutable artifacts rather than reuse the snapshot.
       ++robust_.data_loss;
-      std::lock_guard<std::mutex> lock(submit_mutex_);
+      MutexLock lock(submit_mutex_);
       if (model.prepared.replay != nullptr) ++robust_.quarantines;
       evict_schedule_locked(model);
       ready = false;
@@ -1318,7 +1328,7 @@ Status InferenceSession::rebuild_inline(ModelState& model,
     if (!prepared.has_frontend()) {
       std::vector<float> calibration_image;
       {
-        std::lock_guard<std::mutex> lock(submit_mutex_);
+        MutexLock lock(submit_mutex_);
         if (model.prepared.has_frontend()) {
           // Reuse the session's immutable frontend core (refcount bump).
           prepared.frontend = model.prepared.frontend;
@@ -1391,7 +1401,7 @@ StagingHandle InferenceSession::prepare_async_resolved(
     StagingSource source;
     ThreadPool* pool = nullptr;
     {
-      std::lock_guard<std::mutex> lock(submit_mutex_);
+      MutexLock lock(submit_mutex_);
       try_adopt_all_locked();
       pool = &pool_locked(0);
       source = staging_source_locked(model, image);
@@ -1423,7 +1433,7 @@ StagingHandle InferenceSession::prepare_async_resolved(
             }
           }();
           if (outcome.is_ok()) {
-            std::lock_guard<std::mutex> lock(submit_mutex_);
+            MutexLock lock(submit_mutex_);
             try_adopt_staging_locked(*model_state);
             ++variant->stagings;
             refresh_variants_staged_locked(*model_state);
@@ -1472,7 +1482,7 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch(
   auto resolved = resolve(backend);
   if (!resolved.is_ok()) return resolved.status();
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     try_adopt_all_locked();
     note_use_locked(*resolved->state_, resolved->variant_);
   }
@@ -1500,9 +1510,9 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
   // One worker — or a session with the repack fast path disabled, whose
   // contract is a full VP replay per image — runs the sequential path with
   // the same per-run options.
-  if (workers <= 1 || !repack_enabled_) {
+  if (workers <= 1 || !repack_enabled()) {
     {
-      std::lock_guard<std::mutex> lock(submit_mutex_);
+      MutexLock lock(submit_mutex_);
       try_adopt_all_locked();
       note_use_locked(model, resolved->variant_);
     }
@@ -1523,7 +1533,7 @@ StatusOr<std::vector<ExecutionResult>> InferenceSession::run_batch_parallel(
   // threads, not 8 — and elastic growth up to max_workers handles any
   // later pressure.
   try {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(submit_mutex_);
     pool_locked(workers).set_max_workers(options.max_workers);
   } catch (const std::exception& e) {
     return Status(StatusCode::kInternal, e.what());

@@ -102,18 +102,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "compiler/reference.hpp"
 #include "runtime/backend_registry.hpp"
 
@@ -281,16 +281,17 @@ class PendingResult {
   /// producer keeps its own shared_ptr, so a completed-then-dropped handle
   /// (e.g. a client that disconnected mid-request) never dangles.
   struct State {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::optional<StatusOr<ExecutionResult>> result;
-    std::function<void()> callback;  ///< pending on_ready hook, if any
+    Mutex mutex;
+    CondVar cv;
+    std::optional<StatusOr<ExecutionResult>> result GUARDED_BY(mutex);
+    /// Pending on_ready hook, if any.
+    std::function<void()> callback GUARDED_BY(mutex);
 
     /// Producer side: publish the result, wake get() waiters, fire the
     /// registered callback. The callback runs *under* the state mutex so
     /// cancel_ready() can synchronize with an in-flight invocation — hooks
     /// must therefore never call back into the same PendingResult.
-    void complete(StatusOr<ExecutionResult> value);
+    void complete(StatusOr<ExecutionResult> value) EXCLUDES(mutex);
   };
 
   explicit PendingResult(std::shared_ptr<State> state)
@@ -405,7 +406,10 @@ class InferenceSession {
   /// re-traces per image *inside* each pooled task (the first arrival
   /// still stages the shared frontend+trace behind the staging latch).
   void set_repack_enabled(bool enabled);
-  bool repack_enabled() const { return repack_enabled_; }
+  bool repack_enabled() const {
+    MutexLock lock(submit_mutex_);
+    return repack_enabled_;
+  }
 
   /// The functional replay engine is on by default; disabling it drops
   /// every model's recorded schedule so repacked images fall back to a
@@ -415,7 +419,10 @@ class InferenceSession {
   /// with the backends' `?mode=cycle_accurate` spec knob. Re-enabling
   /// re-records each model's schedule on its next staged trace.
   void set_replay_enabled(bool enabled);
-  bool replay_enabled() const { return replay_enabled_; }
+  bool replay_enabled() const {
+    MutexLock lock(submit_mutex_);
+    return replay_enabled_;
+  }
 
   // --- replay-residency byte budget ---------------------------------------
   /// Bound the bytes replay residency may hold across all models:
@@ -650,12 +657,12 @@ class InferenceSession {
   };
 
   const BackendRegistry& registry() const;
-  RunOptions run_options(const ModelState& model) const;
+  RunOptions run_options(const ModelState& model) const EXCLUDES(submit_mutex_);
   /// The session-lifetime pool, created on first use (`worker_hint` 0
   /// picks one worker per hardware thread) and reused by every later
   /// pooled call regardless of hint; queue pressure grows it elastically
-  /// up to its max_workers cap. Callers hold submit_mutex_.
-  ThreadPool& pool_locked(std::size_t worker_hint);
+  /// up to its max_workers cap.
+  ThreadPool& pool_locked(std::size_t worker_hint) REQUIRES(submit_mutex_);
   /// Shape-check an image against the model's network before any staging
   /// work, so run(), submit() and the batch paths all reject a wrong-size
   /// image — first or later — with the same kInvalidArgument.
@@ -671,10 +678,11 @@ class InferenceSession {
     core::PreparedModel snapshot;         ///< used when latch is null
   };
   /// Pick the task's staging source for `model`, starting its staging task
-  /// first if nothing is staged or staging. Caller holds submit_mutex_
-  /// (the future copy must be taken under it).
+  /// first if nothing is staged or staging (the future copy must be taken
+  /// under the lock).
   StagingSource staging_source_locked(ModelState& model,
-                                      std::span<const float> image);
+                                      std::span<const float> image)
+      REQUIRES(submit_mutex_);
   /// Task-side half: wait for the source and materialize the model.
   static Status resolve_staged_model(StagingSource& source,
                                      core::PreparedModel& model);
@@ -705,29 +713,30 @@ class InferenceSession {
                         std::span<const float> image);
   /// Enqueue `model`'s staging task (frontend if missing + one VP trace +
   /// replay-schedule recording, all on a private model that the latch
-  /// publishes). Caller holds submit_mutex_ and has checked that nothing
-  /// is staged or staging for this model.
-  void start_staging_locked(ModelState& model, std::span<const float> image);
+  /// publishes). The caller has checked that nothing is staged or staging
+  /// for this model.
+  void start_staging_locked(ModelState& model, std::span<const float> image)
+      REQUIRES(submit_mutex_);
   /// Adopt a *ready* staging latch into `model` (non-blocking; no-op when
-  /// staging is absent or still running). Caller holds submit_mutex_.
-  void try_adopt_staging_locked(ModelState& model);
+  /// staging is absent or still running).
+  void try_adopt_staging_locked(ModelState& model) REQUIRES(submit_mutex_);
   /// try_adopt_staging_locked across every model — the submit paths run it
   /// so budget enforcement sees freshly staged schedules.
-  void try_adopt_all_locked();
+  void try_adopt_all_locked() REQUIRES(submit_mutex_);
   /// Block until `model`'s in-flight staging finishes and adopt it — the
   /// sync point every session-thread stage accessor passes through before
   /// touching model.prepared.
-  void drain_staging(ModelState& model);
+  void drain_staging(ModelState& model) EXCLUDES(submit_mutex_);
   /// drain_staging across every model (set_replay_enabled, teardown-ish
   /// paths).
   void drain_all_staging();
-  /// Record a use for LRU purposes and collect variant tallies. Caller
-  /// holds submit_mutex_.
-  void note_use_locked(ModelState& model, VariantState* variant);
+  /// Record a use for LRU purposes and collect variant tallies.
+  void note_use_locked(ModelState& model, VariantState* variant)
+      REQUIRES(submit_mutex_);
   /// Align every variant of `model` with its live-schedule state (variants
   /// of one model share its schedule, so they stage and unstage together).
-  /// Caller holds submit_mutex_.
-  void refresh_variants_staged_locked(const ModelState& model);
+  void refresh_variants_staged_locked(const ModelState& model)
+      REQUIRES(submit_mutex_);
   /// run()'s body after spec resolution.
   StatusOr<ExecutionResult> run_resolved(const ResolvedSpec& spec,
                                          std::span<const float> image);
@@ -735,24 +744,24 @@ class InferenceSession {
   StagingHandle prepare_async_resolved(const ResolvedSpec& spec,
                                        std::span<const float> image);
   /// The model's live schedule: adopted, or sitting in a ready latch.
-  /// Caller holds submit_mutex_.
-  const core::ReplaySchedule* live_schedule_locked(
-      const ModelState& model) const;
+  const core::ReplaySchedule* live_schedule_locked(const ModelState& model)
+      const REQUIRES(submit_mutex_);
   /// Schedule + arena bytes for one model (0 without a live schedule).
-  /// Caller holds submit_mutex_.
-  std::uint64_t model_resident_bytes_locked(const ModelState& model) const;
-  /// LRU byte-budget enforcement (see set_replay_budget_bytes). Caller
-  /// holds submit_mutex_; `just_used` (nullable) is the model driving the
-  /// current use and is evicted last (arenas only, never its schedule).
-  void enforce_budget_locked(ModelState* just_used);
+  std::uint64_t model_resident_bytes_locked(const ModelState& model) const
+      REQUIRES(submit_mutex_);
+  /// LRU byte-budget enforcement (see set_replay_budget_bytes).
+  /// `just_used` (nullable) is the model driving the current use and is
+  /// evicted last (arenas only, never its schedule).
+  void enforce_budget_locked(ModelState* just_used) REQUIRES(submit_mutex_);
   /// Shared control block between the session and the replay-engine
   /// check-in hooks it installs. Hooks capture the shared_ptr, never the
   /// session: a schedule (and its engine) outliving the session fires a
   /// no-op once ~InferenceSession has detached, and the detach itself
   /// waits out any hook mid-flight (it holds `mutex` while calling in).
   struct ReplayCheckinState {
-    std::mutex mutex;
-    InferenceSession* session = nullptr;  ///< null once detached
+    Mutex mutex;
+    /// Null once detached.
+    InferenceSession* session GUARDED_BY(mutex) = nullptr;
     /// Lock-free mirror of replay_budget_bytes_, so the per-image hook
     /// costs one relaxed load while no budget is set.
     std::atomic<std::uint64_t> budget{0};
@@ -768,12 +777,11 @@ class InferenceSession {
   /// Hook body: adopt ready stagings and re-enforce the byte budget with
   /// `model` as the hot model. Runs on the replaying worker right after
   /// its arena check-in, so a run's own arena growth is reclaimed at
-  /// arena return, not on the next submit. Takes submit_mutex_.
-  void on_replay_checkin(ModelState& model);
+  /// arena return, not on the next submit.
+  void on_replay_checkin(ModelState& model) EXCLUDES(submit_mutex_);
   /// Drop `model`'s replay schedule (folding its replay tally), force a
-  /// re-trace on next use, and mark its staged variants evicted. Caller
-  /// holds submit_mutex_.
-  void evict_schedule_locked(ModelState& model);
+  /// re-trace on next use, and mark its staged variants evicted.
+  void evict_schedule_locked(ModelState& model) REQUIRES(submit_mutex_);
   /// Staging-concurrency accounting: bump in-flight (and the peak
   /// high-water mark) when a staging pipeline task is issued...
   void note_staging_issued();
@@ -828,40 +836,53 @@ class InferenceSession {
   mutable AtomicStageCounters counters_;
   mutable AtomicRobustnessCounters robust_;
 
-  bool repack_enabled_ = true;
-  bool replay_enabled_ = true;
-  std::uint64_t replay_budget_bytes_ = 0;  ///< 0 = unlimited
-  RetryPolicy retry_policy_;               ///< guarded by submit_mutex_
+  /// Guards the submit/staging fast-path state (per-model latches, pool
+  /// creation, variant/LRU bookkeeping, the tail_done/prepared reads the
+  /// submit paths make) against concurrent submit()/resolve()/
+  /// prepare_async()/counters() calls. Declared before the state it guards
+  /// so the annotations below may name it.
+  mutable Mutex submit_mutex_;
+
+  bool repack_enabled_ GUARDED_BY(submit_mutex_) = true;
+  bool replay_enabled_ GUARDED_BY(submit_mutex_) = true;
+  /// 0 = unlimited.
+  std::uint64_t replay_budget_bytes_ GUARDED_BY(submit_mutex_) = 0;
+  RetryPolicy retry_policy_ GUARDED_BY(submit_mutex_);
   std::atomic<std::uint32_t> default_deadline_ms_{0};
-  /// Session-level fault injector (null = no plan). Guarded by
-  /// submit_mutex_; tasks capture their own shared_ptr copy at enqueue.
-  std::shared_ptr<fault::Injector> session_fault_;
+  /// Session-level fault injector (null = no plan); tasks capture their
+  /// own shared_ptr copy at enqueue.
+  std::shared_ptr<fault::Injector> session_fault_ GUARDED_BY(submit_mutex_);
   /// Flipped at the top of ~InferenceSession: queued tasks still waiting
   /// on an unresolved staging latch resolve their PendingResult with a
   /// typed kUnavailable instead of racing the drain.
   std::atomic<bool> shutting_down_{false};
   /// Shared with every installed check-in hook; see ReplayCheckinState.
+  /// Set once in the constructor, immutable after — unannotated.
   std::shared_ptr<ReplayCheckinState> checkin_state_;
-  std::uint64_t use_tick_ = 0;             ///< LRU clock; under submit_mutex_
-  std::chrono::milliseconds pool_idle_timeout_{0};  ///< 0 = never reap
+  /// LRU clock.
+  std::uint64_t use_tick_ GUARDED_BY(submit_mutex_) = 0;
+  /// 0 = never reap.
+  std::chrono::milliseconds pool_idle_timeout_ GUARDED_BY(submit_mutex_){0};
   /// Registered models, default model included. Node-based + unique_ptr:
   /// ModelState addresses are stable for the session lifetime (atomics
   /// inside make the state non-movable anyway). register_model() inserts
-  /// under submit_mutex_; nothing ever erases.
-  std::map<std::string, std::unique_ptr<ModelState>> models_;
-  ModelState* default_model_ = nullptr;  ///< the constructor's network
-  /// Per-(model, canonical spec) tallies, keyed "model|spec". Guarded by
-  /// submit_mutex_; nodes never erased (ResolvedSpec pins them).
-  std::map<std::string, VariantState> variants_;
-  /// Guards the submit/staging fast-path state (per-model latches, pool
-  /// creation, variant/LRU bookkeeping, the tail_done/prepared reads the
-  /// submit paths make) against concurrent submit()/resolve()/
-  /// prepare_async()/counters() calls.
-  mutable std::mutex submit_mutex_;
+  /// under submit_mutex_; nothing ever erases. The map is guarded; the
+  /// pinned ModelState nodes carry their own per-field disciplines
+  /// (documented on ModelState — a cross-class guard the annotations
+  /// cannot express).
+  std::map<std::string, std::unique_ptr<ModelState>> models_
+      GUARDED_BY(submit_mutex_);
+  /// The constructor's network. Set once in the constructor, immutable
+  /// after — unannotated.
+  ModelState* default_model_ = nullptr;
+  /// Per-(model, canonical spec) tallies, keyed "model|spec". Nodes never
+  /// erased (ResolvedSpec pins them); the pointed-to VariantState fields
+  /// are likewise touched only under submit_mutex_.
+  std::map<std::string, VariantState> variants_ GUARDED_BY(submit_mutex_);
   /// Declared last on purpose: destroyed first, so in-flight pooled tasks
   /// (which read the shared cores, the model states and the staging
   /// latches) drain while every other member is still alive.
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(submit_mutex_);
 };
 
 }  // namespace nvsoc::runtime

@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t max_workers) {
     // terminate on joinable threads) unless they are stopped and joined
     // before the exception escapes.
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
     job_ready_.notify_all();
@@ -49,7 +49,7 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t max_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   job_ready_.notify_all();
@@ -62,7 +62,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::join_retired() const {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     done.swap(retired_);
   }
   // Join outside the lock: the threads have already returned from
@@ -72,24 +72,24 @@ void ThreadPool::join_retired() const {
 
 std::size_t ThreadPool::worker_count() const {
   join_retired();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return live_;
 }
 
 std::size_t ThreadPool::max_workers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return max_workers_;
 }
 
 void ThreadPool::set_max_workers(std::size_t cap) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (cap == 0) cap = hardware_workers();
   max_workers_ = std::max(cap, live_);
 }
 
 void ThreadPool::set_idle_timeout(std::chrono::milliseconds timeout) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     idle_timeout_ = timeout;
   }
   // Parked workers re-evaluate their wait mode (timed vs untimed) on wakeup.
@@ -97,12 +97,12 @@ void ThreadPool::set_idle_timeout(std::chrono::milliseconds timeout) {
 }
 
 std::chrono::milliseconds ThreadPool::idle_timeout() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return idle_timeout_;
 }
 
 std::uint64_t ThreadPool::workers_reaped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return reaped_;
 }
 
@@ -130,7 +130,7 @@ void ThreadPool::grow_if_pressured_locked() {
 
 void ThreadPool::worker_loop(std::size_t worker,
                              std::uint64_t seen_generation) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     ++idle_;
     while (!stop_ && queue_.empty() && generation_ == seen_generation) {
@@ -138,7 +138,7 @@ void ThreadPool::worker_loop(std::size_t worker,
       // when the reaper is enabled; any wakeup — work, a new job, or a
       // set_idle_timeout notify — re-evaluates the mode.
       if (idle_timeout_.count() > 0 && live_ > min_workers_) {
-        if (job_ready_.wait_for(lock, idle_timeout_) ==
+        if (job_ready_.wait_for(mutex_, idle_timeout_) ==
                 std::cv_status::timeout &&
             !stop_ && queue_.empty() && generation_ == seen_generation &&
             idle_timeout_.count() > 0 && live_ > min_workers_) {
@@ -152,7 +152,7 @@ void ThreadPool::worker_loop(std::size_t worker,
           return;
         }
       } else {
-        job_ready_.wait(lock);
+        job_ready_.wait(mutex_);
       }
     }
     --idle_;
@@ -202,7 +202,7 @@ void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& task) {
   if (count == 0) return;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   task_ = &task;
   count_ = count;
   next_ = 0;
@@ -211,7 +211,7 @@ void ThreadPool::parallel_for(
   error_index_ = 0;
   ++generation_;
   job_ready_.notify_all();
-  job_done_.wait(lock, [&] { return active_ == 0; });
+  while (active_ != 0) job_done_.wait(mutex_);
   task_ = nullptr;
   if (error_ != nullptr) {
     std::exception_ptr error = error_;

@@ -28,7 +28,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -36,10 +35,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace nvsoc::runtime {
 
@@ -112,7 +113,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
       grow_if_pressured_locked();
     }
@@ -137,40 +138,54 @@ class ThreadPool {
   void worker_loop(std::size_t worker, std::uint64_t seen_generation);
   /// Spawn one more worker when tasks are queued with no idle worker and
   /// the cap allows. Reuses the slot of a retired worker when one exists.
-  /// Caller holds mutex_. Best-effort: spawn failures are swallowed (the
-  /// queued task waits for an existing worker instead).
-  void grow_if_pressured_locked();
+  /// Best-effort: spawn failures are swallowed (the queued task waits for
+  /// an existing worker instead).
+  void grow_if_pressured_locked() REQUIRES(mutex_);
   /// Join the threads of workers that have already retired (they have left
   /// worker_loop, so the joins return promptly). Must be called without
   /// mutex_ held.
   void join_retired() const;
 
+  mutable Mutex mutex_;
+  CondVar job_ready_;
+  CondVar job_done_;
+
   /// Slots for live workers; a retired worker's slot holds a moved-from
   /// (non-joinable) handle until growth reuses it. threads_.size() is the
   /// high-water mark, live_ the current worker count.
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_ GUARDED_BY(mutex_);
   /// Handles of retired workers awaiting a join (see join_retired).
-  mutable std::vector<std::thread> retired_;
+  mutable std::vector<std::thread> retired_ GUARDED_BY(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable job_ready_;
-  std::condition_variable job_done_;
-  std::deque<std::function<void()>> queue_;  ///< submit() tasks, FIFO
-  const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
-  std::size_t max_workers_ = 0;  ///< elastic-growth cap
-  std::size_t min_workers_ = 0;  ///< reaper floor: the construction spawn
-  std::size_t live_ = 0;         ///< workers currently in worker_loop
-  std::chrono::milliseconds idle_timeout_{0};  ///< 0 = never reap
-  std::uint64_t reaped_ = 0;     ///< workers retired by the idle reaper
-  std::size_t idle_ = 0;         ///< workers parked in the wait
-  std::size_t count_ = 0;        ///< indices in the current job
-  std::size_t next_ = 0;         ///< next unclaimed index
-  std::size_t active_ = 0;       ///< workers still inside the current job
-  std::uint64_t generation_ = 0; ///< bumped per job so workers run it once
-  bool stop_ = false;
+  /// submit() tasks, FIFO.
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  const std::function<void(std::size_t, std::size_t)>* task_
+      GUARDED_BY(mutex_) = nullptr;
+  /// Elastic-growth cap.
+  std::size_t max_workers_ GUARDED_BY(mutex_) = 0;
+  /// Reaper floor: the construction spawn.
+  std::size_t min_workers_ GUARDED_BY(mutex_) = 0;
+  /// Workers currently in worker_loop.
+  std::size_t live_ GUARDED_BY(mutex_) = 0;
+  /// 0 = never reap.
+  std::chrono::milliseconds idle_timeout_ GUARDED_BY(mutex_){0};
+  /// Workers retired by the idle reaper.
+  std::uint64_t reaped_ GUARDED_BY(mutex_) = 0;
+  /// Workers parked in the wait.
+  std::size_t idle_ GUARDED_BY(mutex_) = 0;
+  /// Indices in the current job.
+  std::size_t count_ GUARDED_BY(mutex_) = 0;
+  /// Next unclaimed index.
+  std::size_t next_ GUARDED_BY(mutex_) = 0;
+  /// Workers still inside the current job.
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  /// Bumped per job so workers run it once.
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
 
-  std::size_t error_index_;      ///< lowest index that threw (valid if set)
-  std::exception_ptr error_;
+  /// Lowest index that threw (valid if error_ set).
+  std::size_t error_index_ GUARDED_BY(mutex_);
+  std::exception_ptr error_ GUARDED_BY(mutex_);
 };
 
 }  // namespace nvsoc::runtime

@@ -275,7 +275,7 @@ void InferenceServer::submit_request(Connection& conn, Request request) {
   // pool worker: it must only touch the done queue and the self-pipe.
   slot->second.result.on_ready([this, token] {
     {
-      std::lock_guard<std::mutex> lock(done_mutex_);
+      MutexLock lock(done_mutex_);
       done_.push_back(token);
     }
     loop_.notify();
@@ -325,7 +325,7 @@ void InferenceServer::on_wakeup() {
   // fires after complete()), so get() below never blocks the loop.
   std::vector<std::uint64_t> done;
   {
-    std::lock_guard<std::mutex> lock(done_mutex_);
+    MutexLock lock(done_mutex_);
     done.swap(done_);
   }
   for (const std::uint64_t token : done) {

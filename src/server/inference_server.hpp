@@ -29,12 +29,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/inference_session.hpp"
 #include "server/event_loop.hpp"
 #include "server/frame.hpp"
@@ -166,6 +167,9 @@ class InferenceServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
 
+  // Loop-thread-only state (owned by the thread inside run(); start() runs
+  // before the loop exists). Single-owner discipline, not lock-protected —
+  // deliberately unannotated.
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;  // by fd
   std::unordered_map<std::uint64_t, Connection*> by_id_;
   std::uint64_t next_connection_id_ = 1;
@@ -174,9 +178,10 @@ class InferenceServer {
   std::uint64_t next_token_ = 1;
 
   /// Completion tokens queued by pool-worker on_ready hooks; drained by
-  /// the loop thread after a self-pipe wakeup.
-  std::mutex done_mutex_;
-  std::vector<std::uint64_t> done_;
+  /// the loop thread after a self-pipe wakeup. The one piece of state two
+  /// threads touch, hence the one mutex the server owns.
+  Mutex done_mutex_;
+  std::vector<std::uint64_t> done_ GUARDED_BY(done_mutex_);
 
   std::atomic<bool> shutdown_requested_{false};
   bool shutting_down_ = false;  ///< loop thread: begin_shutdown() ran

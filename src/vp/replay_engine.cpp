@@ -258,7 +258,7 @@ ReplayEngine::~ReplayEngine() = default;
 ReplayEngine::Arena* ReplayEngine::acquire(
     const compiler::Loadable& loadable) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!free_.empty()) {
       Arena* arena = free_.back();
       // Check before popping: a mismatching loadable must not strand the
@@ -278,7 +278,7 @@ ReplayEngine::Arena* ReplayEngine::acquire(
   auto built = std::make_unique<Arena>(loadable);
   Arena* arena = built.get();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     arenas_.push_back(std::move(built));
   }
   arenas_built_.fetch_add(1, std::memory_order_relaxed);
@@ -288,7 +288,7 @@ ReplayEngine::Arena* ReplayEngine::acquire(
 void ReplayEngine::release(Arena* arena) {
   std::shared_ptr<const std::function<void()>> hook;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     free_.push_back(arena);
     hook = checkin_hook_;
   }
@@ -301,19 +301,19 @@ void ReplayEngine::set_checkin_hook(std::function<void()> hook) {
   auto shared = hook ? std::make_shared<const std::function<void()>>(
                            std::move(hook))
                      : nullptr;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   checkin_hook_ = std::move(shared);
 }
 
 std::uint64_t ReplayEngine::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& arena : arenas_) total += arena->resident_bytes();
   return total;
 }
 
 std::uint64_t ReplayEngine::release_free_arenas() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (free_.empty()) return 0;
   const std::unordered_set<Arena*> releasing(free_.begin(), free_.end());
   std::uint64_t freed = 0;
@@ -335,7 +335,7 @@ std::uint64_t ReplayEngine::release_free_arenas() {
 std::shared_ptr<const ReplayEngine::WritePlan> ReplayEngine::plan_for(
     std::span<const nvdla::ReplayOp> ops) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (plan_ != nullptr && plan_key_ == ops.data() &&
         plan_ops_ == ops.size()) {
       return plan_;
@@ -348,7 +348,7 @@ std::shared_ptr<const ReplayEngine::WritePlan> ReplayEngine::plan_for(
   if (!plan->audit_passed) {
     unsafe_plans_.fetch_add(1, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   plan_key_ = ops.data();
   plan_ops_ = ops.size();
   plan_ = plan;

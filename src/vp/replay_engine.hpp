@@ -38,10 +38,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "compiler/loadable.hpp"
 #include "fault/fault.hpp"
 #include "nvdla/config.hpp"
@@ -141,15 +142,19 @@ class ReplayEngine {
       std::span<const nvdla::ReplayOp> ops);
 
   nvdla::NvdlaConfig config_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Arena>> arenas_;  ///< all ever built
-  std::vector<Arena*> free_;                    ///< checked-in, ready to reset
-  const nvdla::ReplayOp* plan_key_ = nullptr;   ///< ops identity of plan_
-  std::size_t plan_ops_ = 0;
-  std::shared_ptr<const WritePlan> plan_;
+  mutable Mutex mutex_;
+  /// All arenas ever built.
+  std::vector<std::unique_ptr<Arena>> arenas_ GUARDED_BY(mutex_);
+  /// Checked-in arenas, ready to reset.
+  std::vector<Arena*> free_ GUARDED_BY(mutex_);
+  /// ops identity of plan_.
+  const nvdla::ReplayOp* plan_key_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t plan_ops_ GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<const WritePlan> plan_ GUARDED_BY(mutex_);
   /// Post-check-in hook (see set_checkin_hook). shared_ptr so release()
   /// can copy it under the lock and invoke it after unlocking.
-  std::shared_ptr<const std::function<void()>> checkin_hook_;
+  std::shared_ptr<const std::function<void()>> checkin_hook_
+      GUARDED_BY(mutex_);
   std::atomic<std::uint32_t> arenas_built_{0};
   std::atomic<std::uint32_t> arenas_released_{0};
   std::atomic<std::uint64_t> images_replayed_{0};

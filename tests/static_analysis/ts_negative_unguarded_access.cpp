@@ -1,0 +1,36 @@
+// Negative-compilation proof that the thread-safety analysis is armed.
+//
+// This TU MUST FAIL to compile under Clang with -Werror=thread-safety: it
+// reads and writes a GUARDED_BY member without holding the mutex — exactly
+// the bug class the analysis exists to catch. CMake try_compile's it at
+// configure time (Clang only) and fails the configure if it *succeeds*,
+// which would mean the annotations were macro'd away and the CI gate is
+// vacuous. ts_positive_control.cpp is the same shape with correct locking
+// and must compile, proving the failure here is the analysis firing, not a
+// broken TU.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    nvsoc::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BUG (deliberate): unguarded access to a guarded member.
+  int read_unguarded() const { return value_; }
+
+ private:
+  mutable nvsoc::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_locked();
+  return counter.read_unguarded();
+}

@@ -1,0 +1,34 @@
+// Positive control for the negative-compilation check (see
+// ts_negative_unguarded_access.cpp): identical shape, correct locking on
+// every access. MUST compile cleanly under -Werror=thread-safety —
+// otherwise the negative TU's expected failure proves nothing (the TU
+// could be failing for an unrelated reason: a bad include path, a macro
+// clash, a C++ standard mismatch).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    nvsoc::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int read_locked() const {
+    nvsoc::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable nvsoc::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_locked();
+  return counter.read_locked();
+}

@@ -2,11 +2,16 @@
 // status plumbing and the deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "common/bitutil.hpp"
 #include "common/fp16.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/strfmt.hpp"
@@ -125,6 +130,131 @@ TEST(Rng, RangeBounds) {
 TEST(Types, CycleConversions) {
   EXPECT_DOUBLE_EQ(cycles_to_ms(100'000, 100 * kMHz), 1.0);
   EXPECT_DOUBLE_EQ(cycles_to_seconds(100 * kMHz, 100 * kMHz), 1.0);
+}
+
+// --- annotated lock primitives (common/mutex.hpp) --------------------------
+//
+// The compile-time half of the contract — GUARDED_BY/REQUIRES violations
+// refusing to build — is proven by the configure-time negative-compilation
+// check (tests/static_analysis/). These tests cover the runtime half:
+// mutual exclusion, scoped release/relock, and condition-variable wakeup.
+
+TEST(Mutex, MutualExclusionUnderContention) {
+  Mutex mutex;
+  int counter GUARDED_BY(mutex) = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  MutexLock lock(mutex);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(Mutex, TryLockReflectsOwnership) {
+  Mutex mutex;
+  EXPECT_TRUE(mutex.try_lock());
+  // Held by this thread: a *different* thread must fail to take it
+  // (same-thread retry would be UB on a non-recursive mutex).
+  bool other_thread_got_it = true;
+  std::thread probe([&] { other_thread_got_it = mutex.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(other_thread_got_it);
+  mutex.unlock();
+  std::thread retry([&] {
+    other_thread_got_it = mutex.try_lock();
+    if (other_thread_got_it) mutex.unlock();
+  });
+  retry.join();
+  EXPECT_TRUE(other_thread_got_it);
+}
+
+TEST(Mutex, MutexLockReleaseAndRelock) {
+  Mutex mutex;
+  int value GUARDED_BY(mutex) = 0;
+  {
+    MutexLock lock(mutex);
+    value = 1;
+    lock.unlock();  // the worker-loop pattern: drop the lock around work
+    {
+      // While released, another thread can take the mutex.
+      std::thread other([&] {
+        MutexLock inner(mutex);
+        ++value;
+      });
+      other.join();
+    }
+    lock.lock();  // relock; the destructor releases exactly once
+    EXPECT_EQ(value, 2);
+  }
+  // Destructor released it: free again for anyone.
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(CondVar, WaitWakesOnNotify) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready GUARDED_BY(mutex) = false;
+  int observed = -1;
+  std::thread waiter([&] {
+    MutexLock lock(mutex);
+    while (!ready) cv.wait(mutex);  // explicit loop: spurious wakeups
+    observed = 42;
+  });
+  {
+    MutexLock lock(mutex);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVar, WaitForTimesOutWithoutNotify) {
+  Mutex mutex;
+  CondVar cv;
+  MutexLock lock(mutex);
+  const auto status = cv.wait_for(mutex, std::chrono::milliseconds(10));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVar, WaitForReturnsNoTimeoutWhenNotified) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready GUARDED_BY(mutex) = false;
+  bool waiting GUARDED_BY(mutex) = false;
+  std::cv_status status = std::cv_status::timeout;
+  std::thread waiter([&] {
+    MutexLock lock(mutex);
+    // Handshake: the main thread may not set `ready` until this thread is
+    // provably inside wait_for (it holds the mutex from the notify below
+    // until the wait releases it) — so wait_for always runs and the
+    // recorded status is a real wakeup, not a skipped wait.
+    waiting = true;
+    cv.notify_all();
+    while (!ready) {
+      // Generous bound: the test asserts wakeup, not latency.
+      status = cv.wait_for(mutex, std::chrono::seconds(60));
+      if (status == std::cv_status::timeout) break;
+    }
+  });
+  {
+    MutexLock lock(mutex);
+    while (!waiting) cv.wait(mutex);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(status, std::cv_status::no_timeout);
 }
 
 }  // namespace
